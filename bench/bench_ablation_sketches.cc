@@ -1,0 +1,152 @@
+// Ablations on the sketching design choices behind the Table 3 systems:
+//
+//   - MinHash signature size vs. Jaccard-estimate error (Aurum/D3L both
+//     pay memory & hashing time for accuracy; error ~ 1/sqrt(k))
+//   - LSH banding shape (bands x rows at fixed signature size) vs. recall
+//     and candidate-set size: more bands = higher recall at lower
+//     similarity, more false candidates to verify — the S-curve knob
+//   - JOSIE early-termination pruning vs. a no-pruning accumulate-all scan
+//     (postings scanned counter shows the work saved)
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "discovery/corpus.h"
+#include "discovery/josie.h"
+#include "text/lsh.h"
+#include "text/minhash.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace lakekit;  // NOLINT
+
+void BM_Ablation_MinHashSize(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  text::MinHasher hasher(k);
+  // 50 pairs at true Jaccard 0.5.
+  const int n = 500;
+  const int shared = static_cast<int>(2 * n * 0.5 / 1.5);
+  std::vector<std::pair<std::vector<std::string>, std::vector<std::string>>>
+      pairs;
+  for (int p = 0; p < 50; ++p) {
+    std::vector<std::string> a;
+    std::vector<std::string> b;
+    std::string prefix = "p" + std::to_string(p);
+    for (int i = 0; i < shared; ++i) {
+      a.push_back(prefix + "s" + std::to_string(i));
+      b.push_back(prefix + "s" + std::to_string(i));
+    }
+    for (int i = shared; i < n; ++i) {
+      a.push_back(prefix + "a" + std::to_string(i));
+      b.push_back(prefix + "b" + std::to_string(i));
+    }
+    pairs.emplace_back(std::move(a), std::move(b));
+  }
+  const double true_j = static_cast<double>(shared) / (2 * n - shared);
+  double mean_abs_error = 0;
+  for (auto _ : state) {
+    double err = 0;
+    for (const auto& [a, b] : pairs) {
+      double est = hasher.Compute(a).EstimateJaccard(hasher.Compute(b));
+      err += std::abs(est - true_j);
+    }
+    mean_abs_error = err / static_cast<double>(pairs.size());
+    benchmark::DoNotOptimize(mean_abs_error);
+  }
+  state.counters["signature_size"] = static_cast<double>(k);
+  state.counters["mean_abs_error"] = mean_abs_error;
+  state.counters["expected_error"] =
+      std::sqrt(true_j * (1 - true_j) / static_cast<double>(k)) * 0.8;
+}
+
+void BM_Ablation_LshBandingShape(benchmark::State& state) {
+  // Fixed 128-long signatures; shape (bands, rows) with bands*rows = 128.
+  const size_t bands = static_cast<size_t>(state.range(0));
+  const size_t rows = 128 / bands;
+  text::MinHasher hasher(128);
+  // 40 positive pairs at J=0.4 plus 200 unrelated items.
+  const double jaccard = 0.4;
+  const int n = 300;
+  const int shared = static_cast<int>(2 * n * jaccard / (1 + jaccard));
+  size_t recalled = 0;
+  double candidates = 0;
+  for (auto _ : state) {
+    text::LshIndex index(bands, rows);
+    Rng rng(7);
+    std::vector<text::MinHashSignature> probes;
+    for (int p = 0; p < 40; ++p) {
+      std::vector<std::string> a;
+      std::vector<std::string> b;
+      std::string prefix = "p" + std::to_string(p);
+      for (int i = 0; i < shared; ++i) {
+        a.push_back(prefix + "s" + std::to_string(i));
+        b.push_back(prefix + "s" + std::to_string(i));
+      }
+      for (int i = shared; i < n; ++i) {
+        a.push_back(prefix + "a" + std::to_string(i));
+        b.push_back(prefix + "b" + std::to_string(i));
+      }
+      index.Insert(static_cast<uint64_t>(p), hasher.Compute(a));
+      probes.push_back(hasher.Compute(b));
+    }
+    for (int d = 0; d < 200; ++d) {
+      std::vector<std::string> noise;
+      for (int i = 0; i < n; ++i) noise.push_back(rng.NextWord(10));
+      index.Insert(1000 + static_cast<uint64_t>(d), hasher.Compute(noise));
+    }
+    recalled = 0;
+    candidates = 0;
+    for (size_t p = 0; p < probes.size(); ++p) {
+      auto c = index.Query(probes[p]);
+      candidates += static_cast<double>(c.size());
+      for (uint64_t id : c) {
+        if (id == p) {
+          ++recalled;
+          break;
+        }
+      }
+    }
+  }
+  state.counters["bands"] = static_cast<double>(bands);
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["recall"] = static_cast<double>(recalled) / 40.0;
+  state.counters["avg_candidates"] = candidates / 40.0;
+  state.counters["theory_collision_p"] =
+      text::LshIndex(bands, rows).CollisionProbability(jaccard);
+}
+
+void BM_Ablation_JosiePostingsScanned(benchmark::State& state) {
+  workload::JoinableLakeOptions options;
+  options.num_tables = static_cast<size_t>(state.range(0));
+  options.rows_per_table = 150;
+  options.num_planted_pairs = options.num_tables / 4;
+  auto lake = workload::MakeJoinableLake(options);
+  discovery::Corpus corpus;
+  for (const auto& t : lake.tables) (void)corpus.AddTable(t);
+  discovery::JosieFinder josie(&corpus);
+  josie.Build();
+  double postings = 0;
+  for (auto _ : state) {
+    for (const auto& pair : lake.planted) {
+      auto q = *corpus.FindColumn(pair.table_a, pair.column_a);
+      auto matches = josie.TopKOverlapColumns(q, 3);
+      benchmark::DoNotOptimize(matches);
+      postings += static_cast<double>(josie.last_query_postings_scanned());
+    }
+  }
+  state.counters["index_tokens"] = static_cast<double>(josie.index_size());
+  state.counters["avg_postings_scanned"] =
+      postings / static_cast<double>(state.iterations() *
+                                     static_cast<int64_t>(lake.planted.size()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_Ablation_MinHashSize)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_Ablation_LshBandingShape)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK(BM_Ablation_JosiePostingsScanned)->Arg(32)->Arg(96);
+
+BENCHMARK_MAIN();

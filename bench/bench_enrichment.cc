@@ -1,0 +1,141 @@
+// Reproduces survey Sec. 6.4 (metadata enrichment): D4 domain discovery and
+// DomainNet homograph detection on planted-domain lakes (counters report
+// domain recovery and homograph recall against the planted ground truth),
+// and relaxed-FD discovery scaling with table size.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "discovery/corpus.h"
+#include "enrich/d4.h"
+#include "enrich/domain_net.h"
+#include "enrich/rfd.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace lakekit;         // NOLINT
+using namespace lakekit::enrich;  // NOLINT
+
+struct DomainFixture {
+  workload::DomainLake lake;
+  std::unique_ptr<discovery::Corpus> corpus;
+};
+
+DomainFixture& GetDomainFixture(int num_domains) {
+  static std::map<int, std::unique_ptr<DomainFixture>> cache;
+  auto it = cache.find(num_domains);
+  if (it != cache.end()) return *it->second;
+  auto f = std::make_unique<DomainFixture>();
+  workload::DomainLakeOptions options;
+  options.num_domains = static_cast<size_t>(num_domains);
+  options.num_tables = static_cast<size_t>(num_domains) * 4;
+  options.rows_per_table = 120;
+  options.num_homographs = 3;
+  f->lake = workload::MakeDomainLake(options);
+  f->corpus = std::make_unique<discovery::Corpus>();
+  for (const auto& t : f->lake.tables) (void)f->corpus->AddTable(t);
+  DomainFixture& ref = *f;
+  cache[num_domains] = std::move(f);
+  return ref;
+}
+
+void BM_Enrich_D4DomainDiscovery(benchmark::State& state) {
+  DomainFixture& f = GetDomainFixture(static_cast<int>(state.range(0)));
+  D4DomainDiscovery d4;
+  size_t pure_domains = 0;
+  size_t discovered = 0;
+  for (auto _ : state) {
+    auto domains = d4.Discover(*f.corpus);
+    benchmark::DoNotOptimize(domains);
+    discovered = domains.size();
+    // Purity: each discovered domain dominated by one planted domain.
+    pure_domains = 0;
+    for (const Domain& d : domains) {
+      std::map<std::string, size_t> votes;
+      for (const std::string& term : d.terms) {
+        for (const auto& [planted, terms] : f.lake.domains) {
+          for (const std::string& pt : terms) {
+            if (pt == term) ++votes[planted];
+          }
+        }
+      }
+      size_t best = 0;
+      size_t total = 0;
+      for (const auto& [p, c] : votes) {
+        best = std::max(best, c);
+        total += c;
+      }
+      if (total > 0 && static_cast<double>(best) / total >= 0.8) {
+        ++pure_domains;
+      }
+    }
+  }
+  state.counters["domains_planted"] =
+      static_cast<double>(f.lake.domains.size());
+  state.counters["domains_discovered"] = static_cast<double>(discovered);
+  state.counters["pure_domains"] = static_cast<double>(pure_domains);
+}
+
+void BM_Enrich_DomainNetHomographs(benchmark::State& state) {
+  DomainFixture& f = GetDomainFixture(static_cast<int>(state.range(0)));
+  size_t recovered = 0;
+  for (auto _ : state) {
+    DomainNet net;
+    net.Build(*f.corpus);
+    auto homographs = net.FindHomographs();
+    benchmark::DoNotOptimize(homographs);
+    std::set<std::string> found;
+    for (const Homograph& h : homographs) found.insert(h.value);
+    recovered = 0;
+    for (const std::string& planted : f.lake.homographs) {
+      if (found.count(planted) > 0) ++recovered;
+    }
+  }
+  state.counters["homographs_planted"] =
+      static_cast<double>(f.lake.homographs.size());
+  state.counters["homographs_recovered"] = static_cast<double>(recovered);
+}
+
+void BM_Enrich_RfdDiscovery(benchmark::State& state) {
+  workload::DirtyTableOptions options;
+  options.num_rows = static_cast<size_t>(state.range(0));
+  options.num_violations = options.num_rows / 40;
+  workload::DirtyTable dirty = workload::MakeDirtyTable(options);
+  bool recovered = false;
+  for (auto _ : state) {
+    auto fds = DiscoverRelaxedFds(dirty.table);
+    benchmark::DoNotOptimize(fds);
+    recovered = false;
+    for (const RelaxedFd& fd : fds) {
+      if (fd.lhs == std::vector<std::string>{"city"} && fd.rhs == "zip") {
+        recovered = true;
+      }
+    }
+  }
+  state.counters["city_zip_fd_recovered"] = recovered ? 1.0 : 0.0;
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_Enrich_RfdEvaluateSingle(benchmark::State& state) {
+  workload::DirtyTableOptions options;
+  options.num_rows = static_cast<size_t>(state.range(0));
+  workload::DirtyTable dirty = workload::MakeDirtyTable(options);
+  for (auto _ : state) {
+    RelaxedFd fd = EvaluateFd(dirty.table, {"city"}, "zip");
+    benchmark::DoNotOptimize(fd);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+}  // namespace
+
+BENCHMARK(BM_Enrich_D4DomainDiscovery)->Arg(4)->Arg(8);
+BENCHMARK(BM_Enrich_DomainNetHomographs)->Arg(4)->Arg(8);
+BENCHMARK(BM_Enrich_RfdDiscovery)->Arg(500)->Arg(2000);
+BENCHMARK(BM_Enrich_RfdEvaluateSingle)->Arg(500)->Arg(5000);
+
+BENCHMARK_MAIN();

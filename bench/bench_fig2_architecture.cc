@@ -1,0 +1,119 @@
+// Reproduces survey Fig. 2: the three-tier function-oriented architecture.
+// Measures the end-to-end pipeline per tier over a growing lake —
+// ingestion (format detection + extraction + routing + cataloging),
+// maintenance (corpus sketching + Aurum/JOSIE index build), and exploration
+// (discovery queries + federated SQL) — giving the per-tier latency
+// breakdown of the architecture the figure sketches.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <memory>
+
+#include "core/data_lake.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace lakekit;        // NOLINT
+using namespace lakekit::core;  // NOLINT
+
+workload::JoinableLake MakeLake(int num_tables) {
+  workload::JoinableLakeOptions options;
+  options.num_tables = static_cast<size_t>(num_tables);
+  options.rows_per_table = 80;
+  options.num_planted_pairs = static_cast<size_t>(num_tables) / 4;
+  return workload::MakeJoinableLake(options);
+}
+
+std::string FreshDir() {
+  static int counter = 0;
+  std::string dir = "/tmp/lakekit_bench_fig2_" + std::to_string(counter++);
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+void BM_Tier_Ingestion(benchmark::State& state) {
+  workload::JoinableLake lake = MakeLake(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::string dir = FreshDir();
+    auto dl = DataLake::Open(dir);
+    state.ResumeTiming();
+    for (const auto& t : lake.tables) {
+      benchmark::DoNotOptimize(dl->IngestTable(t));
+    }
+    state.PauseTiming();
+    std::filesystem::remove_all(dir);
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_Tier_Maintenance(benchmark::State& state) {
+  workload::JoinableLake lake = MakeLake(static_cast<int>(state.range(0)));
+  std::string dir = FreshDir();
+  auto dl = DataLake::Open(dir);
+  for (const auto& t : lake.tables) (void)dl->IngestTable(t);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dl->BuildDiscoveryIndexes());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  std::filesystem::remove_all(dir);
+}
+
+void BM_Tier_Exploration(benchmark::State& state) {
+  workload::JoinableLake lake = MakeLake(static_cast<int>(state.range(0)));
+  std::string dir = FreshDir();
+  auto dl = DataLake::Open(dir);
+  for (const auto& t : lake.tables) (void)dl->IngestTable(t);
+  (void)dl->BuildDiscoveryIndexes();
+  size_t found = 0;
+  size_t total = 0;
+  for (auto _ : state) {
+    // One discovery query + one SQL query, the two exploration modes of
+    // Sec. 7.
+    const auto& pair = lake.planted[total % lake.planted.size()];
+    auto joinable = dl->FindJoinableTables(pair.table_a, 3);
+    benchmark::DoNotOptimize(joinable);
+    if (joinable.ok()) {
+      for (const auto& m : *joinable) {
+        if (m.table_name == pair.table_b) ++found;
+      }
+    }
+    auto sql = dl->Query("SELECT COUNT(*) AS n FROM " + pair.table_a +
+                         " WHERE measure > 0");
+    benchmark::DoNotOptimize(sql);
+    ++total;
+  }
+  state.counters["discovery_recall"] =
+      static_cast<double>(found) / static_cast<double>(total);
+  std::filesystem::remove_all(dir);
+}
+
+void BM_Tier_EndToEnd(benchmark::State& state) {
+  workload::JoinableLake lake = MakeLake(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::string dir = FreshDir();
+    state.ResumeTiming();
+    auto dl = DataLake::Open(dir);
+    for (const auto& t : lake.tables) (void)dl->IngestTable(t);
+    (void)dl->BuildDiscoveryIndexes();
+    auto joinable = dl->FindJoinableTables(lake.planted[0].table_a, 3);
+    benchmark::DoNotOptimize(joinable);
+    state.PauseTiming();
+    std::filesystem::remove_all(dir);
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+}  // namespace
+
+BENCHMARK(BM_Tier_Ingestion)->Arg(16)->Arg(48);
+BENCHMARK(BM_Tier_Maintenance)->Arg(16)->Arg(48);
+BENCHMARK(BM_Tier_Exploration)->Arg(16)->Arg(48);
+BENCHMARK(BM_Tier_EndToEnd)->Arg(16)->Arg(48);
+
+BENCHMARK_MAIN();

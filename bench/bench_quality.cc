@@ -1,0 +1,153 @@
+// Reproduces survey Sec. 6.5 (data cleaning) and 6.6 (schema evolution):
+// CLAMS-style constraint inference + dirty-tuple ranking with
+// precision-at-planted-errors counters; Auto-Validate pattern training and
+// drift detection; schema-history reconstruction and k-ary inclusion
+// dependency detection on planted corpora.
+
+#include <benchmark/benchmark.h>
+
+#include <set>
+
+#include "evolution/inclusion_deps.h"
+#include "evolution/schema_history.h"
+#include "quality/auto_validate.h"
+#include "quality/denial_constraints.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace lakekit;  // NOLINT
+
+void BM_Quality_ClamsInferAndRank(benchmark::State& state) {
+  workload::DirtyTableOptions options;
+  options.num_rows = static_cast<size_t>(state.range(0));
+  options.num_violations = options.num_rows / 30;
+  workload::DirtyTable dirty = workload::MakeDirtyTable(options);
+  std::set<size_t> planted(dirty.violation_rows.begin(),
+                           dirty.violation_rows.end());
+  double precision = 0;
+  for (auto _ : state) {
+    auto ranked = quality::ConstraintChecker::InferAndRank(dirty.table);
+    benchmark::DoNotOptimize(ranked);
+    size_t hits = 0;
+    for (size_t i = 0; i < ranked.size() && i < planted.size(); ++i) {
+      if (planted.count(ranked[i].row) > 0) ++hits;
+    }
+    precision = planted.empty()
+                    ? 1.0
+                    : static_cast<double>(hits) /
+                          static_cast<double>(planted.size());
+  }
+  state.counters["planted_errors"] = static_cast<double>(planted.size());
+  state.counters["precision_at_k"] = precision;
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_Quality_ViolationPairSearch(benchmark::State& state) {
+  workload::DirtyTableOptions options;
+  options.num_rows = static_cast<size_t>(state.range(0));
+  workload::DirtyTable dirty = workload::MakeDirtyTable(options);
+  enrich::RelaxedFd fd;
+  fd.lhs = {"city"};
+  fd.rhs = "zip";
+  quality::DenialConstraint dc = quality::DenialConstraint::FromFd(fd);
+  for (auto _ : state) {
+    auto pairs =
+        quality::ConstraintChecker::FindViolatingPairs(dirty.table, dc);
+    benchmark::DoNotOptimize(pairs);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_Quality_AutoValidateTrain(benchmark::State& state) {
+  std::vector<std::string> values;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    values.push_back("SKU-" + std::to_string(10000 + i));
+  }
+  for (auto _ : state) {
+    auto validator = quality::Validator::Train(values);
+    benchmark::DoNotOptimize(validator);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_Quality_AutoValidateDriftCheck(benchmark::State& state) {
+  std::vector<std::string> train;
+  for (int i = 0; i < 1000; ++i) {
+    train.push_back("SKU-" + std::to_string(10000 + i));
+  }
+  auto validator = quality::Validator::Train(train);
+  // Batch with 10% drifted values; healthy values keep the trained 5-digit
+  // shape (the validator's exact-length patterns are the point).
+  std::vector<std::string> batch;
+  for (int i = 0; i < 900; ++i) {
+    batch.push_back("SKU-" + std::to_string(20000 + i));
+  }
+  for (int i = 0; i < 100; ++i) batch.push_back("sku_" + std::to_string(i));
+  double rate = 0;
+  for (auto _ : state) {
+    rate = validator->RejectionRate(batch);
+    benchmark::DoNotOptimize(rate);
+  }
+  state.counters["drift_rate_detected"] = rate;
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch.size()));
+}
+
+void BM_Evolution_SchemaHistory(benchmark::State& state) {
+  workload::EvolvingCorpusOptions options;
+  options.docs_per_version = static_cast<size_t>(state.range(0));
+  workload::EvolvingCorpus corpus = workload::MakeEvolvingCorpus(options);
+  size_t changes_found = 0;
+  for (auto _ : state) {
+    auto changes = evolution::SchemaHistory::ExtractChanges(corpus.documents);
+    benchmark::DoNotOptimize(changes);
+    changes_found = changes->size();
+  }
+  state.counters["changes_planted"] =
+      static_cast<double>(corpus.planted_changes.size());
+  state.counters["changes_found"] = static_cast<double>(changes_found);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(corpus.documents.size()));
+}
+
+void BM_Evolution_InclusionDependencies(benchmark::State& state) {
+  // A star schema: fact table referencing two dimensions.
+  const int rows = static_cast<int>(state.range(0));
+  std::string users = "uid,name\n";
+  for (int i = 0; i < 100; ++i) {
+    users += std::to_string(i) + ",user" + std::to_string(i) + "\n";
+  }
+  std::string items = "iid,label\n";
+  for (int i = 0; i < 50; ++i) {
+    items += std::to_string(1000 + i) + ",item" + std::to_string(i) + "\n";
+  }
+  std::string facts = "uid,iid,qty\n";
+  for (int i = 0; i < rows; ++i) {
+    facts += std::to_string(i % 100) + "," + std::to_string(1000 + i % 50) +
+             "," + std::to_string(i % 7) + "\n";
+  }
+  std::vector<table::Table> tables{
+      *table::Table::FromCsv("users", users),
+      *table::Table::FromCsv("items", items),
+      *table::Table::FromCsv("facts", facts)};
+  size_t inds_found = 0;
+  for (auto _ : state) {
+    auto inds = evolution::DiscoverInclusionDependencies(tables);
+    benchmark::DoNotOptimize(inds);
+    inds_found = inds.size();
+  }
+  state.counters["inds_found"] = static_cast<double>(inds_found);
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Quality_ClamsInferAndRank)->Arg(300)->Arg(1000);
+BENCHMARK(BM_Quality_ViolationPairSearch)->Arg(1000)->Arg(5000);
+BENCHMARK(BM_Quality_AutoValidateTrain)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_Quality_AutoValidateDriftCheck);
+BENCHMARK(BM_Evolution_SchemaHistory)->Arg(50)->Arg(200);
+BENCHMARK(BM_Evolution_InclusionDependencies)->Arg(500)->Arg(2000);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,173 @@
+// Reproduces survey Sec. 4 (storage tier): the same data routed to the four
+// polystore backends — file/object store, ordered KV store (the Bigtable
+// stand-in), document store, and the in-memory relational store — measuring
+// ingest and read-back throughput per backend. Expected shape: the
+// relational store wins tabular scans; the KV store pays WAL+flush
+// durability; the object store pays filesystem round-trips; the document
+// store pays JSON materialization.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "json/parser.h"
+#include "storage/kv_store.h"
+#include "storage/object_store.h"
+#include "storage/polystore.h"
+
+namespace {
+
+using namespace lakekit;           // NOLINT
+using namespace lakekit::storage;  // NOLINT
+
+std::string FreshDir(const char* tag) {
+  static int counter = 0;
+  std::string dir =
+      "/tmp/lakekit_bench_storage_" + std::string(tag) + std::to_string(counter++);
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::string MakeCsv(int rows) {
+  std::string csv = "id,name,score\n";
+  for (int i = 0; i < rows; ++i) {
+    csv += std::to_string(i) + ",name" + std::to_string(i) + "," +
+           std::to_string(i % 100) + ".5\n";
+  }
+  return csv;
+}
+
+void BM_Storage_ObjectStore_PutGet(benchmark::State& state) {
+  std::string dir = FreshDir("obj");
+  auto store = ObjectStore::Open(dir);
+  std::string payload = MakeCsv(static_cast<int>(state.range(0)));
+  int i = 0;
+  for (auto _ : state) {
+    std::string key = "data/" + std::to_string(i++) + ".csv";
+    (void)store->Put(key, payload);
+    auto back = store->Get(key);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(payload.size()) * 2);
+  std::filesystem::remove_all(dir);
+}
+
+void BM_Storage_KvStore_Put(benchmark::State& state) {
+  std::string dir = FreshDir("kv");
+  auto store = KvStore::Open(dir);
+  int i = 0;
+  for (auto _ : state) {
+    (void)(*store)->Put("key" + std::to_string(i++), "value-payload-64-bytes-"
+                        "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx");
+  }
+  state.SetItemsProcessed(state.iterations());
+  std::filesystem::remove_all(dir);
+}
+
+void BM_Storage_KvStore_Get(benchmark::State& state) {
+  std::string dir = FreshDir("kvget");
+  auto store = KvStore::Open(dir);
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) {
+    (void)(*store)->Put("key" + std::to_string(i), "v" + std::to_string(i));
+  }
+  (void)(*store)->Flush();
+  int i = 0;
+  for (auto _ : state) {
+    auto v = (*store)->Get("key" + std::to_string(i++ % n));
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+  std::filesystem::remove_all(dir);
+}
+
+void BM_Storage_KvStore_ScanPrefix(benchmark::State& state) {
+  std::string dir = FreshDir("kvscan");
+  auto store = KvStore::Open(dir);
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) {
+    (void)(*store)->Put("ds/" + std::to_string(i), "entry");
+  }
+  for (auto _ : state) {
+    auto scan = (*store)->ScanPrefix("ds/");
+    benchmark::DoNotOptimize(scan);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  std::filesystem::remove_all(dir);
+}
+
+void BM_Storage_DocumentStore_InsertFind(benchmark::State& state) {
+  DocumentStore store;
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) {
+    (void)store.Insert("events", *json::Parse(
+        R"({"kind":"k)" + std::to_string(i % 10) + R"(","n":)" +
+        std::to_string(i) + "}"));
+  }
+  for (auto _ : state) {
+    auto found = store.FindEqual("events", "kind", json::Value("k3"));
+    benchmark::DoNotOptimize(found);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_Storage_Polystore_TabularReadBack(benchmark::State& state) {
+  // The mediator's view: read each backend's dataset as a table.
+  std::string dir = FreshDir("poly");
+  auto ps = Polystore::Open(dir);
+  const int rows = static_cast<int>(state.range(0));
+  std::string csv = MakeCsv(rows);
+  (void)ps->StoreTable("rel", *table::Table::FromCsv("rel", csv));
+  std::vector<json::Value> docs;
+  for (int i = 0; i < rows; ++i) {
+    docs.push_back(*json::Parse(R"({"id":)" + std::to_string(i) +
+                                R"(,"name":"n)" + std::to_string(i) + "\"}"));
+  }
+  (void)ps->StoreDocuments("doc", std::move(docs));
+  (void)ps->StoreObject("obj", "landing/data.csv", csv);
+
+  for (auto _ : state) {
+    for (const char* name : {"rel", "doc", "obj"}) {
+      auto t = ps->ReadAsTable(name);
+      benchmark::DoNotOptimize(t);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * rows * 3);
+  std::filesystem::remove_all(dir);
+}
+
+void BM_Storage_KvStore_Compaction(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::string dir = FreshDir("kvc");
+    KvStoreOptions options;
+    options.use_wal = false;
+    auto store = KvStore::Open(dir, options);
+    // 8 runs of overlapping keys.
+    for (int run = 0; run < 8; ++run) {
+      for (int i = 0; i < 200; ++i) {
+        (void)(*store)->Put("key" + std::to_string(i),
+                            "run" + std::to_string(run));
+      }
+      (void)(*store)->Flush();
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize((*store)->Compact());
+    state.PauseTiming();
+    std::filesystem::remove_all(dir);
+    state.ResumeTiming();
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_Storage_ObjectStore_PutGet)->Arg(100);
+BENCHMARK(BM_Storage_KvStore_Put);
+BENCHMARK(BM_Storage_KvStore_Get)->Arg(1000);
+BENCHMARK(BM_Storage_KvStore_ScanPrefix)->Arg(1000);
+BENCHMARK(BM_Storage_DocumentStore_InsertFind)->Arg(1000);
+BENCHMARK(BM_Storage_Polystore_TabularReadBack)->Arg(500);
+BENCHMARK(BM_Storage_KvStore_Compaction);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,254 @@
+// Reproduces survey Table 1: the 11-function classification of data lake
+// solutions across the three tiers. One benchmark per function, each
+// exercising lakekit's implementation of the systems the survey lists —
+// metadata extraction (GEMMS/DATAMARAN/Skluma), metadata modeling
+// (GEMMS/EKG), dataset organization (DS-kNN), related dataset discovery
+// (Aurum), data integration (ALITE full disjunction), metadata enrichment
+// (D4/RFD), data cleaning (CLAMS), schema evolution (Klettke), data
+// provenance (PROV graph), query-driven discovery (JOSIE), heterogeneous
+// querying (federated SQL). The measured per-function cost fills in the
+// quantitative column the survey's qualitative table lacks.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "discovery/aurum.h"
+#include "discovery/corpus.h"
+#include "discovery/josie.h"
+#include "enrich/d4.h"
+#include "enrich/rfd.h"
+#include "evolution/schema_history.h"
+#include "ingest/log_template.h"
+#include "ingest/profiler.h"
+#include "ingest/structural_extractor.h"
+#include "integrate/full_disjunction.h"
+#include "json/parser.h"
+#include "metamodel/gemms.h"
+#include "organize/dsknn.h"
+#include "provenance/provenance.h"
+#include "quality/denial_constraints.h"
+#include "query/sql.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace lakekit;  // NOLINT
+
+struct SharedData {
+  workload::JoinableLake lake;
+  std::unique_ptr<discovery::Corpus> corpus;
+  std::unique_ptr<discovery::AurumFinder> aurum;
+  std::unique_ptr<discovery::JosieFinder> josie;
+  workload::DirtyTable dirty;
+  workload::EvolvingCorpus evolving;
+  workload::LogCorpus logs;
+  std::vector<json::Value> json_docs;
+};
+
+SharedData& Shared() {
+  static SharedData* data = [] {
+    auto* d = new SharedData();
+    workload::JoinableLakeOptions lake_options;
+    lake_options.num_tables = 48;
+    lake_options.rows_per_table = 100;
+    lake_options.num_planted_pairs = 12;
+    d->lake = workload::MakeJoinableLake(lake_options);
+    d->corpus = std::make_unique<discovery::Corpus>();
+    for (const auto& t : d->lake.tables) (void)d->corpus->AddTable(t);
+    d->aurum = std::make_unique<discovery::AurumFinder>(d->corpus.get());
+    (void)d->aurum->Build();
+    d->josie = std::make_unique<discovery::JosieFinder>(d->corpus.get());
+    d->josie->Build();
+    d->dirty = workload::MakeDirtyTable({});
+    d->evolving = workload::MakeEvolvingCorpus({});
+    d->logs = workload::MakeLogCorpus({});
+    for (int i = 0; i < 200; ++i) {
+      d->json_docs.push_back(*json::Parse(
+          R"({"id":)" + std::to_string(i) +
+          R"(,"name":"n)" + std::to_string(i) +
+          R"(","addr":{"city":"c)" + std::to_string(i % 10) + R"("}})"));
+    }
+    return d;
+  }();
+  return *data;
+}
+
+// ------------------------------------------------------ ingestion tier
+
+void BM_Fn_MetadataExtraction_Structural(benchmark::State& state) {
+  SharedData& d = Shared();
+  for (auto _ : state) {
+    auto tree = ingest::StructuralExtractor::InferJsonDocuments(d.json_docs);
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(d.json_docs.size()));
+}
+
+void BM_Fn_MetadataExtraction_LogTemplates(benchmark::State& state) {
+  SharedData& d = Shared();
+  ingest::LogTemplateExtractor extractor;
+  for (auto _ : state) {
+    auto templates = extractor.Extract(d.logs.text);
+    benchmark::DoNotOptimize(templates);
+    state.counters["templates"] = static_cast<double>(templates.size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(d.logs.text.size()));
+}
+
+void BM_Fn_MetadataExtraction_Profiling(benchmark::State& state) {
+  SharedData& d = Shared();
+  for (auto _ : state) {
+    auto profiles = ingest::Profiler::ProfileTable(d.lake.tables[0]);
+    benchmark::DoNotOptimize(profiles);
+  }
+}
+
+void BM_Fn_MetadataModeling(benchmark::State& state) {
+  SharedData& d = Shared();
+  for (auto _ : state) {
+    metamodel::GemmsModel model;
+    for (size_t i = 0; i < 8; ++i) {
+      metamodel::MetadataUnit unit;
+      unit.dataset = "ds" + std::to_string(i);
+      unit.structure =
+          ingest::StructuralExtractor::InferJson(d.json_docs[i]);
+      unit.properties["format"] = "json";
+      (void)model.AddUnit(std::move(unit));
+    }
+    benchmark::DoNotOptimize(model.num_units());
+  }
+}
+
+// ---------------------------------------------------- maintenance tier
+
+void BM_Fn_DatasetOrganization(benchmark::State& state) {
+  SharedData& d = Shared();
+  for (auto _ : state) {
+    organize::DsKnnOrganizer organizer;
+    for (const auto& t : d.lake.tables) {
+      benchmark::DoNotOptimize(organizer.AddDataset(t));
+    }
+    state.counters["categories"] =
+        static_cast<double>(organizer.num_categories());
+  }
+}
+
+void BM_Fn_RelatedDatasetDiscovery(benchmark::State& state) {
+  SharedData& d = Shared();
+  const auto& pair = d.lake.planted[0];
+  discovery::ColumnId q = *d.corpus->FindColumn(pair.table_a, pair.column_a);
+  for (auto _ : state) {
+    auto matches = d.aurum->TopKJoinableColumns(q, 5);
+    benchmark::DoNotOptimize(matches);
+  }
+}
+
+void BM_Fn_DataIntegration(benchmark::State& state) {
+  auto a = table::Table::FromCsv("a", "city,country\ndelft,NL\nleiden,NL\n");
+  auto b = table::Table::FromCsv("b",
+                                 "city,population\ndelft,104000\nhague,552000\n");
+  for (auto _ : state) {
+    auto fd = integrate::IntegrateTables({*a, *b});
+    benchmark::DoNotOptimize(fd);
+  }
+}
+
+void BM_Fn_MetadataEnrichment_Rfd(benchmark::State& state) {
+  SharedData& d = Shared();
+  for (auto _ : state) {
+    auto fds = enrich::DiscoverRelaxedFds(d.dirty.table);
+    benchmark::DoNotOptimize(fds);
+    state.counters["fds"] = static_cast<double>(fds.size());
+  }
+}
+
+void BM_Fn_MetadataEnrichment_Domains(benchmark::State& state) {
+  SharedData& d = Shared();
+  enrich::D4DomainDiscovery d4;
+  for (auto _ : state) {
+    auto domains = d4.Discover(*d.corpus);
+    benchmark::DoNotOptimize(domains);
+    state.counters["domains"] = static_cast<double>(domains.size());
+  }
+}
+
+void BM_Fn_DataCleaning(benchmark::State& state) {
+  SharedData& d = Shared();
+  for (auto _ : state) {
+    auto ranked = quality::ConstraintChecker::InferAndRank(d.dirty.table);
+    benchmark::DoNotOptimize(ranked);
+    state.counters["dirty_tuples"] = static_cast<double>(ranked.size());
+  }
+}
+
+void BM_Fn_SchemaEvolution(benchmark::State& state) {
+  SharedData& d = Shared();
+  for (auto _ : state) {
+    auto changes = evolution::SchemaHistory::ExtractChanges(d.evolving.documents);
+    benchmark::DoNotOptimize(changes);
+  }
+}
+
+void BM_Fn_DataProvenance(benchmark::State& state) {
+  for (auto _ : state) {
+    provenance::ProvenanceGraph prov;
+    for (int i = 0; i < 32; ++i) {
+      (void)prov.RecordDerivation("job" + std::to_string(i),
+                                  {"ds" + std::to_string(i)},
+                                  {"ds" + std::to_string(i + 1)}, "ada");
+    }
+    auto upstream = prov.Upstream("ds32");
+    benchmark::DoNotOptimize(upstream);
+  }
+}
+
+// ---------------------------------------------------- exploration tier
+
+void BM_Fn_QueryDrivenDiscovery(benchmark::State& state) {
+  SharedData& d = Shared();
+  const auto& pair = d.lake.planted[0];
+  discovery::ColumnId q = *d.corpus->FindColumn(pair.table_a, pair.column_a);
+  for (auto _ : state) {
+    auto matches = d.josie->TopKOverlapColumns(q, 5);
+    benchmark::DoNotOptimize(matches);
+  }
+}
+
+void BM_Fn_HeterogeneousQuerying(benchmark::State& state) {
+  SharedData& d = Shared();
+  auto resolver = [&](const std::string& name) -> Result<table::Table> {
+    for (const auto& t : d.lake.tables) {
+      if (t.name() == name) return t;
+    }
+    return Status::NotFound(name);
+  };
+  for (auto _ : state) {
+    auto out = query::RunSql(
+        "SELECT attr0, COUNT(*) AS n FROM table0 WHERE measure > 0 GROUP BY "
+        "attr0 ORDER BY n DESC LIMIT 10",
+        resolver);
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_Fn_MetadataExtraction_Structural);
+BENCHMARK(BM_Fn_MetadataExtraction_LogTemplates);
+BENCHMARK(BM_Fn_MetadataExtraction_Profiling);
+BENCHMARK(BM_Fn_MetadataModeling);
+BENCHMARK(BM_Fn_DatasetOrganization);
+BENCHMARK(BM_Fn_RelatedDatasetDiscovery);
+BENCHMARK(BM_Fn_DataIntegration);
+BENCHMARK(BM_Fn_MetadataEnrichment_Rfd);
+BENCHMARK(BM_Fn_MetadataEnrichment_Domains);
+BENCHMARK(BM_Fn_DataCleaning);
+BENCHMARK(BM_Fn_SchemaEvolution);
+BENCHMARK(BM_Fn_DataProvenance);
+BENCHMARK(BM_Fn_QueryDrivenDiscovery);
+BENCHMARK(BM_Fn_HeterogeneousQuerying);
+
+BENCHMARK_MAIN();

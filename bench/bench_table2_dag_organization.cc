@@ -1,0 +1,182 @@
+// Reproduces survey Table 2: the four DAG-based dataset-organization
+// approaches side by side —
+//
+//   - KAYAK pipeline DAG: primitives in execution order
+//   - KAYAK task-dependency DAG: atomic tasks + parallelizable levels
+//   - Nargesian et al. organization: attribute-set DAG with Markov
+//     navigation (counter: navigation success probability vs the flat
+//     baseline — the paper's quality objective)
+//   - Juneau variable-dependency graphs: provenance similarity of
+//     notebook-derived tables
+//
+// Expected shape: organization-based navigation beats the 1/N flat baseline
+// by a widening factor as the lake grows; KAYAK's level extraction exposes
+// parallelism proportional to pipeline width.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "discovery/corpus.h"
+#include "organize/kayak.h"
+#include "organize/org_dag.h"
+#include "provenance/variable_dep.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace lakekit;  // NOLINT
+
+// --------------------------------------------------------------- KAYAK
+
+void BM_Dag_KayakPipeline(benchmark::State& state) {
+  const int num_steps = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    organize::KayakPipeline pipeline;
+    size_t prim = pipeline.DefinePrimitive(
+        "prep", {{"profile", organize::TaskFn()},
+                 {"index", organize::TaskFn()},
+                 {"register", organize::TaskFn()}});
+    std::vector<size_t> steps;
+    for (int i = 0; i < num_steps; ++i) {
+      steps.push_back(*pipeline.AddStep(prim));
+      if (i > 0) (void)pipeline.AddStepDependency(steps[i - 1], steps[i]);
+    }
+    benchmark::DoNotOptimize(pipeline.Run());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_Dag_KayakTaskLevels(benchmark::State& state) {
+  // A wide fan-out pipeline: one root primitive, W independent workers, one
+  // sink — the parallelism-extraction case of the task-dependency DAG.
+  const int width = static_cast<int>(state.range(0));
+  double parallel_width = 0;
+  for (auto _ : state) {
+    organize::TaskDag dag;
+    size_t root = dag.AddTask("ingest", nullptr);
+    size_t sink = dag.AddTask("publish", nullptr);
+    for (int i = 0; i < width; ++i) {
+      size_t worker = dag.AddTask("work" + std::to_string(i), nullptr);
+      (void)dag.AddDependency(root, worker);
+      (void)dag.AddDependency(worker, sink);
+    }
+    auto levels = dag.ParallelLevels();
+    benchmark::DoNotOptimize(levels);
+    parallel_width = static_cast<double>((*levels)[1].size());
+  }
+  state.counters["parallel_width"] = parallel_width;
+}
+
+// --------------------------------------------------- Nargesian org DAG
+
+struct OrgFixture {
+  workload::UnionableLake lake;
+  std::unique_ptr<discovery::Corpus> corpus;
+  std::unique_ptr<organize::Organization> org;
+};
+
+OrgFixture& GetOrgFixture(int num_groups) {
+  static std::map<int, std::unique_ptr<OrgFixture>> cache;
+  auto it = cache.find(num_groups);
+  if (it != cache.end()) return *it->second;
+  auto f = std::make_unique<OrgFixture>();
+  workload::UnionableLakeOptions options;
+  options.num_groups = static_cast<size_t>(num_groups);
+  options.tables_per_group = 4;
+  options.rows_per_table = 60;
+  f->lake = workload::MakeUnionableLake(options);
+  f->corpus = std::make_unique<discovery::Corpus>();
+  for (const auto& [domain, terms] : f->lake.domains) {
+    f->corpus->RegisterSemanticDomain(domain, terms);
+  }
+  for (const auto& t : f->lake.tables) (void)f->corpus->AddTable(t);
+  auto org = organize::Organization::Build(f->corpus.get());
+  f->org = std::make_unique<organize::Organization>(std::move(*org));
+  OrgFixture& ref = *f;
+  cache[num_groups] = std::move(f);
+  return ref;
+}
+
+void BM_Dag_OrganizationBuild(benchmark::State& state) {
+  OrgFixture& f = GetOrgFixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto org = organize::Organization::Build(f.corpus.get());
+    benchmark::DoNotOptimize(org);
+  }
+  state.counters["tables"] = static_cast<double>(f.corpus->num_tables());
+}
+
+void BM_Dag_OrganizationNavigation(benchmark::State& state) {
+  OrgFixture& f = GetOrgFixture(static_cast<int>(state.range(0)));
+  size_t correct = 0;
+  size_t total = 0;
+  double discovery_prob_sum = 0;
+  for (auto _ : state) {
+    for (size_t t = 0; t < f.lake.tables.size(); ++t) {
+      size_t group = f.lake.group_of[t];
+      std::string domain = "domain_g" + std::to_string(group) + "c0";
+      std::vector<std::string> query = f.lake.domains.at(domain);
+      query.resize(6);
+      auto reached = f.org->Navigate(query);
+      benchmark::DoNotOptimize(reached);
+      if (reached.ok() && f.lake.group_of[*reached] == group) ++correct;
+      discovery_prob_sum += f.org->DiscoveryProbability(query, t);
+      ++total;
+    }
+  }
+  state.counters["nav_success"] =
+      static_cast<double>(correct) / static_cast<double>(total);
+  state.counters["mean_discovery_prob"] =
+      discovery_prob_sum / static_cast<double>(total);
+  state.counters["flat_baseline_prob"] = f.org->FlatBaselineProbability();
+  state.counters["mean_depth"] = f.org->MeanDepth();
+}
+
+// ------------------------------------------------------- Juneau graphs
+
+void BM_Dag_VariableDependency(benchmark::State& state) {
+  const int num_steps = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    provenance::VariableDependencyGraph g;
+    for (int i = 0; i < num_steps; ++i) {
+      g.AddStep({"v" + std::to_string(i)}, "fn" + std::to_string(i % 5),
+                "v" + std::to_string(i + 1));
+    }
+    auto affecting = g.AffectingVariables("v" + std::to_string(num_steps));
+    benchmark::DoNotOptimize(affecting);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_Dag_ProvenanceSimilarity(benchmark::State& state) {
+  const int num_steps = static_cast<int>(state.range(0));
+  provenance::VariableDependencyGraph a;
+  provenance::VariableDependencyGraph b;
+  for (int i = 0; i < num_steps; ++i) {
+    a.AddStep({"a" + std::to_string(i)}, "fn" + std::to_string(i % 7),
+              "a" + std::to_string(i + 1));
+    b.AddStep({"b" + std::to_string(i)}, "fn" + std::to_string(i % 5),
+              "b" + std::to_string(i + 1));
+  }
+  std::string va = "a" + std::to_string(num_steps);
+  std::string vb = "b" + std::to_string(num_steps);
+  double sim = 0;
+  for (auto _ : state) {
+    sim = provenance::VariableDependencyGraph::ProvenanceSimilarity(a, va, b,
+                                                                    vb);
+    benchmark::DoNotOptimize(sim);
+  }
+  state.counters["similarity"] = sim;
+}
+
+}  // namespace
+
+BENCHMARK(BM_Dag_KayakPipeline)->Arg(8)->Arg(32)->Arg(64);
+BENCHMARK(BM_Dag_KayakTaskLevels)->Arg(8)->Arg(32)->Arg(64);
+BENCHMARK(BM_Dag_OrganizationBuild)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_Dag_OrganizationNavigation)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_Dag_VariableDependency)->Arg(16)->Arg(64);
+BENCHMARK(BM_Dag_ProvenanceSimilarity)->Arg(16)->Arg(64);
+
+BENCHMARK_MAIN();

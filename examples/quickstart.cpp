@@ -1,0 +1,111 @@
+// Quickstart: open a data lake, ingest heterogeneous raw files, and walk the
+// three tiers of the survey's architecture — ingestion (format detection,
+// metadata extraction, cataloging), maintenance (discovery indexes,
+// dependencies), exploration (federated SQL, catalog search).
+//
+// Run:  ./examples/quickstart [lake_dir]
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/data_lake.h"
+
+using lakekit::core::DataLake;
+using lakekit::core::IngestOptions;
+
+namespace {
+
+void Fail(const lakekit::Status& s) {
+  std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = argc > 1 ? argv[1] : "/tmp/lakekit_quickstart";
+  std::filesystem::remove_all(root);
+
+  auto lake_result = DataLake::Open(root);
+  if (!lake_result.ok()) Fail(lake_result.status());
+  DataLake lake = std::move(lake_result).value();
+  std::printf("== lakekit quickstart: lake at %s\n\n", root.c_str());
+
+  // ---------------------------------------------------------- ingestion
+  IngestOptions opts;
+  opts.owner = "ada";
+  opts.project = "demo";
+
+  opts.description = "order line items from the webshop";
+  opts.tags = {"sales"};
+  auto orders = lake.IngestFile(
+      "orders", "orders.csv",
+      "order_id,customer,total\n1,ada,19.5\n2,bob,7.25\n3,ada,42.0\n"
+      "4,eve,3.5\n",
+      opts);
+  if (!orders.ok()) Fail(orders.status());
+
+  opts.description = "customer master data exported from the CRM";
+  opts.tags = {"crm"};
+  auto customers = lake.IngestFile(
+      "customers", "customers.json",
+      R"([{"customer":"ada","city":"delft"},
+          {"customer":"bob","city":"leiden"},
+          {"customer":"eve","city":"delft"}])",
+      opts);
+  if (!customers.ok()) Fail(customers.status());
+
+  opts.description = "application server log";
+  opts.tags = {"ops"};
+  auto logs = lake.IngestFile(
+      "applog", "app.log",
+      "2024-01-01 INFO served order 1 in 12 ms\n"
+      "2024-01-01 INFO served order 2 in 9 ms\n"
+      "2024-01-02 WARN slow order 3 in 480 ms\n",
+      opts);
+  if (!logs.ok()) Fail(logs.status());
+
+  std::printf("ingested %zu datasets:\n", lake.num_datasets());
+  for (const std::string& name : lake.catalog().ListDatasets()) {
+    auto entry = lake.catalog().Get(name);
+    std::printf("  %-10s format=%-5s records=%llu schema=[%s]\n",
+                entry->name.c_str(), entry->format.c_str(),
+                static_cast<unsigned long long>(entry->num_records),
+                entry->schema.c_str());
+  }
+
+  // --------------------------------------------------------- maintenance
+  if (auto s = lake.BuildDiscoveryIndexes(); !s.ok()) Fail(s);
+  auto joinable = lake.FindJoinableTables("orders", 3);
+  if (!joinable.ok()) Fail(joinable.status());
+  std::printf("\ntables joinable with 'orders':\n");
+  for (const auto& match : *joinable) {
+    std::printf("  %-10s score=%.2f\n", match.table_name.c_str(),
+                match.score);
+  }
+
+  auto fds = lake.DiscoverDependencies("customers");
+  if (fds.ok() && !fds->empty()) {
+    std::printf("\ndependencies in 'customers':\n");
+    for (const auto& fd : *fds) {
+      std::printf("  %s -> %s (confidence %.2f)\n",
+                  fd.lhs.empty() ? "?" : fd.lhs[0].c_str(), fd.rhs.c_str(),
+                  fd.confidence);
+    }
+  }
+
+  // --------------------------------------------------------- exploration
+  auto result = lake.Query(
+      "SELECT city, COUNT(*) AS orders, SUM(total) AS revenue "
+      "FROM orders JOIN customers ON orders.customer = customers.customer "
+      "GROUP BY city ORDER BY revenue DESC");
+  if (!result.ok()) Fail(result.status());
+  std::printf("\nrevenue by city (federated SQL over CSV + JSON sources):\n%s",
+              result->ToCsv().c_str());
+
+  auto hits = lake.Search("crm");
+  std::printf("\ncatalog search 'crm': %zu hit(s)", hits.size());
+  for (const auto& hit : hits) std::printf(" [%s]", hit.name.c_str());
+  std::printf("\n\nquickstart complete.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+#include "catalog/access_control.h"
+
+namespace lakekit::catalog {
+
+std::string_view PrivilegeName(Privilege p) {
+  switch (p) {
+    case Privilege::kRead:
+      return "read";
+    case Privilege::kWrite:
+      return "write";
+    case Privilege::kGrant:
+      return "grant";
+  }
+  return "unknown";
+}
+
+Status AccessControl::CreateUser(std::string_view user) {
+  if (!users_.insert(std::string(user)).second) {
+    return Status::AlreadyExists("user '" + std::string(user) + "' exists");
+  }
+  return Status::OK();
+}
+
+Status AccessControl::CreateRole(std::string_view role) {
+  auto [it, inserted] = role_grants_.try_emplace(std::string(role));
+  if (!inserted) {
+    return Status::AlreadyExists("role '" + std::string(role) + "' exists");
+  }
+  return Status::OK();
+}
+
+Status AccessControl::AssignRole(std::string_view user,
+                                 std::string_view role) {
+  if (users_.find(std::string(user)) == users_.end()) {
+    return Status::NotFound("no user '" + std::string(user) + "'");
+  }
+  if (role_grants_.find(std::string(role)) == role_grants_.end()) {
+    return Status::NotFound("no role '" + std::string(role) + "'");
+  }
+  user_roles_[std::string(user)].insert(std::string(role));
+  return Status::OK();
+}
+
+Status AccessControl::Grant(std::string_view role, std::string_view dataset,
+                            Privilege privilege) {
+  auto it = role_grants_.find(std::string(role));
+  if (it == role_grants_.end()) {
+    return Status::NotFound("no role '" + std::string(role) + "'");
+  }
+  it->second.insert(GrantKey{std::string(dataset), privilege});
+  return Status::OK();
+}
+
+Status AccessControl::Revoke(std::string_view role, std::string_view dataset,
+                             Privilege privilege) {
+  auto it = role_grants_.find(std::string(role));
+  if (it == role_grants_.end()) {
+    return Status::NotFound("no role '" + std::string(role) + "'");
+  }
+  if (it->second.erase(GrantKey{std::string(dataset), privilege}) == 0) {
+    return Status::NotFound("grant not present");
+  }
+  return Status::OK();
+}
+
+bool AccessControl::IsAllowed(std::string_view user, std::string_view dataset,
+                              Privilege privilege) const {
+  auto roles_it = user_roles_.find(std::string(user));
+  if (roles_it == user_roles_.end()) return false;
+  for (const std::string& role : roles_it->second) {
+    auto grants_it = role_grants_.find(role);
+    if (grants_it == role_grants_.end()) continue;
+    const auto& grants = grants_it->second;
+    if (grants.count(GrantKey{std::string(dataset), privilege}) > 0 ||
+        grants.count(GrantKey{"*", privilege}) > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool AccessControl::Check(std::string_view user, std::string_view dataset,
+                          Privilege privilege) {
+  bool allowed = IsAllowed(user, dataset, privilege);
+  audit_.push_back(AuditRecord{std::string(user), std::string(dataset),
+                               privilege, allowed, ++clock_});
+  return allowed;
+}
+
+std::map<std::string, size_t> AccessControl::UsageCounts() const {
+  std::map<std::string, size_t> out;
+  for (const AuditRecord& r : audit_) {
+    if (r.allowed) ++out[r.dataset];
+  }
+  return out;
+}
+
+std::vector<AuditRecord> AccessControl::AccessesBy(
+    std::string_view user) const {
+  std::vector<AuditRecord> out;
+  for (const AuditRecord& r : audit_) {
+    if (r.user == user) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<std::string> AccessControl::RolesOf(std::string_view user) const {
+  std::vector<std::string> out;
+  auto it = user_roles_.find(std::string(user));
+  if (it == user_roles_.end()) return out;
+  out.assign(it->second.begin(), it->second.end());
+  return out;
+}
+
+}  // namespace lakekit::catalog

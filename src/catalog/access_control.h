@@ -1,0 +1,82 @@
+#ifndef LAKEKIT_CATALOG_ACCESS_CONTROL_H_
+#define LAKEKIT_CATALOG_ACCESS_CONTROL_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace lakekit::catalog {
+
+/// Privileges on a dataset.
+enum class Privilege { kRead, kWrite, kGrant };
+
+std::string_view PrivilegeName(Privilege p);
+
+/// One audited access decision.
+struct AuditRecord {
+  std::string user;
+  std::string dataset;
+  Privilege privilege = Privilege::kRead;
+  bool allowed = false;
+  int64_t at = 0;  // logical time (insertion order)
+};
+
+/// Role-based access control over lake datasets — the governance function
+/// the survey's Sec. 3.3 describes via CoreDB (users/roles, authentication,
+/// audit) and Gartner's data-swamp critique demands. Users hold roles;
+/// roles hold dataset privileges ("*" grants lake-wide); every check is
+/// audited, which doubles as GOODS-style usage tracking: per-dataset access
+/// counts fall out of the audit log.
+class AccessControl {
+ public:
+  Status CreateUser(std::string_view user);
+  Status CreateRole(std::string_view role);
+  Status AssignRole(std::string_view user, std::string_view role);
+
+  /// Grants `privilege` on `dataset` ("*" = every dataset) to `role`.
+  Status Grant(std::string_view role, std::string_view dataset,
+               Privilege privilege);
+  Status Revoke(std::string_view role, std::string_view dataset,
+                Privilege privilege);
+
+  /// Checks and audits one access. Unknown users are denied (and audited).
+  bool Check(std::string_view user, std::string_view dataset,
+             Privilege privilege);
+
+  /// Read-only query without auditing.
+  bool IsAllowed(std::string_view user, std::string_view dataset,
+                 Privilege privilege) const;
+
+  const std::vector<AuditRecord>& audit_log() const { return audit_; }
+
+  /// Usage tracking: allowed accesses per dataset, from the audit log.
+  std::map<std::string, size_t> UsageCounts() const;
+
+  /// Accesses by one user (who queried what — CoreDB's question).
+  std::vector<AuditRecord> AccessesBy(std::string_view user) const;
+
+  std::vector<std::string> RolesOf(std::string_view user) const;
+
+ private:
+  struct GrantKey {
+    std::string dataset;
+    Privilege privilege;
+    bool operator<(const GrantKey& o) const {
+      if (dataset != o.dataset) return dataset < o.dataset;
+      return privilege < o.privilege;
+    }
+  };
+  std::set<std::string> users_;
+  std::map<std::string, std::set<GrantKey>> role_grants_;
+  std::map<std::string, std::set<std::string>> user_roles_;
+  std::vector<AuditRecord> audit_;
+  int64_t clock_ = 0;
+};
+
+}  // namespace lakekit::catalog
+
+#endif  // LAKEKIT_CATALOG_ACCESS_CONTROL_H_

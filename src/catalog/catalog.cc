@@ -1,0 +1,235 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "json/parser.h"
+#include "json/writer.h"
+
+namespace lakekit::catalog {
+
+namespace {
+
+/// Current-version key: "ds/<name>".
+std::string EntryKey(std::string_view name) {
+  return "ds/" + std::string(name);
+}
+
+/// History key: "hist/<name>/<zero-padded version>" — zero padding keeps the
+/// KV store's lexicographic order equal to numeric version order.
+std::string HistoryKey(std::string_view name, uint64_t version) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%012llu",
+                static_cast<unsigned long long>(version));
+  return "hist/" + std::string(name) + "/" + buf;
+}
+
+json::Value StringsToJson(const std::vector<std::string>& items) {
+  json::Array arr;
+  for (const std::string& s : items) arr.emplace_back(s);
+  return json::Value(std::move(arr));
+}
+
+std::vector<std::string> JsonToStrings(const json::Value* v) {
+  std::vector<std::string> out;
+  if (v == nullptr || !v->is_array()) return out;
+  for (const json::Value& item : v->as_array()) {
+    if (item.is_string()) out.push_back(item.as_string());
+  }
+  return out;
+}
+
+}  // namespace
+
+json::Value DatasetEntry::ToJson() const {
+  json::Object o;
+  o.Set("name", json::Value(name));
+  o.Set("path", json::Value(path));
+  o.Set("format", json::Value(format));
+  o.Set("size_bytes", json::Value(static_cast<int64_t>(size_bytes)));
+  o.Set("num_records", json::Value(static_cast<int64_t>(num_records)));
+  o.Set("schema", json::Value(schema));
+  o.Set("content", content);
+  o.Set("sources", StringsToJson(sources));
+  o.Set("producing_job", json::Value(producing_job));
+  o.Set("description", json::Value(description));
+  o.Set("tags", StringsToJson(tags));
+  o.Set("owner", json::Value(owner));
+  o.Set("project", json::Value(project));
+  o.Set("created_at", json::Value(created_at));
+  o.Set("updated_at", json::Value(updated_at));
+  o.Set("version", json::Value(static_cast<int64_t>(version)));
+  return json::Value(std::move(o));
+}
+
+Result<DatasetEntry> DatasetEntry::FromJson(const json::Value& v) {
+  if (!v.is_object()) {
+    return Status::Corruption("dataset entry is not a JSON object");
+  }
+  DatasetEntry e;
+  e.name = v.GetString("name");
+  if (e.name.empty()) {
+    return Status::Corruption("dataset entry missing 'name'");
+  }
+  e.path = v.GetString("path");
+  e.format = v.GetString("format");
+  e.size_bytes = static_cast<uint64_t>(v.GetInt("size_bytes"));
+  e.num_records = static_cast<uint64_t>(v.GetInt("num_records"));
+  e.schema = v.GetString("schema");
+  if (const json::Value* content = v.Get("content")) e.content = *content;
+  e.sources = JsonToStrings(v.Get("sources"));
+  e.producing_job = v.GetString("producing_job");
+  e.description = v.GetString("description");
+  e.tags = JsonToStrings(v.Get("tags"));
+  e.owner = v.GetString("owner");
+  e.project = v.GetString("project");
+  e.created_at = v.GetInt("created_at");
+  e.updated_at = v.GetInt("updated_at");
+  e.version = static_cast<uint64_t>(v.GetInt("version"));
+  return e;
+}
+
+Catalog::Catalog(std::unique_ptr<storage::KvStore> store)
+    : store_(std::move(store)) {}
+
+Result<Catalog> Catalog::Open(const std::string& dir) {
+  LAKEKIT_ASSIGN_OR_RETURN(auto store, storage::KvStore::Open(dir));
+  Catalog catalog(std::move(store));
+  // Restore the logical clock.
+  Result<std::string> clock = catalog.store_->Get("meta/clock");
+  if (clock.ok()) {
+    catalog.clock_ = std::stoll(*clock);
+  }
+  return catalog;
+}
+
+int64_t Catalog::NextTimestamp() {
+  ++clock_;
+  (void)store_->Put("meta/clock", std::to_string(clock_));
+  return clock_;
+}
+
+Status Catalog::Register(DatasetEntry entry) {
+  if (entry.name.empty()) {
+    return Status::InvalidArgument("dataset entry needs a name");
+  }
+  if (store_->Get(EntryKey(entry.name)).ok()) {
+    return Status::AlreadyExists("dataset '" + entry.name +
+                                 "' already cataloged");
+  }
+  entry.version = 1;
+  entry.created_at = NextTimestamp();
+  entry.updated_at = entry.created_at;
+  std::string payload = json::Write(entry.ToJson());
+  LAKEKIT_RETURN_IF_ERROR(store_->Put(EntryKey(entry.name), payload));
+  return store_->Put(HistoryKey(entry.name, entry.version), payload);
+}
+
+Status Catalog::Update(DatasetEntry entry) {
+  LAKEKIT_ASSIGN_OR_RETURN(DatasetEntry current, Get(entry.name));
+  entry.version = current.version + 1;
+  entry.created_at = current.created_at;
+  entry.updated_at = NextTimestamp();
+  std::string payload = json::Write(entry.ToJson());
+  LAKEKIT_RETURN_IF_ERROR(store_->Put(EntryKey(entry.name), payload));
+  return store_->Put(HistoryKey(entry.name, entry.version), payload);
+}
+
+Result<DatasetEntry> Catalog::Get(std::string_view name) const {
+  LAKEKIT_ASSIGN_OR_RETURN(std::string payload, store_->Get(EntryKey(name)));
+  LAKEKIT_ASSIGN_OR_RETURN(json::Value v, json::Parse(payload));
+  return DatasetEntry::FromJson(v);
+}
+
+Result<DatasetEntry> Catalog::GetVersion(std::string_view name,
+                                         uint64_t version) const {
+  LAKEKIT_ASSIGN_OR_RETURN(std::string payload,
+                           store_->Get(HistoryKey(name, version)));
+  LAKEKIT_ASSIGN_OR_RETURN(json::Value v, json::Parse(payload));
+  return DatasetEntry::FromJson(v);
+}
+
+Result<std::vector<DatasetEntry>> Catalog::History(
+    std::string_view name) const {
+  LAKEKIT_ASSIGN_OR_RETURN(
+      auto pairs, store_->ScanPrefix("hist/" + std::string(name) + "/"));
+  std::vector<DatasetEntry> out;
+  for (const auto& [key, payload] : pairs) {
+    LAKEKIT_ASSIGN_OR_RETURN(json::Value v, json::Parse(payload));
+    LAKEKIT_ASSIGN_OR_RETURN(DatasetEntry e, DatasetEntry::FromJson(v));
+    out.push_back(std::move(e));
+  }
+  if (out.empty()) {
+    return Status::NotFound("no history for dataset '" + std::string(name) +
+                            "'");
+  }
+  return out;
+}
+
+Status Catalog::Remove(std::string_view name) {
+  LAKEKIT_RETURN_IF_ERROR(store_->Get(EntryKey(name)).status());
+  LAKEKIT_RETURN_IF_ERROR(store_->Delete(EntryKey(name)));
+  LAKEKIT_ASSIGN_OR_RETURN(
+      auto pairs, store_->ScanPrefix("hist/" + std::string(name) + "/"));
+  for (const auto& [key, payload] : pairs) {
+    LAKEKIT_RETURN_IF_ERROR(store_->Delete(key));
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::ListDatasets() const {
+  std::vector<std::string> out;
+  Result<std::vector<std::pair<std::string, std::string>>> pairs =
+      store_->ScanPrefix("ds/");
+  if (!pairs.ok()) return out;
+  for (const auto& [key, payload] : *pairs) {
+    out.push_back(key.substr(3));
+  }
+  return out;
+}
+
+std::vector<DatasetEntry> Catalog::Search(std::string_view keyword) const {
+  std::vector<DatasetEntry> out;
+  std::string needle = ToLower(keyword);
+  Result<std::vector<std::pair<std::string, std::string>>> pairs =
+      store_->ScanPrefix("ds/");
+  if (!pairs.ok()) return out;
+  for (const auto& [key, payload] : *pairs) {
+    Result<json::Value> v = json::Parse(payload);
+    if (!v.ok()) continue;
+    Result<DatasetEntry> e = DatasetEntry::FromJson(*v);
+    if (!e.ok()) continue;
+    std::string haystack = ToLower(e->name) + " " + ToLower(e->description) +
+                           " " + ToLower(e->schema);
+    for (const std::string& tag : e->tags) haystack += " " + ToLower(tag);
+    if (haystack.find(needle) != std::string::npos) {
+      out.push_back(std::move(*e));
+    }
+  }
+  return out;
+}
+
+std::vector<DatasetEntry> Catalog::FindByTag(std::string_view tag) const {
+  std::vector<DatasetEntry> out;
+  for (const std::string& name : ListDatasets()) {
+    Result<DatasetEntry> e = Get(name);
+    if (!e.ok()) continue;
+    if (std::find(e->tags.begin(), e->tags.end(), tag) != e->tags.end()) {
+      out.push_back(std::move(*e));
+    }
+  }
+  return out;
+}
+
+std::vector<DatasetEntry> Catalog::FindByOwner(std::string_view owner) const {
+  std::vector<DatasetEntry> out;
+  for (const std::string& name : ListDatasets()) {
+    Result<DatasetEntry> e = Get(name);
+    if (!e.ok()) continue;
+    if (e->owner == owner) out.push_back(std::move(*e));
+  }
+  return out;
+}
+
+}  // namespace lakekit::catalog

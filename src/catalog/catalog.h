@@ -1,0 +1,113 @@
+#ifndef LAKEKIT_CATALOG_CATALOG_H_
+#define LAKEKIT_CATALOG_CATALOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "json/value.h"
+#include "storage/kv_store.h"
+
+namespace lakekit::catalog {
+
+/// One dataset's catalog entry, organized in GOODS' six metadata categories
+/// (survey Sec. 6.1.1): basic, content-based, provenance, user-supplied,
+/// team/project, and temporal metadata.
+struct DatasetEntry {
+  std::string name;
+
+  // --- basic metadata
+  std::string path;
+  std::string format;
+  uint64_t size_bytes = 0;
+  uint64_t num_records = 0;
+  /// Compact schema signature ("id:int64,name:string").
+  std::string schema;
+
+  // --- content-based metadata (free-form: column profiles, keywords, ...)
+  json::Value content;
+
+  // --- provenance metadata
+  std::vector<std::string> sources;
+  std::string producing_job;
+
+  // --- user-supplied metadata
+  std::string description;
+  std::vector<std::string> tags;
+
+  // --- team / project metadata
+  std::string owner;
+  std::string project;
+
+  // --- temporal metadata
+  /// Logical timestamps from the catalog's monotonic clock.
+  int64_t created_at = 0;
+  int64_t updated_at = 0;
+  uint64_t version = 0;
+
+  json::Value ToJson() const;
+  static Result<DatasetEntry> FromJson(const json::Value& v);
+};
+
+/// A persistent, versioned dataset catalog in the style of GOODS: entries
+/// live in an ordered key-value store (lakekit's Bigtable stand-in); every
+/// update keeps the previous version retrievable, enabling the
+/// "cluster versions of the same dataset" organization GOODS performs.
+class Catalog {
+ public:
+  /// Opens a catalog persisted under `dir`.
+  static Result<Catalog> Open(const std::string& dir);
+
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+
+  /// Registers a new dataset (version 1). AlreadyExists when present.
+  Status Register(DatasetEntry entry);
+
+  /// Updates an existing dataset: bumps the version, preserves created_at,
+  /// archives the previous version.
+  Status Update(DatasetEntry entry);
+
+  /// Current entry for `name`.
+  Result<DatasetEntry> Get(std::string_view name) const;
+
+  /// A specific archived (or current) version.
+  Result<DatasetEntry> GetVersion(std::string_view name,
+                                  uint64_t version) const;
+
+  /// All versions of a dataset, ascending.
+  Result<std::vector<DatasetEntry>> History(std::string_view name) const;
+
+  /// Removes a dataset and its history.
+  Status Remove(std::string_view name);
+
+  /// Names of all registered datasets, sorted.
+  std::vector<std::string> ListDatasets() const;
+
+  /// Entries whose name, description, schema, tags or keywords contain
+  /// `keyword` (case-insensitive).
+  std::vector<DatasetEntry> Search(std::string_view keyword) const;
+
+  /// Entries carrying `tag`.
+  std::vector<DatasetEntry> FindByTag(std::string_view tag) const;
+
+  /// Entries owned by `owner`.
+  std::vector<DatasetEntry> FindByOwner(std::string_view owner) const;
+
+  size_t num_datasets() const { return ListDatasets().size(); }
+
+ private:
+  explicit Catalog(std::unique_ptr<storage::KvStore> store);
+
+  int64_t NextTimestamp();
+
+  std::unique_ptr<storage::KvStore> store_;
+  int64_t clock_ = 0;
+};
+
+}  // namespace lakekit::catalog
+
+#endif  // LAKEKIT_CATALOG_CATALOG_H_

@@ -1,0 +1,24 @@
+#ifndef LAKEKIT_COMMON_HASH_H_
+#define LAKEKIT_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace lakekit {
+
+/// 64-bit FNV-1a hash of `data`. Stable across platforms and runs; used for
+/// MinHash, LSH bucketing, and deterministic embeddings.
+uint64_t Fnv1a64(std::string_view data);
+
+/// SplitMix64 finalizer: a cheap, high-quality 64-bit mixer. Useful to derive
+/// independent hash families: Mix64(seed ^ base_hash).
+uint64_t Mix64(uint64_t x);
+
+/// Combines two 64-bit hashes (order dependent).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return Mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace lakekit
+
+#endif  // LAKEKIT_COMMON_HASH_H_

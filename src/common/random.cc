@@ -1,0 +1,89 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace lakekit {
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  // SplitMix64 expansion of the seed into the xoshiro state.
+  uint64_t s = seed;
+  for (auto& slot : state_) {
+    s += 0x9e3779b97f4a7c15ULL;
+    slot = Mix64(s);
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Below(uint64_t bound) {
+  // Lemire's nearly-divisionless bounded generation (simplified).
+  if (bound == 0) return 0;
+  return Next() % bound;
+}
+
+int64_t Rng::Between(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextGaussian() {
+  if (has_gaussian_) {
+    has_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u;
+  double v;
+  double s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double mul = std::sqrt(-2.0 * std::log(s) / s);
+  spare_gaussian_ = v * mul;
+  has_gaussian_ = true;
+  return u * mul;
+}
+
+uint64_t Rng::NextZipf(uint64_t n, double s) {
+  if (n <= 1) return 0;
+  if (s <= 0.0) return Below(n);
+  // Inverse transform on the (approximate) continuous Zipf CDF. Using n+1
+  // in the upper bound makes x range over [1, n+1), so every rank in
+  // [0, n) — including the rarest — has positive mass.
+  const double h = std::pow(static_cast<double>(n + 1), 1.0 - s);
+  const double u = NextDouble();
+  double x = std::pow(u * (h - 1.0) + 1.0, 1.0 / (1.0 - s));
+  uint64_t rank = static_cast<uint64_t>(x) - 1;
+  return rank >= n ? n - 1 : rank;
+}
+
+std::string Rng::NextWord(size_t length) {
+  std::string out;
+  out.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    out.push_back(static_cast<char>('a' + Below(26)));
+  }
+  return out;
+}
+
+}  // namespace lakekit

@@ -1,0 +1,57 @@
+#ifndef LAKEKIT_COMMON_RANDOM_H_
+#define LAKEKIT_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lakekit {
+
+/// Deterministic pseudo-random generator (xoshiro256** core, SplitMix64
+/// seeded). All lakekit workload generators and randomized algorithms take a
+/// seed so experiments are reproducible run-to-run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Below(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Between(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Zipf-distributed rank in [0, n) with exponent `s` (s=0 is uniform).
+  /// Uses inverse-CDF over precomputation-free rejection; adequate for
+  /// workload generation.
+  uint64_t NextZipf(uint64_t n, double s);
+
+  /// Random lowercase ASCII identifier of `length` characters.
+  std::string NextWord(size_t length);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = Below(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+  bool has_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace lakekit
+
+#endif  // LAKEKIT_COMMON_RANDOM_H_

@@ -1,0 +1,81 @@
+#ifndef LAKEKIT_COMMON_RESULT_H_
+#define LAKEKIT_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace lakekit {
+
+/// The result of an operation that can fail and otherwise yields a `T`.
+///
+/// A `Result<T>` holds either an OK status plus a value, or a non-OK status.
+/// Typical use:
+///
+///   Result<Table> r = ReadCsv(path);
+///   if (!r.ok()) return r.status();
+///   Table t = std::move(r).value();
+///
+/// or with the macro:
+///
+///   LAKEKIT_ASSIGN_OR_RETURN(Table t, ReadCsv(path));
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result. Intentionally implicit so functions can
+  /// `return value;`.
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+
+  /// Constructs a failed result from a non-OK status. Intentionally implicit
+  /// so functions can `return Status::NotFound(...)`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this result is an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace lakekit
+
+#define LAKEKIT_CONCAT_IMPL_(a, b) a##b
+#define LAKEKIT_CONCAT_(a, b) LAKEKIT_CONCAT_IMPL_(a, b)
+
+/// Evaluates `expr` (a Result<T>), propagating the error or binding the value.
+///
+///   LAKEKIT_ASSIGN_OR_RETURN(auto table, ReadCsv(path));
+#define LAKEKIT_ASSIGN_OR_RETURN(decl, expr)                       \
+  auto LAKEKIT_CONCAT_(_lakekit_result_, __LINE__) = (expr);       \
+  if (!LAKEKIT_CONCAT_(_lakekit_result_, __LINE__).ok())           \
+    return LAKEKIT_CONCAT_(_lakekit_result_, __LINE__).status();   \
+  decl = std::move(LAKEKIT_CONCAT_(_lakekit_result_, __LINE__)).value()
+
+#endif  // LAKEKIT_COMMON_RESULT_H_

@@ -1,0 +1,112 @@
+#ifndef LAKEKIT_COMMON_STATUS_H_
+#define LAKEKIT_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace lakekit {
+
+/// Error category for a failed operation.
+///
+/// lakekit does not throw exceptions across API boundaries; fallible
+/// operations return `Status` (or `Result<T>`, see result.h) in the style of
+/// RocksDB and Apache Arrow.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kIoError,
+  kCorruption,
+  kNotSupported,
+  kFailedPrecondition,
+  kAborted,       // e.g. optimistic-concurrency conflicts
+  kOutOfRange,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "NotFound", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// The result of an operation that can fail but returns no value.
+///
+/// A `Status` is cheap to copy in the OK case (no allocation) and carries a
+/// code plus a context message otherwise. Typical use:
+///
+///   Status s = store.Put(key, value);
+///   if (!s.ok()) return s;   // or LAKEKIT_RETURN_IF_ERROR(store.Put(...));
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory helpers, one per StatusCode.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace lakekit
+
+/// Propagates a non-OK Status to the caller.
+#define LAKEKIT_RETURN_IF_ERROR(expr)                 \
+  do {                                                \
+    ::lakekit::Status _lakekit_status = (expr);       \
+    if (!_lakekit_status.ok()) return _lakekit_status; \
+  } while (0)
+
+#endif  // LAKEKIT_COMMON_STATUS_H_

@@ -1,0 +1,136 @@
+#ifndef LAKEKIT_CORE_DATA_LAKE_H_
+#define LAKEKIT_CORE_DATA_LAKE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "discovery/aurum.h"
+#include "discovery/corpus.h"
+#include "discovery/josie.h"
+#include "discovery/union_search.h"
+#include "enrich/rfd.h"
+#include "ingest/profiler.h"
+#include "integrate/full_disjunction.h"
+#include "provenance/provenance.h"
+#include "quality/denial_constraints.h"
+#include "query/federation.h"
+#include "storage/polystore.h"
+
+namespace lakekit::core {
+
+/// Options for one ingestion.
+struct IngestOptions {
+  std::string owner;
+  std::string project;
+  std::string description;
+  std::vector<std::string> tags;
+};
+
+/// The lakekit facade: the survey's three-tier architecture (Fig. 2) in one
+/// object.
+///
+/// *Ingestion tier*: `IngestFile`/`IngestTable` detect the format, route the
+/// payload into the polystore, extract structural metadata and content
+/// profiles (GEMMS/Skluma), and register a GOODS-style catalog entry.
+///
+/// *Maintenance tier*: `BuildDiscoveryIndexes` sketches every tabular
+/// dataset into a shared corpus and builds the Aurum EKG and JOSIE inverted
+/// index; `FindJoinableTables`/`FindUnionableTables`, `IntegrateDatasets`,
+/// `DiscoverDependencies`, `FindDirtyTuples` and the provenance graph cover
+/// the seven maintenance functions.
+///
+/// *Exploration tier*: `Query` runs federated SQL with predicate pushdown;
+/// `Search` is catalog keyword search.
+class DataLake {
+ public:
+  /// Opens (or creates) a lake rooted at `root_dir`.
+  static Result<DataLake> Open(const std::string& root_dir);
+
+  DataLake(DataLake&&) = default;
+
+  // ------------------------------------------------------------ ingestion
+
+  /// Ingests a raw payload under dataset `name`. Format is detected from
+  /// the filename + content; the payload is routed per the polystore rules;
+  /// metadata is extracted and cataloged. Returns the catalog entry.
+  Result<catalog::DatasetEntry> IngestFile(std::string_view name,
+                                           std::string_view filename,
+                                           std::string_view content,
+                                           const IngestOptions& options = {});
+
+  /// Ingests an in-memory table directly into the relational store.
+  Result<catalog::DatasetEntry> IngestTable(table::Table t,
+                                            const IngestOptions& options = {});
+
+  // ---------------------------------------------------------- maintenance
+
+  /// (Re)builds the discovery corpus and indexes over every dataset that
+  /// has a tabular view. Call after a batch of ingestions.
+  Status BuildDiscoveryIndexes();
+
+  /// Top-k joinable tables for `dataset` (Aurum EKG path).
+  Result<std::vector<discovery::TableMatch>> FindJoinableTables(
+      std::string_view dataset, size_t k) const;
+
+  /// Exact top-k overlap columns for one column (JOSIE path).
+  Result<std::vector<discovery::ColumnMatch>> FindJoinableColumns(
+      std::string_view dataset, std::string_view column, size_t k) const;
+
+  /// Top-k unionable tables.
+  Result<std::vector<discovery::UnionMatch>> FindUnionableTables(
+      std::string_view dataset, size_t k) const;
+
+  /// Integrates datasets (schema matching + full disjunction) into one
+  /// table; records provenance.
+  Result<table::Table> IntegrateDatasets(
+      const std::vector<std::string>& datasets);
+
+  /// Relaxed FDs of one dataset (metadata enrichment).
+  Result<std::vector<enrich::RelaxedFd>> DiscoverDependencies(
+      std::string_view dataset) const;
+
+  /// CLAMS-style dirty-tuple ranking of one dataset (data cleaning).
+  Result<std::vector<quality::DirtyTuple>> FindDirtyTuples(
+      std::string_view dataset) const;
+
+  provenance::ProvenanceGraph& provenance() { return provenance_; }
+  catalog::Catalog& catalog() { return *catalog_; }
+  const catalog::Catalog& catalog() const { return *catalog_; }
+  storage::Polystore& polystore() { return *polystore_; }
+  const discovery::Corpus* corpus() const { return corpus_.get(); }
+
+  // ---------------------------------------------------------- exploration
+
+  /// Federated SQL over registered datasets, with predicate pushdown.
+  Result<table::Table> Query(std::string_view sql);
+
+  /// Catalog keyword search.
+  std::vector<catalog::DatasetEntry> Search(std::string_view keyword) const;
+
+  size_t num_datasets() const { return catalog_->ListDatasets().size(); }
+
+ private:
+  DataLake() = default;
+
+  Result<catalog::DatasetEntry> CatalogDataset(
+      std::string_view name, const ingest::FileProfile& profile,
+      const IngestOptions& options);
+
+  std::unique_ptr<storage::Polystore> polystore_;
+  std::unique_ptr<catalog::Catalog> catalog_;
+  std::unique_ptr<discovery::Corpus> corpus_;
+  std::unique_ptr<discovery::AurumFinder> aurum_;
+  std::unique_ptr<discovery::JosieFinder> josie_;
+  std::unique_ptr<discovery::UnionSearch> union_search_;
+  std::unique_ptr<query::FederatedEngine> federation_;
+  provenance::ProvenanceGraph provenance_;
+};
+
+}  // namespace lakekit::core
+
+#endif  // LAKEKIT_CORE_DATA_LAKE_H_

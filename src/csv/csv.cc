@@ -1,0 +1,140 @@
+#include "csv/csv.h"
+
+#include <string>
+
+namespace lakekit::csv {
+
+namespace {
+
+/// Splits raw CSV text into records of fields, honoring quoting.
+Result<std::vector<std::vector<std::string>>> Tokenize(std::string_view text,
+                                                       char delim) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> current;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+  size_t i = 0;
+
+  auto end_field = [&] {
+    current.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&] {
+    end_field();
+    records.push_back(std::move(current));
+    current.clear();
+  };
+
+  while (i < text.size()) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        field.push_back(c);
+        ++i;
+      }
+      continue;
+    }
+    if (c == '"' && field.empty() && !field_started) {
+      in_quotes = true;
+      field_started = true;
+      ++i;
+    } else if (c == delim) {
+      end_field();
+      ++i;
+    } else if (c == '\r') {
+      ++i;  // Tolerate CRLF.
+    } else if (c == '\n') {
+      end_record();
+      ++i;
+    } else {
+      field.push_back(c);
+      field_started = true;
+      ++i;
+    }
+  }
+  if (in_quotes) {
+    return Status::Corruption("CSV: unterminated quoted field");
+  }
+  // Flush a final record without trailing newline.
+  if (field_started || !field.empty() || !current.empty()) {
+    end_record();
+  }
+  return records;
+}
+
+}  // namespace
+
+Result<CsvData> Parse(std::string_view text, const ParseOptions& options) {
+  LAKEKIT_ASSIGN_OR_RETURN(auto records, Tokenize(text, options.delimiter));
+  CsvData out;
+  if (records.empty()) {
+    if (options.has_header) {
+      return Status::Corruption("CSV: empty input but header expected");
+    }
+    return out;
+  }
+  size_t start = 0;
+  if (options.has_header) {
+    out.header = std::move(records[0]);
+    start = 1;
+  } else {
+    out.header.reserve(records[0].size());
+    for (size_t c = 0; c < records[0].size(); ++c) {
+      out.header.push_back("col" + std::to_string(c));
+    }
+  }
+  for (size_t r = start; r < records.size(); ++r) {
+    if (records[r].size() != out.header.size()) {
+      return Status::Corruption(
+          "CSV: record " + std::to_string(r) + " has " +
+          std::to_string(records[r].size()) + " fields, expected " +
+          std::to_string(out.header.size()));
+    }
+    out.records.push_back(std::move(records[r]));
+  }
+  return out;
+}
+
+std::string QuoteField(std::string_view field, char delimiter) {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == delimiter || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string Write(const CsvData& data, char delimiter) {
+  std::string out;
+  auto write_record = [&](const std::vector<std::string>& rec) {
+    for (size_t i = 0; i < rec.size(); ++i) {
+      if (i > 0) out.push_back(delimiter);
+      out += QuoteField(rec[i], delimiter);
+    }
+    out.push_back('\n');
+  };
+  write_record(data.header);
+  for (const auto& rec : data.records) write_record(rec);
+  return out;
+}
+
+}  // namespace lakekit::csv

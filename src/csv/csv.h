@@ -1,0 +1,39 @@
+#ifndef LAKEKIT_CSV_CSV_H_
+#define LAKEKIT_CSV_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace lakekit::csv {
+
+/// Options for parsing CSV text.
+struct ParseOptions {
+  char delimiter = ',';
+  /// When true the first record is treated as the header row.
+  bool has_header = true;
+};
+
+/// A parsed CSV file: a header (possibly synthesized as col0..colN when the
+/// file has none) and string-valued records.
+struct CsvData {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> records;
+};
+
+/// Parses RFC-4180-style CSV: quoted fields may contain delimiters, newlines
+/// and doubled quotes. Records with a field count different from the header
+/// are an error (ragged files are how data swamps start).
+Result<CsvData> Parse(std::string_view text, const ParseOptions& options = {});
+
+/// Serializes records to CSV, quoting fields that require it.
+std::string Write(const CsvData& data, char delimiter = ',');
+
+/// Quotes a single field if it contains the delimiter, quotes or newlines.
+std::string QuoteField(std::string_view field, char delimiter = ',');
+
+}  // namespace lakekit::csv
+
+#endif  // LAKEKIT_CSV_CSV_H_

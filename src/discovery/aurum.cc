@@ -1,0 +1,181 @@
+#include "discovery/aurum.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace lakekit::discovery {
+
+using metamodel::Ekg;
+using metamodel::Relation;
+
+AurumFinder::AurumFinder(const Corpus* corpus, AurumOptions options)
+    : corpus_(corpus), options_(options) {}
+
+Status AurumFinder::Build() {
+  if (options_.lsh_bands * options_.lsh_rows !=
+      corpus_->options().minhash_size) {
+    return Status::InvalidArgument(
+        "lsh_bands * lsh_rows must equal the corpus MinHash size");
+  }
+  lsh_ = std::make_unique<text::LshIndex>(options_.lsh_bands,
+                                          options_.lsh_rows);
+  const auto& sketches = corpus_->sketches();
+
+  // EKG nodes + table hyperedges.
+  ekg_node_of_.clear();
+  ekg_node_of_.reserve(sketches.size());
+  std::unordered_map<uint32_t, std::vector<Ekg::NodeId>> table_nodes;
+  for (const ColumnSketch& s : sketches) {
+    Ekg::NodeId node = ekg_.AddNode(s.table_name, s.column_name);
+    ekg_node_of_.push_back(node);
+    table_nodes[s.id.table_idx].push_back(node);
+  }
+  for (auto& [table_idx, nodes] : table_nodes) {
+    ekg_.AddHyperedge("table:" + corpus_->table(table_idx).name(),
+                      std::move(nodes));
+  }
+
+  // Content edges: insert signatures into the LSH; for every candidate
+  // collision, verify with the MinHash Jaccard estimate.
+  for (size_t i = 0; i < sketches.size(); ++i) {
+    const ColumnSketch& s = sketches[i];
+    // Query before insert: each pair is examined exactly once.
+    for (uint64_t packed : lsh_->Query(s.minhash)) {
+      ColumnId other_id = ColumnId::FromPacked(packed);
+      if (other_id.table_idx == s.id.table_idx) continue;
+      const ColumnSketch& other = corpus_->sketch(other_id);
+      double estimate = s.minhash.EstimateJaccard(other.minhash);
+      if (estimate >= options_.content_edge_threshold) {
+        LAKEKIT_RETURN_IF_ERROR(
+            ekg_.AddEdge(ekg_node_of_[i],
+                         *ekg_.FindNode(other.table_name, other.column_name),
+                         Relation::kContentSimilar, estimate));
+      }
+    }
+    lsh_->Insert(s.id.Packed(), s.minhash);
+  }
+
+  // Schema edges: TF-IDF cosine over attribute-name tokens. The token
+  // vocabulary of column names is small, so all-pairs here is cheap relative
+  // to content verification.
+  text::TfIdfVectorizer vectorizer;
+  std::vector<text::SparseVector> name_vectors;
+  name_vectors.reserve(sketches.size());
+  for (const ColumnSketch& s : sketches) {
+    vectorizer.AddDocument(s.name_tokens);
+  }
+  for (size_t i = 0; i < sketches.size(); ++i) {
+    name_vectors.push_back(vectorizer.Vectorize(i));
+  }
+  for (size_t i = 0; i < sketches.size(); ++i) {
+    for (size_t j = i + 1; j < sketches.size(); ++j) {
+      if (sketches[i].id.table_idx == sketches[j].id.table_idx) continue;
+      double cos = text::CosineSimilarity(name_vectors[i], name_vectors[j]);
+      if (cos >= options_.schema_edge_threshold) {
+        LAKEKIT_RETURN_IF_ERROR(ekg_.AddEdge(ekg_node_of_[i], ekg_node_of_[j],
+                                             Relation::kSchemaSimilar, cos));
+      }
+    }
+  }
+
+  // PK-FK inference: approximate keys (high uniqueness) attract columns
+  // highly contained in them.
+  pkfk_pairs_.clear();
+  for (size_t i = 0; i < sketches.size(); ++i) {
+    const ColumnSketch& pk = sketches[i];
+    if (pk.profile.uniqueness() < options_.pkfk_uniqueness_threshold ||
+        pk.value_set.empty()) {
+      continue;
+    }
+    // Only check LSH/content candidates plus exact containment verify.
+    for (uint64_t packed : lsh_->Query(pk.minhash)) {
+      ColumnId fk_id = ColumnId::FromPacked(packed);
+      if (fk_id == pk.id || fk_id.table_idx == pk.id.table_idx) continue;
+      const ColumnSketch& fk = corpus_->sketch(fk_id);
+      if (ExactContainment(fk, pk) >= options_.pkfk_containment_threshold) {
+        pkfk_pairs_.emplace_back(fk_id, pk.id);
+        LAKEKIT_RETURN_IF_ERROR(
+            ekg_.AddEdge(*ekg_.FindNode(fk.table_name, fk.column_name),
+                         ekg_node_of_[i], Relation::kPkFk,
+                         ExactContainment(fk, pk)));
+      }
+    }
+  }
+  built_ = true;
+  return Status::OK();
+}
+
+namespace {
+
+/// Translates EKG neighbor lists back to corpus ColumnMatches.
+std::vector<ColumnMatch> ToMatches(
+    const Corpus& corpus, const Ekg& ekg,
+    const std::vector<std::pair<Ekg::NodeId, double>>& neighbors) {
+  std::vector<ColumnMatch> out;
+  out.reserve(neighbors.size());
+  for (const auto& [node, weight] : neighbors) {
+    Result<Ekg::Node> n = ekg.GetNode(node);
+    if (!n.ok()) continue;
+    Result<ColumnId> id = corpus.FindColumn(n->table, n->column);
+    if (!id.ok()) continue;
+    out.push_back(ColumnMatch{*id, weight});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<ColumnMatch> AurumFinder::TopKJoinableColumns(ColumnId query,
+                                                          size_t k) const {
+  const ColumnSketch& q = corpus_->sketch(query);
+  auto node = ekg_.FindNode(q.table_name, q.column_name);
+  if (!node) return {};
+  std::vector<ColumnMatch> matches = ToMatches(
+      *corpus_, ekg_, ekg_.Neighbors(*node, Relation::kContentSimilar));
+  SortAndTruncate(&matches, k);
+  return matches;
+}
+
+std::vector<TableMatch> AurumFinder::TopKJoinableTables(size_t table_idx,
+                                                        size_t k) const {
+  std::vector<ColumnMatch> all;
+  for (const ColumnSketch* s : corpus_->TableSketches(table_idx)) {
+    for (const ColumnMatch& m :
+         TopKJoinableColumns(s->id, corpus_->num_columns())) {
+      all.push_back(m);
+    }
+  }
+  return AggregateToTables(*corpus_, all, k);
+}
+
+std::vector<ColumnMatch> AurumFinder::SchemaSimilarColumns(ColumnId query,
+                                                           size_t k) const {
+  const ColumnSketch& q = corpus_->sketch(query);
+  auto node = ekg_.FindNode(q.table_name, q.column_name);
+  if (!node) return {};
+  std::vector<ColumnMatch> matches = ToMatches(
+      *corpus_, ekg_, ekg_.Neighbors(*node, Relation::kSchemaSimilar));
+  SortAndTruncate(&matches, k);
+  return matches;
+}
+
+std::vector<ColumnId> AurumFinder::DiscoveryPath(ColumnId from, ColumnId to,
+                                                 size_t max_hops) const {
+  const ColumnSketch& f = corpus_->sketch(from);
+  const ColumnSketch& t = corpus_->sketch(to);
+  auto from_node = ekg_.FindNode(f.table_name, f.column_name);
+  auto to_node = ekg_.FindNode(t.table_name, t.column_name);
+  if (!from_node || !to_node) return {};
+  std::vector<ColumnId> out;
+  for (Ekg::NodeId node :
+       ekg_.FindPath(*from_node, *to_node, Relation::kContentSimilar,
+                     max_hops)) {
+    Result<Ekg::Node> n = ekg_.GetNode(node);
+    if (!n.ok()) continue;
+    Result<ColumnId> id = corpus_->FindColumn(n->table, n->column);
+    if (id.ok()) out.push_back(*id);
+  }
+  return out;
+}
+
+}  // namespace lakekit::discovery

@@ -1,0 +1,82 @@
+#ifndef LAKEKIT_DISCOVERY_AURUM_H_
+#define LAKEKIT_DISCOVERY_AURUM_H_
+
+#include <memory>
+#include <vector>
+
+#include "discovery/common.h"
+#include "metamodel/ekg.h"
+#include "text/lsh.h"
+#include "text/tfidf.h"
+
+namespace lakekit::discovery {
+
+/// Tuning for the Aurum pipeline.
+struct AurumOptions {
+  /// LSH banding over the corpus MinHash signatures; bands*rows must equal
+  /// the corpus minhash size.
+  size_t lsh_bands = 32;
+  size_t lsh_rows = 4;
+  /// Minimum estimated Jaccard for a content-similarity EKG edge.
+  double content_edge_threshold = 0.3;
+  /// Minimum attribute-name TF-IDF cosine for a schema-similarity edge.
+  double schema_edge_threshold = 0.6;
+  /// PK-FK inference: FK column must be contained in the PK candidate at
+  /// least this much.
+  double pkfk_containment_threshold = 0.8;
+  /// PK side must have uniqueness at least this high.
+  double pkfk_uniqueness_threshold = 0.95;
+};
+
+/// Aurum (survey Sec. 6.2.1, Table 3): profiles every column into MinHash
+/// signatures, indexes them in a banding LSH, and materializes an Enterprise
+/// Knowledge Graph whose weighted edges record content similarity
+/// (Jaccard via MinHash), schema similarity (TF-IDF cosine over attribute
+/// names), and inferred PK-FK relationships. Queries — joinable columns,
+/// related tables, discovery paths — run against the EKG, turning the
+/// O(n²) all-pairs comparison into LSH-candidate verification.
+class AurumFinder {
+ public:
+  AurumFinder(const Corpus* corpus, AurumOptions options = {});
+
+  /// Builds the LSH index and the EKG. Call once after the corpus is loaded.
+  Status Build();
+
+  /// Top-k joinable columns for `query` via EKG content edges.
+  std::vector<ColumnMatch> TopKJoinableColumns(ColumnId query,
+                                               size_t k) const;
+
+  /// Top-k related tables for a whole query table (best column edge per
+  /// candidate table).
+  std::vector<TableMatch> TopKJoinableTables(size_t table_idx, size_t k) const;
+
+  /// Columns schema-similar to `query` (attribute-name signal).
+  std::vector<ColumnMatch> SchemaSimilarColumns(ColumnId query,
+                                                size_t k) const;
+
+  /// Inferred PK-FK pairs (fk column, pk column).
+  const std::vector<std::pair<ColumnId, ColumnId>>& PkFkPairs() const {
+    return pkfk_pairs_;
+  }
+
+  /// A discovery path between two columns following content-similarity
+  /// edges, as the EKG primitive Aurum exposes.
+  std::vector<ColumnId> DiscoveryPath(ColumnId from, ColumnId to,
+                                      size_t max_hops = 6) const;
+
+  const metamodel::Ekg& ekg() const { return ekg_; }
+  bool built() const { return built_; }
+
+ private:
+  const Corpus* corpus_;
+  AurumOptions options_;
+  std::unique_ptr<text::LshIndex> lsh_;
+  metamodel::Ekg ekg_;
+  std::vector<metamodel::Ekg::NodeId> ekg_node_of_;  // by sketch index order
+  std::vector<std::pair<ColumnId, ColumnId>> pkfk_pairs_;
+  bool built_ = false;
+};
+
+}  // namespace lakekit::discovery
+
+#endif  // LAKEKIT_DISCOVERY_AURUM_H_

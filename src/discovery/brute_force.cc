@@ -1,0 +1,48 @@
+#include "discovery/brute_force.h"
+
+namespace lakekit::discovery {
+
+std::vector<ColumnMatch> BruteForceFinder::TopKJoinableColumns(
+    ColumnId query, size_t k) const {
+  const ColumnSketch& q = corpus_->sketch(query);
+  std::vector<ColumnMatch> matches;
+  for (const ColumnSketch& s : corpus_->sketches()) {
+    if (s.id.table_idx == query.table_idx) continue;
+    double j = ExactJaccard(q, s);
+    if (j > 0) matches.push_back(ColumnMatch{s.id, j});
+  }
+  SortAndTruncate(&matches, k);
+  return matches;
+}
+
+std::vector<ColumnMatch> BruteForceFinder::TopKOverlapColumns(
+    ColumnId query, size_t k) const {
+  const ColumnSketch& q = corpus_->sketch(query);
+  std::vector<ColumnMatch> matches;
+  for (const ColumnSketch& s : corpus_->sketches()) {
+    if (s.id.table_idx == query.table_idx) continue;
+    size_t overlap = ExactOverlap(q, s);
+    if (overlap > 0) {
+      matches.push_back(ColumnMatch{s.id, static_cast<double>(overlap)});
+    }
+  }
+  SortAndTruncate(&matches, k);
+  return matches;
+}
+
+std::vector<std::pair<ColumnId, ColumnId>> BruteForceFinder::AllJoinablePairs(
+    double jaccard_threshold) const {
+  std::vector<std::pair<ColumnId, ColumnId>> out;
+  const auto& sketches = corpus_->sketches();
+  for (size_t i = 0; i < sketches.size(); ++i) {
+    for (size_t j = i + 1; j < sketches.size(); ++j) {
+      if (sketches[i].id.table_idx == sketches[j].id.table_idx) continue;
+      if (ExactJaccard(sketches[i], sketches[j]) >= jaccard_threshold) {
+        out.emplace_back(sketches[i].id, sketches[j].id);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace lakekit::discovery

@@ -1,0 +1,37 @@
+#ifndef LAKEKIT_DISCOVERY_BRUTE_FORCE_H_
+#define LAKEKIT_DISCOVERY_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "discovery/common.h"
+
+namespace lakekit::discovery {
+
+/// The O(n²) baseline the survey's discovery systems improve on
+/// (Sec. 6.2.1): exact all-pairs value-overlap comparison with no index.
+/// Ground truth for precision/recall of the approximate methods, and the
+/// "loser" side of the Table 3 crossover benchmark.
+class BruteForceFinder {
+ public:
+  explicit BruteForceFinder(const Corpus* corpus) : corpus_(corpus) {}
+
+  /// Top-k columns (excluding same-table columns) by exact Jaccard
+  /// similarity with `query`.
+  std::vector<ColumnMatch> TopKJoinableColumns(ColumnId query, size_t k) const;
+
+  /// Top-k columns by exact intersection size (JOSIE's measure, computed
+  /// naively).
+  std::vector<ColumnMatch> TopKOverlapColumns(ColumnId query, size_t k) const;
+
+  /// All column pairs across different tables with exact Jaccard >=
+  /// threshold — the full ground-truth relation.
+  std::vector<std::pair<ColumnId, ColumnId>> AllJoinablePairs(
+      double jaccard_threshold) const;
+
+ private:
+  const Corpus* corpus_;
+};
+
+}  // namespace lakekit::discovery
+
+#endif  // LAKEKIT_DISCOVERY_BRUTE_FORCE_H_

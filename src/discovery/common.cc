@@ -1,0 +1,38 @@
+#include "discovery/common.h"
+
+#include <algorithm>
+#include <map>
+
+namespace lakekit::discovery {
+
+void SortAndTruncate(std::vector<ColumnMatch>* matches, size_t k) {
+  std::sort(matches->begin(), matches->end(),
+            [](const ColumnMatch& a, const ColumnMatch& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.column.Packed() < b.column.Packed();
+            });
+  if (matches->size() > k) matches->resize(k);
+}
+
+std::vector<TableMatch> AggregateToTables(
+    const Corpus& corpus, const std::vector<ColumnMatch>& matches, size_t k) {
+  std::map<size_t, double> best;
+  for (const ColumnMatch& m : matches) {
+    auto [it, inserted] = best.try_emplace(m.column.table_idx, m.score);
+    if (!inserted) it->second = std::max(it->second, m.score);
+  }
+  std::vector<TableMatch> out;
+  out.reserve(best.size());
+  for (const auto& [table_idx, score] : best) {
+    out.push_back(
+        TableMatch{table_idx, corpus.table(table_idx).name(), score});
+  }
+  std::sort(out.begin(), out.end(), [](const TableMatch& a, const TableMatch& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.table_idx < b.table_idx;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace lakekit::discovery

@@ -1,0 +1,39 @@
+#ifndef LAKEKIT_DISCOVERY_COMMON_H_
+#define LAKEKIT_DISCOVERY_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "discovery/corpus.h"
+
+namespace lakekit::discovery {
+
+/// One discovered related column with its relatedness score (higher is more
+/// related; meaning is method-specific — overlap count, Jaccard estimate, or
+/// negated distance).
+struct ColumnMatch {
+  ColumnId column;
+  double score = 0;
+
+  bool operator==(const ColumnMatch&) const = default;
+};
+
+/// One discovered related table with an aggregated score.
+struct TableMatch {
+  size_t table_idx = 0;
+  std::string table_name;
+  double score = 0;
+};
+
+/// Sorts matches by descending score (ties: ascending column id for
+/// determinism) and truncates to k.
+void SortAndTruncate(std::vector<ColumnMatch>* matches, size_t k);
+
+/// Aggregates column matches to table matches: each candidate table scores
+/// its best-matching column; sorted descending, truncated to k.
+std::vector<TableMatch> AggregateToTables(
+    const Corpus& corpus, const std::vector<ColumnMatch>& matches, size_t k);
+
+}  // namespace lakekit::discovery
+
+#endif  // LAKEKIT_DISCOVERY_COMMON_H_

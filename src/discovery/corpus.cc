@@ -1,0 +1,155 @@
+#include "discovery/corpus.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "text/tokenize.h"
+
+namespace lakekit::discovery {
+
+size_t ExactOverlap(const ColumnSketch& a, const ColumnSketch& b) {
+  const ColumnSketch& small = a.value_set.size() <= b.value_set.size() ? a : b;
+  const ColumnSketch& large = a.value_set.size() <= b.value_set.size() ? b : a;
+  size_t overlap = 0;
+  for (const std::string& v : small.value_set) {
+    if (large.value_set.count(v) > 0) ++overlap;
+  }
+  return overlap;
+}
+
+double ExactJaccard(const ColumnSketch& a, const ColumnSketch& b) {
+  size_t inter = ExactOverlap(a, b);
+  size_t uni = a.value_set.size() + b.value_set.size() - inter;
+  return uni == 0 ? 0.0
+                  : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double ExactContainment(const ColumnSketch& a, const ColumnSketch& b) {
+  if (a.value_set.empty()) return 0.0;
+  return static_cast<double>(ExactOverlap(a, b)) /
+         static_cast<double>(a.value_set.size());
+}
+
+std::string FormatPattern(std::string_view value) {
+  std::string out;
+  char last = 0;
+  for (char raw : value) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    char cls;
+    if (std::isdigit(c)) {
+      cls = 'd';
+    } else if (std::isalpha(c)) {
+      cls = 'a';
+    } else {
+      cls = raw;
+    }
+    // Collapse runs of the same class (only for d/a classes).
+    if ((cls == 'd' || cls == 'a') && cls == last) continue;
+    out.push_back(cls);
+    last = cls;
+  }
+  return out;
+}
+
+Corpus::Corpus(CorpusOptions options)
+    : options_(options),
+      minhasher_(options.minhash_size),
+      embedder_(options.embedding_dim) {}
+
+void Corpus::RegisterSemanticDomain(const std::string& domain,
+                                    const std::vector<std::string>& tokens) {
+  embedder_.RegisterDomain(domain, tokens);
+}
+
+Result<size_t> Corpus::AddTable(table::Table t) {
+  if (table_index_.find(t.name()) != table_index_.end()) {
+    return Status::AlreadyExists("table '" + t.name() +
+                                 "' already in corpus");
+  }
+  size_t table_idx = tables_.size();
+  table_index_[t.name()] = table_idx;
+  tables_.push_back(std::move(t));
+  const table::Table& stored = tables_.back();
+  for (size_t c = 0; c < stored.num_columns(); ++c) {
+    ColumnId id{static_cast<uint32_t>(table_idx), static_cast<uint32_t>(c)};
+    sketch_index_[id.Packed()] = sketches_.size();
+    sketches_.push_back(BuildSketch(id, stored, c));
+  }
+  return table_idx;
+}
+
+ColumnSketch Corpus::BuildSketch(ColumnId id, const table::Table& t,
+                                 size_t col) {
+  ColumnSketch sketch;
+  sketch.id = id;
+  sketch.table_name = t.name();
+  sketch.column_name = t.schema().field(col).name;
+  sketch.type = t.schema().field(col).type;
+  sketch.name_tokens = text::Tokenize(sketch.column_name);
+  sketch.profile =
+      ingest::Profiler::ProfileColumn(sketch.column_name, t.column(col));
+
+  // Distinct values + set + format histogram + numeric sample.
+  for (const table::Value& v : t.column(col)) {
+    if (v.is_null()) continue;
+    std::string s = v.ToString();
+    if (sketch.value_set.insert(s).second) {
+      sketch.distinct_values.push_back(s);
+      ++sketch.format_histogram[FormatPattern(s)];
+      if (v.is_numeric() &&
+          sketch.numeric_values.size() < options_.numeric_sample_cap) {
+        sketch.numeric_values.push_back(v.as_double());
+      }
+    }
+  }
+  sketch.minhash = minhasher_.Compute(sketch.distinct_values);
+
+  // Embed a capped prefix of the distinct values (textual columns only —
+  // embeddings of numbers carry no semantics).
+  if (sketch.type == table::DataType::kString) {
+    std::vector<std::string> tokens;
+    for (const std::string& v : sketch.distinct_values) {
+      if (tokens.size() >= options_.embedding_token_cap) break;
+      for (const std::string& tok : text::Tokenize(v)) {
+        tokens.push_back(tok);
+      }
+    }
+    sketch.embedding = embedder_.EmbedAll(tokens);
+  } else {
+    sketch.embedding.assign(options_.embedding_dim, 0.0);
+  }
+  return sketch;
+}
+
+Result<size_t> Corpus::TableIndex(std::string_view name) const {
+  auto it = table_index_.find(name);
+  if (it == table_index_.end()) {
+    return Status::NotFound("no table '" + std::string(name) +
+                            "' in corpus");
+  }
+  return it->second;
+}
+
+const ColumnSketch& Corpus::sketch(ColumnId id) const {
+  return sketches_[sketch_index_.at(id.Packed())];
+}
+
+std::vector<const ColumnSketch*> Corpus::TableSketches(
+    size_t table_idx) const {
+  std::vector<const ColumnSketch*> out;
+  for (const ColumnSketch& s : sketches_) {
+    if (s.id.table_idx == table_idx) out.push_back(&s);
+  }
+  return out;
+}
+
+Result<ColumnId> Corpus::FindColumn(std::string_view table,
+                                    std::string_view column) const {
+  LAKEKIT_ASSIGN_OR_RETURN(size_t table_idx, TableIndex(table));
+  LAKEKIT_ASSIGN_OR_RETURN(size_t col_idx,
+                           tables_[table_idx].ColumnIndex(column));
+  return ColumnId{static_cast<uint32_t>(table_idx),
+                  static_cast<uint32_t>(col_idx)};
+}
+
+}  // namespace lakekit::discovery

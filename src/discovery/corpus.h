@@ -1,0 +1,146 @@
+#ifndef LAKEKIT_DISCOVERY_CORPUS_H_
+#define LAKEKIT_DISCOVERY_CORPUS_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "ingest/profiler.h"
+#include "table/table.h"
+#include "text/embedding.h"
+#include "text/minhash.h"
+
+namespace lakekit::discovery {
+
+/// Identifies one column in a corpus: (table index, column index).
+struct ColumnId {
+  uint32_t table_idx = 0;
+  uint32_t col_idx = 0;
+
+  /// Packed form used as LSH item id.
+  uint64_t Packed() const {
+    return (static_cast<uint64_t>(table_idx) << 32) | col_idx;
+  }
+  static ColumnId FromPacked(uint64_t packed) {
+    return ColumnId{static_cast<uint32_t>(packed >> 32),
+                    static_cast<uint32_t>(packed & 0xFFFFFFFFu)};
+  }
+  bool operator==(const ColumnId&) const = default;
+  bool operator<(const ColumnId& o) const {
+    return Packed() < o.Packed();
+  }
+};
+
+/// All precomputed per-column evidence the discovery methods share: the
+/// survey's Table 3 shows every system extracting some subset of these
+/// signals, so the corpus computes them once per ingested table.
+struct ColumnSketch {
+  ColumnId id;
+  std::string table_name;
+  std::string column_name;
+  table::DataType type = table::DataType::kString;
+
+  /// Distinct non-null values rendered as strings (the "set" view used by
+  /// JOSIE's overlap search and exact Jaccard).
+  std::vector<std::string> distinct_values;
+  /// Same values as a hash set for O(1) exact intersection.
+  std::unordered_set<std::string> value_set;
+  /// MinHash signature of the value set (Aurum, D3L).
+  text::MinHashSignature minhash;
+  /// Skluma/Aurum profile: cardinality, distribution stats, key-ness.
+  ingest::ColumnProfile profile;
+  /// Lowercased attribute-name tokens (schema signal).
+  std::vector<std::string> name_tokens;
+  /// Histogram of value format patterns: each value maps to a class string
+  /// (digits->'d', letters->'a', other kept); pattern -> count (D3L's
+  /// "data value representation pattern" signal).
+  std::map<std::string, size_t> format_histogram;
+  /// Numeric values (for KS distribution similarity); empty for non-numeric.
+  std::vector<double> numeric_values;
+  /// Mean embedding of value tokens (semantic signal; D3L/PEXESO).
+  text::DenseVector embedding;
+
+  bool is_textual() const { return type == table::DataType::kString; }
+};
+
+/// Exact overlap |A ∩ B| of two columns' distinct-value sets.
+size_t ExactOverlap(const ColumnSketch& a, const ColumnSketch& b);
+
+/// Exact Jaccard |A ∩ B| / |A ∪ B|.
+double ExactJaccard(const ColumnSketch& a, const ColumnSketch& b);
+
+/// Exact containment |A ∩ B| / |A| (how much of `a` appears in `b`).
+double ExactContainment(const ColumnSketch& a, const ColumnSketch& b);
+
+/// Maps a raw value to its format-pattern class string, collapsing runs:
+/// "AB-12" -> "a-d", "2024/01/02" -> "d/d/d".
+std::string FormatPattern(std::string_view value);
+
+/// Options controlling sketch construction.
+struct CorpusOptions {
+  size_t minhash_size = 128;
+  size_t embedding_dim = 64;
+  /// Cap on numeric values retained per column for KS tests.
+  size_t numeric_sample_cap = 2048;
+  /// Cap on embedded value tokens per column.
+  size_t embedding_token_cap = 256;
+};
+
+/// A lake-wide collection of tables with per-column sketches. All discovery
+/// methods (Aurum, JOSIE, D3L, PEXESO, union search, brute force) run over
+/// one shared corpus so their comparison in the Table 3 bench is apples to
+/// apples.
+class Corpus {
+ public:
+  explicit Corpus(CorpusOptions options = {});
+
+  /// Ingests a table, computing sketches for every column. Returns the
+  /// table index. Table names must be unique.
+  Result<size_t> AddTable(table::Table t);
+
+  size_t num_tables() const { return tables_.size(); }
+  size_t num_columns() const { return sketches_.size(); }
+
+  const table::Table& table(size_t idx) const { return tables_[idx]; }
+  Result<size_t> TableIndex(std::string_view name) const;
+
+  /// Sketch of a column by id.
+  const ColumnSketch& sketch(ColumnId id) const;
+  /// All sketches, iteration order = insertion order.
+  const std::vector<ColumnSketch>& sketches() const { return sketches_; }
+  /// Sketches belonging to one table.
+  std::vector<const ColumnSketch*> TableSketches(size_t table_idx) const;
+
+  /// Column lookup by names.
+  Result<ColumnId> FindColumn(std::string_view table,
+                              std::string_view column) const;
+
+  const text::MinHasher& minhasher() const { return minhasher_; }
+  const text::EmbeddingModel& embedder() const { return embedder_; }
+  const CorpusOptions& options() const { return options_; }
+
+  /// Gives the embedder ground-truth domains (testing/benchmarks): tokens of
+  /// one semantic domain embed close together.
+  void RegisterSemanticDomain(const std::string& domain,
+                              const std::vector<std::string>& tokens);
+
+ private:
+  ColumnSketch BuildSketch(ColumnId id, const table::Table& t, size_t col);
+
+  CorpusOptions options_;
+  text::MinHasher minhasher_;
+  text::EmbeddingModel embedder_;
+  std::vector<table::Table> tables_;
+  std::vector<ColumnSketch> sketches_;
+  std::map<uint64_t, size_t> sketch_index_;  // packed id -> sketches_ index
+  std::map<std::string, size_t, std::less<>> table_index_;
+};
+
+}  // namespace lakekit::discovery
+
+#endif  // LAKEKIT_DISCOVERY_CORPUS_H_

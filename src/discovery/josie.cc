@@ -1,0 +1,116 @@
+#include "discovery/josie.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace lakekit::discovery {
+
+void JosieFinder::Build() {
+  postings_.clear();
+  for (const ColumnSketch& s : corpus_->sketches()) {
+    for (const std::string& v : s.distinct_values) {
+      postings_[v].push_back(s.id.Packed());
+    }
+  }
+  built_ = true;
+}
+
+std::vector<ColumnMatch> JosieFinder::TopKOverlapForValues(
+    const std::vector<std::string>& values, size_t k,
+    std::optional<uint32_t> exclude_table) const {
+  last_query_postings_scanned_ = 0;
+
+  // Collect the posting lists of the query's tokens, rare-first: short lists
+  // contribute few counts but the *position* in this order drives the
+  // early-termination bound below.
+  std::vector<const std::vector<uint64_t>*> lists;
+  lists.reserve(values.size());
+  for (const std::string& v : values) {
+    auto it = postings_.find(v);
+    if (it != postings_.end()) lists.push_back(&it->second);
+  }
+  std::sort(lists.begin(), lists.end(),
+            [](const auto* a, const auto* b) { return a->size() < b->size(); });
+
+  std::unordered_map<uint64_t, size_t> counts;
+  std::vector<ColumnMatch> matches;
+  size_t remaining = lists.size();
+  // kth_best tracks the current k-th overlap lower bound among candidates.
+  auto kth_best = [&]() -> size_t {
+    if (counts.size() < k) return 0;
+    // Maintain lazily: compute on demand from counts (k is small).
+    std::vector<size_t> top;
+    top.reserve(counts.size());
+    for (const auto& [id, c] : counts) top.push_back(c);
+    std::nth_element(top.begin(), top.begin() + static_cast<ptrdiff_t>(k - 1),
+                     top.end(), std::greater<size_t>());
+    return top[k - 1];
+  };
+
+  size_t check_interval = 64;  // Recompute the bound periodically, not per token.
+  size_t processed = 0;
+  for (const auto* list : lists) {
+    // Early termination: a candidate not yet seen can reach at most
+    // `remaining` more overlap. Once the k-th best candidate already has
+    // more than `remaining`, unseen candidates cannot enter the top-k AND
+    // the *relative order* of the current top-k can still change, so we only
+    // stop growing the candidate set — we must keep counting for candidates
+    // we already track. For exactness we keep scanning but skip inserting
+    // new candidates.
+    bool allow_new = counts.size() < k || kth_best() <= remaining;
+    for (uint64_t packed : *list) {
+      ++last_query_postings_scanned_;
+      if (exclude_table &&
+          ColumnId::FromPacked(packed).table_idx == *exclude_table) {
+        continue;
+      }
+      auto it = counts.find(packed);
+      if (it != counts.end()) {
+        ++it->second;
+      } else if (allow_new) {
+        counts.emplace(packed, 1);
+      }
+    }
+    --remaining;
+    if (++processed % check_interval == 0 && counts.size() > 4 * k) {
+      // Prune candidates that can no longer reach the top-k.
+      size_t bound = kth_best();
+      if (bound > remaining) {
+        for (auto it = counts.begin(); it != counts.end();) {
+          if (it->second + remaining < bound) {
+            it = counts.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+    }
+  }
+  matches.reserve(counts.size());
+  for (const auto& [packed, count] : counts) {
+    matches.push_back(ColumnMatch{ColumnId::FromPacked(packed),
+                                  static_cast<double>(count)});
+  }
+  SortAndTruncate(&matches, k);
+  return matches;
+}
+
+std::vector<ColumnMatch> JosieFinder::TopKOverlapColumns(ColumnId query,
+                                                         size_t k) const {
+  const ColumnSketch& q = corpus_->sketch(query);
+  return TopKOverlapForValues(q.distinct_values, k, query.table_idx);
+}
+
+std::vector<TableMatch> JosieFinder::TopKJoinableTables(size_t table_idx,
+                                                        size_t k) const {
+  std::vector<ColumnMatch> all;
+  for (const ColumnSketch* s : corpus_->TableSketches(table_idx)) {
+    for (const ColumnMatch& m :
+         TopKOverlapColumns(s->id, k)) {
+      all.push_back(m);
+    }
+  }
+  return AggregateToTables(*corpus_, all, k);
+}
+
+}  // namespace lakekit::discovery

@@ -1,0 +1,59 @@
+#ifndef LAKEKIT_DISCOVERY_JOSIE_H_
+#define LAKEKIT_DISCOVERY_JOSIE_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "discovery/common.h"
+
+namespace lakekit::discovery {
+
+/// JOSIE (survey Sec. 6.2.1, Table 3): exact top-k overlap set similarity
+/// search for joinable-table discovery. Columns are sets of distinct
+/// values; the index is an inverted list token -> columns containing it.
+/// A query accumulates intersection counts over the posting lists of its
+/// values, processing rare tokens first and terminating early once the
+/// remaining tokens cannot lift any unseen candidate into the top-k — the
+/// cost-based pruning that makes JOSIE robust across data distributions.
+class JosieFinder {
+ public:
+  explicit JosieFinder(const Corpus* corpus) : corpus_(corpus) {}
+
+  /// Builds the inverted index over every corpus column.
+  void Build();
+
+  /// Exact top-k columns by intersection size with the query column
+  /// (same-table columns excluded). No human threshold needed — that is
+  /// JOSIE's point versus fixed-θ overlap search.
+  std::vector<ColumnMatch> TopKOverlapColumns(ColumnId query, size_t k) const;
+
+  /// Exact top-k columns by intersection with an ad-hoc value set.
+  std::vector<ColumnMatch> TopKOverlapForValues(
+      const std::vector<std::string>& values, size_t k,
+      std::optional<uint32_t> exclude_table = {}) const;
+
+  /// Top-k joinable tables for a whole query table.
+  std::vector<TableMatch> TopKJoinableTables(size_t table_idx, size_t k) const;
+
+  /// Statistics: how many posting entries the last query scanned (for the
+  /// bench's cost accounting).
+  size_t last_query_postings_scanned() const {
+    return last_query_postings_scanned_;
+  }
+
+  bool built() const { return built_; }
+  size_t index_size() const { return postings_.size(); }
+
+ private:
+  const Corpus* corpus_;
+  /// token -> packed ColumnIds containing it.
+  std::unordered_map<std::string, std::vector<uint64_t>> postings_;
+  bool built_ = false;
+  mutable size_t last_query_postings_scanned_ = 0;
+};
+
+}  // namespace lakekit::discovery
+
+#endif  // LAKEKIT_DISCOVERY_JOSIE_H_

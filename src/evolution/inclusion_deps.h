@@ -1,0 +1,48 @@
+#ifndef LAKEKIT_EVOLUTION_INCLUSION_DEPS_H_
+#define LAKEKIT_EVOLUTION_INCLUSION_DEPS_H_
+
+#include <string>
+#include <vector>
+
+#include "table/table.h"
+
+namespace lakekit::evolution {
+
+/// A (k-ary) inclusion dependency R[X1..Xk] ⊆ S[Y1..Yk]: every value tuple
+/// of the dependent columns appears among the referenced columns
+/// (Klettke et al.'s k-ary IND detection, survey Sec. 6.6 — NoSQL schemas
+/// are "less normalized", so INDs often span multiple attributes).
+struct InclusionDependency {
+  std::string dependent_table;
+  std::vector<std::string> dependent_columns;
+  std::string referenced_table;
+  std::vector<std::string> referenced_columns;
+
+  size_t arity() const { return dependent_columns.size(); }
+  std::string ToString() const;
+};
+
+struct IndOptions {
+  /// Maximum LHS arity searched.
+  size_t max_arity = 2;
+  /// Columns participating in an IND must have at least this many distinct
+  /// values (tiny columns produce spurious inclusions).
+  size_t min_distinct = 2;
+};
+
+/// Checks one specific inclusion dependency exactly.
+bool HoldsInclusion(const table::Table& dependent,
+                    const std::vector<size_t>& dep_cols,
+                    const table::Table& referenced,
+                    const std::vector<size_t>& ref_cols);
+
+/// Discovers INDs up to `max_arity` across a set of tables. Unary INDs are
+/// found by exact value-set containment; k-ary candidates are generated
+/// only from combinations whose unary projections all hold (the standard
+/// apriori-style pruning), then verified on value tuples.
+std::vector<InclusionDependency> DiscoverInclusionDependencies(
+    const std::vector<table::Table>& tables, const IndOptions& options = {});
+
+}  // namespace lakekit::evolution
+
+#endif  // LAKEKIT_EVOLUTION_INCLUSION_DEPS_H_

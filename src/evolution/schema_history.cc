@@ -1,0 +1,151 @@
+#include "evolution/schema_history.h"
+
+#include <algorithm>
+
+namespace lakekit::evolution {
+
+const PropertySpec* EntityTypeVersion::FindProperty(
+    const std::string& name) const {
+  for (const PropertySpec& p : properties) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+std::string_view ChangeKindName(ChangeKind kind) {
+  switch (kind) {
+    case ChangeKind::kAddProperty:
+      return "add";
+    case ChangeKind::kRemoveProperty:
+      return "remove";
+    case ChangeKind::kRenameProperty:
+      return "rename";
+    case ChangeKind::kTypeChange:
+      return "type_change";
+  }
+  return "unknown";
+}
+
+std::string SchemaChange::ToString() const {
+  std::string out(ChangeKindName(kind));
+  out += " " + property;
+  if (!detail.empty()) out += " -> " + detail;
+  return out;
+}
+
+namespace {
+
+std::vector<PropertySpec> PropertiesOf(const json::Value& doc,
+                                       const std::string& ts_field) {
+  std::vector<PropertySpec> out;
+  if (!doc.is_object()) return out;
+  for (const auto& [key, value] : doc.as_object().entries()) {
+    if (key == ts_field) continue;
+    out.push_back(PropertySpec{key, std::string(value.TypeName())});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PropertySpec& a, const PropertySpec& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<EntityTypeVersion>> SchemaHistory::ExtractVersions(
+    const std::vector<json::Value>& docs, const std::string& ts_field) {
+  if (docs.empty()) {
+    return Status::InvalidArgument("no documents");
+  }
+  // Order by timestamp.
+  std::vector<const json::Value*> ordered;
+  ordered.reserve(docs.size());
+  for (const json::Value& d : docs) {
+    if (!d.is_object() || d.Get(ts_field) == nullptr) {
+      return Status::InvalidArgument("document missing timestamp field '" +
+                                     ts_field + "'");
+    }
+    ordered.push_back(&d);
+  }
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [&](const json::Value* a, const json::Value* b) {
+                     return a->GetInt(ts_field) < b->GetInt(ts_field);
+                   });
+
+  std::vector<EntityTypeVersion> versions;
+  for (const json::Value* doc : ordered) {
+    std::vector<PropertySpec> props = PropertiesOf(*doc, ts_field);
+    int64_t ts = doc->GetInt(ts_field);
+    if (!versions.empty() && versions.back().properties == props) {
+      versions.back().last_ts = ts;
+      ++versions.back().num_documents;
+      continue;
+    }
+    EntityTypeVersion v;
+    v.version = versions.size() + 1;
+    v.first_ts = ts;
+    v.last_ts = ts;
+    v.num_documents = 1;
+    v.properties = std::move(props);
+    versions.push_back(std::move(v));
+  }
+  return versions;
+}
+
+std::vector<SchemaChange> SchemaHistory::DiffVersions(
+    const EntityTypeVersion& from, const EntityTypeVersion& to) {
+  std::vector<SchemaChange> changes;
+  std::vector<PropertySpec> removed;
+  std::vector<PropertySpec> added;
+  for (const PropertySpec& p : from.properties) {
+    const PropertySpec* other = to.FindProperty(p.name);
+    if (other == nullptr) {
+      removed.push_back(p);
+    } else if (other->type != p.type) {
+      changes.push_back(
+          SchemaChange{ChangeKind::kTypeChange, p.name, other->type});
+    }
+  }
+  for (const PropertySpec& p : to.properties) {
+    if (from.FindProperty(p.name) == nullptr) added.push_back(p);
+  }
+  // Pair removed/added of the same type as renames (first-match heuristic;
+  // the paper defers ambiguous cases to user validation).
+  std::vector<bool> added_used(added.size(), false);
+  for (const PropertySpec& r : removed) {
+    bool renamed = false;
+    for (size_t i = 0; i < added.size(); ++i) {
+      if (!added_used[i] && added[i].type == r.type) {
+        added_used[i] = true;
+        changes.push_back(
+            SchemaChange{ChangeKind::kRenameProperty, r.name, added[i].name});
+        renamed = true;
+        break;
+      }
+    }
+    if (!renamed) {
+      changes.push_back(SchemaChange{ChangeKind::kRemoveProperty, r.name, ""});
+    }
+  }
+  for (size_t i = 0; i < added.size(); ++i) {
+    if (!added_used[i]) {
+      changes.push_back(
+          SchemaChange{ChangeKind::kAddProperty, added[i].name, ""});
+    }
+  }
+  return changes;
+}
+
+Result<std::vector<SchemaChange>> SchemaHistory::ExtractChanges(
+    const std::vector<json::Value>& docs, const std::string& ts_field) {
+  LAKEKIT_ASSIGN_OR_RETURN(auto versions, ExtractVersions(docs, ts_field));
+  std::vector<SchemaChange> out;
+  for (size_t i = 1; i < versions.size(); ++i) {
+    for (SchemaChange& c : DiffVersions(versions[i - 1], versions[i])) {
+      out.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+}  // namespace lakekit::evolution

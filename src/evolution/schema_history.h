@@ -1,0 +1,78 @@
+#ifndef LAKEKIT_EVOLUTION_SCHEMA_HISTORY_H_
+#define LAKEKIT_EVOLUTION_SCHEMA_HISTORY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "json/value.h"
+
+namespace lakekit::evolution {
+
+/// One property of an entity-type version.
+struct PropertySpec {
+  std::string name;
+  std::string type;  // json type name: "int", "string", ...
+
+  bool operator==(const PropertySpec&) const = default;
+};
+
+/// One structure version of an entity type with its residing time interval
+/// (Klettke et al., survey Sec. 6.6).
+struct EntityTypeVersion {
+  size_t version = 0;
+  int64_t first_ts = 0;
+  int64_t last_ts = 0;
+  size_t num_documents = 0;
+  std::vector<PropertySpec> properties;
+
+  bool SameStructure(const EntityTypeVersion& other) const {
+    return properties == other.properties;
+  }
+  const PropertySpec* FindProperty(const std::string& name) const;
+};
+
+/// A detected operation between two consecutive versions.
+enum class ChangeKind {
+  kAddProperty,
+  kRemoveProperty,
+  kRenameProperty,
+  kTypeChange,
+};
+
+std::string_view ChangeKindName(ChangeKind kind);
+
+struct SchemaChange {
+  ChangeKind kind = ChangeKind::kAddProperty;
+  std::string property;
+  /// Rename: the new name. Type change: the new type. Otherwise empty.
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+/// Reconstructs the evolution history of an entity type from timestamped
+/// JSON documents: documents are ordered by `ts_field`; every change of the
+/// property-set signature opens a new version; consecutive versions are
+/// diffed into add/remove/rename/type-change operations. Rename detection
+/// pairs a removed and an added property of identical type (the
+/// user-validated heuristic in the paper).
+class SchemaHistory {
+ public:
+  static Result<std::vector<EntityTypeVersion>> ExtractVersions(
+      const std::vector<json::Value>& docs,
+      const std::string& ts_field = "_ts");
+
+  static std::vector<SchemaChange> DiffVersions(
+      const EntityTypeVersion& from, const EntityTypeVersion& to);
+
+  /// Versions + the change list between each consecutive pair, flattened.
+  static Result<std::vector<SchemaChange>> ExtractChanges(
+      const std::vector<json::Value>& docs,
+      const std::string& ts_field = "_ts");
+};
+
+}  // namespace lakekit::evolution
+
+#endif  // LAKEKIT_EVOLUTION_SCHEMA_HISTORY_H_

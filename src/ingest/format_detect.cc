@@ -1,0 +1,117 @@
+#include "ingest/format_detect.h"
+
+#include <cctype>
+#include <string>
+
+#include "common/string_util.h"
+#include "json/parser.h"
+
+namespace lakekit::ingest {
+
+using storage::DataFormat;
+
+namespace {
+
+bool LooksBinary(std::string_view content) {
+  size_t inspect = std::min<size_t>(content.size(), 4096);
+  for (size_t i = 0; i < inspect; ++i) {
+    unsigned char c = static_cast<unsigned char>(content[i]);
+    if (c == 0) return true;
+  }
+  return false;
+}
+
+/// A CSV-looking file has a consistent comma count >= 1 across its first
+/// lines.
+bool LooksCsv(std::string_view content) {
+  size_t start = 0;
+  int expected = -1;
+  int lines = 0;
+  while (start < content.size() && lines < 10) {
+    size_t end = content.find('\n', start);
+    if (end == std::string_view::npos) end = content.size();
+    std::string_view line = content.substr(start, end - start);
+    if (!Trim(line).empty()) {
+      int commas = 0;
+      bool in_quotes = false;
+      for (char c : line) {
+        if (c == '"') in_quotes = !in_quotes;
+        if (c == ',' && !in_quotes) ++commas;
+      }
+      if (commas == 0) return false;
+      if (expected == -1) {
+        expected = commas;
+      } else if (commas != expected) {
+        return false;
+      }
+      ++lines;
+    }
+    if (end == content.size()) break;
+    start = end + 1;
+  }
+  return lines > 0;
+}
+
+/// Log files: lines that mostly start with a timestamp-ish or bracketed
+/// prefix and are not uniform CSV.
+bool LooksLog(std::string_view content) {
+  size_t start = 0;
+  int lines = 0;
+  int log_like = 0;
+  while (start < content.size() && lines < 20) {
+    size_t end = content.find('\n', start);
+    if (end == std::string_view::npos) end = content.size();
+    std::string_view line = Trim(content.substr(start, end - start));
+    if (!line.empty()) {
+      ++lines;
+      bool starts_digit = std::isdigit(static_cast<unsigned char>(line[0]));
+      bool starts_bracket = line[0] == '[';
+      if (starts_digit || starts_bracket) ++log_like;
+    }
+    if (end == content.size()) break;
+    start = end + 1;
+  }
+  return lines > 0 && log_like * 2 >= lines;
+}
+
+}  // namespace
+
+DataFormat SniffContent(std::string_view content) {
+  if (content.empty()) return DataFormat::kUnknown;
+  if (LooksBinary(content)) return DataFormat::kBinary;
+  std::string_view trimmed = Trim(content);
+  if (!trimmed.empty() && (trimmed.front() == '{' || trimmed.front() == '[')) {
+    // Validate the first document (full file, or first NDJSON line).
+    size_t eol = trimmed.find('\n');
+    std::string_view head =
+        eol == std::string_view::npos ? trimmed : Trim(trimmed.substr(0, eol));
+    if (json::Parse(trimmed).ok() || json::Parse(head).ok()) {
+      return DataFormat::kJson;
+    }
+  }
+  if (LooksCsv(content)) return DataFormat::kCsv;
+  if (LooksLog(content)) return DataFormat::kLog;
+  return DataFormat::kUnknown;
+}
+
+DataFormat DetectFormat(std::string_view filename, std::string_view content) {
+  std::string lower = ToLower(filename);
+  if (EndsWith(lower, ".csv") || EndsWith(lower, ".tsv")) {
+    return DataFormat::kCsv;
+  }
+  if (EndsWith(lower, ".json") || EndsWith(lower, ".ndjson") ||
+      EndsWith(lower, ".jsonl")) {
+    return DataFormat::kJson;
+  }
+  if (EndsWith(lower, ".log")) return DataFormat::kLog;
+  if (EndsWith(lower, ".graphml") || EndsWith(lower, ".graph")) {
+    return DataFormat::kGraph;
+  }
+  if (EndsWith(lower, ".bin") || EndsWith(lower, ".png") ||
+      EndsWith(lower, ".jpg") || EndsWith(lower, ".parquet")) {
+    return DataFormat::kBinary;
+  }
+  return SniffContent(content);
+}
+
+}  // namespace lakekit::ingest

@@ -1,0 +1,22 @@
+#ifndef LAKEKIT_INGEST_FORMAT_DETECT_H_
+#define LAKEKIT_INGEST_FORMAT_DETECT_H_
+
+#include <string_view>
+
+#include "storage/polystore.h"
+
+namespace lakekit::ingest {
+
+/// Detects the format of a raw payload, GEMMS-style (survey Sec. 5.1):
+/// first from the filename extension, then — when the extension is missing
+/// or unknown — by sniffing content (JSON bracket structure, CSV delimiter
+/// consistency, log-line timestamps, binary bytes).
+storage::DataFormat DetectFormat(std::string_view filename,
+                                 std::string_view content);
+
+/// Content-only sniffing (used when no filename is available).
+storage::DataFormat SniffContent(std::string_view content);
+
+}  // namespace lakekit::ingest
+
+#endif  // LAKEKIT_INGEST_FORMAT_DETECT_H_

@@ -1,0 +1,191 @@
+#include "ingest/profiler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "ingest/format_detect.h"
+#include "json/parser.h"
+#include "text/tokenize.h"
+
+namespace lakekit::ingest {
+
+using storage::DataFormat;
+using table::DataType;
+using table::Table;
+using table::Value;
+
+ColumnProfile Profiler::ProfileColumn(std::string name,
+                                      const std::vector<Value>& values,
+                                      size_t top_k) {
+  ColumnProfile p;
+  p.name = std::move(name);
+  p.row_count = values.size();
+
+  std::unordered_map<std::string, size_t> counts;
+  DataType widest = DataType::kNull;
+  double sum = 0;
+  double sq_sum = 0;
+  size_t numeric_count = 0;
+  size_t string_length_sum = 0;
+  size_t string_count = 0;
+  bool first_numeric = true;
+
+  for (const Value& v : values) {
+    if (v.is_null()) {
+      ++p.null_count;
+      continue;
+    }
+    DataType t = v.type();
+    if (widest == DataType::kNull) {
+      widest = t;
+    } else if (widest != t) {
+      widest = ((widest == DataType::kInt64 && t == DataType::kDouble) ||
+                (widest == DataType::kDouble && t == DataType::kInt64))
+                   ? DataType::kDouble
+                   : DataType::kString;
+    }
+    ++counts[v.ToString()];
+    if (v.is_numeric()) {
+      double d = v.as_double();
+      if (first_numeric) {
+        p.min = d;
+        p.max = d;
+        first_numeric = false;
+      } else {
+        p.min = std::min(p.min, d);
+        p.max = std::max(p.max, d);
+      }
+      sum += d;
+      sq_sum += d * d;
+      ++numeric_count;
+    }
+    if (v.is_string()) {
+      string_length_sum += v.as_string().size();
+      ++string_count;
+    }
+  }
+  p.type = widest == DataType::kNull ? DataType::kString : widest;
+  p.distinct_count = counts.size();
+  if (numeric_count > 0) {
+    p.mean = sum / static_cast<double>(numeric_count);
+    double variance =
+        sq_sum / static_cast<double>(numeric_count) - p.mean * p.mean;
+    p.stddev = variance > 0 ? std::sqrt(variance) : 0.0;
+  }
+  if (string_count > 0) {
+    p.avg_length = static_cast<double>(string_length_sum) /
+                   static_cast<double>(string_count);
+  }
+  const size_t non_null = p.row_count - p.null_count;
+  p.is_candidate_key =
+      non_null > 0 && p.null_count == 0 && p.distinct_count == non_null;
+
+  std::vector<std::pair<std::string, size_t>> freq(counts.begin(),
+                                                   counts.end());
+  std::sort(freq.begin(), freq.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (freq.size() > top_k) freq.resize(top_k);
+  p.top_values = std::move(freq);
+  return p;
+}
+
+std::vector<ColumnProfile> Profiler::ProfileTable(const Table& t,
+                                                  size_t top_k) {
+  std::vector<ColumnProfile> out;
+  out.reserve(t.num_columns());
+  for (size_t c = 0; c < t.num_columns(); ++c) {
+    out.push_back(
+        ProfileColumn(t.schema().field(c).name, t.column(c), top_k));
+  }
+  return out;
+}
+
+std::vector<std::string> Profiler::ExtractKeywords(std::string_view content,
+                                                   size_t k) {
+  static const std::unordered_set<std::string> kStopwords = {
+      "the", "a",  "an",  "of", "to",  "in",  "and", "or",  "is",  "are",
+      "for", "on", "at",  "by", "with", "from", "as", "it",  "this", "that",
+      "was", "be", "has", "had", "not", "but",  "if", "then", "else"};
+  std::unordered_map<std::string, size_t> counts;
+  for (const std::string& token : text::Tokenize(content)) {
+    if (token.size() < 3) continue;
+    if (kStopwords.count(token) > 0) continue;
+    if (LooksLikeInteger(token)) continue;
+    ++counts[token];
+  }
+  std::vector<std::pair<std::string, size_t>> freq(counts.begin(),
+                                                   counts.end());
+  std::sort(freq.begin(), freq.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::vector<std::string> keywords;
+  for (size_t i = 0; i < freq.size() && i < k; ++i) {
+    keywords.push_back(freq[i].first);
+  }
+  return keywords;
+}
+
+Result<FileProfile> Profiler::ProfileFile(std::string_view name,
+                                          std::string_view path,
+                                          std::string_view content) {
+  FileProfile profile;
+  profile.name = std::string(name);
+  profile.path = std::string(path);
+  profile.size_bytes = content.size();
+  size_t dot = name.rfind('.');
+  profile.extension =
+      dot == std::string_view::npos ? "" : std::string(name.substr(dot + 1));
+  profile.format = DetectFormat(name, content);
+
+  switch (profile.format) {
+    case DataFormat::kCsv: {
+      LAKEKIT_ASSIGN_OR_RETURN(Table t,
+                               Table::FromCsv(profile.name, content));
+      profile.num_records = t.num_rows();
+      profile.columns = ProfileTable(t);
+      break;
+    }
+    case DataFormat::kJson: {
+      // Whole-file array, single object, or NDJSON.
+      json::Array docs;
+      Result<json::Value> whole = json::Parse(content);
+      if (whole.ok() && whole->is_array()) {
+        docs = whole->as_array();
+      } else if (whole.ok() && whole->is_object()) {
+        docs.push_back(std::move(whole).value());
+      } else {
+        LAKEKIT_ASSIGN_OR_RETURN(auto lines, json::ParseLines(content));
+        docs = std::move(lines);
+      }
+      profile.num_records = docs.size();
+      LAKEKIT_ASSIGN_OR_RETURN(
+          Table t, Table::FromJson(profile.name,
+                                   json::Value(std::move(docs))));
+      profile.columns = ProfileTable(t);
+      break;
+    }
+    case DataFormat::kLog:
+    case DataFormat::kUnknown: {
+      size_t lines = 0;
+      for (char c : content) {
+        if (c == '\n') ++lines;
+      }
+      profile.num_records = lines;
+      profile.keywords = ExtractKeywords(content);
+      break;
+    }
+    case DataFormat::kBinary:
+    case DataFormat::kGraph:
+      // Context metadata only.
+      break;
+  }
+  return profile;
+}
+
+}  // namespace lakekit::ingest

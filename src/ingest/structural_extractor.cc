@@ -1,0 +1,146 @@
+#include "ingest/structural_extractor.h"
+
+#include "table/table.h"
+
+namespace lakekit::ingest {
+
+std::string StructureNode::ToString(int indent) const {
+  std::string out(static_cast<size_t>(indent) * 2, ' ');
+  out += name;
+  out += ": ";
+  out += type;
+  if (optional) out += " (optional)";
+  out += "\n";
+  for (const StructureNode& child : children) {
+    out += child.ToString(indent + 1);
+  }
+  return out;
+}
+
+const StructureNode* StructureNode::FindChild(
+    std::string_view child_name) const {
+  for (const StructureNode& child : children) {
+    if (child.name == child_name) return &child;
+  }
+  return nullptr;
+}
+
+size_t StructureNode::TreeSize() const {
+  size_t n = 1;
+  for (const StructureNode& child : children) n += child.TreeSize();
+  return n;
+}
+
+StructureNode StructuralExtractor::InferJson(const json::Value& doc,
+                                             std::string_view name) {
+  StructureNode node;
+  node.name = std::string(name);
+  switch (doc.type()) {
+    case json::Type::kNull:
+      node.type = "null";
+      break;
+    case json::Type::kBool:
+      node.type = "bool";
+      break;
+    case json::Type::kInt:
+      node.type = "int";
+      break;
+    case json::Type::kDouble:
+      node.type = "double";
+      break;
+    case json::Type::kString:
+      node.type = "string";
+      break;
+    case json::Type::kObject:
+      node.type = "object";
+      for (const auto& [key, value] : doc.as_object().entries()) {
+        node.children.push_back(InferJson(value, key));
+      }
+      break;
+    case json::Type::kArray: {
+      node.type = "array";
+      // Merge the structures of all elements into one "item" child.
+      bool first = true;
+      StructureNode item;
+      for (const json::Value& element : doc.as_array()) {
+        StructureNode current = InferJson(element, "item");
+        item = first ? current : Merge(item, current);
+        first = false;
+      }
+      if (!first) node.children.push_back(std::move(item));
+      break;
+    }
+  }
+  return node;
+}
+
+StructureNode StructuralExtractor::Merge(const StructureNode& a,
+                                         const StructureNode& b) {
+  StructureNode out;
+  out.name = a.name;
+  out.optional = a.optional || b.optional;
+  if (a.type == b.type) {
+    out.type = a.type;
+  } else if ((a.type == "int" && b.type == "double") ||
+             (a.type == "double" && b.type == "int")) {
+    out.type = "double";
+  } else if (a.type == "null") {
+    out.type = b.type;
+    out.optional = true;
+  } else if (b.type == "null") {
+    out.type = a.type;
+    out.optional = true;
+  } else {
+    out.type = "mixed";
+  }
+  // Union of children: shared children merge recursively; one-sided children
+  // become optional.
+  for (const StructureNode& child : a.children) {
+    const StructureNode* other = b.FindChild(child.name);
+    if (other != nullptr) {
+      out.children.push_back(Merge(child, *other));
+    } else {
+      StructureNode optional_child = child;
+      optional_child.optional = true;
+      out.children.push_back(std::move(optional_child));
+    }
+  }
+  for (const StructureNode& child : b.children) {
+    if (a.FindChild(child.name) == nullptr) {
+      StructureNode optional_child = child;
+      optional_child.optional = true;
+      out.children.push_back(std::move(optional_child));
+    }
+  }
+  return out;
+}
+
+Result<StructureNode> StructuralExtractor::InferJsonDocuments(
+    const std::vector<json::Value>& docs, std::string_view name) {
+  if (docs.empty()) {
+    return Status::InvalidArgument("no documents to infer structure from");
+  }
+  StructureNode merged = InferJson(docs[0], name);
+  for (size_t i = 1; i < docs.size(); ++i) {
+    merged = Merge(merged, InferJson(docs[i], name));
+  }
+  return merged;
+}
+
+Result<StructureNode> StructuralExtractor::InferCsv(std::string_view csv_text,
+                                                    std::string_view name) {
+  LAKEKIT_ASSIGN_OR_RETURN(table::Table t,
+                           table::Table::FromCsv(std::string(name), csv_text));
+  StructureNode node;
+  node.name = std::string(name);
+  node.type = "table";
+  for (const table::Field& field : t.schema().fields()) {
+    StructureNode column;
+    column.name = field.name;
+    column.type = "column:" + std::string(table::DataTypeName(field.type));
+    node.children.push_back(std::move(column));
+  }
+  return node;
+}
+
+}  // namespace lakekit::ingest

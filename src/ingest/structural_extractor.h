@@ -1,0 +1,65 @@
+#ifndef LAKEKIT_INGEST_STRUCTURAL_EXTRACTOR_H_
+#define LAKEKIT_INGEST_STRUCTURAL_EXTRACTOR_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "json/value.h"
+
+namespace lakekit::ingest {
+
+/// One node of a structural-metadata tree (GEMMS, survey Sec. 5.1): the
+/// inferred structure of a semi-structured dataset, with field names, type
+/// labels, and optionality across instances.
+struct StructureNode {
+  std::string name;
+  /// "object", "array", "string", "int", "double", "bool", "null", "mixed",
+  /// "table", or "column:<type>".
+  std::string type;
+  /// True when the field is absent in at least one observed instance.
+  bool optional = false;
+  std::vector<StructureNode> children;
+
+  bool operator==(const StructureNode&) const = default;
+
+  /// Indented human-readable rendering of the subtree.
+  std::string ToString(int indent = 0) const;
+
+  /// Finds a direct child by name; nullptr when absent.
+  const StructureNode* FindChild(std::string_view child_name) const;
+
+  /// Total node count of the subtree (including this node).
+  size_t TreeSize() const;
+};
+
+/// GEMMS-style structural metadata extraction: infers schema trees from raw
+/// JSON documents and CSV files. The JSON inference walks documents
+/// breadth-first and merges per-instance structures, widening conflicting
+/// types to "mixed" and marking fields missing from some instances as
+/// optional — exactly the flexible, source-evolving extraction the survey
+/// attributes to GEMMS/Constance.
+class StructuralExtractor {
+ public:
+  /// Structure of one JSON value.
+  static StructureNode InferJson(const json::Value& doc,
+                                 std::string_view name = "root");
+
+  /// Merged structure across many documents of the same source.
+  static Result<StructureNode> InferJsonDocuments(
+      const std::vector<json::Value>& docs, std::string_view name = "root");
+
+  /// Structure of a CSV payload: a "table" node with "column:<type>"
+  /// children.
+  static Result<StructureNode> InferCsv(std::string_view csv_text,
+                                        std::string_view name = "root");
+
+  /// Merges two structure trees (union of children; conflicting scalar types
+  /// widen to "mixed"; children present on only one side become optional).
+  static StructureNode Merge(const StructureNode& a, const StructureNode& b);
+};
+
+}  // namespace lakekit::ingest
+
+#endif  // LAKEKIT_INGEST_STRUCTURAL_EXTRACTOR_H_

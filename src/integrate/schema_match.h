@@ -1,0 +1,53 @@
+#ifndef LAKEKIT_INTEGRATE_SCHEMA_MATCH_H_
+#define LAKEKIT_INTEGRATE_SCHEMA_MATCH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "table/table.h"
+
+namespace lakekit::integrate {
+
+/// One matched attribute pair between two schemas.
+struct AttributeMatch {
+  size_t left_col = 0;
+  size_t right_col = 0;
+  double score = 0;
+};
+
+struct SchemaMatchOptions {
+  /// Blend of the two matcher signals.
+  double name_weight = 0.5;
+  double value_weight = 0.5;
+  /// Pairs scoring below this are not matched. A pure value-overlap match
+  /// (renamed columns with shared instances) scores value_weight * Jaccard,
+  /// so the default admits renamed columns with >= ~60% value overlap.
+  double threshold = 0.3;
+  /// Values sampled per column for the instance-based matcher.
+  size_t value_sample = 256;
+};
+
+/// Hybrid schema matching (survey Sec. 6.3): a name-based matcher (q-gram
+/// Jaccard over attribute names) combined with an instance-based matcher
+/// (value-set Jaccard over sampled distinct values), with a type-mismatch
+/// penalty, then greedy 1:1 stable matching — the classic first step of
+/// every lake data-integration pipeline (Constance, ALITE).
+class SchemaMatcher {
+ public:
+  explicit SchemaMatcher(SchemaMatchOptions options = {});
+
+  /// Similarity of one column pair in [0,1].
+  double ColumnSimilarity(const table::Table& left, size_t left_col,
+                          const table::Table& right, size_t right_col) const;
+
+  /// Greedy 1:1 matching between the two schemas, highest score first.
+  std::vector<AttributeMatch> Match(const table::Table& left,
+                                    const table::Table& right) const;
+
+ private:
+  SchemaMatchOptions options_;
+};
+
+}  // namespace lakekit::integrate
+
+#endif  // LAKEKIT_INTEGRATE_SCHEMA_MATCH_H_

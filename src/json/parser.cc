@@ -1,0 +1,287 @@
+#include "json/parser.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <string>
+
+namespace lakekit::json {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Value> ParseDocument() {
+    SkipWhitespace();
+    LAKEKIT_ASSIGN_OR_RETURN(Value v, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing content after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  Status Error(std::string message) const {
+    return Status::Corruption("JSON parse error at byte " +
+                              std::to_string(pos_) + ": " +
+                              std::move(message));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Value> ParseValue() {
+    if (depth_ > kMaxDepth) return Error("nesting too deep");
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        LAKEKIT_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return Value(std::move(s));
+      }
+      case 't':
+        return ParseKeyword("true", Value(true));
+      case 'f':
+        return ParseKeyword("false", Value(false));
+      case 'n':
+        return ParseKeyword("null", Value(nullptr));
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<Value> ParseKeyword(std::string_view keyword, Value value) {
+    if (text_.substr(pos_, keyword.size()) != keyword) {
+      return Error("invalid literal");
+    }
+    pos_ += keyword.size();
+    return value;
+  }
+
+  Result<Value> ParseNumber() {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      return Error("invalid number");
+    }
+    std::string_view token = text_.substr(start, pos_ - start);
+    if (!is_double) {
+      int64_t i = 0;
+      auto [ptr, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), i);
+      if (ec == std::errc() && ptr == token.data() + token.size()) {
+        return Value(i);
+      }
+      // Overflowing integers fall through to double.
+    }
+    // std::from_chars<double> is available in GCC 12; use it for locale
+    // independence.
+    double d = 0;
+    auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), d);
+    if (ec != std::errc() || ptr != token.data() + token.size()) {
+      return Error("invalid number '" + std::string(token) + "'");
+    }
+    return Value(d);
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) return Error("expected '\"'");
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Error("unterminated escape");
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Error("bad \\u escape");
+              }
+            }
+            AppendUtf8(code, &out);
+            break;
+          }
+          default:
+            return Error("unknown escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  static void AppendUtf8(unsigned code, std::string* out) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Result<Value> ParseObject() {
+    ++depth_;
+    if (!Consume('{')) return Error("expected '{'");
+    Object obj;
+    SkipWhitespace();
+    if (Consume('}')) {
+      --depth_;
+      return Value(std::move(obj));
+    }
+    while (true) {
+      SkipWhitespace();
+      LAKEKIT_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' in object");
+      SkipWhitespace();
+      LAKEKIT_ASSIGN_OR_RETURN(Value v, ParseValue());
+      obj.Set(key, std::move(v));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) break;
+      return Error("expected ',' or '}' in object");
+    }
+    --depth_;
+    return Value(std::move(obj));
+  }
+
+  Result<Value> ParseArray() {
+    ++depth_;
+    if (!Consume('[')) return Error("expected '['");
+    Array arr;
+    SkipWhitespace();
+    if (Consume(']')) {
+      --depth_;
+      return Value(std::move(arr));
+    }
+    while (true) {
+      SkipWhitespace();
+      LAKEKIT_ASSIGN_OR_RETURN(Value v, ParseValue());
+      arr.push_back(std::move(v));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) break;
+      return Error("expected ',' or ']' in array");
+    }
+    --depth_;
+    return Value(std::move(arr));
+  }
+
+  static constexpr int kMaxDepth = 256;
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Result<Value> Parse(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+Result<std::vector<Value>> ParseLines(std::string_view text) {
+  std::vector<Value> out;
+  size_t start = 0;
+  size_t line_no = 1;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    // Skip blank lines (including a trailing newline's empty remainder).
+    bool blank = true;
+    for (char c : line) {
+      if (!std::isspace(static_cast<unsigned char>(c))) {
+        blank = false;
+        break;
+      }
+    }
+    if (!blank) {
+      Result<Value> v = Parse(line);
+      if (!v.ok()) {
+        return Status::Corruption("line " + std::to_string(line_no) + ": " +
+                                  v.status().message());
+      }
+      out.push_back(std::move(v).value());
+    }
+    if (end == text.size()) break;
+    start = end + 1;
+    ++line_no;
+  }
+  return out;
+}
+
+}  // namespace lakekit::json

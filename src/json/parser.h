@@ -1,0 +1,22 @@
+#ifndef LAKEKIT_JSON_PARSER_H_
+#define LAKEKIT_JSON_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "json/value.h"
+
+namespace lakekit::json {
+
+/// Parses a single JSON document. Trailing whitespace is allowed; any other
+/// trailing content is an error. Errors carry a byte offset in the message.
+Result<Value> Parse(std::string_view text);
+
+/// Parses newline-delimited JSON (one document per non-empty line), the
+/// interchange format used by lakehouse commit logs and document ingestion.
+Result<std::vector<Value>> ParseLines(std::string_view text);
+
+}  // namespace lakekit::json
+
+#endif  // LAKEKIT_JSON_PARSER_H_

@@ -1,0 +1,74 @@
+#include "json/value.h"
+
+namespace lakekit::json {
+
+const Value* Object::Find(std::string_view key) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Value* Object::Find(std::string_view key) {
+  for (auto& [k, v] : entries_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Object::Set(std::string_view key, Value value) {
+  if (Value* existing = Find(key)) {
+    *existing = std::move(value);
+    return;
+  }
+  entries_.emplace_back(std::string(key), std::move(value));
+}
+
+bool Object::Erase(std::string_view key) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->first == key) {
+      entries_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Object::operator==(const Object& other) const {
+  return entries_ == other.entries_;
+}
+
+std::string Value::GetString(std::string_view key, std::string fallback) const {
+  const Value* v = Get(key);
+  if (v != nullptr && v->is_string()) return v->as_string();
+  return fallback;
+}
+
+int64_t Value::GetInt(std::string_view key, int64_t fallback) const {
+  const Value* v = Get(key);
+  if (v != nullptr && v->is_int()) return v->as_int();
+  if (v != nullptr && v->is_double()) return static_cast<int64_t>(v->as_double());
+  return fallback;
+}
+
+std::string_view Value::TypeName() const {
+  switch (type()) {
+    case Type::kNull:
+      return "null";
+    case Type::kBool:
+      return "bool";
+    case Type::kInt:
+      return "int";
+    case Type::kDouble:
+      return "double";
+    case Type::kString:
+      return "string";
+    case Type::kArray:
+      return "array";
+    case Type::kObject:
+      return "object";
+  }
+  return "unknown";
+}
+
+}  // namespace lakekit::json

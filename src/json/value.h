@@ -1,0 +1,120 @@
+#ifndef LAKEKIT_JSON_VALUE_H_
+#define LAKEKIT_JSON_VALUE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace lakekit::json {
+
+class Value;
+
+/// JSON object with insertion-ordered keys (order matters for schema
+/// inference and for byte-stable serialization of lakehouse commits).
+class Object {
+ public:
+  using Entry = std::pair<std::string, Value>;
+
+  Object() = default;
+
+  /// Returns the value for `key`, or nullptr if absent.
+  const Value* Find(std::string_view key) const;
+  Value* Find(std::string_view key);
+
+  /// Inserts or overwrites `key`. Insertion order is preserved; overwriting
+  /// keeps the original position.
+  void Set(std::string_view key, Value value);
+
+  /// Removes `key` if present; returns whether it was present.
+  bool Erase(std::string_view key);
+
+  bool contains(std::string_view key) const { return Find(key) != nullptr; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  std::vector<Entry>& entries() { return entries_; }
+
+  bool operator==(const Object& other) const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+using Array = std::vector<Value>;
+
+/// Type tag of a JSON value.
+enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+/// A JSON value: null, bool, 64-bit integer, double, string, array or object.
+///
+/// Integers are kept distinct from doubles (as produced by the parser when a
+/// literal has no fraction/exponent) so that schema inference can distinguish
+/// integer columns from floating-point columns.
+class Value {
+ public:
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}          // NOLINT
+  Value(bool b) : data_(b) {}                        // NOLINT
+  Value(int64_t i) : data_(i) {}                     // NOLINT
+  Value(int i) : data_(static_cast<int64_t>(i)) {}   // NOLINT
+  Value(double d) : data_(d) {}                      // NOLINT
+  Value(std::string s) : data_(std::move(s)) {}      // NOLINT
+  Value(const char* s) : data_(std::string(s)) {}    // NOLINT
+  Value(std::string_view s) : data_(std::string(s)) {}  // NOLINT
+  Value(Array a) : data_(std::move(a)) {}            // NOLINT
+  Value(Object o) : data_(std::move(o)) {}           // NOLINT
+
+  Type type() const { return static_cast<Type>(data_.index()); }
+
+  bool is_null() const { return type() == Type::kNull; }
+  bool is_bool() const { return type() == Type::kBool; }
+  bool is_int() const { return type() == Type::kInt; }
+  bool is_double() const { return type() == Type::kDouble; }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return type() == Type::kString; }
+  bool is_array() const { return type() == Type::kArray; }
+  bool is_object() const { return type() == Type::kObject; }
+
+  /// Typed accessors; callers must check the type first.
+  bool as_bool() const { return std::get<bool>(data_); }
+  int64_t as_int() const { return std::get<int64_t>(data_); }
+  double as_double() const {
+    return is_int() ? static_cast<double>(as_int()) : std::get<double>(data_);
+  }
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+  const Array& as_array() const { return std::get<Array>(data_); }
+  Array& as_array() { return std::get<Array>(data_); }
+  const Object& as_object() const { return std::get<Object>(data_); }
+  Object& as_object() { return std::get<Object>(data_); }
+
+  /// Object member lookup; returns nullptr when this is not an object or the
+  /// key is absent. Enables chained navigation: v.Get("a") -> Get("b").
+  const Value* Get(std::string_view key) const {
+    return is_object() ? as_object().Find(key) : nullptr;
+  }
+
+  /// String value of `key`, or `fallback` when absent / wrong type.
+  std::string GetString(std::string_view key,
+                        std::string fallback = "") const;
+  /// Integer value of `key`, or `fallback` when absent / wrong type.
+  int64_t GetInt(std::string_view key, int64_t fallback = 0) const;
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+
+  /// Short type name ("null", "bool", "int", ...). Useful in diagnostics.
+  std::string_view TypeName() const;
+
+ private:
+  std::variant<std::nullptr_t, bool, int64_t, double, std::string, Array,
+               Object>
+      data_;
+};
+
+}  // namespace lakekit::json
+
+#endif  // LAKEKIT_JSON_VALUE_H_

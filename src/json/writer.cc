@@ -1,0 +1,149 @@
+#include "json/writer.h"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace lakekit::json {
+
+namespace {
+
+void AppendDouble(double d, std::string* out) {
+  if (std::isnan(d) || std::isinf(d)) {
+    // JSON has no NaN/Inf; serialize as null per common practice.
+    out->append("null");
+    return;
+  }
+  std::array<char, 32> buf;
+  auto [ptr, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), d);
+  out->append(buf.data(), ptr);
+  // Ensure doubles round-trip as doubles (not re-parsed as ints).
+  std::string_view written(buf.data(), static_cast<size_t>(ptr - buf.data()));
+  if (written.find('.') == std::string_view::npos &&
+      written.find('e') == std::string_view::npos &&
+      written.find("null") == std::string_view::npos) {
+    out->append(".0");
+  }
+}
+
+void WriteValue(const Value& v, int indent, int depth, std::string* out);
+
+void AppendIndent(int indent, int depth, std::string* out) {
+  if (indent > 0) {
+    out->push_back('\n');
+    out->append(static_cast<size_t>(indent) * depth, ' ');
+  }
+}
+
+void WriteObject(const Object& obj, int indent, int depth, std::string* out) {
+  out->push_back('{');
+  bool first = true;
+  for (const auto& [k, v] : obj.entries()) {
+    if (!first) out->push_back(',');
+    first = false;
+    AppendIndent(indent, depth + 1, out);
+    out->append(EscapeString(k));
+    out->push_back(':');
+    if (indent > 0) out->push_back(' ');
+    WriteValue(v, indent, depth + 1, out);
+  }
+  if (!obj.empty()) AppendIndent(indent, depth, out);
+  out->push_back('}');
+}
+
+void WriteArray(const Array& arr, int indent, int depth, std::string* out) {
+  out->push_back('[');
+  bool first = true;
+  for (const Value& v : arr) {
+    if (!first) out->push_back(',');
+    first = false;
+    AppendIndent(indent, depth + 1, out);
+    WriteValue(v, indent, depth + 1, out);
+  }
+  if (!arr.empty()) AppendIndent(indent, depth, out);
+  out->push_back(']');
+}
+
+void WriteValue(const Value& v, int indent, int depth, std::string* out) {
+  switch (v.type()) {
+    case Type::kNull:
+      out->append("null");
+      break;
+    case Type::kBool:
+      out->append(v.as_bool() ? "true" : "false");
+      break;
+    case Type::kInt:
+      out->append(std::to_string(v.as_int()));
+      break;
+    case Type::kDouble:
+      AppendDouble(v.as_double(), out);
+      break;
+    case Type::kString:
+      out->append(EscapeString(v.as_string()));
+      break;
+    case Type::kArray:
+      WriteArray(v.as_array(), indent, depth, out);
+      break;
+    case Type::kObject:
+      WriteObject(v.as_object(), indent, depth, out);
+      break;
+  }
+}
+
+}  // namespace
+
+std::string EscapeString(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '\b':
+        out.append("\\b");
+        break;
+      case '\f':
+        out.append("\\f");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      case '\r':
+        out.append("\\r");
+        break;
+      case '\t':
+        out.append("\\t");
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out.append(buf);
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string Write(const Value& value) {
+  std::string out;
+  WriteValue(value, /*indent=*/0, /*depth=*/0, &out);
+  return out;
+}
+
+std::string WritePretty(const Value& value) {
+  std::string out;
+  WriteValue(value, /*indent=*/2, /*depth=*/0, &out);
+  return out;
+}
+
+}  // namespace lakekit::json

@@ -1,0 +1,23 @@
+#ifndef LAKEKIT_JSON_WRITER_H_
+#define LAKEKIT_JSON_WRITER_H_
+
+#include <string>
+
+#include "json/value.h"
+
+namespace lakekit::json {
+
+/// Serializes `value` to a compact, byte-stable JSON string. Object keys keep
+/// their insertion order, so Write(Parse(x)) is idempotent for canonical
+/// input — a property the lakehouse commit log relies on.
+std::string Write(const Value& value);
+
+/// Serializes with 2-space indentation for human inspection.
+std::string WritePretty(const Value& value);
+
+/// Escapes `s` as a JSON string literal, including the surrounding quotes.
+std::string EscapeString(const std::string& s);
+
+}  // namespace lakekit::json
+
+#endif  // LAKEKIT_JSON_WRITER_H_

@@ -1,0 +1,77 @@
+#ifndef LAKEKIT_LAKEHOUSE_DELTA_TABLE_H_
+#define LAKEKIT_LAKEHOUSE_DELTA_TABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "lakehouse/delta_log.h"
+#include "query/expr.h"
+#include "table/table.h"
+
+namespace lakekit::lakehouse {
+
+/// An ACID table over the object store (the Lakehouse pattern, survey
+/// Sec. 8.3): rows live in immutable CSV part files; the DeltaLog commits
+/// which parts are live. Appends are optimistic-concurrency safe;
+/// overwrites and deletes conflict with concurrent writers; any historical
+/// version remains readable (time travel).
+class DeltaTable {
+ public:
+  /// Creates a new table (commit 0 = CREATE with the schema).
+  static Result<DeltaTable> Create(storage::ObjectStore* store,
+                                   const std::string& name,
+                                   const table::Schema& schema);
+
+  /// Opens an existing table.
+  static Result<DeltaTable> Open(storage::ObjectStore* store,
+                                 const std::string& name);
+
+  /// Appends rows (schema must match by field names/types).
+  Status Append(const table::Table& rows);
+
+  /// Replaces the entire content.
+  Status Overwrite(const table::Table& rows);
+
+  /// Deletes rows matching `predicate` by rewriting affected part files.
+  Status DeleteWhere(const query::Expr& predicate);
+
+  /// Reads the table at `version` (default: latest).
+  Result<table::Table> Read(std::optional<int64_t> version = {}) const;
+
+  /// Latest version number.
+  Result<int64_t> Version() const;
+
+  /// Collapses the log prefix at the current version.
+  Status Checkpoint();
+
+  /// Commit operations in order.
+  Result<std::vector<std::string>> History() const { return log_.History(); }
+
+  const std::string& name() const { return name_; }
+  const table::Schema& schema() const { return schema_; }
+  DeltaLog& log() { return log_; }
+
+ private:
+  DeltaTable(storage::ObjectStore* store, std::string name,
+             table::Schema schema);
+
+  /// Writes rows as a new part file; returns its AddFile.
+  Result<AddFile> WritePart(const table::Table& rows);
+  Status CheckSchema(const table::Table& rows) const;
+
+  storage::ObjectStore* store_;
+  std::string name_;
+  table::Schema schema_;
+  DeltaLog log_;
+  uint64_t next_part_ = 0;
+};
+
+/// Reconstructs a Schema from its ToString() signature.
+Result<table::Schema> SchemaFromSignature(const std::string& signature);
+
+}  // namespace lakekit::lakehouse
+
+#endif  // LAKEKIT_LAKEHOUSE_DELTA_TABLE_H_

@@ -1,0 +1,104 @@
+#include "metamodel/data_vault.h"
+
+#include <map>
+
+namespace lakekit::metamodel {
+
+const Hub* DataVaultModel::FindHub(std::string_view name) const {
+  for (const Hub& h : hubs) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+const Link* DataVaultModel::FindLink(std::string_view name) const {
+  for (const Link& l : links) {
+    if (l.name == name) return &l;
+  }
+  return nullptr;
+}
+
+std::vector<const Satellite*> DataVaultModel::SatellitesOf(
+    std::string_view parent) const {
+  std::vector<const Satellite*> out;
+  for (const Satellite& s : satellites) {
+    if (s.parent == parent) out.push_back(&s);
+  }
+  return out;
+}
+
+std::string DataVaultModel::ToString() const {
+  std::string out;
+  for (const Hub& h : hubs) {
+    out += "hub " + h.name + " (key=" + h.business_key + ")\n";
+  }
+  for (const Link& l : links) {
+    out += "link " + l.name + " (";
+    for (size_t i = 0; i < l.hub_names.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += l.hub_names[i];
+    }
+    out += ")\n";
+  }
+  for (const Satellite& s : satellites) {
+    out += "sat " + s.name + " -> " + s.parent + " [" +
+           std::to_string(s.attributes.size()) + " attrs]\n";
+  }
+  return out;
+}
+
+Result<DataVaultModel> DeriveDataVault(
+    const std::vector<table::Table>& tables,
+    const std::vector<TableRelation>& relations) {
+  DataVaultModel model;
+  std::map<std::string, std::string> hub_of_table;  // table -> hub name
+
+  for (const table::Table& t : tables) {
+    // Find a candidate key column via profiling.
+    std::vector<ingest::ColumnProfile> profiles =
+        ingest::Profiler::ProfileTable(t);
+    const ingest::ColumnProfile* key = nullptr;
+    for (const ingest::ColumnProfile& p : profiles) {
+      if (p.is_candidate_key) {
+        key = &p;
+        break;
+      }
+    }
+    if (key == nullptr) continue;  // keyless tables do not form hubs
+    Hub hub;
+    hub.name = "hub_" + t.name();
+    hub.business_key = key->name;
+    hub.source_table = t.name();
+    hub_of_table[t.name()] = hub.name;
+    model.hubs.push_back(hub);
+
+    Satellite sat;
+    sat.name = "sat_" + t.name();
+    sat.parent = hub.name;
+    for (const table::Field& f : t.schema().fields()) {
+      if (f.name != key->name) sat.attributes.push_back(f.name);
+    }
+    if (!sat.attributes.empty()) model.satellites.push_back(std::move(sat));
+  }
+
+  for (const TableRelation& r : relations) {
+    auto from_it = hub_of_table.find(r.from_table);
+    auto to_it = hub_of_table.find(r.to_table);
+    if (from_it == hub_of_table.end() || to_it == hub_of_table.end()) {
+      continue;  // a relation between keyless tables cannot form a link
+    }
+    Link link;
+    link.name = "link_" + r.from_table + "_" + r.to_table;
+    link.hub_names = {from_it->second, to_it->second};
+    link.source_table = r.from_table;
+    model.links.push_back(std::move(link));
+  }
+
+  if (model.hubs.empty()) {
+    return Status::FailedPrecondition(
+        "no table has a candidate key; cannot derive a data vault");
+  }
+  return model;
+}
+
+}  // namespace lakekit::metamodel

@@ -1,0 +1,73 @@
+#ifndef LAKEKIT_METAMODEL_DATA_VAULT_H_
+#define LAKEKIT_METAMODEL_DATA_VAULT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "ingest/profiler.h"
+#include "table/table.h"
+
+namespace lakekit::metamodel {
+
+/// A data-vault conceptual model (survey Sec. 5.2.2) with its three element
+/// types: *hubs* for business concepts keyed by a business key, *links* for
+/// many-to-many relationships among hubs, and *satellites* carrying the
+/// descriptive attributes of a hub or link.
+struct Hub {
+  std::string name;
+  std::string business_key;  // the key attribute
+  std::string source_table;
+};
+
+struct Link {
+  std::string name;
+  std::vector<std::string> hub_names;  // connected hubs
+  std::string source_table;
+};
+
+struct Satellite {
+  std::string name;
+  /// Hub or link this satellite describes.
+  std::string parent;
+  std::vector<std::string> attributes;
+};
+
+/// A complete data-vault model.
+struct DataVaultModel {
+  std::vector<Hub> hubs;
+  std::vector<Link> links;
+  std::vector<Satellite> satellites;
+
+  const Hub* FindHub(std::string_view name) const;
+  const Link* FindLink(std::string_view name) const;
+  /// Satellites of a hub or link.
+  std::vector<const Satellite*> SatellitesOf(std::string_view parent) const;
+
+  /// Human-readable summary of the model.
+  std::string ToString() const;
+};
+
+/// A detected foreign-key style relationship between two tables' columns,
+/// used to derive links.
+struct TableRelation {
+  std::string from_table;
+  std::string from_column;
+  std::string to_table;
+  std::string to_column;
+};
+
+/// Derives a data-vault model from a set of tables (Nogueira et al.'s and
+/// Giebler et al.'s practice, Sec. 5.2.2): each table with a candidate key
+/// becomes a hub (key = business key) plus one satellite with its remaining
+/// attributes; each provided relation becomes a link between the involved
+/// hubs. Tables without a candidate key contribute only satellites attached
+/// to the hub their relation points to (or are skipped when unrelated).
+Result<DataVaultModel> DeriveDataVault(
+    const std::vector<table::Table>& tables,
+    const std::vector<TableRelation>& relations);
+
+}  // namespace lakekit::metamodel
+
+#endif  // LAKEKIT_METAMODEL_DATA_VAULT_H_

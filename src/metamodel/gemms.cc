@@ -1,0 +1,120 @@
+#include "metamodel/gemms.h"
+
+#include "common/string_util.h"
+
+namespace lakekit::metamodel {
+
+json::Value MetadataUnit::ToJson() const {
+  json::Object o;
+  o.Set("dataset", json::Value(dataset));
+  json::Object props;
+  for (const auto& [k, v] : properties) props.Set(k, json::Value(v));
+  o.Set("properties", json::Value(std::move(props)));
+  o.Set("structure", json::Value(structure.ToString()));
+  json::Array anns;
+  for (const SemanticAnnotation& a : annotations) {
+    json::Object ann;
+    ann.Set("element", json::Value(a.element_path));
+    ann.Set("term", json::Value(a.ontology_term));
+    anns.emplace_back(std::move(ann));
+  }
+  o.Set("annotations", json::Value(std::move(anns)));
+  return json::Value(std::move(o));
+}
+
+const ingest::StructureNode* GemmsModel::ResolvePath(
+    const ingest::StructureNode& root, std::string_view path) {
+  std::vector<std::string> parts = Split(path, '/');
+  if (parts.empty() || parts[0] != root.name) return nullptr;
+  const ingest::StructureNode* current = &root;
+  for (size_t i = 1; i < parts.size(); ++i) {
+    current = current->FindChild(parts[i]);
+    if (current == nullptr) return nullptr;
+  }
+  return current;
+}
+
+Status GemmsModel::AddUnit(MetadataUnit unit) {
+  if (unit.dataset.empty()) {
+    return Status::InvalidArgument("metadata unit needs a dataset name");
+  }
+  auto [it, inserted] = units_.try_emplace(unit.dataset, std::move(unit));
+  if (!inserted) {
+    return Status::AlreadyExists("metadata unit for '" + it->first +
+                                 "' already exists");
+  }
+  return Status::OK();
+}
+
+Result<const MetadataUnit*> GemmsModel::GetUnit(
+    std::string_view dataset) const {
+  auto it = units_.find(dataset);
+  if (it == units_.end()) {
+    return Status::NotFound("no metadata unit for '" + std::string(dataset) +
+                            "'");
+  }
+  return &it->second;
+}
+
+Status GemmsModel::SetProperty(std::string_view dataset, std::string_view key,
+                               std::string_view value) {
+  auto it = units_.find(dataset);
+  if (it == units_.end()) {
+    return Status::NotFound("no metadata unit for '" + std::string(dataset) +
+                            "'");
+  }
+  it->second.properties[std::string(key)] = std::string(value);
+  return Status::OK();
+}
+
+Status GemmsModel::Annotate(std::string_view dataset,
+                            std::string_view element_path,
+                            std::string_view ontology_term) {
+  auto it = units_.find(dataset);
+  if (it == units_.end()) {
+    return Status::NotFound("no metadata unit for '" + std::string(dataset) +
+                            "'");
+  }
+  if (ResolvePath(it->second.structure, element_path) == nullptr) {
+    return Status::NotFound("no structure element at path '" +
+                            std::string(element_path) + "'");
+  }
+  it->second.annotations.push_back(SemanticAnnotation{
+      std::string(element_path), std::string(ontology_term)});
+  return Status::OK();
+}
+
+std::vector<std::string> GemmsModel::FindByOntologyTerm(
+    std::string_view ontology_term) const {
+  std::vector<std::string> out;
+  for (const auto& [name, unit] : units_) {
+    for (const SemanticAnnotation& a : unit.annotations) {
+      if (a.ontology_term == ontology_term) {
+        out.push_back(name);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> GemmsModel::FindByProperty(
+    std::string_view key, std::string_view value) const {
+  std::vector<std::string> out;
+  for (const auto& [name, unit] : units_) {
+    auto it = unit.properties.find(std::string(key));
+    if (it != unit.properties.end() && it->second == value) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> GemmsModel::DatasetNames() const {
+  std::vector<std::string> out;
+  out.reserve(units_.size());
+  for (const auto& [name, unit] : units_) out.push_back(name);
+  return out;
+}
+
+}  // namespace lakekit::metamodel

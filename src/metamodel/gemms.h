@@ -1,0 +1,78 @@
+#ifndef LAKEKIT_METAMODEL_GEMMS_H_
+#define LAKEKIT_METAMODEL_GEMMS_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "ingest/structural_extractor.h"
+#include "json/value.h"
+
+namespace lakekit::metamodel {
+
+/// A semantic annotation: attaches an ontology term to a structural element
+/// of a dataset (GEMMS' semantic metadata, survey Sec. 5.2.1).
+struct SemanticAnnotation {
+  /// Slash-separated path into the structure tree, e.g. "root/address/city".
+  std::string element_path;
+  /// Ontology term, e.g. "schema.org/City".
+  std::string ontology_term;
+
+  bool operator==(const SemanticAnnotation&) const = default;
+};
+
+/// One GEMMS metadata unit: the metadata of one dataset, separated into the
+/// three element kinds of the GEMMS metamodel — general properties
+/// (key-value), structural metadata (a structure tree), and semantic
+/// metadata (ontology annotations on structure elements).
+struct MetadataUnit {
+  std::string dataset;
+  std::map<std::string, std::string> properties;
+  ingest::StructureNode structure;
+  std::vector<SemanticAnnotation> annotations;
+
+  json::Value ToJson() const;
+};
+
+/// The Generic and Extensible Metadata Management System model: a registry
+/// of metadata units, queryable by property and by ontology term.
+class GemmsModel {
+ public:
+  /// Registers a unit; AlreadyExists on duplicate dataset names.
+  Status AddUnit(MetadataUnit unit);
+
+  Result<const MetadataUnit*> GetUnit(std::string_view dataset) const;
+
+  /// Sets a general property on an existing unit.
+  Status SetProperty(std::string_view dataset, std::string_view key,
+                     std::string_view value);
+
+  /// Attaches an ontology term to a structure element. The element path must
+  /// resolve in the unit's structure tree.
+  Status Annotate(std::string_view dataset, std::string_view element_path,
+                  std::string_view ontology_term);
+
+  /// Datasets having an element annotated with `ontology_term`.
+  std::vector<std::string> FindByOntologyTerm(
+      std::string_view ontology_term) const;
+
+  /// Datasets whose property `key` equals `value`.
+  std::vector<std::string> FindByProperty(std::string_view key,
+                                          std::string_view value) const;
+
+  std::vector<std::string> DatasetNames() const;
+  size_t num_units() const { return units_.size(); }
+
+  /// Resolves a slash path ("root/a/b") inside a structure tree.
+  static const ingest::StructureNode* ResolvePath(
+      const ingest::StructureNode& root, std::string_view path);
+
+ private:
+  std::map<std::string, MetadataUnit, std::less<>> units_;
+};
+
+}  // namespace lakekit::metamodel
+
+#endif  // LAKEKIT_METAMODEL_GEMMS_H_

@@ -1,0 +1,112 @@
+#include "metamodel/handle.h"
+
+namespace lakekit::metamodel {
+
+HandleModel::ItemId HandleModel::AddData(std::string_view name,
+                                         std::string_view zone) {
+  json::Object props;
+  props.Set("name", json::Value(std::string(name)));
+  props.Set("zone", json::Value(std::string(zone)));
+  return graph_.AddNode("data", std::move(props));
+}
+
+Result<HandleModel::ItemId> HandleModel::AttachMetadata(ItemId target,
+                                                        std::string_view category,
+                                                        json::Value value) {
+  LAKEKIT_RETURN_IF_ERROR(graph_.GetNode(target).status());
+  json::Object props;
+  props.Set("category", json::Value(std::string(category)));
+  props.Set("value", std::move(value));
+  ItemId meta = graph_.AddNode("metadata", std::move(props));
+  LAKEKIT_RETURN_IF_ERROR(graph_.AddEdge(meta, target, "describes").status());
+  return meta;
+}
+
+Status HandleModel::SetProperty(ItemId item, std::string_view key,
+                                json::Value value) {
+  return graph_.SetNodeProperty(item, key, std::move(value));
+}
+
+Status HandleModel::MoveToZone(ItemId data_item, std::string_view zone) {
+  LAKEKIT_ASSIGN_OR_RETURN(auto node, graph_.GetNode(data_item));
+  if (node.label != "data") {
+    return Status::InvalidArgument("item " + std::to_string(data_item) +
+                                   " is not a data item");
+  }
+  return graph_.SetNodeProperty(data_item, "zone",
+                                json::Value(std::string(zone)));
+}
+
+Result<std::string> HandleModel::ZoneOf(ItemId data_item) const {
+  LAKEKIT_ASSIGN_OR_RETURN(auto node, graph_.GetNode(data_item));
+  const json::Value* zone = node.properties.Find("zone");
+  if (zone == nullptr || !zone->is_string()) {
+    return Status::NotFound("item has no zone");
+  }
+  return zone->as_string();
+}
+
+std::vector<HandleModel::ItemId> HandleModel::DataInZone(
+    std::string_view zone) const {
+  std::vector<ItemId> out;
+  for (const auto& node : graph_.FindNodesIf([&](const auto& n) {
+         if (n.label != "data") return false;
+         const json::Value* z = n.properties.Find("zone");
+         return z != nullptr && z->is_string() && z->as_string() == zone;
+       })) {
+    out.push_back(node.id);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, json::Value>> HandleModel::MetadataOf(
+    ItemId target, std::optional<std::string> category) const {
+  std::vector<std::pair<std::string, json::Value>> out;
+  for (const auto& edge : graph_.InEdges(target, "describes")) {
+    Result<storage::GraphStore::Node> meta = graph_.GetNode(edge.from);
+    if (!meta.ok()) continue;
+    const json::Value* cat = meta->properties.Find("category");
+    const json::Value* value = meta->properties.Find("value");
+    if (cat == nullptr || !cat->is_string() || value == nullptr) continue;
+    if (category && cat->as_string() != *category) continue;
+    out.emplace_back(cat->as_string(), *value);
+  }
+  return out;
+}
+
+std::optional<HandleModel::ItemId> HandleModel::FindData(
+    std::string_view name) const {
+  auto nodes = graph_.FindNodesIf([&](const auto& n) {
+    if (n.label != "data") return false;
+    const json::Value* v = n.properties.Find("name");
+    return v != nullptr && v->is_string() && v->as_string() == name;
+  });
+  if (nodes.empty()) return std::nullopt;
+  return nodes.front().id;
+}
+
+Result<HandleModel::ItemId> HandleModel::ImportGemmsUnit(
+    const MetadataUnit& unit, std::string_view zone) {
+  ItemId data = AddData(unit.dataset, zone);
+  for (const auto& [key, value] : unit.properties) {
+    json::Object prop;
+    prop.Set(key, json::Value(value));
+    LAKEKIT_RETURN_IF_ERROR(
+        AttachMetadata(data, "property", json::Value(std::move(prop)))
+            .status());
+  }
+  LAKEKIT_RETURN_IF_ERROR(
+      AttachMetadata(data, "structure", json::Value(unit.structure.ToString()))
+          .status());
+  for (const SemanticAnnotation& a : unit.annotations) {
+    json::Object ann;
+    ann.Set("element", json::Value(a.element_path));
+    ann.Set("term", json::Value(a.ontology_term));
+    LAKEKIT_RETURN_IF_ERROR(
+        AttachMetadata(data, "semantic", json::Value(std::move(ann)))
+            .status());
+  }
+  return data;
+}
+
+}  // namespace lakekit::metamodel

@@ -1,0 +1,68 @@
+#ifndef LAKEKIT_METAMODEL_HANDLE_H_
+#define LAKEKIT_METAMODEL_HANDLE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "metamodel/gemms.h"
+#include "storage/graph_store.h"
+
+namespace lakekit::metamodel {
+
+/// HANDLE — a generic, graph-backed metadata model (survey Sec. 5.2.1) with
+/// three abstract entities: *data* items, *metadata* items describing them,
+/// and *properties* attached to either. HANDLE adopts the zone architecture
+/// (Sec. 3.1): every data item lives in a zone ("raw", "curated", ...), and
+/// metadata can be attached at any granularity. Implemented over lakekit's
+/// property-graph store, mirroring the paper's Neo4j realization.
+class HandleModel {
+ public:
+  using ItemId = storage::GraphStore::NodeId;
+
+  /// Adds a data item to a zone; returns its id.
+  ItemId AddData(std::string_view name, std::string_view zone);
+
+  /// Attaches a metadata item (category + JSON value) to a data or metadata
+  /// item, enabling metadata-on-metadata granularity.
+  Result<ItemId> AttachMetadata(ItemId target, std::string_view category,
+                                json::Value value);
+
+  /// Sets a scalar property on any item.
+  Status SetProperty(ItemId item, std::string_view key, json::Value value);
+
+  /// Moves a data item to a different zone.
+  Status MoveToZone(ItemId data_item, std::string_view zone);
+
+  /// Zone of a data item.
+  Result<std::string> ZoneOf(ItemId data_item) const;
+
+  /// Ids of all data items currently in `zone`.
+  std::vector<ItemId> DataInZone(std::string_view zone) const;
+
+  /// Metadata items of `target` (optionally filtered by category), as
+  /// (category, value) pairs.
+  std::vector<std::pair<std::string, json::Value>> MetadataOf(
+      ItemId target, std::optional<std::string> category = {}) const;
+
+  /// Id of the data item named `name`, if any.
+  std::optional<ItemId> FindData(std::string_view name) const;
+
+  /// Imports a GEMMS metadata unit: the dataset becomes a data item in
+  /// `zone`; its properties, structure, and annotations become metadata
+  /// items — demonstrating the survey's observation that GEMMS elements map
+  /// onto HANDLE.
+  Result<ItemId> ImportGemmsUnit(const MetadataUnit& unit,
+                                 std::string_view zone);
+
+  const storage::GraphStore& graph() const { return graph_; }
+
+ private:
+  storage::GraphStore graph_;
+};
+
+}  // namespace lakekit::metamodel
+
+#endif  // LAKEKIT_METAMODEL_HANDLE_H_

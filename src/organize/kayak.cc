@@ -1,0 +1,135 @@
+#include "organize/kayak.h"
+
+#include <deque>
+
+namespace lakekit::organize {
+
+size_t TaskDag::AddTask(std::string name, TaskFn fn) {
+  names_.push_back(std::move(name));
+  fns_.push_back(std::move(fn));
+  edges_.emplace_back();
+  in_degree_.push_back(0);
+  return names_.size() - 1;
+}
+
+Status TaskDag::AddDependency(size_t before, size_t after) {
+  if (before >= names_.size() || after >= names_.size()) {
+    return Status::InvalidArgument("dependency references unknown task");
+  }
+  if (before == after) {
+    return Status::InvalidArgument("task cannot depend on itself");
+  }
+  edges_[before].push_back(after);
+  ++in_degree_[after];
+  return Status::OK();
+}
+
+Result<std::vector<size_t>> TaskDag::TopologicalOrder() const {
+  std::vector<size_t> degree = in_degree_;
+  std::deque<size_t> ready;
+  for (size_t i = 0; i < degree.size(); ++i) {
+    if (degree[i] == 0) ready.push_back(i);
+  }
+  std::vector<size_t> order;
+  while (!ready.empty()) {
+    size_t t = ready.front();
+    ready.pop_front();
+    order.push_back(t);
+    for (size_t next : edges_[t]) {
+      if (--degree[next] == 0) ready.push_back(next);
+    }
+  }
+  if (order.size() != names_.size()) {
+    return Status::Aborted("task dependency cycle detected");
+  }
+  return order;
+}
+
+Result<std::vector<std::vector<size_t>>> TaskDag::ParallelLevels() const {
+  LAKEKIT_ASSIGN_OR_RETURN(auto order, TopologicalOrder());
+  std::vector<size_t> level(names_.size(), 0);
+  for (size_t t : order) {
+    for (size_t next : edges_[t]) {
+      level[next] = std::max(level[next], level[t] + 1);
+    }
+  }
+  size_t max_level = 0;
+  for (size_t l : level) max_level = std::max(max_level, l);
+  std::vector<std::vector<size_t>> levels(max_level + 1);
+  for (size_t t : order) levels[level[t]].push_back(t);
+  return levels;
+}
+
+Status TaskDag::Execute() {
+  LAKEKIT_ASSIGN_OR_RETURN(auto order, TopologicalOrder());
+  execution_order_.clear();
+  for (size_t t : order) {
+    if (fns_[t]) {
+      Status s = fns_[t]();
+      if (!s.ok()) {
+        return Status(s.code(),
+                      "task '" + names_[t] + "' failed: " + s.message());
+      }
+    }
+    execution_order_.push_back(t);
+  }
+  return Status::OK();
+}
+
+size_t KayakPipeline::DefinePrimitive(
+    std::string name, std::vector<std::pair<std::string, TaskFn>> tasks) {
+  primitives_.push_back(Primitive{std::move(name), std::move(tasks)});
+  return primitives_.size() - 1;
+}
+
+Result<size_t> KayakPipeline::AddStep(size_t primitive_id) {
+  if (primitive_id >= primitives_.size()) {
+    return Status::InvalidArgument("unknown primitive");
+  }
+  steps_.push_back(primitive_id);
+  return steps_.size() - 1;
+}
+
+Status KayakPipeline::AddStepDependency(size_t before, size_t after) {
+  if (before >= steps_.size() || after >= steps_.size()) {
+    return Status::InvalidArgument("dependency references unknown step");
+  }
+  step_edges_.emplace_back(before, after);
+  return Status::OK();
+}
+
+Status KayakPipeline::Run() {
+  expanded_ = TaskDag();
+  // Expand primitives: tasks within one step run sequentially.
+  std::vector<size_t> first_task_of(steps_.size());
+  std::vector<size_t> last_task_of(steps_.size());
+  for (size_t s = 0; s < steps_.size(); ++s) {
+    const Primitive& prim = primitives_[steps_[s]];
+    if (prim.tasks.empty()) {
+      return Status::FailedPrecondition("primitive '" + prim.name +
+                                        "' has no tasks");
+    }
+    size_t prev = 0;
+    for (size_t i = 0; i < prim.tasks.size(); ++i) {
+      size_t id = expanded_.AddTask(
+          prim.name + "#" + std::to_string(s) + "/" + prim.tasks[i].first,
+          prim.tasks[i].second);
+      if (i == 0) {
+        first_task_of[s] = id;
+      } else {
+        LAKEKIT_RETURN_IF_ERROR(expanded_.AddDependency(prev, id));
+      }
+      prev = id;
+    }
+    last_task_of[s] = prev;
+  }
+  // Bridge step dependencies: last task of `before` -> first task of
+  // `after`.
+  for (const auto& [before, after] : step_edges_) {
+    LAKEKIT_RETURN_IF_ERROR(
+        expanded_.AddDependency(last_task_of[before], first_task_of[after]));
+  }
+  return expanded_.Execute();
+}
+
+}  // namespace lakekit::organize

@@ -1,0 +1,93 @@
+#ifndef LAKEKIT_ORGANIZE_KAYAK_H_
+#define LAKEKIT_ORGANIZE_KAYAK_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace lakekit::organize {
+
+/// An atomic KAYAK task: a named unit of data-preparation work.
+using TaskFn = std::function<Status()>;
+
+/// A DAG of atomic tasks with dependency-respecting execution — KAYAK's
+/// *task dependency* DAG (survey Table 2): nodes are atomic tasks, directed
+/// edges enforce execution order, and the level structure identifies which
+/// tasks could run in parallel.
+class TaskDag {
+ public:
+  /// Adds a task; returns its id.
+  size_t AddTask(std::string name, TaskFn fn);
+
+  /// Requires `before` to execute before `after`.
+  Status AddDependency(size_t before, size_t after);
+
+  size_t num_tasks() const { return names_.size(); }
+  const std::string& task_name(size_t id) const { return names_[id]; }
+
+  /// Topological order; Aborted on a cycle.
+  Result<std::vector<size_t>> TopologicalOrder() const;
+
+  /// Tasks grouped into parallelizable levels: every task's dependencies
+  /// live in strictly earlier levels.
+  Result<std::vector<std::vector<size_t>>> ParallelLevels() const;
+
+  /// Runs all tasks in a valid order; stops at the first failure. The
+  /// executed order is recorded for inspection.
+  Status Execute();
+
+  const std::vector<size_t>& execution_order() const {
+    return execution_order_;
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<TaskFn> fns_;
+  std::vector<std::vector<size_t>> edges_;  // before -> afters
+  std::vector<size_t> in_degree_;
+  std::vector<size_t> execution_order_;
+};
+
+/// KAYAK (survey Sec. 6.1.3): data-preparation *primitives* composed of
+/// atomic tasks, arranged into a *pipeline* DAG. Executing the pipeline
+/// expands every primitive into its task sequence inside one TaskDag, with
+/// pipeline edges bridging the last task of a step to the first task of its
+/// dependents — the two DAG levels of Table 2 in one engine.
+class KayakPipeline {
+ public:
+  /// Registers a primitive (an ordered list of named tasks); returns its id.
+  size_t DefinePrimitive(std::string name,
+                         std::vector<std::pair<std::string, TaskFn>> tasks);
+
+  /// Adds a pipeline step instantiating a primitive; returns the step id.
+  Result<size_t> AddStep(size_t primitive_id);
+
+  /// Requires step `before` to complete before step `after` starts.
+  Status AddStepDependency(size_t before, size_t after);
+
+  /// Expands the pipeline into a TaskDag and executes it.
+  Status Run();
+
+  /// The task DAG from the last Run() expansion (empty before Run).
+  const TaskDag& expanded() const { return expanded_; }
+
+  size_t num_steps() const { return steps_.size(); }
+
+ private:
+  struct Primitive {
+    std::string name;
+    std::vector<std::pair<std::string, TaskFn>> tasks;
+  };
+  std::vector<Primitive> primitives_;
+  std::vector<size_t> steps_;  // primitive id per step
+  std::vector<std::pair<size_t, size_t>> step_edges_;
+  TaskDag expanded_;
+};
+
+}  // namespace lakekit::organize
+
+#endif  // LAKEKIT_ORGANIZE_KAYAK_H_

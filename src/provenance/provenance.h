@@ -1,0 +1,79 @@
+#ifndef LAKEKIT_PROVENANCE_PROVENANCE_H_
+#define LAKEKIT_PROVENANCE_PROVENANCE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "json/value.h"
+#include "storage/graph_store.h"
+
+namespace lakekit::provenance {
+
+/// A provenance graph over the lake's property-graph store (GOODS, CoreDB
+/// and Juneau all preserve provenance as graphs — survey Sec. 6.7):
+/// *entity* nodes are datasets/versions, *activity* nodes are jobs or
+/// queries, *agent* nodes are users. Edges follow the W3C-PROV verbs:
+/// activity --used--> entity, entity --wasGeneratedBy--> activity,
+/// activity --wasAssociatedWith--> agent.
+class ProvenanceGraph {
+ public:
+  using NodeId = storage::GraphStore::NodeId;
+
+  /// Registers (or finds) the entity node for dataset `name`.
+  NodeId Entity(std::string_view name);
+
+  /// Registers an activity occurrence (a run of job `name` at logical time
+  /// `at`). Every call creates a new node — activities are events.
+  NodeId Activity(std::string_view name, int64_t at = 0);
+
+  /// Registers (or finds) an agent (user/team).
+  NodeId Agent(std::string_view name);
+
+  /// PROV edges.
+  Status Used(NodeId activity, NodeId entity);
+  Status WasGeneratedBy(NodeId entity, NodeId activity);
+  Status WasAssociatedWith(NodeId activity, NodeId agent);
+
+  /// Records a whole derivation in one call: `job` read `inputs` and wrote
+  /// `outputs`, run by `agent` (optional).
+  Status RecordDerivation(std::string_view job,
+                          const std::vector<std::string>& inputs,
+                          const std::vector<std::string>& outputs,
+                          std::optional<std::string> agent = {},
+                          int64_t at = 0);
+
+  /// Upstream lineage of a dataset: every dataset it transitively derives
+  /// from, breadth-first order (nearest first).
+  std::vector<std::string> Upstream(std::string_view dataset) const;
+
+  /// Downstream impact: every dataset transitively derived from this one.
+  std::vector<std::string> Downstream(std::string_view dataset) const;
+
+  /// Activities that touched (read or wrote) a dataset, as names.
+  std::vector<std::string> ActivitiesOf(std::string_view dataset) const;
+
+  /// Who queried/produced an entity (CoreDB's "who queried this entity").
+  std::vector<std::string> AgentsOf(std::string_view dataset) const;
+
+  /// Exports the graph as subject-predicate-object triples (GOODS exports
+  /// the catalog this way for path queries).
+  std::vector<std::string> ToTriples() const;
+
+  const storage::GraphStore& graph() const { return graph_; }
+
+ private:
+  std::optional<NodeId> FindEntity(std::string_view name) const;
+  /// Entity names one derivation step from `dataset` in direction
+  /// `upstream`.
+  std::vector<std::string> Walk(std::string_view dataset, bool upstream) const;
+
+  storage::GraphStore graph_;
+};
+
+}  // namespace lakekit::provenance
+
+#endif  // LAKEKIT_PROVENANCE_PROVENANCE_H_

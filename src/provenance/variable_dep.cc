@@ -1,0 +1,101 @@
+#include "provenance/variable_dep.h"
+
+#include <cstddef>
+#include <deque>
+
+namespace lakekit::provenance {
+
+void VariableDependencyGraph::AddStep(const std::vector<std::string>& inputs,
+                                      std::string_view function,
+                                      std::string_view output) {
+  variables_.insert(std::string(output));
+  for (const std::string& in : inputs) {
+    variables_.insert(in);
+    size_t idx = edges_.size();
+    edges_.push_back(Edge{in, std::string(output), std::string(function)});
+    out_edges_[in].push_back(idx);
+    in_edges_[std::string(output)].push_back(idx);
+  }
+}
+
+std::vector<std::string> VariableDependencyGraph::AffectingVariables(
+    std::string_view variable) const {
+  std::vector<std::string> out;
+  std::set<std::string> visited{std::string(variable)};
+  std::deque<std::string> queue{std::string(variable)};
+  while (!queue.empty()) {
+    std::string current = queue.front();
+    queue.pop_front();
+    auto it = in_edges_.find(current);
+    if (it == in_edges_.end()) continue;
+    for (size_t idx : it->second) {
+      const Edge& e = edges_[idx];
+      if (visited.insert(e.from).second) {
+        out.push_back(e.from);
+        queue.push_back(e.from);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> VariableDependencyGraph::DerivedVariables(
+    std::string_view variable) const {
+  std::vector<std::string> out;
+  std::set<std::string> visited{std::string(variable)};
+  std::deque<std::string> queue{std::string(variable)};
+  while (!queue.empty()) {
+    std::string current = queue.front();
+    queue.pop_front();
+    auto it = out_edges_.find(current);
+    if (it == out_edges_.end()) continue;
+    for (size_t idx : it->second) {
+      const Edge& e = edges_[idx];
+      if (visited.insert(e.to).second) {
+        out.push_back(e.to);
+        queue.push_back(e.to);
+      }
+    }
+  }
+  return out;
+}
+
+std::multiset<std::string> VariableDependencyGraph::UpstreamSignature(
+    std::string_view variable) const {
+  std::multiset<std::string> signature;
+  std::set<std::string> visited{std::string(variable)};
+  std::deque<std::string> queue{std::string(variable)};
+  while (!queue.empty()) {
+    std::string current = queue.front();
+    queue.pop_front();
+    auto it = in_edges_.find(current);
+    if (it == in_edges_.end()) continue;
+    for (size_t idx : it->second) {
+      const Edge& e = edges_[idx];
+      signature.insert(e.function);
+      if (visited.insert(e.from).second) queue.push_back(e.from);
+    }
+  }
+  return signature;
+}
+
+double VariableDependencyGraph::ProvenanceSimilarity(
+    const VariableDependencyGraph& ga, std::string_view va,
+    const VariableDependencyGraph& gb, std::string_view vb) {
+  std::multiset<std::string> sa = ga.UpstreamSignature(va);
+  std::multiset<std::string> sb = gb.UpstreamSignature(vb);
+  if (sa.empty() && sb.empty()) return 1.0;
+  // Multiset intersection / union.
+  size_t inter = 0;
+  for (auto it = sa.begin(); it != sa.end();) {
+    const std::string& label = *it;
+    size_t ca = sa.count(label);
+    size_t cb = sb.count(label);
+    inter += std::min(ca, cb);
+    std::advance(it, static_cast<ptrdiff_t>(ca));
+  }
+  size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace lakekit::provenance

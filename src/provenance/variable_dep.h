@@ -1,0 +1,59 @@
+#ifndef LAKEKIT_PROVENANCE_VARIABLE_DEP_H_
+#define LAKEKIT_PROVENANCE_VARIABLE_DEP_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lakekit::provenance {
+
+/// Juneau's variable dependency graph (survey Sec. 6.1.3, Table 2): nodes
+/// are notebook variables; a labeled directed edge (input -> output,
+/// label = function name) records that `output` was computed from `input`
+/// through `function`. Provenance similarity of two tables is the
+/// similarity of their variables' dependency subgraphs.
+class VariableDependencyGraph {
+ public:
+  /// Records `output = function(inputs...)`.
+  void AddStep(const std::vector<std::string>& inputs,
+               std::string_view function, std::string_view output);
+
+  size_t num_variables() const { return variables_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// All variables that (transitively) affect `variable`, with the
+  /// functions on the paths — Juneau's "find all variables affecting v".
+  std::vector<std::string> AffectingVariables(std::string_view variable) const;
+
+  /// Variables transitively derived from `variable`.
+  std::vector<std::string> DerivedVariables(std::string_view variable) const;
+
+  /// The labeled edge multiset signature of the dependency subgraph rooted
+  /// upstream of `variable`: "function" labels along all affecting paths.
+  std::multiset<std::string> UpstreamSignature(std::string_view variable) const;
+
+  /// Provenance similarity of two variables (possibly across graphs):
+  /// Jaccard over upstream function-label multisets — the practical proxy
+  /// Juneau uses in place of exact subgraph isomorphism for ranking.
+  static double ProvenanceSimilarity(const VariableDependencyGraph& ga,
+                                     std::string_view va,
+                                     const VariableDependencyGraph& gb,
+                                     std::string_view vb);
+
+ private:
+  struct Edge {
+    std::string from;
+    std::string to;
+    std::string function;
+  };
+  std::set<std::string> variables_;
+  std::vector<Edge> edges_;
+  std::map<std::string, std::vector<size_t>> in_edges_;   // to -> edge idx
+  std::map<std::string, std::vector<size_t>> out_edges_;  // from -> edge idx
+};
+
+}  // namespace lakekit::provenance
+
+#endif  // LAKEKIT_PROVENANCE_VARIABLE_DEP_H_

@@ -1,0 +1,143 @@
+#include "quality/auto_validate.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+namespace lakekit::quality {
+
+namespace {
+
+char ClassOf(char c) {
+  unsigned char u = static_cast<unsigned char>(c);
+  if (std::isdigit(u)) return 'd';
+  if (std::isalpha(u)) return 'a';
+  return 0;  // literal
+}
+
+}  // namespace
+
+Pattern ValuePattern(std::string_view value, int level) {
+  Pattern p;
+  size_t i = 0;
+  while (i < value.size()) {
+    char cls = ClassOf(value[i]);
+    if (cls == 0) {
+      PatternSegment seg;
+      seg.is_literal = true;
+      seg.literal = value[i];
+      p.segments.push_back(seg);
+      ++i;
+      continue;
+    }
+    size_t run = 1;
+    while (i + run < value.size() && ClassOf(value[i + run]) == cls) ++run;
+    PatternSegment seg;
+    seg.cls = cls;
+    seg.length = level == 0 ? run : 0;
+    p.segments.push_back(seg);
+    i += run;
+  }
+  return p;
+}
+
+bool Pattern::Matches(std::string_view value) const {
+  // Greedy segment matching: literals must match exactly; class segments
+  // consume an exact run (length > 0) or a maximal run of >= 1 (length 0).
+  size_t pos = 0;
+  for (const PatternSegment& seg : segments) {
+    if (seg.is_literal) {
+      if (pos >= value.size() || value[pos] != seg.literal) return false;
+      ++pos;
+      continue;
+    }
+    size_t run = 0;
+    while (pos + run < value.size() && ClassOf(value[pos + run]) == seg.cls) {
+      ++run;
+    }
+    if (run == 0) return false;
+    if (seg.length > 0 && run != seg.length) return false;
+    pos += run;
+  }
+  return pos == value.size();
+}
+
+std::string Pattern::ToString() const {
+  std::string out;
+  for (const PatternSegment& seg : segments) {
+    if (seg.is_literal) {
+      out.push_back(seg.literal);
+    } else if (seg.length > 0) {
+      out.push_back(seg.cls);
+      out += "{" + std::to_string(seg.length) + "}";
+    } else {
+      out.push_back(seg.cls);
+      out.push_back('+');
+    }
+  }
+  return out;
+}
+
+Result<Validator> Validator::Train(const std::vector<std::string>& values,
+                                   const AutoValidateOptions& options) {
+  if (values.empty()) {
+    return Status::InvalidArgument("no training values");
+  }
+  // Try specificity levels from exact lengths to open lengths; at each
+  // level collect pattern frequencies and check whether the top
+  // max_patterns cover min_coverage of values.
+  for (int level = 0; level <= 1; ++level) {
+    std::map<std::string, Pattern> unique;
+    std::map<std::string, size_t> counts;
+    for (const std::string& v : values) {
+      Pattern p = ValuePattern(v, level);
+      std::string key = p.ToString();
+      unique.try_emplace(key, std::move(p));
+      ++counts[key];
+    }
+    std::vector<std::pair<size_t, std::string>> ranked;
+    for (const auto& [key, count] : counts) ranked.emplace_back(count, key);
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    size_t covered = 0;
+    size_t taken = 0;
+    for (const auto& [count, key] : ranked) {
+      if (taken >= options.max_patterns) break;
+      covered += count;
+      ++taken;
+    }
+    if (static_cast<double>(covered) >=
+        options.min_coverage * static_cast<double>(values.size())) {
+      Validator v;
+      for (size_t i = 0; i < taken; ++i) {
+        Pattern p = unique.at(ranked[i].second);
+        p.support = ranked[i].first;
+        v.patterns_.push_back(std::move(p));
+      }
+      return v;
+    }
+  }
+  return Status::FailedPrecondition(
+      "values too heterogeneous: no pattern set reaches the coverage "
+      "target");
+}
+
+bool Validator::Validate(std::string_view value) const {
+  for (const Pattern& p : patterns_) {
+    if (p.Matches(value)) return true;
+  }
+  return false;
+}
+
+double Validator::RejectionRate(const std::vector<std::string>& values) const {
+  if (values.empty()) return 0.0;
+  size_t rejected = 0;
+  for (const std::string& v : values) {
+    if (!Validate(v)) ++rejected;
+  }
+  return static_cast<double>(rejected) / static_cast<double>(values.size());
+}
+
+}  // namespace lakekit::quality

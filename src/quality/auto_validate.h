@@ -1,0 +1,74 @@
+#ifndef LAKEKIT_QUALITY_AUTO_VALIDATE_H_
+#define LAKEKIT_QUALITY_AUTO_VALIDATE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace lakekit::quality {
+
+/// A data-domain pattern in Auto-Validate's generalization language
+/// (Song & He, survey Sec. 6.5.2): a sequence of typed segments, each a
+/// literal or a character class with an exact or open length.
+struct PatternSegment {
+  /// 'd' digits, 'a' letters, or a literal character class of one char.
+  char cls = 'd';
+  bool is_literal = false;
+  char literal = 0;
+  /// Exact run length; 0 means "one or more" (open length).
+  size_t length = 0;
+};
+
+/// One inferred validation pattern.
+struct Pattern {
+  std::vector<PatternSegment> segments;
+  /// Training values matched by this pattern.
+  size_t support = 0;
+
+  bool Matches(std::string_view value) const;
+  std::string ToString() const;
+};
+
+struct AutoValidateOptions {
+  /// Inferred pattern set must cover at least this fraction of the
+  /// training values.
+  double min_coverage = 0.95;
+  /// Cap on the number of patterns in the validator.
+  size_t max_patterns = 4;
+};
+
+/// An inferred validator: a small set of patterns that accepts (almost) all
+/// training values while staying as specific as possible — Auto-Validate's
+/// trade-off between false-positive-rate minimization (specific patterns
+/// reject drifted data) and coverage (don't flag healthy data).
+class Validator {
+ public:
+  /// Infers a validator from a column of training values. The candidate
+  /// hierarchy per value goes from exact-length class patterns ("Z d{3}")
+  /// to open-length class patterns ("Z d+"); the most specific level whose
+  /// top patterns reach min_coverage wins.
+  static Result<Validator> Train(const std::vector<std::string>& values,
+                                 const AutoValidateOptions& options = {});
+
+  /// True when `value` matches any pattern.
+  bool Validate(std::string_view value) const;
+
+  /// Fraction of `values` rejected — the drift signal for a new batch.
+  double RejectionRate(const std::vector<std::string>& values) const;
+
+  const std::vector<Pattern>& patterns() const { return patterns_; }
+
+ private:
+  std::vector<Pattern> patterns_;
+};
+
+/// Pattern of a single value at a generalization level:
+/// level 0 = exact-length runs (e.g. "a{2}d{4}"), level 1 = open-length
+/// runs ("a+d+").
+Pattern ValuePattern(std::string_view value, int level);
+
+}  // namespace lakekit::quality
+
+#endif  // LAKEKIT_QUALITY_AUTO_VALIDATE_H_

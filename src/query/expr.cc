@@ -1,0 +1,218 @@
+#include "query/expr.h"
+
+namespace lakekit::query {
+
+namespace {
+
+std::shared_ptr<Expr> Make() { return std::make_shared<Expr>(); }
+
+}  // namespace
+
+ExprPtr Expr::Literal(table::Value v) {
+  auto e = Make();
+  e->kind_ = Kind::kLiteral;
+  e->literal_ = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Column(std::string name) {
+  auto e = Make();
+  e->kind_ = Kind::kColumn;
+  e->column_ = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::Compare(CmpOp op, ExprPtr left, ExprPtr right) {
+  auto e = Make();
+  e->kind_ = Kind::kCompare;
+  e->cmp_ = op;
+  e->left_ = std::move(left);
+  e->right_ = std::move(right);
+  return e;
+}
+
+ExprPtr Expr::Logical(LogicalOp op, ExprPtr left, ExprPtr right) {
+  auto e = Make();
+  e->kind_ = Kind::kLogical;
+  e->logical_ = op;
+  e->left_ = std::move(left);
+  e->right_ = std::move(right);
+  return e;
+}
+
+ExprPtr Expr::Arith(ArithOp op, ExprPtr left, ExprPtr right) {
+  auto e = Make();
+  e->kind_ = Kind::kArith;
+  e->arith_ = op;
+  e->left_ = std::move(left);
+  e->right_ = std::move(right);
+  return e;
+}
+
+ExprPtr Expr::Not(ExprPtr inner) {
+  auto e = Make();
+  e->kind_ = Kind::kNot;
+  e->left_ = std::move(inner);
+  return e;
+}
+
+ExprPtr Expr::IsNull(ExprPtr inner) {
+  auto e = Make();
+  e->kind_ = Kind::kIsNull;
+  e->left_ = std::move(inner);
+  return e;
+}
+
+Result<table::Value> Expr::Eval(const table::Schema& schema,
+                                const std::vector<table::Value>& row) const {
+  switch (kind_) {
+    case Kind::kLiteral:
+      return literal_;
+    case Kind::kColumn: {
+      auto idx = schema.IndexOf(column_);
+      if (!idx) {
+        return Status::NotFound("unknown column '" + column_ + "'");
+      }
+      return row[*idx];
+    }
+    case Kind::kCompare: {
+      LAKEKIT_ASSIGN_OR_RETURN(table::Value l, left_->Eval(schema, row));
+      LAKEKIT_ASSIGN_OR_RETURN(table::Value r, right_->Eval(schema, row));
+      if (l.is_null() || r.is_null()) return table::Value::Null();
+      bool result = false;
+      switch (cmp_) {
+        case CmpOp::kEq:
+          result = (l == r);
+          break;
+        case CmpOp::kNe:
+          result = !(l == r);
+          break;
+        case CmpOp::kLt:
+          result = (l < r);
+          break;
+        case CmpOp::kLe:
+          result = (l <= r);
+          break;
+        case CmpOp::kGt:
+          result = (l > r);
+          break;
+        case CmpOp::kGe:
+          result = (l >= r);
+          break;
+      }
+      return table::Value(result);
+    }
+    case Kind::kLogical: {
+      LAKEKIT_ASSIGN_OR_RETURN(table::Value l, left_->Eval(schema, row));
+      LAKEKIT_ASSIGN_OR_RETURN(table::Value r, right_->Eval(schema, row));
+      // Three-valued logic with NULL short-circuits.
+      auto truthy = [](const table::Value& v) {
+        return !v.is_null() && v.is_bool() && v.as_bool();
+      };
+      auto falsy = [](const table::Value& v) {
+        return !v.is_null() && v.is_bool() && !v.as_bool();
+      };
+      if (logical_ == LogicalOp::kAnd) {
+        if (falsy(l) || falsy(r)) return table::Value(false);
+        if (l.is_null() || r.is_null()) return table::Value::Null();
+        return table::Value(truthy(l) && truthy(r));
+      }
+      if (truthy(l) || truthy(r)) return table::Value(true);
+      if (l.is_null() || r.is_null()) return table::Value::Null();
+      return table::Value(truthy(l) || truthy(r));
+    }
+    case Kind::kArith: {
+      LAKEKIT_ASSIGN_OR_RETURN(table::Value l, left_->Eval(schema, row));
+      LAKEKIT_ASSIGN_OR_RETURN(table::Value r, right_->Eval(schema, row));
+      if (l.is_null() || r.is_null()) return table::Value::Null();
+      if (!l.is_numeric() || !r.is_numeric()) {
+        return Status::InvalidArgument("arithmetic on non-numeric values");
+      }
+      // Integer arithmetic stays integral except division.
+      if (l.is_int() && r.is_int() && arith_ != ArithOp::kDiv) {
+        int64_t a = l.as_int();
+        int64_t b = r.as_int();
+        switch (arith_) {
+          case ArithOp::kAdd:
+            return table::Value(a + b);
+          case ArithOp::kSub:
+            return table::Value(a - b);
+          case ArithOp::kMul:
+            return table::Value(a * b);
+          case ArithOp::kDiv:
+            break;
+        }
+      }
+      double a = l.as_double();
+      double b = r.as_double();
+      switch (arith_) {
+        case ArithOp::kAdd:
+          return table::Value(a + b);
+        case ArithOp::kSub:
+          return table::Value(a - b);
+        case ArithOp::kMul:
+          return table::Value(a * b);
+        case ArithOp::kDiv:
+          if (b == 0) return table::Value::Null();
+          return table::Value(a / b);
+      }
+      return Status::Internal("unreachable arithmetic");
+    }
+    case Kind::kNot: {
+      LAKEKIT_ASSIGN_OR_RETURN(table::Value v, left_->Eval(schema, row));
+      if (v.is_null()) return table::Value::Null();
+      if (!v.is_bool()) {
+        return Status::InvalidArgument("NOT on non-boolean value");
+      }
+      return table::Value(!v.as_bool());
+    }
+    case Kind::kIsNull: {
+      LAKEKIT_ASSIGN_OR_RETURN(table::Value v, left_->Eval(schema, row));
+      return table::Value(v.is_null());
+    }
+  }
+  return Status::Internal("unreachable expression kind");
+}
+
+void Expr::CollectColumns(std::vector<std::string>* out) const {
+  if (kind_ == Kind::kColumn) out->push_back(column_);
+  if (left_) left_->CollectColumns(out);
+  if (right_) right_->CollectColumns(out);
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case Kind::kLiteral:
+      return literal_.is_string() ? "'" + literal_.ToString() + "'"
+                                  : literal_.ToString();
+    case Kind::kColumn:
+      return column_;
+    case Kind::kCompare: {
+      static const char* kOps[] = {"=", "!=", "<", "<=", ">", ">="};
+      return "(" + left_->ToString() + " " +
+             kOps[static_cast<int>(cmp_)] + " " + right_->ToString() + ")";
+    }
+    case Kind::kLogical:
+      return "(" + left_->ToString() +
+             (logical_ == LogicalOp::kAnd ? " AND " : " OR ") +
+             right_->ToString() + ")";
+    case Kind::kArith: {
+      static const char* kOps[] = {"+", "-", "*", "/"};
+      return "(" + left_->ToString() + " " +
+             kOps[static_cast<int>(arith_)] + " " + right_->ToString() + ")";
+    }
+    case Kind::kNot:
+      return "(NOT " + left_->ToString() + ")";
+    case Kind::kIsNull:
+      return "(" + left_->ToString() + " IS NULL)";
+  }
+  return "?";
+}
+
+Result<bool> EvalPredicate(const Expr& expr, const table::Schema& schema,
+                           const std::vector<table::Value>& row) {
+  LAKEKIT_ASSIGN_OR_RETURN(table::Value v, expr.Eval(schema, row));
+  return !v.is_null() && v.is_bool() && v.as_bool();
+}
+
+}  // namespace lakekit::query

@@ -1,0 +1,122 @@
+#include "query/federation.h"
+
+#include <algorithm>
+
+namespace lakekit::query {
+
+void SplitConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out) {
+  if (!expr) return;
+  if (expr->kind() == Expr::Kind::kLogical &&
+      expr->logical_op() == LogicalOp::kAnd) {
+    SplitConjuncts(expr->left(), out);
+    SplitConjuncts(expr->right(), out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+ExprPtr CombineConjuncts(const std::vector<ExprPtr>& conjuncts) {
+  ExprPtr combined;
+  for (const ExprPtr& c : conjuncts) {
+    combined = combined ? Expr::Logical(LogicalOp::kAnd, combined, c) : c;
+  }
+  return combined;
+}
+
+Result<table::Table> FederatedEngine::Scan(const std::string& dataset,
+                                           const Expr* predicate,
+                                           FederationStats* stats) const {
+  LAKEKIT_ASSIGN_OR_RETURN(table::Table t, polystore_->ReadAsTable(dataset));
+  if (stats != nullptr) stats->rows_scanned += t.num_rows();
+  if (predicate != nullptr) {
+    LAKEKIT_ASSIGN_OR_RETURN(t, Filter(t, *predicate));
+  }
+  if (stats != nullptr) stats->rows_shipped += t.num_rows();
+  return t;
+}
+
+namespace {
+
+/// Whether every column referenced by `expr` exists in `schema`.
+bool CoveredBy(const Expr& expr, const table::Schema& schema) {
+  std::vector<std::string> columns;
+  expr.CollectColumns(&columns);
+  for (const std::string& c : columns) {
+    if (!schema.HasField(c)) return false;
+  }
+  return !columns.empty();
+}
+
+}  // namespace
+
+Result<table::Table> FederatedEngine::Query(std::string_view sql,
+                                            bool enable_pushdown) {
+  stats_ = FederationStats{};
+  LAKEKIT_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSql(sql));
+
+  // Decompose the WHERE clause into conjuncts and classify them by which
+  // source covers them.
+  std::vector<ExprPtr> conjuncts;
+  SplitConjuncts(stmt.where, &conjuncts);
+
+  // Pre-read source schemas (cheap: the polystore is in-process; a remote
+  // deployment would consult the catalog).
+  LAKEKIT_ASSIGN_OR_RETURN(table::Table from_probe,
+                           polystore_->ReadAsTable(stmt.from_table));
+  const table::Schema& from_schema = from_probe.schema();
+  table::Schema join_schema;
+  if (stmt.join_table) {
+    LAKEKIT_ASSIGN_OR_RETURN(table::Table join_probe,
+                             polystore_->ReadAsTable(*stmt.join_table));
+    join_schema = join_probe.schema();
+  }
+
+  std::vector<ExprPtr> from_push;
+  std::vector<ExprPtr> join_push;
+  std::vector<ExprPtr> residual;
+  for (const ExprPtr& c : conjuncts) {
+    if (enable_pushdown && CoveredBy(*c, from_schema)) {
+      from_push.push_back(c);
+    } else if (enable_pushdown && stmt.join_table &&
+               CoveredBy(*c, join_schema)) {
+      join_push.push_back(c);
+    } else {
+      residual.push_back(c);
+    }
+  }
+  stats_.pushed_conjuncts = from_push.size() + join_push.size();
+  stats_.residual_conjuncts = residual.size();
+
+  // Source scans with pushed predicates.
+  ExprPtr from_pred = CombineConjuncts(from_push);
+  LAKEKIT_ASSIGN_OR_RETURN(
+      table::Table current,
+      Scan(stmt.from_table, from_pred ? from_pred.get() : nullptr, &stats_));
+  if (stmt.join_table) {
+    ExprPtr join_pred = CombineConjuncts(join_push);
+    LAKEKIT_ASSIGN_OR_RETURN(
+        table::Table right,
+        Scan(*stmt.join_table, join_pred ? join_pred.get() : nullptr,
+             &stats_));
+    stats_.join_input_rows = current.num_rows() + right.num_rows();
+    LAKEKIT_ASSIGN_OR_RETURN(
+        current, HashJoin(current, right, stmt.join_left_col,
+                          stmt.join_right_col, JoinType::kInner));
+  }
+
+  // Residual filtering + the rest of the plan at the mediator.
+  ExprPtr residual_pred = CombineConjuncts(residual);
+  if (residual_pred) {
+    LAKEKIT_ASSIGN_OR_RETURN(current, Filter(current, *residual_pred));
+  }
+  SelectStatement tail = stmt;
+  tail.where = nullptr;  // already applied
+  tail.from_table = "__current__";
+  tail.join_table.reset();
+  return ExecuteSelect(tail, [&](const std::string& name) -> Result<table::Table> {
+    if (name == "__current__") return current;
+    return Status::NotFound("unexpected table '" + name + "'");
+  });
+}
+
+}  // namespace lakekit::query

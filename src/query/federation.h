@@ -1,0 +1,63 @@
+#ifndef LAKEKIT_QUERY_FEDERATION_H_
+#define LAKEKIT_QUERY_FEDERATION_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "query/sql.h"
+#include "storage/polystore.h"
+
+namespace lakekit::query {
+
+/// Per-query execution statistics demonstrating the effect of predicate
+/// pushdown (Constance pushes selections to the sources to "reduce the
+/// amount of data to be loaded", survey Sec. 6.3/7.2).
+struct FederationStats {
+  /// Rows read from the underlying stores.
+  size_t rows_scanned = 0;
+  /// Rows shipped from the sources to the mediator.
+  size_t rows_shipped = 0;
+  /// Rows fed into the join (both sides).
+  size_t join_input_rows = 0;
+  /// Conjuncts pushed to sources.
+  size_t pushed_conjuncts = 0;
+  /// Conjuncts evaluated at the mediator.
+  size_t residual_conjuncts = 0;
+};
+
+/// A federated query engine over the polystore — the Constance /
+/// Ontario / Squerall pattern (survey Sec. 7.2): one SQL interface, query
+/// decomposition per source, per-source predicate pushdown, and mediator-
+/// side join + residual filtering of the shipped partial results.
+class FederatedEngine {
+ public:
+  explicit FederatedEngine(storage::Polystore* polystore)
+      : polystore_(polystore) {}
+
+  /// Runs a SQL query whose FROM/JOIN tables are registered datasets.
+  /// With pushdown enabled, WHERE conjuncts that reference only one
+  /// source's columns are evaluated during that source's scan.
+  Result<table::Table> Query(std::string_view sql, bool enable_pushdown = true);
+
+  /// Scans one dataset with an optional source-side predicate.
+  Result<table::Table> Scan(const std::string& dataset, const Expr* predicate,
+                            FederationStats* stats) const;
+
+  const FederationStats& last_stats() const { return stats_; }
+
+ private:
+  storage::Polystore* polystore_;
+  FederationStats stats_;
+};
+
+/// Splits a predicate into its top-level AND conjuncts.
+void SplitConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out);
+
+/// Reassembles conjuncts with AND; nullptr for an empty list.
+ExprPtr CombineConjuncts(const std::vector<ExprPtr>& conjuncts);
+
+}  // namespace lakekit::query
+
+#endif  // LAKEKIT_QUERY_FEDERATION_H_

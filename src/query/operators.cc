@@ -1,0 +1,238 @@
+#include "query/operators.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+namespace lakekit::query {
+
+using table::DataType;
+using table::Field;
+using table::Schema;
+using table::Table;
+using table::Value;
+
+Result<Table> Filter(const Table& input, const Expr& predicate) {
+  Table out(input.name(), input.schema());
+  for (size_t r = 0; r < input.num_rows(); ++r) {
+    std::vector<Value> row = input.Row(r);
+    LAKEKIT_ASSIGN_OR_RETURN(bool keep,
+                             EvalPredicate(predicate, input.schema(), row));
+    if (keep) {
+      LAKEKIT_RETURN_IF_ERROR(out.AppendRow(std::move(row)));
+    }
+  }
+  return out;
+}
+
+Result<Table> Project(const Table& input,
+                      const std::vector<std::string>& columns) {
+  Schema schema;
+  std::vector<size_t> indexes;
+  for (const std::string& name : columns) {
+    LAKEKIT_ASSIGN_OR_RETURN(size_t idx, input.ColumnIndex(name));
+    indexes.push_back(idx);
+    schema.AddField(input.schema().field(idx));
+  }
+  Table out(input.name(), schema);
+  for (size_t r = 0; r < input.num_rows(); ++r) {
+    std::vector<Value> row;
+    row.reserve(indexes.size());
+    for (size_t idx : indexes) row.push_back(input.at(r, idx));
+    LAKEKIT_RETURN_IF_ERROR(out.AppendRow(std::move(row)));
+  }
+  return out;
+}
+
+Result<Table> HashJoin(const Table& left, const Table& right,
+                       const std::string& left_col,
+                       const std::string& right_col, JoinType type) {
+  LAKEKIT_ASSIGN_OR_RETURN(size_t lidx, left.ColumnIndex(left_col));
+  LAKEKIT_ASSIGN_OR_RETURN(size_t ridx, right.ColumnIndex(right_col));
+
+  // Output schema: left fields + right fields (suffixing collisions).
+  Schema schema;
+  for (const Field& f : left.schema().fields()) schema.AddField(f);
+  for (const Field& f : right.schema().fields()) {
+    Field field = f;
+    while (schema.HasField(field.name)) field.name += "_r";
+    schema.AddField(field);
+  }
+
+  // Build side: right.
+  std::unordered_map<Value, std::vector<size_t>, table::ValueHash> build;
+  for (size_t r = 0; r < right.num_rows(); ++r) {
+    const Value& key = right.at(r, ridx);
+    if (key.is_null()) continue;
+    build[key].push_back(r);
+  }
+
+  Table out(left.name() + "_join_" + right.name(), schema);
+  const size_t right_cols = right.num_columns();
+  for (size_t l = 0; l < left.num_rows(); ++l) {
+    const Value& key = left.at(l, lidx);
+    auto it = key.is_null() ? build.end() : build.find(key);
+    if (it != build.end()) {
+      for (size_t r : it->second) {
+        std::vector<Value> row = left.Row(l);
+        for (size_t c = 0; c < right_cols; ++c) row.push_back(right.at(r, c));
+        LAKEKIT_RETURN_IF_ERROR(out.AppendRow(std::move(row)));
+      }
+    } else if (type == JoinType::kLeft) {
+      std::vector<Value> row = left.Row(l);
+      for (size_t c = 0; c < right_cols; ++c) row.push_back(Value::Null());
+      LAKEKIT_RETURN_IF_ERROR(out.AppendRow(std::move(row)));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+struct AggState {
+  size_t count = 0;
+  double sum = 0;
+  Value min;
+  Value max;
+
+  void Add(const Value& v) {
+    if (v.is_null()) return;
+    ++count;
+    if (v.is_numeric()) sum += v.as_double();
+    if (min.is_null() || v < min) min = v;
+    if (max.is_null() || max < v) max = v;
+  }
+  Value Finish(AggFn fn) const {
+    switch (fn) {
+      case AggFn::kCount:
+        return Value(static_cast<int64_t>(count));
+      case AggFn::kSum:
+        return count == 0 ? Value::Null() : Value(sum);
+      case AggFn::kAvg:
+        return count == 0 ? Value::Null()
+                          : Value(sum / static_cast<double>(count));
+      case AggFn::kMin:
+        return min;
+      case AggFn::kMax:
+        return max;
+    }
+    return Value::Null();
+  }
+};
+
+}  // namespace
+
+Result<Table> Aggregate(const Table& input,
+                        const std::vector<std::string>& group_by,
+                        const std::vector<AggSpec>& aggs) {
+  std::vector<size_t> group_idx;
+  for (const std::string& g : group_by) {
+    LAKEKIT_ASSIGN_OR_RETURN(size_t idx, input.ColumnIndex(g));
+    group_idx.push_back(idx);
+  }
+  std::vector<size_t> agg_idx(aggs.size(), static_cast<size_t>(-1));
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    if (!aggs[i].column.empty()) {
+      LAKEKIT_ASSIGN_OR_RETURN(size_t idx, input.ColumnIndex(aggs[i].column));
+      agg_idx[i] = idx;
+    } else if (aggs[i].fn != AggFn::kCount) {
+      return Status::InvalidArgument("only COUNT supports '*'");
+    }
+  }
+
+  // Group rows.
+  struct Group {
+    std::vector<Value> key;
+    std::vector<AggState> states;
+  };
+  std::unordered_map<std::string, Group> groups;
+  std::vector<std::string> order;  // first-seen group order
+  for (size_t r = 0; r < input.num_rows(); ++r) {
+    std::string key;
+    std::vector<Value> key_values;
+    for (size_t g : group_idx) {
+      const Value& v = input.at(r, g);
+      key += v.is_null() ? "\x01" : v.ToString();
+      key += "\x02";
+      key_values.push_back(v);
+    }
+    auto [it, inserted] = groups.try_emplace(key);
+    if (inserted) {
+      it->second.key = std::move(key_values);
+      it->second.states.resize(aggs.size());
+      order.push_back(key);
+    }
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      if (aggs[i].fn == AggFn::kCount && agg_idx[i] == static_cast<size_t>(-1)) {
+        ++it->second.states[i].count;
+      } else {
+        it->second.states[i].Add(input.at(r, agg_idx[i]));
+      }
+    }
+  }
+  // Global aggregate over empty input still yields one row.
+  if (group_by.empty() && groups.empty()) {
+    Group g;
+    g.states.resize(aggs.size());
+    groups[""] = std::move(g);
+    order.push_back("");
+  }
+
+  // Output schema.
+  Schema schema;
+  for (size_t g : group_idx) schema.AddField(input.schema().field(g));
+  for (const AggSpec& a : aggs) {
+    DataType type = a.fn == AggFn::kCount ? DataType::kInt64
+                    : (a.fn == AggFn::kMin || a.fn == AggFn::kMax)
+                        ? (agg_idx[&a - aggs.data()] == static_cast<size_t>(-1)
+                               ? DataType::kString
+                               : input.schema()
+                                     .field(agg_idx[&a - aggs.data()])
+                                     .type)
+                        : DataType::kDouble;
+    std::string alias = a.alias;
+    if (alias.empty()) {
+      static const char* kNames[] = {"count", "sum", "avg", "min", "max"};
+      alias = std::string(kNames[static_cast<int>(a.fn)]) +
+              (a.column.empty() ? "" : "_" + a.column);
+    }
+    schema.AddField(Field{alias, type, true});
+  }
+  Table out(input.name() + "_agg", schema);
+  for (const std::string& key : order) {
+    const Group& g = groups.at(key);
+    std::vector<Value> row = g.key;
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      row.push_back(g.states[i].Finish(aggs[i].fn));
+    }
+    LAKEKIT_RETURN_IF_ERROR(out.AppendRow(std::move(row)));
+  }
+  return out;
+}
+
+Result<Table> Sort(const Table& input, const std::string& column,
+                   bool ascending) {
+  LAKEKIT_ASSIGN_OR_RETURN(size_t idx, input.ColumnIndex(column));
+  std::vector<size_t> order(input.num_rows());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const Value& va = input.at(a, idx);
+    const Value& vb = input.at(b, idx);
+    return ascending ? va < vb : vb < va;
+  });
+  Table out(input.name(), input.schema());
+  for (size_t r : order) {
+    LAKEKIT_RETURN_IF_ERROR(out.AppendRow(input.Row(r)));
+  }
+  return out;
+}
+
+table::Table Limit(const Table& input, size_t n) {
+  Table out(input.name(), input.schema());
+  for (size_t r = 0; r < input.num_rows() && r < n; ++r) {
+    (void)out.AppendRow(input.Row(r));
+  }
+  return out;
+}
+
+}  // namespace lakekit::query

@@ -1,0 +1,58 @@
+#ifndef LAKEKIT_QUERY_OPERATORS_H_
+#define LAKEKIT_QUERY_OPERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/expr.h"
+#include "table/table.h"
+
+namespace lakekit::query {
+
+/// Relational operators over in-memory tables — the execution layer behind
+/// the heterogeneous querying tier (survey Sec. 7.2). All operators are
+/// pure: they return new tables.
+
+/// Rows satisfying `predicate` (NULL predicate results excluded).
+Result<table::Table> Filter(const table::Table& input, const Expr& predicate);
+
+/// Keeps `columns` in the given order.
+Result<table::Table> Project(const table::Table& input,
+                             const std::vector<std::string>& columns);
+
+enum class JoinType { kInner, kLeft };
+
+/// Hash equi-join on left_col = right_col. Right columns are appended;
+/// name collisions get a "_r" suffix. NULL keys never join.
+Result<table::Table> HashJoin(const table::Table& left,
+                              const table::Table& right,
+                              const std::string& left_col,
+                              const std::string& right_col,
+                              JoinType type = JoinType::kInner);
+
+enum class AggFn { kCount, kSum, kAvg, kMin, kMax };
+
+struct AggSpec {
+  AggFn fn = AggFn::kCount;
+  /// Input column; ignored for COUNT(*) (empty name).
+  std::string column;
+  std::string alias;
+};
+
+/// Group-by + aggregates. With empty `group_by`, one global row.
+/// NULLs are skipped by all aggregate inputs (SQL semantics).
+Result<table::Table> Aggregate(const table::Table& input,
+                               const std::vector<std::string>& group_by,
+                               const std::vector<AggSpec>& aggs);
+
+/// Stable sort by column (NULLs first when ascending).
+Result<table::Table> Sort(const table::Table& input, const std::string& column,
+                          bool ascending = true);
+
+/// First `n` rows.
+table::Table Limit(const table::Table& input, size_t n);
+
+}  // namespace lakekit::query
+
+#endif  // LAKEKIT_QUERY_OPERATORS_H_

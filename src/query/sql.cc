@@ -1,0 +1,416 @@
+#include "query/sql.h"
+
+#include <cctype>
+#include <charconv>
+
+#include "common/string_util.h"
+
+namespace lakekit::query {
+
+namespace {
+
+enum class TokenType { kIdent, kNumber, kString, kSymbol, kEnd };
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;  // identifiers upper-cased for keywords? keep raw
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view sql) : sql_(sql) { Advance(); }
+
+  const Token& Peek() const { return current_; }
+
+  Token Next() {
+    Token t = current_;
+    Advance();
+    return t;
+  }
+
+  /// Case-insensitive keyword check without consuming.
+  bool PeekKeyword(std::string_view keyword) const {
+    return current_.type == TokenType::kIdent &&
+           ToLower(current_.text) == ToLower(keyword);
+  }
+
+  bool ConsumeKeyword(std::string_view keyword) {
+    if (!PeekKeyword(keyword)) return false;
+    Advance();
+    return true;
+  }
+
+  bool ConsumeSymbol(std::string_view symbol) {
+    if (current_.type != TokenType::kSymbol || current_.text != symbol) {
+      return false;
+    }
+    Advance();
+    return true;
+  }
+
+ private:
+  void Advance() {
+    while (pos_ < sql_.size() &&
+           std::isspace(static_cast<unsigned char>(sql_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= sql_.size()) {
+      current_ = Token{TokenType::kEnd, ""};
+      return;
+    }
+    char c = sql_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < sql_.size() &&
+             (std::isalnum(static_cast<unsigned char>(sql_[pos_])) ||
+              sql_[pos_] == '_' || sql_[pos_] == '.')) {
+        ++pos_;
+      }
+      current_ = Token{TokenType::kIdent,
+                       std::string(sql_.substr(start, pos_ - start))};
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < sql_.size() &&
+         std::isdigit(static_cast<unsigned char>(sql_[pos_ + 1])))) {
+      size_t start = pos_;
+      ++pos_;
+      while (pos_ < sql_.size() &&
+             (std::isdigit(static_cast<unsigned char>(sql_[pos_])) ||
+              sql_[pos_] == '.' || sql_[pos_] == 'e' || sql_[pos_] == 'E' ||
+              sql_[pos_] == '+' ||
+              (sql_[pos_] == '-' &&
+               (sql_[pos_ - 1] == 'e' || sql_[pos_ - 1] == 'E')))) {
+        ++pos_;
+      }
+      current_ = Token{TokenType::kNumber,
+                       std::string(sql_.substr(start, pos_ - start))};
+      return;
+    }
+    if (c == '\'') {
+      ++pos_;
+      std::string text;
+      while (pos_ < sql_.size() && sql_[pos_] != '\'') {
+        text.push_back(sql_[pos_++]);
+      }
+      if (pos_ < sql_.size()) ++pos_;  // closing quote
+      current_ = Token{TokenType::kString, std::move(text)};
+      return;
+    }
+    // Multi-char comparison symbols.
+    for (std::string_view sym : {"<=", ">=", "!=", "<>"}) {
+      if (sql_.substr(pos_, 2) == sym) {
+        current_ = Token{TokenType::kSymbol, std::string(sym)};
+        pos_ += 2;
+        return;
+      }
+    }
+    current_ = Token{TokenType::kSymbol, std::string(1, c)};
+    ++pos_;
+  }
+
+  std::string_view sql_;
+  size_t pos_ = 0;
+  Token current_;
+};
+
+/// Strips a "table." qualifier.
+std::string Unqualify(const std::string& name) {
+  size_t dot = name.rfind('.');
+  return dot == std::string::npos ? name : name.substr(dot + 1);
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view sql) : lexer_(sql) {}
+
+  Result<SelectStatement> Parse() {
+    SelectStatement stmt;
+    if (!lexer_.ConsumeKeyword("select")) {
+      return Error("expected SELECT");
+    }
+    if (lexer_.ConsumeSymbol("*")) {
+      stmt.select_all = true;
+    } else {
+      while (true) {
+        LAKEKIT_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+        stmt.items.push_back(std::move(item));
+        if (!lexer_.ConsumeSymbol(",")) break;
+      }
+    }
+    if (!lexer_.ConsumeKeyword("from")) return Error("expected FROM");
+    LAKEKIT_ASSIGN_OR_RETURN(stmt.from_table, ParseIdent());
+
+    if (lexer_.ConsumeKeyword("join")) {
+      LAKEKIT_ASSIGN_OR_RETURN(std::string join_table, ParseIdent());
+      stmt.join_table = join_table;
+      if (!lexer_.ConsumeKeyword("on")) return Error("expected ON");
+      LAKEKIT_ASSIGN_OR_RETURN(std::string left, ParseIdent());
+      if (!lexer_.ConsumeSymbol("=")) return Error("expected '=' in ON");
+      LAKEKIT_ASSIGN_OR_RETURN(std::string right, ParseIdent());
+      stmt.join_left_col = Unqualify(left);
+      stmt.join_right_col = Unqualify(right);
+    }
+    if (lexer_.ConsumeKeyword("where")) {
+      LAKEKIT_ASSIGN_OR_RETURN(stmt.where, ParseOr());
+    }
+    if (lexer_.ConsumeKeyword("group")) {
+      if (!lexer_.ConsumeKeyword("by")) return Error("expected BY");
+      while (true) {
+        LAKEKIT_ASSIGN_OR_RETURN(std::string col, ParseIdent());
+        stmt.group_by.push_back(Unqualify(col));
+        if (!lexer_.ConsumeSymbol(",")) break;
+      }
+    }
+    if (lexer_.ConsumeKeyword("order")) {
+      if (!lexer_.ConsumeKeyword("by")) return Error("expected BY");
+      LAKEKIT_ASSIGN_OR_RETURN(std::string col, ParseIdent());
+      stmt.order_by = Unqualify(col);
+      if (lexer_.ConsumeKeyword("desc")) {
+        stmt.order_ascending = false;
+      } else {
+        lexer_.ConsumeKeyword("asc");
+      }
+    }
+    if (lexer_.ConsumeKeyword("limit")) {
+      Token t = lexer_.Next();
+      if (t.type != TokenType::kNumber) return Error("expected LIMIT count");
+      stmt.limit = static_cast<size_t>(std::stoull(t.text));
+    }
+    if (lexer_.Peek().type != TokenType::kEnd) {
+      return Error("unexpected trailing token '" + lexer_.Peek().text + "'");
+    }
+    return stmt;
+  }
+
+ private:
+  Status Error(std::string message) const {
+    return Status::InvalidArgument("SQL: " + std::move(message));
+  }
+
+  Result<std::string> ParseIdent() {
+    Token t = lexer_.Next();
+    if (t.type != TokenType::kIdent) {
+      return Error("expected identifier, got '" + t.text + "'");
+    }
+    return t.text;
+  }
+
+  Result<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    Token t = lexer_.Next();
+    if (t.type != TokenType::kIdent) {
+      return Error("expected column or aggregate, got '" + t.text + "'");
+    }
+    std::string lower = ToLower(t.text);
+    std::optional<AggFn> agg;
+    if (lower == "count") agg = AggFn::kCount;
+    if (lower == "sum") agg = AggFn::kSum;
+    if (lower == "avg") agg = AggFn::kAvg;
+    if (lower == "min") agg = AggFn::kMin;
+    if (lower == "max") agg = AggFn::kMax;
+    if (agg && lexer_.ConsumeSymbol("(")) {
+      item.agg = agg;
+      if (lexer_.ConsumeSymbol("*")) {
+        if (*agg != AggFn::kCount) return Error("only COUNT accepts '*'");
+      } else {
+        LAKEKIT_ASSIGN_OR_RETURN(std::string col, ParseIdent());
+        item.column = Unqualify(col);
+      }
+      if (!lexer_.ConsumeSymbol(")")) return Error("expected ')'");
+    } else {
+      item.column = Unqualify(t.text);
+    }
+    if (lexer_.ConsumeKeyword("as")) {
+      LAKEKIT_ASSIGN_OR_RETURN(item.alias, ParseIdent());
+    }
+    return item;
+  }
+
+  Result<ExprPtr> ParseOr() {
+    LAKEKIT_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (lexer_.ConsumeKeyword("or")) {
+      LAKEKIT_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      left = Expr::Logical(LogicalOp::kOr, left, right);
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    LAKEKIT_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+    while (lexer_.ConsumeKeyword("and")) {
+      LAKEKIT_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+      left = Expr::Logical(LogicalOp::kAnd, left, right);
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (lexer_.ConsumeKeyword("not")) {
+      LAKEKIT_ASSIGN_OR_RETURN(ExprPtr inner, ParseUnary());
+      return Expr::Not(inner);
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    LAKEKIT_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+    if (lexer_.ConsumeKeyword("is")) {
+      bool negated = lexer_.ConsumeKeyword("not");
+      if (!lexer_.ConsumeKeyword("null")) return Error("expected NULL");
+      ExprPtr test = Expr::IsNull(left);
+      return negated ? Expr::Not(test) : test;
+    }
+    struct SymbolOp {
+      std::string_view symbol;
+      CmpOp op;
+    };
+    static constexpr SymbolOp kOps[] = {
+        {"<=", CmpOp::kLe}, {">=", CmpOp::kGe}, {"!=", CmpOp::kNe},
+        {"<>", CmpOp::kNe}, {"=", CmpOp::kEq},  {"<", CmpOp::kLt},
+        {">", CmpOp::kGt}};
+    for (const SymbolOp& s : kOps) {
+      if (lexer_.ConsumeSymbol(s.symbol)) {
+        LAKEKIT_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+        return Expr::Compare(s.op, left, right);
+      }
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    LAKEKIT_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+    while (true) {
+      if (lexer_.ConsumeSymbol("+")) {
+        LAKEKIT_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+        left = Expr::Arith(ArithOp::kAdd, left, right);
+      } else if (lexer_.ConsumeSymbol("-")) {
+        LAKEKIT_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+        left = Expr::Arith(ArithOp::kSub, left, right);
+      } else {
+        return left;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    LAKEKIT_ASSIGN_OR_RETURN(ExprPtr left, ParsePrimary());
+    while (true) {
+      if (lexer_.ConsumeSymbol("*")) {
+        LAKEKIT_ASSIGN_OR_RETURN(ExprPtr right, ParsePrimary());
+        left = Expr::Arith(ArithOp::kMul, left, right);
+      } else if (lexer_.ConsumeSymbol("/")) {
+        LAKEKIT_ASSIGN_OR_RETURN(ExprPtr right, ParsePrimary());
+        left = Expr::Arith(ArithOp::kDiv, left, right);
+      } else {
+        return left;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    if (lexer_.ConsumeSymbol("(")) {
+      LAKEKIT_ASSIGN_OR_RETURN(ExprPtr inner, ParseOr());
+      if (!lexer_.ConsumeSymbol(")")) return Error("expected ')'");
+      return inner;
+    }
+    Token t = lexer_.Next();
+    switch (t.type) {
+      case TokenType::kNumber: {
+        if (t.text.find('.') == std::string::npos &&
+            t.text.find('e') == std::string::npos &&
+            t.text.find('E') == std::string::npos) {
+          int64_t i = 0;
+          auto [ptr, ec] =
+              std::from_chars(t.text.data(), t.text.data() + t.text.size(), i);
+          if (ec == std::errc() && ptr == t.text.data() + t.text.size()) {
+            return Expr::Literal(table::Value(i));
+          }
+        }
+        double d = 0;
+        auto [ptr, ec] =
+            std::from_chars(t.text.data(), t.text.data() + t.text.size(), d);
+        if (ec != std::errc() || ptr != t.text.data() + t.text.size()) {
+          return Error("bad number '" + t.text + "'");
+        }
+        return Expr::Literal(table::Value(d));
+      }
+      case TokenType::kString:
+        return Expr::Literal(table::Value(t.text));
+      case TokenType::kIdent: {
+        std::string lower = ToLower(t.text);
+        if (lower == "true") return Expr::Literal(table::Value(true));
+        if (lower == "false") return Expr::Literal(table::Value(false));
+        if (lower == "null") return Expr::Literal(table::Value::Null());
+        return Expr::Column(Unqualify(t.text));
+      }
+      default:
+        return Error("unexpected token '" + t.text + "'");
+    }
+  }
+
+  Lexer lexer_;
+};
+
+}  // namespace
+
+Result<SelectStatement> ParseSql(std::string_view sql) {
+  return Parser(sql).Parse();
+}
+
+Result<table::Table> ExecuteSelect(const SelectStatement& stmt,
+                                   const TableResolver& resolver) {
+  LAKEKIT_ASSIGN_OR_RETURN(table::Table current, resolver(stmt.from_table));
+  if (stmt.join_table) {
+    LAKEKIT_ASSIGN_OR_RETURN(table::Table right, resolver(*stmt.join_table));
+    LAKEKIT_ASSIGN_OR_RETURN(
+        current, HashJoin(current, right, stmt.join_left_col,
+                          stmt.join_right_col, JoinType::kInner));
+  }
+  if (stmt.where) {
+    LAKEKIT_ASSIGN_OR_RETURN(current, Filter(current, *stmt.where));
+  }
+  const bool has_agg = [&] {
+    for (const SelectItem& i : stmt.items) {
+      if (i.agg) return true;
+    }
+    return false;
+  }();
+  if (has_agg || !stmt.group_by.empty()) {
+    std::vector<AggSpec> aggs;
+    for (const SelectItem& i : stmt.items) {
+      if (i.agg) {
+        aggs.push_back(AggSpec{*i.agg, i.column, i.alias});
+      }
+    }
+    LAKEKIT_ASSIGN_OR_RETURN(current, Aggregate(current, stmt.group_by, aggs));
+    if (stmt.order_by) {
+      LAKEKIT_ASSIGN_OR_RETURN(
+          current, Sort(current, *stmt.order_by, stmt.order_ascending));
+    }
+  } else {
+    // ORDER BY may reference columns dropped by the projection, so sort on
+    // the pre-projection table (standard SQL semantics).
+    if (stmt.order_by) {
+      LAKEKIT_ASSIGN_OR_RETURN(
+          current, Sort(current, *stmt.order_by, stmt.order_ascending));
+    }
+    if (!stmt.select_all) {
+      std::vector<std::string> columns;
+      for (const SelectItem& i : stmt.items) columns.push_back(i.column);
+      LAKEKIT_ASSIGN_OR_RETURN(current, Project(current, columns));
+    }
+  }
+  if (stmt.limit) {
+    current = Limit(current, *stmt.limit);
+  }
+  return current;
+}
+
+Result<table::Table> RunSql(std::string_view sql,
+                            const TableResolver& resolver) {
+  LAKEKIT_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSql(sql));
+  return ExecuteSelect(stmt, resolver);
+}
+
+}  // namespace lakekit::query

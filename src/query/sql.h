@@ -1,0 +1,68 @@
+#ifndef LAKEKIT_QUERY_SQL_H_
+#define LAKEKIT_QUERY_SQL_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "query/operators.h"
+
+namespace lakekit::query {
+
+/// One SELECT-list item: either a plain column or an aggregate call.
+struct SelectItem {
+  std::string column;  // empty for COUNT(*)
+  std::optional<AggFn> agg;
+  std::string alias;
+};
+
+/// A parsed SELECT statement of the lakekit SQL dialect:
+///
+///   SELECT <*|item[, item...]> FROM t
+///     [JOIN u ON a = b]
+///     [WHERE <predicate>]
+///     [GROUP BY col[, col...]]
+///     [ORDER BY col [ASC|DESC]]
+///     [LIMIT n]
+///
+/// Aggregates: COUNT(*|col), SUM, AVG, MIN, MAX. Predicates support
+/// comparison operators, AND/OR/NOT, IS [NOT] NULL, arithmetic, string and
+/// numeric literals. Qualified names ("t.col") resolve by stripping the
+/// qualifier.
+struct SelectStatement {
+  bool select_all = false;
+  std::vector<SelectItem> items;
+  std::string from_table;
+  std::optional<std::string> join_table;
+  std::string join_left_col;
+  std::string join_right_col;
+  ExprPtr where;
+  std::vector<std::string> group_by;
+  std::optional<std::string> order_by;
+  bool order_ascending = true;
+  std::optional<size_t> limit;
+};
+
+/// Parses the dialect; errors carry the offending token.
+Result<SelectStatement> ParseSql(std::string_view sql);
+
+/// Supplies base tables by name (the polystore, a RelationalStore, a test
+/// fixture...).
+using TableResolver =
+    std::function<Result<table::Table>(const std::string& name)>;
+
+/// Plans and executes a parsed statement: scan (+ join) -> filter ->
+/// aggregate/project -> sort -> limit.
+Result<table::Table> ExecuteSelect(const SelectStatement& stmt,
+                                   const TableResolver& resolver);
+
+/// Parse + execute.
+Result<table::Table> RunSql(std::string_view sql,
+                            const TableResolver& resolver);
+
+}  // namespace lakekit::query
+
+#endif  // LAKEKIT_QUERY_SQL_H_

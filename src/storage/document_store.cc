@@ -1,0 +1,145 @@
+#include "storage/document_store.h"
+
+#include "common/string_util.h"
+#include "json/parser.h"
+#include "json/writer.h"
+
+namespace lakekit::storage {
+
+const json::Value* DocumentStore::Resolve(const json::Value& doc,
+                                          std::string_view path) {
+  const json::Value* current = &doc;
+  for (const std::string& part : Split(path, '.')) {
+    if (!current->is_object()) return nullptr;
+    current = current->Get(part);
+    if (current == nullptr) return nullptr;
+  }
+  return current;
+}
+
+Result<DocumentStore::DocId> DocumentStore::Insert(std::string_view collection,
+                                                   json::Value doc) {
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("document must be a JSON object");
+  }
+  Collection& coll = collections_[std::string(collection)];
+  DocId id = coll.next_id++;
+  doc.as_object().Set("_id", json::Value(static_cast<int64_t>(id)));
+  coll.docs[id] = std::move(doc);
+  return id;
+}
+
+Result<json::Value> DocumentStore::Get(std::string_view collection,
+                                       DocId id) const {
+  auto coll_it = collections_.find(collection);
+  if (coll_it == collections_.end()) {
+    return Status::NotFound("no collection '" + std::string(collection) + "'");
+  }
+  auto doc_it = coll_it->second.docs.find(id);
+  if (doc_it == coll_it->second.docs.end()) {
+    return Status::NotFound("no document " + std::to_string(id));
+  }
+  return doc_it->second;
+}
+
+Status DocumentStore::Update(std::string_view collection, DocId id,
+                             json::Value doc) {
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("document must be a JSON object");
+  }
+  auto coll_it = collections_.find(collection);
+  if (coll_it == collections_.end()) {
+    return Status::NotFound("no collection '" + std::string(collection) + "'");
+  }
+  auto doc_it = coll_it->second.docs.find(id);
+  if (doc_it == coll_it->second.docs.end()) {
+    return Status::NotFound("no document " + std::to_string(id));
+  }
+  doc.as_object().Set("_id", json::Value(static_cast<int64_t>(id)));
+  doc_it->second = std::move(doc);
+  return Status::OK();
+}
+
+Status DocumentStore::Remove(std::string_view collection, DocId id) {
+  auto coll_it = collections_.find(collection);
+  if (coll_it == collections_.end()) {
+    return Status::NotFound("no collection '" + std::string(collection) + "'");
+  }
+  if (coll_it->second.docs.erase(id) == 0) {
+    return Status::NotFound("no document " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+std::vector<json::Value> DocumentStore::All(std::string_view collection) const {
+  std::vector<json::Value> out;
+  auto coll_it = collections_.find(collection);
+  if (coll_it == collections_.end()) return out;
+  out.reserve(coll_it->second.docs.size());
+  for (const auto& [id, doc] : coll_it->second.docs) out.push_back(doc);
+  return out;
+}
+
+std::vector<json::Value> DocumentStore::FindEqual(
+    std::string_view collection, std::string_view path,
+    const json::Value& expected) const {
+  return FindIf(collection, [&](const json::Value& doc) {
+    const json::Value* v = Resolve(doc, path);
+    return v != nullptr && *v == expected;
+  });
+}
+
+std::vector<json::Value> DocumentStore::FindIf(
+    std::string_view collection,
+    const std::function<bool(const json::Value&)>& predicate) const {
+  std::vector<json::Value> out;
+  auto coll_it = collections_.find(collection);
+  if (coll_it == collections_.end()) return out;
+  for (const auto& [id, doc] : coll_it->second.docs) {
+    if (predicate(doc)) out.push_back(doc);
+  }
+  return out;
+}
+
+std::vector<std::string> DocumentStore::CollectionNames() const {
+  std::vector<std::string> out;
+  out.reserve(collections_.size());
+  for (const auto& [name, coll] : collections_) out.push_back(name);
+  return out;
+}
+
+size_t DocumentStore::Count(std::string_view collection) const {
+  auto it = collections_.find(collection);
+  return it == collections_.end() ? 0 : it->second.docs.size();
+}
+
+std::string DocumentStore::ExportNdjson(std::string_view collection) const {
+  std::string out;
+  auto coll_it = collections_.find(collection);
+  if (coll_it == collections_.end()) return out;
+  for (const auto& [id, doc] : coll_it->second.docs) {
+    out += json::Write(doc);
+    out += "\n";
+  }
+  return out;
+}
+
+Status DocumentStore::ImportNdjson(std::string_view collection,
+                                   std::string_view ndjson) {
+  LAKEKIT_ASSIGN_OR_RETURN(auto docs, json::ParseLines(ndjson));
+  Collection& coll = collections_[std::string(collection)];
+  for (json::Value& doc : docs) {
+    if (!doc.is_object()) {
+      return Status::Corruption("NDJSON line is not an object");
+    }
+    int64_t id = doc.GetInt("_id", 0);
+    if (id <= 0) {
+      return Status::Corruption("NDJSON document missing _id");
+    }
+    coll.docs[static_cast<DocId>(id)] = std::move(doc);
+    coll.next_id = std::max(coll.next_id, static_cast<DocId>(id) + 1);
+  }
+  return Status::OK();
+}
+
+}  // namespace lakekit::storage

@@ -1,0 +1,74 @@
+#ifndef LAKEKIT_STORAGE_DOCUMENT_STORE_H_
+#define LAKEKIT_STORAGE_DOCUMENT_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "json/value.h"
+
+namespace lakekit::storage {
+
+/// A schema-less document store over collections of JSON documents.
+///
+/// Stand-in for the MongoDB tier of polystore data lakes like Constance and
+/// CoreDB (survey Sec. 4.3). Documents are JSON objects with a store-assigned
+/// integer id exposed as "_id"; queries filter on dotted field paths.
+class DocumentStore {
+ public:
+  using DocId = uint64_t;
+
+  /// Inserts `doc` (must be a JSON object) into `collection`; returns id.
+  Result<DocId> Insert(std::string_view collection, json::Value doc);
+
+  /// Fetches one document (with "_id" populated).
+  Result<json::Value> Get(std::string_view collection, DocId id) const;
+
+  /// Replaces the document body; NotFound if absent.
+  Status Update(std::string_view collection, DocId id, json::Value doc);
+
+  Status Remove(std::string_view collection, DocId id);
+
+  /// All documents in a collection, id order.
+  std::vector<json::Value> All(std::string_view collection) const;
+
+  /// Documents where the value at dotted `path` equals `expected`
+  /// (e.g. path "address.city" matches {"address": {"city": ...}}).
+  std::vector<json::Value> FindEqual(std::string_view collection,
+                                     std::string_view path,
+                                     const json::Value& expected) const;
+
+  /// Documents satisfying an arbitrary predicate.
+  std::vector<json::Value> FindIf(
+      std::string_view collection,
+      const std::function<bool(const json::Value&)>& predicate) const;
+
+  std::vector<std::string> CollectionNames() const;
+  size_t Count(std::string_view collection) const;
+
+  /// Serializes a collection as NDJSON (one document per line, ids
+  /// embedded), suitable for ObjectStore persistence.
+  std::string ExportNdjson(std::string_view collection) const;
+
+  /// Loads documents from NDJSON produced by ExportNdjson, preserving ids.
+  Status ImportNdjson(std::string_view collection, std::string_view ndjson);
+
+  /// Navigates a dotted path inside `doc`; nullptr when missing.
+  static const json::Value* Resolve(const json::Value& doc,
+                                    std::string_view path);
+
+ private:
+  struct Collection {
+    std::map<DocId, json::Value> docs;
+    DocId next_id = 1;
+  };
+  std::map<std::string, Collection, std::less<>> collections_;
+};
+
+}  // namespace lakekit::storage
+
+#endif  // LAKEKIT_STORAGE_DOCUMENT_STORE_H_

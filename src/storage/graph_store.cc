@@ -1,0 +1,152 @@
+#include "storage/graph_store.h"
+
+#include <deque>
+#include <unordered_set>
+
+namespace lakekit::storage {
+
+GraphStore::NodeId GraphStore::AddNode(std::string_view label,
+                                       json::Object properties) {
+  NodeId id = next_node_id_++;
+  nodes_[id] = Node{id, std::string(label), std::move(properties)};
+  return id;
+}
+
+Result<GraphStore::EdgeId> GraphStore::AddEdge(NodeId from, NodeId to,
+                                               std::string_view label,
+                                               json::Object properties) {
+  if (nodes_.find(from) == nodes_.end()) {
+    return Status::NotFound("no node " + std::to_string(from));
+  }
+  if (nodes_.find(to) == nodes_.end()) {
+    return Status::NotFound("no node " + std::to_string(to));
+  }
+  EdgeId id = next_edge_id_++;
+  edges_[id] = Edge{id, from, to, std::string(label), std::move(properties)};
+  out_[from].push_back(id);
+  in_[to].push_back(id);
+  return id;
+}
+
+Result<GraphStore::Node> GraphStore::GetNode(NodeId id) const {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) {
+    return Status::NotFound("no node " + std::to_string(id));
+  }
+  return it->second;
+}
+
+Result<GraphStore::Edge> GraphStore::GetEdge(EdgeId id) const {
+  auto it = edges_.find(id);
+  if (it == edges_.end()) {
+    return Status::NotFound("no edge " + std::to_string(id));
+  }
+  return it->second;
+}
+
+Status GraphStore::SetNodeProperty(NodeId id, std::string_view key,
+                                   json::Value value) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) {
+    return Status::NotFound("no node " + std::to_string(id));
+  }
+  it->second.properties.Set(key, std::move(value));
+  return Status::OK();
+}
+
+std::vector<GraphStore::Edge> GraphStore::OutEdges(
+    NodeId node, std::optional<std::string> label) const {
+  std::vector<Edge> result;
+  auto it = out_.find(node);
+  if (it == out_.end()) return result;
+  for (EdgeId eid : it->second) {
+    const Edge& e = edges_.at(eid);
+    if (!label || e.label == *label) result.push_back(e);
+  }
+  return result;
+}
+
+std::vector<GraphStore::Edge> GraphStore::InEdges(
+    NodeId node, std::optional<std::string> label) const {
+  std::vector<Edge> result;
+  auto it = in_.find(node);
+  if (it == in_.end()) return result;
+  for (EdgeId eid : it->second) {
+    const Edge& e = edges_.at(eid);
+    if (!label || e.label == *label) result.push_back(e);
+  }
+  return result;
+}
+
+std::vector<GraphStore::Node> GraphStore::NodesByLabel(
+    std::string_view label) const {
+  std::vector<Node> result;
+  for (const auto& [id, node] : nodes_) {
+    if (node.label == label) result.push_back(node);
+  }
+  return result;
+}
+
+std::vector<GraphStore::Node> GraphStore::FindNodes(
+    std::string_view key, const json::Value& value) const {
+  return FindNodesIf([&](const Node& n) {
+    const json::Value* v = n.properties.Find(key);
+    return v != nullptr && *v == value;
+  });
+}
+
+std::vector<GraphStore::Node> GraphStore::FindNodesIf(
+    const std::function<bool(const Node&)>& predicate) const {
+  std::vector<Node> result;
+  for (const auto& [id, node] : nodes_) {
+    if (predicate(node)) result.push_back(node);
+  }
+  return result;
+}
+
+std::vector<GraphStore::NodeId> GraphStore::ShortestPath(
+    NodeId from, NodeId to, std::optional<std::string> edge_label) const {
+  if (nodes_.find(from) == nodes_.end() || nodes_.find(to) == nodes_.end()) {
+    return {};
+  }
+  std::unordered_map<NodeId, NodeId> parent;
+  std::deque<NodeId> queue{from};
+  parent[from] = from;
+  while (!queue.empty()) {
+    NodeId current = queue.front();
+    queue.pop_front();
+    if (current == to) {
+      std::vector<NodeId> path;
+      for (NodeId n = to; n != from; n = parent[n]) path.push_back(n);
+      path.push_back(from);
+      std::reverse(path.begin(), path.end());
+      return path;
+    }
+    for (const Edge& e : OutEdges(current, edge_label)) {
+      if (parent.find(e.to) == parent.end()) {
+        parent[e.to] = current;
+        queue.push_back(e.to);
+      }
+    }
+  }
+  return {};
+}
+
+std::vector<GraphStore::NodeId> GraphStore::Reachable(
+    NodeId from, std::optional<std::string> edge_label) const {
+  std::vector<NodeId> result;
+  if (nodes_.find(from) == nodes_.end()) return result;
+  std::unordered_set<NodeId> visited{from};
+  std::deque<NodeId> queue{from};
+  while (!queue.empty()) {
+    NodeId current = queue.front();
+    queue.pop_front();
+    result.push_back(current);
+    for (const Edge& e : OutEdges(current, edge_label)) {
+      if (visited.insert(e.to).second) queue.push_back(e.to);
+    }
+  }
+  return result;
+}
+
+}  // namespace lakekit::storage

@@ -1,0 +1,97 @@
+#ifndef LAKEKIT_STORAGE_GRAPH_STORE_H_
+#define LAKEKIT_STORAGE_GRAPH_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "json/value.h"
+
+namespace lakekit::storage {
+
+/// A labeled property graph: nodes and directed edges, each with a label and
+/// JSON-object properties.
+///
+/// Stand-in for the Neo4j tier used by the personal data lake, HANDLE and
+/// Juneau (survey Sec. 4.2, 5.2): the metadata models of the metamodel
+/// module and the provenance graphs all persist into this structure.
+class GraphStore {
+ public:
+  using NodeId = uint64_t;
+  using EdgeId = uint64_t;
+
+  struct Node {
+    NodeId id = 0;
+    std::string label;
+    json::Object properties;
+  };
+
+  struct Edge {
+    EdgeId id = 0;
+    NodeId from = 0;
+    NodeId to = 0;
+    std::string label;
+    json::Object properties;
+  };
+
+  /// Adds a node; returns its id.
+  NodeId AddNode(std::string_view label, json::Object properties = {});
+
+  /// Adds a directed edge; both endpoints must exist.
+  Result<EdgeId> AddEdge(NodeId from, NodeId to, std::string_view label,
+                         json::Object properties = {});
+
+  Result<Node> GetNode(NodeId id) const;
+  Result<Edge> GetEdge(EdgeId id) const;
+
+  /// Updates a node's properties in place.
+  Status SetNodeProperty(NodeId id, std::string_view key, json::Value value);
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Outgoing edges of `node`, optionally restricted to `label`.
+  std::vector<Edge> OutEdges(NodeId node,
+                             std::optional<std::string> label = {}) const;
+  /// Incoming edges of `node`, optionally restricted to `label`.
+  std::vector<Edge> InEdges(NodeId node,
+                            std::optional<std::string> label = {}) const;
+
+  /// Nodes with the given label.
+  std::vector<Node> NodesByLabel(std::string_view label) const;
+
+  /// Nodes whose property `key` equals `value` (any label).
+  std::vector<Node> FindNodes(std::string_view key,
+                              const json::Value& value) const;
+
+  /// Nodes satisfying a predicate.
+  std::vector<Node> FindNodesIf(
+      const std::function<bool(const Node&)>& predicate) const;
+
+  /// A shortest directed path from `from` to `to` as node ids (BFS over
+  /// edges, optionally restricted to `edge_label`); empty when unreachable.
+  std::vector<NodeId> ShortestPath(
+      NodeId from, NodeId to, std::optional<std::string> edge_label = {}) const;
+
+  /// All node ids reachable from `from` (including itself).
+  std::vector<NodeId> Reachable(NodeId from,
+                                std::optional<std::string> edge_label = {}) const;
+
+ private:
+  std::map<NodeId, Node> nodes_;
+  std::map<EdgeId, Edge> edges_;
+  std::unordered_map<NodeId, std::vector<EdgeId>> out_;
+  std::unordered_map<NodeId, std::vector<EdgeId>> in_;
+  NodeId next_node_id_ = 1;
+  EdgeId next_edge_id_ = 1;
+};
+
+}  // namespace lakekit::storage
+
+#endif  // LAKEKIT_STORAGE_GRAPH_STORE_H_

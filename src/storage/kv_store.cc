@@ -1,0 +1,306 @@
+#include "storage/kv_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace lakekit::storage {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr uint32_t kTombstoneMarker = 0xFFFFFFFFu;
+
+void AppendU32(uint32_t v, std::string* out) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+bool ReadU32(std::string_view data, size_t* pos, uint32_t* v) {
+  if (*pos + 4 > data.size()) return false;
+  std::memcpy(v, data.data() + *pos, 4);
+  *pos += 4;
+  return true;
+}
+
+/// Encodes one record: [klen][vlen|TOMBSTONE][key][value?].
+std::string EncodeRecord(std::string_view key,
+                         const std::optional<std::string>& value) {
+  std::string out;
+  AppendU32(static_cast<uint32_t>(key.size()), &out);
+  AppendU32(value ? static_cast<uint32_t>(value->size()) : kTombstoneMarker,
+            &out);
+  out.append(key);
+  if (value) out.append(*value);
+  return out;
+}
+
+/// Decodes records until the buffer is exhausted; a trailing partial record
+/// (torn write) is ignored, which is the WAL recovery contract.
+std::map<std::string, std::optional<std::string>> DecodeRecords(
+    std::string_view data) {
+  std::map<std::string, std::optional<std::string>> out;
+  size_t pos = 0;
+  while (pos < data.size()) {
+    uint32_t klen = 0;
+    uint32_t vlen = 0;
+    size_t record_start = pos;
+    if (!ReadU32(data, &pos, &klen) || !ReadU32(data, &pos, &vlen)) break;
+    const bool tombstone = (vlen == kTombstoneMarker);
+    const size_t value_size = tombstone ? 0 : vlen;
+    if (pos + klen + value_size > data.size()) {
+      (void)record_start;
+      break;  // torn tail
+    }
+    std::string key(data.substr(pos, klen));
+    pos += klen;
+    if (tombstone) {
+      out[std::move(key)] = std::nullopt;
+    } else {
+      out[std::move(key)] = std::string(data.substr(pos, value_size));
+      pos += value_size;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+KvStore::KvStore(std::string dir, KvStoreOptions options)
+    : dir_(std::move(dir)), options_(options) {}
+
+KvStore::~KvStore() {
+  if (wal_fd_ >= 0) ::close(wal_fd_);
+}
+
+Result<std::unique_ptr<KvStore>> KvStore::Open(const std::string& dir,
+                                               KvStoreOptions options) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create kv dir '" + dir + "': " +
+                           ec.message());
+  }
+  std::unique_ptr<KvStore> store(new KvStore(dir, options));
+  LAKEKIT_RETURN_IF_ERROR(store->LoadRuns());
+  LAKEKIT_RETURN_IF_ERROR(store->RecoverWal());
+  if (options.use_wal) {
+    std::string wal_path = dir + "/wal.log";
+    store->wal_fd_ =
+        ::open(wal_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (store->wal_fd_ < 0) {
+      return Status::IoError("cannot open WAL: " +
+                             std::string(std::strerror(errno)));
+    }
+  }
+  return store;
+}
+
+Status KvStore::LoadRuns() {
+  std::vector<uint64_t> ids;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    std::string name = entry.path().filename().string();
+    if (StartsWith(name, "run-") && EndsWith(name, ".dat")) {
+      ids.push_back(std::stoull(name.substr(4, name.size() - 8)));
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  for (uint64_t id : ids) {
+    std::ifstream in(dir_ + "/run-" + std::to_string(id) + ".dat",
+                     std::ios::binary);
+    if (!in) return Status::IoError("cannot read run " + std::to_string(id));
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string data = std::move(buf).str();
+    runs_.push_back(id);
+    run_data_.push_back(DecodeRecords(data));
+    next_run_id_ = std::max(next_run_id_, id + 1);
+  }
+  return Status::OK();
+}
+
+Status KvStore::RecoverWal() {
+  std::string wal_path = dir_ + "/wal.log";
+  std::ifstream in(wal_path, std::ios::binary);
+  if (!in) return Status::OK();  // no WAL, nothing to recover
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string data = std::move(buf).str();
+  for (auto& [key, value] : DecodeRecords(data)) {
+    memtable_bytes_ += key.size() + (value ? value->size() : 0);
+    memtable_[key] = std::move(value);
+  }
+  return Status::OK();
+}
+
+Status KvStore::AppendWal(std::string_view key,
+                          const std::optional<std::string>& value) {
+  if (wal_fd_ < 0) return Status::OK();
+  std::string record = EncodeRecord(key, value);
+  size_t written = 0;
+  while (written < record.size()) {
+    ssize_t n = ::write(wal_fd_, record.data() + written,
+                        record.size() - written);
+    if (n < 0) {
+      return Status::IoError("WAL write failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status KvStore::Put(std::string_view key, std::string_view value) {
+  if (key.empty()) return Status::InvalidArgument("empty key");
+  LAKEKIT_RETURN_IF_ERROR(AppendWal(key, std::string(value)));
+  memtable_bytes_ += key.size() + value.size();
+  memtable_[std::string(key)] = std::string(value);
+  return MaybeFlushAndCompact();
+}
+
+Status KvStore::Delete(std::string_view key) {
+  if (key.empty()) return Status::InvalidArgument("empty key");
+  LAKEKIT_RETURN_IF_ERROR(AppendWal(key, std::nullopt));
+  memtable_bytes_ += key.size();
+  memtable_[std::string(key)] = std::nullopt;
+  return MaybeFlushAndCompact();
+}
+
+Result<std::string> KvStore::Get(std::string_view key) const {
+  auto make_not_found = [&] {
+    return Status::NotFound("key '" + std::string(key) + "' not found");
+  };
+  auto it = memtable_.find(std::string(key));
+  if (it != memtable_.end()) {
+    if (!it->second) return make_not_found();
+    return *it->second;
+  }
+  // Newest run wins.
+  for (auto rit = run_data_.rbegin(); rit != run_data_.rend(); ++rit) {
+    auto found = rit->find(std::string(key));
+    if (found != rit->end()) {
+      if (!found->second) return make_not_found();
+      return *found->second;
+    }
+  }
+  return make_not_found();
+}
+
+Result<std::vector<std::pair<std::string, std::string>>> KvStore::Scan(
+    std::string_view start, std::string_view end) const {
+  // Merge newest-wins: overlay runs oldest->newest, then memtable.
+  std::map<std::string, std::optional<std::string>> merged;
+  auto in_range = [&](const std::string& k) {
+    if (!start.empty() && k < start) return false;
+    if (!end.empty() && k >= end) return false;
+    return true;
+  };
+  for (const auto& run : run_data_) {
+    for (const auto& [k, v] : run) {
+      if (in_range(k)) merged[k] = v;
+    }
+  }
+  for (const auto& [k, v] : memtable_) {
+    if (in_range(k)) merged[k] = v;
+  }
+  std::vector<std::pair<std::string, std::string>> out;
+  for (auto& [k, v] : merged) {
+    if (v) out.emplace_back(k, *v);
+  }
+  return out;
+}
+
+Result<std::vector<std::pair<std::string, std::string>>> KvStore::ScanPrefix(
+    std::string_view prefix) const {
+  if (prefix.empty()) return Scan();
+  std::string end(prefix);
+  // Successor prefix: bump the last byte (prefixes of 0xFF bytes fall back to
+  // an open-ended scan plus filtering, which this simple bump handles for
+  // ASCII keys used throughout lakekit).
+  end.back() = static_cast<char>(static_cast<unsigned char>(end.back()) + 1);
+  LAKEKIT_ASSIGN_OR_RETURN(auto pairs, Scan(prefix, end));
+  std::vector<std::pair<std::string, std::string>> out;
+  for (auto& kv : pairs) {
+    if (StartsWith(kv.first, prefix)) out.push_back(std::move(kv));
+  }
+  return out;
+}
+
+Status KvStore::WriteRun(
+    const std::map<std::string, std::optional<std::string>>& entries) {
+  uint64_t id = next_run_id_++;
+  std::string path = dir_ + "/run-" + std::to_string(id) + ".dat";
+  std::string data;
+  for (const auto& [k, v] : entries) {
+    data += EncodeRecord(k, v);
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot write run '" + path + "'");
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  if (!out) return Status::IoError("short write to run '" + path + "'");
+  runs_.push_back(id);
+  run_data_.push_back(entries);
+  return Status::OK();
+}
+
+Status KvStore::Flush() {
+  if (memtable_.empty()) return Status::OK();
+  LAKEKIT_RETURN_IF_ERROR(WriteRun(memtable_));
+  memtable_.clear();
+  memtable_bytes_ = 0;
+  // Truncate the WAL: its contents are now durable in the run.
+  if (wal_fd_ >= 0) {
+    if (::ftruncate(wal_fd_, 0) != 0) {
+      return Status::IoError("WAL truncate failed");
+    }
+  }
+  return Status::OK();
+}
+
+Status KvStore::Compact() {
+  LAKEKIT_RETURN_IF_ERROR(Flush());
+  if (runs_.size() <= 1) return Status::OK();
+  // Merge newest-wins, dropping tombstones entirely (full compaction).
+  std::map<std::string, std::optional<std::string>> merged;
+  for (const auto& run : run_data_) {
+    for (const auto& [k, v] : run) merged[k] = v;
+  }
+  for (auto it = merged.begin(); it != merged.end();) {
+    if (!it->second) {
+      it = merged.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Remove old run files, then write the merged run.
+  for (uint64_t id : runs_) {
+    std::error_code ec;
+    fs::remove(dir_ + "/run-" + std::to_string(id) + ".dat", ec);
+  }
+  runs_.clear();
+  run_data_.clear();
+  if (merged.empty()) return Status::OK();
+  return WriteRun(merged);
+}
+
+Status KvStore::MaybeFlushAndCompact() {
+  if (memtable_bytes_ >= options_.memtable_flush_bytes) {
+    LAKEKIT_RETURN_IF_ERROR(Flush());
+  }
+  if (runs_.size() >= options_.compaction_trigger_runs) {
+    LAKEKIT_RETURN_IF_ERROR(Compact());
+  }
+  return Status::OK();
+}
+
+}  // namespace lakekit::storage

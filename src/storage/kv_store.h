@@ -1,0 +1,95 @@
+#ifndef LAKEKIT_STORAGE_KV_STORE_H_
+#define LAKEKIT_STORAGE_KV_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace lakekit::storage {
+
+/// Tuning knobs for KvStore.
+struct KvStoreOptions {
+  /// Memtable size (in bytes of keys+values) that triggers a flush to a
+  /// sorted run.
+  size_t memtable_flush_bytes = 4 * 1024 * 1024;
+  /// Number of sorted runs that triggers a full compaction.
+  size_t compaction_trigger_runs = 8;
+  /// When false, writes skip the write-ahead log (faster, not crash-safe).
+  bool use_wal = true;
+};
+
+/// An ordered, persistent key-value store: a miniature LSM tree.
+///
+/// Stand-in for the Bigtable/RocksDB storage used by catalog systems like
+/// GOODS (survey Sec. 4.3, 6.1.1). Writes go to a WAL and an in-memory
+/// memtable; the memtable flushes to immutable sorted run files; reads merge
+/// the memtable and runs newest-first; deletes are tombstones; compaction
+/// merges runs and drops shadowed entries.
+class KvStore {
+ public:
+  /// Opens (recovering WAL if present) a store in directory `dir`.
+  static Result<std::unique_ptr<KvStore>> Open(const std::string& dir,
+                                               KvStoreOptions options = {});
+
+  KvStore(const KvStore&) = delete;
+  KvStore& operator=(const KvStore&) = delete;
+
+  Status Put(std::string_view key, std::string_view value);
+  Status Delete(std::string_view key);
+
+  /// Point lookup; NotFound if absent or deleted.
+  Result<std::string> Get(std::string_view key) const;
+
+  /// All live (key, value) pairs with keys in [`start`, `end`), sorted by
+  /// key. An empty `end` means "until the last key".
+  Result<std::vector<std::pair<std::string, std::string>>> Scan(
+      std::string_view start = "", std::string_view end = "") const;
+
+  /// All live pairs whose key starts with `prefix`, sorted.
+  Result<std::vector<std::pair<std::string, std::string>>> ScanPrefix(
+      std::string_view prefix) const;
+
+  /// Forces the memtable to a sorted run file.
+  Status Flush();
+
+  /// Merges all runs into one, dropping tombstones and shadowed values.
+  Status Compact();
+
+  size_t num_runs() const { return runs_.size(); }
+  size_t memtable_entries() const { return memtable_.size(); }
+
+  ~KvStore();
+
+ private:
+  KvStore(std::string dir, KvStoreOptions options);
+
+  Status RecoverWal();
+  Status LoadRuns();
+  Status AppendWal(std::string_view key,
+                   const std::optional<std::string>& value);
+  Status WriteRun(
+      const std::map<std::string, std::optional<std::string>>& entries);
+  Status MaybeFlushAndCompact();
+
+  std::string dir_;
+  KvStoreOptions options_;
+  /// nullopt value == tombstone.
+  std::map<std::string, std::optional<std::string>> memtable_;
+  size_t memtable_bytes_ = 0;
+  /// Sorted run file ids, oldest first; contents cached in memory maps
+  /// (runs are immutable).
+  std::vector<uint64_t> runs_;
+  std::vector<std::map<std::string, std::optional<std::string>>> run_data_;
+  uint64_t next_run_id_ = 0;
+  int wal_fd_ = -1;
+};
+
+}  // namespace lakekit::storage
+
+#endif  // LAKEKIT_STORAGE_KV_STORE_H_

@@ -1,0 +1,139 @@
+#include "storage/object_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace lakekit::storage {
+
+namespace fs = std::filesystem;
+
+Result<ObjectStore> ObjectStore::Open(const std::string& root) {
+  std::error_code ec;
+  fs::create_directories(root, ec);
+  if (ec) {
+    return Status::IoError("cannot create object store root '" + root +
+                           "': " + ec.message());
+  }
+  return ObjectStore(root);
+}
+
+Result<std::string> ObjectStore::ResolvePath(std::string_view key) const {
+  if (key.empty()) return Status::InvalidArgument("empty object key");
+  if (key.front() == '/') {
+    return Status::InvalidArgument("object key must be relative: '" +
+                                   std::string(key) + "'");
+  }
+  for (const std::string& part : Split(key, '/')) {
+    if (part.empty() || part == "." || part == "..") {
+      return Status::InvalidArgument("invalid object key segment in '" +
+                                     std::string(key) + "'");
+    }
+  }
+  return root_ + "/" + std::string(key);
+}
+
+Status ObjectStore::Put(std::string_view key, std::string_view data) {
+  LAKEKIT_ASSIGN_OR_RETURN(std::string path, ResolvePath(key));
+  std::error_code ec;
+  fs::create_directories(fs::path(path).parent_path(), ec);
+  if (ec) return Status::IoError("mkdir failed: " + ec.message());
+  // Write to a temp file then rename for atomicity against readers.
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open '" + tmp + "' for write");
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    if (!out) return Status::IoError("short write to '" + tmp + "'");
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) return Status::IoError("rename failed: " + ec.message());
+  return Status::OK();
+}
+
+Status ObjectStore::PutIfAbsent(std::string_view key, std::string_view data) {
+  LAKEKIT_ASSIGN_OR_RETURN(std::string path, ResolvePath(key));
+  std::error_code ec;
+  fs::create_directories(fs::path(path).parent_path(), ec);
+  if (ec) return Status::IoError("mkdir failed: " + ec.message());
+  // O_EXCL gives the atomic create-if-absent the commit protocol needs.
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd < 0) {
+    if (errno == EEXIST) {
+      return Status::AlreadyExists("object '" + std::string(key) +
+                                   "' already exists");
+    }
+    return Status::IoError("open failed for '" + path +
+                           "': " + std::strerror(errno));
+  }
+  size_t written = 0;
+  while (written < data.size()) {
+    ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      ::close(fd);
+      ::unlink(path.c_str());
+      return Status::IoError("write failed: " + std::string(std::strerror(errno)));
+    }
+    written += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+Result<std::string> ObjectStore::Get(std::string_view key) const {
+  LAKEKIT_ASSIGN_OR_RETURN(std::string path, ResolvePath(key));
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("object '" + std::string(key) + "' not found");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
+}
+
+bool ObjectStore::Exists(std::string_view key) const {
+  Result<std::string> path = ResolvePath(key);
+  if (!path.ok()) return false;
+  std::error_code ec;
+  return fs::is_regular_file(*path, ec);
+}
+
+Status ObjectStore::Delete(std::string_view key) {
+  LAKEKIT_ASSIGN_OR_RETURN(std::string path, ResolvePath(key));
+  std::error_code ec;
+  if (!fs::remove(path, ec)) {
+    if (ec) return Status::IoError("remove failed: " + ec.message());
+    return Status::NotFound("object '" + std::string(key) + "' not found");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<ObjectInfo>> ObjectStore::List(
+    std::string_view prefix) const {
+  std::vector<ObjectInfo> out;
+  std::error_code ec;
+  fs::recursive_directory_iterator it(root_, ec);
+  if (ec) return Status::IoError("list failed: " + ec.message());
+  const size_t root_len = root_.size() + 1;  // strip "<root>/"
+  for (const auto& entry :
+       fs::recursive_directory_iterator(root_, fs::directory_options::skip_permission_denied)) {
+    if (!entry.is_regular_file()) continue;
+    std::string key = entry.path().string().substr(root_len);
+    if (EndsWith(key, ".tmp")) continue;
+    if (!prefix.empty() && !StartsWith(key, prefix)) continue;
+    out.push_back(ObjectInfo{key, entry.file_size()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ObjectInfo& a, const ObjectInfo& b) { return a.key < b.key; });
+  return out;
+}
+
+}  // namespace lakekit::storage

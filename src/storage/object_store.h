@@ -1,0 +1,65 @@
+#ifndef LAKEKIT_STORAGE_OBJECT_STORE_H_
+#define LAKEKIT_STORAGE_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace lakekit::storage {
+
+/// Metadata of one stored object.
+struct ObjectInfo {
+  std::string key;
+  uint64_t size = 0;
+};
+
+/// A local-filesystem object store with S3/HDFS-like semantics.
+///
+/// This is lakekit's stand-in for the cloud/HDFS storage tier every data
+/// lake in the survey builds on (Sec. 4.1, 4.4): a flat namespace of
+/// immutable-by-convention objects under string keys ("bucket/dir/file"),
+/// with prefix listing and an atomic put-if-absent — the primitive the
+/// lakehouse commit protocol (Sec. 8.3) requires from object storage.
+///
+/// Keys use '/' separators; ".." segments and absolute keys are rejected so
+/// a store can never escape its root directory.
+class ObjectStore {
+ public:
+  /// Opens (creating if needed) a store rooted at `root`.
+  static Result<ObjectStore> Open(const std::string& root);
+
+  /// Writes `data` under `key`, overwriting any existing object.
+  Status Put(std::string_view key, std::string_view data);
+
+  /// Writes `data` under `key` only if no object exists there. Returns
+  /// AlreadyExists otherwise. Atomic against concurrent PutIfAbsent calls in
+  /// this process and across processes on POSIX (O_EXCL).
+  Status PutIfAbsent(std::string_view key, std::string_view data);
+
+  /// Reads the full object, or NotFound.
+  Result<std::string> Get(std::string_view key) const;
+
+  bool Exists(std::string_view key) const;
+
+  /// Removes an object; NotFound if absent.
+  Status Delete(std::string_view key);
+
+  /// All objects whose key starts with `prefix`, sorted by key.
+  Result<std::vector<ObjectInfo>> List(std::string_view prefix = "") const;
+
+  const std::string& root() const { return root_; }
+
+ private:
+  explicit ObjectStore(std::string root) : root_(std::move(root)) {}
+
+  Result<std::string> ResolvePath(std::string_view key) const;
+
+  std::string root_;
+};
+
+}  // namespace lakekit::storage
+
+#endif  // LAKEKIT_STORAGE_OBJECT_STORE_H_

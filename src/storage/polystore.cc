@@ -1,0 +1,181 @@
+#include "storage/polystore.h"
+
+#include "json/writer.h"
+
+namespace lakekit::storage {
+
+std::string_view StoreKindName(StoreKind kind) {
+  switch (kind) {
+    case StoreKind::kRelational:
+      return "relational";
+    case StoreKind::kDocument:
+      return "document";
+    case StoreKind::kGraph:
+      return "graph";
+    case StoreKind::kObject:
+      return "object";
+  }
+  return "unknown";
+}
+
+std::string_view DataFormatName(DataFormat format) {
+  switch (format) {
+    case DataFormat::kCsv:
+      return "csv";
+    case DataFormat::kJson:
+      return "json";
+    case DataFormat::kGraph:
+      return "graph";
+    case DataFormat::kLog:
+      return "log";
+    case DataFormat::kBinary:
+      return "binary";
+    case DataFormat::kUnknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+Status RelationalStore::CreateTable(table::Table t) {
+  auto [it, inserted] = tables_.try_emplace(t.name(), std::move(t));
+  if (!inserted) {
+    return Status::AlreadyExists("table '" + it->first + "' already exists");
+  }
+  return Status::OK();
+}
+
+Status RelationalStore::DropTable(std::string_view name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table '" + std::string(name) + "'");
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+Result<const table::Table*> RelationalStore::GetTable(
+    std::string_view name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table '" + std::string(name) + "'");
+  }
+  return &it->second;
+}
+
+Status RelationalStore::ReplaceTable(table::Table t) {
+  tables_.insert_or_assign(t.name(), std::move(t));
+  return Status::OK();
+}
+
+std::vector<std::string> RelationalStore::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, t] : tables_) out.push_back(name);
+  return out;
+}
+
+Polystore::Polystore(ObjectStore objects)
+    : relational_(std::make_unique<RelationalStore>()),
+      documents_(std::make_unique<DocumentStore>()),
+      graph_(std::make_unique<GraphStore>()),
+      objects_(std::make_unique<ObjectStore>(std::move(objects))) {}
+
+Result<Polystore> Polystore::Open(const std::string& object_root) {
+  LAKEKIT_ASSIGN_OR_RETURN(ObjectStore objects, ObjectStore::Open(object_root));
+  return Polystore(std::move(objects));
+}
+
+StoreKind Polystore::RouteFormat(DataFormat format) {
+  switch (format) {
+    case DataFormat::kCsv:
+      return StoreKind::kRelational;
+    case DataFormat::kJson:
+      return StoreKind::kDocument;
+    case DataFormat::kGraph:
+      return StoreKind::kGraph;
+    case DataFormat::kLog:
+    case DataFormat::kBinary:
+    case DataFormat::kUnknown:
+      return StoreKind::kObject;
+  }
+  return StoreKind::kObject;
+}
+
+Status Polystore::RegisterDataset(std::string_view name,
+                                  DatasetLocation location) {
+  auto [it, inserted] =
+      registry_.try_emplace(std::string(name), std::move(location));
+  if (!inserted) {
+    return Status::AlreadyExists("dataset '" + std::string(name) +
+                                 "' already registered");
+  }
+  return Status::OK();
+}
+
+Result<DatasetLocation> Polystore::Lookup(std::string_view name) const {
+  auto it = registry_.find(name);
+  if (it == registry_.end()) {
+    return Status::NotFound("dataset '" + std::string(name) +
+                            "' not registered");
+  }
+  return it->second;
+}
+
+std::vector<std::string> Polystore::DatasetNames() const {
+  std::vector<std::string> out;
+  out.reserve(registry_.size());
+  for (const auto& [name, loc] : registry_) out.push_back(name);
+  return out;
+}
+
+Status Polystore::StoreTable(std::string_view name, table::Table t) {
+  std::string locator = t.name();
+  LAKEKIT_RETURN_IF_ERROR(relational_->CreateTable(std::move(t)));
+  return RegisterDataset(name, {StoreKind::kRelational, locator});
+}
+
+Status Polystore::StoreDocuments(std::string_view name,
+                                 std::vector<json::Value> docs) {
+  std::string collection(name);
+  for (json::Value& doc : docs) {
+    LAKEKIT_RETURN_IF_ERROR(documents_->Insert(collection, std::move(doc)).status());
+  }
+  return RegisterDataset(name, {StoreKind::kDocument, collection});
+}
+
+Status Polystore::StoreObject(std::string_view name, std::string_view key,
+                              std::string_view data) {
+  LAKEKIT_RETURN_IF_ERROR(objects_->Put(key, data));
+  return RegisterDataset(name, {StoreKind::kObject, std::string(key)});
+}
+
+Result<table::Table> Polystore::ReadAsTable(std::string_view name) const {
+  LAKEKIT_ASSIGN_OR_RETURN(DatasetLocation loc, Lookup(name));
+  switch (loc.store) {
+    case StoreKind::kRelational: {
+      LAKEKIT_ASSIGN_OR_RETURN(const table::Table* t,
+                               relational_->GetTable(loc.locator));
+      return *t;
+    }
+    case StoreKind::kDocument: {
+      json::Array docs;
+      for (json::Value& d : documents_->All(loc.locator)) {
+        d.as_object().Erase("_id");
+        docs.push_back(std::move(d));
+      }
+      return table::Table::FromJson(std::string(name),
+                                    json::Value(std::move(docs)));
+    }
+    case StoreKind::kObject: {
+      LAKEKIT_ASSIGN_OR_RETURN(std::string data, objects_->Get(loc.locator));
+      return table::Table::FromCsv(std::string(name), data);
+    }
+    case StoreKind::kGraph:
+      return Status::NotSupported(
+          "graph dataset '" + std::string(name) +
+          "' has no tabular representation");
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace lakekit::storage

@@ -1,0 +1,110 @@
+#ifndef LAKEKIT_STORAGE_POLYSTORE_H_
+#define LAKEKIT_STORAGE_POLYSTORE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "json/value.h"
+#include "storage/document_store.h"
+#include "storage/graph_store.h"
+#include "storage/object_store.h"
+#include "table/table.h"
+
+namespace lakekit::storage {
+
+/// Which backend of the polystore holds a dataset.
+enum class StoreKind { kRelational, kDocument, kGraph, kObject };
+
+std::string_view StoreKindName(StoreKind kind);
+
+/// The source format of an ingested dataset, used for routing.
+enum class DataFormat { kCsv, kJson, kGraph, kLog, kBinary, kUnknown };
+
+std::string_view DataFormatName(DataFormat format);
+
+/// Where a dataset lives inside the polystore.
+struct DatasetLocation {
+  StoreKind store = StoreKind::kObject;
+  /// Backend-specific locator: table name, collection name, or object key.
+  std::string locator;
+};
+
+/// An in-memory relational store: named tables.
+///
+/// Stand-in for the MySQL/PostgreSQL member of polystore lakes (Sec. 4.3).
+class RelationalStore {
+ public:
+  Status CreateTable(table::Table t);
+  Status DropTable(std::string_view name);
+  Result<const table::Table*> GetTable(std::string_view name) const;
+  Status ReplaceTable(table::Table t);
+  std::vector<std::string> TableNames() const;
+  size_t num_tables() const { return tables_.size(); }
+
+ private:
+  std::map<std::string, table::Table, std::less<>> tables_;
+};
+
+/// Integrated access to heterogeneous stores — the polystore pattern of
+/// Constance, GOODS and CoreDB (survey Sec. 4.3).
+///
+/// Datasets are registered under a lake-wide name with a routed location;
+/// `RouteFormat` encodes the survey's default routing: relational data to
+/// the relational store, documents to the document store, graphs to the
+/// graph store, and everything else (logs, binaries) to raw object storage.
+class Polystore {
+ public:
+  /// Creates a polystore whose object tier lives under `object_root`.
+  static Result<Polystore> Open(const std::string& object_root);
+
+  Polystore(Polystore&&) = default;
+  Polystore& operator=(Polystore&&) = default;
+
+  /// The survey's default format -> store routing.
+  static StoreKind RouteFormat(DataFormat format);
+
+  /// Registers dataset `name` as living at `location`. Fails on duplicates.
+  Status RegisterDataset(std::string_view name, DatasetLocation location);
+
+  Result<DatasetLocation> Lookup(std::string_view name) const;
+
+  std::vector<std::string> DatasetNames() const;
+
+  /// Convenience ingestion: stores the payload in the routed backend and
+  /// registers the dataset.
+  Status StoreTable(std::string_view name, table::Table t);
+  Status StoreDocuments(std::string_view name, std::vector<json::Value> docs);
+  Status StoreObject(std::string_view name, std::string_view key,
+                     std::string_view data);
+
+  /// Reads a registered dataset back as a table regardless of backend
+  /// (documents are flattened; objects are parsed as CSV). Graph datasets
+  /// are not convertible and return NotSupported.
+  Result<table::Table> ReadAsTable(std::string_view name) const;
+
+  RelationalStore& relational() { return *relational_; }
+  const RelationalStore& relational() const { return *relational_; }
+  DocumentStore& documents() { return *documents_; }
+  const DocumentStore& documents() const { return *documents_; }
+  GraphStore& graph() { return *graph_; }
+  const GraphStore& graph() const { return *graph_; }
+  ObjectStore& objects() { return *objects_; }
+  const ObjectStore& objects() const { return *objects_; }
+
+ private:
+  explicit Polystore(ObjectStore objects);
+
+  std::unique_ptr<RelationalStore> relational_;
+  std::unique_ptr<DocumentStore> documents_;
+  std::unique_ptr<GraphStore> graph_;
+  std::unique_ptr<ObjectStore> objects_;
+  std::map<std::string, DatasetLocation, std::less<>> registry_;
+};
+
+}  // namespace lakekit::storage
+
+#endif  // LAKEKIT_STORAGE_POLYSTORE_H_

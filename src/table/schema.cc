@@ -1,0 +1,30 @@
+#include "table/schema.h"
+
+namespace lakekit::table {
+
+std::optional<size_t> Schema::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> Schema::FieldNames() const {
+  std::vector<std::string> names;
+  names.reserve(fields_.size());
+  for (const Field& f : fields_) names.push_back(f.name);
+  return names;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += fields_[i].name;
+    out += ":";
+    out += DataTypeName(fields_[i].type);
+  }
+  return out;
+}
+
+}  // namespace lakekit::table

@@ -1,0 +1,56 @@
+#ifndef LAKEKIT_TABLE_SCHEMA_H_
+#define LAKEKIT_TABLE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "table/value.h"
+
+namespace lakekit::table {
+
+/// One attribute of a relational schema.
+struct Field {
+  std::string name;
+  DataType type = DataType::kString;
+  bool nullable = true;
+
+  bool operator==(const Field&) const = default;
+};
+
+/// An ordered list of named, typed fields.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field named `name`, or nullopt.
+  std::optional<size_t> IndexOf(std::string_view name) const;
+
+  bool HasField(std::string_view name) const {
+    return IndexOf(name).has_value();
+  }
+
+  void AddField(Field f) { fields_.push_back(std::move(f)); }
+
+  /// All field names, in order.
+  std::vector<std::string> FieldNames() const;
+
+  /// "name:type,name:type,..." — compact signature used by catalogs and
+  /// schema-evolution diffing.
+  std::string ToString() const;
+
+  bool operator==(const Schema&) const = default;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace lakekit::table
+
+#endif  // LAKEKIT_TABLE_SCHEMA_H_

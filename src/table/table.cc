@@ -1,0 +1,265 @@
+#include "table/table.h"
+
+#include <cassert>
+#include <charconv>
+
+#include "common/string_util.h"
+#include "json/writer.h"
+
+namespace lakekit::table {
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      columns_(schema_.num_fields()) {}
+
+Status Table::AppendRow(std::vector<Value> row) {
+  if (row.size() != schema_.num_fields()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " values, schema has " +
+        std::to_string(schema_.num_fields()) + " fields");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    columns_[i].push_back(std::move(row[i]));
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+Result<size_t> Table::ColumnIndex(std::string_view name) const {
+  if (auto idx = schema_.IndexOf(name)) return *idx;
+  return Status::NotFound("no column '" + std::string(name) + "' in table '" +
+                          name_ + "'");
+}
+
+std::vector<Value> Table::Row(size_t row) const {
+  std::vector<Value> out;
+  out.reserve(num_columns());
+  for (size_t c = 0; c < num_columns(); ++c) out.push_back(columns_[c][row]);
+  return out;
+}
+
+std::string Table::ToCsv() const {
+  csv::CsvData data;
+  data.header = schema_.FieldNames();
+  data.records.reserve(num_rows_);
+  for (size_t r = 0; r < num_rows_; ++r) {
+    std::vector<std::string> record;
+    record.reserve(num_columns());
+    for (size_t c = 0; c < num_columns(); ++c) {
+      record.push_back(columns_[c][r].ToString());
+    }
+    data.records.push_back(std::move(record));
+  }
+  return csv::Write(data);
+}
+
+DataType SniffType(const std::vector<std::string>& values) {
+  bool all_int = true;
+  bool all_num = true;
+  bool all_bool = true;
+  bool any_non_empty = false;
+  for (const std::string& raw : values) {
+    std::string_view v = Trim(raw);
+    if (v.empty()) continue;
+    any_non_empty = true;
+    if (all_int && !LooksLikeInteger(v)) all_int = false;
+    if (all_num && !LooksLikeNumber(v)) all_num = false;
+    if (all_bool && v != "true" && v != "false") all_bool = false;
+    if (!all_int && !all_num && !all_bool) break;
+  }
+  if (!any_non_empty) return DataType::kString;
+  if (all_bool) return DataType::kBool;
+  if (all_int) return DataType::kInt64;
+  if (all_num) return DataType::kDouble;
+  return DataType::kString;
+}
+
+Value ParseValueAs(std::string_view raw, DataType type) {
+  std::string_view v = Trim(raw);
+  if (v.empty()) return Value::Null();
+  switch (type) {
+    case DataType::kBool:
+      if (v == "true") return Value(true);
+      if (v == "false") return Value(false);
+      return Value::Null();
+    case DataType::kInt64: {
+      int64_t i = 0;
+      auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), i);
+      if (ec == std::errc() && ptr == v.data() + v.size()) return Value(i);
+      return Value::Null();
+    }
+    case DataType::kDouble: {
+      double d = 0;
+      auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), d);
+      if (ec == std::errc() && ptr == v.data() + v.size()) return Value(d);
+      return Value::Null();
+    }
+    case DataType::kString:
+      return Value(std::string(raw));
+    case DataType::kNull:
+      return Value::Null();
+  }
+  return Value::Null();
+}
+
+Result<Table> Table::FromCsv(std::string name, std::string_view csv_text) {
+  LAKEKIT_ASSIGN_OR_RETURN(csv::CsvData data, csv::Parse(csv_text));
+  // Sniff per-column types.
+  std::vector<DataType> types(data.header.size(), DataType::kString);
+  {
+    std::vector<std::string> column;
+    column.reserve(data.records.size());
+    for (size_t c = 0; c < data.header.size(); ++c) {
+      column.clear();
+      for (const auto& rec : data.records) column.push_back(rec[c]);
+      types[c] = SniffType(column);
+    }
+  }
+  Schema schema;
+  for (size_t c = 0; c < data.header.size(); ++c) {
+    schema.AddField(Field{data.header[c], types[c], /*nullable=*/true});
+  }
+  Table t(std::move(name), std::move(schema));
+  for (const auto& rec : data.records) {
+    std::vector<Value> row;
+    row.reserve(rec.size());
+    for (size_t c = 0; c < rec.size(); ++c) {
+      row.push_back(ParseValueAs(rec[c], types[c]));
+    }
+    LAKEKIT_RETURN_IF_ERROR(t.AppendRow(std::move(row)));
+  }
+  return t;
+}
+
+namespace {
+
+Value JsonToCell(const json::Value& v) {
+  switch (v.type()) {
+    case json::Type::kNull:
+      return Value::Null();
+    case json::Type::kBool:
+      return Value(v.as_bool());
+    case json::Type::kInt:
+      return Value(v.as_int());
+    case json::Type::kDouble:
+      return Value(v.as_double());
+    case json::Type::kString:
+      return Value(v.as_string());
+    case json::Type::kArray:
+    case json::Type::kObject:
+      // Schema-on-read flattening: nested structures become JSON strings.
+      return Value(json::Write(v));
+  }
+  return Value::Null();
+}
+
+}  // namespace
+
+Result<Table> Table::FromJson(std::string name, const json::Value& doc) {
+  if (!doc.is_array()) {
+    return Status::InvalidArgument("Table::FromJson expects a JSON array");
+  }
+  // Pass 1: union of keys in first-seen order.
+  std::vector<std::string> keys;
+  for (const json::Value& row : doc.as_array()) {
+    if (!row.is_object()) {
+      return Status::InvalidArgument(
+          "Table::FromJson expects an array of objects");
+    }
+    for (const auto& [k, v] : row.as_object().entries()) {
+      bool seen = false;
+      for (const auto& existing : keys) {
+        if (existing == k) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) keys.push_back(k);
+    }
+  }
+  // Pass 2: cells, then sniff types column-wise from the JSON value types.
+  std::vector<std::vector<Value>> cells(keys.size());
+  for (const json::Value& row : doc.as_array()) {
+    for (size_t c = 0; c < keys.size(); ++c) {
+      const json::Value* v = row.Get(keys[c]);
+      cells[c].push_back(v == nullptr ? Value::Null() : JsonToCell(*v));
+    }
+  }
+  Schema schema;
+  for (size_t c = 0; c < keys.size(); ++c) {
+    // Type = widest non-null cell type in the column.
+    DataType type = DataType::kNull;
+    for (const Value& v : cells[c]) {
+      if (v.is_null()) continue;
+      DataType t = v.type();
+      if (type == DataType::kNull) {
+        type = t;
+      } else if (type != t) {
+        type = (t == DataType::kDouble && type == DataType::kInt64) ||
+                       (t == DataType::kInt64 && type == DataType::kDouble)
+                   ? DataType::kDouble
+                   : DataType::kString;
+      }
+    }
+    if (type == DataType::kNull) type = DataType::kString;
+    schema.AddField(Field{keys[c], type, /*nullable=*/true});
+  }
+  Table t(std::move(name), std::move(schema));
+  const size_t n = doc.as_array().size();
+  for (size_t r = 0; r < n; ++r) {
+    std::vector<Value> row;
+    row.reserve(keys.size());
+    for (size_t c = 0; c < keys.size(); ++c) {
+      Value v = cells[c][r];
+      // Coerce to the column type where lossless.
+      const DataType want = t.schema().field(c).type;
+      if (!v.is_null() && v.type() != want) {
+        if (want == DataType::kDouble && v.is_int()) {
+          v = Value(static_cast<double>(v.as_int()));
+        } else if (want == DataType::kString) {
+          v = Value(v.ToString());
+        }
+      }
+      row.push_back(std::move(v));
+    }
+    LAKEKIT_RETURN_IF_ERROR(t.AppendRow(std::move(row)));
+  }
+  return t;
+}
+
+json::Value Table::ToJson() const {
+  json::Array rows;
+  rows.reserve(num_rows_);
+  for (size_t r = 0; r < num_rows_; ++r) {
+    json::Object obj;
+    for (size_t c = 0; c < num_columns(); ++c) {
+      const Value& v = columns_[c][r];
+      switch (v.type()) {
+        case DataType::kNull:
+          obj.Set(schema_.field(c).name, json::Value(nullptr));
+          break;
+        case DataType::kBool:
+          obj.Set(schema_.field(c).name, json::Value(v.as_bool()));
+          break;
+        case DataType::kInt64:
+          obj.Set(schema_.field(c).name, json::Value(v.as_int()));
+          break;
+        case DataType::kDouble:
+          obj.Set(schema_.field(c).name, json::Value(v.as_double()));
+          break;
+        case DataType::kString:
+          obj.Set(schema_.field(c).name, json::Value(v.as_string()));
+          break;
+      }
+    }
+    rows.emplace_back(std::move(obj));
+  }
+  return json::Value(std::move(rows));
+}
+
+bool Table::operator==(const Table& other) const {
+  return schema_ == other.schema_ && columns_ == other.columns_;
+}
+
+}  // namespace lakekit::table

@@ -1,0 +1,85 @@
+#ifndef LAKEKIT_TABLE_TABLE_H_
+#define LAKEKIT_TABLE_TABLE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "csv/csv.h"
+#include "json/value.h"
+#include "table/schema.h"
+#include "table/value.h"
+
+namespace lakekit::table {
+
+/// An in-memory, column-oriented relational table.
+///
+/// `Table` is the common currency of the maintenance and exploration tiers:
+/// dataset discovery, integration, cleaning and the query engine all consume
+/// and produce tables. Storage is columnar (`std::vector<Value>` per field)
+/// which keeps per-column profiling — the hot path of every discovery
+/// algorithm — cache-friendly.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, Schema schema);
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  const Schema& schema() const { return schema_; }
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return schema_.num_fields(); }
+
+  /// Appends a row; the row must have exactly num_columns() values.
+  Status AppendRow(std::vector<Value> row);
+
+  /// Cell accessor (no bounds checking beyond assert in debug builds).
+  const Value& at(size_t row, size_t col) const { return columns_[col][row]; }
+  Value& at(size_t row, size_t col) { return columns_[col][row]; }
+
+  /// Full column accessor.
+  const std::vector<Value>& column(size_t col) const { return columns_[col]; }
+
+  /// Column by name, or error.
+  Result<size_t> ColumnIndex(std::string_view name) const;
+
+  /// Materializes row `row` as a vector of values.
+  std::vector<Value> Row(size_t row) const;
+
+  /// Serializes to CSV with a header row.
+  std::string ToCsv() const;
+
+  /// Parses CSV text into a table, sniffing column types from the data: a
+  /// column is int64 if every non-empty field parses as an integer, double if
+  /// every non-empty field parses as a number, bool for true/false, else
+  /// string. Empty fields become NULL.
+  static Result<Table> FromCsv(std::string name, std::string_view csv_text);
+
+  /// Builds a table from a JSON array of flat objects. The schema is the
+  /// union of keys in first-seen order; missing keys become NULL; nested
+  /// values are serialized back to JSON strings (schema-on-read flattening).
+  static Result<Table> FromJson(std::string name, const json::Value& doc);
+
+  /// Serializes to a JSON array of objects.
+  json::Value ToJson() const;
+
+  bool operator==(const Table& other) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<std::vector<Value>> columns_;
+  size_t num_rows_ = 0;
+};
+
+/// Infers the DataType of a column of raw strings (CSV type sniffing).
+DataType SniffType(const std::vector<std::string>& values);
+
+/// Parses a raw string into a Value of the given type ("" -> NULL).
+Value ParseValueAs(std::string_view raw, DataType type);
+
+}  // namespace lakekit::table
+
+#endif  // LAKEKIT_TABLE_TABLE_H_

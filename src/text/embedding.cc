@@ -1,0 +1,97 @@
+#include "text/embedding.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+
+namespace lakekit::text {
+
+double CosineSimilarity(const DenseVector& a, const DenseVector& b) {
+  if (a.empty() || a.size() != b.size()) return 0.0;
+  double dot = 0;
+  double na = 0;
+  double nb = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na == 0 || nb == 0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double EuclideanDistance(const DenseVector& a, const DenseVector& b) {
+  double sum = 0;
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+EmbeddingModel::EmbeddingModel(size_t dim, uint64_t seed)
+    : dim_(dim), seed_(seed) {}
+
+void EmbeddingModel::RegisterDomain(const std::string& domain,
+                                    const std::vector<std::string>& tokens) {
+  for (const std::string& t : tokens) {
+    domain_of_.emplace_back(ToLower(t), domain);
+  }
+}
+
+DenseVector EmbeddingModel::HashVector(std::string_view key) const {
+  DenseVector v(dim_);
+  uint64_t h = Fnv1a64(key) ^ seed_;
+  for (size_t i = 0; i < dim_; ++i) {
+    h = Mix64(h + i);
+    // Map to roughly N(0,1) via sum of two uniforms, cheap and adequate.
+    double u1 = static_cast<double>(h >> 11) * 0x1.0p-53;
+    double u2 = static_cast<double>(Mix64(h) >> 11) * 0x1.0p-53;
+    v[i] = (u1 + u2) - 1.0;
+  }
+  return v;
+}
+
+DenseVector EmbeddingModel::Embed(std::string_view token) const {
+  std::string lower = ToLower(token);
+  DenseVector base = HashVector(lower);
+  // Blend in the domain direction when the token is in a known domain: the
+  // shared component dominates, so same-domain tokens land close together.
+  for (const auto& [tok, domain] : domain_of_) {
+    if (tok == lower) {
+      DenseVector dir = HashVector("domain::" + domain);
+      for (size_t i = 0; i < dim_; ++i) {
+        base[i] = 0.25 * base[i] + 0.75 * dir[i];
+      }
+      break;
+    }
+  }
+  // Normalize.
+  double norm = 0;
+  for (double x : base) norm += x * x;
+  norm = std::sqrt(norm);
+  if (norm > 0) {
+    for (double& x : base) x /= norm;
+  }
+  return base;
+}
+
+DenseVector EmbeddingModel::EmbedAll(
+    const std::vector<std::string>& tokens) const {
+  DenseVector mean(dim_, 0.0);
+  if (tokens.empty()) return mean;
+  for (const std::string& t : tokens) {
+    DenseVector v = Embed(t);
+    for (size_t i = 0; i < dim_; ++i) mean[i] += v[i];
+  }
+  double norm = 0;
+  for (double x : mean) norm += x * x;
+  norm = std::sqrt(norm);
+  if (norm > 0) {
+    for (double& x : mean) x /= norm;
+  }
+  return mean;
+}
+
+}  // namespace lakekit::text

@@ -1,0 +1,57 @@
+#ifndef LAKEKIT_TEXT_EMBEDDING_H_
+#define LAKEKIT_TEXT_EMBEDDING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lakekit::text {
+
+/// A dense embedding vector.
+using DenseVector = std::vector<double>;
+
+/// Cosine similarity of two dense vectors of equal dimension.
+double CosineSimilarity(const DenseVector& a, const DenseVector& b);
+
+/// Euclidean (L2) distance of two dense vectors of equal dimension.
+double EuclideanDistance(const DenseVector& a, const DenseVector& b);
+
+/// Deterministic word/value embedding model.
+///
+/// Substitutes for the pre-trained fastText/BERT embeddings used by D3L,
+/// PEXESO and RNLIM (survey Table 3), which are unavailable offline. Each
+/// token gets a base vector from hashed random projections; semantically
+/// related tokens can be *taught* to the model by registering domains: tokens
+/// of the same domain share a dominant domain component, so their cosine
+/// similarity is high — mimicking the distributional-hypothesis property the
+/// real embeddings provide, with controllable ground truth.
+class EmbeddingModel {
+ public:
+  explicit EmbeddingModel(size_t dim = 64, uint64_t seed = 13);
+
+  size_t dim() const { return dim_; }
+
+  /// Declares that `tokens` belong to one semantic domain named `domain`.
+  /// Subsequent Embed() calls blend the domain direction into each token.
+  void RegisterDomain(const std::string& domain,
+                      const std::vector<std::string>& tokens);
+
+  /// Embedding of a single token (unit norm).
+  DenseVector Embed(std::string_view token) const;
+
+  /// Mean of token embeddings, re-normalized; zero vector for no tokens.
+  DenseVector EmbedAll(const std::vector<std::string>& tokens) const;
+
+ private:
+  DenseVector HashVector(std::string_view key) const;
+
+  size_t dim_;
+  uint64_t seed_;
+  /// token (lowercased) -> domain name.
+  std::vector<std::pair<std::string, std::string>> domain_of_;
+};
+
+}  // namespace lakekit::text
+
+#endif  // LAKEKIT_TEXT_EMBEDDING_H_

@@ -1,0 +1,22 @@
+#ifndef LAKEKIT_TEXT_KS_TEST_H_
+#define LAKEKIT_TEXT_KS_TEST_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace lakekit::text {
+
+/// Two-sample Kolmogorov-Smirnov statistic: the maximum distance between the
+/// empirical CDFs of `a` and `b`. Returns a value in [0,1]; 0 means identical
+/// distributions. D3L and RNLIM (survey Table 3) use this as the numeric
+/// distribution-similarity signal. Inputs need not be sorted. Returns 1.0
+/// when either sample is empty.
+double KsStatistic(std::vector<double> a, std::vector<double> b);
+
+/// Asymptotic two-sample KS p-value approximation for statistic `d` with
+/// sample sizes `n` and `m` (Kolmogorov distribution tail sum).
+double KsPValue(double d, size_t n, size_t m);
+
+}  // namespace lakekit::text
+
+#endif  // LAKEKIT_TEXT_KS_TEST_H_

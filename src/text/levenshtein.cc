@@ -1,0 +1,32 @@
+#include "text/levenshtein.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace lakekit::text {
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);
+  // b is the shorter string; roll two rows of length |b|+1.
+  std::vector<size_t> prev(b.size() + 1);
+  std::vector<size_t> curr(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    curr[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, prev[j - 1] + cost});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[b.size()];
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  size_t m = std::max(a.size(), b.size());
+  if (m == 0) return 1.0;
+  return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) /
+                   static_cast<double>(m);
+}
+
+}  // namespace lakekit::text

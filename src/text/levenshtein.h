@@ -1,0 +1,19 @@
+#ifndef LAKEKIT_TEXT_LEVENSHTEIN_H_
+#define LAKEKIT_TEXT_LEVENSHTEIN_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace lakekit::text {
+
+/// Edit distance (insert/delete/substitute, unit costs). O(|a|*|b|) time,
+/// O(min) space. Used by DS-kNN-style dataset similarity (survey Sec. 6.1.2).
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Normalized similarity in [0,1]: 1 - distance / max(|a|,|b|); 1 for two
+/// empty strings.
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace lakekit::text
+
+#endif  // LAKEKIT_TEXT_LEVENSHTEIN_H_

@@ -1,0 +1,45 @@
+#include "text/lsh.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace lakekit::text {
+
+LshIndex::LshIndex(size_t bands, size_t rows)
+    : bands_(bands), rows_(rows), buckets_(bands) {}
+
+uint64_t LshIndex::BandHash(const MinHashSignature& sig, size_t band) const {
+  uint64_t h = Mix64(band + 0x51ed270b9ULL);
+  for (size_t r = 0; r < rows_; ++r) {
+    h = HashCombine(h, sig.value(band * rows_ + r));
+  }
+  return h;
+}
+
+void LshIndex::Insert(uint64_t id, const MinHashSignature& signature) {
+  for (size_t b = 0; b < bands_; ++b) {
+    buckets_[b][BandHash(signature, b)].push_back(id);
+  }
+  ++num_items_;
+}
+
+std::vector<uint64_t> LshIndex::Query(const MinHashSignature& signature) const {
+  std::unordered_set<uint64_t> seen;
+  std::vector<uint64_t> out;
+  for (size_t b = 0; b < bands_; ++b) {
+    auto it = buckets_[b].find(BandHash(signature, b));
+    if (it == buckets_[b].end()) continue;
+    for (uint64_t id : it->second) {
+      if (seen.insert(id).second) out.push_back(id);
+    }
+  }
+  return out;
+}
+
+double LshIndex::CollisionProbability(double s) const {
+  return 1.0 - std::pow(1.0 - std::pow(s, static_cast<double>(rows_)),
+                        static_cast<double>(bands_));
+}
+
+}  // namespace lakekit::text

@@ -1,0 +1,54 @@
+#ifndef LAKEKIT_TEXT_LSH_H_
+#define LAKEKIT_TEXT_LSH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "text/minhash.h"
+
+namespace lakekit::text {
+
+/// Banding locality-sensitive hash index over MinHash signatures.
+///
+/// Signatures are split into `bands` bands of `rows` positions each; two
+/// items collide if any band hashes identically. The probability a pair with
+/// Jaccard similarity s collides is 1 - (1 - s^rows)^bands — the classic
+/// S-curve. Aurum (survey Sec. 6.2.1) uses exactly this structure to bring
+/// all-pairs column comparison from O(n^2) to ~linear.
+class LshIndex {
+ public:
+  /// `bands * rows` must equal the signature length of inserted items.
+  LshIndex(size_t bands, size_t rows);
+
+  size_t bands() const { return bands_; }
+  size_t rows() const { return rows_; }
+
+  /// Inserts an item id with its signature. Ids are caller-assigned and need
+  /// not be dense.
+  void Insert(uint64_t id, const MinHashSignature& signature);
+
+  /// Returns ids of all items sharing at least one band bucket with
+  /// `signature` (candidate set; callers verify with exact or estimated
+  /// similarity).
+  std::vector<uint64_t> Query(const MinHashSignature& signature) const;
+
+  /// Theoretical collision probability of a pair with Jaccard similarity s.
+  double CollisionProbability(double s) const;
+
+  size_t num_items() const { return num_items_; }
+
+ private:
+  uint64_t BandHash(const MinHashSignature& sig, size_t band) const;
+
+  size_t bands_;
+  size_t rows_;
+  size_t num_items_ = 0;
+  // One bucket map per band: band hash -> item ids.
+  std::vector<std::unordered_map<uint64_t, std::vector<uint64_t>>> buckets_;
+};
+
+}  // namespace lakekit::text
+
+#endif  // LAKEKIT_TEXT_LSH_H_

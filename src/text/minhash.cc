@@ -1,0 +1,49 @@
+#include "text/minhash.h"
+
+#include <limits>
+
+#include "common/hash.h"
+
+namespace lakekit::text {
+
+double MinHashSignature::EstimateJaccard(const MinHashSignature& other) const {
+  if (values_.empty() || values_.size() != other.values_.size()) return 0.0;
+  size_t matches = 0;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i] == other.values_[i]) ++matches;
+  }
+  return static_cast<double>(matches) / static_cast<double>(values_.size());
+}
+
+MinHasher::MinHasher(size_t num_hashes, uint64_t seed)
+    : num_hashes_(num_hashes) {
+  mixers_.reserve(num_hashes_);
+  uint64_t s = seed;
+  for (size_t i = 0; i < num_hashes_; ++i) {
+    s += 0x9e3779b97f4a7c15ULL;
+    mixers_.push_back(Mix64(s));
+  }
+}
+
+MinHashSignature MinHasher::Compute(
+    const std::vector<std::string>& elements) const {
+  std::vector<uint64_t> hashes;
+  hashes.reserve(elements.size());
+  for (const std::string& e : elements) hashes.push_back(Fnv1a64(e));
+  return ComputeFromHashes(hashes);
+}
+
+MinHashSignature MinHasher::ComputeFromHashes(
+    const std::vector<uint64_t>& hashes) const {
+  std::vector<uint64_t> sig(num_hashes_,
+                            std::numeric_limits<uint64_t>::max());
+  for (uint64_t h : hashes) {
+    for (size_t i = 0; i < num_hashes_; ++i) {
+      uint64_t v = Mix64(h ^ mixers_[i]);
+      if (v < sig[i]) sig[i] = v;
+    }
+  }
+  return MinHashSignature(std::move(sig));
+}
+
+}  // namespace lakekit::text

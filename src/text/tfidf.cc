@@ -1,0 +1,60 @@
+#include "text/tfidf.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace lakekit::text {
+
+double CosineSimilarity(const SparseVector& a, const SparseVector& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  const SparseVector& small = a.size() <= b.size() ? a : b;
+  const SparseVector& large = a.size() <= b.size() ? b : a;
+  double dot = 0;
+  for (const auto& [token, w] : small) {
+    auto it = large.find(token);
+    if (it != large.end()) dot += w * it->second;
+  }
+  double na = 0;
+  for (const auto& [token, w] : a) na += w * w;
+  double nb = 0;
+  for (const auto& [token, w] : b) nb += w * w;
+  if (na == 0 || nb == 0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+size_t TfIdfVectorizer::AddDocument(const std::vector<std::string>& tokens) {
+  std::unordered_set<std::string> unique(tokens.begin(), tokens.end());
+  for (const auto& t : unique) ++doc_freq_[t];
+  documents_.push_back(tokens);
+  return documents_.size() - 1;
+}
+
+SparseVector TfIdfVectorizer::TermFrequencies(
+    const std::vector<std::string>& tokens) const {
+  SparseVector tf;
+  for (const auto& t : tokens) tf[t] += 1.0;
+  if (!tokens.empty()) {
+    for (auto& [t, w] : tf) w /= static_cast<double>(tokens.size());
+  }
+  return tf;
+}
+
+double TfIdfVectorizer::Idf(const std::string& token) const {
+  auto it = doc_freq_.find(token);
+  const double df = it == doc_freq_.end() ? 0.0 : static_cast<double>(it->second);
+  return std::log((1.0 + static_cast<double>(documents_.size())) / (1.0 + df)) +
+         1.0;
+}
+
+SparseVector TfIdfVectorizer::Vectorize(size_t doc_id) const {
+  return VectorizeQuery(documents_[doc_id]);
+}
+
+SparseVector TfIdfVectorizer::VectorizeQuery(
+    const std::vector<std::string>& tokens) const {
+  SparseVector v = TermFrequencies(tokens);
+  for (auto& [t, w] : v) w *= Idf(t);
+  return v;
+}
+
+}  // namespace lakekit::text

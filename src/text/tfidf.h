@@ -1,0 +1,45 @@
+#ifndef LAKEKIT_TEXT_TFIDF_H_
+#define LAKEKIT_TEXT_TFIDF_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lakekit::text {
+
+/// A sparse TF-IDF vector: token -> weight.
+using SparseVector = std::unordered_map<std::string, double>;
+
+/// Cosine similarity of two sparse vectors (0 when either is empty).
+double CosineSimilarity(const SparseVector& a, const SparseVector& b);
+
+/// Corpus-level TF-IDF vectorizer.
+///
+/// Documents are added first (building document frequencies), then
+/// `Vectorize` produces weights tf * log((1+N)/(1+df)). Aurum and D3L use
+/// TF-IDF cosine over attribute-name tokens as a schema-level relatedness
+/// signal (survey Table 3).
+class TfIdfVectorizer {
+ public:
+  /// Registers a document (a token multiset) and returns its id.
+  size_t AddDocument(const std::vector<std::string>& tokens);
+
+  size_t num_documents() const { return documents_.size(); }
+
+  /// TF-IDF vector of a previously added document.
+  SparseVector Vectorize(size_t doc_id) const;
+
+  /// TF-IDF vector of an ad-hoc query using the corpus statistics.
+  SparseVector VectorizeQuery(const std::vector<std::string>& tokens) const;
+
+ private:
+  SparseVector TermFrequencies(const std::vector<std::string>& tokens) const;
+  double Idf(const std::string& token) const;
+
+  std::vector<std::vector<std::string>> documents_;
+  std::unordered_map<std::string, size_t> doc_freq_;
+};
+
+}  // namespace lakekit::text
+
+#endif  // LAKEKIT_TEXT_TFIDF_H_

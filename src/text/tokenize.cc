@@ -1,0 +1,54 @@
+#include "text/tokenize.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace lakekit::text {
+
+std::vector<std::string> Tokenize(std::string_view input) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char raw : input) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      current.push_back(static_cast<char>(std::tolower(c)));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::vector<std::string> QGrams(std::string_view input, size_t q) {
+  std::string padded;
+  padded.reserve(input.size() + 2 * (q - 1));
+  padded.append(q - 1, '$');
+  padded += ToLower(input);
+  padded.append(q - 1, '$');
+  std::vector<std::string> grams;
+  if (padded.size() < q) return grams;
+  grams.reserve(padded.size() - q + 1);
+  for (size_t i = 0; i + q <= padded.size(); ++i) {
+    grams.push_back(padded.substr(i, q));
+  }
+  return grams;
+}
+
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  std::unordered_set<std::string> sa(a.begin(), a.end());
+  std::unordered_set<std::string> sb(b.begin(), b.end());
+  size_t inter = 0;
+  for (const auto& t : sa) {
+    if (sb.count(t) > 0) ++inter;
+  }
+  size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace lakekit::text

@@ -1,0 +1,26 @@
+#ifndef LAKEKIT_TEXT_TOKENIZE_H_
+#define LAKEKIT_TEXT_TOKENIZE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lakekit::text {
+
+/// Splits `input` into lowercase alphanumeric word tokens. Every run of
+/// non-alphanumeric characters is a separator; "Vehicle_Color-2024" yields
+/// {"vehicle", "color", "2024"}.
+std::vector<std::string> Tokenize(std::string_view input);
+
+/// Character q-grams of the lowercase input, with `q`-1 boundary padding
+/// ('$'), e.g. QGrams("ab", 3) = {"$$a", "$ab", "ab$", "b$$"}... The padded
+/// form makes short-string similarity better behaved.
+std::vector<std::string> QGrams(std::string_view input, size_t q);
+
+/// Jaccard similarity of two token multisets treated as sets.
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b);
+
+}  // namespace lakekit::text
+
+#endif  // LAKEKIT_TEXT_TOKENIZE_H_

@@ -1,0 +1,144 @@
+#ifndef LAKEKIT_WORKLOAD_GENERATOR_H_
+#define LAKEKIT_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "json/value.h"
+#include "table/table.h"
+
+namespace lakekit::workload {
+
+/// A planted ground-truth joinable pair.
+struct PlantedPair {
+  std::string table_a;
+  std::string column_a;
+  std::string table_b;
+  std::string column_b;
+  double target_jaccard = 0;
+};
+
+/// A synthetic lake with known joinability ground truth: the planted pairs
+/// share values at a controlled Jaccard similarity while background columns
+/// are pairwise disjoint, so discovery precision/recall is measurable —
+/// which real web-table crawls (what JOSIE/D3L evaluated on) cannot give.
+struct JoinableLake {
+  std::vector<table::Table> tables;
+  std::vector<PlantedPair> planted;
+};
+
+struct JoinableLakeOptions {
+  size_t num_tables = 50;
+  size_t rows_per_table = 120;
+  /// String columns per table beyond the id/measure columns.
+  size_t text_cols_per_table = 3;
+  size_t num_planted_pairs = 12;
+  /// Jaccard similarity of each planted pair's value sets.
+  double overlap_jaccard = 0.6;
+  uint64_t seed = 42;
+};
+
+JoinableLake MakeJoinableLake(const JoinableLakeOptions& options);
+
+/// A lake of table groups drawing attribute values from shared semantic
+/// domains: tables in the same group are unionable ground truth.
+struct UnionableLake {
+  std::vector<table::Table> tables;
+  /// group id per table (parallel to `tables`).
+  std::vector<size_t> group_of;
+  /// domain name -> member terms (for Corpus::RegisterSemanticDomain).
+  std::map<std::string, std::vector<std::string>> domains;
+};
+
+struct UnionableLakeOptions {
+  size_t num_groups = 5;
+  size_t tables_per_group = 4;
+  size_t rows_per_table = 80;
+  size_t cols_per_table = 3;
+  size_t terms_per_domain = 40;
+  uint64_t seed = 7;
+};
+
+UnionableLake MakeUnionableLake(const UnionableLakeOptions& options);
+
+/// A synthetic log corpus with known record templates.
+struct LogCorpus {
+  std::string text;
+  /// The planted template patterns (with <*> wildcards), by descending
+  /// frequency.
+  std::vector<std::string> planted_patterns;
+  /// Lines emitted per planted template, parallel to planted_patterns.
+  std::vector<size_t> lines_per_pattern;
+};
+
+struct LogCorpusOptions {
+  size_t num_templates = 6;
+  size_t total_lines = 2000;
+  /// Zipf exponent of template popularity (0 = uniform).
+  double popularity_skew = 0.8;
+  uint64_t seed = 11;
+};
+
+LogCorpus MakeLogCorpus(const LogCorpusOptions& options);
+
+/// Tables whose string columns draw terms from named semantic domains, with
+/// ground truth term -> domain. D4/DomainNet benchmarks recover the domains.
+struct DomainLake {
+  std::vector<table::Table> tables;
+  /// domain -> its terms.
+  std::map<std::string, std::vector<std::string>> domains;
+  /// Terms deliberately shared between two domains (planted homographs).
+  std::vector<std::string> homographs;
+};
+
+struct DomainLakeOptions {
+  size_t num_domains = 4;
+  size_t terms_per_domain = 30;
+  size_t num_tables = 12;
+  size_t rows_per_table = 100;
+  size_t num_homographs = 3;
+  uint64_t seed = 19;
+};
+
+DomainLake MakeDomainLake(const DomainLakeOptions& options);
+
+/// A table with planted quality problems for cleaning benchmarks: a
+/// functional dependency city -> zip holds except in `violations` planted
+/// rows (their row indexes are recorded).
+struct DirtyTable {
+  table::Table table;
+  /// Row indexes whose zip contradicts the city->zip dependency.
+  std::vector<size_t> violation_rows;
+};
+
+struct DirtyTableOptions {
+  size_t num_rows = 500;
+  size_t num_cities = 20;
+  size_t num_violations = 15;
+  uint64_t seed = 23;
+};
+
+DirtyTable MakeDirtyTable(const DirtyTableOptions& options);
+
+/// JSON documents whose schema evolves over time: documents carry a
+/// "_ts" field; the schema changes at known version boundaries (property
+/// added, removed, renamed).
+struct EvolvingCorpus {
+  std::vector<json::Value> documents;
+  /// Human-readable descriptions of the planted changes, in order.
+  std::vector<std::string> planted_changes;
+};
+
+struct EvolvingCorpusOptions {
+  size_t docs_per_version = 50;
+  uint64_t seed = 29;
+};
+
+EvolvingCorpus MakeEvolvingCorpus(const EvolvingCorpusOptions& options);
+
+}  // namespace lakekit::workload
+
+#endif  // LAKEKIT_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "catalog/catalog.h"
+#include "json/parser.h"
+
+namespace lakekit::catalog {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("lakekit_catalog_" + std::string(::testing::UnitTest::GetInstance()
+                                                  ->current_test_info()
+                                                  ->name())))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  static DatasetEntry MakeEntry(const std::string& name) {
+    DatasetEntry e;
+    e.name = name;
+    e.path = "lake/" + name + ".csv";
+    e.format = "csv";
+    e.size_bytes = 1024;
+    e.num_records = 10;
+    e.schema = "id:int64,name:string";
+    e.description = "test dataset about " + name;
+    e.tags = {"test", name};
+    e.owner = "ada";
+    e.project = "demo";
+    return e;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CatalogTest, RegisterAndGet) {
+  auto catalog = Catalog::Open(dir_);
+  ASSERT_TRUE(catalog.ok());
+  ASSERT_TRUE(catalog->Register(MakeEntry("flights")).ok());
+  auto e = catalog->Get("flights");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->name, "flights");
+  EXPECT_EQ(e->version, 1u);
+  EXPECT_GT(e->created_at, 0);
+  EXPECT_EQ(e->created_at, e->updated_at);
+}
+
+TEST_F(CatalogTest, DuplicateRegisterFails) {
+  auto catalog = Catalog::Open(dir_);
+  ASSERT_TRUE(catalog->Register(MakeEntry("x")).ok());
+  EXPECT_TRUE(catalog->Register(MakeEntry("x")).IsAlreadyExists());
+}
+
+TEST_F(CatalogTest, EmptyNameRejected) {
+  auto catalog = Catalog::Open(dir_);
+  EXPECT_TRUE(catalog->Register(DatasetEntry{}).IsInvalidArgument());
+}
+
+TEST_F(CatalogTest, UpdateBumpsVersionKeepsCreation) {
+  auto catalog = Catalog::Open(dir_);
+  ASSERT_TRUE(catalog->Register(MakeEntry("x")).ok());
+  auto v1 = catalog->Get("x");
+  DatasetEntry updated = MakeEntry("x");
+  updated.description = "updated";
+  ASSERT_TRUE(catalog->Update(updated).ok());
+  auto v2 = catalog->Get("x");
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v2->version, 2u);
+  EXPECT_EQ(v2->created_at, v1->created_at);
+  EXPECT_GT(v2->updated_at, v1->updated_at);
+  EXPECT_EQ(v2->description, "updated");
+}
+
+TEST_F(CatalogTest, UpdateMissingDatasetFails) {
+  auto catalog = Catalog::Open(dir_);
+  EXPECT_TRUE(catalog->Update(MakeEntry("ghost")).IsNotFound());
+}
+
+TEST_F(CatalogTest, VersionHistory) {
+  auto catalog = Catalog::Open(dir_);
+  ASSERT_TRUE(catalog->Register(MakeEntry("x")).ok());
+  for (int i = 0; i < 3; ++i) {
+    DatasetEntry e = MakeEntry("x");
+    e.description = "rev " + std::to_string(i);
+    ASSERT_TRUE(catalog->Update(e).ok());
+  }
+  auto history = catalog->History("x");
+  ASSERT_TRUE(history.ok());
+  ASSERT_EQ(history->size(), 4u);
+  EXPECT_EQ((*history)[0].version, 1u);
+  EXPECT_EQ((*history)[3].version, 4u);
+  auto v2 = catalog->GetVersion("x", 2);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v2->description, "rev 0");
+}
+
+TEST_F(CatalogTest, PersistsAcrossReopen) {
+  {
+    auto catalog = Catalog::Open(dir_);
+    ASSERT_TRUE(catalog->Register(MakeEntry("persisted")).ok());
+  }
+  auto reopened = Catalog::Open(dir_);
+  ASSERT_TRUE(reopened.ok());
+  auto e = reopened->Get("persisted");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->owner, "ada");
+  // Clock continues monotonically after reopen.
+  ASSERT_TRUE(reopened->Register(MakeEntry("later")).ok());
+  EXPECT_GT(reopened->Get("later")->created_at, e->created_at);
+}
+
+TEST_F(CatalogTest, RemoveErasesHistory) {
+  auto catalog = Catalog::Open(dir_);
+  ASSERT_TRUE(catalog->Register(MakeEntry("x")).ok());
+  ASSERT_TRUE(catalog->Update(MakeEntry("x")).ok());
+  ASSERT_TRUE(catalog->Remove("x").ok());
+  EXPECT_TRUE(catalog->Get("x").status().IsNotFound());
+  EXPECT_TRUE(catalog->History("x").status().IsNotFound());
+  EXPECT_TRUE(catalog->Remove("x").IsNotFound());
+}
+
+TEST_F(CatalogTest, ListDatasetsSorted) {
+  auto catalog = Catalog::Open(dir_);
+  ASSERT_TRUE(catalog->Register(MakeEntry("zebra")).ok());
+  ASSERT_TRUE(catalog->Register(MakeEntry("alpha")).ok());
+  EXPECT_EQ(catalog->ListDatasets(),
+            (std::vector<std::string>{"alpha", "zebra"}));
+  EXPECT_EQ(catalog->num_datasets(), 2u);
+}
+
+TEST_F(CatalogTest, SearchOverNameDescriptionTags) {
+  auto catalog = Catalog::Open(dir_);
+  DatasetEntry flights = MakeEntry("flights");
+  flights.description = "airline departure delays";
+  DatasetEntry med = MakeEntry("patients");
+  med.tags = {"medical"};
+  ASSERT_TRUE(catalog->Register(flights).ok());
+  ASSERT_TRUE(catalog->Register(med).ok());
+  EXPECT_EQ(catalog->Search("delays").size(), 1u);
+  EXPECT_EQ(catalog->Search("DELAYS").size(), 1u);  // case-insensitive
+  EXPECT_EQ(catalog->Search("medical").size(), 1u);
+  EXPECT_EQ(catalog->Search("patients").size(), 1u);
+  EXPECT_EQ(catalog->Search("nonexistent").size(), 0u);
+}
+
+TEST_F(CatalogTest, FindByTagAndOwner) {
+  auto catalog = Catalog::Open(dir_);
+  DatasetEntry a = MakeEntry("a");
+  a.owner = "ada";
+  DatasetEntry b = MakeEntry("b");
+  b.owner = "bob";
+  b.tags = {"test", "special"};
+  ASSERT_TRUE(catalog->Register(a).ok());
+  ASSERT_TRUE(catalog->Register(b).ok());
+  EXPECT_EQ(catalog->FindByOwner("ada").size(), 1u);
+  EXPECT_EQ(catalog->FindByOwner("bob").size(), 1u);
+  EXPECT_EQ(catalog->FindByTag("special").size(), 1u);
+  EXPECT_EQ(catalog->FindByTag("test").size(), 2u);
+}
+
+TEST_F(CatalogTest, JsonRoundTripPreservesAllCategories) {
+  DatasetEntry e = MakeEntry("full");
+  e.sources = {"upstream1", "upstream2"};
+  e.producing_job = "etl_daily";
+  e.content = *json::Parse(R"({"keywords":["flight","delay"]})");
+  e.created_at = 5;
+  e.updated_at = 9;
+  e.version = 3;
+  auto round = DatasetEntry::FromJson(e.ToJson());
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round->name, e.name);
+  EXPECT_EQ(round->sources, e.sources);
+  EXPECT_EQ(round->producing_job, e.producing_job);
+  EXPECT_EQ(round->content, e.content);
+  EXPECT_EQ(round->version, 3u);
+  EXPECT_EQ(round->created_at, 5);
+}
+
+TEST_F(CatalogTest, FromJsonRejectsGarbage) {
+  EXPECT_FALSE(DatasetEntry::FromJson(*json::Parse("[1,2]")).ok());
+  EXPECT_FALSE(DatasetEntry::FromJson(*json::Parse("{}")).ok());
+}
+
+}  // namespace
+}  // namespace lakekit::catalog

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "csv/csv.h"
+
+namespace lakekit::csv {
+namespace {
+
+TEST(CsvParseTest, SimpleWithHeader) {
+  auto r = Parse("a,b\n1,2\n3,4\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(r->records.size(), 2u);
+  EXPECT_EQ(r->records[0], (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(r->records[1], (std::vector<std::string>{"3", "4"}));
+}
+
+TEST(CsvParseTest, NoTrailingNewline) {
+  auto r = Parse("a,b\n1,2");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->records.size(), 1u);
+}
+
+TEST(CsvParseTest, CrLfTolerated) {
+  auto r = Parse("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->records[0][1], "2");
+}
+
+TEST(CsvParseTest, QuotedFieldWithDelimiter) {
+  auto r = Parse("a,b\n\"x,y\",2\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->records[0][0], "x,y");
+}
+
+TEST(CsvParseTest, QuotedFieldWithNewline) {
+  auto r = Parse("a,b\n\"line1\nline2\",2\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->records[0][0], "line1\nline2");
+  ASSERT_EQ(r->records.size(), 1u);
+}
+
+TEST(CsvParseTest, DoubledQuotes) {
+  auto r = Parse("a\n\"she said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->records[0][0], "she said \"hi\"");
+}
+
+TEST(CsvParseTest, EmptyFields) {
+  auto r = Parse("a,b,c\n,,\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->records[0], (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(CsvParseTest, NoHeaderSynthesizesColumnNames) {
+  ParseOptions opts;
+  opts.has_header = false;
+  auto r = Parse("1,2\n3,4\n", opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->header, (std::vector<std::string>{"col0", "col1"}));
+  EXPECT_EQ(r->records.size(), 2u);
+}
+
+TEST(CsvParseTest, CustomDelimiter) {
+  ParseOptions opts;
+  opts.delimiter = '\t';
+  auto r = Parse("a\tb\n1\t2\n", opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->records[0], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvParseTest, RaggedRecordIsError) {
+  EXPECT_FALSE(Parse("a,b\n1\n").ok());
+  EXPECT_FALSE(Parse("a,b\n1,2,3\n").ok());
+}
+
+TEST(CsvParseTest, UnterminatedQuoteIsError) {
+  EXPECT_FALSE(Parse("a\n\"open\n").ok());
+}
+
+TEST(CsvParseTest, EmptyInputWithHeaderExpectedIsError) {
+  EXPECT_FALSE(Parse("").ok());
+}
+
+TEST(CsvParseTest, HeaderOnlyFileIsValid) {
+  auto r = Parse("a,b,c\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->records.empty());
+}
+
+TEST(CsvWriteTest, RoundTrip) {
+  CsvData data;
+  data.header = {"name", "note"};
+  data.records = {{"a,b", "say \"hi\""}, {"plain", "line\nbreak"}};
+  std::string text = Write(data);
+  auto r = Parse(text);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->header, data.header);
+  EXPECT_EQ(r->records, data.records);
+}
+
+TEST(CsvWriteTest, QuoteFieldOnlyWhenNeeded) {
+  EXPECT_EQ(QuoteField("plain"), "plain");
+  EXPECT_EQ(QuoteField("a,b"), "\"a,b\"");
+  EXPECT_EQ(QuoteField("q\"q"), "\"q\"\"q\"");
+  EXPECT_EQ(QuoteField("nl\n"), "\"nl\n\"");
+}
+
+}  // namespace
+}  // namespace lakekit::csv

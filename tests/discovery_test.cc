@@ -1,0 +1,541 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "discovery/aurum.h"
+#include "discovery/brute_force.h"
+#include "discovery/common.h"
+#include "discovery/corpus.h"
+#include "discovery/d3l.h"
+#include "discovery/josie.h"
+#include "discovery/pexeso.h"
+#include "discovery/union_search.h"
+#include "workload/generator.h"
+
+namespace lakekit::discovery {
+namespace {
+
+// Shared fixture: a small lake with planted joinable pairs loaded into a
+// corpus, reused across finder tests (building sketches is the slow part).
+class DiscoveryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload::JoinableLakeOptions options;
+    options.num_tables = 24;
+    options.rows_per_table = 100;
+    options.num_planted_pairs = 8;
+    options.overlap_jaccard = 0.6;
+    lake_ = new workload::JoinableLake(workload::MakeJoinableLake(options));
+    corpus_ = new Corpus();
+    for (const auto& t : lake_->tables) {
+      ASSERT_TRUE(corpus_->AddTable(t).ok());
+    }
+  }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    delete lake_;
+    corpus_ = nullptr;
+    lake_ = nullptr;
+  }
+
+  static ColumnId Col(const std::string& table, const std::string& column) {
+    return *corpus_->FindColumn(table, column);
+  }
+
+  /// True when `matches` contains `expected` among its top entries.
+  static bool Contains(const std::vector<ColumnMatch>& matches,
+                       ColumnId expected) {
+    for (const ColumnMatch& m : matches) {
+      if (m.column == expected) return true;
+    }
+    return false;
+  }
+
+  static workload::JoinableLake* lake_;
+  static Corpus* corpus_;
+};
+
+workload::JoinableLake* DiscoveryTest::lake_ = nullptr;
+Corpus* DiscoveryTest::corpus_ = nullptr;
+
+// ---------------------------------------------------------------- corpus
+
+TEST_F(DiscoveryTest, CorpusBasics) {
+  EXPECT_EQ(corpus_->num_tables(), 24u);
+  EXPECT_EQ(corpus_->num_columns(), 24u * 5u);  // id, measure, 3 attrs
+  EXPECT_TRUE(corpus_->TableIndex("table0").ok());
+  EXPECT_FALSE(corpus_->TableIndex("nope").ok());
+  EXPECT_FALSE(corpus_->FindColumn("table0", "nope").ok());
+}
+
+TEST_F(DiscoveryTest, DuplicateTableRejected) {
+  Corpus corpus;
+  auto t = table::Table::FromCsv("x", "a\n1\n");
+  ASSERT_TRUE(corpus.AddTable(*t).ok());
+  EXPECT_TRUE(corpus.AddTable(*t).status().IsAlreadyExists());
+}
+
+TEST_F(DiscoveryTest, SketchContents) {
+  const ColumnSketch& id_sketch = corpus_->sketch(Col("table0", "id"));
+  EXPECT_EQ(id_sketch.type, table::DataType::kInt64);
+  EXPECT_EQ(id_sketch.distinct_values.size(), 100u);
+  EXPECT_TRUE(id_sketch.profile.is_candidate_key);
+  EXPECT_FALSE(id_sketch.numeric_values.empty());
+
+  const ColumnSketch& attr = corpus_->sketch(Col("table0", "attr0"));
+  EXPECT_EQ(attr.type, table::DataType::kString);
+  EXPECT_FALSE(attr.embedding.empty());
+  EXPECT_FALSE(attr.format_histogram.empty());
+}
+
+TEST(ColumnIdTest, PackedRoundTrip) {
+  ColumnId id{123456, 789};
+  EXPECT_EQ(ColumnId::FromPacked(id.Packed()), id);
+}
+
+TEST(FormatPatternTest, CollapsesRuns) {
+  EXPECT_EQ(FormatPattern("AB-12"), "a-d");
+  EXPECT_EQ(FormatPattern("2024/01/02"), "d/d/d");
+  EXPECT_EQ(FormatPattern("abc"), "a");
+  EXPECT_EQ(FormatPattern(""), "");
+  EXPECT_EQ(FormatPattern("a1b2"), "adad");
+}
+
+TEST(ExactMeasuresTest, OverlapJaccardContainment) {
+  Corpus corpus;
+  auto t1 = table::Table::FromCsv("t1", "x\na\nb\nc\nd\n");
+  auto t2 = table::Table::FromCsv("t2", "y\nc\nd\ne\nf\n");
+  ASSERT_TRUE(corpus.AddTable(*t1).ok());
+  ASSERT_TRUE(corpus.AddTable(*t2).ok());
+  const ColumnSketch& a = corpus.sketch(*corpus.FindColumn("t1", "x"));
+  const ColumnSketch& b = corpus.sketch(*corpus.FindColumn("t2", "y"));
+  EXPECT_EQ(ExactOverlap(a, b), 2u);
+  EXPECT_DOUBLE_EQ(ExactJaccard(a, b), 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(ExactContainment(a, b), 0.5);
+}
+
+// ---------------------------------------------------------------- brute
+
+TEST_F(DiscoveryTest, BruteForceFindsAllPlantedPairs) {
+  BruteForceFinder finder(corpus_);
+  for (const auto& pair : lake_->planted) {
+    ColumnId qa = Col(pair.table_a, pair.column_a);
+    ColumnId expected = Col(pair.table_b, pair.column_b);
+    auto matches = finder.TopKJoinableColumns(qa, 3);
+    EXPECT_TRUE(Contains(matches, expected))
+        << pair.table_a << "." << pair.column_a << " -> " << pair.table_b;
+    // Top match score approximates the planted Jaccard.
+    ASSERT_FALSE(matches.empty());
+    EXPECT_NEAR(matches[0].score, pair.target_jaccard, 0.05);
+  }
+}
+
+TEST_F(DiscoveryTest, BruteForceGroundTruthPairCount) {
+  BruteForceFinder finder(corpus_);
+  auto pairs = finder.AllJoinablePairs(0.3);
+  EXPECT_EQ(pairs.size(), lake_->planted.size());
+}
+
+TEST_F(DiscoveryTest, BruteForceBackgroundColumnHasNoMatches) {
+  BruteForceFinder finder(corpus_);
+  // Find a background (non-planted) attr column.
+  std::set<std::string> planted_cols;
+  for (const auto& p : lake_->planted) {
+    planted_cols.insert(p.table_a + "." + p.column_a);
+    planted_cols.insert(p.table_b + "." + p.column_b);
+  }
+  for (size_t t = 0; t < corpus_->num_tables(); ++t) {
+    std::string name = corpus_->table(t).name();
+    if (planted_cols.count(name + ".attr0") == 0) {
+      auto matches = finder.TopKJoinableColumns(Col(name, "attr0"), 5);
+      EXPECT_TRUE(matches.empty());
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------- Aurum
+
+class AurumTest : public DiscoveryTest {
+ protected:
+  static void SetUpTestSuite() {
+    DiscoveryTest::SetUpTestSuite();
+    finder_ = new AurumFinder(corpus_);
+    ASSERT_TRUE(finder_->Build().ok());
+  }
+  static void TearDownTestSuite() {
+    delete finder_;
+    finder_ = nullptr;
+    DiscoveryTest::TearDownTestSuite();
+  }
+  static AurumFinder* finder_;
+};
+
+AurumFinder* AurumTest::finder_ = nullptr;
+
+TEST_F(AurumTest, LshConfigValidated) {
+  AurumOptions bad;
+  bad.lsh_bands = 3;
+  bad.lsh_rows = 3;  // 9 != 128
+  AurumFinder invalid(corpus_, bad);
+  EXPECT_TRUE(invalid.Build().IsInvalidArgument());
+}
+
+TEST_F(AurumTest, FindsPlantedJoinablePairs) {
+  size_t found = 0;
+  for (const auto& pair : lake_->planted) {
+    auto matches =
+        finder_->TopKJoinableColumns(Col(pair.table_a, pair.column_a), 3);
+    if (Contains(matches, Col(pair.table_b, pair.column_b))) ++found;
+  }
+  // LSH at J=0.6 with 32x4 banding collides with probability ~1.
+  EXPECT_GE(found, lake_->planted.size() - 1);
+}
+
+TEST_F(AurumTest, JoinableTablesAggregation) {
+  const auto& pair = lake_->planted[0];
+  auto tables = finder_->TopKJoinableTables(*corpus_->TableIndex(pair.table_a), 5);
+  ASSERT_FALSE(tables.empty());
+  EXPECT_EQ(tables[0].table_name, pair.table_b);
+}
+
+TEST_F(AurumTest, SchemaSimilarColumnsShareName) {
+  // Every table has an "id" column: all id columns are schema-similar.
+  auto matches = finder_->SchemaSimilarColumns(Col("table0", "id"), 50);
+  ASSERT_FALSE(matches.empty());
+  for (const ColumnMatch& m : matches) {
+    EXPECT_EQ(corpus_->sketch(m.column).column_name, "id");
+  }
+}
+
+TEST_F(AurumTest, EkgHasTableHyperedges) {
+  EXPECT_EQ(finder_->ekg().num_hyperedges(), corpus_->num_tables());
+  EXPECT_EQ(finder_->ekg().HyperedgeNodes("table:table0").size(), 5u);
+}
+
+TEST_F(AurumTest, DiscoveryPathConnectsPlantedPair) {
+  const auto& pair = lake_->planted[0];
+  auto path = finder_->DiscoveryPath(Col(pair.table_a, pair.column_a),
+                                     Col(pair.table_b, pair.column_b));
+  ASSERT_GE(path.size(), 2u);
+  EXPECT_EQ(path.front(), Col(pair.table_a, pair.column_a));
+  EXPECT_EQ(path.back(), Col(pair.table_b, pair.column_b));
+}
+
+// ---------------------------------------------------------------- JOSIE
+
+class JosieTest : public DiscoveryTest {
+ protected:
+  static void SetUpTestSuite() {
+    DiscoveryTest::SetUpTestSuite();
+    finder_ = new JosieFinder(corpus_);
+    finder_->Build();
+  }
+  static void TearDownTestSuite() {
+    delete finder_;
+    finder_ = nullptr;
+    DiscoveryTest::TearDownTestSuite();
+  }
+  static JosieFinder* finder_;
+};
+
+JosieFinder* JosieTest::finder_ = nullptr;
+
+TEST_F(JosieTest, ExactTopKMatchesBruteForce) {
+  BruteForceFinder brute(corpus_);
+  for (const auto& pair : lake_->planted) {
+    ColumnId q = Col(pair.table_a, pair.column_a);
+    auto josie = finder_->TopKOverlapColumns(q, 5);
+    auto exact = brute.TopKOverlapColumns(q, 5);
+    ASSERT_EQ(josie.size(), exact.size());
+    for (size_t i = 0; i < josie.size(); ++i) {
+      EXPECT_EQ(josie[i].column, exact[i].column);
+      EXPECT_DOUBLE_EQ(josie[i].score, exact[i].score);
+    }
+  }
+}
+
+TEST_F(JosieTest, OverlapCountIsExactIntersectionSize) {
+  const auto& pair = lake_->planted[0];
+  ColumnId qa = Col(pair.table_a, pair.column_a);
+  ColumnId qb = Col(pair.table_b, pair.column_b);
+  auto matches = finder_->TopKOverlapColumns(qa, 1);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].column, qb);
+  EXPECT_DOUBLE_EQ(
+      matches[0].score,
+      static_cast<double>(ExactOverlap(corpus_->sketch(qa),
+                                       corpus_->sketch(qb))));
+}
+
+TEST_F(JosieTest, AdHocValueQuery) {
+  const auto& pair = lake_->planted[0];
+  const ColumnSketch& target =
+      corpus_->sketch(Col(pair.table_b, pair.column_b));
+  // Query with a subset of the target's values.
+  // The first distinct values are the pair's *shared* values, so both
+  // planted columns legitimately contain all of them (a tie at 20).
+  std::vector<std::string> values(target.distinct_values.begin(),
+                                  target.distinct_values.begin() + 20);
+  auto matches = finder_->TopKOverlapForValues(values, 2);
+  ASSERT_EQ(matches.size(), 2u);
+  bool target_found = false;
+  for (const ColumnMatch& m : matches) {
+    EXPECT_DOUBLE_EQ(m.score, 20.0);
+    if (m.column == target.id) target_found = true;
+  }
+  EXPECT_TRUE(target_found);
+}
+
+TEST_F(JosieTest, JoinableTables) {
+  const auto& pair = lake_->planted[0];
+  auto tables =
+      finder_->TopKJoinableTables(*corpus_->TableIndex(pair.table_a), 3);
+  ASSERT_FALSE(tables.empty());
+  EXPECT_EQ(tables[0].table_name, pair.table_b);
+}
+
+TEST_F(JosieTest, NoMatchesForUnseenValues) {
+  auto matches =
+      finder_->TopKOverlapForValues({"zzz_unseen_1", "zzz_unseen_2"}, 5);
+  EXPECT_TRUE(matches.empty());
+}
+
+// ---------------------------------------------------------------- D3L
+
+class D3lTest : public DiscoveryTest {
+ protected:
+  static void SetUpTestSuite() {
+    DiscoveryTest::SetUpTestSuite();
+    finder_ = new D3lFinder(corpus_);
+    ASSERT_TRUE(finder_->Build().ok());
+  }
+  static void TearDownTestSuite() {
+    delete finder_;
+    finder_ = nullptr;
+    DiscoveryTest::TearDownTestSuite();
+  }
+  static D3lFinder* finder_;
+};
+
+D3lFinder* D3lTest::finder_ = nullptr;
+
+TEST_F(D3lTest, FeaturesOfPlantedPairAreStrong) {
+  const auto& pair = lake_->planted[0];
+  D3lFeatures f = finder_->ComputeFeatures(Col(pair.table_a, pair.column_a),
+                                           Col(pair.table_b, pair.column_b));
+  EXPECT_GT(f.values, 0.4);   // ~0.6 planted overlap
+  EXPECT_GT(f.format, 0.5);   // same generator format
+  // Unrelated background pair is weak on values.
+  D3lFeatures g = finder_->ComputeFeatures(Col("table0", "id"),
+                                           Col(pair.table_b, pair.column_b));
+  EXPECT_LT(g.values, 0.1);
+}
+
+TEST_F(D3lTest, DistanceOrdersPlantedAboveBackground) {
+  const auto& pair = lake_->planted[0];
+  ColumnId qa = Col(pair.table_a, pair.column_a);
+  ColumnId planted = Col(pair.table_b, pair.column_b);
+  // Any background attr on another table.
+  ColumnId background = Col(pair.table_b, "measure");
+  EXPECT_LT(finder_->Distance(qa, planted), finder_->Distance(qa, background));
+}
+
+TEST_F(D3lTest, TopKFindsPlantedPairs) {
+  size_t found = 0;
+  for (const auto& pair : lake_->planted) {
+    auto matches =
+        finder_->TopKRelatedColumns(Col(pair.table_a, pair.column_a), 3);
+    if (Contains(matches, Col(pair.table_b, pair.column_b))) ++found;
+  }
+  EXPECT_GE(found, lake_->planted.size() - 1);
+}
+
+TEST_F(D3lTest, TrainedWeightsFavorDiscriminativeFeatures) {
+  std::vector<LabeledPair> pairs;
+  for (const auto& p : lake_->planted) {
+    pairs.push_back(LabeledPair{Col(p.table_a, p.column_a),
+                                Col(p.table_b, p.column_b), true});
+  }
+  // Negatives: id vs attr columns across tables.
+  for (size_t t = 0; t + 1 < corpus_->num_tables() && pairs.size() < 24;
+       ++t) {
+    pairs.push_back(LabeledPair{
+        Col(corpus_->table(t).name(), "id"),
+        Col(corpus_->table(t + 1).name(), "attr0"), false});
+  }
+  D3lFinder trained(corpus_);
+  ASSERT_TRUE(trained.Build().ok());
+  ASSERT_TRUE(trained.TrainWeights(pairs).ok());
+  // Weights stay normalized (mean 1 across 5 dims).
+  double total = 0;
+  for (double w : trained.weights()) total += w;
+  EXPECT_NEAR(total, 5.0, 1e-6);
+  // Value overlap separates positives from negatives in this lake, so its
+  // weight should be among the largest.
+  double max_w = *std::max_element(trained.weights().begin(),
+                                   trained.weights().end());
+  EXPECT_GE(trained.weights()[1], max_w * 0.5);
+  // Trained finder still retrieves planted pairs.
+  const auto& pair = lake_->planted[0];
+  auto matches =
+      trained.TopKRelatedColumns(Col(pair.table_a, pair.column_a), 3);
+  EXPECT_TRUE(Contains(matches, Col(pair.table_b, pair.column_b)));
+}
+
+TEST_F(D3lTest, TrainRequiresPairs) {
+  D3lFinder f(corpus_);
+  ASSERT_TRUE(f.Build().ok());
+  EXPECT_TRUE(f.TrainWeights({}).IsInvalidArgument());
+}
+
+TEST_F(D3lTest, RelatedTables) {
+  const auto& pair = lake_->planted[0];
+  auto tables =
+      finder_->TopKRelatedTables(*corpus_->TableIndex(pair.table_a), 3);
+  ASSERT_FALSE(tables.empty());
+  bool found = false;
+  for (const auto& t : tables) {
+    if (t.table_name == pair.table_b) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------- PEXESO
+
+TEST(PexesoTest, FindsSemanticallyJoinableColumns) {
+  // Two columns with *different* string values from the same semantic
+  // domain: equality-based overlap is zero, but PEXESO links them.
+  Corpus corpus;
+  std::vector<std::string> colors_a{"red", "green", "blue", "cyan"};
+  std::vector<std::string> colors_b{"crimson", "emerald", "navy", "teal"};
+  std::vector<std::string> all;
+  for (const auto& v : colors_a) all.push_back(v);
+  for (const auto& v : colors_b) all.push_back(v);
+  corpus.RegisterSemanticDomain("color", all);
+
+  table::Table ta("paints", table::Schema({{"shade", table::DataType::kString, true}}));
+  for (const auto& v : colors_a) ASSERT_TRUE(ta.AppendRow({table::Value(v)}).ok());
+  table::Table tb("fabrics", table::Schema({{"tone", table::DataType::kString, true}}));
+  for (const auto& v : colors_b) ASSERT_TRUE(tb.AppendRow({table::Value(v)}).ok());
+  table::Table tc("misc", table::Schema({{"junk", table::DataType::kString, true}}));
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(tc.AppendRow({table::Value("junkvalue" + std::to_string(i))}).ok());
+  }
+  ASSERT_TRUE(corpus.AddTable(ta).ok());
+  ASSERT_TRUE(corpus.AddTable(tb).ok());
+  ASSERT_TRUE(corpus.AddTable(tc).ok());
+
+  PexesoFinder finder(&corpus);
+  finder.Build();
+  EXPECT_GT(finder.num_indexed_values(), 0u);
+  auto matches = finder.TopKSemanticJoinableColumns(
+      *corpus.FindColumn("paints", "shade"), 5);
+  ASSERT_FALSE(matches.empty());
+  EXPECT_EQ(corpus.sketch(matches[0].column).table_name, "fabrics");
+  // Equality-based overlap is zero: exact methods cannot find this pair.
+  EXPECT_EQ(ExactOverlap(corpus.sketch(*corpus.FindColumn("paints", "shade")),
+                         corpus.sketch(*corpus.FindColumn("fabrics", "tone"))),
+            0u);
+  // The junk table does not appear.
+  for (const auto& m : matches) {
+    EXPECT_NE(corpus.sketch(m.column).table_name, "misc");
+  }
+}
+
+TEST(PexesoTest, TableAggregation) {
+  Corpus corpus;
+  corpus.RegisterSemanticDomain("animal", {"cat", "dog", "wolf", "lynx"});
+  table::Table ta("zoo", table::Schema({{"species", table::DataType::kString, true}}));
+  ASSERT_TRUE(ta.AppendRow({table::Value("cat")}).ok());
+  ASSERT_TRUE(ta.AppendRow({table::Value("dog")}).ok());
+  table::Table tb("shelter", table::Schema({{"kind", table::DataType::kString, true}}));
+  ASSERT_TRUE(tb.AppendRow({table::Value("wolf")}).ok());
+  ASSERT_TRUE(tb.AppendRow({table::Value("lynx")}).ok());
+  ASSERT_TRUE(corpus.AddTable(ta).ok());
+  ASSERT_TRUE(corpus.AddTable(tb).ok());
+  PexesoFinder finder(&corpus);
+  finder.Build();
+  auto tables = finder.TopKSemanticJoinableTables(0, 3);
+  ASSERT_FALSE(tables.empty());
+  EXPECT_EQ(tables[0].table_name, "shelter");
+}
+
+TEST(PexesoTest, NonTextualQueryYieldsNothing) {
+  Corpus corpus;
+  auto t = table::Table::FromCsv("nums", "x\n1\n2\n3\n");
+  ASSERT_TRUE(corpus.AddTable(*t).ok());
+  PexesoFinder finder(&corpus);
+  finder.Build();
+  EXPECT_TRUE(
+      finder.TopKSemanticJoinableColumns(*corpus.FindColumn("nums", "x"), 5)
+          .empty());
+}
+
+// ---------------------------------------------------------------- union
+
+TEST(UnionSearchTest, GroupMembersAreTopUnionable) {
+  workload::UnionableLakeOptions options;
+  options.num_groups = 3;
+  options.tables_per_group = 3;
+  options.rows_per_table = 60;
+  auto lake = workload::MakeUnionableLake(options);
+  Corpus corpus;
+  for (const auto& [domain, terms] : lake.domains) {
+    corpus.RegisterSemanticDomain(domain, terms);
+  }
+  for (const auto& t : lake.tables) {
+    ASSERT_TRUE(corpus.AddTable(t).ok());
+  }
+  UnionSearch search(&corpus);
+  // For each table, its top-(group size - 1) unionable tables are exactly
+  // its group members.
+  for (size_t q = 0; q < lake.tables.size(); ++q) {
+    auto matches = search.TopKUnionableTables(q, options.tables_per_group - 1);
+    ASSERT_EQ(matches.size(), options.tables_per_group - 1);
+    for (const auto& m : matches) {
+      EXPECT_EQ(lake.group_of[m.table_idx], lake.group_of[q])
+          << "table " << q << " matched out-of-group " << m.table_name;
+      EXPECT_GT(m.score, 0.3);
+      EXPECT_EQ(m.alignment.size(), options.cols_per_table);
+    }
+  }
+}
+
+TEST(UnionSearchTest, AttributeUnionabilityOrdering) {
+  workload::UnionableLakeOptions options;
+  options.num_groups = 2;
+  options.tables_per_group = 2;
+  auto lake = workload::MakeUnionableLake(options);
+  Corpus corpus;
+  for (const auto& t : lake.tables) ASSERT_TRUE(corpus.AddTable(t).ok());
+  UnionSearch search(&corpus);
+  // Same column position within a group >> across groups.
+  ColumnId a = *corpus.FindColumn(lake.tables[0].name(), "g0_field0");
+  ColumnId same_group = *corpus.FindColumn(lake.tables[1].name(), "g0_field0");
+  ColumnId other_group =
+      *corpus.FindColumn(lake.tables[2].name(), "g1_field0");
+  EXPECT_GT(search.AttributeUnionability(a, same_group),
+            search.AttributeUnionability(a, other_group));
+}
+
+TEST(UnionSearchTest, AlignmentIsOneToOne) {
+  workload::UnionableLakeOptions options;
+  options.num_groups = 1;
+  options.tables_per_group = 2;
+  auto lake = workload::MakeUnionableLake(options);
+  Corpus corpus;
+  for (const auto& t : lake.tables) ASSERT_TRUE(corpus.AddTable(t).ok());
+  UnionSearch search(&corpus);
+  auto alignment = search.AlignTables(0, 1);
+  std::set<uint64_t> used_q;
+  std::set<uint64_t> used_c;
+  for (const auto& a : alignment) {
+    EXPECT_TRUE(used_q.insert(a.query_column.Packed()).second);
+    EXPECT_TRUE(used_c.insert(a.candidate_column.Packed()).second);
+  }
+}
+
+}  // namespace
+}  // namespace lakekit::discovery

@@ -1,0 +1,335 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+#include "ingest/format_detect.h"
+#include "ingest/log_template.h"
+#include "ingest/profiler.h"
+#include "ingest/structural_extractor.h"
+#include "json/parser.h"
+
+namespace lakekit::ingest {
+namespace {
+
+using storage::DataFormat;
+
+// ---------------------------------------------------------------- format
+
+TEST(FormatDetectTest, ByExtension) {
+  EXPECT_EQ(DetectFormat("data.csv", ""), DataFormat::kCsv);
+  EXPECT_EQ(DetectFormat("DATA.CSV", ""), DataFormat::kCsv);
+  EXPECT_EQ(DetectFormat("d.json", ""), DataFormat::kJson);
+  EXPECT_EQ(DetectFormat("d.ndjson", ""), DataFormat::kJson);
+  EXPECT_EQ(DetectFormat("server.log", ""), DataFormat::kLog);
+  EXPECT_EQ(DetectFormat("net.graphml", ""), DataFormat::kGraph);
+  EXPECT_EQ(DetectFormat("img.png", ""), DataFormat::kBinary);
+}
+
+TEST(FormatDetectTest, SniffJson) {
+  EXPECT_EQ(SniffContent(R"({"a": 1})"), DataFormat::kJson);
+  EXPECT_EQ(SniffContent("[1, 2, 3]"), DataFormat::kJson);
+  EXPECT_EQ(SniffContent("{\"a\":1}\n{\"a\":2}\n"), DataFormat::kJson);
+}
+
+TEST(FormatDetectTest, SniffCsv) {
+  EXPECT_EQ(SniffContent("a,b,c\n1,2,3\n4,5,6\n"), DataFormat::kCsv);
+  // Inconsistent comma counts are not CSV.
+  EXPECT_NE(SniffContent("a,b\nword\nmore words here\n"), DataFormat::kCsv);
+}
+
+TEST(FormatDetectTest, SniffLog) {
+  EXPECT_EQ(
+      SniffContent("2024-01-01 INFO started\n2024-01-02 WARN slow\n"),
+      DataFormat::kLog);
+  EXPECT_EQ(SniffContent("[pid 12] booting\n[pid 13] ready\n"),
+            DataFormat::kLog);
+}
+
+TEST(FormatDetectTest, SniffBinary) {
+  std::string binary("ELF\x00\x01", 5);
+  EXPECT_EQ(SniffContent(binary), DataFormat::kBinary);
+}
+
+TEST(FormatDetectTest, UnknownContent) {
+  EXPECT_EQ(SniffContent(""), DataFormat::kUnknown);
+  EXPECT_EQ(SniffContent("just a plain sentence"), DataFormat::kUnknown);
+}
+
+TEST(FormatDetectTest, ExtensionBeatsContent) {
+  // A .csv file with JSON-ish content: extension wins (GEMMS detects format
+  // first, then parses).
+  EXPECT_EQ(DetectFormat("x.csv", "{\"a\":1}"), DataFormat::kCsv);
+}
+
+// ---------------------------------------------------------------- GEMMS
+
+TEST(StructuralExtractorTest, FlatObject) {
+  auto doc = json::Parse(R"({"id": 1, "name": "ada", "score": 1.5})");
+  StructureNode root = StructuralExtractor::InferJson(*doc);
+  EXPECT_EQ(root.type, "object");
+  ASSERT_EQ(root.children.size(), 3u);
+  EXPECT_EQ(root.FindChild("id")->type, "int");
+  EXPECT_EQ(root.FindChild("name")->type, "string");
+  EXPECT_EQ(root.FindChild("score")->type, "double");
+}
+
+TEST(StructuralExtractorTest, NestedObjectAndArray) {
+  auto doc = json::Parse(R"({"tags": ["a", "b"], "addr": {"city": "delft"}})");
+  StructureNode root = StructuralExtractor::InferJson(*doc);
+  const StructureNode* tags = root.FindChild("tags");
+  ASSERT_NE(tags, nullptr);
+  EXPECT_EQ(tags->type, "array");
+  ASSERT_EQ(tags->children.size(), 1u);
+  EXPECT_EQ(tags->children[0].type, "string");
+  const StructureNode* addr = root.FindChild("addr");
+  ASSERT_NE(addr, nullptr);
+  EXPECT_EQ(addr->type, "object");
+  EXPECT_EQ(addr->FindChild("city")->type, "string");
+}
+
+TEST(StructuralExtractorTest, MergeMarksOptionalFields) {
+  auto d1 = json::Parse(R"({"a": 1, "b": "x"})");
+  auto d2 = json::Parse(R"({"a": 2})");
+  auto merged = StructuralExtractor::InferJsonDocuments({*d1, *d2});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_FALSE(merged->FindChild("a")->optional);
+  EXPECT_TRUE(merged->FindChild("b")->optional);
+}
+
+TEST(StructuralExtractorTest, MergeWidensTypes) {
+  auto d1 = json::Parse(R"({"x": 1})");
+  auto d2 = json::Parse(R"({"x": 2.5})");
+  auto d3 = json::Parse(R"({"x": "str"})");
+  auto merged12 = StructuralExtractor::InferJsonDocuments({*d1, *d2});
+  EXPECT_EQ(merged12->FindChild("x")->type, "double");
+  auto merged13 = StructuralExtractor::InferJsonDocuments({*d1, *d3});
+  EXPECT_EQ(merged13->FindChild("x")->type, "mixed");
+}
+
+TEST(StructuralExtractorTest, MergeNullMakesOptional) {
+  auto d1 = json::Parse(R"({"x": null})");
+  auto d2 = json::Parse(R"({"x": 5})");
+  auto merged = StructuralExtractor::InferJsonDocuments({*d1, *d2});
+  EXPECT_EQ(merged->FindChild("x")->type, "int");
+  EXPECT_TRUE(merged->FindChild("x")->optional);
+}
+
+TEST(StructuralExtractorTest, ArrayElementsMerge) {
+  auto doc = json::Parse(R"([{"a": 1}, {"a": 2, "b": 3}])");
+  StructureNode root = StructuralExtractor::InferJson(*doc);
+  EXPECT_EQ(root.type, "array");
+  ASSERT_EQ(root.children.size(), 1u);
+  const StructureNode& item = root.children[0];
+  EXPECT_EQ(item.type, "object");
+  EXPECT_FALSE(item.FindChild("a")->optional);
+  EXPECT_TRUE(item.FindChild("b")->optional);
+}
+
+TEST(StructuralExtractorTest, CsvStructure) {
+  auto node = StructuralExtractor::InferCsv("id,name\n1,ada\n", "people");
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ(node->type, "table");
+  ASSERT_EQ(node->children.size(), 2u);
+  EXPECT_EQ(node->children[0].type, "column:int64");
+  EXPECT_EQ(node->children[1].type, "column:string");
+}
+
+TEST(StructuralExtractorTest, EmptyDocumentsRejected) {
+  EXPECT_FALSE(StructuralExtractor::InferJsonDocuments({}).ok());
+}
+
+TEST(StructuralExtractorTest, TreeSizeAndToString) {
+  auto doc = json::Parse(R"({"a": {"b": 1}})");
+  StructureNode root = StructuralExtractor::InferJson(*doc);
+  EXPECT_EQ(root.TreeSize(), 3u);
+  std::string rendered = root.ToString();
+  EXPECT_NE(rendered.find("a: object"), std::string::npos);
+  EXPECT_NE(rendered.find("b: int"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- DATAMARAN
+
+TEST(LogTemplateTest, TokenizeAndVariableDetection) {
+  EXPECT_EQ(LogTemplateExtractor::TokenizeLine("a  b\tc"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(LogTemplateExtractor::IsVariableToken("user42"));
+  EXPECT_TRUE(LogTemplateExtractor::IsVariableToken("192.168.0.1"));
+  EXPECT_FALSE(LogTemplateExtractor::IsVariableToken("INFO"));
+}
+
+TEST(LogTemplateTest, ExtractsPlantedTemplates) {
+  std::string log;
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    log += "INFO user u" + std::to_string(rng.Below(1000)) +
+           " logged in from host h" + std::to_string(rng.Below(50)) + "\n";
+  }
+  for (int i = 0; i < 100; ++i) {
+    log += "WARN disk usage at " + std::to_string(rng.Below(100)) +
+           " percent\n";
+  }
+  LogTemplateExtractor extractor;
+  auto templates = extractor.Extract(log);
+  ASSERT_GE(templates.size(), 2u);
+  // Highest-support template is the login line.
+  EXPECT_EQ(templates[0].Pattern(), "INFO user <*> logged in from host <*>");
+  EXPECT_EQ(templates[0].support, 200u);
+  EXPECT_EQ(templates[1].Pattern(), "WARN disk usage at <*> percent");
+  EXPECT_EQ(templates[1].support, 100u);
+}
+
+TEST(LogTemplateTest, CoverageThresholdPrunesNoise) {
+  std::string log;
+  for (int i = 0; i < 100; ++i) {
+    log += "GET /api/items/" + std::to_string(i) + " 200\n";
+  }
+  log += "completely unique noise line alpha beta\n";
+  LogTemplateOptions options;
+  options.min_coverage = 0.05;
+  LogTemplateExtractor extractor(options);
+  auto templates = extractor.Extract(log);
+  ASSERT_EQ(templates.size(), 1u);
+  EXPECT_EQ(templates[0].support, 100u);
+}
+
+TEST(LogTemplateTest, RefinementMergesNearIdentical) {
+  // Same arity, one differing literal position -> should merge into one
+  // template with a wildcard there.
+  std::string log;
+  for (int i = 0; i < 30; ++i) log += "job step alpha finished ok\n";
+  for (int i = 0; i < 30; ++i) log += "job step beta finished ok\n";
+  LogTemplateOptions options;
+  options.min_coverage = 0.01;
+  LogTemplateExtractor extractor(options);
+  auto templates = extractor.Extract(log);
+  ASSERT_EQ(templates.size(), 1u);
+  EXPECT_EQ(templates[0].Pattern(), "job step <*> finished ok");
+  EXPECT_EQ(templates[0].support, 60u);
+}
+
+TEST(LogTemplateTest, MatchAssignsLines) {
+  LogTemplate t;
+  t.tokens = {"INFO", "user", "<*>", "login"};
+  EXPECT_TRUE(t.Matches("INFO user u77 login"));
+  EXPECT_FALSE(t.Matches("INFO user u77 logout"));
+  EXPECT_FALSE(t.Matches("INFO user login"));  // arity mismatch
+  auto idx = LogTemplateExtractor::Match({t}, "INFO user x login");
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(*idx, 0u);
+  EXPECT_FALSE(LogTemplateExtractor::Match({t}, "other").has_value());
+}
+
+TEST(LogTemplateTest, EmptyLogYieldsNothing) {
+  LogTemplateExtractor extractor;
+  EXPECT_TRUE(extractor.Extract("").empty());
+  EXPECT_TRUE(extractor.Extract("\n\n\n").empty());
+}
+
+// ---------------------------------------------------------------- Skluma
+
+TEST(ProfilerTest, NumericColumnStats) {
+  std::vector<table::Value> values{table::Value(int64_t{1}),
+                                   table::Value(int64_t{2}),
+                                   table::Value(int64_t{3}),
+                                   table::Value(int64_t{4}),
+                                   table::Value()};
+  ColumnProfile p = Profiler::ProfileColumn("x", values);
+  EXPECT_EQ(p.row_count, 5u);
+  EXPECT_EQ(p.null_count, 1u);
+  EXPECT_EQ(p.distinct_count, 4u);
+  EXPECT_DOUBLE_EQ(p.min, 1.0);
+  EXPECT_DOUBLE_EQ(p.max, 4.0);
+  EXPECT_DOUBLE_EQ(p.mean, 2.5);
+  EXPECT_NEAR(p.stddev, 1.118, 0.001);
+  EXPECT_FALSE(p.is_candidate_key);  // has a null
+  EXPECT_DOUBLE_EQ(p.null_fraction(), 0.2);
+  EXPECT_DOUBLE_EQ(p.uniqueness(), 1.0);
+}
+
+TEST(ProfilerTest, CandidateKeyDetection) {
+  std::vector<table::Value> unique{table::Value(int64_t{1}),
+                                   table::Value(int64_t{2}),
+                                   table::Value(int64_t{3})};
+  EXPECT_TRUE(Profiler::ProfileColumn("id", unique).is_candidate_key);
+  std::vector<table::Value> dup{table::Value(int64_t{1}),
+                                table::Value(int64_t{1})};
+  EXPECT_FALSE(Profiler::ProfileColumn("id", dup).is_candidate_key);
+}
+
+TEST(ProfilerTest, StringColumnStats) {
+  std::vector<table::Value> values{table::Value("aa"), table::Value("bbbb"),
+                                   table::Value("aa")};
+  ColumnProfile p = Profiler::ProfileColumn("s", values, /*top_k=*/2);
+  EXPECT_EQ(p.type, table::DataType::kString);
+  EXPECT_NEAR(p.avg_length, 8.0 / 3.0, 1e-9);
+  ASSERT_GE(p.top_values.size(), 1u);
+  EXPECT_EQ(p.top_values[0].first, "aa");
+  EXPECT_EQ(p.top_values[0].second, 2u);
+}
+
+TEST(ProfilerTest, TopValuesCapped) {
+  std::vector<table::Value> values;
+  for (int i = 0; i < 100; ++i) values.push_back(table::Value(int64_t{i}));
+  ColumnProfile p = Profiler::ProfileColumn("x", values, /*top_k=*/3);
+  EXPECT_EQ(p.top_values.size(), 3u);
+}
+
+TEST(ProfilerTest, ProfileCsvFile) {
+  auto profile =
+      Profiler::ProfileFile("flights.csv", "lake/flights.csv",
+                            "flight,delay\nBA1,5\nKL2,12\nAF3,\n");
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile->format, DataFormat::kCsv);
+  EXPECT_EQ(profile->extension, "csv");
+  EXPECT_EQ(profile->num_records, 3u);
+  ASSERT_EQ(profile->columns.size(), 2u);
+  EXPECT_EQ(profile->columns[1].null_count, 1u);
+}
+
+TEST(ProfilerTest, ProfileJsonFile) {
+  auto profile = Profiler::ProfileFile(
+      "people.json", "lake/people.json",
+      R"([{"name":"ada","age":36},{"name":"bob","age":41}])");
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile->format, DataFormat::kJson);
+  EXPECT_EQ(profile->num_records, 2u);
+  EXPECT_EQ(profile->columns.size(), 2u);
+}
+
+TEST(ProfilerTest, ProfileNdjsonFile) {
+  auto profile = Profiler::ProfileFile("events.ndjson", "lake/events.ndjson",
+                                       "{\"e\":1}\n{\"e\":2}\n{\"e\":3}\n");
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile->num_records, 3u);
+}
+
+TEST(ProfilerTest, ProfileLogFileExtractsKeywords) {
+  std::string log;
+  for (int i = 0; i < 50; ++i) {
+    log += "2024-01-01 connection timeout while fetching shard\n";
+  }
+  auto profile = Profiler::ProfileFile("svc.log", "lake/svc.log", log);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile->format, DataFormat::kLog);
+  EXPECT_FALSE(profile->keywords.empty());
+  // "connection" and "timeout" should be among top keywords.
+  bool found = false;
+  for (const auto& kw : profile->keywords) {
+    if (kw == "connection" || kw == "timeout") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ProfilerTest, KeywordsSkipStopwordsAndNumbers) {
+  auto keywords =
+      Profiler::ExtractKeywords("the cat and the dog 42 42 42 near the barn");
+  for (const auto& kw : keywords) {
+    EXPECT_NE(kw, "the");
+    EXPECT_NE(kw, "and");
+    EXPECT_NE(kw, "42");
+  }
+}
+
+}  // namespace
+}  // namespace lakekit::ingest

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "json/parser.h"
+#include "json/value.h"
+#include "json/writer.h"
+
+namespace lakekit::json {
+namespace {
+
+TEST(JsonValueTest, TypePredicates) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(int64_t{4}).is_int());
+  EXPECT_TRUE(Value(4.5).is_double());
+  EXPECT_TRUE(Value("s").is_string());
+  EXPECT_TRUE(Value(Array{}).is_array());
+  EXPECT_TRUE(Value(Object{}).is_object());
+  EXPECT_TRUE(Value(int64_t{4}).is_number());
+  EXPECT_TRUE(Value(4.5).is_number());
+}
+
+TEST(JsonValueTest, ObjectPreservesInsertionOrder) {
+  Object o;
+  o.Set("z", Value(1));
+  o.Set("a", Value(2));
+  o.Set("m", Value(3));
+  ASSERT_EQ(o.size(), 3u);
+  EXPECT_EQ(o.entries()[0].first, "z");
+  EXPECT_EQ(o.entries()[1].first, "a");
+  EXPECT_EQ(o.entries()[2].first, "m");
+}
+
+TEST(JsonValueTest, ObjectOverwriteKeepsPosition) {
+  Object o;
+  o.Set("a", Value(1));
+  o.Set("b", Value(2));
+  o.Set("a", Value(9));
+  EXPECT_EQ(o.entries()[0].first, "a");
+  EXPECT_EQ(o.entries()[0].second.as_int(), 9);
+  EXPECT_EQ(o.size(), 2u);
+}
+
+TEST(JsonValueTest, ObjectErase) {
+  Object o;
+  o.Set("a", Value(1));
+  EXPECT_TRUE(o.Erase("a"));
+  EXPECT_FALSE(o.Erase("a"));
+  EXPECT_TRUE(o.empty());
+}
+
+TEST(JsonValueTest, GetHelpers) {
+  Object o;
+  o.Set("name", Value("flights"));
+  o.Set("rows", Value(int64_t{320}));
+  Value v(std::move(o));
+  EXPECT_EQ(v.GetString("name"), "flights");
+  EXPECT_EQ(v.GetInt("rows"), 320);
+  EXPECT_EQ(v.GetString("missing", "dflt"), "dflt");
+  EXPECT_EQ(v.GetInt("missing", -1), -1);
+  EXPECT_EQ(v.Get("missing"), nullptr);
+}
+
+TEST(JsonParserTest, Scalars) {
+  EXPECT_TRUE(Parse("null")->is_null());
+  EXPECT_EQ(Parse("true")->as_bool(), true);
+  EXPECT_EQ(Parse("false")->as_bool(), false);
+  EXPECT_EQ(Parse("42")->as_int(), 42);
+  EXPECT_EQ(Parse("-17")->as_int(), -17);
+  EXPECT_DOUBLE_EQ(Parse("3.25")->as_double(), 3.25);
+  EXPECT_DOUBLE_EQ(Parse("-1e3")->as_double(), -1000.0);
+  EXPECT_EQ(Parse("\"hi\"")->as_string(), "hi");
+}
+
+TEST(JsonParserTest, IntVsDoubleDistinction) {
+  EXPECT_TRUE(Parse("7")->is_int());
+  EXPECT_TRUE(Parse("7.0")->is_double());
+  EXPECT_TRUE(Parse("7e0")->is_double());
+}
+
+TEST(JsonParserTest, StringEscapes) {
+  EXPECT_EQ(Parse(R"("a\"b")")->as_string(), "a\"b");
+  EXPECT_EQ(Parse(R"("line\nbreak")")->as_string(), "line\nbreak");
+  EXPECT_EQ(Parse(R"("tab\there")")->as_string(), "tab\there");
+  EXPECT_EQ(Parse(R"("A")")->as_string(), "A");
+  EXPECT_EQ(Parse(R"("é")")->as_string(), "\xc3\xa9");  // é in UTF-8
+}
+
+TEST(JsonParserTest, NestedStructures) {
+  auto r = Parse(R"({"a": [1, 2, {"b": null}], "c": {"d": true}})");
+  ASSERT_TRUE(r.ok());
+  const Value& v = *r;
+  ASSERT_TRUE(v.is_object());
+  const Value* a = v.Get("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  EXPECT_EQ(a->as_array().size(), 3u);
+  EXPECT_TRUE(a->as_array()[2].Get("b")->is_null());
+  EXPECT_TRUE(v.Get("c")->Get("d")->as_bool());
+}
+
+TEST(JsonParserTest, EmptyContainers) {
+  EXPECT_TRUE(Parse("{}")->as_object().empty());
+  EXPECT_TRUE(Parse("[]")->as_array().empty());
+  EXPECT_TRUE(Parse(" [ ] ")->as_array().empty());
+}
+
+TEST(JsonParserTest, Whitespace) {
+  auto r = Parse("  {\n\t\"k\" : 1 }\n  ");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->GetInt("k"), 1);
+}
+
+TEST(JsonParserTest, Errors) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("{").ok());
+  EXPECT_FALSE(Parse("[1,").ok());
+  EXPECT_FALSE(Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Parse("tru").ok());
+  EXPECT_FALSE(Parse("\"unterminated").ok());
+  EXPECT_FALSE(Parse("1 2").ok());
+  EXPECT_FALSE(Parse("{\"a\":1} garbage").ok());
+  EXPECT_FALSE(Parse("-").ok());
+}
+
+TEST(JsonParserTest, ErrorMessagesCarryOffsets) {
+  auto r = Parse("[1, x]");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("byte"), std::string::npos);
+}
+
+TEST(JsonParserTest, DeepNestingRejected) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_FALSE(Parse(deep).ok());
+}
+
+TEST(JsonParserTest, IntegerOverflowFallsBackToDouble) {
+  auto r = Parse("99999999999999999999999");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->is_double());
+}
+
+TEST(JsonWriterTest, RoundTrip) {
+  const std::string doc =
+      R"({"name":"lake","count":3,"ratio":0.5,"ok":true,"nil":null,"tags":["a","b"]})";
+  auto parsed = Parse(doc);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(Write(*parsed), doc);
+}
+
+TEST(JsonWriterTest, DoubleAlwaysHasMarker) {
+  // Doubles serialize so they re-parse as doubles.
+  EXPECT_EQ(Write(Value(2.0)), "2.0");
+  auto reparsed = Parse(Write(Value(2.0)));
+  EXPECT_TRUE(reparsed->is_double());
+}
+
+TEST(JsonWriterTest, EscapesControlCharacters) {
+  EXPECT_EQ(Write(Value(std::string("a\x01") + "b")), "\"a\\u0001b\"");
+  EXPECT_EQ(Write(Value("q\"q")), R"("q\"q")");
+  EXPECT_EQ(Write(Value("back\\slash")), R"("back\\slash")");
+}
+
+TEST(JsonWriterTest, PrettyContainsNewlines) {
+  auto v = Parse(R"({"a":1,"b":[2,3]})");
+  std::string pretty = WritePretty(*v);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  // Pretty output re-parses to the same value.
+  EXPECT_EQ(*Parse(pretty), *v);
+}
+
+TEST(JsonWriterTest, WriteIsByteStable) {
+  auto a = Parse(R"({"x":1,"y":[true,null]})");
+  EXPECT_EQ(Write(*a), Write(*Parse(Write(*a))));
+}
+
+TEST(JsonParseLinesTest, NdjsonParsing) {
+  auto r = ParseLines("{\"a\":1}\n\n{\"a\":2}\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_EQ((*r)[0].GetInt("a"), 1);
+  EXPECT_EQ((*r)[1].GetInt("a"), 2);
+}
+
+TEST(JsonParseLinesTest, ReportsFailingLine) {
+  auto r = ParseLines("{\"a\":1}\nnot json\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lakekit::json

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "discovery/corpus.h"
+#include "discovery/juneau.h"
+#include "provenance/variable_dep.h"
+
+namespace lakekit::discovery {
+namespace {
+
+/// Fixture lake tailored to the three Juneau tasks:
+///  - "train"      : the query table (people features, some nulls)
+///  - "more_rows"  : same schema, disjoint rows  -> best for kAugmentTraining
+///  - "extra_cols" : shares the id column, adds new attributes
+///                                               -> best for kAugmentFeatures
+///  - "clean_copy" : same schema, overlapping rows, no nulls
+///                                               -> best for kCleaning
+///  - "unrelated"  : nothing in common
+class JuneauTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus_ = new Corpus();
+    auto add_csv = [&](const std::string& name, std::string csv) {
+      auto t = table::Table::FromCsv(name, csv);
+      ASSERT_TRUE(t.ok());
+      ASSERT_TRUE(corpus_->AddTable(std::move(*t)).ok());
+    };
+    // Query: ids 0..19, with nulls in "score".
+    std::string train = "user_id,label,score\n";
+    for (int i = 0; i < 20; ++i) {
+      train += "u" + std::to_string(i) + ",l" + std::to_string(i % 3) + "," +
+               (i % 4 == 0 ? "" : std::to_string(i)) + "\n";
+    }
+    add_csv("train", train);
+    // Same schema, different users.
+    std::string more = "user_id,label,score\n";
+    for (int i = 100; i < 120; ++i) {
+      more += "u" + std::to_string(i) + ",l" + std::to_string(i % 3) + "," +
+              std::to_string(i) + "\n";
+    }
+    add_csv("more_rows", more);
+    // Shares user_id values; new attributes.
+    std::string extra = "user_id,age,city,income\n";
+    for (int i = 0; i < 20; ++i) {
+      extra += "u" + std::to_string(i) + "," + std::to_string(20 + i) +
+               ",city" + std::to_string(i % 4) + "," +
+               std::to_string(1000 * i) + "\n";
+    }
+    add_csv("extra_cols", extra);
+    // Near-duplicate with all nulls filled.
+    std::string clean = "user_id,label,score\n";
+    for (int i = 0; i < 20; ++i) {
+      clean += "u" + std::to_string(i) + ",l" + std::to_string(i % 3) + "," +
+               std::to_string(i) + "\n";
+    }
+    add_csv("clean_copy", clean);
+    // Unrelated.
+    add_csv("unrelated", "sensor,reading\ns1,0.5\ns2,0.7\n");
+
+    finder_ = new JuneauFinder(corpus_);
+  }
+  static void TearDownTestSuite() {
+    delete finder_;
+    delete corpus_;
+  }
+
+  static size_t Idx(const std::string& name) {
+    return *corpus_->TableIndex(name);
+  }
+
+  static Corpus* corpus_;
+  static JuneauFinder* finder_;
+};
+
+Corpus* JuneauTest::corpus_ = nullptr;
+JuneauFinder* JuneauTest::finder_ = nullptr;
+
+TEST_F(JuneauTest, SignalsReflectTableRelationships) {
+  JuneauSignals same_schema =
+      finder_->ComputeSignals(Idx("train"), Idx("more_rows"));
+  EXPECT_DOUBLE_EQ(same_schema.schema_overlap, 1.0);
+  EXPECT_LT(same_schema.value_overlap, 0.3);   // disjoint users
+  EXPECT_GT(same_schema.new_instance_rate, 0.6);
+
+  JuneauSignals joinable =
+      finder_->ComputeSignals(Idx("train"), Idx("extra_cols"));
+  EXPECT_GT(joinable.value_overlap, 0.7);       // shared user_id values
+  EXPECT_GT(joinable.new_attribute_rate, 0.5);  // age/city/income are new
+
+  JuneauSignals dup = finder_->ComputeSignals(Idx("train"), Idx("clean_copy"));
+  EXPECT_DOUBLE_EQ(dup.schema_overlap, 1.0);
+  EXPECT_GT(dup.null_improvement, 0.2);  // clean copy fills the nulls
+
+  JuneauSignals noise = finder_->ComputeSignals(Idx("train"), Idx("unrelated"));
+  EXPECT_LT(noise.schema_overlap, 0.5);
+  EXPECT_LT(noise.value_overlap, 0.1);
+}
+
+TEST_F(JuneauTest, TaskWeightingPicksTheRightTable) {
+  auto top = [&](JuneauTask task) {
+    auto matches = finder_->TopKForTask(Idx("train"), task, 1);
+    return matches.empty() ? std::string() : matches[0].table_name;
+  };
+  EXPECT_EQ(top(JuneauTask::kAugmentTraining), "more_rows");
+  EXPECT_EQ(top(JuneauTask::kAugmentFeatures), "extra_cols");
+  EXPECT_EQ(top(JuneauTask::kCleaning), "clean_copy");
+}
+
+TEST_F(JuneauTest, UnrelatedTableRanksLast) {
+  for (JuneauTask task : {JuneauTask::kAugmentTraining,
+                          JuneauTask::kAugmentFeatures, JuneauTask::kCleaning}) {
+    auto matches = finder_->TopKForTask(Idx("train"), task, 10);
+    ASSERT_FALSE(matches.empty());
+    EXPECT_NE(matches[0].table_name, "unrelated") << JuneauTaskName(task);
+  }
+}
+
+TEST_F(JuneauTest, ProvenanceSignalBoostsWorkflowSiblings) {
+  // Two tables produced by the same workflow shape.
+  provenance::VariableDependencyGraph nb;
+  nb.AddStep({"raw"}, "dropna", "train_df");
+  nb.AddStep({"raw2"}, "dropna", "more_df");
+  JuneauFinder with_prov(corpus_);
+  with_prov.RegisterProvenance("train", &nb, "train_df");
+  with_prov.RegisterProvenance("more_rows", &nb, "more_df");
+  JuneauSignals s = with_prov.ComputeSignals(Idx("train"), Idx("more_rows"));
+  EXPECT_DOUBLE_EQ(s.provenance, 1.0);
+  // Without registration the signal is zero.
+  EXPECT_DOUBLE_EQ(
+      finder_->ComputeSignals(Idx("train"), Idx("more_rows")).provenance, 0.0);
+  // The boost strictly increases the training-augmentation score.
+  EXPECT_GT(with_prov.Score(Idx("train"), Idx("more_rows"),
+                            JuneauTask::kAugmentTraining),
+            finder_->Score(Idx("train"), Idx("more_rows"),
+                           JuneauTask::kAugmentTraining));
+}
+
+TEST_F(JuneauTest, TaskNames) {
+  EXPECT_EQ(JuneauTaskName(JuneauTask::kAugmentTraining), "augment_training");
+  EXPECT_EQ(JuneauTaskName(JuneauTask::kCleaning), "cleaning");
+}
+
+}  // namespace
+}  // namespace lakekit::discovery

@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "discovery/corpus.h"
+#include "organize/dsknn.h"
+#include "organize/kayak.h"
+#include "organize/org_dag.h"
+#include "workload/generator.h"
+
+namespace lakekit::organize {
+namespace {
+
+// ---------------------------------------------------------------- DS-kNN
+
+TEST(DsKnnTest, FeatureExtraction) {
+  auto t = table::Table::FromCsv("t", "id,name,score\n1,a,2.5\n2,b,\n3,c,4.5\n");
+  DatasetFeatures f = DsKnnOrganizer::ExtractFeatures(*t);
+  EXPECT_EQ(f.dataset_name, "t");
+  EXPECT_DOUBLE_EQ(f.num_columns, 3);
+  EXPECT_DOUBLE_EQ(f.num_rows, 3);
+  EXPECT_NEAR(f.numeric_column_fraction, 2.0 / 3.0, 1e-9);
+  EXPECT_EQ(f.schema_signature, "id|name|score");
+}
+
+TEST(DsKnnTest, IdenticalSchemasClusterTogether) {
+  DsKnnOrganizer organizer;
+  // Two families of tables: "sensor" tables and "customer" tables.
+  std::vector<size_t> sensor_categories;
+  std::vector<size_t> customer_categories;
+  for (int i = 0; i < 4; ++i) {
+    std::string csv = "device_id,temperature,humidity\n";
+    for (int r = 0; r < 20; ++r) {
+      csv += std::to_string(i * 100 + r) + "," +
+             std::to_string(20 + r % 5) + "," + std::to_string(40 + r % 7) +
+             "\n";
+    }
+    auto t = table::Table::FromCsv("sensor" + std::to_string(i), csv);
+    sensor_categories.push_back(organizer.AddDataset(*t));
+  }
+  for (int i = 0; i < 4; ++i) {
+    std::string csv = "customer_name,street_address,city_of_residence\n";
+    for (int r = 0; r < 20; ++r) {
+      csv += "name" + std::to_string(r) + ",street" + std::to_string(r) +
+             ",city" + std::to_string(r % 3) + "\n";
+    }
+    auto t = table::Table::FromCsv("customer" + std::to_string(i), csv);
+    customer_categories.push_back(organizer.AddDataset(*t));
+  }
+  // All sensors share one category; all customers share another, distinct.
+  for (size_t c : sensor_categories) EXPECT_EQ(c, sensor_categories[0]);
+  for (size_t c : customer_categories) EXPECT_EQ(c, customer_categories[0]);
+  EXPECT_NE(sensor_categories[0], customer_categories[0]);
+  EXPECT_EQ(organizer.num_categories(), 2u);
+  EXPECT_EQ(organizer.CategoryOf("sensor2"), sensor_categories[0]);
+  EXPECT_EQ(organizer.CategoryOf("ghost"), static_cast<size_t>(-1));
+}
+
+TEST(DsKnnTest, FirstDatasetFoundsCategory) {
+  DsKnnOrganizer organizer;
+  auto t = table::Table::FromCsv("solo", "a,b\n1,2\n");
+  EXPECT_EQ(organizer.AddDataset(*t), 0u);
+  EXPECT_EQ(organizer.num_categories(), 1u);
+}
+
+TEST(DsKnnTest, SimilarityIsSymmetricAndBounded) {
+  auto t1 = table::Table::FromCsv("t1", "a,b\n1,x\n2,y\n");
+  auto t2 = table::Table::FromCsv("t2", "a,c\n1,2.0\n2,3.0\n");
+  DatasetFeatures f1 = DsKnnOrganizer::ExtractFeatures(*t1);
+  DatasetFeatures f2 = DsKnnOrganizer::ExtractFeatures(*t2);
+  DsKnnOrganizer organizer;
+  double s12 = organizer.Similarity(f1, f2);
+  double s21 = organizer.Similarity(f2, f1);
+  EXPECT_DOUBLE_EQ(s12, s21);
+  EXPECT_GE(s12, 0.0);
+  EXPECT_LE(s12, 1.0);
+  EXPECT_NEAR(organizer.Similarity(f1, f1), 1.0, 1e-9);
+}
+
+// ---------------------------------------------------------------- org DAG
+
+class OrganizationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload::UnionableLakeOptions options;
+    options.num_groups = 4;
+    options.tables_per_group = 4;
+    options.rows_per_table = 40;
+    lake_ = new workload::UnionableLake(workload::MakeUnionableLake(options));
+    corpus_ = new discovery::Corpus();
+    for (const auto& [domain, terms] : lake_->domains) {
+      corpus_->RegisterSemanticDomain(domain, terms);
+    }
+    for (const auto& t : lake_->tables) {
+      ASSERT_TRUE(corpus_->AddTable(t).ok());
+    }
+  }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    delete lake_;
+  }
+  static workload::UnionableLake* lake_;
+  static discovery::Corpus* corpus_;
+};
+
+workload::UnionableLake* OrganizationTest::lake_ = nullptr;
+discovery::Corpus* OrganizationTest::corpus_ = nullptr;
+
+TEST_F(OrganizationTest, BuildProducesSingleRootTree) {
+  auto org = Organization::Build(corpus_);
+  ASSERT_TRUE(org.ok());
+  size_t leaves = 0;
+  size_t roots = 0;
+  for (const OrgNode& n : org->nodes()) {
+    if (n.is_leaf()) ++leaves;
+    if (n.parent == -1) ++roots;
+  }
+  EXPECT_EQ(leaves, corpus_->num_tables());
+  EXPECT_EQ(roots, 1u);
+  EXPECT_EQ(org->root(), org->nodes()[org->root()].id);
+  EXPECT_GT(org->MeanDepth(), 0.0);
+}
+
+TEST_F(OrganizationTest, NavigationBeatsFlatBaseline) {
+  auto org = Organization::Build(corpus_);
+  ASSERT_TRUE(org.ok());
+  // Query with a group's domain terms: probability of reaching a table of
+  // that group should beat 1/N.
+  double improved = 0;
+  size_t queries = 0;
+  for (size_t t = 0; t < lake_->tables.size(); t += 3) {
+    size_t group = lake_->group_of[t];
+    std::string domain = "domain_g" + std::to_string(group) + "c0";
+    std::vector<std::string> query = lake_->domains.at(domain);
+    query.resize(5);
+    double p = org->DiscoveryProbability(query, t);
+    if (p > org->FlatBaselineProbability()) improved += 1;
+    ++queries;
+  }
+  // Most queries should beat the flat baseline.
+  EXPECT_GE(improved / static_cast<double>(queries), 0.6);
+}
+
+TEST_F(OrganizationTest, GreedyNavigationReachesQueriedGroup) {
+  auto org = Organization::Build(corpus_);
+  ASSERT_TRUE(org.ok());
+  size_t correct = 0;
+  size_t total = 0;
+  for (size_t group = 0; group < 4; ++group) {
+    std::string domain = "domain_g" + std::to_string(group) + "c0";
+    std::vector<std::string> query = lake_->domains.at(domain);
+    query.resize(8);
+    auto reached = org->Navigate(query);
+    ASSERT_TRUE(reached.ok());
+    if (lake_->group_of[*reached] == group) ++correct;
+    ++total;
+  }
+  EXPECT_GE(correct, total - 1);
+}
+
+TEST_F(OrganizationTest, ProbabilitiesSumToOneAcrossLeaves) {
+  auto org = Organization::Build(corpus_);
+  ASSERT_TRUE(org.ok());
+  std::vector<std::string> query = {"domain_g0c0_t0", "domain_g0c0_t1"};
+  double total = 0;
+  for (size_t t = 0; t < corpus_->num_tables(); ++t) {
+    total += org->DiscoveryProbability(query, t);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST(OrganizationEmptyTest, EmptyCorpusRejected) {
+  discovery::Corpus corpus;
+  EXPECT_FALSE(Organization::Build(&corpus).ok());
+}
+
+// ---------------------------------------------------------------- KAYAK
+
+TEST(TaskDagTest, TopologicalOrderRespectsDependencies) {
+  TaskDag dag;
+  std::vector<size_t> log;
+  auto task = [&log](size_t id) {
+    return [&log, id]() {
+      log.push_back(id);
+      return Status::OK();
+    };
+  };
+  size_t a = dag.AddTask("a", task(0));
+  size_t b = dag.AddTask("b", task(1));
+  size_t c = dag.AddTask("c", task(2));
+  ASSERT_TRUE(dag.AddDependency(a, b).ok());
+  ASSERT_TRUE(dag.AddDependency(b, c).ok());
+  ASSERT_TRUE(dag.Execute().ok());
+  EXPECT_EQ(log, (std::vector<size_t>{0, 1, 2}));
+  EXPECT_EQ(dag.execution_order(), (std::vector<size_t>{a, b, c}));
+}
+
+TEST(TaskDagTest, CycleDetected) {
+  TaskDag dag;
+  size_t a = dag.AddTask("a", nullptr);
+  size_t b = dag.AddTask("b", nullptr);
+  ASSERT_TRUE(dag.AddDependency(a, b).ok());
+  ASSERT_TRUE(dag.AddDependency(b, a).ok());
+  EXPECT_TRUE(dag.TopologicalOrder().status().IsAborted());
+  EXPECT_TRUE(dag.Execute().IsAborted());
+}
+
+TEST(TaskDagTest, SelfDependencyRejected) {
+  TaskDag dag;
+  size_t a = dag.AddTask("a", nullptr);
+  EXPECT_TRUE(dag.AddDependency(a, a).IsInvalidArgument());
+  EXPECT_TRUE(dag.AddDependency(a, 99).IsInvalidArgument());
+}
+
+TEST(TaskDagTest, ParallelLevelsIdentifyIndependentTasks) {
+  // Diamond: a -> {b, c} -> d. b and c share a level.
+  TaskDag dag;
+  size_t a = dag.AddTask("a", nullptr);
+  size_t b = dag.AddTask("b", nullptr);
+  size_t c = dag.AddTask("c", nullptr);
+  size_t d = dag.AddTask("d", nullptr);
+  ASSERT_TRUE(dag.AddDependency(a, b).ok());
+  ASSERT_TRUE(dag.AddDependency(a, c).ok());
+  ASSERT_TRUE(dag.AddDependency(b, d).ok());
+  ASSERT_TRUE(dag.AddDependency(c, d).ok());
+  auto levels = dag.ParallelLevels();
+  ASSERT_TRUE(levels.ok());
+  ASSERT_EQ(levels->size(), 3u);
+  EXPECT_EQ((*levels)[0], (std::vector<size_t>{a}));
+  EXPECT_EQ(std::set<size_t>((*levels)[1].begin(), (*levels)[1].end()),
+            (std::set<size_t>{b, c}));
+  EXPECT_EQ((*levels)[2], (std::vector<size_t>{d}));
+}
+
+TEST(TaskDagTest, FailureStopsExecution) {
+  TaskDag dag;
+  std::vector<int> log;
+  size_t a = dag.AddTask("a", [&] {
+    log.push_back(1);
+    return Status::IoError("boom");
+  });
+  size_t b = dag.AddTask("b", [&] {
+    log.push_back(2);
+    return Status::OK();
+  });
+  ASSERT_TRUE(dag.AddDependency(a, b).ok());
+  Status s = dag.Execute();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("'a' failed"), std::string::npos);
+  EXPECT_EQ(log, (std::vector<int>{1}));
+}
+
+TEST(KayakPipelineTest, PrimitivesExpandAndRunInOrder) {
+  KayakPipeline pipeline;
+  std::vector<std::string> log;
+  auto task = [&log](std::string name) {
+    return std::make_pair(name, TaskFn([&log, name] {
+                            log.push_back(name);
+                            return Status::OK();
+                          }));
+  };
+  size_t profile = pipeline.DefinePrimitive(
+      "profile", {task("stats"), task("types")});
+  size_t join_check = pipeline.DefinePrimitive(
+      "joinability", {task("index"), task("query")});
+  auto s1 = pipeline.AddStep(profile);
+  auto s2 = pipeline.AddStep(join_check);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  ASSERT_TRUE(pipeline.AddStepDependency(*s1, *s2).ok());
+  ASSERT_TRUE(pipeline.Run().ok());
+  EXPECT_EQ(log, (std::vector<std::string>{"stats", "types", "index",
+                                           "query"}));
+  EXPECT_EQ(pipeline.expanded().num_tasks(), 4u);
+}
+
+TEST(KayakPipelineTest, IndependentStepsCanParallelize) {
+  KayakPipeline pipeline;
+  auto noop = std::make_pair(std::string("t"), TaskFn());
+  size_t p = pipeline.DefinePrimitive("p", {noop});
+  auto s1 = pipeline.AddStep(p);
+  auto s2 = pipeline.AddStep(p);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  ASSERT_TRUE(pipeline.Run().ok());
+  auto levels = pipeline.expanded().ParallelLevels();
+  ASSERT_TRUE(levels.ok());
+  // No dependency between the two steps: one level holds both tasks.
+  EXPECT_EQ(levels->size(), 1u);
+  EXPECT_EQ((*levels)[0].size(), 2u);
+}
+
+TEST(KayakPipelineTest, UnknownPrimitiveRejected) {
+  KayakPipeline pipeline;
+  EXPECT_FALSE(pipeline.AddStep(99).ok());
+  EXPECT_TRUE(pipeline.AddStepDependency(0, 1).IsInvalidArgument());
+}
+
+TEST(KayakPipelineTest, EmptyPrimitiveRejectedAtRun) {
+  KayakPipeline pipeline;
+  size_t p = pipeline.DefinePrimitive("empty", {});
+  ASSERT_TRUE(pipeline.AddStep(p).ok());
+  EXPECT_FALSE(pipeline.Run().ok());
+}
+
+}  // namespace
+}  // namespace lakekit::organize

@@ -1,0 +1,377 @@
+// Property-based tests on cross-module invariants: the KV store against a
+// std::map reference model under random operation sequences; LSH collision
+// rates against the theoretical S-curve; full-disjunction postconditions;
+// lakehouse snapshot consistency under random operation histories;
+// Auto-Validate generalization monotonicity.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <optional>
+
+#include "common/random.h"
+#include "integrate/full_disjunction.h"
+#include "lakehouse/delta_table.h"
+#include "quality/auto_validate.h"
+#include "query/expr.h"
+#include "storage/kv_store.h"
+#include "storage/object_store.h"
+#include "text/lsh.h"
+#include "text/minhash.h"
+#include "workload/generator.h"
+
+namespace lakekit {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ------------------------------------------------- KV model checking
+
+/// Random Put/Delete/Flush/Compact/Reopen sequences must behave exactly
+/// like a std::map.
+class KvModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KvModelTest, MatchesReferenceModel) {
+  std::string dir =
+      (fs::temp_directory_path() /
+       ("lakekit_kvmodel_" + std::to_string(GetParam())))
+          .string();
+  fs::remove_all(dir);
+  Rng rng(GetParam());
+
+  storage::KvStoreOptions options;
+  options.memtable_flush_bytes = 256;  // force frequent flushes
+  options.compaction_trigger_runs = 4;
+  auto store = storage::KvStore::Open(dir, options);
+  ASSERT_TRUE(store.ok());
+  std::map<std::string, std::string> model;
+
+  for (int op = 0; op < 600; ++op) {
+    uint64_t dice = rng.Below(100);
+    std::string key = "k" + std::to_string(rng.Below(40));
+    if (dice < 55) {
+      std::string value = "v" + std::to_string(rng.Next() % 1000);
+      ASSERT_TRUE((*store)->Put(key, value).ok());
+      model[key] = value;
+    } else if (dice < 80) {
+      ASSERT_TRUE((*store)->Delete(key).ok());
+      model.erase(key);
+    } else if (dice < 88) {
+      ASSERT_TRUE((*store)->Flush().ok());
+    } else if (dice < 93) {
+      ASSERT_TRUE((*store)->Compact().ok());
+    } else {
+      // Reopen: crash-free restart must preserve everything.
+      store = storage::KvStore::Open(dir, options);
+      ASSERT_TRUE(store.ok());
+    }
+    // Spot-check a random key.
+    std::string probe = "k" + std::to_string(rng.Below(40));
+    auto got = (*store)->Get(probe);
+    auto expected = model.find(probe);
+    if (expected == model.end()) {
+      EXPECT_TRUE(got.status().IsNotFound()) << "key " << probe;
+    } else {
+      ASSERT_TRUE(got.ok()) << "key " << probe;
+      EXPECT_EQ(*got, expected->second);
+    }
+  }
+  // Full scan equals the model.
+  auto scan = (*store)->Scan();
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->size(), model.size());
+  size_t i = 0;
+  for (const auto& [k, v] : model) {
+    EXPECT_EQ((*scan)[i].first, k);
+    EXPECT_EQ((*scan)[i].second, v);
+    ++i;
+  }
+  fs::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KvModelTest,
+                         ::testing::Values(1, 7, 42, 1337));
+
+// ------------------------------------------------- LSH S-curve
+
+/// Empirical collision rate tracks the theoretical banding S-curve.
+class LshCurveTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LshCurveTest, EmpiricalMatchesTheory) {
+  const double jaccard = GetParam();
+  text::MinHasher hasher(128);
+  text::LshIndex index(32, 4);
+  const int trials = 60;
+  int collisions = 0;
+  // Per-trial fresh pairs with the target Jaccard.
+  for (int t = 0; t < trials; ++t) {
+    const int n = 400;
+    const int shared = static_cast<int>(2 * n * jaccard / (1 + jaccard));
+    std::vector<std::string> a;
+    std::vector<std::string> b;
+    std::string prefix = "t" + std::to_string(t) + "j" +
+                         std::to_string(static_cast<int>(jaccard * 100));
+    for (int i = 0; i < shared; ++i) {
+      a.push_back(prefix + "s" + std::to_string(i));
+      b.push_back(prefix + "s" + std::to_string(i));
+    }
+    for (int i = shared; i < n; ++i) {
+      a.push_back(prefix + "a" + std::to_string(i));
+      b.push_back(prefix + "b" + std::to_string(i));
+    }
+    text::LshIndex fresh(32, 4);
+    fresh.Insert(1, hasher.Compute(a));
+    if (!fresh.Query(hasher.Compute(b)).empty()) ++collisions;
+  }
+  double empirical = static_cast<double>(collisions) / trials;
+  double theory = index.CollisionProbability(jaccard);
+  // Binomial noise over 60 trials: allow a generous band.
+  EXPECT_NEAR(empirical, theory, 0.2)
+      << "jaccard=" << jaccard << " empirical=" << empirical
+      << " theory=" << theory;
+}
+
+INSTANTIATE_TEST_SUITE_P(Similarities, LshCurveTest,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9));
+
+// ------------------------------------------------- FD postconditions
+
+/// Full disjunction invariants on random inputs: no subsumed tuples, no
+/// duplicates, every source tuple represented.
+class FdPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FdPropertyTest, Postconditions) {
+  Rng rng(GetParam());
+  // Two random tables over a small key domain (forces real joins).
+  auto make = [&](const std::string& name, const std::string& attr) {
+    table::Table t(name,
+                   table::Schema({{"k", table::DataType::kString, true},
+                                  {attr, table::DataType::kString, true}}));
+    for (int i = 0; i < 12; ++i) {
+      (void)t.AppendRow({table::Value("key" + std::to_string(rng.Below(6))),
+                         table::Value(attr + std::to_string(rng.Below(3)))});
+    }
+    return t;
+  };
+  table::Table a = make("a", "x");
+  table::Table b = make("b", "y");
+  auto integration = integrate::IntegrateSchemas({a, b});
+  ASSERT_TRUE(integration.ok());
+  auto fd = integrate::FullDisjunction({a, b}, *integration);
+  ASSERT_TRUE(fd.ok());
+
+  // No duplicate tuples.
+  std::set<std::string> seen;
+  for (size_t r = 0; r < fd->num_rows(); ++r) {
+    std::string key;
+    for (size_t c = 0; c < fd->num_columns(); ++c) {
+      key += fd->at(r, c).is_null() ? "\x01" : fd->at(r, c).ToString();
+      key += "\x02";
+    }
+    EXPECT_TRUE(seen.insert(key).second) << "duplicate tuple in FD";
+  }
+  // No tuple subsumed by another.
+  for (size_t i = 0; i < fd->num_rows(); ++i) {
+    for (size_t j = 0; j < fd->num_rows(); ++j) {
+      if (i == j) continue;
+      bool j_covers_i = true;
+      bool j_strictly_more = false;
+      for (size_t c = 0; c < fd->num_columns(); ++c) {
+        const auto& vi = fd->at(i, c);
+        const auto& vj = fd->at(j, c);
+        if (!vi.is_null()) {
+          if (vj.is_null() || !(vi == vj)) {
+            j_covers_i = false;
+            break;
+          }
+        } else if (!vj.is_null()) {
+          j_strictly_more = true;
+        }
+      }
+      EXPECT_FALSE(j_covers_i && j_strictly_more)
+          << "tuple " << i << " subsumed by " << j;
+    }
+  }
+  // Every source (k, x) pair appears in some output tuple.
+  size_t k_col = *fd->schema().IndexOf("k");
+  size_t x_col = *fd->schema().IndexOf("x");
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    bool represented = false;
+    for (size_t o = 0; o < fd->num_rows() && !represented; ++o) {
+      if (fd->at(o, k_col) == a.at(r, 0) && fd->at(o, x_col) == a.at(r, 1)) {
+        represented = true;
+      }
+    }
+    EXPECT_TRUE(represented) << "source tuple " << r << " lost";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FdPropertyTest,
+                         ::testing::Values(3, 11, 29, 71));
+
+// ------------------------------------------------- lakehouse histories
+
+/// Random append/overwrite/delete/checkpoint histories: the latest read
+/// must equal an in-memory reference table, and historical reads must be
+/// stable after later writes.
+class LakehousePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LakehousePropertyTest, SnapshotConsistency) {
+  std::string dir =
+      (fs::temp_directory_path() /
+       ("lakekit_lhprop_" + std::to_string(GetParam())))
+          .string();
+  fs::remove_all(dir);
+  auto store = storage::ObjectStore::Open(dir);
+  ASSERT_TRUE(store.ok());
+  table::Schema schema({{"id", table::DataType::kInt64, true},
+                        {"tag", table::DataType::kString, true}});
+  auto t = lakehouse::DeltaTable::Create(&store.value(), "t", schema);
+  ASSERT_TRUE(t.ok());
+
+  Rng rng(GetParam());
+  std::multiset<int64_t> model;  // reference: ids present
+  std::map<int64_t, std::multiset<int64_t>> history;  // version -> ids
+  int64_t next_id = 0;
+
+  auto snapshot_ids = [&](std::optional<int64_t> version) {
+    std::multiset<int64_t> ids;
+    auto data = t->Read(version);
+    EXPECT_TRUE(data.ok());
+    size_t id_col = *data->schema().IndexOf("id");
+    for (size_t r = 0; r < data->num_rows(); ++r) {
+      ids.insert(data->at(r, id_col).as_int());
+    }
+    return ids;
+  };
+
+  for (int op = 0; op < 25; ++op) {
+    uint64_t dice = rng.Below(100);
+    if (dice < 60) {
+      // Append 3 rows.
+      table::Table rows("t", schema);
+      for (int i = 0; i < 3; ++i) {
+        (void)rows.AppendRow({table::Value(next_id),
+                              table::Value("tag" + std::to_string(next_id % 4))});
+        model.insert(next_id);
+        ++next_id;
+      }
+      ASSERT_TRUE(t->Append(rows).ok());
+    } else if (dice < 75) {
+      // Delete ids below a moving threshold.
+      int64_t threshold = next_id / 2;
+      auto pred = query::Expr::Compare(
+          query::CmpOp::kLt, query::Expr::Column("id"),
+          query::Expr::Literal(table::Value(threshold)));
+      ASSERT_TRUE(t->DeleteWhere(*pred).ok());
+      for (auto it = model.begin(); it != model.end();) {
+        if (*it < threshold) {
+          it = model.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    } else if (dice < 90) {
+      ASSERT_TRUE(t->Checkpoint().ok());
+    } else {
+      // Overwrite with the current model contents halved.
+      table::Table rows("t", schema);
+      std::multiset<int64_t> kept;
+      bool toggle = false;
+      for (int64_t id : model) {
+        toggle = !toggle;
+        if (toggle) {
+          (void)rows.AppendRow({table::Value(id),
+                                table::Value("tag" + std::to_string(id % 4))});
+          kept.insert(id);
+        }
+      }
+      ASSERT_TRUE(t->Overwrite(rows).ok());
+      model = std::move(kept);
+    }
+    int64_t version = *t->Version();
+    history[version] = model;
+    EXPECT_EQ(snapshot_ids({}), model) << "latest mismatch after op " << op;
+  }
+  // All recorded historical versions still read back exactly.
+  for (const auto& [version, ids] : history) {
+    EXPECT_EQ(snapshot_ids(version), ids) << "version " << version;
+  }
+  fs::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LakehousePropertyTest,
+                         ::testing::Values(5, 17, 99));
+
+// ------------------------------------------------- pattern monotonicity
+
+/// Level-1 patterns generalize level-0: anything the exact-length pattern
+/// accepts, the open-length pattern accepts too.
+class PatternPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PatternPropertyTest, GeneralizationMonotone) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    // Random value: runs of digits/letters/punct.
+    std::string value;
+    int segments = 1 + static_cast<int>(rng.Below(4));
+    for (int s = 0; s < segments; ++s) {
+      int kind = static_cast<int>(rng.Below(3));
+      int len = 1 + static_cast<int>(rng.Below(5));
+      for (int i = 0; i < len; ++i) {
+        if (kind == 0) {
+          value.push_back(static_cast<char>('0' + rng.Below(10)));
+        } else if (kind == 1) {
+          value.push_back(static_cast<char>('a' + rng.Below(26)));
+        } else {
+          value.push_back("-_./"[rng.Below(4)]);
+        }
+      }
+    }
+    quality::Pattern exact = quality::ValuePattern(value, 0);
+    quality::Pattern open = quality::ValuePattern(value, 1);
+    // Both accept their own source.
+    EXPECT_TRUE(exact.Matches(value)) << value;
+    EXPECT_TRUE(open.Matches(value)) << value;
+    // Perturb a digit run length; exact may reject, open must keep
+    // accepting if the perturbation only lengthens runs.
+    std::string longer;
+    for (char c : value) {
+      longer.push_back(c);
+      if (std::isdigit(static_cast<unsigned char>(c))) longer.push_back(c);
+    }
+    if (longer != value) {
+      EXPECT_TRUE(open.Matches(longer)) << value << " -> " << longer;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PatternPropertyTest,
+                         ::testing::Values(2, 13, 77));
+
+// ------------------------------------------------- MinHash merge law
+
+/// Signature of A ∪ B equals the element-wise min of signatures of A and B
+/// — the mergeability property that lets sketches compose incrementally.
+TEST(MinHashMergeTest, UnionIsElementwiseMin) {
+  text::MinHasher hasher(64);
+  Rng rng(31);
+  std::vector<std::string> a;
+  std::vector<std::string> b;
+  for (int i = 0; i < 300; ++i) {
+    a.push_back(rng.NextWord(8));
+    b.push_back(rng.NextWord(8));
+  }
+  std::vector<std::string> both = a;
+  both.insert(both.end(), b.begin(), b.end());
+  auto sa = hasher.Compute(a);
+  auto sb = hasher.Compute(b);
+  auto su = hasher.Compute(both);
+  for (size_t i = 0; i < su.size(); ++i) {
+    EXPECT_EQ(su.value(i), std::min(sa.value(i), sb.value(i)));
+  }
+}
+
+}  // namespace
+}  // namespace lakekit

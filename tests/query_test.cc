@@ -1,0 +1,393 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "json/parser.h"
+#include "query/expr.h"
+#include "query/federation.h"
+#include "query/operators.h"
+#include "query/sql.h"
+#include "storage/polystore.h"
+
+namespace lakekit::query {
+namespace {
+
+using table::Table;
+using table::Value;
+
+Table People() {
+  return *Table::FromCsv(
+      "people",
+      "id,name,age,city\n1,ada,36,delft\n2,bob,41,leiden\n3,eve,29,delft\n"
+      "4,dan,,leiden\n");
+}
+
+Table Cities() {
+  return *Table::FromCsv("cities",
+                         "city,country\ndelft,NL\nleiden,NL\naachen,DE\n");
+}
+
+// ---------------------------------------------------------------- expr
+
+TEST(ExprTest, LiteralAndColumn) {
+  Table t = People();
+  auto row = t.Row(0);
+  EXPECT_EQ(Expr::Literal(Value(int64_t{7}))->Eval(t.schema(), row)->as_int(),
+            7);
+  EXPECT_EQ(Expr::Column("name")->Eval(t.schema(), row)->as_string(), "ada");
+  EXPECT_FALSE(Expr::Column("ghost")->Eval(t.schema(), row).ok());
+}
+
+TEST(ExprTest, ComparisonsAndNullPropagation) {
+  Table t = People();
+  auto pred = Expr::Compare(CmpOp::kGt, Expr::Column("age"),
+                            Expr::Literal(Value(int64_t{30})));
+  EXPECT_TRUE(pred->Eval(t.schema(), t.Row(0))->as_bool());   // 36 > 30
+  EXPECT_FALSE(pred->Eval(t.schema(), t.Row(2))->as_bool());  // 29 > 30
+  EXPECT_TRUE(pred->Eval(t.schema(), t.Row(3))->is_null());   // NULL age
+  EXPECT_FALSE(*EvalPredicate(*pred, t.schema(), t.Row(3)));
+}
+
+TEST(ExprTest, ThreeValuedLogic) {
+  Table t = People();
+  auto null_cmp = Expr::Compare(CmpOp::kGt, Expr::Column("age"),
+                                Expr::Literal(Value(int64_t{0})));
+  auto true_lit = Expr::Literal(Value(true));
+  auto false_lit = Expr::Literal(Value(false));
+  auto row = t.Row(3);  // NULL age
+  // NULL AND false = false; NULL OR true = true; NULL AND true = NULL.
+  EXPECT_FALSE(Expr::Logical(LogicalOp::kAnd, null_cmp, false_lit)
+                   ->Eval(t.schema(), row)
+                   ->as_bool());
+  EXPECT_TRUE(Expr::Logical(LogicalOp::kOr, null_cmp, true_lit)
+                  ->Eval(t.schema(), row)
+                  ->as_bool());
+  EXPECT_TRUE(Expr::Logical(LogicalOp::kAnd, null_cmp, true_lit)
+                  ->Eval(t.schema(), row)
+                  ->is_null());
+}
+
+TEST(ExprTest, ArithmeticAndDivision) {
+  Table t = People();
+  auto row = t.Row(0);
+  auto doubled = Expr::Arith(ArithOp::kMul, Expr::Column("age"),
+                             Expr::Literal(Value(int64_t{2})));
+  EXPECT_EQ(doubled->Eval(t.schema(), row)->as_int(), 72);
+  auto div0 = Expr::Arith(ArithOp::kDiv, Expr::Column("age"),
+                          Expr::Literal(Value(int64_t{0})));
+  EXPECT_TRUE(div0->Eval(t.schema(), row)->is_null());
+  auto bad = Expr::Arith(ArithOp::kAdd, Expr::Column("name"),
+                         Expr::Literal(Value(int64_t{1})));
+  EXPECT_FALSE(bad->Eval(t.schema(), row).ok());
+}
+
+TEST(ExprTest, IsNullAndNot) {
+  Table t = People();
+  auto is_null = Expr::IsNull(Expr::Column("age"));
+  EXPECT_FALSE(is_null->Eval(t.schema(), t.Row(0))->as_bool());
+  EXPECT_TRUE(is_null->Eval(t.schema(), t.Row(3))->as_bool());
+  auto negated = Expr::Not(is_null);
+  EXPECT_TRUE(negated->Eval(t.schema(), t.Row(0))->as_bool());
+}
+
+TEST(ExprTest, CollectColumnsAndToString) {
+  auto e = Expr::Logical(
+      LogicalOp::kAnd,
+      Expr::Compare(CmpOp::kEq, Expr::Column("a"), Expr::Literal(Value(1))),
+      Expr::Compare(CmpOp::kLt, Expr::Column("b"),
+                    Expr::Literal(Value("x"))));
+  std::vector<std::string> columns;
+  e->CollectColumns(&columns);
+  EXPECT_EQ(columns, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(e->ToString(), "((a = 1) AND (b < 'x'))");
+}
+
+// ---------------------------------------------------------------- operators
+
+TEST(OperatorsTest, Filter) {
+  auto pred = Expr::Compare(CmpOp::kEq, Expr::Column("city"),
+                            Expr::Literal(Value("delft")));
+  auto out = Filter(People(), *pred);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 2u);
+}
+
+TEST(OperatorsTest, Project) {
+  auto out = Project(People(), {"name", "id"});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_columns(), 2u);
+  EXPECT_EQ(out->schema().field(0).name, "name");
+  EXPECT_FALSE(Project(People(), {"ghost"}).ok());
+}
+
+TEST(OperatorsTest, InnerJoin) {
+  auto out = HashJoin(People(), Cities(), "city", "city");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 4u);  // all people have a city match
+  // Collided column names suffixed.
+  EXPECT_TRUE(out->schema().HasField("city"));
+  EXPECT_TRUE(out->schema().HasField("city_r"));
+  EXPECT_TRUE(out->schema().HasField("country"));
+}
+
+TEST(OperatorsTest, LeftJoinKeepsUnmatched) {
+  auto people = *Table::FromCsv("p", "name,city\nada,delft\nzed,mars\n");
+  auto out = HashJoin(people, Cities(), "city", "city", JoinType::kLeft);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 2u);
+  size_t country = *out->schema().IndexOf("country");
+  EXPECT_EQ(out->at(0, country).as_string(), "NL");
+  EXPECT_TRUE(out->at(1, country).is_null());
+}
+
+TEST(OperatorsTest, NullKeysNeverJoin) {
+  auto left = *Table::FromCsv("l", "k,v\n,1\nx,2\n");
+  auto right = *Table::FromCsv("r", "k,w\n,9\nx,8\n");
+  auto out = HashJoin(left, right, "k", "k");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 1u);  // only x joins
+}
+
+TEST(OperatorsTest, AggregateGlobal) {
+  auto out = Aggregate(People(), {},
+                       {{AggFn::kCount, "", "n"},
+                        {AggFn::kAvg, "age", "avg_age"},
+                        {AggFn::kMin, "age", "min_age"},
+                        {AggFn::kMax, "age", "max_age"}});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_rows(), 1u);
+  EXPECT_EQ(out->at(0, 0).as_int(), 4);
+  EXPECT_NEAR(out->at(0, 1).as_double(), (36 + 41 + 29) / 3.0, 1e-9);
+  EXPECT_EQ(out->at(0, 2).as_int(), 29);
+  EXPECT_EQ(out->at(0, 3).as_int(), 41);
+}
+
+TEST(OperatorsTest, AggregateGrouped) {
+  auto out =
+      Aggregate(People(), {"city"}, {{AggFn::kCount, "", "n"}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 2u);
+  // First-seen group order: delft then leiden.
+  EXPECT_EQ(out->at(0, 0).as_string(), "delft");
+  EXPECT_EQ(out->at(0, 1).as_int(), 2);
+  EXPECT_EQ(out->at(1, 1).as_int(), 2);
+}
+
+TEST(OperatorsTest, AggregateEmptyInputGlobalRow) {
+  auto empty = *Table::FromCsv("e", "x\n");
+  auto out = Aggregate(empty, {}, {{AggFn::kCount, "", "n"},
+                                   {AggFn::kSum, "x", "s"}});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_rows(), 1u);
+  EXPECT_EQ(out->at(0, 0).as_int(), 0);
+  EXPECT_TRUE(out->at(0, 1).is_null());
+}
+
+TEST(OperatorsTest, SortAndLimit) {
+  auto sorted = Sort(People(), "age", /*ascending=*/false);
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_EQ(sorted->at(0, 1).as_string(), "bob");  // age 41 first
+  // Ascending puts NULL first.
+  auto asc = Sort(People(), "age", true);
+  EXPECT_TRUE(asc->at(0, 2).is_null());
+  auto limited = Limit(*sorted, 2);
+  EXPECT_EQ(limited.num_rows(), 2u);
+}
+
+// ---------------------------------------------------------------- SQL
+
+TableResolver FixtureResolver() {
+  return [](const std::string& name) -> Result<Table> {
+    if (name == "people") return People();
+    if (name == "cities") return Cities();
+    return Status::NotFound("no table " + name);
+  };
+}
+
+TEST(SqlTest, SelectStar) {
+  auto out = RunSql("SELECT * FROM people", FixtureResolver());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 4u);
+  EXPECT_EQ(out->num_columns(), 4u);
+}
+
+TEST(SqlTest, WhereAndProjection) {
+  auto out = RunSql(
+      "SELECT name FROM people WHERE city = 'delft' AND age > 30",
+      FixtureResolver());
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_rows(), 1u);
+  EXPECT_EQ(out->at(0, 0).as_string(), "ada");
+}
+
+TEST(SqlTest, OrPrecedence) {
+  auto out = RunSql(
+      "SELECT name FROM people WHERE city = 'leiden' OR city = 'delft' AND "
+      "age < 30",
+      FixtureResolver());
+  ASSERT_TRUE(out.ok());
+  // AND binds tighter: leiden(2) + delft&&age<30 (eve) = 3 rows.
+  EXPECT_EQ(out->num_rows(), 3u);
+}
+
+TEST(SqlTest, IsNullPredicate) {
+  auto out = RunSql("SELECT name FROM people WHERE age IS NULL",
+                    FixtureResolver());
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_rows(), 1u);
+  EXPECT_EQ(out->at(0, 0).as_string(), "dan");
+  auto not_null = RunSql("SELECT name FROM people WHERE age IS NOT NULL",
+                         FixtureResolver());
+  EXPECT_EQ(not_null->num_rows(), 3u);
+}
+
+TEST(SqlTest, JoinQuery) {
+  auto out = RunSql(
+      "SELECT name, country FROM people JOIN cities ON people.city = "
+      "cities.city WHERE country = 'NL' ORDER BY name",
+      FixtureResolver());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 4u);
+  EXPECT_EQ(out->at(0, 0).as_string(), "ada");
+}
+
+TEST(SqlTest, GroupByWithAggregates) {
+  auto out = RunSql(
+      "SELECT city, COUNT(*) AS n, AVG(age) AS mean_age FROM people GROUP "
+      "BY city ORDER BY n DESC",
+      FixtureResolver());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 2u);
+  EXPECT_TRUE(out->schema().HasField("n"));
+  EXPECT_TRUE(out->schema().HasField("mean_age"));
+}
+
+TEST(SqlTest, OrderByDescAndLimit) {
+  auto out = RunSql("SELECT name FROM people ORDER BY age DESC LIMIT 2",
+                    FixtureResolver());
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_rows(), 2u);
+  EXPECT_EQ(out->at(0, 0).as_string(), "bob");
+  EXPECT_EQ(out->at(1, 0).as_string(), "ada");
+}
+
+TEST(SqlTest, ArithmeticInWhere) {
+  auto out = RunSql("SELECT name FROM people WHERE age * 2 > 80",
+                    FixtureResolver());
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_rows(), 1u);
+  EXPECT_EQ(out->at(0, 0).as_string(), "bob");
+}
+
+TEST(SqlTest, ParseErrors) {
+  EXPECT_FALSE(ParseSql("SELEC * FROM t").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FORM t").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t WHERE").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t garbage").ok());
+  EXPECT_FALSE(ParseSql("SELECT SUM(*) FROM t").ok());
+  EXPECT_FALSE(ParseSql("").ok());
+}
+
+TEST(SqlTest, UnknownTableAndColumn) {
+  EXPECT_FALSE(RunSql("SELECT * FROM ghost", FixtureResolver()).ok());
+  EXPECT_FALSE(
+      RunSql("SELECT ghost FROM people", FixtureResolver()).ok());
+}
+
+// ---------------------------------------------------------------- federated
+
+class FederationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() / "lakekit_fed_test")
+               .string();
+    std::filesystem::remove_all(dir_);
+    auto ps = storage::Polystore::Open(dir_);
+    ASSERT_TRUE(ps.ok());
+    polystore_ =
+        std::make_unique<storage::Polystore>(std::move(*ps));
+    // A relational table, a document collection, and a raw CSV object —
+    // one dataset per store kind.
+    ASSERT_TRUE(polystore_->StoreTable("people", People()).ok());
+    std::vector<json::Value> docs;
+    docs.push_back(*json::Parse(R"({"city":"delft","country":"NL"})"));
+    docs.push_back(*json::Parse(R"({"city":"leiden","country":"NL"})"));
+    docs.push_back(*json::Parse(R"({"city":"aachen","country":"DE"})"));
+    ASSERT_TRUE(polystore_->StoreDocuments("cities", std::move(docs)).ok());
+    ASSERT_TRUE(polystore_
+                    ->StoreObject("raw_events", "landing/events.csv",
+                                  "city,clicks\ndelft,10\nleiden,20\n")
+                    .ok());
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+  std::unique_ptr<storage::Polystore> polystore_;
+};
+
+TEST_F(FederationTest, QueryAcrossStores) {
+  FederatedEngine engine(polystore_.get());
+  auto out = engine.Query(
+      "SELECT name, country FROM people JOIN cities ON people.city = "
+      "cities.city WHERE country = 'NL'");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 4u);
+}
+
+TEST_F(FederationTest, ObjectStoreDatasetQueryable) {
+  FederatedEngine engine(polystore_.get());
+  auto out = engine.Query("SELECT clicks FROM raw_events WHERE city = 'delft'");
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_rows(), 1u);
+  EXPECT_EQ(out->at(0, 0).as_int(), 10);
+}
+
+TEST_F(FederationTest, PushdownReducesShippedRows) {
+  FederatedEngine engine(polystore_.get());
+  auto with = engine.Query("SELECT name FROM people WHERE city = 'delft'");
+  ASSERT_TRUE(with.ok());
+  FederationStats pushed = engine.last_stats();
+  auto without = engine.Query("SELECT name FROM people WHERE city = 'delft'",
+                              /*enable_pushdown=*/false);
+  ASSERT_TRUE(without.ok());
+  FederationStats unpushed = engine.last_stats();
+  EXPECT_EQ(with->num_rows(), without->num_rows());
+  EXPECT_EQ(pushed.pushed_conjuncts, 1u);
+  EXPECT_EQ(unpushed.pushed_conjuncts, 0u);
+  EXPECT_LT(pushed.rows_shipped, unpushed.rows_shipped);
+}
+
+TEST_F(FederationTest, PushdownShrinksJoinInputs) {
+  FederatedEngine engine(polystore_.get());
+  const std::string sql =
+      "SELECT name FROM people JOIN cities ON people.city = cities.city "
+      "WHERE country = 'NL' AND age > 30";
+  ASSERT_TRUE(engine.Query(sql).ok());
+  size_t join_with = engine.last_stats().join_input_rows;
+  ASSERT_TRUE(engine.Query(sql, /*enable_pushdown=*/false).ok());
+  size_t join_without = engine.last_stats().join_input_rows;
+  EXPECT_LT(join_with, join_without);
+}
+
+TEST(ConjunctsTest, SplitAndCombine) {
+  auto a = Expr::Compare(CmpOp::kEq, Expr::Column("x"),
+                         Expr::Literal(Value(1)));
+  auto b = Expr::Compare(CmpOp::kEq, Expr::Column("y"),
+                         Expr::Literal(Value(2)));
+  auto c = Expr::Compare(CmpOp::kEq, Expr::Column("z"),
+                         Expr::Literal(Value(3)));
+  auto combined =
+      Expr::Logical(LogicalOp::kAnd, Expr::Logical(LogicalOp::kAnd, a, b), c);
+  std::vector<ExprPtr> conjuncts;
+  SplitConjuncts(combined, &conjuncts);
+  EXPECT_EQ(conjuncts.size(), 3u);
+  // OR is not split.
+  conjuncts.clear();
+  SplitConjuncts(Expr::Logical(LogicalOp::kOr, a, b), &conjuncts);
+  EXPECT_EQ(conjuncts.size(), 1u);
+  EXPECT_EQ(CombineConjuncts({}), nullptr);
+  EXPECT_EQ(CombineConjuncts({a}), a);
+}
+
+}  // namespace
+}  // namespace lakekit::query

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "catalog/access_control.h"
+#include "discovery/josie.h"
+#include "organize/org_dag.h"
+#include "organize/ronin.h"
+#include "workload/generator.h"
+
+namespace lakekit {
+namespace {
+
+// ---------------------------------------------------------------- RONIN
+
+class RoninTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // A unionable lake (topic groups for navigation/keyword signals) plus
+    // one joinable pair bridging two tables.
+    workload::UnionableLakeOptions options;
+    options.num_groups = 3;
+    options.tables_per_group = 3;
+    options.rows_per_table = 40;
+    lake_ = new workload::UnionableLake(workload::MakeUnionableLake(options));
+    corpus_ = new discovery::Corpus();
+    for (const auto& [domain, terms] : lake_->domains) {
+      corpus_->RegisterSemanticDomain(domain, terms);
+    }
+    for (const auto& t : lake_->tables) (void)corpus_->AddTable(t);
+    // Bridge table: shares values with union_table0's first column but has
+    // no topical/keyword relation to the query.
+    {
+      table::Table bridge(
+          "bridge",
+          table::Schema({{"linkcol", table::DataType::kString, true}}));
+      const auto& terms = lake_->domains.at("domain_g0c0");
+      for (size_t i = 0; i < 30; ++i) {
+        (void)bridge.AppendRow({table::Value(terms[i % terms.size()])});
+      }
+      (void)corpus_->AddTable(std::move(bridge));
+    }
+    auto org = organize::Organization::Build(corpus_);
+    org_ = new organize::Organization(std::move(*org));
+    josie_ = new discovery::JosieFinder(corpus_);
+    josie_->Build();
+  }
+  static void TearDownTestSuite() {
+    delete josie_;
+    delete org_;
+    delete corpus_;
+    delete lake_;
+  }
+
+  static workload::UnionableLake* lake_;
+  static discovery::Corpus* corpus_;
+  static organize::Organization* org_;
+  static discovery::JosieFinder* josie_;
+};
+
+workload::UnionableLake* RoninTest::lake_ = nullptr;
+discovery::Corpus* RoninTest::corpus_ = nullptr;
+organize::Organization* RoninTest::org_ = nullptr;
+discovery::JosieFinder* RoninTest::josie_ = nullptr;
+
+TEST_F(RoninTest, KeywordScoreMatchesValuesAndNames) {
+  organize::RoninExplorer ronin(corpus_, org_, josie_);
+  // Terms drawn from group 0's c0 domain hit table 0's values.
+  std::vector<std::string> query = lake_->domains.at("domain_g0c0");
+  query.resize(4);
+  EXPECT_GT(ronin.KeywordScore(0, query), 0.9);
+  // Group 2's tables (index 6 = group 2) share the generic "domain"/"tN"
+  // tokens but miss the group-discriminating "g0c0" token, so they score
+  // strictly lower.
+  EXPECT_LT(ronin.KeywordScore(6, query), ronin.KeywordScore(0, query));
+  EXPECT_DOUBLE_EQ(ronin.KeywordScore(0, {}), 0.0);
+}
+
+TEST_F(RoninTest, ExploreRanksQueriedGroupFirst) {
+  organize::RoninExplorer ronin(corpus_, org_, josie_);
+  std::vector<std::string> query = lake_->domains.at("domain_g1c0");
+  query.resize(6);
+  auto hits = ronin.Explore(query, 3);
+  ASSERT_FALSE(hits.empty());
+  // The top hits are group-1 tables (indexes 3..5).
+  EXPECT_EQ(lake_->group_of[hits[0].table_idx], 1u);
+  EXPECT_GT(hits[0].keyword_score, 0.5);
+}
+
+TEST_F(RoninTest, JoinExpansionSurfacesBridgeTable) {
+  organize::RoninExplorer ronin(corpus_, org_, josie_);
+  std::vector<std::string> query = lake_->domains.at("domain_g0c0");
+  query.resize(6);
+  auto hits = ronin.Explore(query, 6);
+  bool bridge_found = false;
+  for (const auto& hit : hits) {
+    if (hit.table_name == "bridge") {
+      bridge_found = true;
+      EXPECT_GT(hit.join_score, 0.0);
+    }
+  }
+  EXPECT_TRUE(bridge_found);
+}
+
+// ---------------------------------------------------------- access ctl
+
+using catalog::AccessControl;
+using catalog::Privilege;
+
+TEST(AccessControlTest, UsersRolesGrants) {
+  AccessControl ac;
+  ASSERT_TRUE(ac.CreateUser("ada").ok());
+  EXPECT_TRUE(ac.CreateUser("ada").IsAlreadyExists());
+  ASSERT_TRUE(ac.CreateRole("analyst").ok());
+  ASSERT_TRUE(ac.AssignRole("ada", "analyst").ok());
+  EXPECT_TRUE(ac.AssignRole("ghost", "analyst").IsNotFound());
+  EXPECT_TRUE(ac.AssignRole("ada", "ghost_role").IsNotFound());
+  ASSERT_TRUE(ac.Grant("analyst", "orders", Privilege::kRead).ok());
+
+  EXPECT_TRUE(ac.IsAllowed("ada", "orders", Privilege::kRead));
+  EXPECT_FALSE(ac.IsAllowed("ada", "orders", Privilege::kWrite));
+  EXPECT_FALSE(ac.IsAllowed("ada", "salaries", Privilege::kRead));
+  EXPECT_FALSE(ac.IsAllowed("unknown", "orders", Privilege::kRead));
+  EXPECT_EQ(ac.RolesOf("ada"), (std::vector<std::string>{"analyst"}));
+}
+
+TEST(AccessControlTest, WildcardGrant) {
+  AccessControl ac;
+  ASSERT_TRUE(ac.CreateUser("root").ok());
+  ASSERT_TRUE(ac.CreateRole("admin").ok());
+  ASSERT_TRUE(ac.AssignRole("root", "admin").ok());
+  ASSERT_TRUE(ac.Grant("admin", "*", Privilege::kWrite).ok());
+  EXPECT_TRUE(ac.IsAllowed("root", "anything", Privilege::kWrite));
+  EXPECT_FALSE(ac.IsAllowed("root", "anything", Privilege::kRead));
+}
+
+TEST(AccessControlTest, RevokeRemovesAccess) {
+  AccessControl ac;
+  ASSERT_TRUE(ac.CreateUser("u").ok());
+  ASSERT_TRUE(ac.CreateRole("r").ok());
+  ASSERT_TRUE(ac.AssignRole("u", "r").ok());
+  ASSERT_TRUE(ac.Grant("r", "d", Privilege::kRead).ok());
+  EXPECT_TRUE(ac.IsAllowed("u", "d", Privilege::kRead));
+  ASSERT_TRUE(ac.Revoke("r", "d", Privilege::kRead).ok());
+  EXPECT_FALSE(ac.IsAllowed("u", "d", Privilege::kRead));
+  EXPECT_TRUE(ac.Revoke("r", "d", Privilege::kRead).IsNotFound());
+}
+
+TEST(AccessControlTest, AuditAndUsageTracking) {
+  AccessControl ac;
+  ASSERT_TRUE(ac.CreateUser("ada").ok());
+  ASSERT_TRUE(ac.CreateRole("analyst").ok());
+  ASSERT_TRUE(ac.AssignRole("ada", "analyst").ok());
+  ASSERT_TRUE(ac.Grant("analyst", "orders", Privilege::kRead).ok());
+
+  EXPECT_TRUE(ac.Check("ada", "orders", Privilege::kRead));
+  EXPECT_TRUE(ac.Check("ada", "orders", Privilege::kRead));
+  EXPECT_FALSE(ac.Check("ada", "salaries", Privilege::kRead));  // denied
+  EXPECT_FALSE(ac.Check("eve", "orders", Privilege::kRead));    // no user
+
+  ASSERT_EQ(ac.audit_log().size(), 4u);
+  EXPECT_TRUE(ac.audit_log()[0].allowed);
+  EXPECT_FALSE(ac.audit_log()[2].allowed);
+  // Logical timestamps are strictly increasing.
+  EXPECT_LT(ac.audit_log()[0].at, ac.audit_log()[3].at);
+
+  auto usage = ac.UsageCounts();
+  EXPECT_EQ(usage["orders"], 2u);
+  EXPECT_EQ(usage.count("salaries"), 0u);  // denied accesses not usage
+
+  auto by_ada = ac.AccessesBy("ada");
+  EXPECT_EQ(by_ada.size(), 3u);
+  EXPECT_EQ(ac.AccessesBy("eve").size(), 1u);
+}
+
+TEST(AccessControlTest, MultipleRolesUnion) {
+  AccessControl ac;
+  ASSERT_TRUE(ac.CreateUser("u").ok());
+  ASSERT_TRUE(ac.CreateRole("reader").ok());
+  ASSERT_TRUE(ac.CreateRole("writer").ok());
+  ASSERT_TRUE(ac.AssignRole("u", "reader").ok());
+  ASSERT_TRUE(ac.AssignRole("u", "writer").ok());
+  ASSERT_TRUE(ac.Grant("reader", "d", Privilege::kRead).ok());
+  ASSERT_TRUE(ac.Grant("writer", "d", Privilege::kWrite).ok());
+  EXPECT_TRUE(ac.IsAllowed("u", "d", Privilege::kRead));
+  EXPECT_TRUE(ac.IsAllowed("u", "d", Privilege::kWrite));
+  EXPECT_FALSE(ac.IsAllowed("u", "d", Privilege::kGrant));
+}
+
+}  // namespace
+}  // namespace lakekit

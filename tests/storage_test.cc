@@ -1,0 +1,501 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "json/parser.h"
+#include "storage/document_store.h"
+#include "storage/graph_store.h"
+#include "storage/kv_store.h"
+#include "storage/object_store.h"
+#include "storage/polystore.h"
+
+namespace lakekit::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Creates a fresh temp directory per test and removes it afterwards.
+class TempDirTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("lakekit_test_" +
+            std::to_string(
+                ::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->test_suite_name() +
+            "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string Path(const std::string& sub) const {
+    return (dir_ / sub).string();
+  }
+
+  fs::path dir_;
+};
+
+// ---------------------------------------------------------------- Object
+
+using ObjectStoreTest = TempDirTest;
+
+TEST_F(ObjectStoreTest, PutGetRoundTrip) {
+  auto store = ObjectStore::Open(Path("objects"));
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Put("bucket/a.csv", "id,name\n1,x\n").ok());
+  auto data = store->Get("bucket/a.csv");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "id,name\n1,x\n");
+}
+
+TEST_F(ObjectStoreTest, GetMissingIsNotFound) {
+  auto store = ObjectStore::Open(Path("objects"));
+  EXPECT_TRUE(store->Get("nope").status().IsNotFound());
+  EXPECT_FALSE(store->Exists("nope"));
+}
+
+TEST_F(ObjectStoreTest, PutOverwrites) {
+  auto store = ObjectStore::Open(Path("objects"));
+  ASSERT_TRUE(store->Put("k", "v1").ok());
+  ASSERT_TRUE(store->Put("k", "v2").ok());
+  EXPECT_EQ(*store->Get("k"), "v2");
+}
+
+TEST_F(ObjectStoreTest, PutIfAbsentIsExclusive) {
+  auto store = ObjectStore::Open(Path("objects"));
+  ASSERT_TRUE(store->PutIfAbsent("log/0.json", "{}").ok());
+  Status second = store->PutIfAbsent("log/0.json", "{}");
+  EXPECT_TRUE(second.IsAlreadyExists());
+  EXPECT_EQ(*store->Get("log/0.json"), "{}");
+}
+
+TEST_F(ObjectStoreTest, DeleteAndReList) {
+  auto store = ObjectStore::Open(Path("objects"));
+  ASSERT_TRUE(store->Put("a/1", "x").ok());
+  ASSERT_TRUE(store->Put("a/2", "y").ok());
+  ASSERT_TRUE(store->Put("b/1", "z").ok());
+  auto listed = store->List("a/");
+  ASSERT_TRUE(listed.ok());
+  ASSERT_EQ(listed->size(), 2u);
+  EXPECT_EQ((*listed)[0].key, "a/1");
+  EXPECT_EQ((*listed)[1].key, "a/2");
+  ASSERT_TRUE(store->Delete("a/1").ok());
+  EXPECT_TRUE(store->Delete("a/1").IsNotFound());
+  EXPECT_EQ(store->List("a/")->size(), 1u);
+}
+
+TEST_F(ObjectStoreTest, ListIsSorted) {
+  auto store = ObjectStore::Open(Path("objects"));
+  ASSERT_TRUE(store->Put("z", "1").ok());
+  ASSERT_TRUE(store->Put("a", "2").ok());
+  ASSERT_TRUE(store->Put("m/q", "3").ok());
+  auto listed = store->List();
+  ASSERT_TRUE(listed.ok());
+  ASSERT_EQ(listed->size(), 3u);
+  EXPECT_EQ((*listed)[0].key, "a");
+  EXPECT_EQ((*listed)[2].key, "z");
+}
+
+TEST_F(ObjectStoreTest, RejectsEscapingKeys) {
+  auto store = ObjectStore::Open(Path("objects"));
+  EXPECT_FALSE(store->Put("../evil", "x").ok());
+  EXPECT_FALSE(store->Put("/abs", "x").ok());
+  EXPECT_FALSE(store->Put("a/../../b", "x").ok());
+  EXPECT_FALSE(store->Put("", "x").ok());
+  EXPECT_FALSE(store->Put("a//b", "x").ok());
+}
+
+TEST_F(ObjectStoreTest, BinarySafeData) {
+  auto store = ObjectStore::Open(Path("objects"));
+  std::string binary("\x00\x01\xff\n\r\x7f", 6);
+  ASSERT_TRUE(store->Put("bin", binary).ok());
+  EXPECT_EQ(*store->Get("bin"), binary);
+}
+
+// ---------------------------------------------------------------- KvStore
+
+using KvStoreTest = TempDirTest;
+
+TEST_F(KvStoreTest, PutGetDelete) {
+  auto store = KvStore::Open(Path("kv"));
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("k1", "v1").ok());
+  EXPECT_EQ(*(*store)->Get("k1"), "v1");
+  ASSERT_TRUE((*store)->Delete("k1").ok());
+  EXPECT_TRUE((*store)->Get("k1").status().IsNotFound());
+}
+
+TEST_F(KvStoreTest, OverwriteTakesLatest) {
+  auto store = KvStore::Open(Path("kv"));
+  ASSERT_TRUE((*store)->Put("k", "old").ok());
+  ASSERT_TRUE((*store)->Put("k", "new").ok());
+  EXPECT_EQ(*(*store)->Get("k"), "new");
+}
+
+TEST_F(KvStoreTest, WalRecoveryAfterReopen) {
+  {
+    auto store = KvStore::Open(Path("kv"));
+    ASSERT_TRUE((*store)->Put("persist", "me").ok());
+    ASSERT_TRUE((*store)->Put("gone", "soon").ok());
+    ASSERT_TRUE((*store)->Delete("gone").ok());
+    // No flush: data only in WAL.
+  }
+  auto reopened = KvStore::Open(Path("kv"));
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(*(*reopened)->Get("persist"), "me");
+  EXPECT_TRUE((*reopened)->Get("gone").status().IsNotFound());
+}
+
+TEST_F(KvStoreTest, FlushCreatesRunAndSurvivesReopen) {
+  {
+    auto store = KvStore::Open(Path("kv"));
+    ASSERT_TRUE((*store)->Put("a", "1").ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+    EXPECT_EQ((*store)->num_runs(), 1u);
+    EXPECT_EQ((*store)->memtable_entries(), 0u);
+    ASSERT_TRUE((*store)->Put("b", "2").ok());
+  }
+  auto reopened = KvStore::Open(Path("kv"));
+  EXPECT_EQ(*(*reopened)->Get("a"), "1");
+  EXPECT_EQ(*(*reopened)->Get("b"), "2");
+}
+
+TEST_F(KvStoreTest, NewerRunShadowsOlder) {
+  auto store = KvStore::Open(Path("kv"));
+  ASSERT_TRUE((*store)->Put("k", "v1").ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+  ASSERT_TRUE((*store)->Put("k", "v2").ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+  EXPECT_EQ((*store)->num_runs(), 2u);
+  EXPECT_EQ(*(*store)->Get("k"), "v2");
+}
+
+TEST_F(KvStoreTest, TombstoneShadowsRunValue) {
+  auto store = KvStore::Open(Path("kv"));
+  ASSERT_TRUE((*store)->Put("k", "v").ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+  ASSERT_TRUE((*store)->Delete("k").ok());
+  EXPECT_TRUE((*store)->Get("k").status().IsNotFound());
+  ASSERT_TRUE((*store)->Flush().ok());
+  EXPECT_TRUE((*store)->Get("k").status().IsNotFound());
+}
+
+TEST_F(KvStoreTest, ScanMergesAndSorts) {
+  auto store = KvStore::Open(Path("kv"));
+  ASSERT_TRUE((*store)->Put("b", "2").ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+  ASSERT_TRUE((*store)->Put("a", "1").ok());
+  ASSERT_TRUE((*store)->Put("c", "3").ok());
+  ASSERT_TRUE((*store)->Delete("c").ok());
+  auto scan = (*store)->Scan();
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->size(), 2u);
+  EXPECT_EQ((*scan)[0].first, "a");
+  EXPECT_EQ((*scan)[1].first, "b");
+}
+
+TEST_F(KvStoreTest, ScanRange) {
+  auto store = KvStore::Open(Path("kv"));
+  for (char c = 'a'; c <= 'f'; ++c) {
+    ASSERT_TRUE((*store)->Put(std::string(1, c), "v").ok());
+  }
+  auto scan = (*store)->Scan("b", "e");
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->size(), 3u);  // b, c, d
+  EXPECT_EQ((*scan)[0].first, "b");
+  EXPECT_EQ((*scan)[2].first, "d");
+}
+
+TEST_F(KvStoreTest, ScanPrefix) {
+  auto store = KvStore::Open(Path("kv"));
+  ASSERT_TRUE((*store)->Put("cat/1", "a").ok());
+  ASSERT_TRUE((*store)->Put("cat/2", "b").ok());
+  ASSERT_TRUE((*store)->Put("dog/1", "c").ok());
+  auto scan = (*store)->ScanPrefix("cat/");
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->size(), 2u);
+}
+
+TEST_F(KvStoreTest, CompactionDropsShadowedAndTombstones) {
+  auto store = KvStore::Open(Path("kv"));
+  ASSERT_TRUE((*store)->Put("keep", "v1").ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+  ASSERT_TRUE((*store)->Put("keep", "v2").ok());
+  ASSERT_TRUE((*store)->Put("drop", "x").ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+  ASSERT_TRUE((*store)->Delete("drop").ok());
+  ASSERT_TRUE((*store)->Compact().ok());
+  EXPECT_EQ((*store)->num_runs(), 1u);
+  EXPECT_EQ(*(*store)->Get("keep"), "v2");
+  EXPECT_TRUE((*store)->Get("drop").status().IsNotFound());
+}
+
+TEST_F(KvStoreTest, AutomaticFlushOnMemtableSize) {
+  KvStoreOptions options;
+  options.memtable_flush_bytes = 64;
+  auto store = KvStore::Open(Path("kv"), options);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        (*store)->Put("key" + std::to_string(i), std::string(16, 'x')).ok());
+  }
+  EXPECT_GT((*store)->num_runs(), 0u);
+  // Everything is still readable.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE((*store)->Get("key" + std::to_string(i)).ok());
+  }
+}
+
+TEST_F(KvStoreTest, EmptyKeyRejected) {
+  auto store = KvStore::Open(Path("kv"));
+  EXPECT_FALSE((*store)->Put("", "v").ok());
+  EXPECT_FALSE((*store)->Delete("").ok());
+}
+
+TEST_F(KvStoreTest, BinaryValues) {
+  auto store = KvStore::Open(Path("kv"));
+  std::string binary("\x00\x01\xff", 3);
+  ASSERT_TRUE((*store)->Put("bin", binary).ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+  EXPECT_EQ(*(*store)->Get("bin"), binary);
+}
+
+// ---------------------------------------------------------------- Document
+
+TEST(DocumentStoreTest, InsertAssignsIds) {
+  DocumentStore store;
+  auto id1 = store.Insert("people", *json::Parse(R"({"name":"ada"})"));
+  auto id2 = store.Insert("people", *json::Parse(R"({"name":"bob"})"));
+  ASSERT_TRUE(id1.ok());
+  ASSERT_TRUE(id2.ok());
+  EXPECT_NE(*id1, *id2);
+  auto doc = store.Get("people", *id1);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->GetString("name"), "ada");
+  EXPECT_EQ(doc->GetInt("_id"), static_cast<int64_t>(*id1));
+}
+
+TEST(DocumentStoreTest, RejectsNonObject) {
+  DocumentStore store;
+  EXPECT_FALSE(store.Insert("c", json::Value(int64_t{1})).ok());
+}
+
+TEST(DocumentStoreTest, UpdateAndRemove) {
+  DocumentStore store;
+  auto id = store.Insert("c", *json::Parse(R"({"v":1})"));
+  ASSERT_TRUE(store.Update("c", *id, *json::Parse(R"({"v":2})")).ok());
+  EXPECT_EQ(store.Get("c", *id)->GetInt("v"), 2);
+  ASSERT_TRUE(store.Remove("c", *id).ok());
+  EXPECT_TRUE(store.Get("c", *id).status().IsNotFound());
+  EXPECT_TRUE(store.Update("c", *id, *json::Parse("{}")).IsNotFound());
+}
+
+TEST(DocumentStoreTest, FindEqualOnNestedPath) {
+  DocumentStore store;
+  store.Insert("c", *json::Parse(R"({"addr":{"city":"delft"},"n":1})"));
+  store.Insert("c", *json::Parse(R"({"addr":{"city":"aachen"},"n":2})"));
+  store.Insert("c", *json::Parse(R"({"addr":{"city":"delft"},"n":3})"));
+  auto found = store.FindEqual("c", "addr.city", json::Value("delft"));
+  ASSERT_EQ(found.size(), 2u);
+  EXPECT_EQ(found[0].GetInt("n"), 1);
+  EXPECT_EQ(found[1].GetInt("n"), 3);
+}
+
+TEST(DocumentStoreTest, FindEqualMissingPathMatchesNothing) {
+  DocumentStore store;
+  store.Insert("c", *json::Parse(R"({"a":1})"));
+  EXPECT_TRUE(store.FindEqual("c", "b.c", json::Value(1)).empty());
+  EXPECT_TRUE(store.FindEqual("nope", "a", json::Value(1)).empty());
+}
+
+TEST(DocumentStoreTest, NdjsonExportImportRoundTrip) {
+  DocumentStore store;
+  store.Insert("c", *json::Parse(R"({"x":1})"));
+  store.Insert("c", *json::Parse(R"({"x":2})"));
+  std::string ndjson = store.ExportNdjson("c");
+  DocumentStore other;
+  ASSERT_TRUE(other.ImportNdjson("c", ndjson).ok());
+  EXPECT_EQ(other.Count("c"), 2u);
+  // Ids preserved; further inserts do not collide.
+  auto id = other.Insert("c", *json::Parse(R"({"x":3})"));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 3u);
+}
+
+TEST(DocumentStoreTest, CollectionsAreIndependent) {
+  DocumentStore store;
+  store.Insert("a", *json::Parse(R"({"v":1})"));
+  store.Insert("b", *json::Parse(R"({"v":2})"));
+  EXPECT_EQ(store.Count("a"), 1u);
+  EXPECT_EQ(store.Count("b"), 1u);
+  EXPECT_EQ(store.CollectionNames(),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+// ---------------------------------------------------------------- Graph
+
+TEST(GraphStoreTest, NodesAndEdges) {
+  GraphStore g;
+  auto a = g.AddNode("dataset");
+  auto b = g.AddNode("dataset");
+  auto e = g.AddEdge(a, b, "joinable");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  auto out = g.OutEdges(a);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].to, b);
+  EXPECT_EQ(g.InEdges(b).size(), 1u);
+  EXPECT_TRUE(g.OutEdges(b).empty());
+}
+
+TEST(GraphStoreTest, EdgeToMissingNodeFails) {
+  GraphStore g;
+  auto a = g.AddNode("x");
+  EXPECT_FALSE(g.AddEdge(a, 999, "l").ok());
+  EXPECT_FALSE(g.AddEdge(999, a, "l").ok());
+}
+
+TEST(GraphStoreTest, LabelFilters) {
+  GraphStore g;
+  auto a = g.AddNode("col");
+  auto b = g.AddNode("col");
+  ASSERT_TRUE(g.AddEdge(a, b, "pkfk").ok());
+  ASSERT_TRUE(g.AddEdge(a, b, "similar").ok());
+  EXPECT_EQ(g.OutEdges(a, "pkfk").size(), 1u);
+  EXPECT_EQ(g.OutEdges(a).size(), 2u);
+  EXPECT_EQ(g.NodesByLabel("col").size(), 2u);
+  EXPECT_TRUE(g.NodesByLabel("zzz").empty());
+}
+
+TEST(GraphStoreTest, PropertiesAndLookup) {
+  GraphStore g;
+  json::Object props;
+  props.Set("name", json::Value("orders.id"));
+  auto a = g.AddNode("col", std::move(props));
+  ASSERT_TRUE(g.SetNodeProperty(a, "cardinality", json::Value(42)).ok());
+  auto found = g.FindNodes("name", json::Value("orders.id"));
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].id, a);
+  EXPECT_EQ(found[0].properties.Find("cardinality")->as_int(), 42);
+}
+
+TEST(GraphStoreTest, ShortestPathBfs) {
+  GraphStore g;
+  auto n1 = g.AddNode("n");
+  auto n2 = g.AddNode("n");
+  auto n3 = g.AddNode("n");
+  auto n4 = g.AddNode("n");
+  ASSERT_TRUE(g.AddEdge(n1, n2, "e").ok());
+  ASSERT_TRUE(g.AddEdge(n2, n3, "e").ok());
+  ASSERT_TRUE(g.AddEdge(n1, n4, "e").ok());
+  ASSERT_TRUE(g.AddEdge(n4, n3, "e").ok());
+  auto path = g.ShortestPath(n1, n3);
+  ASSERT_EQ(path.size(), 3u);  // two 2-hop paths; any is fine
+  EXPECT_EQ(path.front(), n1);
+  EXPECT_EQ(path.back(), n3);
+  EXPECT_TRUE(g.ShortestPath(n3, n1).empty());  // directed
+  EXPECT_EQ(g.ShortestPath(n1, n1).size(), 1u);
+}
+
+TEST(GraphStoreTest, Reachability) {
+  GraphStore g;
+  auto a = g.AddNode("n");
+  auto b = g.AddNode("n");
+  auto c = g.AddNode("n");
+  g.AddNode("n");  // disconnected
+  ASSERT_TRUE(g.AddEdge(a, b, "e").ok());
+  ASSERT_TRUE(g.AddEdge(b, c, "e").ok());
+  EXPECT_EQ(g.Reachable(a).size(), 3u);
+  EXPECT_EQ(g.Reachable(c).size(), 1u);
+}
+
+// ---------------------------------------------------------------- Polystore
+
+using PolystoreTest = TempDirTest;
+
+TEST_F(PolystoreTest, FormatRouting) {
+  EXPECT_EQ(Polystore::RouteFormat(DataFormat::kCsv), StoreKind::kRelational);
+  EXPECT_EQ(Polystore::RouteFormat(DataFormat::kJson), StoreKind::kDocument);
+  EXPECT_EQ(Polystore::RouteFormat(DataFormat::kGraph), StoreKind::kGraph);
+  EXPECT_EQ(Polystore::RouteFormat(DataFormat::kLog), StoreKind::kObject);
+  EXPECT_EQ(Polystore::RouteFormat(DataFormat::kBinary), StoreKind::kObject);
+}
+
+TEST_F(PolystoreTest, StoreTableAndReadBack) {
+  auto ps = Polystore::Open(Path("poly"));
+  ASSERT_TRUE(ps.ok());
+  auto t = table::Table::FromCsv("orders", "id,total\n1,9.5\n2,3.25\n");
+  ASSERT_TRUE(ps->StoreTable("orders", *t).ok());
+  auto loc = ps->Lookup("orders");
+  ASSERT_TRUE(loc.ok());
+  EXPECT_EQ(loc->store, StoreKind::kRelational);
+  auto back = ps->ReadAsTable("orders");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), 2u);
+}
+
+TEST_F(PolystoreTest, StoreDocumentsAndReadBackAsTable) {
+  auto ps = Polystore::Open(Path("poly"));
+  std::vector<json::Value> docs;
+  docs.push_back(*json::Parse(R"({"name":"ada","age":36})"));
+  docs.push_back(*json::Parse(R"({"name":"bob"})"));
+  ASSERT_TRUE(ps->StoreDocuments("people", std::move(docs)).ok());
+  auto t = ps->ReadAsTable("people");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 2u);
+  EXPECT_TRUE(t->schema().HasField("name"));
+  EXPECT_TRUE(t->schema().HasField("age"));
+  // _id is stripped from the tabular view.
+  EXPECT_FALSE(t->schema().HasField("_id"));
+}
+
+TEST_F(PolystoreTest, StoreObjectAndReadBackAsCsvTable) {
+  auto ps = Polystore::Open(Path("poly"));
+  ASSERT_TRUE(
+      ps->StoreObject("raw", "landing/raw.csv", "a,b\n1,2\n").ok());
+  auto t = ps->ReadAsTable("raw");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 1u);
+}
+
+TEST_F(PolystoreTest, DuplicateRegistrationFails) {
+  auto ps = Polystore::Open(Path("poly"));
+  auto t = table::Table::FromCsv("x", "a\n1\n");
+  ASSERT_TRUE(ps->StoreTable("x", *t).ok());
+  auto t2 = table::Table::FromCsv("x2", "a\n1\n");
+  EXPECT_TRUE(ps->RegisterDataset("x", {StoreKind::kRelational, "x2"})
+                  .IsAlreadyExists());
+}
+
+TEST_F(PolystoreTest, LookupMissingDataset) {
+  auto ps = Polystore::Open(Path("poly"));
+  EXPECT_TRUE(ps->Lookup("ghost").status().IsNotFound());
+  EXPECT_FALSE(ps->ReadAsTable("ghost").ok());
+}
+
+TEST_F(PolystoreTest, DatasetNamesSorted) {
+  auto ps = Polystore::Open(Path("poly"));
+  ASSERT_TRUE(ps->StoreObject("zeta", "z.csv", "a\n1\n").ok());
+  ASSERT_TRUE(ps->StoreObject("alpha", "a.csv", "a\n1\n").ok());
+  EXPECT_EQ(ps->DatasetNames(),
+            (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+TEST(RelationalStoreTest, CreateDropGet) {
+  RelationalStore store;
+  auto t = table::Table::FromCsv("t", "a\n1\n");
+  ASSERT_TRUE(store.CreateTable(*t).ok());
+  EXPECT_TRUE(store.CreateTable(*t).IsAlreadyExists());
+  ASSERT_TRUE(store.GetTable("t").ok());
+  ASSERT_TRUE(store.DropTable("t").ok());
+  EXPECT_TRUE(store.GetTable("t").status().IsNotFound());
+  EXPECT_TRUE(store.DropTable("t").IsNotFound());
+}
+
+}  // namespace
+}  // namespace lakekit::storage

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "json/parser.h"
+#include "table/schema.h"
+#include "table/table.h"
+#include "table/value.h"
+
+namespace lakekit::table {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value(int64_t{5}).as_int(), 5);
+  EXPECT_DOUBLE_EQ(Value(2.5).as_double(), 2.5);
+  EXPECT_EQ(Value("x").as_string(), "x");
+  EXPECT_TRUE(Value(true).as_bool());
+  EXPECT_DOUBLE_EQ(Value(int64_t{3}).as_double(), 3.0);  // widening
+}
+
+TEST(ValueTest, CrossTypeNumericEquality) {
+  EXPECT_EQ(Value(int64_t{2}), Value(2.0));
+  EXPECT_NE(Value(int64_t{2}), Value(2.5));
+  EXPECT_NE(Value("2"), Value(int64_t{2}));
+}
+
+TEST(ValueTest, TotalOrder) {
+  EXPECT_LT(Value::Null(), Value(false));
+  EXPECT_LT(Value(false), Value(true));
+  EXPECT_LT(Value(true), Value(int64_t{0}));
+  EXPECT_LT(Value(int64_t{1}), Value(1.5));
+  EXPECT_LT(Value(2.0), Value("a"));
+  EXPECT_LT(Value("a"), Value("b"));
+  EXPECT_FALSE(Value::Null() < Value::Null());
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(int64_t{7}).Hash(), Value(7.0).Hash());
+  EXPECT_EQ(Value("abc").Hash(), Value("abc").Hash());
+  EXPECT_NE(Value("abc").Hash(), Value("abd").Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "");
+  EXPECT_EQ(Value(int64_t{12}).ToString(), "12");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value("s").ToString(), "s");
+  EXPECT_EQ(Value(2.5).ToString(), "2.5");
+}
+
+TEST(DataTypeTest, NameRoundTrip) {
+  for (DataType t : {DataType::kBool, DataType::kInt64, DataType::kDouble,
+                     DataType::kString}) {
+    EXPECT_EQ(DataTypeFromName(DataTypeName(t)), t);
+  }
+}
+
+TEST(SchemaTest, IndexLookup) {
+  Schema s({{"id", DataType::kInt64, false}, {"name", DataType::kString, true}});
+  EXPECT_EQ(s.num_fields(), 2u);
+  EXPECT_EQ(*s.IndexOf("name"), 1u);
+  EXPECT_FALSE(s.IndexOf("missing").has_value());
+  EXPECT_TRUE(s.HasField("id"));
+  EXPECT_EQ(s.ToString(), "id:int64,name:string");
+}
+
+TEST(TableTest, AppendAndAccess) {
+  Table t("people", Schema({{"id", DataType::kInt64, false},
+                            {"name", DataType::kString, true}}));
+  ASSERT_TRUE(t.AppendRow({Value(int64_t{1}), Value("ada")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(int64_t{2}), Value("bob")}).ok());
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_EQ(t.at(1, 1).as_string(), "bob");
+  EXPECT_EQ(t.Row(0)[0].as_int(), 1);
+  EXPECT_EQ(*t.ColumnIndex("name"), 1u);
+  EXPECT_FALSE(t.ColumnIndex("zzz").ok());
+}
+
+TEST(TableTest, AppendRowArityMismatch) {
+  Table t("t", Schema({{"a", DataType::kInt64, true}}));
+  EXPECT_FALSE(t.AppendRow({Value(1), Value(2)}).ok());
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST(SniffTypeTest, DetectsTypes) {
+  EXPECT_EQ(SniffType({"1", "2", "-3"}), DataType::kInt64);
+  EXPECT_EQ(SniffType({"1.5", "2"}), DataType::kDouble);
+  EXPECT_EQ(SniffType({"true", "false"}), DataType::kBool);
+  EXPECT_EQ(SniffType({"x", "1"}), DataType::kString);
+  EXPECT_EQ(SniffType({"", ""}), DataType::kString);
+  EXPECT_EQ(SniffType({"1", "", "2"}), DataType::kInt64);  // empties are NULLs
+}
+
+TEST(TableFromCsvTest, TypedColumns) {
+  auto r = Table::FromCsv("t", "id,score,name\n1,3.5,ada\n2,4.0,bob\n");
+  ASSERT_TRUE(r.ok());
+  const Table& t = *r;
+  EXPECT_EQ(t.schema().field(0).type, DataType::kInt64);
+  EXPECT_EQ(t.schema().field(1).type, DataType::kDouble);
+  EXPECT_EQ(t.schema().field(2).type, DataType::kString);
+  EXPECT_EQ(t.at(0, 0).as_int(), 1);
+  EXPECT_DOUBLE_EQ(t.at(1, 1).as_double(), 4.0);
+}
+
+TEST(TableFromCsvTest, EmptyFieldsBecomeNull) {
+  auto r = Table::FromCsv("t", "a,b\n1,\n,x\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->at(0, 1).is_null());
+  EXPECT_TRUE(r->at(1, 0).is_null());
+}
+
+TEST(TableCsvRoundTripTest, PreservesData) {
+  auto t = Table::FromCsv("t", "id,name\n1,ada\n2,\"a,b\"\n");
+  ASSERT_TRUE(t.ok());
+  auto t2 = Table::FromCsv("t", t->ToCsv());
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(*t, *t2);
+}
+
+TEST(TableFromJsonTest, UnionSchemaAndNulls) {
+  auto doc = json::Parse(
+      R"([{"a": 1, "b": "x"}, {"b": "y", "c": 2.5}, {"a": 3}])");
+  ASSERT_TRUE(doc.ok());
+  auto r = Table::FromJson("t", *doc);
+  ASSERT_TRUE(r.ok());
+  const Table& t = *r;
+  EXPECT_EQ(t.schema().FieldNames(),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_TRUE(t.at(1, 0).is_null());   // row 2 has no "a"
+  EXPECT_TRUE(t.at(2, 1).is_null());   // row 3 has no "b"
+  EXPECT_EQ(t.at(2, 0).as_int(), 3);
+}
+
+TEST(TableFromJsonTest, MixedIntDoubleWidensToDouble) {
+  auto doc = json::Parse(R"([{"x": 1}, {"x": 2.5}])");
+  auto r = Table::FromJson("t", *doc);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->schema().field(0).type, DataType::kDouble);
+  EXPECT_DOUBLE_EQ(r->at(0, 0).as_double(), 1.0);
+}
+
+TEST(TableFromJsonTest, NestedValuesFlattenToJsonStrings) {
+  auto doc = json::Parse(R"([{"x": {"nested": true}}])");
+  auto r = Table::FromJson("t", *doc);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->schema().field(0).type, DataType::kString);
+  EXPECT_EQ(r->at(0, 0).as_string(), R"({"nested":true})");
+}
+
+TEST(TableFromJsonTest, RejectsNonArray) {
+  auto doc = json::Parse(R"({"a": 1})");
+  EXPECT_FALSE(Table::FromJson("t", *doc).ok());
+}
+
+TEST(TableJsonRoundTripTest, PreservesData) {
+  auto t = Table::FromCsv("t", "id,name,score\n1,ada,2.5\n2,bob,\n");
+  ASSERT_TRUE(t.ok());
+  auto t2 = Table::FromJson("t", t->ToJson());
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(t->num_rows(), t2->num_rows());
+  EXPECT_EQ(t->at(0, 1), t2->at(0, 1));
+  EXPECT_TRUE(t2->at(1, 2).is_null());
+}
+
+}  // namespace
+}  // namespace lakekit::table

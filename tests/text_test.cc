@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "text/embedding.h"
+#include "text/ks_test.h"
+#include "text/levenshtein.h"
+#include "text/lsh.h"
+#include "text/minhash.h"
+#include "text/tfidf.h"
+#include "text/tokenize.h"
+
+namespace lakekit::text {
+namespace {
+
+// ---------------------------------------------------------------- tokenize
+
+TEST(TokenizeTest, SplitsOnNonAlnum) {
+  EXPECT_EQ(Tokenize("Vehicle_Color-2024"),
+            (std::vector<std::string>{"vehicle", "color", "2024"}));
+  EXPECT_EQ(Tokenize("  "), (std::vector<std::string>{}));
+  EXPECT_EQ(Tokenize("one"), (std::vector<std::string>{"one"}));
+}
+
+TEST(QGramsTest, PaddedGrams) {
+  auto grams = QGrams("ab", 3);
+  // padded: "$$ab$$" -> $$a, $ab, ab$, b$$
+  EXPECT_EQ(grams, (std::vector<std::string>{"$$a", "$ab", "ab$", "b$$"}));
+}
+
+TEST(QGramsTest, LowercasesInput) {
+  EXPECT_EQ(QGrams("AB", 2), QGrams("ab", 2));
+}
+
+TEST(JaccardTest, ExactValues) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "b"}, {"a", "b"}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "b"}, {"c"}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "b", "c"}, {"b", "c", "d"}), 0.5);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({}, {}), 1.0);
+  // Duplicates are treated as sets.
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "a"}, {"a"}), 1.0);
+}
+
+// ---------------------------------------------------------------- minhash
+
+std::vector<std::string> MakeSet(int begin, int end) {
+  std::vector<std::string> out;
+  for (int i = begin; i < end; ++i) out.push_back("item" + std::to_string(i));
+  return out;
+}
+
+TEST(MinHashTest, IdenticalSetsFullAgreement) {
+  MinHasher hasher(64);
+  auto s = MakeSet(0, 100);
+  EXPECT_DOUBLE_EQ(hasher.Compute(s).EstimateJaccard(hasher.Compute(s)), 1.0);
+}
+
+TEST(MinHashTest, DisjointSetsNearZero) {
+  MinHasher hasher(128);
+  auto a = hasher.Compute(MakeSet(0, 200));
+  auto b = hasher.Compute(MakeSet(200, 400));
+  EXPECT_LT(a.EstimateJaccard(b), 0.05);
+}
+
+// Property: MinHash estimate converges to the true Jaccard similarity.
+class MinHashAccuracyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MinHashAccuracyTest, EstimatesTrueJaccard) {
+  const double target = GetParam();
+  // Build two sets of 1000 elements with |A ∩ B| / |A ∪ B| == target:
+  // overlap/(2000 - overlap) = target => overlap = 2000*target/(1+target).
+  const int total = 1000;
+  const int overlap =
+      static_cast<int>(std::round(2 * total * target / (1 + target)));
+  std::vector<std::string> a = MakeSet(0, total);
+  std::vector<std::string> b = MakeSet(total - overlap, 2 * total - overlap);
+  const double true_jaccard =
+      static_cast<double>(overlap) / static_cast<double>(2 * total - overlap);
+  MinHasher hasher(256);
+  double est = hasher.Compute(a).EstimateJaccard(hasher.Compute(b));
+  // Standard error ~ sqrt(j(1-j)/k) ≈ 0.03 for k=256; allow 4 sigma.
+  EXPECT_NEAR(est, true_jaccard, 0.13);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MinHashAccuracyTest,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9));
+
+TEST(MinHashTest, FromHashesMatchesFromStrings) {
+  MinHasher hasher(32);
+  std::vector<std::string> elems = MakeSet(0, 50);
+  std::vector<uint64_t> hashes;
+  for (const auto& e : elems) hashes.push_back(Fnv1a64(e));
+  EXPECT_EQ(hasher.Compute(elems).values(),
+            hasher.ComputeFromHashes(hashes).values());
+}
+
+// ---------------------------------------------------------------- LSH
+
+TEST(LshTest, SimilarItemsCollide) {
+  MinHasher hasher(128);
+  LshIndex index(/*bands=*/32, /*rows=*/4);
+  auto base = MakeSet(0, 1000);
+  index.Insert(1, hasher.Compute(base));
+  // 90% overlapping set should collide with very high probability.
+  auto similar = MakeSet(0, 900);
+  for (int i = 0; i < 100; ++i) similar.push_back("extra" + std::to_string(i));
+  auto candidates = index.Query(hasher.Compute(similar));
+  EXPECT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0], 1u);
+}
+
+TEST(LshTest, DissimilarItemsRarelyCollide) {
+  MinHasher hasher(128);
+  LshIndex index(32, 4);
+  Rng rng(5);
+  for (uint64_t id = 0; id < 50; ++id) {
+    std::vector<std::string> s;
+    for (int i = 0; i < 100; ++i) s.push_back(rng.NextWord(10));
+    index.Insert(id, hasher.Compute(s));
+  }
+  std::vector<std::string> probe;
+  for (int i = 0; i < 100; ++i) probe.push_back(rng.NextWord(10));
+  auto candidates = index.Query(hasher.Compute(probe));
+  EXPECT_LT(candidates.size(), 5u);
+}
+
+TEST(LshTest, CollisionProbabilitySCurve) {
+  LshIndex index(32, 4);
+  EXPECT_LT(index.CollisionProbability(0.1), 0.15);
+  EXPECT_GT(index.CollisionProbability(0.9), 0.99);
+  // Monotone increasing.
+  double prev = 0;
+  for (double s = 0.0; s <= 1.0; s += 0.1) {
+    double p = index.CollisionProbability(s);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+// ---------------------------------------------------------------- TF-IDF
+
+TEST(TfIdfTest, IdenticalDocsCosineOne) {
+  TfIdfVectorizer v;
+  size_t a = v.AddDocument({"data", "lake"});
+  size_t b = v.AddDocument({"data", "lake"});
+  EXPECT_NEAR(CosineSimilarity(v.Vectorize(a), v.Vectorize(b)), 1.0, 1e-9);
+}
+
+TEST(TfIdfTest, DisjointDocsCosineZero) {
+  TfIdfVectorizer v;
+  size_t a = v.AddDocument({"alpha"});
+  size_t b = v.AddDocument({"beta"});
+  EXPECT_DOUBLE_EQ(CosineSimilarity(v.Vectorize(a), v.Vectorize(b)), 0.0);
+}
+
+TEST(TfIdfTest, RareTokensWeighMore) {
+  TfIdfVectorizer v;
+  // "common" appears everywhere; "rare" once.
+  for (int i = 0; i < 9; ++i) v.AddDocument({"common"});
+  size_t d = v.AddDocument({"common", "rare"});
+  SparseVector vec = v.Vectorize(d);
+  EXPECT_GT(vec.at("rare"), vec.at("common"));
+}
+
+TEST(TfIdfTest, QueryVectorization) {
+  TfIdfVectorizer v;
+  size_t a = v.AddDocument({"flight", "delay", "airport"});
+  v.AddDocument({"hospital", "patient"});
+  SparseVector q = v.VectorizeQuery({"flight", "airport"});
+  EXPECT_GT(CosineSimilarity(q, v.Vectorize(a)), 0.5);
+}
+
+// ---------------------------------------------------------------- embedding
+
+TEST(EmbeddingTest, DeterministicAndUnitNorm) {
+  EmbeddingModel model(32);
+  DenseVector a = model.Embed("airport");
+  DenseVector b = model.Embed("airport");
+  EXPECT_EQ(a, b);
+  double norm = 0;
+  for (double x : a) norm += x * x;
+  EXPECT_NEAR(norm, 1.0, 1e-9);
+}
+
+TEST(EmbeddingTest, SameDomainTokensAreClose) {
+  EmbeddingModel model(64);
+  model.RegisterDomain("color", {"red", "green", "blue"});
+  model.RegisterDomain("city", {"paris", "tokyo"});
+  double same = CosineSimilarity(model.Embed("red"), model.Embed("blue"));
+  double cross = CosineSimilarity(model.Embed("red"), model.Embed("paris"));
+  double unrelated =
+      CosineSimilarity(model.Embed("red"), model.Embed("zebra123"));
+  EXPECT_GT(same, 0.5);
+  EXPECT_GT(same, cross + 0.2);
+  EXPECT_LT(std::abs(unrelated), 0.5);
+}
+
+TEST(EmbeddingTest, EmbedAllAveragesAndNormalizes) {
+  EmbeddingModel model(32);
+  DenseVector v = model.EmbedAll({"a", "b", "c"});
+  double norm = 0;
+  for (double x : v) norm += x * x;
+  EXPECT_NEAR(norm, 1.0, 1e-9);
+  EXPECT_TRUE(model.EmbedAll({}).size() == 32);
+}
+
+TEST(EmbeddingTest, EuclideanDistanceBasics) {
+  DenseVector a{0, 0};
+  DenseVector b{3, 4};
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, a), 0.0);
+}
+
+// ---------------------------------------------------------------- edit dist
+
+TEST(LevenshteinTest, KnownDistances) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(LevenshteinDistance("abc", "abc"), 0u);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3u);
+  EXPECT_EQ(LevenshteinDistance("flaw", "lawn"), 2u);
+}
+
+TEST(LevenshteinTest, Symmetric) {
+  EXPECT_EQ(LevenshteinDistance("abcdef", "azced"),
+            LevenshteinDistance("azced", "abcdef"));
+}
+
+TEST(LevenshteinTest, NormalizedSimilarity) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "xyz"), 0.0);
+  EXPECT_NEAR(LevenshteinSimilarity("abcd", "abcx"), 0.75, 1e-9);
+}
+
+// ---------------------------------------------------------------- KS
+
+TEST(KsTest, IdenticalSamplesZero) {
+  std::vector<double> a{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(KsStatistic(a, a), 0.0);
+}
+
+TEST(KsTest, DisjointSupportsNearOne) {
+  std::vector<double> a{1, 2, 3};
+  std::vector<double> b{10, 11, 12};
+  EXPECT_DOUBLE_EQ(KsStatistic(a, b), 1.0);
+}
+
+TEST(KsTest, EmptySampleIsMaxDistance) {
+  EXPECT_DOUBLE_EQ(KsStatistic({}, {1.0}), 1.0);
+}
+
+TEST(KsTest, SameDistributionSmallStatistic) {
+  Rng rng(31);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 2000; ++i) {
+    a.push_back(rng.NextGaussian());
+    b.push_back(rng.NextGaussian());
+  }
+  EXPECT_LT(KsStatistic(a, b), 0.06);
+}
+
+TEST(KsTest, ShiftedDistributionLargeStatistic) {
+  Rng rng(37);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 2000; ++i) {
+    a.push_back(rng.NextGaussian());
+    b.push_back(rng.NextGaussian() + 2.0);
+  }
+  EXPECT_GT(KsStatistic(a, b), 0.5);
+}
+
+TEST(KsTest, PValueBehaviour) {
+  // Large statistic, decent samples -> tiny p-value.
+  EXPECT_LT(KsPValue(0.8, 100, 100), 1e-6);
+  // Tiny statistic -> p close to 1.
+  EXPECT_GT(KsPValue(0.01, 100, 100), 0.9);
+}
+
+}  // namespace
+}  // namespace lakekit::text

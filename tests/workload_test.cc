@@ -1,0 +1,242 @@
+// The benchmark accuracy counters are only as good as the generators'
+// planted ground truth — these tests pin the guarantees the generators make.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "ingest/log_template.h"
+#include "workload/generator.h"
+
+namespace lakekit::workload {
+namespace {
+
+// ---------------------------------------------------------------- joinable
+
+double ExactJaccardOf(const table::Table& a, const std::string& col_a,
+                      const table::Table& b, const std::string& col_b) {
+  std::unordered_set<std::string> sa;
+  std::unordered_set<std::string> sb;
+  for (const auto& v : a.column(*a.schema().IndexOf(col_a))) {
+    if (!v.is_null()) sa.insert(v.ToString());
+  }
+  for (const auto& v : b.column(*b.schema().IndexOf(col_b))) {
+    if (!v.is_null()) sb.insert(v.ToString());
+  }
+  size_t inter = 0;
+  for (const auto& v : sa) {
+    if (sb.count(v) > 0) ++inter;
+  }
+  return static_cast<double>(inter) /
+         static_cast<double>(sa.size() + sb.size() - inter);
+}
+
+const table::Table& FindTable(const std::vector<table::Table>& tables,
+                              const std::string& name) {
+  for (const auto& t : tables) {
+    if (t.name() == name) return t;
+  }
+  ADD_FAILURE() << "no table " << name;
+  return tables.front();
+}
+
+TEST(JoinableLakeTest, PlantedPairsHaveTargetJaccard) {
+  JoinableLakeOptions options;
+  options.num_tables = 20;
+  options.num_planted_pairs = 6;
+  options.overlap_jaccard = 0.6;
+  JoinableLake lake = MakeJoinableLake(options);
+  ASSERT_EQ(lake.planted.size(), 6u);
+  for (const PlantedPair& p : lake.planted) {
+    double j = ExactJaccardOf(FindTable(lake.tables, p.table_a), p.column_a,
+                              FindTable(lake.tables, p.table_b), p.column_b);
+    EXPECT_NEAR(j, 0.6, 0.02) << p.table_a << "." << p.column_a;
+  }
+}
+
+TEST(JoinableLakeTest, BackgroundColumnsAreDisjoint) {
+  JoinableLakeOptions options;
+  options.num_tables = 10;
+  options.num_planted_pairs = 2;
+  JoinableLake lake = MakeJoinableLake(options);
+  std::set<std::string> planted_cols;
+  for (const PlantedPair& p : lake.planted) {
+    planted_cols.insert(p.table_a + "." + p.column_a);
+    planted_cols.insert(p.table_b + "." + p.column_b);
+  }
+  // Any two non-planted text columns share no values.
+  std::vector<std::pair<std::string, std::unordered_set<std::string>>> cols;
+  for (const auto& t : lake.tables) {
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      const auto& field = t.schema().field(c);
+      if (field.type != table::DataType::kString) continue;
+      std::string full = t.name() + "." + field.name;
+      if (planted_cols.count(full) > 0) continue;
+      std::unordered_set<std::string> values;
+      for (const auto& v : t.column(c)) values.insert(v.ToString());
+      cols.emplace_back(full, std::move(values));
+    }
+  }
+  for (size_t i = 0; i < cols.size(); ++i) {
+    for (size_t j = i + 1; j < cols.size(); ++j) {
+      for (const std::string& v : cols[i].second) {
+        EXPECT_EQ(cols[j].second.count(v), 0u)
+            << cols[i].first << " and " << cols[j].first << " share " << v;
+      }
+    }
+  }
+}
+
+TEST(JoinableLakeTest, DeterministicForSeed) {
+  JoinableLakeOptions options;
+  options.seed = 99;
+  JoinableLake a = MakeJoinableLake(options);
+  JoinableLake b = MakeJoinableLake(options);
+  ASSERT_EQ(a.tables.size(), b.tables.size());
+  for (size_t i = 0; i < a.tables.size(); ++i) {
+    EXPECT_EQ(a.tables[i], b.tables[i]);
+  }
+  EXPECT_EQ(a.planted.size(), b.planted.size());
+}
+
+TEST(JoinableLakeTest, IdColumnsAreUniquePerTable) {
+  JoinableLake lake = MakeJoinableLake({});
+  for (const auto& t : lake.tables) {
+    std::set<int64_t> ids;
+    for (const auto& v : t.column(0)) {
+      EXPECT_TRUE(ids.insert(v.as_int()).second);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- union
+
+TEST(UnionableLakeTest, GroupsShareSchemasAndDomains) {
+  UnionableLakeOptions options;
+  options.num_groups = 3;
+  options.tables_per_group = 2;
+  UnionableLake lake = MakeUnionableLake(options);
+  ASSERT_EQ(lake.tables.size(), 6u);
+  ASSERT_EQ(lake.group_of.size(), 6u);
+  // Same group: identical schema. Different group: disjoint field names.
+  EXPECT_EQ(lake.tables[0].schema(), lake.tables[1].schema());
+  for (const auto& f : lake.tables[0].schema().fields()) {
+    EXPECT_FALSE(lake.tables[2].schema().HasField(f.name));
+  }
+  // Values come from the declared domain.
+  const auto& terms = lake.domains.at("domain_g0c0");
+  std::set<std::string> domain_set(terms.begin(), terms.end());
+  for (const auto& v : lake.tables[0].column(0)) {
+    EXPECT_EQ(domain_set.count(v.ToString()), 1u);
+  }
+}
+
+// ---------------------------------------------------------------- logs
+
+TEST(LogCorpusTest, LinesMatchPlantedPatterns) {
+  LogCorpusOptions options;
+  options.num_templates = 5;
+  options.total_lines = 500;
+  LogCorpus corpus = MakeLogCorpus(options);
+  ASSERT_EQ(corpus.planted_patterns.size(), 5u);
+  size_t total = 0;
+  for (size_t n : corpus.lines_per_pattern) total += n;
+  EXPECT_EQ(total, 500u);
+  // Every emitted line matches exactly one planted pattern.
+  std::vector<ingest::LogTemplate> templates;
+  for (const std::string& pattern : corpus.planted_patterns) {
+    ingest::LogTemplate t;
+    t.tokens = ingest::LogTemplateExtractor::TokenizeLine(pattern);
+    templates.push_back(std::move(t));
+  }
+  size_t start = 0;
+  size_t matched = 0;
+  size_t lines = 0;
+  while (start < corpus.text.size()) {
+    size_t end = corpus.text.find('\n', start);
+    if (end == std::string::npos) break;
+    std::string line = corpus.text.substr(start, end - start);
+    if (!line.empty()) {
+      ++lines;
+      if (ingest::LogTemplateExtractor::Match(templates, line)) ++matched;
+    }
+    start = end + 1;
+  }
+  EXPECT_EQ(lines, 500u);
+  EXPECT_EQ(matched, 500u);
+  // Popularity is sorted descending.
+  for (size_t i = 1; i < corpus.lines_per_pattern.size(); ++i) {
+    EXPECT_GE(corpus.lines_per_pattern[i - 1], corpus.lines_per_pattern[i]);
+  }
+}
+
+// ---------------------------------------------------------------- domains
+
+TEST(DomainLakeTest, HomographsLiveInTwoDomains) {
+  DomainLakeOptions options;
+  options.num_homographs = 2;
+  DomainLake lake = MakeDomainLake(options);
+  ASSERT_EQ(lake.homographs.size(), 2u);
+  for (const std::string& h : lake.homographs) {
+    size_t containing = 0;
+    for (const auto& [domain, terms] : lake.domains) {
+      for (const std::string& t : terms) {
+        if (t == h) {
+          ++containing;
+          break;
+        }
+      }
+    }
+    EXPECT_EQ(containing, 2u) << h;
+  }
+}
+
+// ---------------------------------------------------------------- dirty
+
+TEST(DirtyTableTest, ViolationsAreExactlyPlanted) {
+  DirtyTableOptions options;
+  options.num_rows = 300;
+  options.num_violations = 10;
+  DirtyTable dirty = MakeDirtyTable(options);
+  ASSERT_EQ(dirty.violation_rows.size(), 10u);
+  size_t city_col = *dirty.table.schema().IndexOf("city");
+  size_t zip_col = *dirty.table.schema().IndexOf("zip");
+  std::set<size_t> planted(dirty.violation_rows.begin(),
+                           dirty.violation_rows.end());
+  for (size_t r = 0; r < dirty.table.num_rows(); ++r) {
+    std::string city = dirty.table.at(r, city_col).as_string();
+    std::string zip = dirty.table.at(r, zip_col).as_string();
+    std::string expected_zip = "Z" + city.substr(4);  // city<i> -> Z<i>
+    if (planted.count(r) > 0) {
+      EXPECT_NE(zip, expected_zip) << "row " << r;
+    } else {
+      EXPECT_EQ(zip, expected_zip) << "row " << r;
+    }
+  }
+}
+
+// ---------------------------------------------------------------- evolving
+
+TEST(EvolvingCorpusTest, ThreeVersionsWithDeclaredChanges) {
+  EvolvingCorpusOptions options;
+  options.docs_per_version = 10;
+  EvolvingCorpus corpus = MakeEvolvingCorpus(options);
+  EXPECT_EQ(corpus.documents.size(), 30u);
+  EXPECT_EQ(corpus.planted_changes.size(), 3u);
+  // Timestamps strictly increase.
+  int64_t prev = -1;
+  for (const auto& doc : corpus.documents) {
+    int64_t ts = doc.GetInt("_ts");
+    EXPECT_GT(ts, prev);
+    prev = ts;
+  }
+  // First docs have "name"+"age", last docs have "full_name"+"email".
+  EXPECT_NE(corpus.documents.front().Get("name"), nullptr);
+  EXPECT_NE(corpus.documents.front().Get("age"), nullptr);
+  EXPECT_NE(corpus.documents.back().Get("full_name"), nullptr);
+  EXPECT_EQ(corpus.documents.back().Get("age"), nullptr);
+}
+
+}  // namespace
+}  // namespace lakekit::workload
