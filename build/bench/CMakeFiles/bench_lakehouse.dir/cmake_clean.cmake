@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lakehouse.dir/bench_lakehouse.cc.o"
+  "CMakeFiles/bench_lakehouse.dir/bench_lakehouse.cc.o.d"
+  "bench_lakehouse"
+  "bench_lakehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lakehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

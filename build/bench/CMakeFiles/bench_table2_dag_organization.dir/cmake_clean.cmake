@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_dag_organization.dir/bench_table2_dag_organization.cc.o"
+  "CMakeFiles/bench_table2_dag_organization.dir/bench_table2_dag_organization.cc.o.d"
+  "bench_table2_dag_organization"
+  "bench_table2_dag_organization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_dag_organization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_discovery.dir/data_discovery.cpp.o"
+  "CMakeFiles/data_discovery.dir/data_discovery.cpp.o.d"
+  "data_discovery"
+  "data_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

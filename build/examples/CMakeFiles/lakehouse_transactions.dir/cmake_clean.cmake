@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lakehouse_transactions.dir/lakehouse_transactions.cpp.o"
+  "CMakeFiles/lakehouse_transactions.dir/lakehouse_transactions.cpp.o.d"
+  "lakehouse_transactions"
+  "lakehouse_transactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lakehouse_transactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("json")
+subdirs("csv")
+subdirs("table")
+subdirs("text")
+subdirs("storage")
+subdirs("catalog")
+subdirs("ingest")
+subdirs("metamodel")
+subdirs("discovery")
+subdirs("organize")
+subdirs("integrate")
+subdirs("enrich")
+subdirs("quality")
+subdirs("evolution")
+subdirs("provenance")
+subdirs("query")
+subdirs("lakehouse")
+subdirs("workload")
+subdirs("core")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lakekit_catalog.dir/access_control.cc.o"
+  "CMakeFiles/lakekit_catalog.dir/access_control.cc.o.d"
+  "CMakeFiles/lakekit_catalog.dir/catalog.cc.o"
+  "CMakeFiles/lakekit_catalog.dir/catalog.cc.o.d"
+  "liblakekit_catalog.a"
+  "liblakekit_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lakekit_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

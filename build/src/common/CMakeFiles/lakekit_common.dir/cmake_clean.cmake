@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lakekit_common.dir/hash.cc.o"
+  "CMakeFiles/lakekit_common.dir/hash.cc.o.d"
+  "CMakeFiles/lakekit_common.dir/random.cc.o"
+  "CMakeFiles/lakekit_common.dir/random.cc.o.d"
+  "CMakeFiles/lakekit_common.dir/status.cc.o"
+  "CMakeFiles/lakekit_common.dir/status.cc.o.d"
+  "CMakeFiles/lakekit_common.dir/string_util.cc.o"
+  "CMakeFiles/lakekit_common.dir/string_util.cc.o.d"
+  "liblakekit_common.a"
+  "liblakekit_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lakekit_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

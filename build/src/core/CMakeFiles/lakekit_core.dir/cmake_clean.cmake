@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lakekit_core.dir/data_lake.cc.o"
+  "CMakeFiles/lakekit_core.dir/data_lake.cc.o.d"
+  "liblakekit_core.a"
+  "liblakekit_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lakekit_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

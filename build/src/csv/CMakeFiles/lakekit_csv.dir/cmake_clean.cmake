@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lakekit_csv.dir/csv.cc.o"
+  "CMakeFiles/lakekit_csv.dir/csv.cc.o.d"
+  "liblakekit_csv.a"
+  "liblakekit_csv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lakekit_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

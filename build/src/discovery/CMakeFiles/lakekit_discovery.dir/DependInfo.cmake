@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/discovery/aurum.cc" "src/discovery/CMakeFiles/lakekit_discovery.dir/aurum.cc.o" "gcc" "src/discovery/CMakeFiles/lakekit_discovery.dir/aurum.cc.o.d"
+  "/root/repo/src/discovery/brute_force.cc" "src/discovery/CMakeFiles/lakekit_discovery.dir/brute_force.cc.o" "gcc" "src/discovery/CMakeFiles/lakekit_discovery.dir/brute_force.cc.o.d"
+  "/root/repo/src/discovery/common.cc" "src/discovery/CMakeFiles/lakekit_discovery.dir/common.cc.o" "gcc" "src/discovery/CMakeFiles/lakekit_discovery.dir/common.cc.o.d"
+  "/root/repo/src/discovery/corpus.cc" "src/discovery/CMakeFiles/lakekit_discovery.dir/corpus.cc.o" "gcc" "src/discovery/CMakeFiles/lakekit_discovery.dir/corpus.cc.o.d"
+  "/root/repo/src/discovery/d3l.cc" "src/discovery/CMakeFiles/lakekit_discovery.dir/d3l.cc.o" "gcc" "src/discovery/CMakeFiles/lakekit_discovery.dir/d3l.cc.o.d"
+  "/root/repo/src/discovery/josie.cc" "src/discovery/CMakeFiles/lakekit_discovery.dir/josie.cc.o" "gcc" "src/discovery/CMakeFiles/lakekit_discovery.dir/josie.cc.o.d"
+  "/root/repo/src/discovery/juneau.cc" "src/discovery/CMakeFiles/lakekit_discovery.dir/juneau.cc.o" "gcc" "src/discovery/CMakeFiles/lakekit_discovery.dir/juneau.cc.o.d"
+  "/root/repo/src/discovery/pexeso.cc" "src/discovery/CMakeFiles/lakekit_discovery.dir/pexeso.cc.o" "gcc" "src/discovery/CMakeFiles/lakekit_discovery.dir/pexeso.cc.o.d"
+  "/root/repo/src/discovery/union_search.cc" "src/discovery/CMakeFiles/lakekit_discovery.dir/union_search.cc.o" "gcc" "src/discovery/CMakeFiles/lakekit_discovery.dir/union_search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lakekit_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/lakekit_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/lakekit_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/ingest/CMakeFiles/lakekit_ingest.dir/DependInfo.cmake"
+  "/root/repo/build/src/metamodel/CMakeFiles/lakekit_metamodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/provenance/CMakeFiles/lakekit_provenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/lakekit_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/csv/CMakeFiles/lakekit_csv.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/lakekit_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

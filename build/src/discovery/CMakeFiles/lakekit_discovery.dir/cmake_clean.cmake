@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lakekit_discovery.dir/aurum.cc.o"
+  "CMakeFiles/lakekit_discovery.dir/aurum.cc.o.d"
+  "CMakeFiles/lakekit_discovery.dir/brute_force.cc.o"
+  "CMakeFiles/lakekit_discovery.dir/brute_force.cc.o.d"
+  "CMakeFiles/lakekit_discovery.dir/common.cc.o"
+  "CMakeFiles/lakekit_discovery.dir/common.cc.o.d"
+  "CMakeFiles/lakekit_discovery.dir/corpus.cc.o"
+  "CMakeFiles/lakekit_discovery.dir/corpus.cc.o.d"
+  "CMakeFiles/lakekit_discovery.dir/d3l.cc.o"
+  "CMakeFiles/lakekit_discovery.dir/d3l.cc.o.d"
+  "CMakeFiles/lakekit_discovery.dir/josie.cc.o"
+  "CMakeFiles/lakekit_discovery.dir/josie.cc.o.d"
+  "CMakeFiles/lakekit_discovery.dir/juneau.cc.o"
+  "CMakeFiles/lakekit_discovery.dir/juneau.cc.o.d"
+  "CMakeFiles/lakekit_discovery.dir/pexeso.cc.o"
+  "CMakeFiles/lakekit_discovery.dir/pexeso.cc.o.d"
+  "CMakeFiles/lakekit_discovery.dir/union_search.cc.o"
+  "CMakeFiles/lakekit_discovery.dir/union_search.cc.o.d"
+  "liblakekit_discovery.a"
+  "liblakekit_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lakekit_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

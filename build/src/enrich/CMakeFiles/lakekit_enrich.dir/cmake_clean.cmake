@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lakekit_enrich.dir/d4.cc.o"
+  "CMakeFiles/lakekit_enrich.dir/d4.cc.o.d"
+  "CMakeFiles/lakekit_enrich.dir/domain_net.cc.o"
+  "CMakeFiles/lakekit_enrich.dir/domain_net.cc.o.d"
+  "CMakeFiles/lakekit_enrich.dir/rfd.cc.o"
+  "CMakeFiles/lakekit_enrich.dir/rfd.cc.o.d"
+  "liblakekit_enrich.a"
+  "liblakekit_enrich.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lakekit_enrich.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

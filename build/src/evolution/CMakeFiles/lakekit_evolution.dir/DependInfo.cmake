@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/evolution/inclusion_deps.cc" "src/evolution/CMakeFiles/lakekit_evolution.dir/inclusion_deps.cc.o" "gcc" "src/evolution/CMakeFiles/lakekit_evolution.dir/inclusion_deps.cc.o.d"
+  "/root/repo/src/evolution/schema_history.cc" "src/evolution/CMakeFiles/lakekit_evolution.dir/schema_history.cc.o" "gcc" "src/evolution/CMakeFiles/lakekit_evolution.dir/schema_history.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lakekit_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/lakekit_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/lakekit_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/csv/CMakeFiles/lakekit_csv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

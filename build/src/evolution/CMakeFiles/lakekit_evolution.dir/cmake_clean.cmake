@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lakekit_evolution.dir/inclusion_deps.cc.o"
+  "CMakeFiles/lakekit_evolution.dir/inclusion_deps.cc.o.d"
+  "CMakeFiles/lakekit_evolution.dir/schema_history.cc.o"
+  "CMakeFiles/lakekit_evolution.dir/schema_history.cc.o.d"
+  "liblakekit_evolution.a"
+  "liblakekit_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lakekit_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

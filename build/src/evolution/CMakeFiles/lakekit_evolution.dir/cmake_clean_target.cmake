@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblakekit_evolution.a"
+)

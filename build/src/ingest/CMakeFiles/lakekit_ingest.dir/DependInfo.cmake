@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ingest/format_detect.cc" "src/ingest/CMakeFiles/lakekit_ingest.dir/format_detect.cc.o" "gcc" "src/ingest/CMakeFiles/lakekit_ingest.dir/format_detect.cc.o.d"
+  "/root/repo/src/ingest/log_template.cc" "src/ingest/CMakeFiles/lakekit_ingest.dir/log_template.cc.o" "gcc" "src/ingest/CMakeFiles/lakekit_ingest.dir/log_template.cc.o.d"
+  "/root/repo/src/ingest/profiler.cc" "src/ingest/CMakeFiles/lakekit_ingest.dir/profiler.cc.o" "gcc" "src/ingest/CMakeFiles/lakekit_ingest.dir/profiler.cc.o.d"
+  "/root/repo/src/ingest/structural_extractor.cc" "src/ingest/CMakeFiles/lakekit_ingest.dir/structural_extractor.cc.o" "gcc" "src/ingest/CMakeFiles/lakekit_ingest.dir/structural_extractor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lakekit_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/lakekit_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/lakekit_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/lakekit_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/lakekit_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/csv/CMakeFiles/lakekit_csv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lakekit_ingest.dir/format_detect.cc.o"
+  "CMakeFiles/lakekit_ingest.dir/format_detect.cc.o.d"
+  "CMakeFiles/lakekit_ingest.dir/log_template.cc.o"
+  "CMakeFiles/lakekit_ingest.dir/log_template.cc.o.d"
+  "CMakeFiles/lakekit_ingest.dir/profiler.cc.o"
+  "CMakeFiles/lakekit_ingest.dir/profiler.cc.o.d"
+  "CMakeFiles/lakekit_ingest.dir/structural_extractor.cc.o"
+  "CMakeFiles/lakekit_ingest.dir/structural_extractor.cc.o.d"
+  "liblakekit_ingest.a"
+  "liblakekit_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lakekit_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/integrate/full_disjunction.cc" "src/integrate/CMakeFiles/lakekit_integrate.dir/full_disjunction.cc.o" "gcc" "src/integrate/CMakeFiles/lakekit_integrate.dir/full_disjunction.cc.o.d"
+  "/root/repo/src/integrate/mapping.cc" "src/integrate/CMakeFiles/lakekit_integrate.dir/mapping.cc.o" "gcc" "src/integrate/CMakeFiles/lakekit_integrate.dir/mapping.cc.o.d"
+  "/root/repo/src/integrate/schema_match.cc" "src/integrate/CMakeFiles/lakekit_integrate.dir/schema_match.cc.o" "gcc" "src/integrate/CMakeFiles/lakekit_integrate.dir/schema_match.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lakekit_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/lakekit_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/lakekit_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/csv/CMakeFiles/lakekit_csv.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/lakekit_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

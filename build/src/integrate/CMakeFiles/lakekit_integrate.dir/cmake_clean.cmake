@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lakekit_integrate.dir/full_disjunction.cc.o"
+  "CMakeFiles/lakekit_integrate.dir/full_disjunction.cc.o.d"
+  "CMakeFiles/lakekit_integrate.dir/mapping.cc.o"
+  "CMakeFiles/lakekit_integrate.dir/mapping.cc.o.d"
+  "CMakeFiles/lakekit_integrate.dir/schema_match.cc.o"
+  "CMakeFiles/lakekit_integrate.dir/schema_match.cc.o.d"
+  "liblakekit_integrate.a"
+  "liblakekit_integrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lakekit_integrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/json/parser.cc" "src/json/CMakeFiles/lakekit_json.dir/parser.cc.o" "gcc" "src/json/CMakeFiles/lakekit_json.dir/parser.cc.o.d"
+  "/root/repo/src/json/value.cc" "src/json/CMakeFiles/lakekit_json.dir/value.cc.o" "gcc" "src/json/CMakeFiles/lakekit_json.dir/value.cc.o.d"
+  "/root/repo/src/json/writer.cc" "src/json/CMakeFiles/lakekit_json.dir/writer.cc.o" "gcc" "src/json/CMakeFiles/lakekit_json.dir/writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lakekit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

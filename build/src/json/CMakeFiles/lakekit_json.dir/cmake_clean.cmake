@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lakekit_json.dir/parser.cc.o"
+  "CMakeFiles/lakekit_json.dir/parser.cc.o.d"
+  "CMakeFiles/lakekit_json.dir/value.cc.o"
+  "CMakeFiles/lakekit_json.dir/value.cc.o.d"
+  "CMakeFiles/lakekit_json.dir/writer.cc.o"
+  "CMakeFiles/lakekit_json.dir/writer.cc.o.d"
+  "liblakekit_json.a"
+  "liblakekit_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lakekit_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lakehouse/delta_log.cc" "src/lakehouse/CMakeFiles/lakekit_lakehouse.dir/delta_log.cc.o" "gcc" "src/lakehouse/CMakeFiles/lakekit_lakehouse.dir/delta_log.cc.o.d"
+  "/root/repo/src/lakehouse/delta_table.cc" "src/lakehouse/CMakeFiles/lakekit_lakehouse.dir/delta_table.cc.o" "gcc" "src/lakehouse/CMakeFiles/lakekit_lakehouse.dir/delta_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lakekit_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/lakekit_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/lakekit_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/lakekit_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/lakekit_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/csv/CMakeFiles/lakekit_csv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

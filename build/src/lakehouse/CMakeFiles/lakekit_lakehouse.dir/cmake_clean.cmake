@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lakekit_lakehouse.dir/delta_log.cc.o"
+  "CMakeFiles/lakekit_lakehouse.dir/delta_log.cc.o.d"
+  "CMakeFiles/lakekit_lakehouse.dir/delta_table.cc.o"
+  "CMakeFiles/lakekit_lakehouse.dir/delta_table.cc.o.d"
+  "liblakekit_lakehouse.a"
+  "liblakekit_lakehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lakekit_lakehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

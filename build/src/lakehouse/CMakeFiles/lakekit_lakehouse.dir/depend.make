@@ -1,0 +1,2 @@
+# Empty dependencies file for lakekit_lakehouse.
+# This may be replaced when dependencies are built.

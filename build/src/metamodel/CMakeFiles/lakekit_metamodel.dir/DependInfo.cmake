@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metamodel/data_vault.cc" "src/metamodel/CMakeFiles/lakekit_metamodel.dir/data_vault.cc.o" "gcc" "src/metamodel/CMakeFiles/lakekit_metamodel.dir/data_vault.cc.o.d"
+  "/root/repo/src/metamodel/ekg.cc" "src/metamodel/CMakeFiles/lakekit_metamodel.dir/ekg.cc.o" "gcc" "src/metamodel/CMakeFiles/lakekit_metamodel.dir/ekg.cc.o.d"
+  "/root/repo/src/metamodel/gemms.cc" "src/metamodel/CMakeFiles/lakekit_metamodel.dir/gemms.cc.o" "gcc" "src/metamodel/CMakeFiles/lakekit_metamodel.dir/gemms.cc.o.d"
+  "/root/repo/src/metamodel/handle.cc" "src/metamodel/CMakeFiles/lakekit_metamodel.dir/handle.cc.o" "gcc" "src/metamodel/CMakeFiles/lakekit_metamodel.dir/handle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lakekit_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/lakekit_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/lakekit_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/lakekit_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/ingest/CMakeFiles/lakekit_ingest.dir/DependInfo.cmake"
+  "/root/repo/build/src/csv/CMakeFiles/lakekit_csv.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/lakekit_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

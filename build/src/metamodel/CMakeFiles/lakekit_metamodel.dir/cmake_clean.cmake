@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lakekit_metamodel.dir/data_vault.cc.o"
+  "CMakeFiles/lakekit_metamodel.dir/data_vault.cc.o.d"
+  "CMakeFiles/lakekit_metamodel.dir/ekg.cc.o"
+  "CMakeFiles/lakekit_metamodel.dir/ekg.cc.o.d"
+  "CMakeFiles/lakekit_metamodel.dir/gemms.cc.o"
+  "CMakeFiles/lakekit_metamodel.dir/gemms.cc.o.d"
+  "CMakeFiles/lakekit_metamodel.dir/handle.cc.o"
+  "CMakeFiles/lakekit_metamodel.dir/handle.cc.o.d"
+  "liblakekit_metamodel.a"
+  "liblakekit_metamodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lakekit_metamodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lakekit_metamodel.
+# This may be replaced when dependencies are built.

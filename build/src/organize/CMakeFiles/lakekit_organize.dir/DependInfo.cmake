@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/organize/dsknn.cc" "src/organize/CMakeFiles/lakekit_organize.dir/dsknn.cc.o" "gcc" "src/organize/CMakeFiles/lakekit_organize.dir/dsknn.cc.o.d"
+  "/root/repo/src/organize/kayak.cc" "src/organize/CMakeFiles/lakekit_organize.dir/kayak.cc.o" "gcc" "src/organize/CMakeFiles/lakekit_organize.dir/kayak.cc.o.d"
+  "/root/repo/src/organize/org_dag.cc" "src/organize/CMakeFiles/lakekit_organize.dir/org_dag.cc.o" "gcc" "src/organize/CMakeFiles/lakekit_organize.dir/org_dag.cc.o.d"
+  "/root/repo/src/organize/ronin.cc" "src/organize/CMakeFiles/lakekit_organize.dir/ronin.cc.o" "gcc" "src/organize/CMakeFiles/lakekit_organize.dir/ronin.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lakekit_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/lakekit_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/lakekit_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/ingest/CMakeFiles/lakekit_ingest.dir/DependInfo.cmake"
+  "/root/repo/build/src/discovery/CMakeFiles/lakekit_discovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/metamodel/CMakeFiles/lakekit_metamodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/provenance/CMakeFiles/lakekit_provenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/lakekit_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/csv/CMakeFiles/lakekit_csv.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/lakekit_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lakekit_organize.dir/dsknn.cc.o"
+  "CMakeFiles/lakekit_organize.dir/dsknn.cc.o.d"
+  "CMakeFiles/lakekit_organize.dir/kayak.cc.o"
+  "CMakeFiles/lakekit_organize.dir/kayak.cc.o.d"
+  "CMakeFiles/lakekit_organize.dir/org_dag.cc.o"
+  "CMakeFiles/lakekit_organize.dir/org_dag.cc.o.d"
+  "CMakeFiles/lakekit_organize.dir/ronin.cc.o"
+  "CMakeFiles/lakekit_organize.dir/ronin.cc.o.d"
+  "liblakekit_organize.a"
+  "liblakekit_organize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lakekit_organize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lakekit_provenance.dir/provenance.cc.o"
+  "CMakeFiles/lakekit_provenance.dir/provenance.cc.o.d"
+  "CMakeFiles/lakekit_provenance.dir/variable_dep.cc.o"
+  "CMakeFiles/lakekit_provenance.dir/variable_dep.cc.o.d"
+  "liblakekit_provenance.a"
+  "liblakekit_provenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lakekit_provenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lakekit_quality.dir/auto_validate.cc.o"
+  "CMakeFiles/lakekit_quality.dir/auto_validate.cc.o.d"
+  "CMakeFiles/lakekit_quality.dir/denial_constraints.cc.o"
+  "CMakeFiles/lakekit_quality.dir/denial_constraints.cc.o.d"
+  "liblakekit_quality.a"
+  "liblakekit_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lakekit_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

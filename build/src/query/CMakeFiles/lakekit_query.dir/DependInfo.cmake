@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/expr.cc" "src/query/CMakeFiles/lakekit_query.dir/expr.cc.o" "gcc" "src/query/CMakeFiles/lakekit_query.dir/expr.cc.o.d"
+  "/root/repo/src/query/federation.cc" "src/query/CMakeFiles/lakekit_query.dir/federation.cc.o" "gcc" "src/query/CMakeFiles/lakekit_query.dir/federation.cc.o.d"
+  "/root/repo/src/query/operators.cc" "src/query/CMakeFiles/lakekit_query.dir/operators.cc.o" "gcc" "src/query/CMakeFiles/lakekit_query.dir/operators.cc.o.d"
+  "/root/repo/src/query/sql.cc" "src/query/CMakeFiles/lakekit_query.dir/sql.cc.o" "gcc" "src/query/CMakeFiles/lakekit_query.dir/sql.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lakekit_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/lakekit_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/lakekit_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/csv/CMakeFiles/lakekit_csv.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/lakekit_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

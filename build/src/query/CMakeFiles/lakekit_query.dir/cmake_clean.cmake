@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lakekit_query.dir/expr.cc.o"
+  "CMakeFiles/lakekit_query.dir/expr.cc.o.d"
+  "CMakeFiles/lakekit_query.dir/federation.cc.o"
+  "CMakeFiles/lakekit_query.dir/federation.cc.o.d"
+  "CMakeFiles/lakekit_query.dir/operators.cc.o"
+  "CMakeFiles/lakekit_query.dir/operators.cc.o.d"
+  "CMakeFiles/lakekit_query.dir/sql.cc.o"
+  "CMakeFiles/lakekit_query.dir/sql.cc.o.d"
+  "liblakekit_query.a"
+  "liblakekit_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lakekit_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/document_store.cc" "src/storage/CMakeFiles/lakekit_storage.dir/document_store.cc.o" "gcc" "src/storage/CMakeFiles/lakekit_storage.dir/document_store.cc.o.d"
+  "/root/repo/src/storage/graph_store.cc" "src/storage/CMakeFiles/lakekit_storage.dir/graph_store.cc.o" "gcc" "src/storage/CMakeFiles/lakekit_storage.dir/graph_store.cc.o.d"
+  "/root/repo/src/storage/kv_store.cc" "src/storage/CMakeFiles/lakekit_storage.dir/kv_store.cc.o" "gcc" "src/storage/CMakeFiles/lakekit_storage.dir/kv_store.cc.o.d"
+  "/root/repo/src/storage/object_store.cc" "src/storage/CMakeFiles/lakekit_storage.dir/object_store.cc.o" "gcc" "src/storage/CMakeFiles/lakekit_storage.dir/object_store.cc.o.d"
+  "/root/repo/src/storage/polystore.cc" "src/storage/CMakeFiles/lakekit_storage.dir/polystore.cc.o" "gcc" "src/storage/CMakeFiles/lakekit_storage.dir/polystore.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lakekit_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/lakekit_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/lakekit_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/csv/CMakeFiles/lakekit_csv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lakekit_storage.dir/document_store.cc.o"
+  "CMakeFiles/lakekit_storage.dir/document_store.cc.o.d"
+  "CMakeFiles/lakekit_storage.dir/graph_store.cc.o"
+  "CMakeFiles/lakekit_storage.dir/graph_store.cc.o.d"
+  "CMakeFiles/lakekit_storage.dir/kv_store.cc.o"
+  "CMakeFiles/lakekit_storage.dir/kv_store.cc.o.d"
+  "CMakeFiles/lakekit_storage.dir/object_store.cc.o"
+  "CMakeFiles/lakekit_storage.dir/object_store.cc.o.d"
+  "CMakeFiles/lakekit_storage.dir/polystore.cc.o"
+  "CMakeFiles/lakekit_storage.dir/polystore.cc.o.d"
+  "liblakekit_storage.a"
+  "liblakekit_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lakekit_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lakekit_table.dir/schema.cc.o"
+  "CMakeFiles/lakekit_table.dir/schema.cc.o.d"
+  "CMakeFiles/lakekit_table.dir/table.cc.o"
+  "CMakeFiles/lakekit_table.dir/table.cc.o.d"
+  "CMakeFiles/lakekit_table.dir/value.cc.o"
+  "CMakeFiles/lakekit_table.dir/value.cc.o.d"
+  "liblakekit_table.a"
+  "liblakekit_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lakekit_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/embedding.cc" "src/text/CMakeFiles/lakekit_text.dir/embedding.cc.o" "gcc" "src/text/CMakeFiles/lakekit_text.dir/embedding.cc.o.d"
+  "/root/repo/src/text/ks_test.cc" "src/text/CMakeFiles/lakekit_text.dir/ks_test.cc.o" "gcc" "src/text/CMakeFiles/lakekit_text.dir/ks_test.cc.o.d"
+  "/root/repo/src/text/levenshtein.cc" "src/text/CMakeFiles/lakekit_text.dir/levenshtein.cc.o" "gcc" "src/text/CMakeFiles/lakekit_text.dir/levenshtein.cc.o.d"
+  "/root/repo/src/text/lsh.cc" "src/text/CMakeFiles/lakekit_text.dir/lsh.cc.o" "gcc" "src/text/CMakeFiles/lakekit_text.dir/lsh.cc.o.d"
+  "/root/repo/src/text/minhash.cc" "src/text/CMakeFiles/lakekit_text.dir/minhash.cc.o" "gcc" "src/text/CMakeFiles/lakekit_text.dir/minhash.cc.o.d"
+  "/root/repo/src/text/tfidf.cc" "src/text/CMakeFiles/lakekit_text.dir/tfidf.cc.o" "gcc" "src/text/CMakeFiles/lakekit_text.dir/tfidf.cc.o.d"
+  "/root/repo/src/text/tokenize.cc" "src/text/CMakeFiles/lakekit_text.dir/tokenize.cc.o" "gcc" "src/text/CMakeFiles/lakekit_text.dir/tokenize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lakekit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

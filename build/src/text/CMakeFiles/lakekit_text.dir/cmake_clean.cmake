@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lakekit_text.dir/embedding.cc.o"
+  "CMakeFiles/lakekit_text.dir/embedding.cc.o.d"
+  "CMakeFiles/lakekit_text.dir/ks_test.cc.o"
+  "CMakeFiles/lakekit_text.dir/ks_test.cc.o.d"
+  "CMakeFiles/lakekit_text.dir/levenshtein.cc.o"
+  "CMakeFiles/lakekit_text.dir/levenshtein.cc.o.d"
+  "CMakeFiles/lakekit_text.dir/lsh.cc.o"
+  "CMakeFiles/lakekit_text.dir/lsh.cc.o.d"
+  "CMakeFiles/lakekit_text.dir/minhash.cc.o"
+  "CMakeFiles/lakekit_text.dir/minhash.cc.o.d"
+  "CMakeFiles/lakekit_text.dir/tfidf.cc.o"
+  "CMakeFiles/lakekit_text.dir/tfidf.cc.o.d"
+  "CMakeFiles/lakekit_text.dir/tokenize.cc.o"
+  "CMakeFiles/lakekit_text.dir/tokenize.cc.o.d"
+  "liblakekit_text.a"
+  "liblakekit_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lakekit_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lakekit_workload.dir/generator.cc.o"
+  "CMakeFiles/lakekit_workload.dir/generator.cc.o.d"
+  "liblakekit_workload.a"
+  "liblakekit_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lakekit_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

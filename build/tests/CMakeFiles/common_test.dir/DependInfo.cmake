@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/common_test.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lakekit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lakekit_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/lakekit_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/csv/CMakeFiles/lakekit_csv.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/lakekit_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/lakekit_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/lakekit_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/ingest/CMakeFiles/lakekit_ingest.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/lakekit_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/metamodel/CMakeFiles/lakekit_metamodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/discovery/CMakeFiles/lakekit_discovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/organize/CMakeFiles/lakekit_organize.dir/DependInfo.cmake"
+  "/root/repo/build/src/integrate/CMakeFiles/lakekit_integrate.dir/DependInfo.cmake"
+  "/root/repo/build/src/enrich/CMakeFiles/lakekit_enrich.dir/DependInfo.cmake"
+  "/root/repo/build/src/quality/CMakeFiles/lakekit_quality.dir/DependInfo.cmake"
+  "/root/repo/build/src/evolution/CMakeFiles/lakekit_evolution.dir/DependInfo.cmake"
+  "/root/repo/build/src/provenance/CMakeFiles/lakekit_provenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/lakekit_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/lakehouse/CMakeFiles/lakekit_lakehouse.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/lakekit_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enrich_test.dir/enrich_test.cc.o"
+  "CMakeFiles/enrich_test.dir/enrich_test.cc.o.d"
+  "enrich_test"
+  "enrich_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enrich_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

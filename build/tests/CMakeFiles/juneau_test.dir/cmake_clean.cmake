@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/juneau_test.dir/juneau_test.cc.o"
+  "CMakeFiles/juneau_test.dir/juneau_test.cc.o.d"
+  "juneau_test"
+  "juneau_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/juneau_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

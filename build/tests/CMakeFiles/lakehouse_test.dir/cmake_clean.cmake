@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lakehouse_test.dir/lakehouse_test.cc.o"
+  "CMakeFiles/lakehouse_test.dir/lakehouse_test.cc.o.d"
+  "lakehouse_test"
+  "lakehouse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lakehouse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metamodel_test.dir/metamodel_test.cc.o"
+  "CMakeFiles/metamodel_test.dir/metamodel_test.cc.o.d"
+  "metamodel_test"
+  "metamodel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metamodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

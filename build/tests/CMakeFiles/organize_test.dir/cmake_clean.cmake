@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/organize_test.dir/organize_test.cc.o"
+  "CMakeFiles/organize_test.dir/organize_test.cc.o.d"
+  "organize_test"
+  "organize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/organize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ronin_access_test.dir/ronin_access_test.cc.o"
+  "CMakeFiles/ronin_access_test.dir/ronin_access_test.cc.o.d"
+  "ronin_access_test"
+  "ronin_access_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ronin_access_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
