@@ -19,6 +19,8 @@
 #include "text/minhash.h"
 #include "workload/generator.h"
 
+#include "common/status.h"
+
 namespace {
 
 using namespace lakekit;  // NOLINT
@@ -125,7 +127,7 @@ void BM_Ablation_JosiePostingsScanned(benchmark::State& state) {
   options.num_planted_pairs = options.num_tables / 4;
   auto lake = workload::MakeJoinableLake(options);
   discovery::Corpus corpus;
-  for (const auto& t : lake.tables) (void)corpus.AddTable(t);
+  for (const auto& t : lake.tables) LAKEKIT_CHECK_OK(corpus.AddTable(t));
   discovery::JosieFinder josie(&corpus);
   josie.Build();
   double postings = 0;

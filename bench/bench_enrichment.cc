@@ -15,6 +15,8 @@
 #include "enrich/rfd.h"
 #include "workload/generator.h"
 
+#include "common/status.h"
+
 namespace {
 
 using namespace lakekit;         // NOLINT
@@ -37,7 +39,7 @@ DomainFixture& GetDomainFixture(int num_domains) {
   options.num_homographs = 3;
   f->lake = workload::MakeDomainLake(options);
   f->corpus = std::make_unique<discovery::Corpus>();
-  for (const auto& t : f->lake.tables) (void)f->corpus->AddTable(t);
+  for (const auto& t : f->lake.tables) LAKEKIT_CHECK_OK(f->corpus->AddTable(t));
   DomainFixture& ref = *f;
   cache[num_domains] = std::move(f);
   return ref;

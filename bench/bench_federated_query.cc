@@ -14,6 +14,8 @@
 #include "query/federation.h"
 #include "storage/polystore.h"
 
+#include "common/status.h"
+
 namespace {
 
 using namespace lakekit;         // NOLINT
@@ -42,15 +44,15 @@ Fixture& GetFixture(int rows) {
     sales += std::to_string(i) + ",store" + std::to_string(i % 40) + "," +
              std::to_string((i * 7) % 100) + "\n";
   }
-  (void)f->polystore->StoreTable("sales",
-                                 *table::Table::FromCsv("sales", sales));
+  LAKEKIT_CHECK_OK(f->polystore->StoreTable("sales",
+                                 *table::Table::FromCsv("sales", sales)));
   std::vector<json::Value> stores;
   for (int i = 0; i < 40; ++i) {
     stores.push_back(*json::Parse(
         R"({"store":"store)" + std::to_string(i) + R"(","region":"r)" +
         std::to_string(i % 4) + "\"}"));
   }
-  (void)f->polystore->StoreDocuments("stores", std::move(stores));
+  LAKEKIT_CHECK_OK(f->polystore->StoreDocuments("stores", std::move(stores)));
   f->engine = std::make_unique<FederatedEngine>(f->polystore.get());
   Fixture& ref = *f;
   cache[rows] = std::move(f);

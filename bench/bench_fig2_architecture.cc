@@ -13,6 +13,8 @@
 #include "core/data_lake.h"
 #include "workload/generator.h"
 
+#include "common/status.h"
+
 namespace {
 
 using namespace lakekit;        // NOLINT
@@ -54,7 +56,7 @@ void BM_Tier_Maintenance(benchmark::State& state) {
   workload::JoinableLake lake = MakeLake(static_cast<int>(state.range(0)));
   std::string dir = FreshDir();
   auto dl = DataLake::Open(dir);
-  for (const auto& t : lake.tables) (void)dl->IngestTable(t);
+  for (const auto& t : lake.tables) LAKEKIT_CHECK_OK(dl->IngestTable(t));
   for (auto _ : state) {
     benchmark::DoNotOptimize(dl->BuildDiscoveryIndexes());
   }
@@ -66,8 +68,8 @@ void BM_Tier_Exploration(benchmark::State& state) {
   workload::JoinableLake lake = MakeLake(static_cast<int>(state.range(0)));
   std::string dir = FreshDir();
   auto dl = DataLake::Open(dir);
-  for (const auto& t : lake.tables) (void)dl->IngestTable(t);
-  (void)dl->BuildDiscoveryIndexes();
+  for (const auto& t : lake.tables) LAKEKIT_CHECK_OK(dl->IngestTable(t));
+  LAKEKIT_CHECK_OK(dl->BuildDiscoveryIndexes());
   size_t found = 0;
   size_t total = 0;
   for (auto _ : state) {
@@ -98,8 +100,8 @@ void BM_Tier_EndToEnd(benchmark::State& state) {
     std::string dir = FreshDir();
     state.ResumeTiming();
     auto dl = DataLake::Open(dir);
-    for (const auto& t : lake.tables) (void)dl->IngestTable(t);
-    (void)dl->BuildDiscoveryIndexes();
+    for (const auto& t : lake.tables) LAKEKIT_CHECK_OK(dl->IngestTable(t));
+    LAKEKIT_CHECK_OK(dl->BuildDiscoveryIndexes());
     auto joinable = dl->FindJoinableTables(lake.planted[0].table_a, 3);
     benchmark::DoNotOptimize(joinable);
     state.PauseTiming();

@@ -12,6 +12,8 @@
 #include "lakehouse/delta_table.h"
 #include "storage/object_store.h"
 
+#include "common/status.h"
+
 namespace {
 
 using namespace lakekit;             // NOLINT
@@ -32,8 +34,8 @@ table::Schema EventSchema() {
 table::Table Batch(int base, int n) {
   table::Table t("events", EventSchema());
   for (int i = 0; i < n; ++i) {
-    (void)t.AppendRow({table::Value(int64_t{base + i}),
-                       table::Value("value" + std::to_string(base + i))});
+    LAKEKIT_CHECK_OK(t.AppendRow({table::Value(int64_t{base + i}),
+                       table::Value("value" + std::to_string(base + i))}));
   }
   return t;
 }
@@ -44,7 +46,7 @@ void BM_Lakehouse_AppendCommit(benchmark::State& state) {
   auto t = DeltaTable::Create(&store.value(), "events", EventSchema());
   int base = 0;
   for (auto _ : state) {
-    (void)t->Append(Batch(base, 10));
+    LAKEKIT_CHECK_OK(t->Append(Batch(base, 10)));
     base += 10;
   }
   state.SetItemsProcessed(state.iterations() * 10);
@@ -57,7 +59,7 @@ void BM_Lakehouse_SnapshotNoCheckpoint(benchmark::State& state) {
   auto store = storage::ObjectStore::Open(dir);
   auto t = DeltaTable::Create(&store.value(), "events", EventSchema());
   const int commits = static_cast<int>(state.range(0));
-  for (int i = 0; i < commits; ++i) (void)t->Append(Batch(i * 2, 2));
+  for (int i = 0; i < commits; ++i) LAKEKIT_CHECK_OK(t->Append(Batch(i * 2, 2)));
   for (auto _ : state) {
     auto snapshot = t->log().GetSnapshot();
     benchmark::DoNotOptimize(snapshot);
@@ -72,8 +74,8 @@ void BM_Lakehouse_SnapshotWithCheckpoint(benchmark::State& state) {
   auto store = storage::ObjectStore::Open(dir);
   auto t = DeltaTable::Create(&store.value(), "events", EventSchema());
   const int commits = static_cast<int>(state.range(0));
-  for (int i = 0; i < commits; ++i) (void)t->Append(Batch(i * 2, 2));
-  (void)t->Checkpoint();
+  for (int i = 0; i < commits; ++i) LAKEKIT_CHECK_OK(t->Append(Batch(i * 2, 2)));
+  LAKEKIT_CHECK_OK(t->Checkpoint());
   for (auto _ : state) {
     auto snapshot = t->log().GetSnapshot();
     benchmark::DoNotOptimize(snapshot);
@@ -89,7 +91,7 @@ void BM_Lakehouse_TimeTravelRead(benchmark::State& state) {
   auto store = storage::ObjectStore::Open(dir);
   auto t = DeltaTable::Create(&store.value(), "events", EventSchema());
   const int commits = static_cast<int>(state.range(0));
-  for (int i = 0; i < commits; ++i) (void)t->Append(Batch(i * 2, 2));
+  for (int i = 0; i < commits; ++i) LAKEKIT_CHECK_OK(t->Append(Batch(i * 2, 2)));
   const int64_t target = commits / 2;
   for (auto _ : state) {
     auto data = t->Read(target);
@@ -107,8 +109,8 @@ void BM_Lakehouse_ContendedAppends(benchmark::State& state) {
   auto b = DeltaTable::Open(&store.value(), "events");
   int base = 0;
   for (auto _ : state) {
-    (void)a->Append(Batch(base, 5));
-    (void)b->Append(Batch(base + 1000000, 5));
+    LAKEKIT_CHECK_OK(a->Append(Batch(base, 5)));
+    LAKEKIT_CHECK_OK(b->Append(Batch(base + 1000000, 5)));
     base += 5;
   }
   state.SetItemsProcessed(state.iterations() * 10);

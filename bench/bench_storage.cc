@@ -15,6 +15,8 @@
 #include "storage/object_store.h"
 #include "storage/polystore.h"
 
+#include "common/status.h"
+
 namespace {
 
 using namespace lakekit;           // NOLINT
@@ -44,7 +46,7 @@ void BM_Storage_ObjectStore_PutGet(benchmark::State& state) {
   int i = 0;
   for (auto _ : state) {
     std::string key = "data/" + std::to_string(i++) + ".csv";
-    (void)store->Put(key, payload);
+    LAKEKIT_CHECK_OK(store->Put(key, payload));
     auto back = store->Get(key);
     benchmark::DoNotOptimize(back);
   }
@@ -58,8 +60,8 @@ void BM_Storage_KvStore_Put(benchmark::State& state) {
   auto store = KvStore::Open(dir);
   int i = 0;
   for (auto _ : state) {
-    (void)(*store)->Put("key" + std::to_string(i++), "value-payload-64-bytes-"
-                        "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx");
+    LAKEKIT_CHECK_OK((*store)->Put("key" + std::to_string(i++), "value-payload-64-bytes-"
+                        "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"));
   }
   state.SetItemsProcessed(state.iterations());
   std::filesystem::remove_all(dir);
@@ -70,9 +72,9 @@ void BM_Storage_KvStore_Get(benchmark::State& state) {
   auto store = KvStore::Open(dir);
   const int n = static_cast<int>(state.range(0));
   for (int i = 0; i < n; ++i) {
-    (void)(*store)->Put("key" + std::to_string(i), "v" + std::to_string(i));
+    LAKEKIT_CHECK_OK((*store)->Put("key" + std::to_string(i), "v" + std::to_string(i)));
   }
-  (void)(*store)->Flush();
+  LAKEKIT_CHECK_OK((*store)->Flush());
   int i = 0;
   for (auto _ : state) {
     auto v = (*store)->Get("key" + std::to_string(i++ % n));
@@ -87,7 +89,7 @@ void BM_Storage_KvStore_ScanPrefix(benchmark::State& state) {
   auto store = KvStore::Open(dir);
   const int n = static_cast<int>(state.range(0));
   for (int i = 0; i < n; ++i) {
-    (void)(*store)->Put("ds/" + std::to_string(i), "entry");
+    LAKEKIT_CHECK_OK((*store)->Put("ds/" + std::to_string(i), "entry"));
   }
   for (auto _ : state) {
     auto scan = (*store)->ScanPrefix("ds/");
@@ -101,9 +103,9 @@ void BM_Storage_DocumentStore_InsertFind(benchmark::State& state) {
   DocumentStore store;
   const int n = static_cast<int>(state.range(0));
   for (int i = 0; i < n; ++i) {
-    (void)store.Insert("events", *json::Parse(
+    LAKEKIT_CHECK_OK(store.Insert("events", *json::Parse(
         R"({"kind":"k)" + std::to_string(i % 10) + R"(","n":)" +
-        std::to_string(i) + "}"));
+        std::to_string(i) + "}")));
   }
   for (auto _ : state) {
     auto found = store.FindEqual("events", "kind", json::Value("k3"));
@@ -118,14 +120,14 @@ void BM_Storage_Polystore_TabularReadBack(benchmark::State& state) {
   auto ps = Polystore::Open(dir);
   const int rows = static_cast<int>(state.range(0));
   std::string csv = MakeCsv(rows);
-  (void)ps->StoreTable("rel", *table::Table::FromCsv("rel", csv));
+  LAKEKIT_CHECK_OK(ps->StoreTable("rel", *table::Table::FromCsv("rel", csv)));
   std::vector<json::Value> docs;
   for (int i = 0; i < rows; ++i) {
     docs.push_back(*json::Parse(R"({"id":)" + std::to_string(i) +
                                 R"(,"name":"n)" + std::to_string(i) + "\"}"));
   }
-  (void)ps->StoreDocuments("doc", std::move(docs));
-  (void)ps->StoreObject("obj", "landing/data.csv", csv);
+  LAKEKIT_CHECK_OK(ps->StoreDocuments("doc", std::move(docs)));
+  LAKEKIT_CHECK_OK(ps->StoreObject("obj", "landing/data.csv", csv));
 
   for (auto _ : state) {
     for (const char* name : {"rel", "doc", "obj"}) {
@@ -147,10 +149,10 @@ void BM_Storage_KvStore_Compaction(benchmark::State& state) {
     // 8 runs of overlapping keys.
     for (int run = 0; run < 8; ++run) {
       for (int i = 0; i < 200; ++i) {
-        (void)(*store)->Put("key" + std::to_string(i),
-                            "run" + std::to_string(run));
+        LAKEKIT_CHECK_OK((*store)->Put("key" + std::to_string(i),
+                            "run" + std::to_string(run)));
       }
-      (void)(*store)->Flush();
+      LAKEKIT_CHECK_OK((*store)->Flush());
     }
     state.ResumeTiming();
     benchmark::DoNotOptimize((*store)->Compact());

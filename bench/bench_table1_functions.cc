@@ -31,6 +31,8 @@
 #include "query/sql.h"
 #include "workload/generator.h"
 
+#include "common/status.h"
+
 namespace {
 
 using namespace lakekit;  // NOLINT
@@ -55,9 +57,9 @@ SharedData& Shared() {
     lake_options.num_planted_pairs = 12;
     d->lake = workload::MakeJoinableLake(lake_options);
     d->corpus = std::make_unique<discovery::Corpus>();
-    for (const auto& t : d->lake.tables) (void)d->corpus->AddTable(t);
+    for (const auto& t : d->lake.tables) LAKEKIT_CHECK_OK(d->corpus->AddTable(t));
     d->aurum = std::make_unique<discovery::AurumFinder>(d->corpus.get());
-    (void)d->aurum->Build();
+    LAKEKIT_CHECK_OK(d->aurum->Build());
     d->josie = std::make_unique<discovery::JosieFinder>(d->corpus.get());
     d->josie->Build();
     d->dirty = workload::MakeDirtyTable({});
@@ -116,7 +118,7 @@ void BM_Fn_MetadataModeling(benchmark::State& state) {
       unit.structure =
           ingest::StructuralExtractor::InferJson(d.json_docs[i]);
       unit.properties["format"] = "json";
-      (void)model.AddUnit(std::move(unit));
+      LAKEKIT_CHECK_OK(model.AddUnit(std::move(unit)));
     }
     benchmark::DoNotOptimize(model.num_units());
   }
@@ -196,9 +198,9 @@ void BM_Fn_DataProvenance(benchmark::State& state) {
   for (auto _ : state) {
     provenance::ProvenanceGraph prov;
     for (int i = 0; i < 32; ++i) {
-      (void)prov.RecordDerivation("job" + std::to_string(i),
+      LAKEKIT_CHECK_OK(prov.RecordDerivation("job" + std::to_string(i),
                                   {"ds" + std::to_string(i)},
-                                  {"ds" + std::to_string(i + 1)}, "ada");
+                                  {"ds" + std::to_string(i + 1)}, "ada"));
     }
     auto upstream = prov.Upstream("ds32");
     benchmark::DoNotOptimize(upstream);

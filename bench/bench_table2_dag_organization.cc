@@ -23,6 +23,8 @@
 #include "provenance/variable_dep.h"
 #include "workload/generator.h"
 
+#include "common/status.h"
+
 namespace {
 
 using namespace lakekit;  // NOLINT
@@ -40,7 +42,7 @@ void BM_Dag_KayakPipeline(benchmark::State& state) {
     std::vector<size_t> steps;
     for (int i = 0; i < num_steps; ++i) {
       steps.push_back(*pipeline.AddStep(prim));
-      if (i > 0) (void)pipeline.AddStepDependency(steps[i - 1], steps[i]);
+      if (i > 0) LAKEKIT_CHECK_OK(pipeline.AddStepDependency(steps[i - 1], steps[i]));
     }
     benchmark::DoNotOptimize(pipeline.Run());
   }
@@ -58,8 +60,8 @@ void BM_Dag_KayakTaskLevels(benchmark::State& state) {
     size_t sink = dag.AddTask("publish", nullptr);
     for (int i = 0; i < width; ++i) {
       size_t worker = dag.AddTask("work" + std::to_string(i), nullptr);
-      (void)dag.AddDependency(root, worker);
-      (void)dag.AddDependency(worker, sink);
+      LAKEKIT_CHECK_OK(dag.AddDependency(root, worker));
+      LAKEKIT_CHECK_OK(dag.AddDependency(worker, sink));
     }
     auto levels = dag.ParallelLevels();
     benchmark::DoNotOptimize(levels);
@@ -90,7 +92,7 @@ OrgFixture& GetOrgFixture(int num_groups) {
   for (const auto& [domain, terms] : f->lake.domains) {
     f->corpus->RegisterSemanticDomain(domain, terms);
   }
-  for (const auto& t : f->lake.tables) (void)f->corpus->AddTable(t);
+  for (const auto& t : f->lake.tables) LAKEKIT_CHECK_OK(f->corpus->AddTable(t));
   auto org = organize::Organization::Build(f->corpus.get());
   f->org = std::make_unique<organize::Organization>(std::move(*org));
   OrgFixture& ref = *f;

@@ -27,6 +27,8 @@
 #include "discovery/josie.h"
 #include "workload/generator.h"
 
+#include "common/status.h"
+
 namespace {
 
 using namespace lakekit;             // NOLINT
@@ -56,14 +58,14 @@ Fixture& GetFixture(int num_tables) {
   f->lake = workload::MakeJoinableLake(options);
   f->corpus = std::make_unique<Corpus>();
   for (const auto& t : f->lake.tables) {
-    (void)f->corpus->AddTable(t);
+    LAKEKIT_CHECK_OK(f->corpus->AddTable(t));
   }
   f->aurum = std::make_unique<AurumFinder>(f->corpus.get());
-  (void)f->aurum->Build();
+  LAKEKIT_CHECK_OK(f->aurum->Build());
   f->josie = std::make_unique<JosieFinder>(f->corpus.get());
   f->josie->Build();
   f->d3l = std::make_unique<D3lFinder>(f->corpus.get());
-  (void)f->d3l->Build();
+  LAKEKIT_CHECK_OK(f->d3l->Build());
   f->brute = std::make_unique<BruteForceFinder>(f->corpus.get());
   for (const auto& pair : f->lake.planted) {
     f->queries.emplace_back(
@@ -154,7 +156,7 @@ void BM_Discovery_AllPairs_AurumIndexed(benchmark::State& state) {
   Fixture& f = GetFixture(static_cast<int>(state.range(0)));
   for (auto _ : state) {
     AurumFinder finder(f.corpus.get());
-    (void)finder.Build();
+    LAKEKIT_CHECK_OK(finder.Build());
     // Content-similarity edges of the EKG at the same threshold are the
     // indexed equivalent of the all-pairs joinability sweep.
     size_t edges = 0;

@@ -15,6 +15,8 @@
 #include "discovery/josie.h"
 #include "workload/generator.h"
 
+#include "common/status.h"
+
 using namespace lakekit;            // NOLINT
 using namespace lakekit::discovery;  // NOLINT
 
@@ -42,19 +44,19 @@ int main() {
         table::Schema({{"customer_id", table::DataType::kInt64, false},
                        {"name", table::DataType::kString, true}}));
     for (int i = 0; i < 50; ++i) {
-      (void)customers.AppendRow({table::Value(int64_t{9000 + i}),
-                                 table::Value("cust" + std::to_string(i))});
+      LAKEKIT_CHECK_OK(customers.AppendRow({table::Value(int64_t{9000 + i}),
+                                 table::Value("cust" + std::to_string(i))}));
     }
     table::Table orders(
         "cust_orders",
         table::Schema({{"order", table::DataType::kInt64, false},
                        {"customer_id", table::DataType::kInt64, true}}));
     for (int i = 0; i < 200; ++i) {
-      (void)orders.AppendRow({table::Value(int64_t{i}),
-                              table::Value(int64_t{9000 + (i * 13) % 50})});
+      LAKEKIT_CHECK_OK(orders.AppendRow({table::Value(int64_t{i}),
+                              table::Value(int64_t{9000 + (i * 13) % 50})}));
     }
-    (void)corpus.AddTable(std::move(customers));
-    (void)corpus.AddTable(std::move(orders));
+    LAKEKIT_CHECK_OK(corpus.AddTable(std::move(customers)));
+    LAKEKIT_CHECK_OK(corpus.AddTable(std::move(orders)));
   }
   std::printf("lake: %zu tables, %zu columns, %zu planted joinable pairs\n\n",
               corpus.num_tables(), corpus.num_columns(), lake.planted.size());
@@ -67,7 +69,7 @@ int main() {
   JosieFinder josie(&corpus);
   josie.Build();
   D3lFinder d3l(&corpus);
-  (void)d3l.Build();
+  LAKEKIT_CHECK_OK(d3l.Build());
   BruteForceFinder brute(&corpus);
 
   // Recall@1 of each finder against the planted ground truth.

@@ -12,6 +12,8 @@
 #include "query/expr.h"
 #include "storage/object_store.h"
 
+#include "common/status.h"
+
 using namespace lakekit;             // NOLINT
 using namespace lakekit::lakehouse;  // NOLINT
 
@@ -22,8 +24,8 @@ table::Table Batch(int base, int n) {
                  table::Schema({{"id", table::DataType::kInt64, true},
                                 {"kind", table::DataType::kString, true}}));
   for (int i = 0; i < n; ++i) {
-    (void)t.AppendRow({table::Value(int64_t{base + i}),
-                       table::Value((base + i) % 3 == 0 ? "error" : "ok")});
+    LAKEKIT_CHECK_OK(t.AppendRow({table::Value(int64_t{base + i}),
+                       table::Value((base + i) % 3 == 0 ? "error" : "ok")}));
   }
   return t;
 }

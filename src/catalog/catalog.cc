@@ -106,6 +106,8 @@ Result<Catalog> Catalog::Open(const std::string& dir) {
 
 int64_t Catalog::NextTimestamp() {
   ++clock_;
+  // ignore: best-effort persistence; the clock stays monotonic in-process and
+  // is re-persisted by the next successful mutation.
   (void)store_->Put("meta/clock", std::to_string(clock_));
   return clock_;
 }

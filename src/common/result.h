@@ -21,8 +21,11 @@ namespace lakekit {
 /// or with the macro:
 ///
 ///   LAKEKIT_ASSIGN_OR_RETURN(Table t, ReadCsv(path));
+///
+/// Like `Status`, `Result<T>` is `[[nodiscard]]`: dropping one on the floor is
+/// a compile error. See status.h for the annotated-ignore convention.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a successful result. Intentionally implicit so functions can
   /// `return value;`.
@@ -34,8 +37,8 @@ class Result {
     assert(!status_.ok() && "Result(Status) requires a non-OK status");
   }
 
-  bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
 
   /// Requires ok().
   const T& value() const& {
@@ -57,7 +60,9 @@ class Result {
   T* operator->() { return &value(); }
 
   /// Returns the value, or `fallback` if this result is an error.
-  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
 
  private:
   Status status_;
@@ -66,16 +71,22 @@ class Result {
 
 }  // namespace lakekit
 
-#define LAKEKIT_CONCAT_IMPL_(a, b) a##b
-#define LAKEKIT_CONCAT_(a, b) LAKEKIT_CONCAT_IMPL_(a, b)
-
 /// Evaluates `expr` (a Result<T>), propagating the error or binding the value.
 ///
 ///   LAKEKIT_ASSIGN_OR_RETURN(auto table, ReadCsv(path));
-#define LAKEKIT_ASSIGN_OR_RETURN(decl, expr)                       \
-  auto LAKEKIT_CONCAT_(_lakekit_result_, __LINE__) = (expr);       \
-  if (!LAKEKIT_CONCAT_(_lakekit_result_, __LINE__).ok())           \
-    return LAKEKIT_CONCAT_(_lakekit_result_, __LINE__).status();   \
-  decl = std::move(LAKEKIT_CONCAT_(_lakekit_result_, __LINE__)).value()
+///
+/// The temporary gets a `__COUNTER__`-unique name (concat helpers live in
+/// status.h), so multiple expansions in one scope — even on one line via
+/// other macros — cannot shadow each other.
+#define LAKEKIT_ASSIGN_OR_RETURN(decl, expr) \
+  LAKEKIT_ASSIGN_OR_RETURN_IMPL_(            \
+      LAKEKIT_CONCAT_(_lakekit_result_, __COUNTER__), decl, expr)
+
+#define LAKEKIT_ASSIGN_OR_RETURN_IMPL_(name, decl, expr) \
+  auto name = (expr);                                    \
+  if (!name.ok()) {                                      \
+    return name.status();                                \
+  }                                                      \
+  decl = std::move(name).value()
 
 #endif  // LAKEKIT_COMMON_RESULT_H_

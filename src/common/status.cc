@@ -1,6 +1,20 @@
 #include "common/status.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace lakekit {
+
+namespace internal {
+
+void CheckOkFailed(const char* expr, const char* file, int line,
+                   const Status& status) {
+  std::fprintf(stderr, "%s:%d: LAKEKIT_CHECK_OK(%s) failed: %s\n", file, line,
+               expr, status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal
 
 std::string_view StatusCodeName(StatusCode code) {
   switch (code) {

@@ -34,9 +34,12 @@ std::string_view StatusCodeName(StatusCode code);
 /// A `Status` is cheap to copy in the OK case (no allocation) and carries a
 /// code plus a context message otherwise. Typical use:
 ///
-///   Status s = store.Put(key, value);
-///   if (!s.ok()) return s;   // or LAKEKIT_RETURN_IF_ERROR(store.Put(...));
-class Status {
+///   LAKEKIT_RETURN_IF_ERROR(store.Put(key, value));
+///
+/// `Status` is `[[nodiscard]]`: silently dropping one is a compile error.
+/// Intentional ignores must be spelled `(void)expr;  // ignore: <why>` so the
+/// lint tool (tools/lint) can audit them.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -77,19 +80,23 @@ class Status {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
-  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
-  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
-  bool IsAborted() const { return code_ == StatusCode::kAborted; }
-  bool IsInvalidArgument() const {
+  [[nodiscard]] bool IsNotFound() const {
+    return code_ == StatusCode::kNotFound;
+  }
+  [[nodiscard]] bool IsAlreadyExists() const {
+    return code_ == StatusCode::kAlreadyExists;
+  }
+  [[nodiscard]] bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  [[nodiscard]] bool IsInvalidArgument() const {
     return code_ == StatusCode::kInvalidArgument;
   }
 
   /// "OK" or "<CodeName>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
   bool operator==(const Status& other) const {
     return code_ == other.code_ && message_ == other.message_;
@@ -102,11 +109,49 @@ class Status {
 
 }  // namespace lakekit
 
+#define LAKEKIT_CONCAT_IMPL_(a, b) a##b
+#define LAKEKIT_CONCAT_(a, b) LAKEKIT_CONCAT_IMPL_(a, b)
+
 /// Propagates a non-OK Status to the caller.
-#define LAKEKIT_RETURN_IF_ERROR(expr)                 \
-  do {                                                \
-    ::lakekit::Status _lakekit_status = (expr);       \
-    if (!_lakekit_status.ok()) return _lakekit_status; \
+///
+/// The status lives in an `if`-init scope under a `__COUNTER__`-unique name,
+/// so nested/adjacent expansions never shadow each other and `expr` may
+/// itself reference a variable named `_lakekit_status`.
+#define LAKEKIT_RETURN_IF_ERROR(expr) \
+  LAKEKIT_RETURN_IF_ERROR_IMPL_(LAKEKIT_CONCAT_(_lakekit_status_, __COUNTER__), expr)
+
+#define LAKEKIT_RETURN_IF_ERROR_IMPL_(name, expr)            \
+  do {                                                       \
+    if (::lakekit::Status name = (expr); !name.ok()) {       \
+      return name;                                           \
+    }                                                        \
   } while (0)
+
+/// Aborts the process if `expr` yields a non-OK Status (or a Result whose
+/// status is non-OK). For benches, examples, and other contexts where an
+/// error cannot be propagated and must not be silently swallowed.
+#define LAKEKIT_CHECK_OK(expr) \
+  LAKEKIT_CHECK_OK_IMPL_(LAKEKIT_CONCAT_(_lakekit_check_, __COUNTER__), expr)
+
+#define LAKEKIT_CHECK_OK_IMPL_(name, expr)                            \
+  do {                                                                \
+    if (const auto& name = (expr); !name.ok()) {                      \
+      ::lakekit::internal::CheckOkFailed(#expr, __FILE__, __LINE__,   \
+                                         ::lakekit::ToCheckStatus(name)); \
+    }                                                                 \
+  } while (0)
+
+namespace lakekit {
+inline const Status& ToCheckStatus(const Status& s) { return s; }
+template <typename R>
+const Status& ToCheckStatus(const R& r) {
+  return r.status();
+}
+namespace internal {
+/// Prints "<file>:<line>: CHECK_OK(<expr>) failed: <status>" and aborts.
+[[noreturn]] void CheckOkFailed(const char* expr, const char* file, int line,
+                                const Status& status);
+}  // namespace internal
+}  // namespace lakekit
 
 #endif  // LAKEKIT_COMMON_STATUS_H_

@@ -230,6 +230,7 @@ Result<Table> Sort(const Table& input, const std::string& column,
 table::Table Limit(const Table& input, size_t n) {
   Table out(input.name(), input.schema());
   for (size_t r = 0; r < input.num_rows() && r < n; ++r) {
+    // ignore: rows copied from `input` always match `out`'s schema.
     (void)out.AppendRow(input.Row(r));
   }
   return out;

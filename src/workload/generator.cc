@@ -101,6 +101,7 @@ JoinableLake MakeJoinableLake(const JoinableLakeOptions& options) {
           row.push_back(Value(BackgroundValue(t, c, r)));
         }
       }
+      // ignore: generated rows match the schema by construction.
       (void)tbl.AppendRow(std::move(row));
     }
     lake.tables.push_back(std::move(tbl));
@@ -152,6 +153,7 @@ UnionableLake MakeUnionableLake(const UnionableLakeOptions& options) {
               "domain_g" + std::to_string(g) + "c" + std::to_string(c));
           row.push_back(Value(terms[rng.Below(terms.size())]));
         }
+        // ignore: generated rows match the schema by construction.
         (void)tbl.AppendRow(std::move(row));
       }
       lake.tables.push_back(std::move(tbl));
@@ -272,6 +274,7 @@ DomainLake MakeDomainLake(const DomainLakeOptions& options) {
     const auto& terms1 = lake.domains.at(domain_names[d1]);
     const auto& terms2 = lake.domains.at(domain_names[d2]);
     for (size_t r = 0; r < options.rows_per_table; ++r) {
+      // ignore: generated rows match the schema by construction.
       (void)tbl.AppendRow({Value(terms1[rng.Below(terms1.size())]),
                            Value(terms2[rng.Below(terms2.size())])});
     }
@@ -304,6 +307,7 @@ DirtyTable MakeDirtyTable(const DirtyTableOptions& options) {
                                  options.num_cities);
       out.violation_rows.push_back(r);
     }
+    // ignore: generated rows match the schema by construction.
     (void)tbl.AppendRow({Value(static_cast<int64_t>(r)),
                          Value("city" + std::to_string(city)), Value(zip),
                          Value(rng.NextDouble() * 100.0)});

@@ -270,7 +270,9 @@ TEST(ProfilerTest, StringColumnStats) {
 
 TEST(ProfilerTest, TopValuesCapped) {
   std::vector<table::Value> values;
-  for (int i = 0; i < 100; ++i) values.push_back(table::Value(int64_t{i}));
+  // emplace_back sidesteps a GCC 12 -Wmaybe-uninitialized false positive on
+  // the moved-from temporary's variant storage.
+  for (int i = 0; i < 100; ++i) values.emplace_back(int64_t{i});
   ColumnProfile p = Profiler::ProfileColumn("x", values, /*top_k=*/3);
   EXPECT_EQ(p.top_values.size(), 3u);
 }

@@ -7,6 +7,8 @@
 #include "query/expr.h"
 #include "storage/object_store.h"
 
+#include "common/status.h"
+
 namespace lakekit::lakehouse {
 namespace {
 
@@ -36,9 +38,9 @@ class LakehouseTest : public ::testing::Test {
   static table::Table OrdersRows(int base, int n) {
     table::Table t("orders", OrdersSchema());
     for (int i = 0; i < n; ++i) {
-      (void)t.AppendRow({table::Value(int64_t{base + i}),
+      LAKEKIT_CHECK_OK(t.AppendRow({table::Value(int64_t{base + i}),
                          table::Value("item" + std::to_string(base + i)),
-                         table::Value(int64_t{(base + i) % 7})});
+                         table::Value(int64_t{(base + i) % 7})}));
     }
     return t;
   }

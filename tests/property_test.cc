@@ -21,6 +21,8 @@
 #include "text/minhash.h"
 #include "workload/generator.h"
 
+#include "common/status.h"
+
 namespace lakekit {
 namespace {
 
@@ -149,8 +151,8 @@ TEST_P(FdPropertyTest, Postconditions) {
                    table::Schema({{"k", table::DataType::kString, true},
                                   {attr, table::DataType::kString, true}}));
     for (int i = 0; i < 12; ++i) {
-      (void)t.AppendRow({table::Value("key" + std::to_string(rng.Below(6))),
-                         table::Value(attr + std::to_string(rng.Below(3)))});
+      LAKEKIT_CHECK_OK(t.AppendRow({table::Value("key" + std::to_string(rng.Below(6))),
+                         table::Value(attr + std::to_string(rng.Below(3)))}));
     }
     return t;
   };
@@ -252,8 +254,8 @@ TEST_P(LakehousePropertyTest, SnapshotConsistency) {
       // Append 3 rows.
       table::Table rows("t", schema);
       for (int i = 0; i < 3; ++i) {
-        (void)rows.AppendRow({table::Value(next_id),
-                              table::Value("tag" + std::to_string(next_id % 4))});
+        LAKEKIT_CHECK_OK(rows.AppendRow({table::Value(next_id),
+                              table::Value("tag" + std::to_string(next_id % 4))}));
         model.insert(next_id);
         ++next_id;
       }
@@ -282,8 +284,8 @@ TEST_P(LakehousePropertyTest, SnapshotConsistency) {
       for (int64_t id : model) {
         toggle = !toggle;
         if (toggle) {
-          (void)rows.AppendRow({table::Value(id),
-                                table::Value("tag" + std::to_string(id % 4))});
+          LAKEKIT_CHECK_OK(rows.AppendRow({table::Value(id),
+                                table::Value("tag" + std::to_string(id % 4))}));
           kept.insert(id);
         }
       }

@@ -6,6 +6,8 @@
 #include "organize/ronin.h"
 #include "workload/generator.h"
 
+#include "common/status.h"
+
 namespace lakekit {
 namespace {
 
@@ -25,7 +27,7 @@ class RoninTest : public ::testing::Test {
     for (const auto& [domain, terms] : lake_->domains) {
       corpus_->RegisterSemanticDomain(domain, terms);
     }
-    for (const auto& t : lake_->tables) (void)corpus_->AddTable(t);
+    for (const auto& t : lake_->tables) LAKEKIT_CHECK_OK(corpus_->AddTable(t));
     // Bridge table: shares values with union_table0's first column but has
     // no topical/keyword relation to the query.
     {
@@ -34,9 +36,9 @@ class RoninTest : public ::testing::Test {
           table::Schema({{"linkcol", table::DataType::kString, true}}));
       const auto& terms = lake_->domains.at("domain_g0c0");
       for (size_t i = 0; i < 30; ++i) {
-        (void)bridge.AppendRow({table::Value(terms[i % terms.size()])});
+        LAKEKIT_CHECK_OK(bridge.AppendRow({table::Value(terms[i % terms.size()])}));
       }
-      (void)corpus_->AddTable(std::move(bridge));
+      LAKEKIT_CHECK_OK(corpus_->AddTable(std::move(bridge)));
     }
     auto org = organize::Organization::Build(corpus_);
     org_ = new organize::Organization(std::move(*org));

@@ -296,9 +296,15 @@ TEST(DocumentStoreTest, UpdateAndRemove) {
 
 TEST(DocumentStoreTest, FindEqualOnNestedPath) {
   DocumentStore store;
-  store.Insert("c", *json::Parse(R"({"addr":{"city":"delft"},"n":1})"));
-  store.Insert("c", *json::Parse(R"({"addr":{"city":"aachen"},"n":2})"));
-  store.Insert("c", *json::Parse(R"({"addr":{"city":"delft"},"n":3})"));
+  ASSERT_TRUE(
+      store.Insert("c", *json::Parse(R"({"addr":{"city":"delft"},"n":1})"))
+          .ok());
+  ASSERT_TRUE(
+      store.Insert("c", *json::Parse(R"({"addr":{"city":"aachen"},"n":2})"))
+          .ok());
+  ASSERT_TRUE(
+      store.Insert("c", *json::Parse(R"({"addr":{"city":"delft"},"n":3})"))
+          .ok());
   auto found = store.FindEqual("c", "addr.city", json::Value("delft"));
   ASSERT_EQ(found.size(), 2u);
   EXPECT_EQ(found[0].GetInt("n"), 1);
@@ -307,15 +313,15 @@ TEST(DocumentStoreTest, FindEqualOnNestedPath) {
 
 TEST(DocumentStoreTest, FindEqualMissingPathMatchesNothing) {
   DocumentStore store;
-  store.Insert("c", *json::Parse(R"({"a":1})"));
+  ASSERT_TRUE(store.Insert("c", *json::Parse(R"({"a":1})")).ok());
   EXPECT_TRUE(store.FindEqual("c", "b.c", json::Value(1)).empty());
   EXPECT_TRUE(store.FindEqual("nope", "a", json::Value(1)).empty());
 }
 
 TEST(DocumentStoreTest, NdjsonExportImportRoundTrip) {
   DocumentStore store;
-  store.Insert("c", *json::Parse(R"({"x":1})"));
-  store.Insert("c", *json::Parse(R"({"x":2})"));
+  ASSERT_TRUE(store.Insert("c", *json::Parse(R"({"x":1})")).ok());
+  ASSERT_TRUE(store.Insert("c", *json::Parse(R"({"x":2})")).ok());
   std::string ndjson = store.ExportNdjson("c");
   DocumentStore other;
   ASSERT_TRUE(other.ImportNdjson("c", ndjson).ok());
@@ -328,8 +334,8 @@ TEST(DocumentStoreTest, NdjsonExportImportRoundTrip) {
 
 TEST(DocumentStoreTest, CollectionsAreIndependent) {
   DocumentStore store;
-  store.Insert("a", *json::Parse(R"({"v":1})"));
-  store.Insert("b", *json::Parse(R"({"v":2})"));
+  ASSERT_TRUE(store.Insert("a", *json::Parse(R"({"v":1})")).ok());
+  ASSERT_TRUE(store.Insert("b", *json::Parse(R"({"v":2})")).ok());
   EXPECT_EQ(store.Count("a"), 1u);
   EXPECT_EQ(store.Count("b"), 1u);
   EXPECT_EQ(store.CollectionNames(),
