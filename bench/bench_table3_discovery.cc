@@ -57,9 +57,7 @@ Fixture& GetFixture(int num_tables) {
   options.overlap_jaccard = 0.5;
   f->lake = workload::MakeJoinableLake(options);
   f->corpus = std::make_unique<Corpus>();
-  for (const auto& t : f->lake.tables) {
-    LAKEKIT_CHECK_OK(f->corpus->AddTable(t));
-  }
+  LAKEKIT_CHECK_OK(f->corpus->AddTables(f->lake.tables));
   f->aurum = std::make_unique<AurumFinder>(f->corpus.get());
   LAKEKIT_CHECK_OK(f->aurum->Build());
   f->josie = std::make_unique<JosieFinder>(f->corpus.get());
@@ -152,6 +150,58 @@ void BM_Discovery_AllPairs_BruteForce(benchmark::State& state) {
   }
 }
 
+/// Fixture-construction cost, serial vs. parallel: corpus sketch building
+/// (and lake generation below) is the wall-time floor of every experiment
+/// here, and the first hot path driven by the execution layer. The two
+/// variants produce bit-identical corpora (see CorpusParallelTest); the
+/// ratio of their times is the thread-pool speedup on this machine.
+void BM_Discovery_CorpusBuild_Serial(benchmark::State& state) {
+  Fixture& f = GetFixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Corpus corpus;
+    for (const auto& t : f.lake.tables) {
+      LAKEKIT_CHECK_OK(corpus.AddTable(t));
+    }
+    benchmark::DoNotOptimize(corpus.num_columns());
+  }
+  state.counters["columns"] = static_cast<double>(f.corpus->num_columns());
+}
+
+void BM_Discovery_CorpusBuild_Parallel(benchmark::State& state) {
+  Fixture& f = GetFixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Corpus corpus;
+    LAKEKIT_CHECK_OK(corpus.AddTables(f.lake.tables));
+    benchmark::DoNotOptimize(corpus.num_columns());
+  }
+  state.counters["columns"] = static_cast<double>(f.corpus->num_columns());
+  state.counters["threads"] =
+      static_cast<double>(lakekit::ThreadPool::Default().size());
+}
+
+void BM_Discovery_LakeGen_Serial(benchmark::State& state) {
+  workload::JoinableLakeOptions options;
+  options.num_tables = static_cast<size_t>(state.range(0));
+  options.rows_per_table = 100;
+  lakekit::ThreadPool serial_pool(1);
+  for (auto _ : state) {
+    auto lake = workload::MakeJoinableLake(options, &serial_pool);
+    benchmark::DoNotOptimize(lake.tables.size());
+  }
+}
+
+void BM_Discovery_LakeGen_Parallel(benchmark::State& state) {
+  workload::JoinableLakeOptions options;
+  options.num_tables = static_cast<size_t>(state.range(0));
+  options.rows_per_table = 100;
+  for (auto _ : state) {
+    auto lake = workload::MakeJoinableLake(options);
+    benchmark::DoNotOptimize(lake.tables.size());
+  }
+  state.counters["threads"] =
+      static_cast<double>(lakekit::ThreadPool::Default().size());
+}
+
 void BM_Discovery_AllPairs_AurumIndexed(benchmark::State& state) {
   Fixture& f = GetFixture(static_cast<int>(state.range(0)));
   for (auto _ : state) {
@@ -181,5 +231,13 @@ BENCHMARK(BM_Discovery_Aurum_Build)->Arg(32)->Arg(96)->Arg(192);
 BENCHMARK(BM_Discovery_Josie_Build)->Arg(32)->Arg(96)->Arg(192);
 BENCHMARK(BM_Discovery_AllPairs_BruteForce)->Arg(32)->Arg(96)->Arg(192);
 BENCHMARK(BM_Discovery_AllPairs_AurumIndexed)->Arg(32)->Arg(96)->Arg(192);
+BENCHMARK(BM_Discovery_CorpusBuild_Serial)
+    ->Arg(32)->Arg(96)->Arg(192)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Discovery_CorpusBuild_Parallel)
+    ->Arg(32)->Arg(96)->Arg(192)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Discovery_LakeGen_Serial)
+    ->Arg(32)->Arg(96)->Arg(192)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Discovery_LakeGen_Parallel)
+    ->Arg(32)->Arg(96)->Arg(192)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

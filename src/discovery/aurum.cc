@@ -11,7 +11,7 @@ using metamodel::Relation;
 AurumFinder::AurumFinder(const Corpus* corpus, AurumOptions options)
     : corpus_(corpus), options_(options) {}
 
-Status AurumFinder::Build() {
+Status AurumFinder::Build(ThreadPool* pool) {
   if (options_.lsh_bands * options_.lsh_rows !=
       corpus_->options().minhash_size) {
     return Status::InvalidArgument(
@@ -20,85 +20,144 @@ Status AurumFinder::Build() {
   lsh_ = std::make_unique<text::LshIndex>(options_.lsh_bands,
                                           options_.lsh_rows);
   const auto& sketches = corpus_->sketches();
+  ParallelOptions par;
+  par.pool = pool;
 
   // EKG nodes + table hyperedges.
   ekg_node_of_.clear();
   ekg_node_of_.reserve(sketches.size());
   std::unordered_map<uint32_t, std::vector<Ekg::NodeId>> table_nodes;
-  for (const ColumnSketch& s : sketches) {
+  std::unordered_map<uint64_t, size_t> sketch_of_packed;
+  sketch_of_packed.reserve(sketches.size());
+  for (size_t i = 0; i < sketches.size(); ++i) {
+    const ColumnSketch& s = sketches[i];
     Ekg::NodeId node = ekg_.AddNode(s.table_name, s.column_name);
     ekg_node_of_.push_back(node);
     table_nodes[s.id.table_idx].push_back(node);
+    sketch_of_packed[s.id.Packed()] = i;
   }
   for (auto& [table_idx, nodes] : table_nodes) {
     ekg_.AddHyperedge("table:" + corpus_->table(table_idx).name(),
                       std::move(nodes));
   }
 
-  // Content edges: insert signatures into the LSH; for every candidate
-  // collision, verify with the MinHash Jaccard estimate.
-  for (size_t i = 0; i < sketches.size(); ++i) {
-    const ColumnSketch& s = sketches[i];
-    // Query before insert: each pair is examined exactly once.
-    for (uint64_t packed : lsh_->Query(s.minhash)) {
-      ColumnId other_id = ColumnId::FromPacked(packed);
-      if (other_id.table_idx == s.id.table_idx) continue;
-      const ColumnSketch& other = corpus_->sketch(other_id);
-      double estimate = s.minhash.EstimateJaccard(other.minhash);
-      if (estimate >= options_.content_edge_threshold) {
-        LAKEKIT_RETURN_IF_ERROR(
-            ekg_.AddEdge(ekg_node_of_[i],
-                         *ekg_.FindNode(other.table_name, other.column_name),
-                         Relation::kContentSimilar, estimate));
-      }
-    }
+  // Serial LSH insertion (the index is cheap to build and not thread-safe
+  // to mutate), then parallel per-column candidate verification. Each column
+  // only verifies candidates with a smaller packed id — the same
+  // examine-each-pair-once set the old query-before-insert loop produced —
+  // and writes its verified edges to its own slot; the EKG merge below runs
+  // serially in ascending column order so the graph is deterministic.
+  for (const ColumnSketch& s : sketches) {
     lsh_->Insert(s.id.Packed(), s.minhash);
   }
+  struct VerifiedEdge {
+    size_t other;  // sketch index
+    double weight;
+  };
+  std::vector<std::vector<VerifiedEdge>> content_edges(sketches.size());
+  LAKEKIT_RETURN_IF_ERROR(ParallelFor(
+      0, sketches.size(),
+      [&](size_t i) -> Status {
+        const ColumnSketch& s = sketches[i];
+        std::vector<uint64_t> candidates = lsh_->Query(s.minhash);
+        std::sort(candidates.begin(), candidates.end());
+        for (uint64_t packed : candidates) {
+          if (packed >= s.id.Packed()) break;
+          ColumnId other_id = ColumnId::FromPacked(packed);
+          if (other_id.table_idx == s.id.table_idx) continue;
+          const ColumnSketch& other = corpus_->sketch(other_id);
+          double estimate = s.minhash.EstimateJaccard(other.minhash);
+          if (estimate >= options_.content_edge_threshold) {
+            content_edges[i].push_back(
+                VerifiedEdge{sketch_of_packed.at(packed), estimate});
+          }
+        }
+        return Status::OK();
+      },
+      par));
+  for (size_t i = 0; i < sketches.size(); ++i) {
+    for (const VerifiedEdge& e : content_edges[i]) {
+      LAKEKIT_RETURN_IF_ERROR(ekg_.AddEdge(ekg_node_of_[i],
+                                           ekg_node_of_[e.other],
+                                           Relation::kContentSimilar,
+                                           e.weight));
+    }
+  }
 
-  // Schema edges: TF-IDF cosine over attribute-name tokens. The token
-  // vocabulary of column names is small, so all-pairs here is cheap relative
-  // to content verification.
+  // Schema edges: TF-IDF cosine over attribute-name tokens. Vectorization
+  // and the all-pairs cosine sweep are read-only per row i, so both fan out;
+  // row i records its j > i matches in ascending j order and the serial
+  // merge preserves the old loop's edge order.
   text::TfIdfVectorizer vectorizer;
-  std::vector<text::SparseVector> name_vectors;
-  name_vectors.reserve(sketches.size());
   for (const ColumnSketch& s : sketches) {
     vectorizer.AddDocument(s.name_tokens);
   }
+  std::vector<text::SparseVector> name_vectors(sketches.size());
+  LAKEKIT_RETURN_IF_ERROR(ParallelFor(
+      0, sketches.size(),
+      [&](size_t i) -> Status {
+        name_vectors[i] = vectorizer.Vectorize(i);
+        return Status::OK();
+      },
+      par));
+  std::vector<std::vector<VerifiedEdge>> schema_edges(sketches.size());
+  LAKEKIT_RETURN_IF_ERROR(ParallelFor(
+      0, sketches.size(),
+      [&](size_t i) -> Status {
+        for (size_t j = i + 1; j < sketches.size(); ++j) {
+          if (sketches[i].id.table_idx == sketches[j].id.table_idx) continue;
+          double cos =
+              text::CosineSimilarity(name_vectors[i], name_vectors[j]);
+          if (cos >= options_.schema_edge_threshold) {
+            schema_edges[i].push_back(VerifiedEdge{j, cos});
+          }
+        }
+        return Status::OK();
+      },
+      par));
   for (size_t i = 0; i < sketches.size(); ++i) {
-    name_vectors.push_back(vectorizer.Vectorize(i));
-  }
-  for (size_t i = 0; i < sketches.size(); ++i) {
-    for (size_t j = i + 1; j < sketches.size(); ++j) {
-      if (sketches[i].id.table_idx == sketches[j].id.table_idx) continue;
-      double cos = text::CosineSimilarity(name_vectors[i], name_vectors[j]);
-      if (cos >= options_.schema_edge_threshold) {
-        LAKEKIT_RETURN_IF_ERROR(ekg_.AddEdge(ekg_node_of_[i], ekg_node_of_[j],
-                                             Relation::kSchemaSimilar, cos));
-      }
+    for (const VerifiedEdge& e : schema_edges[i]) {
+      LAKEKIT_RETURN_IF_ERROR(ekg_.AddEdge(ekg_node_of_[i],
+                                           ekg_node_of_[e.other],
+                                           Relation::kSchemaSimilar,
+                                           e.weight));
     }
   }
 
   // PK-FK inference: approximate keys (high uniqueness) attract columns
-  // highly contained in them.
+  // highly contained in them. Containment verification against the LSH
+  // candidates is the hot part; it fans out per PK candidate with the same
+  // slot-then-serial-merge scheme.
   pkfk_pairs_.clear();
+  std::vector<std::vector<VerifiedEdge>> pkfk_edges(sketches.size());
+  LAKEKIT_RETURN_IF_ERROR(ParallelFor(
+      0, sketches.size(),
+      [&](size_t i) -> Status {
+        const ColumnSketch& pk = sketches[i];
+        if (pk.profile.uniqueness() < options_.pkfk_uniqueness_threshold ||
+            pk.value_set.empty()) {
+          return Status::OK();
+        }
+        // Only check LSH/content candidates plus exact containment verify.
+        for (uint64_t packed : lsh_->Query(pk.minhash)) {
+          ColumnId fk_id = ColumnId::FromPacked(packed);
+          if (fk_id == pk.id || fk_id.table_idx == pk.id.table_idx) continue;
+          const ColumnSketch& fk = corpus_->sketch(fk_id);
+          double containment = ExactContainment(fk, pk);
+          if (containment >= options_.pkfk_containment_threshold) {
+            pkfk_edges[i].push_back(
+                VerifiedEdge{sketch_of_packed.at(packed), containment});
+          }
+        }
+        return Status::OK();
+      },
+      par));
   for (size_t i = 0; i < sketches.size(); ++i) {
-    const ColumnSketch& pk = sketches[i];
-    if (pk.profile.uniqueness() < options_.pkfk_uniqueness_threshold ||
-        pk.value_set.empty()) {
-      continue;
-    }
-    // Only check LSH/content candidates plus exact containment verify.
-    for (uint64_t packed : lsh_->Query(pk.minhash)) {
-      ColumnId fk_id = ColumnId::FromPacked(packed);
-      if (fk_id == pk.id || fk_id.table_idx == pk.id.table_idx) continue;
-      const ColumnSketch& fk = corpus_->sketch(fk_id);
-      if (ExactContainment(fk, pk) >= options_.pkfk_containment_threshold) {
-        pkfk_pairs_.emplace_back(fk_id, pk.id);
-        LAKEKIT_RETURN_IF_ERROR(
-            ekg_.AddEdge(*ekg_.FindNode(fk.table_name, fk.column_name),
-                         ekg_node_of_[i], Relation::kPkFk,
-                         ExactContainment(fk, pk)));
-      }
+    for (const VerifiedEdge& e : pkfk_edges[i]) {
+      pkfk_pairs_.emplace_back(sketches[e.other].id, sketches[i].id);
+      LAKEKIT_RETURN_IF_ERROR(ekg_.AddEdge(ekg_node_of_[e.other],
+                                           ekg_node_of_[i], Relation::kPkFk,
+                                           e.weight));
     }
   }
   built_ = true;

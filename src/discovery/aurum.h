@@ -40,7 +40,13 @@ class AurumFinder {
   AurumFinder(const Corpus* corpus, AurumOptions options = {});
 
   /// Builds the LSH index and the EKG. Call once after the corpus is loaded.
-  Status Build();
+  ///
+  /// LSH insertion and EKG mutation stay serial; the expensive per-column
+  /// candidate verification (content edges, schema-edge cosines, PK-FK
+  /// containment checks) fans out over `pool` (nullptr ->
+  /// ThreadPool::Default(); size-1 pool = serial opt-out), with results
+  /// merged in deterministic column order.
+  Status Build(ThreadPool* pool = nullptr);
 
   /// Top-k joinable columns for `query` via EKG content edges.
   std::vector<ColumnMatch> TopKJoinableColumns(ColumnId query,

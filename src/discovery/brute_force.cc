@@ -31,16 +31,31 @@ std::vector<ColumnMatch> BruteForceFinder::TopKOverlapColumns(
 }
 
 std::vector<std::pair<ColumnId, ColumnId>> BruteForceFinder::AllJoinablePairs(
-    double jaccard_threshold) const {
-  std::vector<std::pair<ColumnId, ColumnId>> out;
+    double jaccard_threshold, ThreadPool* pool) const {
   const auto& sketches = corpus_->sketches();
-  for (size_t i = 0; i < sketches.size(); ++i) {
-    for (size_t j = i + 1; j < sketches.size(); ++j) {
-      if (sketches[i].id.table_idx == sketches[j].id.table_idx) continue;
-      if (ExactJaccard(sketches[i], sketches[j]) >= jaccard_threshold) {
-        out.emplace_back(sketches[i].id, sketches[j].id);
-      }
-    }
+  // Shard the all-pairs sweep by left column: row i owns pairs (i, j > i),
+  // written to slot i, so the serial concatenation below reproduces the
+  // i-outer / j-inner order of the single-threaded loop exactly.
+  std::vector<std::vector<std::pair<ColumnId, ColumnId>>> rows(
+      sketches.size());
+  ParallelOptions par;
+  par.pool = pool;
+  // The per-row lambda is infallible, so a failure here can only be a bug.
+  LAKEKIT_CHECK_OK(ParallelFor(
+      0, sketches.size(),
+      [&](size_t i) -> Status {
+        for (size_t j = i + 1; j < sketches.size(); ++j) {
+          if (sketches[i].id.table_idx == sketches[j].id.table_idx) continue;
+          if (ExactJaccard(sketches[i], sketches[j]) >= jaccard_threshold) {
+            rows[i].emplace_back(sketches[i].id, sketches[j].id);
+          }
+        }
+        return Status::OK();
+      },
+      par));
+  std::vector<std::pair<ColumnId, ColumnId>> out;
+  for (std::vector<std::pair<ColumnId, ColumnId>>& row : rows) {
+    out.insert(out.end(), row.begin(), row.end());
   }
   return out;
 }

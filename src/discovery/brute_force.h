@@ -24,9 +24,12 @@ class BruteForceFinder {
   std::vector<ColumnMatch> TopKOverlapColumns(ColumnId query, size_t k) const;
 
   /// All column pairs across different tables with exact Jaccard >=
-  /// threshold — the full ground-truth relation.
+  /// threshold — the full ground-truth relation. The O(n²) sweep is sharded
+  /// by left column over `pool` (nullptr -> ThreadPool::Default(); size-1
+  /// pool = serial opt-out); output order matches the serial i-outer /
+  /// j-inner loop exactly.
   std::vector<std::pair<ColumnId, ColumnId>> AllJoinablePairs(
-      double jaccard_threshold) const;
+      double jaccard_threshold, ThreadPool* pool = nullptr) const;
 
  private:
   const Corpus* corpus_;

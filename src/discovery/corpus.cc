@@ -70,12 +70,74 @@ Result<size_t> Corpus::AddTable(table::Table t) {
   table_index_[t.name()] = table_idx;
   tables_.push_back(std::move(t));
   const table::Table& stored = tables_.back();
+  size_t first_sketch = sketches_.size();
   for (size_t c = 0; c < stored.num_columns(); ++c) {
     ColumnId id{static_cast<uint32_t>(table_idx), static_cast<uint32_t>(c)};
     sketch_index_[id.Packed()] = sketches_.size();
     sketches_.push_back(BuildSketch(id, stored, c));
   }
+  sketch_range_.emplace_back(first_sketch, sketches_.size());
   return table_idx;
+}
+
+Result<std::vector<size_t>> Corpus::AddTables(std::vector<table::Table> tables,
+                                              ThreadPool* pool) {
+  // Validate the whole batch before mutating anything.
+  std::map<std::string, size_t, std::less<>> batch_names;
+  for (const table::Table& t : tables) {
+    if (table_index_.find(t.name()) != table_index_.end() ||
+        !batch_names.emplace(t.name(), 0).second) {
+      return Status::AlreadyExists("table '" + t.name() +
+                                   "' already in corpus");
+    }
+  }
+
+  const size_t first_table = tables_.size();
+  const size_t first_sketch = sketches_.size();
+  std::vector<size_t> indexes;
+  indexes.reserve(tables.size());
+
+  // Serial bookkeeping: append tables, reserve one contiguous sketch slot
+  // per column, and record the slot -> (table, column) mapping the parallel
+  // workers will fill.
+  struct Slot {
+    size_t table_idx;
+    size_t col;
+  };
+  std::vector<Slot> slots;
+  tables_.reserve(first_table + tables.size());
+  for (table::Table& t : tables) {
+    size_t table_idx = tables_.size();
+    indexes.push_back(table_idx);
+    table_index_[t.name()] = table_idx;
+    tables_.push_back(std::move(t));
+    size_t begin = first_sketch + slots.size();
+    for (size_t c = 0; c < tables_.back().num_columns(); ++c) {
+      slots.push_back(Slot{table_idx, c});
+      ColumnId id{static_cast<uint32_t>(table_idx), static_cast<uint32_t>(c)};
+      sketch_index_[id.Packed()] = first_sketch + slots.size() - 1;
+    }
+    sketch_range_.emplace_back(begin, first_sketch + slots.size());
+  }
+  sketches_.resize(first_sketch + slots.size());
+
+  // Parallel sketch building: each task writes exactly one pre-sized slot,
+  // and BuildSketch reads only const state (tables_, minhasher_, embedder_),
+  // so the result is bit-identical to the serial AddTable path.
+  ParallelOptions par;
+  par.pool = pool;
+  LAKEKIT_RETURN_IF_ERROR(ParallelFor(
+      0, slots.size(),
+      [&](size_t i) -> Status {
+        const Slot& slot = slots[i];
+        ColumnId id{static_cast<uint32_t>(slot.table_idx),
+                    static_cast<uint32_t>(slot.col)};
+        sketches_[first_sketch + i] =
+            BuildSketch(id, tables_[slot.table_idx], slot.col);
+        return Status::OK();
+      },
+      par));
+  return indexes;
 }
 
 ColumnSketch Corpus::BuildSketch(ColumnId id, const table::Table& t,
@@ -89,11 +151,19 @@ ColumnSketch Corpus::BuildSketch(ColumnId id, const table::Table& t,
   sketch.profile =
       ingest::Profiler::ProfileColumn(sketch.column_name, t.column(col));
 
-  // Distinct values + set + format histogram + numeric sample.
-  for (const table::Value& v : t.column(col)) {
+  // Distinct values + set + format histogram + numeric sample. This is the
+  // innermost loop of ingestion: pre-size both containers from the column
+  // size and move each rendered value straight into the set (the vector
+  // takes its one copy from the set node) instead of the old
+  // render-insert-copy pattern.
+  const std::vector<table::Value>& values = t.column(col);
+  sketch.distinct_values.reserve(values.size());
+  sketch.value_set.reserve(values.size());
+  for (const table::Value& v : values) {
     if (v.is_null()) continue;
-    std::string s = v.ToString();
-    if (sketch.value_set.insert(s).second) {
+    auto [it, inserted] = sketch.value_set.insert(v.ToString());
+    if (inserted) {
+      const std::string& s = *it;
       sketch.distinct_values.push_back(s);
       ++sketch.format_histogram[FormatPattern(s)];
       if (v.is_numeric() &&
@@ -137,8 +207,11 @@ const ColumnSketch& Corpus::sketch(ColumnId id) const {
 std::vector<const ColumnSketch*> Corpus::TableSketches(
     size_t table_idx) const {
   std::vector<const ColumnSketch*> out;
-  for (const ColumnSketch& s : sketches_) {
-    if (s.id.table_idx == table_idx) out.push_back(&s);
+  if (table_idx >= sketch_range_.size()) return out;
+  const auto& [begin, end] = sketch_range_[table_idx];
+  out.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    out.push_back(&sketches_[i]);
   }
   return out;
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "ingest/profiler.h"
 #include "table/table.h"
 #include "text/embedding.h"
@@ -99,9 +100,24 @@ class Corpus {
  public:
   explicit Corpus(CorpusOptions options = {});
 
-  /// Ingests a table, computing sketches for every column. Returns the
-  /// table index. Table names must be unique.
+  /// Ingests a table, computing sketches for every column on the calling
+  /// thread. Returns the table index. Table names must be unique.
   Result<size_t> AddTable(table::Table t);
+
+  /// Batch ingestion: adds every table, building all column sketches in
+  /// parallel on `pool` (nullptr -> ThreadPool::Default(); a pool of size 1
+  /// is the serial opt-out). Returns the table indexes, in input order.
+  ///
+  /// Determinism contract: each sketch is a pure function of its column and
+  /// the corpus options, and results are written to pre-sized slots, so
+  /// sketch order and every signature/embedding are bit-identical to adding
+  /// the same tables one-by-one with AddTable — regardless of thread count.
+  ///
+  /// Fails without side effects if any name is a duplicate (within the batch
+  /// or against already-ingested tables). Not safe to call concurrently with
+  /// other mutating or reading Corpus methods.
+  Result<std::vector<size_t>> AddTables(std::vector<table::Table> tables,
+                                        ThreadPool* pool = nullptr);
 
   size_t num_tables() const { return tables_.size(); }
   size_t num_columns() const { return sketches_.size(); }
@@ -113,7 +129,8 @@ class Corpus {
   const ColumnSketch& sketch(ColumnId id) const;
   /// All sketches, iteration order = insertion order.
   const std::vector<ColumnSketch>& sketches() const { return sketches_; }
-  /// Sketches belonging to one table.
+  /// Sketches belonging to one table: O(columns of that table), served from
+  /// the contiguous range recorded at ingestion time.
   std::vector<const ColumnSketch*> TableSketches(size_t table_idx) const;
 
   /// Column lookup by names.
@@ -138,6 +155,8 @@ class Corpus {
   std::vector<table::Table> tables_;
   std::vector<ColumnSketch> sketches_;
   std::map<uint64_t, size_t> sketch_index_;  // packed id -> sketches_ index
+  /// [begin, end) into sketches_ per table (columns are contiguous).
+  std::vector<std::pair<size_t, size_t>> sketch_range_;
   std::map<std::string, size_t, std::less<>> table_index_;
 };
 

@@ -13,7 +13,7 @@ namespace lakekit::discovery {
 D3lFinder::D3lFinder(const Corpus* corpus, D3lOptions options)
     : corpus_(corpus), options_(options) {}
 
-Status D3lFinder::Build() {
+Status D3lFinder::Build(ThreadPool* pool) {
   if (options_.lsh_bands * options_.lsh_rows !=
       corpus_->options().minhash_size) {
     return Status::InvalidArgument(
@@ -28,15 +28,25 @@ Status D3lFinder::Build() {
                                                 options_.lsh_rows);
   name_lsh_ = std::make_unique<text::LshIndex>(options_.name_lsh_bands,
                                                options_.name_lsh_rows);
+  const auto& sketches = corpus_->sketches();
+  // Per-column name MinHashing (q-gram extraction + hashing) is the
+  // expensive part of the build: fan it out into pre-sized slots, then run
+  // the order-sensitive LSH insertions serially over the results.
   text::MinHasher name_hasher(options_.name_minhash_size, /*seed=*/23);
-  name_signatures_.clear();
-  name_signatures_.reserve(corpus_->sketches().size());
-  for (const ColumnSketch& s : corpus_->sketches()) {
-    value_lsh_->Insert(s.id.Packed(), s.minhash);
-    text::MinHashSignature name_sig =
-        name_hasher.Compute(text::QGrams(s.column_name, 3));
-    name_lsh_->Insert(s.id.Packed(), name_sig);
-    name_signatures_.push_back(std::move(name_sig));
+  name_signatures_.assign(sketches.size(), text::MinHashSignature());
+  ParallelOptions par;
+  par.pool = pool;
+  LAKEKIT_RETURN_IF_ERROR(ParallelFor(
+      0, sketches.size(),
+      [&](size_t i) -> Status {
+        name_signatures_[i] =
+            name_hasher.Compute(text::QGrams(sketches[i].column_name, 3));
+        return Status::OK();
+      },
+      par));
+  for (size_t i = 0; i < sketches.size(); ++i) {
+    value_lsh_->Insert(sketches[i].id.Packed(), sketches[i].minhash);
+    name_lsh_->Insert(sketches[i].id.Packed(), name_signatures_[i]);
   }
   built_ = true;
   return Status::OK();

@@ -56,8 +56,10 @@ class D3lFinder {
  public:
   D3lFinder(const Corpus* corpus, D3lOptions options = {});
 
-  /// Builds both LSH indexes.
-  Status Build();
+  /// Builds both LSH indexes. Per-column name-q-gram MinHashing fans out
+  /// over `pool` (nullptr -> ThreadPool::Default(); size-1 pool = serial
+  /// opt-out); LSH insertion stays serial so index layout is deterministic.
+  Status Build(ThreadPool* pool = nullptr);
 
   /// Raw feature vector of a column pair.
   D3lFeatures ComputeFeatures(ColumnId a, ColumnId b) const;

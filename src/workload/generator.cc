@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "common/hash.h"
+
 namespace lakekit::workload {
 
 using table::DataType;
@@ -21,7 +23,8 @@ std::string BackgroundValue(size_t table_idx, size_t col_idx, size_t i) {
 
 }  // namespace
 
-JoinableLake MakeJoinableLake(const JoinableLakeOptions& options) {
+JoinableLake MakeJoinableLake(const JoinableLakeOptions& options,
+                              ThreadPool* pool) {
   Rng rng(options.seed);
   JoinableLake lake;
 
@@ -79,33 +82,48 @@ JoinableLake MakeJoinableLake(const JoinableLakeOptions& options) {
   }
 
   // Build the tables: id (unique int), measure (double), text columns.
-  for (size_t t = 0; t < options.num_tables; ++t) {
-    Schema schema;
-    schema.AddField(Field{"id", DataType::kInt64, false});
-    schema.AddField(Field{"measure", DataType::kDouble, true});
-    for (size_t c = 0; c < options.text_cols_per_table; ++c) {
-      schema.AddField(
-          Field{"attr" + std::to_string(c), DataType::kString, true});
-    }
-    Table tbl("table" + std::to_string(t), schema);
-    for (size_t r = 0; r < options.rows_per_table; ++r) {
-      std::vector<Value> row;
-      row.push_back(Value(static_cast<int64_t>(t * 1000000 + r)));
-      row.push_back(Value(rng.NextGaussian() * 10.0 +
-                          static_cast<double>(t)));
-      for (size_t c = 0; c < options.text_cols_per_table; ++c) {
-        auto it = planted_values.find(slot_key(Slot{t, c}));
-        if (it != planted_values.end()) {
-          row.push_back(Value(it->second[r % it->second.size()]));
-        } else {
-          row.push_back(Value(BackgroundValue(t, c, r)));
-        }
-      }
-      // ignore: generated rows match the schema by construction.
-      (void)tbl.AppendRow(std::move(row));
-    }
-    lake.tables.push_back(std::move(tbl));
+  // Row generation dominates fixture wall time, so tables fill in parallel;
+  // each table owns a distinct slot and an Rng seeded from (seed, t), making
+  // the lake bit-identical for any thread count. The planted_values map is
+  // read-only from here on.
+  Schema schema;
+  schema.AddField(Field{"id", DataType::kInt64, false});
+  schema.AddField(Field{"measure", DataType::kDouble, true});
+  for (size_t c = 0; c < options.text_cols_per_table; ++c) {
+    schema.AddField(
+        Field{"attr" + std::to_string(c), DataType::kString, true});
   }
+  lake.tables.reserve(options.num_tables);
+  for (size_t t = 0; t < options.num_tables; ++t) {
+    lake.tables.emplace_back("table" + std::to_string(t), schema);
+  }
+  ParallelOptions par;
+  par.pool = pool;
+  // The per-table lambda is infallible (rows match the schema by
+  // construction), so a failure here can only be a bug.
+  LAKEKIT_CHECK_OK(ParallelFor(
+      0, options.num_tables,
+      [&](size_t t) -> Status {
+        Rng trng(Mix64(options.seed + 0x9e3779b97f4a7c15ULL * (t + 1)));
+        Table& tbl = lake.tables[t];
+        for (size_t r = 0; r < options.rows_per_table; ++r) {
+          std::vector<Value> row;
+          row.push_back(Value(static_cast<int64_t>(t * 1000000 + r)));
+          row.push_back(Value(trng.NextGaussian() * 10.0 +
+                              static_cast<double>(t)));
+          for (size_t c = 0; c < options.text_cols_per_table; ++c) {
+            auto it = planted_values.find(slot_key(Slot{t, c}));
+            if (it != planted_values.end()) {
+              row.push_back(Value(it->second[r % it->second.size()]));
+            } else {
+              row.push_back(Value(BackgroundValue(t, c, r)));
+            }
+          }
+          LAKEKIT_RETURN_IF_ERROR(tbl.AppendRow(std::move(row)));
+        }
+        return Status::OK();
+      },
+      par));
 
   for (size_t p = 0; p < pair_slots.size(); ++p) {
     const auto& [a, b] = pair_slots[p];

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "json/value.h"
 #include "table/table.h"
 
@@ -41,7 +42,12 @@ struct JoinableLakeOptions {
   uint64_t seed = 42;
 };
 
-JoinableLake MakeJoinableLake(const JoinableLakeOptions& options);
+/// Tables are generated in parallel on `pool` (nullptr ->
+/// ThreadPool::Default(); size-1 pool = serial opt-out). Each table draws
+/// from its own Rng seeded deterministically from (options.seed, table
+/// index), so the lake is identical for any thread count.
+JoinableLake MakeJoinableLake(const JoinableLakeOptions& options,
+                              ThreadPool* pool = nullptr);
 
 /// A lake of table groups drawing attribute values from shared semantic
 /// domains: tables in the same group are unionable ground truth.

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -9,6 +11,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace lakekit {
 namespace {
@@ -256,6 +259,175 @@ TEST(RngTest, NextWordHasRequestedLength) {
     EXPECT_GE(c, 'a');
     EXPECT_LE(c, 'z');
   }
+}
+
+// ---------------------------------------------------------- thread pool
+
+TEST(ThreadPoolTest, SubmitRunsTasksAndDestructorDrainsTheQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&] { ++counter; });
+    }
+    // ~ThreadPool runs every queued task before joining the workers.
+  }
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, SizeClampsToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(ParallelForTest, EmptyRangeIsOkAndRunsNothing) {
+  ThreadPool pool(2);
+  ParallelOptions par;
+  par.pool = &pool;
+  std::atomic<int> calls{0};
+  Status s = ParallelFor(
+      5, 5,
+      [&](size_t) -> Status {
+        ++calls;
+        return Status::OK();
+      },
+      par);
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, ManyMoreTasksThanThreadsCoverEveryIndex) {
+  ThreadPool pool(3);
+  ParallelOptions par;
+  par.pool = &pool;
+  par.grain = 1;  // one task per index: 1000 tasks on 3 threads
+  std::vector<std::atomic<int>> hits(1000);
+  Status s = ParallelFor(
+      0, hits.size(),
+      [&](size_t i) -> Status {
+        ++hits[i];
+        return Status::OK();
+      },
+      par);
+  ASSERT_TRUE(s.ok());
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, SizeOnePoolIsTheSerialOptOut) {
+  ThreadPool pool(1);
+  ParallelOptions par;
+  par.pool = &pool;
+  std::atomic<size_t> sum{0};
+  ASSERT_TRUE(ParallelFor(
+                  0, 100,
+                  [&](size_t i) -> Status {
+                    sum += i;
+                    return Status::OK();
+                  },
+                  par)
+                  .ok());
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ParallelForTest, ReturnsErrorFromLowestFailingChunk) {
+  ThreadPool pool(4);
+  ParallelOptions par;
+  par.pool = &pool;
+  par.grain = 1;  // chunk == index, so "lowest chunk" is deterministic
+  Status s = ParallelFor(
+      0, 500,
+      [&](size_t i) -> Status {
+        if (i == 123 || i == 400) {
+          return Status::InvalidArgument("bad index " + std::to_string(i));
+        }
+        return Status::OK();
+      },
+      par);
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad index 123");
+}
+
+TEST(ParallelForTest, ExceptionBecomesInternalStatus) {
+  ThreadPool pool(2);
+  ParallelOptions par;
+  par.pool = &pool;
+  par.grain = 1;
+  Status s = ParallelFor(
+      0, 16,
+      [&](size_t i) -> Status {
+        if (i == 7) throw std::runtime_error("boom");
+        return Status::OK();
+      },
+      par);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_NE(s.message().find("boom"), std::string::npos);
+}
+
+TEST(ParallelForTest, NestedUseOnOnePoolDoesNotDeadlock) {
+  // Outer iterations run on pool workers and each starts an inner
+  // ParallelFor on the *same* pool; the helping waiters must drain the
+  // nested tasks instead of sleeping, or this test hangs.
+  ThreadPool pool(2);
+  ParallelOptions par;
+  par.pool = &pool;
+  par.grain = 1;
+  std::atomic<int> leaf{0};
+  Status s = ParallelFor(
+      0, 8,
+      [&](size_t) -> Status {
+        return ParallelFor(
+            0, 8,
+            [&](size_t) -> Status {
+              ++leaf;
+              return Status::OK();
+            },
+            par);
+      },
+      par);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(leaf.load(), 64);
+}
+
+TEST(ParallelMapTest, ResultsLandInInputOrder) {
+  ThreadPool pool(4);
+  ParallelOptions par;
+  par.pool = &pool;
+  par.grain = 1;
+  Result<std::vector<std::string>> r = ParallelMap<std::string>(
+      50,
+      [](size_t i) -> Result<std::string> {
+        return "v" + std::to_string(i);
+      },
+      par);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 50u);
+  for (size_t i = 0; i < r->size(); ++i) {
+    EXPECT_EQ((*r)[i], "v" + std::to_string(i));
+  }
+}
+
+TEST(ParallelMapTest, ErrorPropagates) {
+  ThreadPool pool(2);
+  ParallelOptions par;
+  par.pool = &pool;
+  Result<std::vector<int>> r = ParallelMap<int>(
+      20,
+      [](size_t i) -> Result<int> {
+        if (i == 11) return Status::NotFound("11");
+        return static_cast<int>(i);
+      },
+      par);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ThreadPoolTest, DefaultThreadsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1u);
+  EXPECT_GE(ThreadPool::Default().size(), 1u);
 }
 
 }  // namespace

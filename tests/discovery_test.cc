@@ -537,5 +537,130 @@ TEST(UnionSearchTest, AlignmentIsOneToOne) {
   }
 }
 
+// ------------------------------------------------- parallel determinism
+
+// The execution-layer contract (DESIGN.md): a parallel-built corpus is
+// bit-identical to a serial-built one over the same lake — sketch order,
+// minhash values, embeddings, everything discovery reads.
+TEST(CorpusParallelTest, ParallelBuildMatchesSerialBitForBit) {
+  workload::JoinableLakeOptions options;
+  options.num_tables = 16;
+  options.rows_per_table = 80;
+  options.num_planted_pairs = 5;
+  workload::JoinableLake lake = workload::MakeJoinableLake(options);
+
+  Corpus serial;
+  for (const auto& t : lake.tables) {
+    ASSERT_TRUE(serial.AddTable(t).ok());
+  }
+
+  ThreadPool pool(4);
+  Corpus parallel;
+  Result<std::vector<size_t>> indexes =
+      parallel.AddTables(lake.tables, &pool);
+  ASSERT_TRUE(indexes.ok());
+  ASSERT_EQ(indexes->size(), lake.tables.size());
+  for (size_t i = 0; i < indexes->size(); ++i) {
+    EXPECT_EQ((*indexes)[i], i);
+  }
+
+  ASSERT_EQ(parallel.num_tables(), serial.num_tables());
+  ASSERT_EQ(parallel.num_columns(), serial.num_columns());
+  for (size_t i = 0; i < serial.sketches().size(); ++i) {
+    const ColumnSketch& s = serial.sketches()[i];
+    const ColumnSketch& p = parallel.sketches()[i];
+    SCOPED_TRACE(s.table_name + "." + s.column_name);
+    EXPECT_EQ(p.id, s.id);
+    EXPECT_EQ(p.table_name, s.table_name);
+    EXPECT_EQ(p.column_name, s.column_name);
+    EXPECT_EQ(p.type, s.type);
+    EXPECT_EQ(p.distinct_values, s.distinct_values);
+    EXPECT_EQ(p.value_set, s.value_set);
+    EXPECT_EQ(p.minhash.values(), s.minhash.values());
+    EXPECT_EQ(p.embedding, s.embedding);
+    EXPECT_EQ(p.format_histogram, s.format_histogram);
+    EXPECT_EQ(p.numeric_values, s.numeric_values);
+    EXPECT_EQ(p.name_tokens, s.name_tokens);
+    EXPECT_EQ(p.profile.distinct_count, s.profile.distinct_count);
+    EXPECT_EQ(p.profile.null_count, s.profile.null_count);
+    EXPECT_EQ(p.profile.is_candidate_key, s.profile.is_candidate_key);
+  }
+}
+
+TEST(CorpusParallelTest, AddTablesRejectsDuplicatesWithoutSideEffects) {
+  workload::JoinableLakeOptions options;
+  options.num_tables = 4;
+  workload::JoinableLake lake = workload::MakeJoinableLake(options);
+
+  Corpus corpus;
+  ASSERT_TRUE(corpus.AddTable(lake.tables[1]).ok());
+  // Batch contains a name already in the corpus: nothing may be ingested.
+  Result<std::vector<size_t>> r = corpus.AddTables(lake.tables);
+  EXPECT_TRUE(r.status().IsAlreadyExists());
+  EXPECT_EQ(corpus.num_tables(), 1u);
+
+  // Batch with an internal duplicate fails too.
+  Corpus fresh;
+  std::vector<table::Table> dup{lake.tables[0], lake.tables[0]};
+  EXPECT_TRUE(fresh.AddTables(dup).status().IsAlreadyExists());
+  EXPECT_EQ(fresh.num_tables(), 0u);
+}
+
+TEST(CorpusParallelTest, TableSketchesServesOwnColumnsInOrder) {
+  workload::JoinableLakeOptions options;
+  options.num_tables = 6;
+  workload::JoinableLake lake = workload::MakeJoinableLake(options);
+  Corpus corpus;
+  ASSERT_TRUE(corpus.AddTables(lake.tables).ok());
+  for (size_t t = 0; t < corpus.num_tables(); ++t) {
+    std::vector<const ColumnSketch*> sketches = corpus.TableSketches(t);
+    ASSERT_EQ(sketches.size(), corpus.table(t).num_columns());
+    for (size_t c = 0; c < sketches.size(); ++c) {
+      EXPECT_EQ(sketches[c]->id.table_idx, t);
+      EXPECT_EQ(sketches[c]->id.col_idx, c);
+    }
+  }
+  EXPECT_TRUE(corpus.TableSketches(corpus.num_tables()).empty());
+}
+
+// Finder builds are deterministic across pool sizes: same EKG edges, same
+// PK-FK pairs, same query answers.
+TEST(CorpusParallelTest, AurumBuildIsDeterministicAcrossPoolSizes) {
+  workload::JoinableLakeOptions options;
+  options.num_tables = 16;
+  options.num_planted_pairs = 5;
+  workload::JoinableLake lake = workload::MakeJoinableLake(options);
+  Corpus corpus;
+  ASSERT_TRUE(corpus.AddTables(lake.tables).ok());
+
+  ThreadPool serial_pool(1);
+  ThreadPool wide_pool(4);
+  AurumFinder a(&corpus);
+  AurumFinder b(&corpus);
+  ASSERT_TRUE(a.Build(&serial_pool).ok());
+  ASSERT_TRUE(b.Build(&wide_pool).ok());
+
+  EXPECT_EQ(a.ekg().edges().size(), b.ekg().edges().size());
+  EXPECT_EQ(a.PkFkPairs(), b.PkFkPairs());
+  for (const auto& planted : lake.planted) {
+    ColumnId q = *corpus.FindColumn(planted.table_a, planted.column_a);
+    EXPECT_EQ(a.TopKJoinableColumns(q, 3), b.TopKJoinableColumns(q, 3));
+  }
+}
+
+TEST(CorpusParallelTest, BruteForceAllPairsIsDeterministicAcrossPoolSizes) {
+  workload::JoinableLakeOptions options;
+  options.num_tables = 12;
+  options.num_planted_pairs = 4;
+  workload::JoinableLake lake = workload::MakeJoinableLake(options);
+  Corpus corpus;
+  ASSERT_TRUE(corpus.AddTables(lake.tables).ok());
+  BruteForceFinder brute(&corpus);
+  ThreadPool serial_pool(1);
+  ThreadPool wide_pool(4);
+  EXPECT_EQ(brute.AllJoinablePairs(0.3, &serial_pool),
+            brute.AllJoinablePairs(0.3, &wide_pool));
+}
+
 }  // namespace
 }  // namespace lakekit::discovery

@@ -88,6 +88,30 @@ TEST(JoinableLakeTest, BackgroundColumnsAreDisjoint) {
   }
 }
 
+TEST(JoinableLakeTest, IdenticalForAnyThreadCount) {
+  // Parallel generation must not change the lake: each table derives its own
+  // Rng from (seed, table index), so a 1-thread and a 4-thread build agree
+  // cell for cell.
+  JoinableLakeOptions options;
+  options.num_tables = 12;
+  options.num_planted_pairs = 4;
+  ThreadPool one(1);
+  ThreadPool four(4);
+  JoinableLake a = MakeJoinableLake(options, &one);
+  JoinableLake b = MakeJoinableLake(options, &four);
+  ASSERT_EQ(a.tables.size(), b.tables.size());
+  for (size_t i = 0; i < a.tables.size(); ++i) {
+    EXPECT_EQ(a.tables[i], b.tables[i]) << a.tables[i].name();
+  }
+  ASSERT_EQ(a.planted.size(), b.planted.size());
+  for (size_t i = 0; i < a.planted.size(); ++i) {
+    EXPECT_EQ(a.planted[i].table_a, b.planted[i].table_a);
+    EXPECT_EQ(a.planted[i].column_a, b.planted[i].column_a);
+    EXPECT_EQ(a.planted[i].table_b, b.planted[i].table_b);
+    EXPECT_EQ(a.planted[i].column_b, b.planted[i].column_b);
+  }
+}
+
 TEST(JoinableLakeTest, DeterministicForSeed) {
   JoinableLakeOptions options;
   options.seed = 99;

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Runs every bench binary with machine-readable JSON output so perf
+# trajectories can be diffed across PRs (EXPERIMENTS.md records the
+# narrative; the JSON is the raw data).
+#
+# Usage: tools/bench/run_benches.sh [build_dir] [out_dir] [benchmark filter]
+#   build_dir  where the bench binaries live (default: build)
+#   out_dir    where BENCH_<name>.json files are written (default:
+#              bench-results)
+#   filter     optional --benchmark_filter regex forwarded to every binary
+#
+# Example — just the discovery corpus-build comparison:
+#   tools/bench/run_benches.sh build bench-results 'CorpusBuild|LakeGen'
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-bench-results}"
+FILTER="${3:-}"
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "error: $BUILD_DIR/bench not found — build the project first" >&2
+  exit 1
+fi
+
+mkdir -p "$OUT_DIR"
+
+for bin in "$BUILD_DIR"/bench/bench_*; do
+  [ -x "$bin" ] || continue
+  name="$(basename "$bin")"
+  args=(
+    "--benchmark_out=$OUT_DIR/BENCH_${name}.json"
+    "--benchmark_out_format=json"
+  )
+  if [ -n "$FILTER" ]; then
+    args+=("--benchmark_filter=$FILTER")
+  fi
+  echo "== $name"
+  "$bin" "${args[@]}"
+done
+
+echo "JSON results in $OUT_DIR/"
