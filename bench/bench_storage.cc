@@ -67,6 +67,29 @@ void BM_Storage_KvStore_Put(benchmark::State& state) {
   std::filesystem::remove_all(dir);
 }
 
+/// The price of durability (ISSUE: record WAL-fsync overhead): Put
+/// throughput under the three commit disciplines. Arg 0 = no WAL at all,
+/// Arg 1 = WAL without fsync (page-cache durability), Arg 2 = WAL with
+/// fsync-per-commit (the default: an OK survives a power cut).
+void BM_Storage_KvStore_PutDurability(benchmark::State& state) {
+  std::string dir = FreshDir("kvdur");
+  KvStoreOptions options;
+  options.use_wal = state.range(0) > 0;
+  options.sync_writes = state.range(0) > 1;
+  auto store = KvStore::Open(dir, options);
+  int i = 0;
+  for (auto _ : state) {
+    LAKEKIT_CHECK_OK((*store)->Put("key" + std::to_string(i++),
+                                   "value-payload-64-bytes-"
+                                   "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(state.range(0) == 0   ? "no_wal"
+                 : state.range(0) == 1 ? "wal_nosync"
+                                       : "wal_fsync");
+  std::filesystem::remove_all(dir);
+}
+
 void BM_Storage_KvStore_Get(benchmark::State& state) {
   std::string dir = FreshDir("kvget");
   auto store = KvStore::Open(dir);
@@ -166,6 +189,7 @@ void BM_Storage_KvStore_Compaction(benchmark::State& state) {
 
 BENCHMARK(BM_Storage_ObjectStore_PutGet)->Arg(100);
 BENCHMARK(BM_Storage_KvStore_Put);
+BENCHMARK(BM_Storage_KvStore_PutDurability)->Arg(0)->Arg(1)->Arg(2);
 BENCHMARK(BM_Storage_KvStore_Get)->Arg(1000);
 BENCHMARK(BM_Storage_KvStore_ScanPrefix)->Arg(1000);
 BENCHMARK(BM_Storage_DocumentStore_InsertFind)->Arg(1000);

@@ -1,0 +1,48 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace lakekit {
+
+namespace {
+
+/// Table-driven CRC-32C, one byte at a time. Built once at first use; the
+/// table is the standard reflected-polynomial table so values match other
+/// CRC-32C implementations (e.g. SSE4.2 crc32 instructions, RocksDB).
+constexpr uint32_t kCastagnoli = 0x82F63B78u;  // reflected 0x1EDC6F41
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kCastagnoli : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(std::string_view data, uint32_t seed) {
+  static const std::array<uint32_t, 256> kTable = BuildTable();
+  uint32_t crc = ~seed;
+  for (unsigned char c : data) {
+    crc = kTable[(crc ^ c) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t MaskCrc32c(uint32_t crc) {
+  constexpr uint32_t kMaskDelta = 0xA282EAD8u;
+  return ((crc >> 15) | (crc << 17)) + kMaskDelta;
+}
+
+uint32_t UnmaskCrc32c(uint32_t masked) {
+  constexpr uint32_t kMaskDelta = 0xA282EAD8u;
+  uint32_t rot = masked - kMaskDelta;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace lakekit

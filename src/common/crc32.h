@@ -1,0 +1,27 @@
+#ifndef LAKEKIT_COMMON_CRC32_H_
+#define LAKEKIT_COMMON_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace lakekit {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected) of `data`,
+/// continuing from `seed` (pass the previous CRC to checksum data in
+/// chunks; 0 starts a fresh checksum).
+///
+/// This is the checksum RocksDB/LevelDB use to frame WAL and table records;
+/// lakekit uses it the same way: every storage-tier record (WAL append, run
+/// file entry) carries a CRC so recovery can distinguish a torn or corrupt
+/// tail from valid data and truncate instead of ingesting garbage.
+uint32_t Crc32c(std::string_view data, uint32_t seed = 0);
+
+/// Masked CRC in the LevelDB style: storing a CRC of data that itself
+/// contains CRCs is error-prone, so stored checksums are masked with a
+/// rotation + constant. `UnmaskCrc32c(MaskCrc32c(c)) == c`.
+uint32_t MaskCrc32c(uint32_t crc);
+uint32_t UnmaskCrc32c(uint32_t masked);
+
+}  // namespace lakekit
+
+#endif  // LAKEKIT_COMMON_CRC32_H_

@@ -1,0 +1,39 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace lakekit {
+
+RetryPolicy::RetryPolicy(RetryOptions options)
+    : options_(options), rng_(options.jitter_seed) {
+  sleep_fn_ = [](std::chrono::milliseconds d) {
+    if (d.count() > 0) std::this_thread::sleep_for(d);
+  };
+}
+
+Status RetryPolicy::Run(const std::function<Status()>& fn) {
+  Status status = fn();
+  for (int attempt = 1;
+       attempt < options_.max_attempts && !status.ok() && IsTransient(status);
+       ++attempt) {
+    SleepWithJitter(attempt);
+    status = fn();
+  }
+  return status;
+}
+
+void RetryPolicy::SleepWithJitter(int attempt) {
+  double backoff_ms =
+      static_cast<double>(options_.initial_backoff.count());
+  for (int i = 1; i < attempt; ++i) backoff_ms *= options_.multiplier;
+  backoff_ms = std::min(
+      backoff_ms, static_cast<double>(options_.max_backoff.count()));
+  // Full jitter: uniform in [0, backoff]. Decorrelates concurrent retriers
+  // hammering the same store.
+  auto jittered = std::chrono::milliseconds(
+      static_cast<int64_t>(rng_.NextDouble() * backoff_ms));
+  sleep_fn_(jittered);
+}
+
+}  // namespace lakekit

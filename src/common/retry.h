@@ -1,0 +1,84 @@
+#ifndef LAKEKIT_COMMON_RETRY_H_
+#define LAKEKIT_COMMON_RETRY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+#include "common/random.h"
+#include "common/result.h"
+
+namespace lakekit {
+
+/// Tuning for RetryPolicy. Defaults are deliberately small: lakekit's
+/// transient failures (object-store round trips, injected faults in tests)
+/// resolve in milliseconds, not seconds.
+struct RetryOptions {
+  /// Total tries including the first. 1 disables retrying.
+  int max_attempts = 4;
+  /// Backoff before the first retry; doubles (times `multiplier`) per retry.
+  std::chrono::milliseconds initial_backoff{1};
+  /// Upper bound on a single backoff interval.
+  std::chrono::milliseconds max_backoff{50};
+  /// Exponential growth factor between consecutive backoffs.
+  double multiplier = 2.0;
+  /// Seed for deterministic jitter, so retry schedules are reproducible
+  /// run-to-run like every other randomized lakekit component.
+  uint64_t jitter_seed = 42;
+};
+
+/// Retries an operation on *transient* errors with exponential backoff and
+/// full jitter (each sleep is uniform in [0, backoff]).
+///
+/// Only `kIoError` is classified transient: it is the code the storage tier
+/// returns for environment failures (out of descriptors, injected faults,
+/// flaky remote stores) that a later attempt can plausibly fix. Logic errors
+/// (`kInvalidArgument`, `kNotFound`, `kAlreadyExists`, `kCorruption`, ...)
+/// are permanent and returned immediately — retrying a failed
+/// `PutIfAbsent` would turn a lost commit race into a livelock.
+class RetryPolicy {
+ public:
+  explicit RetryPolicy(RetryOptions options = {});
+
+  /// True when `status` may succeed on retry.
+  static bool IsTransient(const Status& status) {
+    return status.code() == StatusCode::kIoError;
+  }
+
+  /// Runs `fn` until it returns OK or a permanent error, at most
+  /// `max_attempts` times. Returns the last status.
+  Status Run(const std::function<Status()>& fn);
+
+  /// Result<T>-returning flavor of Run.
+  template <typename F>
+  auto RunResult(F&& fn) -> decltype(fn()) {
+    decltype(fn()) result = fn();
+    for (int attempt = 1;
+         attempt < options_.max_attempts && !result.ok() &&
+         IsTransient(result.status());
+         ++attempt) {
+      SleepWithJitter(attempt);
+      result = fn();
+    }
+    return result;
+  }
+
+  /// Injectable sleeper so tests can count/skip real sleeping.
+  void set_sleep_fn(std::function<void(std::chrono::milliseconds)> sleep_fn) {
+    sleep_fn_ = std::move(sleep_fn);
+  }
+
+  const RetryOptions& options() const { return options_; }
+
+ private:
+  /// Sleeps a jittered backoff for the retry numbered `attempt` (1-based).
+  void SleepWithJitter(int attempt);
+
+  RetryOptions options_;
+  Rng rng_;
+  std::function<void(std::chrono::milliseconds)> sleep_fn_;
+};
+
+}  // namespace lakekit
+
+#endif  // LAKEKIT_COMMON_RETRY_H_

@@ -1,0 +1,376 @@
+#include "storage/fault_injecting_fs.h"
+
+#include <algorithm>
+
+namespace lakekit::storage {
+
+// Defined at namespace scope (not in an anonymous namespace) so the friend
+// declaration in FaultInjectingFs matches.
+/// Handle into a FaultInjectingFs node. Holds the generation it was opened
+/// under: a PowerCut bumps the generation, so handles kept across a
+/// simulated reboot fail instead of silently writing into the "new" disk.
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(FaultInjectingFs* fs, std::string path,
+                    uint64_t generation)
+      : fs_(fs), path_(std::move(path)), generation_(generation) {}
+
+  Status Append(std::string_view data) override {
+    if (closed_) return Status::Internal("append on closed file " + path_);
+    return fs_->HandleAppend(generation_, path_, data);
+  }
+
+  Status Sync() override {
+    if (closed_) return Status::Internal("sync on closed file " + path_);
+    return fs_->HandleSync(generation_, path_);
+  }
+
+  Status Truncate(uint64_t size) override {
+    if (closed_) return Status::Internal("truncate on closed file " + path_);
+    return fs_->HandleTruncate(generation_, path_, size);
+  }
+
+  Status Close() override {
+    closed_ = true;
+    return Status::OK();
+  }
+
+ private:
+  FaultInjectingFs* fs_;
+  std::string path_;
+  uint64_t generation_;
+  bool closed_ = false;
+};
+
+FaultInjectingFs::FaultInjectingFs(uint64_t seed) : rng_(seed) {}
+
+std::string FaultInjectingFs::Parent(const std::string& path) {
+  size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return "";
+  return path.substr(0, slash);
+}
+
+Status FaultInjectingFs::CountOp(const char* op,
+                                 const std::string& path) const {
+  int64_t idx = op_counter_++;
+  if (fail_from_ >= 0 && idx >= fail_from_ &&
+      (fail_count_ < 0 || idx < fail_from_ + fail_count_)) {
+    return Status::IoError("injected fault (op " + std::to_string(idx) +
+                           ", " + op + " '" + path + "')");
+  }
+  return Status::OK();
+}
+
+std::string FaultInjectingFs::SurvivingContent(const Node& node,
+                                               Rng* rng) const {
+  if (node.data.size() >= node.durable.size() &&
+      node.data.compare(0, node.durable.size(), node.durable) == 0) {
+    // Plain appends since the last sync: the synced prefix always survives;
+    // some prefix of the unsynced tail may have reached the platter (torn
+    // write / partial page flush).
+    size_t tail = node.data.size() - node.durable.size();
+    size_t kept = static_cast<size_t>(rng->Below(tail + 1));
+    return node.data.substr(0, node.durable.size() + kept);
+  }
+  // Non-append change (truncate/overwrite) not yet synced: the crash either
+  // caught it or it never left the page cache.
+  return rng->Below(2) == 0 ? node.durable : node.data;
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectingFs::OpenAppend(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LAKEKIT_RETURN_IF_ERROR(CountOp("open-append", path));
+  const std::string parent = Parent(path);
+  if (!parent.empty() && dirs_.count(parent) == 0) {
+    return Status::IoError("no such directory '" + parent + "'");
+  }
+  files_.try_emplace(path);  // keeps existing content when present
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultWritableFile>(this, path, generation_));
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectingFs::OpenTrunc(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LAKEKIT_RETURN_IF_ERROR(CountOp("open-trunc", path));
+  const std::string parent = Parent(path);
+  if (!parent.empty() && dirs_.count(parent) == 0) {
+    return Status::IoError("no such directory '" + parent + "'");
+  }
+  files_[path].data.clear();  // durable snapshot unchanged until Sync
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultWritableFile>(this, path, generation_));
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectingFs::CreateExclusive(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LAKEKIT_RETURN_IF_ERROR(CountOp("create-exclusive", path));
+  const std::string parent = Parent(path);
+  if (!parent.empty() && dirs_.count(parent) == 0) {
+    return Status::IoError("no such directory '" + parent + "'");
+  }
+  if (files_.count(path) != 0) {
+    return Status::AlreadyExists("file '" + path + "' already exists");
+  }
+  files_[path] = Node{};
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultWritableFile>(this, path, generation_));
+}
+
+Result<std::string> FaultInjectingFs::ReadFile(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  LAKEKIT_RETURN_IF_ERROR(CountOp("read", path));
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("file '" + path + "' not found");
+  }
+  return it->second.data;
+}
+
+bool FaultInjectingFs::FileExists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(path) != 0;
+}
+
+Status FaultInjectingFs::Remove(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LAKEKIT_RETURN_IF_ERROR(CountOp("remove", path));
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("file '" + path + "' not found");
+  }
+  if (entry_durable_.count(path) != 0) {
+    // The on-disk directory still names this file; until the parent dir is
+    // synced a crash can resurrect it.
+    ghosts_[path] = it->second;
+    entry_durable_.erase(path);
+  }
+  files_.erase(it);
+  return Status::OK();
+}
+
+Status FaultInjectingFs::Rename(const std::string& from,
+                                const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LAKEKIT_RETURN_IF_ERROR(CountOp("rename", from));
+  auto it = files_.find(from);
+  if (it == files_.end()) {
+    return Status::NotFound("file '" + from + "' not found");
+  }
+  if (entry_durable_.count(from) != 0) {
+    ghosts_[from] = it->second;
+    entry_durable_.erase(from);
+  }
+  auto target = files_.find(to);
+  if (target != files_.end() && entry_durable_.count(to) != 0) {
+    ghosts_[to] = target->second;
+    entry_durable_.erase(to);
+    // rename(2) swaps the target name atomically even across a crash: mark
+    // the ghost so PowerCut yields old-or-new for `to`, never absent.
+    rename_shadowed_.insert(to);
+  }
+  files_[to] = std::move(it->second);
+  files_.erase(from);
+  return Status::OK();
+}
+
+Status FaultInjectingFs::HardLink(const std::string& from,
+                                  const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LAKEKIT_RETURN_IF_ERROR(CountOp("link", to));
+  auto it = files_.find(from);
+  if (it == files_.end()) {
+    return Status::NotFound("file '" + from + "' not found");
+  }
+  if (files_.count(to) != 0) {
+    return Status::AlreadyExists("file '" + to + "' already exists");
+  }
+  files_[to] = it->second;  // shares the synced content of the inode
+  return Status::OK();
+}
+
+Status FaultInjectingFs::CreateDirs(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LAKEKIT_RETURN_IF_ERROR(CountOp("mkdir", path));
+  // Directory creation is modeled as immediately durable (see DESIGN.md):
+  // the harness targets file data and file-name durability, where the
+  // store-level bugs live.
+  std::string dir = path;
+  while (!dir.empty()) {
+    dirs_.insert(dir);
+    dir = Parent(dir);
+  }
+  return Status::OK();
+}
+
+Status FaultInjectingFs::SyncDir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LAKEKIT_RETURN_IF_ERROR(CountOp("syncdir", path));
+  if (drop_syncs_) return Status::OK();
+  for (auto& [file_path, node] : files_) {
+    if (Parent(file_path) == path) entry_durable_.insert(file_path);
+  }
+  for (auto it = ghosts_.begin(); it != ghosts_.end();) {
+    if (Parent(it->first) == path) {
+      rename_shadowed_.erase(it->first);
+      it = ghosts_.erase(it);  // the removal/rename is now durable
+    } else {
+      ++it;
+    }
+  }
+  return Status::OK();
+}
+
+Status FaultInjectingFs::Truncate(const std::string& path, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LAKEKIT_RETURN_IF_ERROR(CountOp("truncate", path));
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("file '" + path + "' not found");
+  }
+  it->second.data.resize(size, '\0');
+  return Status::OK();
+}
+
+Result<std::vector<FsDirEntry>> FaultInjectingFs::ListDir(
+    const std::string& dir, bool recursive) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  LAKEKIT_RETURN_IF_ERROR(CountOp("list", dir));
+  if (dirs_.count(dir) == 0) {
+    return Status::IoError("no such directory '" + dir + "'");
+  }
+  std::vector<FsDirEntry> out;
+  const std::string prefix = dir + "/";
+  for (const auto& [path, node] : files_) {
+    if (path.rfind(prefix, 0) != 0) continue;
+    std::string name = path.substr(prefix.size());
+    if (!recursive && name.find('/') != std::string::npos) continue;
+    out.push_back(FsDirEntry{std::move(name), node.data.size()});
+  }
+  return out;  // files_ is an ordered map, so `out` is already sorted
+}
+
+void FaultInjectingFs::FailAfter(int64_t first_failing_op, int64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_from_ = first_failing_op;
+  fail_count_ = count;
+}
+
+void FaultInjectingFs::ClearFaults() {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_from_ = -1;
+  fail_count_ = -1;
+}
+
+int64_t FaultInjectingFs::op_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return op_counter_;
+}
+
+void FaultInjectingFs::PowerCut(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Rng rng(seed);
+  std::map<std::string, Node> survivors;
+  // Live files: a durable name always survives (with synced content plus a
+  // pseudo-random torn tail); a volatile name may or may not have reached
+  // the directory block.
+  for (const auto& [path, node] : files_) {
+    if (entry_durable_.count(path) != 0) {
+      std::string content = SurvivingContent(node, &rng);
+      survivors[path] = Node{content, content};
+    } else if (rng.Below(2) == 0) {
+      std::string content = SurvivingContent(node, &rng);
+      survivors[path] = Node{content, content};
+    }
+  }
+  // Ghosts: removals/renames whose directory update was never synced may
+  // unwind, resurrecting the old file. When the same name also has a live
+  // (volatile) replacement, the live outcome above wins if it was chosen;
+  // otherwise the ghost may come back.
+  for (const auto& [path, node] : ghosts_) {
+    if (survivors.count(path) != 0) continue;
+    // A rename-shadowed ghost always resurrects when the replacement did
+    // not survive (rename is old-or-new, never neither); a plain removal's
+    // ghost is an independent coin flip.
+    if (rename_shadowed_.count(path) != 0 || rng.Below(2) == 0) {
+      std::string content = SurvivingContent(node, &rng);
+      survivors[path] = Node{content, content};
+    }
+  }
+  files_ = std::move(survivors);
+  entry_durable_.clear();
+  for (const auto& [path, node] : files_) entry_durable_.insert(path);
+  ghosts_.clear();
+  rename_shadowed_.clear();
+  ++generation_;
+  fail_from_ = -1;
+  fail_count_ = -1;
+  op_counter_ = 0;
+}
+
+bool FaultInjectingFs::IsDurable(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  return it != files_.end() && entry_durable_.count(path) != 0 &&
+         it->second.data == it->second.durable;
+}
+
+Status FaultInjectingFs::HandleAppend(uint64_t generation,
+                                      const std::string& path,
+                                      std::string_view data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (generation != generation_) {
+    return Status::IoError("stale handle for '" + path +
+                           "' (opened before power cut)");
+  }
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::IoError("file '" + path + "' vanished under open handle");
+  }
+  Status injected = CountOp("append", path);
+  if (!injected.ok()) {
+    // Torn write: a pseudo-random prefix of the payload still lands.
+    size_t kept = static_cast<size_t>(rng_.Below(data.size() + 1));
+    it->second.data.append(data.substr(0, kept));
+    return injected;
+  }
+  it->second.data.append(data);
+  return Status::OK();
+}
+
+Status FaultInjectingFs::HandleSync(uint64_t generation,
+                                    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (generation != generation_) {
+    return Status::IoError("stale handle for '" + path +
+                           "' (opened before power cut)");
+  }
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::IoError("file '" + path + "' vanished under open handle");
+  }
+  LAKEKIT_RETURN_IF_ERROR(CountOp("sync", path));
+  if (!drop_syncs_) it->second.durable = it->second.data;
+  return Status::OK();
+}
+
+Status FaultInjectingFs::HandleTruncate(uint64_t generation,
+                                        const std::string& path,
+                                        uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (generation != generation_) {
+    return Status::IoError("stale handle for '" + path +
+                           "' (opened before power cut)");
+  }
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::IoError("file '" + path + "' vanished under open handle");
+  }
+  LAKEKIT_RETURN_IF_ERROR(CountOp("truncate", path));
+  it->second.data.resize(size, '\0');
+  return Status::OK();
+}
+
+}  // namespace lakekit::storage

@@ -1,0 +1,144 @@
+#ifndef LAKEKIT_STORAGE_FAULT_INJECTING_FS_H_
+#define LAKEKIT_STORAGE_FAULT_INJECTING_FS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/fs.h"
+
+namespace lakekit::storage {
+
+/// An in-memory Fs that models exactly what POSIX promises about crashes —
+/// and nothing more. The storage tier's fault-injection harness runs every
+/// store against it (the LevelDB FaultInjectionTestEnv idea, taken fully
+/// in-memory so a "power cut" is deterministic and replayable).
+///
+/// The durability model it enforces:
+///  - `WritableFile::Append` data is *volatile* until `Sync` returns OK;
+///  - a file's *name* (creation, removal, rename, hard link) is volatile
+///    until `SyncDir` of its parent directory returns OK;
+///  - `PowerCut(seed)` collapses the filesystem to one legal crash outcome:
+///    synced data under durable names always survives; volatile appends
+///    survive as a pseudo-random prefix (torn write); volatile namespace
+///    ops are pseudo-randomly applied or reverted (so removed files can
+///    resurrect and renames can unwind — exactly the outcomes a store's
+///    recovery path must tolerate).
+///
+/// Fault injection:
+///  - `FailAfter(n)`: I/O operation number `n` (0-based, counted across all
+///    calls) and every later one fail with a transient IoError — the store
+///    behaves as if the device dropped until `PowerCut`/`ClearFaults`.
+///  - `FailAfter(n, k)`: only operations [n, n+k) fail; later ones succeed.
+///    This is the transient-blip mode RetryPolicy is tested against.
+///  - `set_drop_syncs(true)`: Sync/SyncDir report OK but durabilize
+///    nothing — the lying-disk mode that proves the crash harness actually
+///    depends on the store's fsync discipline.
+///
+/// A failing Append still applies a pseudo-random prefix of its data (a torn
+/// write), so recovery code sees half-written records, not clean absences.
+class FaultInjectingFs : public Fs {
+ public:
+  /// `seed` drives torn-write lengths and PowerCut coin flips.
+  explicit FaultInjectingFs(uint64_t seed = 42);
+
+  // Fs interface.
+  Result<std::unique_ptr<WritableFile>> OpenAppend(
+      const std::string& path) override;
+  Result<std::unique_ptr<WritableFile>> OpenTrunc(
+      const std::string& path) override;
+  Result<std::unique_ptr<WritableFile>> CreateExclusive(
+      const std::string& path) override;
+  Result<std::string> ReadFile(const std::string& path) const override;
+  bool FileExists(const std::string& path) const override;
+  Status Remove(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status HardLink(const std::string& from, const std::string& to) override;
+  Status CreateDirs(const std::string& path) override;
+  Status SyncDir(const std::string& path) override;
+  Status Truncate(const std::string& path, uint64_t size) override;
+  Result<std::vector<FsDirEntry>> ListDir(const std::string& dir,
+                                          bool recursive) const override;
+
+  // ---- fault controls ----
+
+  /// Fails op number `first_failing_op` and (when `count` < 0) every later
+  /// op; with `count` >= 0, exactly ops [first, first+count) fail.
+  void FailAfter(int64_t first_failing_op, int64_t count = -1);
+
+  /// Stops injecting failures (op counting continues).
+  void ClearFaults();
+
+  /// When set, Sync/SyncDir succeed without making anything durable.
+  void set_drop_syncs(bool drop) { drop_syncs_ = drop; }
+
+  /// Total I/O operations counted so far (failed ops included).
+  int64_t op_count() const;
+
+  /// Simulates pulling the plug and restarting the machine: every file
+  /// collapses to one legal surviving state (see class comment), open
+  /// handles go stale, injected faults clear. Stores must be reopened.
+  void PowerCut(uint64_t seed);
+
+  /// True if `path` survives a PowerCut regardless of seed (name durable and
+  /// content synced). Test helper for asserting durability expectations.
+  bool IsDurable(const std::string& path) const;
+
+ private:
+  friend class FaultWritableFile;
+
+  struct Node {
+    std::string data;     // live content (what readers see now)
+    std::string durable;  // content as of the last successful Sync
+  };
+
+  /// Counts one op; returns the injected error when it falls in the armed
+  /// failure window. Caller must hold mu_.
+  Status CountOp(const char* op, const std::string& path) const;
+
+  /// Parent directory of `path` ("" when none).
+  static std::string Parent(const std::string& path);
+
+  /// One legal post-crash content for `node` (synced data plus a
+  /// pseudo-random prefix of unsynced appends; for non-append changes,
+  /// either the old or the new content).
+  std::string SurvivingContent(const Node& node, Rng* rng) const;
+
+  // Handle operations (locked; called by FaultWritableFile).
+  Status HandleAppend(uint64_t generation, const std::string& path,
+                      std::string_view data);
+  Status HandleSync(uint64_t generation, const std::string& path);
+  Status HandleTruncate(uint64_t generation, const std::string& path,
+                        uint64_t size);
+
+  mutable std::mutex mu_;
+  mutable int64_t op_counter_ = 0;
+  int64_t fail_from_ = -1;   // -1: disarmed
+  int64_t fail_count_ = -1;  // -1: sticky
+  bool drop_syncs_ = false;
+  uint64_t generation_ = 0;  // bumped by PowerCut; stales open handles
+  mutable Rng rng_;
+
+  std::map<std::string, Node> files_;
+  /// Paths whose directory entry is durable (parent dir synced since the
+  /// entry last changed).
+  std::set<std::string> entry_durable_;
+  /// Removed/renamed-over files whose disappearance is not yet durable; a
+  /// PowerCut may bring these back.
+  std::map<std::string, Node> ghosts_;
+  /// Ghosts displaced by a *rename*: rename(2) is crash-atomic for the
+  /// target name, so these resurrect whenever the new file does not survive
+  /// — the name is old-or-new after a crash, never absent. (Plain removals
+  /// stay independent coin flips: remove-then-recreate may legally crash to
+  /// "absent".)
+  std::set<std::string> rename_shadowed_;
+  std::set<std::string> dirs_;
+};
+
+}  // namespace lakekit::storage
+
+#endif  // LAKEKIT_STORAGE_FAULT_INJECTING_FS_H_

@@ -1,0 +1,234 @@
+#include "storage/fs.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+namespace lakekit::storage {
+
+namespace stdfs = std::filesystem;
+
+namespace {
+
+Status ErrnoStatus(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+/// WritableFile over a POSIX fd. Opened O_APPEND so writes always land at
+/// the current end of file — including right after a Truncate, which is the
+/// property the KvStore WAL depends on (truncate-then-append must not leave
+/// a zero-filled hole at the old offset).
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override {
+    // Close without sync: destruction models "the process died here".
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (fd_ < 0) return Status::Internal("append on closed file " + path_);
+    size_t written = 0;
+    while (written < data.size()) {
+      ssize_t n = ::write(fd_, data.data() + written, data.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("write failed for", path_);
+      }
+      written += static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return Status::Internal("sync on closed file " + path_);
+    if (::fsync(fd_) != 0) return ErrnoStatus("fsync failed for", path_);
+    return Status::OK();
+  }
+
+  Status Truncate(uint64_t size) override {
+    if (fd_ < 0) return Status::Internal("truncate on closed file " + path_);
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return ErrnoStatus("ftruncate failed for", path_);
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return ErrnoStatus("close failed for", path_);
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+/// Production Fs over the local POSIX filesystem.
+class PosixFs : public Fs {
+ public:
+  Result<std::unique_ptr<WritableFile>> OpenAppend(
+      const std::string& path) override {
+    return OpenWith(path, O_WRONLY | O_CREAT | O_APPEND);
+  }
+
+  Result<std::unique_ptr<WritableFile>> OpenTrunc(
+      const std::string& path) override {
+    return OpenWith(path, O_WRONLY | O_CREAT | O_TRUNC | O_APPEND);
+  }
+
+  Result<std::unique_ptr<WritableFile>> CreateExclusive(
+      const std::string& path) override {
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_APPEND,
+                    0644);
+    if (fd < 0) {
+      if (errno == EEXIST) {
+        return Status::AlreadyExists("file '" + path + "' already exists");
+      }
+      return ErrnoStatus("open failed for", path);
+    }
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(fd, path));
+  }
+
+  Result<std::string> ReadFile(const std::string& path) const override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      if (errno == ENOENT) {
+        return Status::NotFound("file '" + path + "' not found");
+      }
+      return ErrnoStatus("open failed for", path);
+    }
+    std::string out;
+    char buf[64 * 1024];
+    for (;;) {
+      ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        return ErrnoStatus("read failed for", path);
+      }
+      if (n == 0) break;
+      out.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return out;
+  }
+
+  bool FileExists(const std::string& path) const override {
+    struct stat st{};
+    return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+  }
+
+  Status Remove(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      if (errno == ENOENT) {
+        return Status::NotFound("file '" + path + "' not found");
+      }
+      return ErrnoStatus("unlink failed for", path);
+    }
+    return Status::OK();
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::IoError("rename '" + from + "' -> '" + to +
+                             "' failed: " + std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  Status HardLink(const std::string& from, const std::string& to) override {
+    if (::link(from.c_str(), to.c_str()) != 0) {
+      if (errno == EEXIST) {
+        return Status::AlreadyExists("file '" + to + "' already exists");
+      }
+      return Status::IoError("link '" + from + "' -> '" + to +
+                             "' failed: " + std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  Status CreateDirs(const std::string& path) override {
+    std::error_code ec;
+    stdfs::create_directories(path, ec);
+    if (ec) {
+      return Status::IoError("mkdir -p '" + path + "' failed: " +
+                             ec.message());
+    }
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) return ErrnoStatus("opendir failed for", path);
+    int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) return ErrnoStatus("fsync failed for dir", path);
+    return Status::OK();
+  }
+
+  Status Truncate(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return ErrnoStatus("truncate failed for", path);
+    }
+    return Status::OK();
+  }
+
+  Result<std::vector<FsDirEntry>> ListDir(const std::string& dir,
+                                          bool recursive) const override {
+    std::vector<FsDirEntry> out;
+    std::error_code ec;
+    const std::string prefix = dir + "/";
+    auto add = [&](const stdfs::directory_entry& entry) {
+      if (!entry.is_regular_file()) return;
+      std::string name = entry.path().generic_string();
+      if (name.rfind(prefix, 0) == 0) name = name.substr(prefix.size());
+      out.push_back(FsDirEntry{std::move(name), entry.file_size()});
+    };
+    if (recursive) {
+      stdfs::recursive_directory_iterator it(
+          dir, stdfs::directory_options::skip_permission_denied, ec);
+      if (ec) return Status::IoError("list '" + dir + "': " + ec.message());
+      for (const auto& entry : it) add(entry);
+    } else {
+      stdfs::directory_iterator it(
+          dir, stdfs::directory_options::skip_permission_denied, ec);
+      if (ec) return Status::IoError("list '" + dir + "': " + ec.message());
+      for (const auto& entry : it) add(entry);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const FsDirEntry& a, const FsDirEntry& b) {
+                return a.name < b.name;
+              });
+    return out;
+  }
+
+ private:
+  Result<std::unique_ptr<WritableFile>> OpenWith(const std::string& path,
+                                                 int flags) {
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return ErrnoStatus("open failed for", path);
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(fd, path));
+  }
+};
+
+}  // namespace
+
+Fs* Fs::Default() {
+  static PosixFs* fs = new PosixFs();
+  return fs;
+}
+
+}  // namespace lakekit::storage

@@ -1,0 +1,116 @@
+#ifndef LAKEKIT_STORAGE_FS_H_
+#define LAKEKIT_STORAGE_FS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace lakekit::storage {
+
+/// One regular file found by Fs::ListDir.
+struct FsDirEntry {
+  /// Path relative to the listed directory, '/'-separated.
+  std::string name;
+  uint64_t size = 0;
+};
+
+/// An open file handle for appending.
+///
+/// `Append` buffers into the OS; nothing is promised durable until `Sync`
+/// returns OK. Destruction closes the handle without syncing (like a process
+/// crash): callers that need durability must Sync explicitly.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `data` at the end of the file.
+  virtual Status Append(std::string_view data) = 0;
+
+  /// Makes everything appended so far durable (fsync). After OK, the
+  /// contents survive a power cut — but the file's *name* only survives if
+  /// the parent directory has been synced since the file was created.
+  virtual Status Sync() = 0;
+
+  /// Truncates the file to `size` bytes; subsequent appends continue at the
+  /// new end. Not durable until the next Sync.
+  virtual Status Truncate(uint64_t size) = 0;
+
+  /// Closes the handle. Append/Sync/Truncate after Close are errors.
+  virtual Status Close() = 0;
+};
+
+/// The filesystem seam under lakekit's storage tier.
+///
+/// Every byte ObjectStore and KvStore persist flows through this interface,
+/// so a test can swap in `FaultInjectingFs` and exercise the exact crash and
+/// torn-write schedules the production `PosixFs` would suffer on real
+/// hardware (the LevelDB `Env` / fault-injection-env pattern). The methods
+/// are the minimal POSIX vocabulary the durability story needs: append,
+/// fsync, atomic rename, exclusive create, hard link, and directory fsync.
+///
+/// Durability contract (what FaultInjectingFs models and PosixFs provides):
+///  - file *contents* become durable on WritableFile::Sync;
+///  - namespace changes (create, remove, rename, link) become durable on
+///    SyncDir of the parent directory;
+///  - Rename is atomic: readers (and crashes) see the old or the new file,
+///    never a mix.
+class Fs {
+ public:
+  virtual ~Fs() = default;
+
+  /// Opens `path` for appending, creating it when missing.
+  virtual Result<std::unique_ptr<WritableFile>> OpenAppend(
+      const std::string& path) = 0;
+
+  /// Opens `path` for writing from scratch (truncating an existing file).
+  virtual Result<std::unique_ptr<WritableFile>> OpenTrunc(
+      const std::string& path) = 0;
+
+  /// Creates `path` exclusively (O_EXCL); AlreadyExists when present. The
+  /// atomic create-if-absent the lakehouse commit protocol builds on.
+  virtual Result<std::unique_ptr<WritableFile>> CreateExclusive(
+      const std::string& path) = 0;
+
+  /// Reads the whole file; NotFound when absent.
+  virtual Result<std::string> ReadFile(const std::string& path) const = 0;
+
+  virtual bool FileExists(const std::string& path) const = 0;
+
+  /// Removes a file; NotFound when absent.
+  virtual Status Remove(const std::string& path) = 0;
+
+  /// Atomically renames `from` to `to`, replacing `to` if present.
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  /// Hard-links `from` as `to`; AlreadyExists when `to` exists. Atomic
+  /// create-with-content: unlike create-then-write, a crash can never leave
+  /// `to` half-written.
+  virtual Status HardLink(const std::string& from, const std::string& to) = 0;
+
+  /// Creates `path` and missing parents (mkdir -p).
+  virtual Status CreateDirs(const std::string& path) = 0;
+
+  /// Makes the directory's entries (creates/removes/renames/links within
+  /// it) durable.
+  virtual Status SyncDir(const std::string& path) = 0;
+
+  /// Truncates `path` in place to `size` bytes — the recovery primitive for
+  /// chopping a torn or corrupt tail off a WAL.
+  virtual Status Truncate(const std::string& path, uint64_t size) = 0;
+
+  /// Regular files under `dir` (recursively when `recursive`), sorted by
+  /// name.
+  virtual Result<std::vector<FsDirEntry>> ListDir(const std::string& dir,
+                                                  bool recursive) const = 0;
+
+  /// The process-wide production filesystem (PosixFs).
+  static Fs* Default();
+};
+
+}  // namespace lakekit::storage
+
+#endif  // LAKEKIT_STORAGE_FS_H_

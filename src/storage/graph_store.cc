@@ -1,5 +1,6 @@
 #include "storage/graph_store.h"
 
+#include <algorithm>
 #include <deque>
 #include <unordered_set>
 
@@ -147,6 +148,115 @@ std::vector<GraphStore::NodeId> GraphStore::Reachable(
     }
   }
   return result;
+}
+
+namespace {
+
+/// Reads a required non-negative integer field out of a graph JSON object.
+Result<uint64_t> GetId(const json::Object& obj, std::string_view key) {
+  const json::Value* v = obj.Find(key);
+  if (v == nullptr || !v->is_int() || v->as_int() < 0) {
+    return Status::InvalidArgument("graph json: missing or invalid '" +
+                                   std::string(key) + "'");
+  }
+  return static_cast<uint64_t>(v->as_int());
+}
+
+Result<std::string> GetLabel(const json::Object& obj) {
+  const json::Value* v = obj.Find("label");
+  if (v == nullptr || !v->is_string()) {
+    return Status::InvalidArgument("graph json: missing or invalid 'label'");
+  }
+  return v->as_string();
+}
+
+json::Object GetProperties(const json::Object& obj) {
+  const json::Value* v = obj.Find("properties");
+  return (v != nullptr && v->is_object()) ? v->as_object() : json::Object{};
+}
+
+}  // namespace
+
+json::Value GraphStore::ExportJson() const {
+  json::Array nodes;
+  for (const auto& [id, node] : nodes_) {
+    json::Object n;
+    n.Set("id", static_cast<int64_t>(node.id));
+    n.Set("label", node.label);
+    n.Set("properties", node.properties);
+    nodes.push_back(json::Value(std::move(n)));
+  }
+  json::Array edges;
+  for (const auto& [id, edge] : edges_) {
+    json::Object e;
+    e.Set("id", static_cast<int64_t>(edge.id));
+    e.Set("from", static_cast<int64_t>(edge.from));
+    e.Set("to", static_cast<int64_t>(edge.to));
+    e.Set("label", edge.label);
+    e.Set("properties", edge.properties);
+    edges.push_back(json::Value(std::move(e)));
+  }
+  json::Object root;
+  root.Set("nodes", json::Value(std::move(nodes)));
+  root.Set("edges", json::Value(std::move(edges)));
+  root.Set("next_node_id", static_cast<int64_t>(next_node_id_));
+  root.Set("next_edge_id", static_cast<int64_t>(next_edge_id_));
+  return json::Value(std::move(root));
+}
+
+Result<GraphStore> GraphStore::ImportJson(const json::Value& value) {
+  if (!value.is_object()) {
+    return Status::InvalidArgument("graph json: root must be an object");
+  }
+  const json::Object& root = value.as_object();
+  const json::Value* nodes = root.Find("nodes");
+  const json::Value* edges = root.Find("edges");
+  if (nodes == nullptr || !nodes->is_array() || edges == nullptr ||
+      !edges->is_array()) {
+    return Status::InvalidArgument(
+        "graph json: 'nodes' and 'edges' arrays are required");
+  }
+  GraphStore g;
+  for (const json::Value& v : nodes->as_array()) {
+    if (!v.is_object()) {
+      return Status::InvalidArgument("graph json: node must be an object");
+    }
+    const json::Object& obj = v.as_object();
+    LAKEKIT_ASSIGN_OR_RETURN(NodeId id, GetId(obj, "id"));
+    LAKEKIT_ASSIGN_OR_RETURN(std::string label, GetLabel(obj));
+    g.nodes_[id] = Node{id, std::move(label), GetProperties(obj)};
+    g.next_node_id_ = std::max(g.next_node_id_, id + 1);
+  }
+  for (const json::Value& v : edges->as_array()) {
+    if (!v.is_object()) {
+      return Status::InvalidArgument("graph json: edge must be an object");
+    }
+    const json::Object& obj = v.as_object();
+    LAKEKIT_ASSIGN_OR_RETURN(EdgeId id, GetId(obj, "id"));
+    LAKEKIT_ASSIGN_OR_RETURN(NodeId from, GetId(obj, "from"));
+    LAKEKIT_ASSIGN_OR_RETURN(NodeId to, GetId(obj, "to"));
+    if (g.nodes_.find(from) == g.nodes_.end() ||
+        g.nodes_.find(to) == g.nodes_.end()) {
+      return Status::InvalidArgument("graph json: edge " + std::to_string(id) +
+                                     " references a missing node");
+    }
+    LAKEKIT_ASSIGN_OR_RETURN(std::string label, GetLabel(obj));
+    g.edges_[id] = Edge{id, from, to, std::move(label), GetProperties(obj)};
+    g.out_[from].push_back(id);
+    g.in_[to].push_back(id);
+    g.next_edge_id_ = std::max(g.next_edge_id_, id + 1);
+  }
+  // Saved id counters win over the max-derived floor when present (they can
+  // be larger after deletions at the tail).
+  if (const json::Value* n = root.Find("next_node_id");
+      n != nullptr && n->is_int()) {
+    g.next_node_id_ = std::max<NodeId>(g.next_node_id_, n->as_int());
+  }
+  if (const json::Value* e = root.Find("next_edge_id");
+      e != nullptr && e->is_int()) {
+    g.next_edge_id_ = std::max<EdgeId>(g.next_edge_id_, e->as_int());
+  }
+  return g;
 }
 
 }  // namespace lakekit::storage

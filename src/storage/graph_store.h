@@ -83,6 +83,15 @@ class GraphStore {
   std::vector<NodeId> Reachable(NodeId from,
                                 std::optional<std::string> edge_label = {}) const;
 
+  /// Serializes the full graph (nodes, edges, id counters) to a JSON value,
+  /// the persistence seam the polystore uses to park graph datasets in the
+  /// object tier.
+  json::Value ExportJson() const;
+
+  /// Rebuilds a graph from `ExportJson` output. Node/edge ids and the id
+  /// counters round-trip exactly, so references held by callers stay valid.
+  static Result<GraphStore> ImportJson(const json::Value& value);
+
  private:
   std::map<NodeId, Node> nodes_;
   std::map<EdgeId, Edge> edges_;

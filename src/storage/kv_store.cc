@@ -1,20 +1,12 @@
 #include "storage/kv_store.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <algorithm>
-#include <cerrno>
 #include <cstring>
-#include <filesystem>
-#include <fstream>
-#include <sstream>
 
+#include "common/crc32.h"
 #include "common/string_util.h"
 
 namespace lakekit::storage {
-
-namespace fs = std::filesystem;
 
 namespace {
 
@@ -26,117 +18,149 @@ void AppendU32(uint32_t v, std::string* out) {
   out->append(buf, 4);
 }
 
-bool ReadU32(std::string_view data, size_t* pos, uint32_t* v) {
-  if (*pos + 4 > data.size()) return false;
-  std::memcpy(v, data.data() + *pos, 4);
-  *pos += 4;
-  return true;
+uint32_t ReadU32At(std::string_view data, size_t pos) {
+  uint32_t v = 0;
+  std::memcpy(&v, data.data() + pos, 4);
+  return v;
 }
 
-/// Encodes one record: [klen][vlen|TOMBSTONE][key][value?].
+/// Encodes one record: [masked crc][klen][vlen|TOMBSTONE][key][value?].
+/// The CRC covers everything after itself (lengths + key + value), so a
+/// record torn at any byte — or bit-flipped anywhere — fails verification.
 std::string EncodeRecord(std::string_view key,
                          const std::optional<std::string>& value) {
-  std::string out;
-  AppendU32(static_cast<uint32_t>(key.size()), &out);
+  std::string body;
+  AppendU32(static_cast<uint32_t>(key.size()), &body);
   AppendU32(value ? static_cast<uint32_t>(value->size()) : kTombstoneMarker,
-            &out);
-  out.append(key);
-  if (value) out.append(*value);
+            &body);
+  body.append(key);
+  if (value) body.append(*value);
+  std::string out;
+  AppendU32(MaskCrc32c(Crc32c(body)), &out);
+  out += body;
   return out;
 }
 
-/// Decodes records until the buffer is exhausted; a trailing partial record
-/// (torn write) is ignored, which is the WAL recovery contract.
-std::map<std::string, std::optional<std::string>> DecodeRecords(
-    std::string_view data) {
-  std::map<std::string, std::optional<std::string>> out;
+struct DecodeResult {
+  std::map<std::string, std::optional<std::string>> entries;
+  /// Length of the valid record prefix; anything past it is a torn or
+  /// corrupt tail the caller should truncate away.
+  size_t valid_bytes = 0;
+};
+
+/// Decodes records until the buffer ends or a record fails its length or
+/// CRC check. Stopping at the first bad record is the recovery contract:
+/// records are appended strictly in order, so everything after a tear is
+/// unacknowledged by construction.
+DecodeResult DecodeRecords(std::string_view data) {
+  DecodeResult result;
   size_t pos = 0;
-  while (pos < data.size()) {
-    uint32_t klen = 0;
-    uint32_t vlen = 0;
-    size_t record_start = pos;
-    if (!ReadU32(data, &pos, &klen) || !ReadU32(data, &pos, &vlen)) break;
+  while (pos + 12 <= data.size()) {
+    const uint32_t stored_crc = UnmaskCrc32c(ReadU32At(data, pos));
+    const uint32_t klen = ReadU32At(data, pos + 4);
+    const uint32_t vlen = ReadU32At(data, pos + 8);
     const bool tombstone = (vlen == kTombstoneMarker);
-    const size_t value_size = tombstone ? 0 : vlen;
-    if (pos + klen + value_size > data.size()) {
-      (void)record_start;
-      break;  // torn tail
-    }
-    std::string key(data.substr(pos, klen));
-    pos += klen;
+    const uint64_t value_size = tombstone ? 0 : vlen;
+    const uint64_t body_size = 8 + static_cast<uint64_t>(klen) + value_size;
+    if (pos + 4 + body_size > data.size()) break;  // torn tail
+    std::string_view body = data.substr(pos + 4, body_size);
+    if (Crc32c(body) != stored_crc) break;  // corrupt tail
+    std::string key(body.substr(8, klen));
     if (tombstone) {
-      out[std::move(key)] = std::nullopt;
+      result.entries[std::move(key)] = std::nullopt;
     } else {
-      out[std::move(key)] = std::string(data.substr(pos, value_size));
-      pos += value_size;
+      result.entries[std::move(key)] =
+          std::string(body.substr(8 + klen, value_size));
     }
+    pos += 4 + body_size;
+    result.valid_bytes = pos;
   }
-  return out;
+  return result;
+}
+
+/// Parses the id out of "run-<digits>.dat"; nullopt for anything else.
+std::optional<uint64_t> ParseRunId(const std::string& name) {
+  if (!StartsWith(name, "run-") || !EndsWith(name, ".dat")) return {};
+  const std::string digits = name.substr(4, name.size() - 8);
+  if (digits.empty()) return {};
+  uint64_t id = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return {};
+    id = id * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return id;
 }
 
 }  // namespace
 
-KvStore::KvStore(std::string dir, KvStoreOptions options)
-    : dir_(std::move(dir)), options_(options) {}
+KvStore::KvStore(std::string dir, KvStoreOptions options, Fs* fs)
+    : dir_(std::move(dir)), options_(options), fs_(fs) {}
 
-KvStore::~KvStore() {
-  if (wal_fd_ >= 0) ::close(wal_fd_);
-}
+KvStore::~KvStore() = default;
 
 Result<std::unique_ptr<KvStore>> KvStore::Open(const std::string& dir,
-                                               KvStoreOptions options) {
-  std::error_code ec;
-  fs::create_directories(dir, ec);
-  if (ec) {
-    return Status::IoError("cannot create kv dir '" + dir + "': " +
-                           ec.message());
-  }
-  std::unique_ptr<KvStore> store(new KvStore(dir, options));
+                                               KvStoreOptions options,
+                                               Fs* fs) {
+  LAKEKIT_RETURN_IF_ERROR(fs->CreateDirs(dir));
+  std::unique_ptr<KvStore> store(new KvStore(dir, options, fs));
   LAKEKIT_RETURN_IF_ERROR(store->LoadRuns());
   LAKEKIT_RETURN_IF_ERROR(store->RecoverWal());
   if (options.use_wal) {
-    std::string wal_path = dir + "/wal.log";
-    store->wal_fd_ =
-        ::open(wal_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
-    if (store->wal_fd_ < 0) {
-      return Status::IoError("cannot open WAL: " +
-                             std::string(std::strerror(errno)));
-    }
+    LAKEKIT_ASSIGN_OR_RETURN(store->wal_, fs->OpenAppend(store->WalPath()));
   }
+  // Make the WAL's directory entry (and any recovery-time cleanup) durable
+  // before acknowledging writes against it.
+  LAKEKIT_RETURN_IF_ERROR(fs->SyncDir(dir));
   return store;
 }
 
 Status KvStore::LoadRuns() {
+  LAKEKIT_ASSIGN_OR_RETURN(std::vector<FsDirEntry> entries,
+                           fs_->ListDir(dir_, /*recursive=*/false));
   std::vector<uint64_t> ids;
-  for (const auto& entry : fs::directory_iterator(dir_)) {
-    std::string name = entry.path().filename().string();
-    if (StartsWith(name, "run-") && EndsWith(name, ".dat")) {
-      ids.push_back(std::stoull(name.substr(4, name.size() - 8)));
+  for (const FsDirEntry& entry : entries) {
+    if (EndsWith(entry.name, ".tmp")) {
+      // Staging file from a run write that never committed (crash between
+      // stage and rename) — dead weight, clear it out.
+      // ignore: best-effort cleanup; a surviving .tmp is never loaded.
+      (void)fs_->Remove(dir_ + "/" + entry.name);
+      continue;
+    }
+    if (std::optional<uint64_t> id = ParseRunId(entry.name)) {
+      ids.push_back(*id);
     }
   }
   std::sort(ids.begin(), ids.end());
   for (uint64_t id : ids) {
-    std::ifstream in(dir_ + "/run-" + std::to_string(id) + ".dat",
-                     std::ios::binary);
-    if (!in) return Status::IoError("cannot read run " + std::to_string(id));
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    std::string data = std::move(buf).str();
+    LAKEKIT_ASSIGN_OR_RETURN(std::string data, fs_->ReadFile(RunPath(id)));
+    DecodeResult decoded = DecodeRecords(data);
+    if (decoded.valid_bytes < data.size()) {
+      // Corrupt or torn tail in an immutable run: keep the valid prefix,
+      // chop the rest (tolerant-truncation recovery contract).
+      LAKEKIT_RETURN_IF_ERROR(
+          fs_->Truncate(RunPath(id), decoded.valid_bytes));
+    }
     runs_.push_back(id);
-    run_data_.push_back(DecodeRecords(data));
+    run_data_.push_back(std::move(decoded.entries));
     next_run_id_ = std::max(next_run_id_, id + 1);
   }
   return Status::OK();
 }
 
 Status KvStore::RecoverWal() {
-  std::string wal_path = dir_ + "/wal.log";
-  std::ifstream in(wal_path, std::ios::binary);
-  if (!in) return Status::OK();  // no WAL, nothing to recover
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  std::string data = std::move(buf).str();
-  for (auto& [key, value] : DecodeRecords(data)) {
+  Result<std::string> data = fs_->ReadFile(WalPath());
+  if (!data.ok()) {
+    if (data.status().IsNotFound()) return Status::OK();  // nothing to do
+    return data.status();
+  }
+  DecodeResult decoded = DecodeRecords(*data);
+  if (decoded.valid_bytes < data->size()) {
+    // Torn/corrupt tail from a crash mid-append: truncate to the last
+    // complete record instead of failing the open or replaying garbage.
+    LAKEKIT_RETURN_IF_ERROR(fs_->Truncate(WalPath(), decoded.valid_bytes));
+  }
+  wal_bytes_ = decoded.valid_bytes;
+  for (auto& [key, value] : decoded.entries) {
     memtable_bytes_ += key.size() + (value ? value->size() : 0);
     memtable_[key] = std::move(value);
   }
@@ -145,18 +169,25 @@ Status KvStore::RecoverWal() {
 
 Status KvStore::AppendWal(std::string_view key,
                           const std::optional<std::string>& value) {
-  if (wal_fd_ < 0) return Status::OK();
-  std::string record = EncodeRecord(key, value);
-  size_t written = 0;
-  while (written < record.size()) {
-    ssize_t n = ::write(wal_fd_, record.data() + written,
-                        record.size() - written);
-    if (n < 0) {
-      return Status::IoError("WAL write failed: " +
-                             std::string(std::strerror(errno)));
-    }
-    written += static_cast<size_t>(n);
+  if (!wal_) return Status::OK();
+  if (wal_poisoned_) {
+    return Status::IoError(
+        "WAL unavailable after an unrecoverable append failure; reopen the "
+        "store to recover");
   }
+  std::string record = EncodeRecord(key, value);
+  Status status = wal_->Append(record);
+  if (status.ok() && options_.sync_writes) status = wal_->Sync();
+  if (!status.ok()) {
+    // Roll the WAL back to the last acknowledged record so a torn append
+    // cannot strand records written after it (recovery stops at the first
+    // bad record). If the rollback itself fails, refuse further writes.
+    Status repair = wal_->Truncate(wal_bytes_);
+    if (repair.ok() && options_.sync_writes) repair = wal_->Sync();
+    if (!repair.ok()) wal_poisoned_ = true;
+    return status;
+  }
+  wal_bytes_ += record.size();
   return Status::OK();
 }
 
@@ -238,16 +269,31 @@ Result<std::vector<std::pair<std::string, std::string>>> KvStore::ScanPrefix(
 
 Status KvStore::WriteRun(
     const std::map<std::string, std::optional<std::string>>& entries) {
-  uint64_t id = next_run_id_++;
-  std::string path = dir_ + "/run-" + std::to_string(id) + ".dat";
+  const uint64_t id = next_run_id_++;
+  const std::string path = RunPath(id);
+  const std::string tmp = path + ".tmp";
   std::string data;
   for (const auto& [k, v] : entries) {
     data += EncodeRecord(k, v);
   }
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot write run '" + path + "'");
-  out.write(data.data(), static_cast<std::streamsize>(data.size()));
-  if (!out) return Status::IoError("short write to run '" + path + "'");
+  // Stage durable, then publish atomically: a crash anywhere in this
+  // sequence leaves either no run (plus an ignorable .tmp) or the complete
+  // run — never a half-written run under a live name.
+  Status status = [&] {
+    LAKEKIT_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> out,
+                             fs_->OpenTrunc(tmp));
+    LAKEKIT_RETURN_IF_ERROR(out->Append(data));
+    LAKEKIT_RETURN_IF_ERROR(out->Sync());
+    LAKEKIT_RETURN_IF_ERROR(out->Close());
+    LAKEKIT_RETURN_IF_ERROR(fs_->Rename(tmp, path));
+    return fs_->SyncDir(dir_);
+  }();
+  if (!status.ok()) {
+    // ignore: best-effort cleanup of the staging file; LoadRuns also sweeps
+    // orphaned .tmp files on the next open.
+    (void)fs_->Remove(tmp);
+    return status;
+  }
   runs_.push_back(id);
   run_data_.push_back(entries);
   return Status::OK();
@@ -258,11 +304,15 @@ Status KvStore::Flush() {
   LAKEKIT_RETURN_IF_ERROR(WriteRun(memtable_));
   memtable_.clear();
   memtable_bytes_ = 0;
-  // Truncate the WAL: its contents are now durable in the run.
-  if (wal_fd_ >= 0) {
-    if (::ftruncate(wal_fd_, 0) != 0) {
-      return Status::IoError("WAL truncate failed");
-    }
+  // Truncate the WAL: its contents are now durable in the run. The run was
+  // synced *first*, so a crash in here replays WAL records whose data the
+  // run already holds — idempotent, never lossy. The WAL handle is
+  // O_APPEND-like (Fs contract): the next append lands at the new end, not
+  // at a stale offset that would leave a zero-filled hole.
+  if (wal_) {
+    LAKEKIT_RETURN_IF_ERROR(wal_->Truncate(0));
+    wal_bytes_ = 0;
+    if (options_.sync_writes) LAKEKIT_RETURN_IF_ERROR(wal_->Sync());
   }
   return Status::OK();
 }
@@ -270,27 +320,35 @@ Status KvStore::Flush() {
 Status KvStore::Compact() {
   LAKEKIT_RETURN_IF_ERROR(Flush());
   if (runs_.size() <= 1) return Status::OK();
-  // Merge newest-wins, dropping tombstones entirely (full compaction).
+  // Merge newest-wins. Shadowed values are dropped; tombstones are KEPT:
+  // until the superseded runs' deletion is durable, a crash can resurrect
+  // them, and only a tombstone in the merged run keeps their deleted keys
+  // dead (see DESIGN.md).
   std::map<std::string, std::optional<std::string>> merged;
   for (const auto& run : run_data_) {
     for (const auto& [k, v] : run) merged[k] = v;
   }
-  for (auto it = merged.begin(); it != merged.end();) {
-    if (!it->second) {
-      it = merged.erase(it);
-    } else {
-      ++it;
-    }
+  const std::vector<uint64_t> old_ids = runs_;
+  if (!merged.empty()) {
+    // Publish the merged run durably BEFORE deleting what it replaces; the
+    // reverse order loses every key in the old runs if we crash between.
+    LAKEKIT_RETURN_IF_ERROR(WriteRun(merged));
   }
-  // Remove old run files, then write the merged run.
-  for (uint64_t id : runs_) {
-    std::error_code ec;
-    fs::remove(dir_ + "/run-" + std::to_string(id) + ".dat", ec);
+  for (uint64_t id : old_ids) {
+    // ignore: a failed unlink is safe — the merged run is newer and carries
+    // tombstones, so a lingering old run stays fully shadowed.
+    (void)fs_->Remove(RunPath(id));
   }
-  runs_.clear();
-  run_data_.clear();
-  if (merged.empty()) return Status::OK();
-  return WriteRun(merged);
+  LAKEKIT_RETURN_IF_ERROR(fs_->SyncDir(dir_));
+  if (merged.empty()) {
+    runs_.clear();
+    run_data_.clear();
+  } else {
+    // WriteRun appended the merged run; drop the superseded prefix.
+    runs_.erase(runs_.begin(), runs_.begin() + old_ids.size());
+    run_data_.erase(run_data_.begin(), run_data_.begin() + old_ids.size());
+  }
+  return Status::OK();
 }
 
 Status KvStore::MaybeFlushAndCompact() {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "storage/fs.h"
 
 namespace lakekit::storage {
 
@@ -22,6 +23,11 @@ struct KvStoreOptions {
   size_t compaction_trigger_runs = 8;
   /// When false, writes skip the write-ahead log (faster, not crash-safe).
   bool use_wal = true;
+  /// When true (default), every WAL append is fsynced before the write is
+  /// acknowledged — an OK from Put/Delete means the write survives a power
+  /// cut. When false, writes are only as durable as the OS page cache
+  /// (group-commit semantics a caller can emulate with explicit Flush).
+  bool sync_writes = true;
 };
 
 /// An ordered, persistent key-value store: a miniature LSM tree.
@@ -31,11 +37,23 @@ struct KvStoreOptions {
 /// memtable; the memtable flushes to immutable sorted run files; reads merge
 /// the memtable and runs newest-first; deletes are tombstones; compaction
 /// merges runs and drops shadowed entries.
+///
+/// Crash story (see DESIGN.md "Failure model & durability contract"):
+/// every WAL and run record is CRC32C-framed, so recovery truncates a torn
+/// or corrupt tail instead of ingesting garbage; run files are staged to a
+/// temp name, fsynced, renamed, and the directory fsynced before the WAL is
+/// truncated; compaction publishes the merged run durably (tombstones
+/// retained) *before* deleting the superseded runs, so a crash at any point
+/// can neither lose acknowledged writes nor resurrect deleted keys. All I/O
+/// flows through `Fs`, so the crash harness replays these paths under
+/// `FaultInjectingFs`.
 class KvStore {
  public:
-  /// Opens (recovering WAL if present) a store in directory `dir`.
+  /// Opens (recovering WAL if present) a store in directory `dir` over
+  /// `fs` (default: the production PosixFs).
   static Result<std::unique_ptr<KvStore>> Open(const std::string& dir,
-                                               KvStoreOptions options = {});
+                                               KvStoreOptions options = {},
+                                               Fs* fs = Fs::Default());
 
   KvStore(const KvStore&) = delete;
   KvStore& operator=(const KvStore&) = delete;
@@ -55,10 +73,13 @@ class KvStore {
   Result<std::vector<std::pair<std::string, std::string>>> ScanPrefix(
       std::string_view prefix) const;
 
-  /// Forces the memtable to a sorted run file.
+  /// Forces the memtable to a sorted run file (durable on OK return).
   Status Flush();
 
-  /// Merges all runs into one, dropping tombstones and shadowed values.
+  /// Merges all runs into one, dropping shadowed values. Tombstones are
+  /// retained in the merged run: they may still be needed to shadow a
+  /// superseded run resurrected by a crash before its deletion became
+  /// durable.
   Status Compact();
 
   size_t num_runs() const { return runs_.size(); }
@@ -67,7 +88,7 @@ class KvStore {
   ~KvStore();
 
  private:
-  KvStore(std::string dir, KvStoreOptions options);
+  KvStore(std::string dir, KvStoreOptions options, Fs* fs);
 
   Status RecoverWal();
   Status LoadRuns();
@@ -77,8 +98,14 @@ class KvStore {
       const std::map<std::string, std::optional<std::string>>& entries);
   Status MaybeFlushAndCompact();
 
+  std::string WalPath() const { return dir_ + "/wal.log"; }
+  std::string RunPath(uint64_t id) const {
+    return dir_ + "/run-" + std::to_string(id) + ".dat";
+  }
+
   std::string dir_;
   KvStoreOptions options_;
+  Fs* fs_;
   /// nullopt value == tombstone.
   std::map<std::string, std::optional<std::string>> memtable_;
   size_t memtable_bytes_ = 0;
@@ -87,7 +114,15 @@ class KvStore {
   std::vector<uint64_t> runs_;
   std::vector<std::map<std::string, std::optional<std::string>>> run_data_;
   uint64_t next_run_id_ = 0;
-  int wal_fd_ = -1;
+  std::unique_ptr<WritableFile> wal_;
+  /// Bytes of complete, acknowledged records in the WAL — the offset a
+  /// failed append is rolled back to so a torn record can never strand the
+  /// acknowledged records appended after it.
+  uint64_t wal_bytes_ = 0;
+  /// Set when a failed WAL append could not be rolled back; all further
+  /// writes are refused rather than acknowledged on a log that would not
+  /// replay them.
+  bool wal_poisoned_ = false;
 };
 
 }  // namespace lakekit::storage

@@ -1,29 +1,39 @@
 #include "storage/object_store.h"
 
-#include <fcntl.h>
-#include <unistd.h>
+#include <atomic>
 
 #include <algorithm>
-#include <cerrno>
-#include <cstring>
-#include <filesystem>
-#include <fstream>
-#include <sstream>
 
 #include "common/string_util.h"
 
 namespace lakekit::storage {
 
-namespace fs = std::filesystem;
+namespace {
 
-Result<ObjectStore> ObjectStore::Open(const std::string& root) {
-  std::error_code ec;
-  fs::create_directories(root, ec);
-  if (ec) {
-    return Status::IoError("cannot create object store root '" + root +
-                           "': " + ec.message());
-  }
-  return ObjectStore(root);
+/// Process-unique suffix for staging files. Combined with the target path
+/// this makes concurrent Puts to the same key collision-free, which the old
+/// fixed `path + ".tmp"` scheme was not.
+uint64_t NextStagingId() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Staging files end in ".tmp" so List can exclude in-flight writes (and
+/// stale ones left by a crash between stage and publish).
+std::string StagingName(const std::string& path) {
+  return path + "." + std::to_string(NextStagingId()) + ".tmp";
+}
+
+std::string ParentDir(const std::string& path) {
+  size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+}  // namespace
+
+Result<ObjectStore> ObjectStore::Open(const std::string& root, Fs* fs) {
+  LAKEKIT_RETURN_IF_ERROR(fs->CreateDirs(root));
+  return ObjectStore(root, fs);
 }
 
 Result<std::string> ObjectStore::ResolvePath(std::string_view key) const {
@@ -41,99 +51,96 @@ Result<std::string> ObjectStore::ResolvePath(std::string_view key) const {
   return root_ + "/" + std::string(key);
 }
 
+Result<std::string> ObjectStore::StageDurable(const std::string& path,
+                                              std::string_view data) {
+  LAKEKIT_RETURN_IF_ERROR(fs_->CreateDirs(ParentDir(path)));
+  std::string tmp = StagingName(path);
+  LAKEKIT_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> out,
+                           fs_->OpenTrunc(tmp));
+  Status write_status = out->Append(data);
+  if (write_status.ok()) write_status = out->Sync();
+  if (write_status.ok()) write_status = out->Close();
+  if (!write_status.ok()) {
+    // ignore: best-effort cleanup of the staging file; the write error is
+    // what the caller needs to see.
+    (void)fs_->Remove(tmp);
+    return write_status;
+  }
+  return tmp;
+}
+
 Status ObjectStore::Put(std::string_view key, std::string_view data) {
   LAKEKIT_ASSIGN_OR_RETURN(std::string path, ResolvePath(key));
-  std::error_code ec;
-  fs::create_directories(fs::path(path).parent_path(), ec);
-  if (ec) return Status::IoError("mkdir failed: " + ec.message());
-  // Write to a temp file then rename for atomicity against readers.
-  std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::IoError("cannot open '" + tmp + "' for write");
-    out.write(data.data(), static_cast<std::streamsize>(data.size()));
-    if (!out) return Status::IoError("short write to '" + tmp + "'");
+  LAKEKIT_ASSIGN_OR_RETURN(std::string tmp, StageDurable(path, data));
+  Status rename_status = fs_->Rename(tmp, path);
+  if (!rename_status.ok()) {
+    // ignore: best-effort cleanup; the rename error is the real failure.
+    (void)fs_->Remove(tmp);
+    return rename_status;
   }
-  fs::rename(tmp, path, ec);
-  if (ec) return Status::IoError("rename failed: " + ec.message());
-  return Status::OK();
+  // Make the new directory entry durable before acknowledging.
+  return fs_->SyncDir(ParentDir(path));
 }
 
 Status ObjectStore::PutIfAbsent(std::string_view key, std::string_view data) {
   LAKEKIT_ASSIGN_OR_RETURN(std::string path, ResolvePath(key));
-  std::error_code ec;
-  fs::create_directories(fs::path(path).parent_path(), ec);
-  if (ec) return Status::IoError("mkdir failed: " + ec.message());
-  // O_EXCL gives the atomic create-if-absent the commit protocol needs.
-  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
-  if (fd < 0) {
-    if (errno == EEXIST) {
+  // Publishing via link(2) keeps the two properties the commit protocol
+  // needs at once: exclusivity (link fails with EEXIST atomically) and
+  // crash-atomicity of the content (the payload is complete and fsynced
+  // before the name ever exists).
+  LAKEKIT_ASSIGN_OR_RETURN(std::string tmp, StageDurable(path, data));
+  Status link_status = fs_->HardLink(tmp, path);
+  // ignore: the staging file is garbage after the link either way; losing
+  // the unlink only leaks a ".tmp" file that List filters out.
+  (void)fs_->Remove(tmp);
+  if (!link_status.ok()) {
+    if (link_status.IsAlreadyExists()) {
       return Status::AlreadyExists("object '" + std::string(key) +
                                    "' already exists");
     }
-    return Status::IoError("open failed for '" + path +
-                           "': " + std::strerror(errno));
+    return link_status;
   }
-  size_t written = 0;
-  while (written < data.size()) {
-    ssize_t n = ::write(fd, data.data() + written, data.size() - written);
-    if (n < 0) {
-      ::close(fd);
-      ::unlink(path.c_str());
-      return Status::IoError("write failed: " + std::string(std::strerror(errno)));
-    }
-    written += static_cast<size_t>(n);
-  }
-  ::close(fd);
-  return Status::OK();
+  return fs_->SyncDir(ParentDir(path));
 }
 
 Result<std::string> ObjectStore::Get(std::string_view key) const {
   LAKEKIT_ASSIGN_OR_RETURN(std::string path, ResolvePath(key));
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
+  Result<std::string> data = fs_->ReadFile(path);
+  if (!data.ok() && data.status().IsNotFound()) {
     return Status::NotFound("object '" + std::string(key) + "' not found");
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return std::move(buffer).str();
+  return data;
 }
 
 bool ObjectStore::Exists(std::string_view key) const {
   Result<std::string> path = ResolvePath(key);
   if (!path.ok()) return false;
-  std::error_code ec;
-  return fs::is_regular_file(*path, ec);
+  return fs_->FileExists(*path);
 }
 
 Status ObjectStore::Delete(std::string_view key) {
   LAKEKIT_ASSIGN_OR_RETURN(std::string path, ResolvePath(key));
-  std::error_code ec;
-  if (!fs::remove(path, ec)) {
-    if (ec) return Status::IoError("remove failed: " + ec.message());
-    return Status::NotFound("object '" + std::string(key) + "' not found");
+  Status remove_status = fs_->Remove(path);
+  if (!remove_status.ok()) {
+    if (remove_status.IsNotFound()) {
+      return Status::NotFound("object '" + std::string(key) + "' not found");
+    }
+    return remove_status;
   }
-  return Status::OK();
+  return fs_->SyncDir(ParentDir(path));
 }
 
 Result<std::vector<ObjectInfo>> ObjectStore::List(
     std::string_view prefix) const {
+  LAKEKIT_ASSIGN_OR_RETURN(std::vector<FsDirEntry> entries,
+                           fs_->ListDir(root_, /*recursive=*/true));
   std::vector<ObjectInfo> out;
-  std::error_code ec;
-  fs::recursive_directory_iterator it(root_, ec);
-  if (ec) return Status::IoError("list failed: " + ec.message());
-  const size_t root_len = root_.size() + 1;  // strip "<root>/"
-  for (const auto& entry :
-       fs::recursive_directory_iterator(root_, fs::directory_options::skip_permission_denied)) {
-    if (!entry.is_regular_file()) continue;
-    std::string key = entry.path().string().substr(root_len);
-    if (EndsWith(key, ".tmp")) continue;
-    if (!prefix.empty() && !StartsWith(key, prefix)) continue;
-    out.push_back(ObjectInfo{key, entry.file_size()});
+  for (FsDirEntry& entry : entries) {
+    if (EndsWith(entry.name, ".tmp")) continue;
+    if (!prefix.empty() && !StartsWith(entry.name, prefix)) continue;
+    out.push_back(ObjectInfo{std::move(entry.name), entry.size});
   }
-  std::sort(out.begin(), out.end(),
-            [](const ObjectInfo& a, const ObjectInfo& b) { return a.key < b.key; });
-  return out;
+  return out;  // ListDir returns entries sorted by name
 }
 
 }  // namespace lakekit::storage

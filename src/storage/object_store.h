@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "storage/fs.h"
 
 namespace lakekit::storage {
 
@@ -24,19 +25,32 @@ struct ObjectInfo {
 /// with prefix listing and an atomic put-if-absent — the primitive the
 /// lakehouse commit protocol (Sec. 8.3) requires from object storage.
 ///
+/// All I/O flows through an `Fs` (default: the production PosixFs), so
+/// tests can swap in `FaultInjectingFs` and replay crash schedules against
+/// the exact code paths production runs. Durability contract: when `Put`,
+/// `PutIfAbsent`, or `Delete` return OK, the change survives a power cut —
+/// payloads are fsynced before the atomic rename/link publishes them, and
+/// the parent directory is fsynced before acknowledging.
+///
 /// Keys use '/' separators; ".." segments and absolute keys are rejected so
 /// a store can never escape its root directory.
 class ObjectStore {
  public:
-  /// Opens (creating if needed) a store rooted at `root`.
-  static Result<ObjectStore> Open(const std::string& root);
+  /// Opens (creating if needed) a store rooted at `root` over `fs`.
+  static Result<ObjectStore> Open(const std::string& root,
+                                  Fs* fs = Fs::Default());
 
-  /// Writes `data` under `key`, overwriting any existing object.
+  /// Writes `data` under `key`, overwriting any existing object. Atomic
+  /// against readers and concurrent Puts to the same key (each writer
+  /// stages through a unique temp file).
   Status Put(std::string_view key, std::string_view data);
 
   /// Writes `data` under `key` only if no object exists there. Returns
   /// AlreadyExists otherwise. Atomic against concurrent PutIfAbsent calls in
-  /// this process and across processes on POSIX (O_EXCL).
+  /// this process and across processes on POSIX, and crash-atomic: the
+  /// winner's object is either fully present with its payload or absent,
+  /// never half-written (the payload is staged durable, then published with
+  /// an exclusive hard link).
   Status PutIfAbsent(std::string_view key, std::string_view data);
 
   /// Reads the full object, or NotFound.
@@ -44,20 +58,27 @@ class ObjectStore {
 
   bool Exists(std::string_view key) const;
 
-  /// Removes an object; NotFound if absent.
+  /// Removes an object; NotFound if absent. Durable on return.
   Status Delete(std::string_view key);
 
-  /// All objects whose key starts with `prefix`, sorted by key.
+  /// All objects whose key starts with `prefix`, sorted by key. In-flight
+  /// staging files (".tmp" suffix) are never listed.
   Result<std::vector<ObjectInfo>> List(std::string_view prefix = "") const;
 
   const std::string& root() const { return root_; }
 
  private:
-  explicit ObjectStore(std::string root) : root_(std::move(root)) {}
+  ObjectStore(std::string root, Fs* fs) : root_(std::move(root)), fs_(fs) {}
 
   Result<std::string> ResolvePath(std::string_view key) const;
 
+  /// Stages `data` into a unique temp file next to `path`, fsynced. Returns
+  /// the temp path.
+  Result<std::string> StageDurable(const std::string& path,
+                                   std::string_view data);
+
   std::string root_;
+  Fs* fs_;
 };
 
 }  // namespace lakekit::storage

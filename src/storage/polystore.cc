@@ -1,5 +1,6 @@
 #include "storage/polystore.h"
 
+#include "json/parser.h"
 #include "json/writer.h"
 
 namespace lakekit::storage {
@@ -74,15 +75,18 @@ std::vector<std::string> RelationalStore::TableNames() const {
   return out;
 }
 
-Polystore::Polystore(ObjectStore objects)
+Polystore::Polystore(ObjectStore objects, PolystoreOptions options)
     : relational_(std::make_unique<RelationalStore>()),
       documents_(std::make_unique<DocumentStore>()),
       graph_(std::make_unique<GraphStore>()),
-      objects_(std::make_unique<ObjectStore>(std::move(objects))) {}
+      objects_(std::make_unique<ObjectStore>(std::move(objects))),
+      retry_(std::make_unique<RetryPolicy>(options.retry)) {}
 
-Result<Polystore> Polystore::Open(const std::string& object_root) {
-  LAKEKIT_ASSIGN_OR_RETURN(ObjectStore objects, ObjectStore::Open(object_root));
-  return Polystore(std::move(objects));
+Result<Polystore> Polystore::Open(const std::string& object_root,
+                                  PolystoreOptions options, Fs* fs) {
+  LAKEKIT_ASSIGN_OR_RETURN(ObjectStore objects,
+                           ObjectStore::Open(object_root, fs));
+  return Polystore(std::move(objects), std::move(options));
 }
 
 StoreKind Polystore::RouteFormat(DataFormat format) {
@@ -145,8 +149,24 @@ Status Polystore::StoreDocuments(std::string_view name,
 
 Status Polystore::StoreObject(std::string_view name, std::string_view key,
                               std::string_view data) {
-  LAKEKIT_RETURN_IF_ERROR(objects_->Put(key, data));
+  LAKEKIT_RETURN_IF_ERROR(
+      retry_->Run([&] { return objects_->Put(key, data); }));
   return RegisterDataset(name, {StoreKind::kObject, std::string(key)});
+}
+
+Status Polystore::SaveGraph(std::string_view key) {
+  std::string snapshot = json::Write(graph_->ExportJson());
+  return retry_->Run([&] { return objects_->Put(key, snapshot); });
+}
+
+Status Polystore::LoadGraph(std::string_view key) {
+  LAKEKIT_ASSIGN_OR_RETURN(
+      std::string data,
+      retry_->RunResult([&] { return objects_->Get(key); }));
+  LAKEKIT_ASSIGN_OR_RETURN(json::Value value, json::Parse(data));
+  LAKEKIT_ASSIGN_OR_RETURN(GraphStore graph, GraphStore::ImportJson(value));
+  *graph_ = std::move(graph);
+  return Status::OK();
 }
 
 Result<table::Table> Polystore::ReadAsTable(std::string_view name) const {
@@ -167,7 +187,9 @@ Result<table::Table> Polystore::ReadAsTable(std::string_view name) const {
                                     json::Value(std::move(docs)));
     }
     case StoreKind::kObject: {
-      LAKEKIT_ASSIGN_OR_RETURN(std::string data, objects_->Get(loc.locator));
+      LAKEKIT_ASSIGN_OR_RETURN(
+          std::string data,
+          retry_->RunResult([&] { return objects_->Get(loc.locator); }));
       return table::Table::FromCsv(std::string(name), data);
     }
     case StoreKind::kGraph:

@@ -8,8 +8,10 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/retry.h"
 #include "json/value.h"
 #include "storage/document_store.h"
+#include "storage/fs.h"
 #include "storage/graph_store.h"
 #include "storage/object_store.h"
 #include "table/table.h"
@@ -25,6 +27,13 @@ std::string_view StoreKindName(StoreKind kind);
 enum class DataFormat { kCsv, kJson, kGraph, kLog, kBinary, kUnknown };
 
 std::string_view DataFormatName(DataFormat format);
+
+/// Tuning knobs for Polystore.
+struct PolystoreOptions {
+  /// Retry schedule for object-tier round trips (the store modeled as
+  /// remote, hence the one with transient failures worth retrying).
+  RetryOptions retry;
+};
 
 /// Where a dataset lives inside the polystore.
 struct DatasetLocation {
@@ -58,8 +67,12 @@ class RelationalStore {
 /// graph store, and everything else (logs, binaries) to raw object storage.
 class Polystore {
  public:
-  /// Creates a polystore whose object tier lives under `object_root`.
-  static Result<Polystore> Open(const std::string& object_root);
+  /// Creates a polystore whose object tier lives under `object_root` on
+  /// `fs` (default: the production PosixFs). Object-tier operations issued
+  /// through the polystore retry transient I/O errors per `options.retry`.
+  static Result<Polystore> Open(const std::string& object_root,
+                                PolystoreOptions options = {},
+                                Fs* fs = Fs::Default());
 
   Polystore(Polystore&&) = default;
   Polystore& operator=(Polystore&&) = default;
@@ -83,8 +96,22 @@ class Polystore {
 
   /// Reads a registered dataset back as a table regardless of backend
   /// (documents are flattened; objects are parsed as CSV). Graph datasets
-  /// are not convertible and return NotSupported.
+  /// are not convertible and return NotSupported. Object-tier reads retry
+  /// transient I/O errors.
   Result<table::Table> ReadAsTable(std::string_view name) const;
+
+  /// Persists the graph store as a JSON object under `key` in the object
+  /// tier (with retry), so the otherwise in-memory graph tier survives
+  /// process restarts alongside the KV and object tiers.
+  Status SaveGraph(std::string_view key);
+
+  /// Replaces the graph store with the snapshot previously saved under
+  /// `key`. The current graph is untouched on any failure.
+  Status LoadGraph(std::string_view key);
+
+  /// The policy object-tier round trips run under; tests inject a no-op
+  /// sleeper here.
+  RetryPolicy& retry() { return *retry_; }
 
   RelationalStore& relational() { return *relational_; }
   const RelationalStore& relational() const { return *relational_; }
@@ -96,12 +123,13 @@ class Polystore {
   const ObjectStore& objects() const { return *objects_; }
 
  private:
-  explicit Polystore(ObjectStore objects);
+  Polystore(ObjectStore objects, PolystoreOptions options);
 
   std::unique_ptr<RelationalStore> relational_;
   std::unique_ptr<DocumentStore> documents_;
   std::unique_ptr<GraphStore> graph_;
   std::unique_ptr<ObjectStore> objects_;
+  std::unique_ptr<RetryPolicy> retry_;
   std::map<std::string, DatasetLocation, std::less<>> registry_;
 };
 

@@ -6,9 +6,11 @@
 #include <string>
 #include <vector>
 
+#include "common/crc32.h"
 #include "common/hash.h"
 #include "common/random.h"
 #include "common/result.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
@@ -428,6 +430,119 @@ TEST(ParallelMapTest, ErrorPropagates) {
 TEST(ThreadPoolTest, DefaultThreadsIsAtLeastOne) {
   EXPECT_GE(ThreadPool::DefaultThreads(), 1u);
   EXPECT_GE(ThreadPool::Default().size(), 1u);
+}
+
+TEST(Crc32Test, KnownVectors) {
+  // The standard CRC-32C check value and the empty-string identity.
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(Crc32c(""), 0u);
+  // iSCSI test vector: 32 zero bytes.
+  EXPECT_EQ(Crc32c(std::string(32, '\0')), 0x8A9136AAu);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data = "hello, data lake";
+  uint32_t whole = Crc32c(data);
+  uint32_t chunked = Crc32c(data.substr(5), Crc32c(data.substr(0, 5)));
+  EXPECT_EQ(whole, chunked);
+}
+
+TEST(Crc32Test, DetectsBitFlips) {
+  std::string data = "record payload";
+  uint32_t before = Crc32c(data);
+  data[3] ^= 0x01;
+  EXPECT_NE(Crc32c(data), before);
+}
+
+TEST(Crc32Test, MaskRoundTripsAndDiffers) {
+  for (uint32_t crc : {0u, 1u, 0xDEADBEEFu, 0xFFFFFFFFu}) {
+    EXPECT_EQ(UnmaskCrc32c(MaskCrc32c(crc)), crc);
+    EXPECT_NE(MaskCrc32c(crc), crc);
+  }
+}
+
+TEST(RetryTest, TransientClassification) {
+  EXPECT_TRUE(RetryPolicy::IsTransient(Status::IoError("disk blip")));
+  EXPECT_FALSE(RetryPolicy::IsTransient(Status::NotFound("gone")));
+  EXPECT_FALSE(RetryPolicy::IsTransient(Status::AlreadyExists("lost race")));
+  EXPECT_FALSE(RetryPolicy::IsTransient(Status::Corruption("bad crc")));
+  EXPECT_FALSE(RetryPolicy::IsTransient(Status::OK()));
+}
+
+TEST(RetryTest, RetriesTransientUntilSuccess) {
+  RetryOptions options;
+  options.max_attempts = 5;
+  RetryPolicy policy(options);
+  int sleeps = 0;
+  policy.set_sleep_fn([&](std::chrono::milliseconds) { ++sleeps; });
+  int calls = 0;
+  Status status = policy.Run([&] {
+    ++calls;
+    return calls < 3 ? Status::IoError("blip") : Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(sleeps, 2);  // one backoff between each pair of attempts
+}
+
+TEST(RetryTest, GivesUpAfterMaxAttempts) {
+  RetryOptions options;
+  options.max_attempts = 3;
+  RetryPolicy policy(options);
+  policy.set_sleep_fn([](std::chrono::milliseconds) {});
+  int calls = 0;
+  Status status = policy.Run([&] {
+    ++calls;
+    return Status::IoError("always down");
+  });
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryTest, PermanentErrorsReturnImmediately) {
+  RetryPolicy policy;
+  policy.set_sleep_fn([](std::chrono::milliseconds) {});
+  int calls = 0;
+  Status status = policy.Run([&] {
+    ++calls;
+    return Status::NotFound("missing key");
+  });
+  EXPECT_TRUE(status.IsNotFound());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, BackoffIsJitteredAndBounded) {
+  RetryOptions options;
+  options.max_attempts = 8;
+  options.initial_backoff = std::chrono::milliseconds(4);
+  options.max_backoff = std::chrono::milliseconds(20);
+  RetryPolicy policy(options);
+  std::vector<int64_t> sleeps;
+  policy.set_sleep_fn(
+      [&](std::chrono::milliseconds d) { sleeps.push_back(d.count()); });
+  Status status =
+      policy.Run([] { return Status::IoError("always down"); });
+  EXPECT_FALSE(status.ok());
+  ASSERT_EQ(sleeps.size(), 7u);
+  for (int64_t ms : sleeps) {
+    EXPECT_GE(ms, 0);
+    EXPECT_LE(ms, options.max_backoff.count());
+  }
+}
+
+TEST(RetryTest, RunResultFlavor) {
+  RetryPolicy policy;
+  policy.set_sleep_fn([](std::chrono::milliseconds) {});
+  int calls = 0;
+  Result<int> result = policy.RunResult([&]() -> Result<int> {
+    ++calls;
+    if (calls < 2) return Status::IoError("blip");
+    return 42;
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(calls, 2);
 }
 
 }  // namespace

@@ -1,0 +1,173 @@
+#ifndef LAKEKIT_TESTS_STORAGE_CRASH_HARNESS_H_
+#define LAKEKIT_TESTS_STORAGE_CRASH_HARNESS_H_
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/kv_store.h"
+
+namespace lakekit::storage::crash_harness {
+
+/// One step of a randomized KvStore workload.
+struct WorkloadOp {
+  enum Kind { kPut, kDelete, kFlush, kCompact };
+  Kind kind = kPut;
+  std::string key;
+  std::string value;
+};
+
+/// The durability contract, as data: what the store has acknowledged
+/// (`acked`, nullopt meaning "deleted"), plus the at-most-one operation that
+/// was in flight when the fault hit. POSIX lets the in-flight op land either
+/// way; everything acknowledged must survive a crash exactly.
+struct CrashModel {
+  std::map<std::string, std::optional<std::string>> acked;
+  std::optional<std::string> inflight_key;
+  /// Intended post-state of the in-flight op (nullopt = delete).
+  std::optional<std::string> inflight_value;
+  bool has_inflight = false;
+};
+
+/// Small key space so deletes and overwrites actually collide.
+inline std::string WorkloadKey(uint64_t i) {
+  return "key" + std::to_string(i % 12);
+}
+
+/// Deterministic mixed workload: ~60% puts, ~20% deletes, plus explicit
+/// flushes and compactions so run files and merges sit in the crash window.
+inline std::vector<WorkloadOp> MakeWorkload(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  std::vector<WorkloadOp> ops;
+  ops.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    WorkloadOp op;
+    uint64_t roll = rng.Below(10);
+    if (roll < 6) {
+      op.kind = WorkloadOp::kPut;
+      op.key = WorkloadKey(rng.Below(12));
+      op.value = "v" + std::to_string(rng.Below(1000)) +
+                 std::string(rng.Below(40), 'x');
+    } else if (roll < 8) {
+      op.kind = WorkloadOp::kDelete;
+      op.key = WorkloadKey(rng.Below(12));
+    } else if (roll < 9) {
+      op.kind = WorkloadOp::kFlush;
+    } else {
+      op.kind = WorkloadOp::kCompact;
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+/// Applies `ops` to `store`, recording acknowledgements in `model`. Stops at
+/// the first failed op (with injected faults that is where a real process
+/// would die); a failed Put/Delete becomes the model's in-flight op, while a
+/// failed Flush/Compact changes no logical state at all.
+inline void RunWorkload(KvStore* store, const std::vector<WorkloadOp>& ops,
+                        CrashModel* model) {
+  for (const WorkloadOp& op : ops) {
+    Status status = Status::OK();
+    switch (op.kind) {
+      case WorkloadOp::kPut:
+        status = store->Put(op.key, op.value);
+        if (status.ok()) {
+          model->acked[op.key] = op.value;
+        } else {
+          model->inflight_key = op.key;
+          model->inflight_value = op.value;
+          model->has_inflight = true;
+        }
+        break;
+      case WorkloadOp::kDelete:
+        status = store->Delete(op.key);
+        if (status.ok()) {
+          model->acked[op.key] = std::nullopt;
+        } else {
+          model->inflight_key = op.key;
+          model->inflight_value = std::nullopt;
+          model->has_inflight = true;
+        }
+        break;
+      case WorkloadOp::kFlush:
+        status = store->Flush();
+        break;
+      case WorkloadOp::kCompact:
+        status = store->Compact();
+        break;
+    }
+    if (!status.ok()) return;
+  }
+}
+
+/// Checks a reopened store against the model:
+///  - every acknowledged write/delete (except the in-flight key) must be
+///    reflected exactly — acked values survive, deleted keys stay dead;
+///  - the in-flight key may hold its old or its intended new state, nothing
+///    else;
+///  - Scan must return no key outside the model (unacknowledged writes
+///    vanish cleanly, deleted keys never resurrect).
+inline ::testing::AssertionResult CheckModel(const KvStore& store,
+                                             const CrashModel& model) {
+  for (const auto& [key, value] : model.acked) {
+    if (model.has_inflight && key == *model.inflight_key) continue;
+    Result<std::string> got = store.Get(key);
+    if (value) {
+      if (!got.ok()) {
+        return ::testing::AssertionFailure()
+               << "acked key '" << key << "' lost: " << got.status().message();
+      }
+      if (*got != *value) {
+        return ::testing::AssertionFailure()
+               << "acked key '" << key << "' has wrong value '" << *got
+               << "' (want '" << *value << "')";
+      }
+    } else if (got.ok()) {
+      return ::testing::AssertionFailure()
+             << "deleted key '" << key << "' resurrected with value '" << *got
+             << "'";
+    }
+  }
+  if (model.has_inflight) {
+    const std::string& key = *model.inflight_key;
+    auto it = model.acked.find(key);
+    std::optional<std::string> old_state =
+        it == model.acked.end() ? std::nullopt : it->second;
+    Result<std::string> got = store.Get(key);
+    std::optional<std::string> observed =
+        got.ok() ? std::optional<std::string>(*got) : std::nullopt;
+    if (observed != old_state && observed != model.inflight_value) {
+      return ::testing::AssertionFailure()
+             << "in-flight key '" << key << "' in illegal state '"
+             << (observed ? *observed : "<absent>") << "' (legal: old='"
+             << (old_state ? *old_state : "<absent>") << "', new='"
+             << (model.inflight_value ? *model.inflight_value : "<absent>")
+             << "')";
+    }
+  }
+  Result<std::vector<std::pair<std::string, std::string>>> all = store.Scan();
+  if (!all.ok()) {
+    return ::testing::AssertionFailure()
+           << "scan failed after recovery: " << all.status().message();
+  }
+  for (const auto& [key, value] : *all) {
+    if (model.has_inflight && key == *model.inflight_key) continue;
+    auto it = model.acked.find(key);
+    if (it == model.acked.end() || !it->second) {
+      return ::testing::AssertionFailure()
+             << "unexpected key '" << key
+             << "' visible after recovery (never acknowledged or deleted)";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace lakekit::storage::crash_harness
+
+#endif  // LAKEKIT_TESTS_STORAGE_CRASH_HARNESS_H_

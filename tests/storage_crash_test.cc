@@ -1,0 +1,535 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/fault_injecting_fs.h"
+#include "storage/kv_store.h"
+#include "storage/object_store.h"
+#include "storage/polystore.h"
+#include "storage_crash_harness.h"
+
+namespace lakekit::storage {
+namespace {
+
+using crash_harness::CheckModel;
+using crash_harness::CrashModel;
+using crash_harness::MakeWorkload;
+using crash_harness::RunWorkload;
+using crash_harness::WorkloadOp;
+
+/// Small thresholds so short workloads exercise flush and compaction.
+KvStoreOptions SmallStoreOptions() {
+  KvStoreOptions options;
+  options.memtable_flush_bytes = 256;
+  options.compaction_trigger_runs = 3;
+  return options;
+}
+
+// ------------------------------------------------- FaultInjectingFs itself
+
+TEST(FaultInjectingFsTest, AppendIsVolatileUntilSync) {
+  FaultInjectingFs fs(1);
+  ASSERT_TRUE(fs.CreateDirs("d").ok());
+  auto file = fs.OpenTrunc("d/f");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("hello").ok());
+  EXPECT_FALSE(fs.IsDurable("d/f"));
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE(fs.SyncDir("d").ok());
+  EXPECT_TRUE(fs.IsDurable("d/f"));
+}
+
+TEST(FaultInjectingFsTest, PowerCutKeepsSyncedPrefixOfUnsyncedTail) {
+  FaultInjectingFs fs(2);
+  ASSERT_TRUE(fs.CreateDirs("d").ok());
+  auto file = fs.OpenTrunc("d/f");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("durable").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE(fs.SyncDir("d").ok());
+  ASSERT_TRUE((*file)->Append("-volatile-tail").ok());
+  for (uint64_t seed = 0; seed < 16; ++seed) {
+    FaultInjectingFs replay(2);
+    ASSERT_TRUE(replay.CreateDirs("d").ok());
+    auto f = replay.OpenTrunc("d/f");
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Append("durable").ok());
+    ASSERT_TRUE((*f)->Sync().ok());
+    ASSERT_TRUE(replay.SyncDir("d").ok());
+    ASSERT_TRUE((*f)->Append("-volatile-tail").ok());
+    replay.PowerCut(seed);
+    auto data = replay.ReadFile("d/f");
+    ASSERT_TRUE(data.ok());
+    // The synced prefix always survives; the tail survives as a prefix.
+    ASSERT_GE(data->size(), std::string("durable").size());
+    EXPECT_EQ(data->substr(0, 7), "durable");
+    EXPECT_EQ(*data, std::string("durable-volatile-tail").substr(0, data->size()));
+  }
+}
+
+TEST(FaultInjectingFsTest, UnsyncedRemoveCanResurrectSyncedCannot) {
+  bool resurrected = false;
+  for (uint64_t seed = 0; seed < 16; ++seed) {
+    FaultInjectingFs fs(3);
+    ASSERT_TRUE(fs.CreateDirs("d").ok());
+    auto f = fs.OpenTrunc("d/f");
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Append("x").ok());
+    ASSERT_TRUE((*f)->Sync().ok());
+    ASSERT_TRUE(fs.SyncDir("d").ok());
+    ASSERT_TRUE(fs.Remove("d/f").ok());
+    fs.PowerCut(seed);
+    if (fs.FileExists("d/f")) resurrected = true;
+  }
+  // The removal never reached the directory block: some crash outcome must
+  // bring the file back.
+  EXPECT_TRUE(resurrected);
+
+  // With the directory synced after the removal, no seed resurrects it.
+  for (uint64_t seed = 0; seed < 16; ++seed) {
+    FaultInjectingFs fs(3);
+    ASSERT_TRUE(fs.CreateDirs("d").ok());
+    auto f = fs.OpenTrunc("d/f");
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Append("x").ok());
+    ASSERT_TRUE((*f)->Sync().ok());
+    ASSERT_TRUE(fs.SyncDir("d").ok());
+    ASSERT_TRUE(fs.Remove("d/f").ok());
+    ASSERT_TRUE(fs.SyncDir("d").ok());
+    fs.PowerCut(seed);
+    EXPECT_FALSE(fs.FileExists("d/f"));
+  }
+}
+
+TEST(FaultInjectingFsTest, FailAfterWindowAndStickyModes) {
+  FaultInjectingFs fs(4);
+  ASSERT_TRUE(fs.CreateDirs("d").ok());
+  const int64_t base = fs.op_count();
+  fs.FailAfter(base + 1, 1);  // exactly the second upcoming op fails
+  EXPECT_TRUE(fs.CreateDirs("d/a").ok());
+  Status failed = fs.CreateDirs("d/b");
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kIoError);
+  EXPECT_TRUE(fs.CreateDirs("d/c").ok());  // window passed
+
+  fs.FailAfter(fs.op_count());  // sticky: everything from here on fails
+  EXPECT_FALSE(fs.CreateDirs("d/e").ok());
+  EXPECT_FALSE(fs.CreateDirs("d/f").ok());
+  fs.ClearFaults();
+  EXPECT_TRUE(fs.CreateDirs("d/g").ok());
+}
+
+TEST(FaultInjectingFsTest, PowerCutStalesOpenHandles) {
+  FaultInjectingFs fs(5);
+  ASSERT_TRUE(fs.CreateDirs("d").ok());
+  auto file = fs.OpenTrunc("d/f");
+  ASSERT_TRUE(file.ok());
+  fs.PowerCut(1);
+  Status stale = (*file)->Append("after reboot");
+  EXPECT_FALSE(stale.ok());
+  EXPECT_EQ(stale.code(), StatusCode::kIoError);
+}
+
+// ------------------------------------------------- ObjectStore crash paths
+
+TEST(ObjectStoreCrashTest, AckedPutSurvivesEveryPowerCut) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    FaultInjectingFs fs(10 + seed);
+    auto store = ObjectStore::Open("root", &fs);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store->Put("bucket/a", "payload-a").ok());
+    fs.PowerCut(seed);
+    auto reopened = ObjectStore::Open("root", &fs);
+    ASSERT_TRUE(reopened.ok());
+    auto got = reopened->Get("bucket/a");
+    ASSERT_TRUE(got.ok()) << "acked object lost at seed " << seed;
+    EXPECT_EQ(*got, "payload-a");
+  }
+}
+
+TEST(ObjectStoreCrashTest, CrashAnywhereInPutLeavesOldOrNewNeverTorn) {
+  // Dry run to count the fs ops a Put of the second version consumes.
+  int64_t put_ops = 0;
+  {
+    FaultInjectingFs fs(20);
+    auto store = ObjectStore::Open("root", &fs);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store->Put("bucket/a", "old-value").ok());
+    const int64_t before = fs.op_count();
+    ASSERT_TRUE(store->Put("bucket/a", "new-value!").ok());
+    put_ops = fs.op_count() - before;
+  }
+  ASSERT_GT(put_ops, 0);
+  for (int64_t fail_at = 0; fail_at < put_ops; ++fail_at) {
+    for (uint64_t seed = 0; seed < 4; ++seed) {
+      FaultInjectingFs fs(20);
+      auto store = ObjectStore::Open("root", &fs);
+      ASSERT_TRUE(store.ok());
+      ASSERT_TRUE(store->Put("bucket/a", "old-value").ok());
+      fs.FailAfter(fs.op_count() + fail_at);
+      Status put = store->Put("bucket/a", "new-value!");
+      fs.PowerCut(seed);
+      auto reopened = ObjectStore::Open("root", &fs);
+      ASSERT_TRUE(reopened.ok());
+      auto got = reopened->Get("bucket/a");
+      ASSERT_TRUE(got.ok()) << "object vanished (fail_at=" << fail_at << ")";
+      if (put.ok()) {
+        EXPECT_EQ(*got, "new-value!") << "acked Put lost (fail_at=" << fail_at
+                                      << ", seed=" << seed << ")";
+      } else {
+        EXPECT_TRUE(*got == "old-value" || *got == "new-value!")
+            << "torn object visible: '" << *got << "' (fail_at=" << fail_at
+            << ", seed=" << seed << ")";
+      }
+      // Staging garbage must never surface through List.
+      auto listed = reopened->List();
+      ASSERT_TRUE(listed.ok());
+      for (const ObjectInfo& info : *listed) {
+        EXPECT_EQ(info.key, "bucket/a");
+      }
+    }
+  }
+}
+
+TEST(ObjectStoreCrashTest, PutIfAbsentWinnerIsDurableUnderFaults) {
+  // Count ops of a clean PutIfAbsent.
+  int64_t pia_ops = 0;
+  {
+    FaultInjectingFs fs(30);
+    auto store = ObjectStore::Open("root", &fs);
+    ASSERT_TRUE(store.ok());
+    const int64_t before = fs.op_count();
+    ASSERT_TRUE(store->PutIfAbsent("commit/0", "winner").ok());
+    pia_ops = fs.op_count() - before;
+  }
+  for (int64_t fail_at = 0; fail_at < pia_ops; ++fail_at) {
+    for (uint64_t seed = 0; seed < 4; ++seed) {
+      FaultInjectingFs fs(30);
+      auto store = ObjectStore::Open("root", &fs);
+      ASSERT_TRUE(store.ok());
+      fs.FailAfter(fs.op_count() + fail_at);
+      Status won = store->PutIfAbsent("commit/0", "winner");
+      fs.PowerCut(seed);
+      auto reopened = ObjectStore::Open("root", &fs);
+      ASSERT_TRUE(reopened.ok());
+      auto got = reopened->Get("commit/0");
+      if (won.ok()) {
+        // An acknowledged commit must survive the crash with its payload.
+        ASSERT_TRUE(got.ok())
+            << "acked PutIfAbsent lost (fail_at=" << fail_at << ")";
+        EXPECT_EQ(*got, "winner");
+      } else if (got.ok()) {
+        // Unacked attempt may have landed, but never half-written.
+        EXPECT_EQ(*got, "winner");
+      }
+    }
+  }
+}
+
+// ------------------------------------------------- KvStore crash matrix
+
+TEST(KvStoreCrashTest, AckedWritesSurviveCrashAfterEachWalAppend) {
+  constexpr int kWrites = 10;
+  for (int acked = 1; acked <= kWrites; ++acked) {
+    for (uint64_t seed = 0; seed < 4; ++seed) {
+      FaultInjectingFs fs(40);
+      auto store = KvStore::Open("db", {}, &fs);
+      ASSERT_TRUE(store.ok());
+      for (int i = 0; i < acked; ++i) {
+        ASSERT_TRUE(
+            (*store)->Put("k" + std::to_string(i), "v" + std::to_string(i))
+                .ok());
+      }
+      fs.PowerCut(seed);
+      auto reopened = KvStore::Open("db", {}, &fs);
+      ASSERT_TRUE(reopened.ok());
+      for (int i = 0; i < acked; ++i) {
+        auto got = (*reopened)->Get("k" + std::to_string(i));
+        ASSERT_TRUE(got.ok()) << "k" << i << " lost after crash (acked="
+                              << acked << ", seed=" << seed << ")";
+        EXPECT_EQ(*got, "v" + std::to_string(i));
+      }
+    }
+  }
+}
+
+TEST(KvStoreCrashTest, CrashMidRunWriteLosesNothing) {
+  // Ops consumed by a clean Flush after three puts.
+  int64_t flush_ops = 0;
+  {
+    FaultInjectingFs fs(50);
+    auto store = KvStore::Open("db", {}, &fs);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("a", "1").ok());
+    ASSERT_TRUE((*store)->Put("b", "2").ok());
+    ASSERT_TRUE((*store)->Delete("a").ok());
+    const int64_t before = fs.op_count();
+    ASSERT_TRUE((*store)->Flush().ok());
+    flush_ops = fs.op_count() - before;
+  }
+  ASSERT_GT(flush_ops, 0);
+  for (int64_t fail_at = 0; fail_at < flush_ops; ++fail_at) {
+    for (uint64_t seed = 0; seed < 4; ++seed) {
+      FaultInjectingFs fs(50);
+      auto store = KvStore::Open("db", {}, &fs);
+      ASSERT_TRUE(store.ok());
+      ASSERT_TRUE((*store)->Put("a", "1").ok());
+      ASSERT_TRUE((*store)->Put("b", "2").ok());
+      ASSERT_TRUE((*store)->Delete("a").ok());
+      fs.FailAfter(fs.op_count() + fail_at);
+      (void)(*store)->Flush();  // ignore: may fail; durability must hold
+      fs.PowerCut(seed);
+      auto reopened = KvStore::Open("db", {}, &fs);
+      ASSERT_TRUE(reopened.ok())
+          << "recovery failed (fail_at=" << fail_at << ", seed=" << seed
+          << "): " << reopened.status().message();
+      auto b = (*reopened)->Get("b");
+      ASSERT_TRUE(b.ok()) << "acked key lost in flush crash (fail_at="
+                          << fail_at << ", seed=" << seed << ")";
+      EXPECT_EQ(*b, "2");
+      EXPECT_FALSE((*reopened)->Get("a").ok())
+          << "deleted key resurrected by flush crash (fail_at=" << fail_at
+          << ", seed=" << seed << ")";
+    }
+  }
+}
+
+TEST(KvStoreCrashTest, CrashMidCompactionNeverResurrectsDeletes) {
+  // Setup: two runs, one holding a value later deleted; the delete is
+  // flushed too, then compaction merges. A crash (or failed unlink) at any
+  // point may leave the old run on disk — the deleted key must stay dead.
+  auto setup = [](FaultInjectingFs* fs) -> std::unique_ptr<KvStore> {
+    auto store = KvStore::Open("db", {}, fs);
+    EXPECT_TRUE(store.ok());
+    EXPECT_TRUE((*store)->Put("doomed", "old").ok());
+    EXPECT_TRUE((*store)->Put("kept", "yes").ok());
+    EXPECT_TRUE((*store)->Flush().ok());
+    EXPECT_TRUE((*store)->Delete("doomed").ok());
+    EXPECT_TRUE((*store)->Flush().ok());
+    return std::move(*store);
+  };
+  int64_t compact_ops = 0;
+  {
+    FaultInjectingFs fs(60);
+    auto store = setup(&fs);
+    const int64_t before = fs.op_count();
+    ASSERT_TRUE(store->Compact().ok());
+    compact_ops = fs.op_count() - before;
+  }
+  ASSERT_GT(compact_ops, 0);
+  for (int64_t fail_at = 0; fail_at < compact_ops; ++fail_at) {
+    for (uint64_t seed = 0; seed < 4; ++seed) {
+      FaultInjectingFs fs(60);
+      auto store = setup(&fs);
+      fs.FailAfter(fs.op_count() + fail_at);
+      (void)store->Compact();  // ignore: may fail; durability must hold
+      fs.PowerCut(seed);
+      auto reopened = KvStore::Open("db", {}, &fs);
+      ASSERT_TRUE(reopened.ok());
+      EXPECT_FALSE((*reopened)->Get("doomed").ok())
+          << "tombstone lost in compaction crash: deleted key resurrected "
+          << "(fail_at=" << fail_at << ", seed=" << seed << ")";
+      auto kept = (*reopened)->Get("kept");
+      ASSERT_TRUE(kept.ok()) << "live key lost in compaction crash (fail_at="
+                             << fail_at << ", seed=" << seed << ")";
+      EXPECT_EQ(*kept, "yes");
+    }
+  }
+}
+
+TEST(KvStoreCrashTest, FailedUnlinkOfOldRunsCannotResurrectDeletes) {
+  // The regression the tombstone-retention fix targets: compaction succeeds
+  // logically, but deleting the superseded runs fails (every Remove in the
+  // window is refused), so stale runs with the deleted key stay on disk.
+  for (int64_t fail_at = 0; fail_at < 8; ++fail_at) {
+    FaultInjectingFs fs(65);
+    auto store = KvStore::Open("db", {}, &fs);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("doomed", "old").ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+    ASSERT_TRUE((*store)->Delete("doomed").ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+    fs.FailAfter(fs.op_count() + fail_at, 2);
+    (void)(*store)->Compact();  // ignore: may fail; checking reopen below
+    store->reset();             // clean close, no crash — just reopen
+    fs.ClearFaults();
+    auto reopened = KvStore::Open("db", {}, &fs);
+    ASSERT_TRUE(reopened.ok());
+    EXPECT_FALSE((*reopened)->Get("doomed").ok())
+        << "deleted key resurrected after failed old-run unlink (fail_at="
+        << fail_at << ")";
+  }
+}
+
+TEST(KvStoreCrashTest, WalRollbackAfterTransientAppendFailure) {
+  FaultInjectingFs fs(70);
+  auto store = KvStore::Open("db", {}, &fs);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("first", "ok").ok());
+  // Fail exactly the next append; the rollback truncate+sync succeed, so
+  // the WAL stays usable and the next write lands cleanly after it.
+  fs.FailAfter(fs.op_count(), 1);
+  EXPECT_FALSE((*store)->Put("torn", "never-acked").ok());
+  ASSERT_TRUE((*store)->Put("second", "ok").ok());
+  store->reset();
+  auto reopened = KvStore::Open("db", {}, &fs);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_TRUE((*reopened)->Get("first").ok());
+  EXPECT_TRUE((*reopened)->Get("second").ok());
+  EXPECT_FALSE((*reopened)->Get("torn").ok())
+      << "unacknowledged torn append visible after reopen";
+}
+
+TEST(KvStoreCrashTest, WalPoisonedWhenRollbackImpossible) {
+  FaultInjectingFs fs(80);
+  auto store = KvStore::Open("db", {}, &fs);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("first", "ok").ok());
+  fs.FailAfter(fs.op_count());  // sticky: append fails AND rollback fails
+  EXPECT_FALSE((*store)->Put("torn", "x").ok());
+  fs.ClearFaults();
+  // The WAL could not be repaired; acknowledging more writes against it
+  // would strand them behind a torn record, so the store must refuse.
+  Status refused = (*store)->Put("after", "y");
+  EXPECT_FALSE(refused.ok());
+  EXPECT_EQ(refused.code(), StatusCode::kIoError);
+  // Reopen recovers: the torn tail is truncated away, acked data intact.
+  store->reset();
+  auto reopened = KvStore::Open("db", {}, &fs);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_TRUE((*reopened)->Get("first").ok());
+  ASSERT_TRUE((*reopened)->Put("after", "y").ok());
+}
+
+// ------------------------------------------------- Property harness
+
+TEST(KvStoreCrashPropertyTest, DurabilityContractHoldsAtEveryCrashPoint) {
+  const std::vector<WorkloadOp> ops = MakeWorkload(1234, 48);
+  // Dry run (no faults) to learn how many fs ops the workload performs.
+  int64_t total_ops = 0;
+  {
+    FaultInjectingFs fs(7);
+    auto store = KvStore::Open("db", SmallStoreOptions(), &fs);
+    ASSERT_TRUE(store.ok());
+    CrashModel model;
+    RunWorkload(store->get(), ops, &model);
+    ASSERT_FALSE(model.has_inflight);  // no faults -> everything acked
+    total_ops = fs.op_count();
+  }
+  ASSERT_GT(total_ops, 0);
+  int schedules = 0;
+  for (int64_t fail_at = 0; fail_at < total_ops; ++fail_at) {
+    for (uint64_t cut_seed = 0; cut_seed < 2; ++cut_seed) {
+      FaultInjectingFs fs(7);
+      fs.FailAfter(fail_at);
+      CrashModel model;
+      auto store = KvStore::Open("db", SmallStoreOptions(), &fs);
+      if (store.ok()) {
+        RunWorkload(store->get(), ops, &model);
+      }
+      fs.PowerCut(cut_seed * 977 + static_cast<uint64_t>(fail_at));
+      auto reopened = KvStore::Open("db", SmallStoreOptions(), &fs);
+      ASSERT_TRUE(reopened.ok())
+          << "recovery failed (fail_at=" << fail_at
+          << ", cut_seed=" << cut_seed
+          << "): " << reopened.status().message();
+      EXPECT_TRUE(CheckModel(**reopened, model))
+          << "(fail_at=" << fail_at << ", cut_seed=" << cut_seed << ")";
+      ++schedules;
+    }
+  }
+  // Sanity: the loop really enumerated crash points.
+  EXPECT_GT(schedules, 100);
+}
+
+TEST(KvStoreCrashPropertyTest, HarnessDetectsDroppedSyncs) {
+  // Negative control: on a disk that lies about fsync, some crash schedule
+  // must violate the durability contract. If this ever stops failing under
+  // drop_syncs, the harness has gone blind and proves nothing above.
+  const std::vector<WorkloadOp> ops = MakeWorkload(999, 32);
+  bool violated = false;
+  for (uint64_t seed = 0; seed < 8 && !violated; ++seed) {
+    FaultInjectingFs fs(seed);
+    fs.set_drop_syncs(true);
+    auto store = KvStore::Open("db", SmallStoreOptions(), &fs);
+    ASSERT_TRUE(store.ok());
+    CrashModel model;
+    RunWorkload(store->get(), ops, &model);
+    fs.PowerCut(seed + 100);
+    auto reopened = KvStore::Open("db", SmallStoreOptions(), &fs);
+    if (!reopened.ok()) {
+      violated = true;  // even recovery is allowed to fail on a lying disk
+      break;
+    }
+    if (!CheckModel(**reopened, model)) violated = true;
+  }
+  EXPECT_TRUE(violated)
+      << "drop_syncs lost no acked data: the crash harness is not actually "
+         "sensitive to fsync discipline";
+}
+
+// ------------------------------------------------- Polystore retry
+
+TEST(PolystoreRetryTest, TransientObjectFaultsAreRetried) {
+  FaultInjectingFs fs(90);
+  PolystoreOptions options;
+  options.retry.max_attempts = 4;
+  auto store = Polystore::Open("lake", options, &fs);
+  ASSERT_TRUE(store.ok());
+  store->retry().set_sleep_fn([](std::chrono::milliseconds) {});
+  // One transient blip at the very first op of the Put: the retry loop must
+  // absorb it.
+  fs.FailAfter(fs.op_count(), 1);
+  ASSERT_TRUE(store->StoreObject("logs", "raw/app.log", "line1\nline2\n").ok());
+  auto raw = store->objects().Get("raw/app.log");
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(*raw, "line1\nline2\n");
+}
+
+TEST(PolystoreRetryTest, PermanentErrorsAreNotRetried) {
+  FaultInjectingFs fs(91);
+  PolystoreOptions options;
+  options.retry.max_attempts = 3;
+  auto store = Polystore::Open("lake", options, &fs);
+  ASSERT_TRUE(store.ok());
+  store->retry().set_sleep_fn([](std::chrono::milliseconds) {});
+  ASSERT_TRUE(store->StoreObject("logs", "raw/a.log", "x").ok());
+  // Sticky transient faults: one read per attempt, then give up.
+  int64_t before = fs.op_count();
+  fs.FailAfter(before);
+  EXPECT_FALSE(store->ReadAsTable("logs").ok());
+  EXPECT_EQ(fs.op_count() - before, 3);
+  fs.ClearFaults();
+  // Permanent NotFound: exactly one attempt, no retries.
+  ASSERT_TRUE(fs.Remove("lake/raw/a.log").ok());
+  before = fs.op_count();
+  EXPECT_FALSE(store->ReadAsTable("logs").ok());
+  EXPECT_EQ(fs.op_count() - before, 1);
+}
+
+TEST(PolystoreRetryTest, GraphSnapshotRoundTripsThroughObjectTier) {
+  FaultInjectingFs fs(92);
+  auto store = Polystore::Open("lake", {}, &fs);
+  ASSERT_TRUE(store.ok());
+  store->retry().set_sleep_fn([](std::chrono::milliseconds) {});
+  GraphStore& g = store->graph();
+  auto a = g.AddNode("dataset");
+  auto b = g.AddNode("dataset");
+  ASSERT_TRUE(g.AddEdge(a, b, "derived_from").ok());
+  // A transient blip during the snapshot Put is absorbed by the retry.
+  fs.FailAfter(fs.op_count(), 1);
+  ASSERT_TRUE(store->SaveGraph("meta/graph.json").ok());
+  // Wipe the in-memory graph, reload from the object tier.
+  store->graph() = GraphStore();
+  EXPECT_EQ(store->graph().num_nodes(), 0u);
+  ASSERT_TRUE(store->LoadGraph("meta/graph.json").ok());
+  EXPECT_EQ(store->graph().num_nodes(), 2u);
+  EXPECT_EQ(store->graph().num_edges(), 1u);
+  EXPECT_EQ(store->graph().OutEdges(a, "derived_from").size(), 1u);
+}
+
+}  // namespace
+}  // namespace lakekit::storage

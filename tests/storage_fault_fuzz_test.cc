@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/fault_injecting_fs.h"
+#include "storage/kv_store.h"
+#include "storage_crash_harness.h"
+
+namespace lakekit::storage {
+namespace {
+
+using crash_harness::CheckModel;
+using crash_harness::CrashModel;
+using crash_harness::MakeWorkload;
+using crash_harness::RunWorkload;
+using crash_harness::WorkloadOp;
+
+/// Number of random crash schedules to run. CI can crank this up for soak
+/// runs without a rebuild.
+int NumSchedules() {
+  constexpr int kDefault = 48;
+  const char* env = std::getenv("LAKEKIT_FUZZ_SCHEDULES");
+  if (env == nullptr) return kDefault;
+  int n = std::atoi(env);
+  return n > 0 ? n : kDefault;
+}
+
+KvStoreOptions FuzzStoreOptions() {
+  KvStoreOptions options;
+  options.memtable_flush_bytes = 200;
+  options.compaction_trigger_runs = 3;
+  return options;
+}
+
+/// Seeded fault-injection fuzz: each schedule draws a random workload, a
+/// random fault offset, and a random power-cut outcome, then crashes the
+/// store TWICE — once mid-workload and once mid-continuation after the
+/// first recovery — checking the durability contract after each reopen.
+/// Every failure message carries the schedule seed, so any hit replays
+/// deterministically.
+TEST(StorageFaultFuzzTest, RandomCrashSchedulesUpholdDurabilityContract) {
+  const int schedules = NumSchedules();
+  Rng meta_rng(20260806);
+  for (int i = 0; i < schedules; ++i) {
+    const uint64_t workload_seed = meta_rng.Next();
+    const uint64_t fs_seed = meta_rng.Next();
+    const size_t workload_len = 16 + static_cast<size_t>(meta_rng.Below(48));
+    const std::vector<WorkloadOp> ops =
+        MakeWorkload(workload_seed, workload_len);
+    SCOPED_TRACE("schedule " + std::to_string(i) + " (workload_seed=" +
+                 std::to_string(workload_seed) + ", fs_seed=" +
+                 std::to_string(fs_seed) + ", len=" +
+                 std::to_string(workload_len) + ")");
+
+    // Clean run to learn the op budget for fault placement.
+    int64_t total_ops = 0;
+    {
+      FaultInjectingFs fs(fs_seed);
+      auto store = KvStore::Open("db", FuzzStoreOptions(), &fs);
+      ASSERT_TRUE(store.ok());
+      CrashModel model;
+      RunWorkload(store->get(), ops, &model);
+      total_ops = fs.op_count();
+    }
+    ASSERT_GT(total_ops, 0);
+
+    // Crash #1: random fault offset mid-workload.
+    const int64_t fail_at =
+        static_cast<int64_t>(meta_rng.Below(static_cast<uint64_t>(total_ops)));
+    FaultInjectingFs fs(fs_seed);
+    fs.FailAfter(fail_at);
+    CrashModel model;
+    auto store = KvStore::Open("db", FuzzStoreOptions(), &fs);
+    if (store.ok()) RunWorkload(store->get(), ops, &model);
+    fs.PowerCut(meta_rng.Next());
+    auto reopened = KvStore::Open("db", FuzzStoreOptions(), &fs);
+    ASSERT_TRUE(reopened.ok())
+        << "recovery failed after crash #1 (fail_at=" << fail_at
+        << "): " << reopened.status().message();
+    ASSERT_TRUE(CheckModel(**reopened, model)) << "after crash #1";
+
+    // Crash #2: re-derive ground truth from the recovered store, keep
+    // writing, and pull the plug again — recovery must compose.
+    auto recovered = (*reopened)->Scan();
+    ASSERT_TRUE(recovered.ok());
+    CrashModel model2;
+    for (const auto& [key, value] : *recovered) model2.acked[key] = value;
+    const std::vector<WorkloadOp> more =
+        MakeWorkload(meta_rng.Next(), 12 + static_cast<size_t>(meta_rng.Below(20)));
+    fs.FailAfter(static_cast<int64_t>(meta_rng.Below(200)));
+    RunWorkload(reopened->get(), more, &model2);
+    fs.PowerCut(meta_rng.Next());
+    auto reopened2 = KvStore::Open("db", FuzzStoreOptions(), &fs);
+    ASSERT_TRUE(reopened2.ok())
+        << "recovery failed after crash #2: " << reopened2.status().message();
+    ASSERT_TRUE(CheckModel(**reopened2, model2)) << "after crash #2";
+  }
+}
+
+}  // namespace
+}  // namespace lakekit::storage
