@@ -8,7 +8,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <filesystem>
+#include <memory>
 
 #include "json/parser.h"
 #include "storage/kv_store.h"
@@ -90,6 +92,34 @@ void BM_Storage_KvStore_PutDurability(benchmark::State& state) {
   std::filesystem::remove_all(dir);
 }
 
+/// Group commit under contention (ISSUE: concurrent fast path): N threads
+/// hammer fully durable Puts (WAL + fsync-before-OK) on one shared store.
+/// At Threads(1) this is fsync-per-commit; with more writers the leader
+/// batches every queued record into one append + one fsync, so aggregate
+/// items/s should climb steeply while the durability contract is unchanged.
+void BM_Storage_KvStore_PutGroupCommit(benchmark::State& state) {
+  static std::string shared_dir;
+  static std::unique_ptr<KvStore> shared_store;
+  if (state.thread_index() == 0) {
+    shared_dir = FreshDir("kvgc");
+    auto opened = KvStore::Open(shared_dir);  // defaults: WAL + sync_writes
+    LAKEKIT_CHECK_OK(opened.status());
+    shared_store = std::move(*opened);
+  }
+  const std::string prefix = "t" + std::to_string(state.thread_index()) + "-k";
+  int i = 0;
+  for (auto _ : state) {
+    LAKEKIT_CHECK_OK(shared_store->Put(prefix + std::to_string(i++),
+                                       "value-payload-64-bytes-"
+                                       "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"));
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    shared_store.reset();
+    std::filesystem::remove_all(shared_dir);
+  }
+}
+
 void BM_Storage_KvStore_Get(benchmark::State& state) {
   std::string dir = FreshDir("kvget");
   auto store = KvStore::Open(dir);
@@ -104,6 +134,46 @@ void BM_Storage_KvStore_Get(benchmark::State& state) {
     benchmark::DoNotOptimize(v);
   }
   state.SetItemsProcessed(state.iterations());
+  std::filesystem::remove_all(dir);
+}
+
+/// Read pruning on a multi-run store (ISSUE: bloom + fence fast path).
+/// Keys are interleaved across 8 runs so every run's min/max fence spans
+/// the whole keyspace — fencing alone prunes nothing and each probe would
+/// binary-search all 8 runs. Arg = bloom_bits_per_key: 0 disables the
+/// filters (the pre-bloom read path), 10 is the default. Probes alternate
+/// hit and miss; misses are where blooms pay off most.
+void BM_Storage_KvStore_Get_Bloom(benchmark::State& state) {
+  std::string dir = FreshDir("kvbloom");
+  KvStoreOptions options;
+  options.use_wal = false;
+  options.compaction_trigger_runs = 100;  // keep all 8 runs alive
+  options.bloom_bits_per_key = static_cast<size_t>(state.range(0));
+  auto store = KvStore::Open(dir, options);
+  constexpr int kRuns = 8;
+  constexpr int kKeys = 40000;  // key i lives in run i % kRuns
+  char buf[16];
+  for (int r = 0; r < kRuns; ++r) {
+    for (int i = r; i < kKeys; i += kRuns) {
+      std::snprintf(buf, sizeof(buf), "key%06d", i);
+      LAKEKIT_CHECK_OK((*store)->Put(buf, "v" + std::to_string(i)));
+    }
+    LAKEKIT_CHECK_OK((*store)->Flush());
+  }
+  int i = 0;
+  for (auto _ : state) {
+    std::snprintf(buf, sizeof(buf), "key%06d", i % kKeys);
+    auto hit = (*store)->Get(buf);
+    benchmark::DoNotOptimize(hit);
+    // Miss probe that still lands inside every run's [min,max] fence —
+    // only the bloom filter can prune it.
+    std::snprintf(buf, sizeof(buf), "key%06dx", i % kKeys);
+    auto miss = (*store)->Get(buf);
+    benchmark::DoNotOptimize(miss);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+  state.SetLabel(state.range(0) == 0 ? "bloom_off" : "bloom_10bpk");
   std::filesystem::remove_all(dir);
 }
 
@@ -190,7 +260,14 @@ void BM_Storage_KvStore_Compaction(benchmark::State& state) {
 BENCHMARK(BM_Storage_ObjectStore_PutGet)->Arg(100);
 BENCHMARK(BM_Storage_KvStore_Put);
 BENCHMARK(BM_Storage_KvStore_PutDurability)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_Storage_KvStore_PutGroupCommit)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(16)
+    ->Threads(64)
+    ->UseRealTime();
 BENCHMARK(BM_Storage_KvStore_Get)->Arg(1000);
+BENCHMARK(BM_Storage_KvStore_Get_Bloom)->Arg(0)->Arg(10);
 BENCHMARK(BM_Storage_KvStore_ScanPrefix)->Arg(1000);
 BENCHMARK(BM_Storage_DocumentStore_InsertFind)->Arg(1000);
 BENCHMARK(BM_Storage_Polystore_TabularReadBack)->Arg(500);

@@ -1,0 +1,43 @@
+#include "common/bloom.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace lakekit {
+
+BloomFilter::BloomFilter(size_t expected_keys, size_t bits_per_key) {
+  bits_per_key = std::max<size_t>(bits_per_key, 1);
+  // k = bits_per_key * ln 2 minimizes the FP rate for the chosen density.
+  num_probes_ = std::clamp<size_t>(
+      static_cast<size_t>(static_cast<double>(bits_per_key) * 0.69), 1, 30);
+  num_bits_ = std::max<size_t>(expected_keys * bits_per_key, 64);
+  words_.assign((num_bits_ + 63) / 64, 0);
+}
+
+void BloomFilter::Add(std::string_view key) {
+  if (num_bits_ == 0) return;
+  const uint64_t h1 = Fnv1a64(key);
+  const uint64_t h2 = Mix64(h1) | 1;  // odd stride: hits every residue
+  uint64_t h = h1;
+  for (size_t i = 0; i < num_probes_; ++i) {
+    const uint64_t bit = h % num_bits_;
+    words_[bit >> 6] |= uint64_t{1} << (bit & 63);
+    h += h2;
+  }
+}
+
+bool BloomFilter::MayContain(std::string_view key) const {
+  if (num_bits_ == 0) return false;
+  const uint64_t h1 = Fnv1a64(key);
+  const uint64_t h2 = Mix64(h1) | 1;
+  uint64_t h = h1;
+  for (size_t i = 0; i < num_probes_; ++i) {
+    const uint64_t bit = h % num_bits_;
+    if ((words_[bit >> 6] & (uint64_t{1} << (bit & 63))) == 0) return false;
+    h += h2;
+  }
+  return true;
+}
+
+}  // namespace lakekit

@@ -1,0 +1,55 @@
+#ifndef LAKEKIT_COMMON_BLOOM_H_
+#define LAKEKIT_COMMON_BLOOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace lakekit {
+
+/// A plain Bloom filter over string keys — the read-pruning structure the
+/// KvStore attaches to each immutable sorted run so a Get can skip runs that
+/// cannot contain the key (the Bigtable/LevelDB per-SSTable filter idea).
+///
+/// Double hashing (Kirsch–Mitzenmacher): the k probe positions are derived
+/// from two independent 64-bit hashes as h1 + i*h2, which matches the false
+/// positive rate of k independent hash functions at a fraction of the cost.
+/// With the default 10 bits per key the expected FP rate is ~1%.
+///
+/// No false negatives ever: a key that was Add()ed always reports
+/// MayContain() == true. Thread safety: Add() is not thread-safe;
+/// MayContain() is const and safe to call concurrently once building is
+/// done (the KvStore only publishes filters for immutable runs).
+class BloomFilter {
+ public:
+  /// An empty filter rejects everything (MayContain always false) — the
+  /// correct behavior for an empty run.
+  BloomFilter() = default;
+
+  /// Sizes the filter for `expected_keys` insertions at `bits_per_key`.
+  /// `bits_per_key` below 1 clamps to 1; the probe count k is chosen as
+  /// bits_per_key * ln 2, clamped to [1, 30].
+  BloomFilter(size_t expected_keys, size_t bits_per_key = 10);
+
+  void Add(std::string_view key);
+
+  /// False means the key was definitely never added; true means it probably
+  /// was (FP rate set by bits_per_key).
+  bool MayContain(std::string_view key) const;
+
+  size_t num_bits() const { return num_bits_; }
+  size_t num_probes() const { return num_probes_; }
+
+  /// Approximate heap footprint, for accounting.
+  size_t MemoryUsage() const { return words_.size() * sizeof(uint64_t); }
+
+ private:
+  std::vector<uint64_t> words_;
+  size_t num_bits_ = 0;
+  size_t num_probes_ = 0;
+};
+
+}  // namespace lakekit
+
+#endif  // LAKEKIT_COMMON_BLOOM_H_

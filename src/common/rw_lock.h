@@ -1,0 +1,87 @@
+#ifndef LAKEKIT_COMMON_RW_LOCK_H_
+#define LAKEKIT_COMMON_RW_LOCK_H_
+
+#include <condition_variable>
+#include <mutex>
+
+namespace lakekit {
+
+/// A writer-priority reader/writer lock.
+///
+/// `std::shared_mutex` on glibc defaults to reader preference: as long as
+/// overlapping readers keep arriving, a waiting writer never runs. For the
+/// KvStore that is a liveness bug — a read-hammered store would never
+/// commit — so its state lock uses this instead: once a writer is waiting,
+/// new readers queue behind it. Writers are the rare, batched side (group
+/// commit coalesces them), so reader-side starvation is bounded by write
+/// volume rather than by reader arrival rate.
+///
+/// Satisfies the SharedLockable requirements, so it drops into
+/// `std::shared_lock` / `std::unique_lock` / `std::scoped_lock`.
+class WriterPriorityRwLock {
+ public:
+  WriterPriorityRwLock() = default;
+  WriterPriorityRwLock(const WriterPriorityRwLock&) = delete;
+  WriterPriorityRwLock& operator=(const WriterPriorityRwLock&) = delete;
+
+  void lock() {
+    std::unique_lock<std::mutex> lk(mu_);
+    ++waiting_writers_;
+    writer_cv_.wait(lk,
+                    [this] { return !writer_active_ && active_readers_ == 0; });
+    --waiting_writers_;
+    writer_active_ = true;
+  }
+
+  bool try_lock() {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (writer_active_ || active_readers_ != 0) return false;
+    writer_active_ = true;
+    return true;
+  }
+
+  void unlock() {
+    std::unique_lock<std::mutex> lk(mu_);
+    writer_active_ = false;
+    // Writers first: a woken writer re-blocks arriving readers via
+    // waiting_writers_, so write bursts drain before reads resume.
+    if (waiting_writers_ > 0) {
+      writer_cv_.notify_one();
+    } else {
+      reader_cv_.notify_all();
+    }
+  }
+
+  void lock_shared() {
+    std::unique_lock<std::mutex> lk(mu_);
+    reader_cv_.wait(
+        lk, [this] { return !writer_active_ && waiting_writers_ == 0; });
+    ++active_readers_;
+  }
+
+  bool try_lock_shared() {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (writer_active_ || waiting_writers_ != 0) return false;
+    ++active_readers_;
+    return true;
+  }
+
+  void unlock_shared() {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (--active_readers_ == 0 && waiting_writers_ > 0) {
+      writer_cv_.notify_one();
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable reader_cv_;
+  std::condition_variable writer_cv_;
+  int active_readers_ = 0;
+  int waiting_writers_ = 0;
+  bool writer_active_ = false;
+};
+
+}  // namespace lakekit
+
+#endif  // LAKEKIT_COMMON_RW_LOCK_H_

@@ -27,22 +27,23 @@ uint32_t ReadU32At(std::string_view data, size_t pos) {
 /// Encodes one record: [masked crc][klen][vlen|TOMBSTONE][key][value?].
 /// The CRC covers everything after itself (lengths + key + value), so a
 /// record torn at any byte — or bit-flipped anywhere — fails verification.
-std::string EncodeRecord(std::string_view key,
-                         const std::optional<std::string>& value) {
+void EncodeRecord(std::string_view key, const std::optional<std::string>& value,
+                  std::string* out) {
   std::string body;
+  body.reserve(8 + key.size() + (value ? value->size() : 0));
   AppendU32(static_cast<uint32_t>(key.size()), &body);
   AppendU32(value ? static_cast<uint32_t>(value->size()) : kTombstoneMarker,
             &body);
   body.append(key);
   if (value) body.append(*value);
-  std::string out;
-  AppendU32(MaskCrc32c(Crc32c(body)), &out);
-  out += body;
-  return out;
+  AppendU32(MaskCrc32c(Crc32c(body)), out);
+  *out += body;
 }
 
 struct DecodeResult {
-  std::map<std::string, std::optional<std::string>> entries;
+  /// Records in append order (later records overwrite earlier ones on
+  /// replay; nullopt value == tombstone).
+  std::vector<std::pair<std::string, std::optional<std::string>>> entries;
   /// Length of the valid record prefix; anything past it is a torn or
   /// corrupt tail the caller should truncate away.
   size_t valid_bytes = 0;
@@ -51,7 +52,8 @@ struct DecodeResult {
 /// Decodes records until the buffer ends or a record fails its length or
 /// CRC check. Stopping at the first bad record is the recovery contract:
 /// records are appended strictly in order, so everything after a tear is
-/// unacknowledged by construction.
+/// unacknowledged by construction — for a group-committed batch that means
+/// recovery keeps a clean *prefix* of the batch's records.
 DecodeResult DecodeRecords(std::string_view data) {
   DecodeResult result;
   size_t pos = 0;
@@ -67,10 +69,10 @@ DecodeResult DecodeRecords(std::string_view data) {
     if (Crc32c(body) != stored_crc) break;  // corrupt tail
     std::string key(body.substr(8, klen));
     if (tombstone) {
-      result.entries[std::move(key)] = std::nullopt;
+      result.entries.emplace_back(std::move(key), std::nullopt);
     } else {
-      result.entries[std::move(key)] =
-          std::string(body.substr(8 + klen, value_size));
+      result.entries.emplace_back(std::move(key),
+                                  std::string(body.substr(8 + klen, value_size)));
     }
     pos += 4 + body_size;
     result.valid_bytes = pos;
@@ -114,6 +116,18 @@ Result<std::unique_ptr<KvStore>> KvStore::Open(const std::string& dir,
   return store;
 }
 
+KvStore::Run KvStore::MakeRun(uint64_t id,
+                              std::vector<RunEntry> entries) const {
+  Run run;
+  run.id = id;
+  run.entries = std::move(entries);
+  if (options_.bloom_bits_per_key > 0 && !run.entries.empty()) {
+    run.bloom = BloomFilter(run.entries.size(), options_.bloom_bits_per_key);
+    for (const RunEntry& entry : run.entries) run.bloom.Add(entry.key);
+  }
+  return run;
+}
+
 Status KvStore::LoadRuns() {
   LAKEKIT_ASSIGN_OR_RETURN(std::vector<FsDirEntry> entries,
                            fs_->ListDir(dir_, /*recursive=*/false));
@@ -140,8 +154,28 @@ Status KvStore::LoadRuns() {
       LAKEKIT_RETURN_IF_ERROR(
           fs_->Truncate(RunPath(id), decoded.valid_bytes));
     }
-    runs_.push_back(id);
-    run_data_.push_back(std::move(decoded.entries));
+    std::vector<RunEntry> run_entries;
+    run_entries.reserve(decoded.entries.size());
+    for (auto& [key, value] : decoded.entries) {
+      run_entries.push_back(RunEntry{std::move(key), std::move(value)});
+    }
+    // Runs are written sorted and unique; a file that is not (foreign or
+    // hand-edited) is normalized on load, later records winning.
+    auto by_key = [](const RunEntry& a, const RunEntry& b) {
+      return a.key < b.key;
+    };
+    if (!std::is_sorted(run_entries.begin(), run_entries.end(), by_key)) {
+      std::stable_sort(run_entries.begin(), run_entries.end(), by_key);
+    }
+    auto out = run_entries.begin();
+    for (auto it = run_entries.begin(); it != run_entries.end(); ++it) {
+      auto next = std::next(it);
+      if (next != run_entries.end() && next->key == it->key) continue;
+      if (out != it) *out = std::move(*it);
+      ++out;
+    }
+    run_entries.erase(out, run_entries.end());
+    runs_.push_back(MakeRun(id, std::move(run_entries)));
     next_run_id_ = std::max(next_run_id_, id + 1);
   }
   return Status::OK();
@@ -160,23 +194,22 @@ Status KvStore::RecoverWal() {
     LAKEKIT_RETURN_IF_ERROR(fs_->Truncate(WalPath(), decoded.valid_bytes));
   }
   wal_bytes_ = decoded.valid_bytes;
+  // Replay in append order: later records overwrite earlier ones.
   for (auto& [key, value] : decoded.entries) {
     memtable_bytes_ += key.size() + (value ? value->size() : 0);
-    memtable_[key] = std::move(value);
+    memtable_[std::move(key)] = std::move(value);
   }
   return Status::OK();
 }
 
-Status KvStore::AppendWal(std::string_view key,
-                          const std::optional<std::string>& value) {
+Status KvStore::AppendWalLocked(std::string_view records) {
   if (!wal_) return Status::OK();
   if (wal_poisoned_) {
     return Status::IoError(
         "WAL unavailable after an unrecoverable append failure; reopen the "
         "store to recover");
   }
-  std::string record = EncodeRecord(key, value);
-  Status status = wal_->Append(record);
+  Status status = wal_->Append(records);
   if (status.ok() && options_.sync_writes) status = wal_->Sync();
   if (!status.ok()) {
     // Roll the WAL back to the last acknowledged record so a torn append
@@ -187,41 +220,120 @@ Status KvStore::AppendWal(std::string_view key,
     if (!repair.ok()) wal_poisoned_ = true;
     return status;
   }
-  wal_bytes_ += record.size();
+  wal_bytes_ += records.size();
   return Status::OK();
+}
+
+Status KvStore::Commit(
+    const std::vector<std::pair<std::string, std::optional<std::string>>>&
+        ops) {
+  if (ops.empty()) return Status::OK();
+  Committer me;
+  me.ops = &ops;
+  for (const auto& [key, value] : ops) {
+    EncodeRecord(key, value, &me.records);
+  }
+
+  std::unique_lock queue_lock(commit_mu_);
+  commit_queue_.push_back(&me);
+  while (!me.done && commit_queue_.front() != &me) {
+    me.cv.wait(queue_lock);
+  }
+  if (me.done) return me.status;  // a leader committed this batch for us
+
+  // This thread is the leader: adopt every committer queued so far as one
+  // batch. The queue lock is dropped during I/O so new committers keep
+  // enqueueing (forming the next batch) while this fsync is in flight —
+  // that overlap is the whole point of group commit.
+  const std::vector<Committer*> batch(commit_queue_.begin(),
+                                      commit_queue_.end());
+  queue_lock.unlock();
+
+  Status status;
+  {
+    std::unique_lock state_lock(state_mu_);
+    if (wal_ && batch.size() > 1) {
+      std::string group;
+      size_t group_bytes = 0;
+      for (const Committer* c : batch) group_bytes += c->records.size();
+      group.reserve(group_bytes);
+      for (const Committer* c : batch) group += c->records;
+      status = AppendWalLocked(group);
+    } else {
+      status = AppendWalLocked(me.records);
+    }
+    if (status.ok()) {
+      for (const Committer* c : batch) {
+        for (const auto& [key, value] : *c->ops) {
+          memtable_bytes_ += key.size() + (value ? value->size() : 0);
+          memtable_[key] = value;
+        }
+      }
+      status = MaybeFlushAndCompactLocked();
+    }
+  }
+
+  queue_lock.lock();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Committer* c = commit_queue_.front();
+    commit_queue_.pop_front();
+    if (c != &me) {
+      c->status = status;
+      c->done = true;
+      c->cv.notify_one();
+    }
+  }
+  // Hand leadership to the next batch, if one formed while we were busy.
+  if (!commit_queue_.empty()) commit_queue_.front()->cv.notify_one();
+  return status;
 }
 
 Status KvStore::Put(std::string_view key, std::string_view value) {
   if (key.empty()) return Status::InvalidArgument("empty key");
-  LAKEKIT_RETURN_IF_ERROR(AppendWal(key, std::string(value)));
-  memtable_bytes_ += key.size() + value.size();
-  memtable_[std::string(key)] = std::string(value);
-  return MaybeFlushAndCompact();
+  std::vector<std::pair<std::string, std::optional<std::string>>> ops;
+  ops.emplace_back(std::string(key), std::string(value));
+  return Commit(ops);
 }
 
 Status KvStore::Delete(std::string_view key) {
   if (key.empty()) return Status::InvalidArgument("empty key");
-  LAKEKIT_RETURN_IF_ERROR(AppendWal(key, std::nullopt));
-  memtable_bytes_ += key.size();
-  memtable_[std::string(key)] = std::nullopt;
-  return MaybeFlushAndCompact();
+  std::vector<std::pair<std::string, std::optional<std::string>>> ops;
+  ops.emplace_back(std::string(key), std::nullopt);
+  return Commit(ops);
+}
+
+Status KvStore::Write(const WriteBatch& batch) {
+  for (const auto& [key, value] : batch.ops_) {
+    if (key.empty()) return Status::InvalidArgument("empty key in batch");
+  }
+  return Commit(batch.ops_);
 }
 
 Result<std::string> KvStore::Get(std::string_view key) const {
+  std::shared_lock lock(state_mu_);
   auto make_not_found = [&] {
     return Status::NotFound("key '" + std::string(key) + "' not found");
   };
-  auto it = memtable_.find(std::string(key));
+  auto it = memtable_.find(key);  // std::less<>: no std::string temporary
   if (it != memtable_.end()) {
     if (!it->second) return make_not_found();
     return *it->second;
   }
-  // Newest run wins.
-  for (auto rit = run_data_.rbegin(); rit != run_data_.rend(); ++rit) {
-    auto found = rit->find(std::string(key));
-    if (found != rit->end()) {
-      if (!found->second) return make_not_found();
-      return *found->second;
+  // Newest run wins. Each probe is fence check -> bloom check -> binary
+  // search; most runs are skipped without touching their entries at all.
+  for (auto rit = runs_.rbegin(); rit != runs_.rend(); ++rit) {
+    const Run& run = *rit;
+    if (run.entries.empty()) continue;
+    if (key < run.min_key() || key > run.max_key()) continue;
+    if (options_.bloom_bits_per_key > 0 && !run.bloom.MayContain(key)) {
+      continue;
+    }
+    auto found = std::lower_bound(
+        run.entries.begin(), run.entries.end(), key,
+        [](const RunEntry& e, std::string_view k) { return e.key < k; });
+    if (found != run.entries.end() && found->key == key) {
+      if (!found->value) return make_not_found();
+      return *found->value;
     }
   }
   return make_not_found();
@@ -229,24 +341,96 @@ Result<std::string> KvStore::Get(std::string_view key) const {
 
 Result<std::vector<std::pair<std::string, std::string>>> KvStore::Scan(
     std::string_view start, std::string_view end) const {
-  // Merge newest-wins: overlay runs oldest->newest, then memtable.
-  std::map<std::string, std::optional<std::string>> merged;
-  auto in_range = [&](const std::string& k) {
-    if (!start.empty() && k < start) return false;
-    if (!end.empty() && k >= end) return false;
-    return true;
-  };
-  for (const auto& run : run_data_) {
-    for (const auto& [k, v] : run) {
-      if (in_range(k)) merged[k] = v;
+  std::shared_lock lock(state_mu_);
+  using MemIter = decltype(memtable_.cbegin());
+
+  // One source per run plus the memtable, each seeked to `start` — a k-way
+  // heap merge touches only entries inside the range, not every entry of
+  // every run. `age` breaks key ties: 0 is the memtable (newest), higher is
+  // older; the first pop of a key is its newest version.
+  struct Cursor {
+    const RunEntry* rpos = nullptr;
+    const RunEntry* rend = nullptr;
+    MemIter mpos{};
+    MemIter mend{};
+    bool is_mem = false;
+    size_t age = 0;
+
+    std::string_view key() const {
+      return is_mem ? std::string_view(mpos->first)
+                    : std::string_view(rpos->key);
     }
+    const std::optional<std::string>& value() const {
+      return is_mem ? mpos->second : rpos->value;
+    }
+    void Advance() {
+      if (is_mem) {
+        ++mpos;
+      } else {
+        ++rpos;
+      }
+    }
+    bool Exhausted() const { return is_mem ? mpos == mend : rpos == rend; }
+  };
+
+  std::vector<Cursor> heap;
+  heap.reserve(runs_.size() + 1);
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    const Run& run = runs_[i];
+    if (run.entries.empty()) continue;
+    if (!end.empty() && run.min_key() >= end) continue;  // fence: after range
+    if (!start.empty() && run.max_key() < start) continue;  // before range
+    Cursor c;
+    c.rpos = run.entries.data();
+    c.rend = run.entries.data() + run.entries.size();
+    if (!start.empty()) {
+      c.rpos = std::lower_bound(
+          c.rpos, c.rend, start,
+          [](const RunEntry& e, std::string_view k) { return e.key < k; });
+    }
+    c.age = runs_.size() - i;  // newest run = 1
+    if (c.rpos != c.rend) heap.push_back(c);
   }
-  for (const auto& [k, v] : memtable_) {
-    if (in_range(k)) merged[k] = v;
+  {
+    Cursor c;
+    c.is_mem = true;
+    c.mpos = start.empty() ? memtable_.cbegin() : memtable_.lower_bound(start);
+    c.mend = memtable_.cend();
+    c.age = 0;
+    if (c.mpos != c.mend) heap.push_back(c);
   }
+
+  // Min-heap on (key, age): std::*_heap build a max-heap, so the comparator
+  // orders "worse" (larger key, then older source) first.
+  auto worse = [](const Cursor& a, const Cursor& b) {
+    const int c = a.key().compare(b.key());
+    if (c != 0) return c > 0;
+    return a.age > b.age;
+  };
+  std::make_heap(heap.begin(), heap.end(), worse);
+
   std::vector<std::pair<std::string, std::string>> out;
-  for (auto& [k, v] : merged) {
-    if (v) out.emplace_back(k, *v);
+  std::string last_key;
+  bool has_last = false;
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), worse);
+    Cursor cur = heap.back();
+    heap.pop_back();
+    const std::string_view key = cur.key();
+    // The heap front is the globally smallest remaining key: once it
+    // crosses `end`, every source is past the range.
+    if (!end.empty() && key >= end) break;
+    if (!has_last || key != last_key) {
+      // First (= newest) version of this key; older duplicates are skipped.
+      if (cur.value()) out.emplace_back(std::string(key), *cur.value());
+      last_key.assign(key.data(), key.size());
+      has_last = true;
+    }
+    cur.Advance();
+    if (!cur.Exhausted()) {
+      heap.push_back(cur);
+      std::push_heap(heap.begin(), heap.end(), worse);
+    }
   }
   return out;
 }
@@ -254,11 +438,19 @@ Result<std::vector<std::pair<std::string, std::string>>> KvStore::Scan(
 Result<std::vector<std::pair<std::string, std::string>>> KvStore::ScanPrefix(
     std::string_view prefix) const {
   if (prefix.empty()) return Scan();
+  // Successor prefix: bump the last byte, carrying into preceding bytes
+  // when it is 0xFF ("ab\xFF" -> "ac"). An all-0xFF prefix has no
+  // successor — fall back to an open-ended scan; the StartsWith filter
+  // below keeps the result exact either way.
   std::string end(prefix);
-  // Successor prefix: bump the last byte (prefixes of 0xFF bytes fall back to
-  // an open-ended scan plus filtering, which this simple bump handles for
-  // ASCII keys used throughout lakekit).
-  end.back() = static_cast<char>(static_cast<unsigned char>(end.back()) + 1);
+  while (!end.empty() &&
+         static_cast<unsigned char>(end.back()) == 0xFF) {
+    end.pop_back();
+  }
+  if (!end.empty()) {
+    end.back() =
+        static_cast<char>(static_cast<unsigned char>(end.back()) + 1);
+  }
   LAKEKIT_ASSIGN_OR_RETURN(auto pairs, Scan(prefix, end));
   std::vector<std::pair<std::string, std::string>> out;
   for (auto& kv : pairs) {
@@ -267,14 +459,13 @@ Result<std::vector<std::pair<std::string, std::string>>> KvStore::ScanPrefix(
   return out;
 }
 
-Status KvStore::WriteRun(
-    const std::map<std::string, std::optional<std::string>>& entries) {
+Status KvStore::WriteRunLocked(std::vector<RunEntry> entries) {
   const uint64_t id = next_run_id_++;
   const std::string path = RunPath(id);
   const std::string tmp = path + ".tmp";
   std::string data;
-  for (const auto& [k, v] : entries) {
-    data += EncodeRecord(k, v);
+  for (const RunEntry& entry : entries) {
+    EncodeRecord(entry.key, entry.value, &data);
   }
   // Stage durable, then publish atomically: a crash anywhere in this
   // sequence leaves either no run (plus an ignorable .tmp) or the complete
@@ -294,14 +485,18 @@ Status KvStore::WriteRun(
     (void)fs_->Remove(tmp);
     return status;
   }
-  runs_.push_back(id);
-  run_data_.push_back(entries);
+  runs_.push_back(MakeRun(id, std::move(entries)));
   return Status::OK();
 }
 
-Status KvStore::Flush() {
+Status KvStore::FlushLocked() {
   if (memtable_.empty()) return Status::OK();
-  LAKEKIT_RETURN_IF_ERROR(WriteRun(memtable_));
+  std::vector<RunEntry> entries;
+  entries.reserve(memtable_.size());
+  for (const auto& [key, value] : memtable_) {
+    entries.push_back(RunEntry{key, value});
+  }
+  LAKEKIT_RETURN_IF_ERROR(WriteRunLocked(std::move(entries)));
   memtable_.clear();
   memtable_bytes_ = 0;
   // Truncate the WAL: its contents are now durable in the run. The run was
@@ -317,22 +512,69 @@ Status KvStore::Flush() {
   return Status::OK();
 }
 
-Status KvStore::Compact() {
-  LAKEKIT_RETURN_IF_ERROR(Flush());
+Status KvStore::Flush() {
+  std::unique_lock lock(state_mu_);
+  return FlushLocked();
+}
+
+std::vector<KvStore::RunEntry> KvStore::MergeRuns(
+    const std::vector<Run>& runs) {
+  // Newest-wins heap merge over the immutable runs, tombstones KEPT (see
+  // CompactLocked for why). Same cursor discipline as Scan, minus the
+  // memtable and range bounds.
+  struct Cursor {
+    const RunEntry* pos = nullptr;
+    const RunEntry* end = nullptr;
+    size_t age = 0;  // smaller = newer
+  };
+  std::vector<Cursor> heap;
+  heap.reserve(runs.size());
+  for (size_t i = 0; i < runs.size(); ++i) {
+    if (runs[i].entries.empty()) continue;
+    Cursor c;
+    c.pos = runs[i].entries.data();
+    c.end = c.pos + runs[i].entries.size();
+    c.age = runs.size() - i;
+    heap.push_back(c);
+  }
+  auto worse = [](const Cursor& a, const Cursor& b) {
+    const int c = a.pos->key.compare(b.pos->key);
+    if (c != 0) return c > 0;
+    return a.age > b.age;
+  };
+  std::make_heap(heap.begin(), heap.end(), worse);
+  std::vector<RunEntry> merged;
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), worse);
+    Cursor cur = heap.back();
+    heap.pop_back();
+    if (merged.empty() || merged.back().key != cur.pos->key) {
+      merged.push_back(*cur.pos);
+    }
+    if (++cur.pos != cur.end) {
+      heap.push_back(cur);
+      std::push_heap(heap.begin(), heap.end(), worse);
+    }
+  }
+  return merged;
+}
+
+Status KvStore::CompactLocked() {
+  LAKEKIT_RETURN_IF_ERROR(FlushLocked());
   if (runs_.size() <= 1) return Status::OK();
   // Merge newest-wins. Shadowed values are dropped; tombstones are KEPT:
   // until the superseded runs' deletion is durable, a crash can resurrect
   // them, and only a tombstone in the merged run keeps their deleted keys
   // dead (see DESIGN.md).
-  std::map<std::string, std::optional<std::string>> merged;
-  for (const auto& run : run_data_) {
-    for (const auto& [k, v] : run) merged[k] = v;
-  }
-  const std::vector<uint64_t> old_ids = runs_;
+  std::vector<RunEntry> merged = MergeRuns(runs_);
+  const size_t old_count = runs_.size();
+  std::vector<uint64_t> old_ids;
+  old_ids.reserve(old_count);
+  for (const Run& run : runs_) old_ids.push_back(run.id);
   if (!merged.empty()) {
     // Publish the merged run durably BEFORE deleting what it replaces; the
     // reverse order loses every key in the old runs if we crash between.
-    LAKEKIT_RETURN_IF_ERROR(WriteRun(merged));
+    LAKEKIT_RETURN_IF_ERROR(WriteRunLocked(std::move(merged)));
   }
   for (uint64_t id : old_ids) {
     // ignore: a failed unlink is safe — the merged run is newer and carries
@@ -340,25 +582,34 @@ Status KvStore::Compact() {
     (void)fs_->Remove(RunPath(id));
   }
   LAKEKIT_RETURN_IF_ERROR(fs_->SyncDir(dir_));
-  if (merged.empty()) {
-    runs_.clear();
-    run_data_.clear();
-  } else {
-    // WriteRun appended the merged run; drop the superseded prefix.
-    runs_.erase(runs_.begin(), runs_.begin() + old_ids.size());
-    run_data_.erase(run_data_.begin(), run_data_.begin() + old_ids.size());
+  // WriteRunLocked appended the merged run; drop the superseded prefix.
+  runs_.erase(runs_.begin(), runs_.begin() + static_cast<long>(old_count));
+  return Status::OK();
+}
+
+Status KvStore::Compact() {
+  std::unique_lock lock(state_mu_);
+  return CompactLocked();
+}
+
+Status KvStore::MaybeFlushAndCompactLocked() {
+  if (memtable_bytes_ >= options_.memtable_flush_bytes) {
+    LAKEKIT_RETURN_IF_ERROR(FlushLocked());
+  }
+  if (runs_.size() >= options_.compaction_trigger_runs) {
+    LAKEKIT_RETURN_IF_ERROR(CompactLocked());
   }
   return Status::OK();
 }
 
-Status KvStore::MaybeFlushAndCompact() {
-  if (memtable_bytes_ >= options_.memtable_flush_bytes) {
-    LAKEKIT_RETURN_IF_ERROR(Flush());
-  }
-  if (runs_.size() >= options_.compaction_trigger_runs) {
-    LAKEKIT_RETURN_IF_ERROR(Compact());
-  }
-  return Status::OK();
+size_t KvStore::num_runs() const {
+  std::shared_lock lock(state_mu_);
+  return runs_.size();
+}
+
+size_t KvStore::memtable_entries() const {
+  std::shared_lock lock(state_mu_);
+  return memtable_.size();
 }
 
 }  // namespace lakekit::storage

@@ -1,15 +1,22 @@
 #ifndef LAKEKIT_STORAGE_KV_STORE_H_
 #define LAKEKIT_STORAGE_KV_STORE_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
+#include "common/bloom.h"
 #include "common/result.h"
+#include "common/rw_lock.h"
 #include "storage/fs.h"
 
 namespace lakekit::storage {
@@ -23,14 +30,42 @@ struct KvStoreOptions {
   size_t compaction_trigger_runs = 8;
   /// When false, writes skip the write-ahead log (faster, not crash-safe).
   bool use_wal = true;
-  /// When true (default), every WAL append is fsynced before the write is
-  /// acknowledged — an OK from Put/Delete means the write survives a power
-  /// cut. When false, writes are only as durable as the OS page cache
-  /// (group-commit semantics a caller can emulate with explicit Flush).
+  /// When true (default), a commit's WAL records are fsynced before the
+  /// write is acknowledged — an OK from Put/Delete/Write means the write
+  /// survives a power cut. Concurrent committers share one fsync via group
+  /// commit (see below); the durability semantics are unchanged. When
+  /// false, writes are only as durable as the OS page cache.
   bool sync_writes = true;
+  /// Bloom bits per key for the per-run filters built at flush/load time.
+  /// 0 disables bloom filters (fence pruning still applies).
+  size_t bloom_bits_per_key = 10;
 };
 
-/// An ordered, persistent key-value store: a miniature LSM tree.
+/// An ordered batch of Put/Delete ops committed atomically-per-record with
+/// one WAL append + one fsync via `KvStore::Write` — the single-caller
+/// flavor of group commit. Records land in the order they were added;
+/// recovery after a crash mid-commit keeps a clean prefix of the batch
+/// (each record is individually CRC-framed), never a torn record.
+class WriteBatch {
+ public:
+  void Put(std::string_view key, std::string_view value) {
+    ops_.emplace_back(std::string(key), std::string(value));
+  }
+  void Delete(std::string_view key) {
+    ops_.emplace_back(std::string(key), std::nullopt);
+  }
+  void Clear() { ops_.clear(); }
+  size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+
+ private:
+  friend class KvStore;
+  /// nullopt value == tombstone.
+  std::vector<std::pair<std::string, std::optional<std::string>>> ops_;
+};
+
+/// An ordered, persistent, thread-safe key-value store: a miniature LSM
+/// tree.
 ///
 /// Stand-in for the Bigtable/RocksDB storage used by catalog systems like
 /// GOODS (survey Sec. 4.3, 6.1.1). Writes go to a WAL and an in-memory
@@ -38,14 +73,32 @@ struct KvStoreOptions {
 /// the memtable and runs newest-first; deletes are tombstones; compaction
 /// merges runs and drops shadowed entries.
 ///
+/// Concurrency: all public methods are safe to call from any thread.
+/// Writers commit through a leader/follower *group commit* queue: each
+/// caller enqueues its encoded WAL records, the caller at the front of the
+/// queue becomes leader, appends every queued record in one write, pays one
+/// fsync for the whole batch, applies the batch to the memtable, and wakes
+/// the followers. Under contention N committers share one fsync — the
+/// classic way out of fsync-per-commit — while an OK still means "my record
+/// is synced" (full durability, just amortized). Reads take a shared lock
+/// and never block each other.
+///
+/// Read path: each immutable run is a flat sorted vector (binary search, no
+/// per-node pointers) guarded by a min/max-key fence and a Bloom filter, so
+/// a point Get probes only runs that may contain the key — and allocates
+/// nothing on the probe path. Scans seek every source to the range start
+/// and heap-merge newest-wins instead of materializing all entries.
+///
 /// Crash story (see DESIGN.md "Failure model & durability contract"):
 /// every WAL and run record is CRC32C-framed, so recovery truncates a torn
 /// or corrupt tail instead of ingesting garbage; run files are staged to a
 /// temp name, fsynced, renamed, and the directory fsynced before the WAL is
 /// truncated; compaction publishes the merged run durably (tombstones
 /// retained) *before* deleting the superseded runs, so a crash at any point
-/// can neither lose acknowledged writes nor resurrect deleted keys. All I/O
-/// flows through `Fs`, so the crash harness replays these paths under
+/// can neither lose acknowledged writes nor resurrect deleted keys. A group
+/// commit is a contiguous range of individually framed records, so a crash
+/// mid-batch preserves a prefix of its records — never a torn record. All
+/// I/O flows through `Fs`, so the crash harness replays these paths under
 /// `FaultInjectingFs`.
 class KvStore {
  public:
@@ -60,6 +113,11 @@ class KvStore {
 
   Status Put(std::string_view key, std::string_view value);
   Status Delete(std::string_view key);
+
+  /// Commits every op in `batch` with one WAL append and one fsync. OK
+  /// means all records are durable; on failure none were applied to the
+  /// memtable (and a crash can only persist a prefix of the records).
+  Status Write(const WriteBatch& batch);
 
   /// Point lookup; NotFound if absent or deleted.
   Result<std::string> Get(std::string_view key) const;
@@ -82,21 +140,70 @@ class KvStore {
   /// durable.
   Status Compact();
 
-  size_t num_runs() const { return runs_.size(); }
-  size_t memtable_entries() const { return memtable_.size(); }
+  size_t num_runs() const;
+  size_t memtable_entries() const;
 
   ~KvStore();
 
  private:
+  /// One (key, value-or-tombstone) entry of a flat sorted run.
+  struct RunEntry {
+    std::string key;
+    /// nullopt == tombstone.
+    std::optional<std::string> value;
+  };
+
+  /// An immutable sorted run: flat entries plus the pruning metadata a Get
+  /// consults before binary-searching (min/max fence, bloom filter).
+  struct Run {
+    uint64_t id = 0;
+    std::vector<RunEntry> entries;  // sorted by key, unique
+    BloomFilter bloom;
+
+    std::string_view min_key() const { return entries.front().key; }
+    std::string_view max_key() const { return entries.back().key; }
+  };
+
+  /// One committer waiting in the group-commit queue.
+  struct Committer {
+    /// Encoded WAL records for every op, concatenated in order.
+    std::string records;
+    /// The ops to apply to the memtable once the records are durable.
+    const std::vector<std::pair<std::string, std::optional<std::string>>>*
+        ops = nullptr;
+    Status status;
+    bool done = false;
+    std::condition_variable cv;
+  };
+
   KvStore(std::string dir, KvStoreOptions options, Fs* fs);
 
   Status RecoverWal();
   Status LoadRuns();
-  Status AppendWal(std::string_view key,
-                   const std::optional<std::string>& value);
-  Status WriteRun(
-      const std::map<std::string, std::optional<std::string>>& entries);
-  Status MaybeFlushAndCompact();
+
+  /// The group-commit engine: enqueue, become leader or wait, leader
+  /// appends+syncs every queued committer's records and applies their ops.
+  Status Commit(
+      const std::vector<std::pair<std::string, std::optional<std::string>>>&
+          ops);
+
+  /// Appends `records` (one or more encoded records) to the WAL and, when
+  /// `sync_writes`, fsyncs — rolling back to the last acknowledged offset
+  /// on failure. Requires state_mu_ held exclusively.
+  Status AppendWalLocked(std::string_view records);
+
+  /// Requires state_mu_ held exclusively.
+  Status WriteRunLocked(std::vector<RunEntry> entries);
+  Status FlushLocked();
+  Status CompactLocked();
+  Status MaybeFlushAndCompactLocked();
+
+  /// Builds the bloom filter + fence metadata for `entries`.
+  Run MakeRun(uint64_t id, std::vector<RunEntry> entries) const;
+
+  /// Merges `runs` newest-wins into one sorted entry vector, keeping
+  /// tombstones (compaction's contract).
+  static std::vector<RunEntry> MergeRuns(const std::vector<Run>& runs);
 
   std::string WalPath() const { return dir_ + "/wal.log"; }
   std::string RunPath(uint64_t id) const {
@@ -106,13 +213,25 @@ class KvStore {
   std::string dir_;
   KvStoreOptions options_;
   Fs* fs_;
-  /// nullopt value == tombstone.
-  std::map<std::string, std::optional<std::string>> memtable_;
+
+  /// Guards all store state below. Writers (the group-commit leader, Flush,
+  /// Compact) take it exclusively; Get/Scan take it shared. Writer-priority
+  /// (not std::shared_mutex): a continuous stream of overlapping readers
+  /// must not starve commits.
+  mutable WriterPriorityRwLock state_mu_;
+
+  /// Guards the group-commit queue only. Never held while doing I/O or
+  /// while acquiring state_mu_ — committers enqueue (and new batches form)
+  /// while the current leader is inside its fsync.
+  std::mutex commit_mu_;
+  std::deque<Committer*> commit_queue_;
+
+  /// nullopt value == tombstone. std::less<> so probes with a string_view
+  /// never allocate a std::string.
+  std::map<std::string, std::optional<std::string>, std::less<>> memtable_;
   size_t memtable_bytes_ = 0;
-  /// Sorted run file ids, oldest first; contents cached in memory maps
-  /// (runs are immutable).
-  std::vector<uint64_t> runs_;
-  std::vector<std::map<std::string, std::optional<std::string>>> run_data_;
+  /// Immutable sorted runs, oldest first.
+  std::vector<Run> runs_;
   uint64_t next_run_id_ = 0;
   std::unique_ptr<WritableFile> wal_;
   /// Bytes of complete, acknowledged records in the WAL — the offset a

@@ -7,6 +7,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
@@ -16,22 +17,27 @@ namespace lakekit::storage::crash_harness {
 
 /// One step of a randomized KvStore workload.
 struct WorkloadOp {
-  enum Kind { kPut, kDelete, kFlush, kCompact };
+  enum Kind { kPut, kDelete, kFlush, kCompact, kBatch };
   Kind kind = kPut;
   std::string key;
   std::string value;
+  /// For kBatch: the ops committed through one WriteBatch (nullopt value ==
+  /// delete), in order.
+  std::vector<std::pair<std::string, std::optional<std::string>>> batch;
 };
 
 /// The durability contract, as data: what the store has acknowledged
-/// (`acked`, nullopt meaning "deleted"), plus the at-most-one operation that
-/// was in flight when the fault hit. POSIX lets the in-flight op land either
-/// way; everything acknowledged must survive a crash exactly.
+/// (`acked`, nullopt meaning "deleted"), plus the records of the at-most-one
+/// commit that was in flight when the fault hit, in WAL order. A plain
+/// Put/Delete is an in-flight commit of one record; a WriteBatch is several.
+/// POSIX + per-record CRC framing let any *prefix* of the in-flight records
+/// land (each record individually old-or-new, and record i+1 never lands
+/// without record i); everything acknowledged must survive a crash exactly.
 struct CrashModel {
   std::map<std::string, std::optional<std::string>> acked;
-  std::optional<std::string> inflight_key;
-  /// Intended post-state of the in-flight op (nullopt = delete).
-  std::optional<std::string> inflight_value;
-  bool has_inflight = false;
+  std::vector<std::pair<std::string, std::optional<std::string>>> inflight;
+
+  bool has_inflight() const { return !inflight.empty(); }
 };
 
 /// Small key space so deletes and overwrites actually collide.
@@ -39,8 +45,9 @@ inline std::string WorkloadKey(uint64_t i) {
   return "key" + std::to_string(i % 12);
 }
 
-/// Deterministic mixed workload: ~60% puts, ~20% deletes, plus explicit
-/// flushes and compactions so run files and merges sit in the crash window.
+/// Deterministic mixed workload: ~50% puts, ~20% deletes, ~10% group-commit
+/// batches, plus explicit flushes and compactions so run files and merges
+/// sit in the crash window.
 inline std::vector<WorkloadOp> MakeWorkload(uint64_t seed, size_t n) {
   Rng rng(seed);
   std::vector<WorkloadOp> ops;
@@ -48,14 +55,27 @@ inline std::vector<WorkloadOp> MakeWorkload(uint64_t seed, size_t n) {
   for (size_t i = 0; i < n; ++i) {
     WorkloadOp op;
     uint64_t roll = rng.Below(10);
-    if (roll < 6) {
+    if (roll < 5) {
       op.kind = WorkloadOp::kPut;
       op.key = WorkloadKey(rng.Below(12));
       op.value = "v" + std::to_string(rng.Below(1000)) +
                  std::string(rng.Below(40), 'x');
-    } else if (roll < 8) {
+    } else if (roll < 7) {
       op.kind = WorkloadOp::kDelete;
       op.key = WorkloadKey(rng.Below(12));
+    } else if (roll < 8) {
+      op.kind = WorkloadOp::kBatch;
+      const size_t batch_len = 2 + rng.Below(4);
+      for (size_t j = 0; j < batch_len; ++j) {
+        if (rng.Below(4) == 0) {
+          op.batch.emplace_back(WorkloadKey(rng.Below(12)), std::nullopt);
+        } else {
+          op.batch.emplace_back(
+              WorkloadKey(rng.Below(12)),
+              "b" + std::to_string(rng.Below(1000)) +
+                  std::string(rng.Below(20), 'y'));
+        }
+      }
     } else if (roll < 9) {
       op.kind = WorkloadOp::kFlush;
     } else {
@@ -68,8 +88,8 @@ inline std::vector<WorkloadOp> MakeWorkload(uint64_t seed, size_t n) {
 
 /// Applies `ops` to `store`, recording acknowledgements in `model`. Stops at
 /// the first failed op (with injected faults that is where a real process
-/// would die); a failed Put/Delete becomes the model's in-flight op, while a
-/// failed Flush/Compact changes no logical state at all.
+/// would die); a failed Put/Delete/Write becomes the model's in-flight
+/// commit, while a failed Flush/Compact changes no logical state at all.
 inline void RunWorkload(KvStore* store, const std::vector<WorkloadOp>& ops,
                         CrashModel* model) {
   for (const WorkloadOp& op : ops) {
@@ -80,9 +100,7 @@ inline void RunWorkload(KvStore* store, const std::vector<WorkloadOp>& ops,
         if (status.ok()) {
           model->acked[op.key] = op.value;
         } else {
-          model->inflight_key = op.key;
-          model->inflight_value = op.value;
-          model->has_inflight = true;
+          model->inflight.emplace_back(op.key, op.value);
         }
         break;
       case WorkloadOp::kDelete:
@@ -90,11 +108,28 @@ inline void RunWorkload(KvStore* store, const std::vector<WorkloadOp>& ops,
         if (status.ok()) {
           model->acked[op.key] = std::nullopt;
         } else {
-          model->inflight_key = op.key;
-          model->inflight_value = std::nullopt;
-          model->has_inflight = true;
+          model->inflight.emplace_back(op.key, std::nullopt);
         }
         break;
+      case WorkloadOp::kBatch: {
+        WriteBatch batch;
+        for (const auto& [key, value] : op.batch) {
+          if (value) {
+            batch.Put(key, *value);
+          } else {
+            batch.Delete(key);
+          }
+        }
+        status = store->Write(batch);
+        if (status.ok()) {
+          for (const auto& [key, value] : op.batch) {
+            model->acked[key] = value;
+          }
+        } else {
+          model->inflight = op.batch;
+        }
+        break;
+      }
       case WorkloadOp::kFlush:
         status = store->Flush();
         break;
@@ -107,16 +142,23 @@ inline void RunWorkload(KvStore* store, const std::vector<WorkloadOp>& ops,
 }
 
 /// Checks a reopened store against the model:
-///  - every acknowledged write/delete (except the in-flight key) must be
-///    reflected exactly — acked values survive, deleted keys stay dead;
-///  - the in-flight key may hold its old or its intended new state, nothing
-///    else;
+///  - every acknowledged write/delete of a key the in-flight commit does not
+///    touch must be reflected exactly — acked values survive, deleted keys
+///    stay dead;
+///  - the keys of the in-flight commit must together match the state after
+///    applying some *prefix* of its records on top of the acked state
+///    (prefix length 0 = none landed, full length = all landed; a plain
+///    Put/Delete in flight is the classic old-or-new special case, and a
+///    torn record or an out-of-order landing is illegal at any length);
 ///  - Scan must return no key outside the model (unacknowledged writes
 ///    vanish cleanly, deleted keys never resurrect).
 inline ::testing::AssertionResult CheckModel(const KvStore& store,
                                              const CrashModel& model) {
+  std::set<std::string> inflight_keys;
+  for (const auto& [key, value] : model.inflight) inflight_keys.insert(key);
+
   for (const auto& [key, value] : model.acked) {
-    if (model.has_inflight && key == *model.inflight_key) continue;
+    if (inflight_keys.count(key) != 0) continue;
     Result<std::string> got = store.Get(key);
     if (value) {
       if (!got.ok()) {
@@ -134,21 +176,38 @@ inline ::testing::AssertionResult CheckModel(const KvStore& store,
              << "'";
     }
   }
-  if (model.has_inflight) {
-    const std::string& key = *model.inflight_key;
-    auto it = model.acked.find(key);
-    std::optional<std::string> old_state =
-        it == model.acked.end() ? std::nullopt : it->second;
-    Result<std::string> got = store.Get(key);
-    std::optional<std::string> observed =
-        got.ok() ? std::optional<std::string>(*got) : std::nullopt;
-    if (observed != old_state && observed != model.inflight_value) {
+  if (model.has_inflight()) {
+    // Observe the store's state on every key the in-flight commit touches.
+    std::map<std::string, std::optional<std::string>> observed;
+    for (const std::string& key : inflight_keys) {
+      Result<std::string> got = store.Get(key);
+      observed[key] =
+          got.ok() ? std::optional<std::string>(*got) : std::nullopt;
+    }
+    // It must equal the projection of acked + some prefix of the records.
+    bool matched = false;
+    for (size_t prefix = 0; prefix <= model.inflight.size() && !matched;
+         ++prefix) {
+      std::map<std::string, std::optional<std::string>> expected;
+      for (const std::string& key : inflight_keys) {
+        auto it = model.acked.find(key);
+        expected[key] = it == model.acked.end() ? std::nullopt : it->second;
+      }
+      for (size_t i = 0; i < prefix; ++i) {
+        expected[model.inflight[i].first] = model.inflight[i].second;
+      }
+      matched = (observed == expected);
+    }
+    if (!matched) {
+      std::string got;
+      for (const auto& [key, value] : observed) {
+        got += " " + key + "=" + (value ? *value : "<absent>");
+      }
       return ::testing::AssertionFailure()
-             << "in-flight key '" << key << "' in illegal state '"
-             << (observed ? *observed : "<absent>") << "' (legal: old='"
-             << (old_state ? *old_state : "<absent>") << "', new='"
-             << (model.inflight_value ? *model.inflight_value : "<absent>")
-             << "')";
+             << "in-flight commit of " << model.inflight.size()
+             << " record(s) left an illegal state (no record prefix "
+                "matches):"
+             << got;
     }
   }
   Result<std::vector<std::pair<std::string, std::string>>> all = store.Scan();
@@ -157,7 +216,7 @@ inline ::testing::AssertionResult CheckModel(const KvStore& store,
            << "scan failed after recovery: " << all.status().message();
   }
   for (const auto& [key, value] : *all) {
-    if (model.has_inflight && key == *model.inflight_key) continue;
+    if (inflight_keys.count(key) != 0) continue;
     auto it = model.acked.find(key);
     if (it == model.acked.end() || !it->second) {
       return ::testing::AssertionFailure()

@@ -9,6 +9,7 @@
 
 #include "json/parser.h"
 #include "storage/document_store.h"
+#include "storage/fault_injecting_fs.h"
 #include "storage/graph_store.h"
 #include "storage/kv_store.h"
 #include "storage/object_store.h"
@@ -266,6 +267,142 @@ TEST_F(KvStoreTest, BinaryValues) {
   ASSERT_TRUE((*store)->Put("bin", binary).ok());
   ASSERT_TRUE((*store)->Flush().ok());
   EXPECT_EQ(*(*store)->Get("bin"), binary);
+}
+
+TEST_F(KvStoreTest, ScanPrefixHighByteCarriesIntoPrecedingByte) {
+  // Regression: a prefix ending in 0xFF used to wrap the successor bound to
+  // 0x00 ("k\xFF" -> end "k\x00" < start) and silently scan an empty range.
+  // The carry turns "k\xFF" into end "l".
+  auto store = KvStore::Open(Path("kv"));
+  const std::string prefix = "k\xFF";
+  ASSERT_TRUE((*store)->Put(prefix, "exact").ok());
+  ASSERT_TRUE((*store)->Put(prefix + std::string(1, '\x01'), "low").ok());
+  ASSERT_TRUE((*store)->Put(prefix + "zz", "high").ok());
+  ASSERT_TRUE((*store)->Put("k\xFE", "below").ok());
+  ASSERT_TRUE((*store)->Put("l", "sibling").ok());
+  auto scan = (*store)->ScanPrefix(prefix);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->size(), 3u);
+  EXPECT_EQ((*scan)[0].first, prefix);
+  EXPECT_EQ((*scan)[1].first, prefix + std::string(1, '\x01'));
+  EXPECT_EQ((*scan)[2].first, prefix + "zz");
+  // Same result when the entries live in a run instead of the memtable.
+  ASSERT_TRUE((*store)->Flush().ok());
+  EXPECT_EQ((*store)->ScanPrefix(prefix)->size(), 3u);
+}
+
+TEST_F(KvStoreTest, ScanPrefixAllHighBytesFallsBackToOpenScan) {
+  // An all-0xFF prefix has no successor key at its length: the scan must
+  // fall back to an open-ended range plus filtering, not wrap around.
+  auto store = KvStore::Open(Path("kv"));
+  const std::string prefix = "\xFF\xFF";
+  ASSERT_TRUE((*store)->Put(prefix, "exact").ok());
+  ASSERT_TRUE((*store)->Put(prefix + "tail", "tail").ok());
+  ASSERT_TRUE((*store)->Put("\xFF", "shorter").ok());
+  ASSERT_TRUE((*store)->Put("\xFE\xFF", "other").ok());
+  auto scan = (*store)->ScanPrefix(prefix);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->size(), 2u);
+  EXPECT_EQ((*scan)[0].first, prefix);
+  EXPECT_EQ((*scan)[1].first, prefix + "tail");
+}
+
+TEST_F(KvStoreTest, WriteBatchAppliesAllOpsInOrder) {
+  auto store = KvStore::Open(Path("kv"));
+  ASSERT_TRUE((*store)->Put("gone", "soon").ok());
+  WriteBatch batch;
+  batch.Put("a", "1");
+  batch.Put("b", "2");
+  batch.Delete("gone");
+  batch.Put("a", "1-again");  // later record in the same batch wins
+  ASSERT_TRUE((*store)->Write(batch).ok());
+  EXPECT_EQ(*(*store)->Get("a"), "1-again");
+  EXPECT_EQ(*(*store)->Get("b"), "2");
+  EXPECT_TRUE((*store)->Get("gone").status().IsNotFound());
+  // The batch is replayed from the WAL on reopen.
+  store->reset();
+  auto reopened = KvStore::Open(Path("kv"));
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(*(*reopened)->Get("a"), "1-again");
+  EXPECT_TRUE((*reopened)->Get("gone").status().IsNotFound());
+}
+
+TEST_F(KvStoreTest, WriteBatchRejectsEmptyKeyAndAcceptsEmptyBatch) {
+  auto store = KvStore::Open(Path("kv"));
+  WriteBatch bad;
+  bad.Put("ok", "v");
+  bad.Put("", "v");
+  EXPECT_FALSE((*store)->Write(bad).ok());
+  // Nothing from the rejected batch may have been applied.
+  EXPECT_TRUE((*store)->Get("ok").status().IsNotFound());
+  WriteBatch empty;
+  EXPECT_TRUE((*store)->Write(empty).ok());
+}
+
+TEST_F(KvStoreTest, WriteBatchPaysOneAppendAndOneFsync) {
+  // The WriteBatch contract that makes group commit pay off: a batch of N
+  // records costs the same fs ops as a single durable Put (one WAL append,
+  // one fsync) — not N of each.
+  FaultInjectingFs fs(7);
+  auto store = KvStore::Open("db", {}, &fs);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("warmup", "x").ok());
+  int64_t before = fs.op_count();
+  ASSERT_TRUE((*store)->Put("single", "y").ok());
+  const int64_t single_put_ops = fs.op_count() - before;
+  WriteBatch batch;
+  for (int i = 0; i < 64; ++i) {
+    batch.Put("batch" + std::to_string(i), "z");
+  }
+  before = fs.op_count();
+  ASSERT_TRUE((*store)->Write(batch).ok());
+  EXPECT_EQ(fs.op_count() - before, single_put_ops);
+}
+
+TEST_F(KvStoreTest, GetAcrossManyRunsWithAndWithoutBloom) {
+  for (size_t bloom_bits : {size_t{10}, size_t{0}}) {
+    KvStoreOptions options;
+    options.bloom_bits_per_key = bloom_bits;
+    options.compaction_trigger_runs = 100;  // keep all runs alive
+    auto store = KvStore::Open(
+        Path("kv" + std::to_string(bloom_bits)), options);
+    ASSERT_TRUE(store.ok());
+    // 8 runs with disjoint key ranges — fence + bloom pruning territory.
+    for (int run = 0; run < 8; ++run) {
+      for (int i = 0; i < 50; ++i) {
+        ASSERT_TRUE((*store)
+                        ->Put("r" + std::to_string(run) + "-k" +
+                                  std::to_string(i),
+                              "v" + std::to_string(run * 100 + i))
+                        .ok());
+      }
+      ASSERT_TRUE((*store)->Flush().ok());
+    }
+    ASSERT_EQ((*store)->num_runs(), 8u);
+    for (int run = 0; run < 8; ++run) {
+      for (int i = 0; i < 50; ++i) {
+        auto got = (*store)->Get("r" + std::to_string(run) + "-k" +
+                                 std::to_string(i));
+        ASSERT_TRUE(got.ok());
+        EXPECT_EQ(*got, "v" + std::to_string(run * 100 + i));
+      }
+    }
+    EXPECT_TRUE((*store)->Get("r3-missing").status().IsNotFound());
+    EXPECT_TRUE((*store)->Get("zzz").status().IsNotFound());
+  }
+}
+
+TEST_F(KvStoreTest, BinaryKeysSurviveFlushAndProbe) {
+  auto store = KvStore::Open(Path("kv"));
+  std::string key1("\x00\x01\xff", 3);
+  std::string key2("\xff\x00", 2);
+  ASSERT_TRUE((*store)->Put(key1, "one").ok());
+  ASSERT_TRUE((*store)->Put(key2, "two").ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+  EXPECT_EQ(*(*store)->Get(key1), "one");
+  EXPECT_EQ(*(*store)->Get(key2), "two");
+  EXPECT_TRUE(
+      (*store)->Get(std::string("\x00\x01", 2)).status().IsNotFound());
 }
 
 // ---------------------------------------------------------------- Document

@@ -3,15 +3,26 @@
 # trajectories can be diffed across PRs (EXPERIMENTS.md records the
 # narrative; the JSON is the raw data).
 #
-# Usage: tools/bench/run_benches.sh [build_dir] [out_dir] [benchmark filter]
+# Usage: tools/bench/run_benches.sh [--only <bench_name>] [build_dir] \
+#            [out_dir] [benchmark filter]
+#   --only     run a single bench binary (e.g. --only bench_storage)
+#              instead of all of them
 #   build_dir  where the bench binaries live (default: build)
 #   out_dir    where BENCH_<name>.json files are written (default:
 #              bench-results)
 #   filter     optional --benchmark_filter regex forwarded to every binary
 #
-# Example — just the discovery corpus-build comparison:
+# Examples — just the discovery corpus-build comparison:
 #   tools/bench/run_benches.sh build bench-results 'CorpusBuild|LakeGen'
+# — refresh only the storage tier's JSON:
+#   tools/bench/run_benches.sh --only bench_storage
 set -euo pipefail
+
+ONLY=""
+if [ "${1:-}" = "--only" ]; then
+  ONLY="${2:?--only requires a bench name, e.g. --only bench_storage}"
+  shift 2
+fi
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-bench-results}"
@@ -24,9 +35,17 @@ fi
 
 mkdir -p "$OUT_DIR"
 
+if [ -n "$ONLY" ] && [ ! -x "$BUILD_DIR/bench/$ONLY" ]; then
+  echo "error: $BUILD_DIR/bench/$ONLY not found or not executable" >&2
+  exit 1
+fi
+
 for bin in "$BUILD_DIR"/bench/bench_*; do
   [ -x "$bin" ] || continue
   name="$(basename "$bin")"
+  if [ -n "$ONLY" ] && [ "$name" != "$ONLY" ]; then
+    continue
+  fi
   args=(
     "--benchmark_out=$OUT_DIR/BENCH_${name}.json"
     "--benchmark_out_format=json"
