@@ -1,0 +1,117 @@
+#ifndef LAKEKIT_COMMON_MUTEX_H_
+#define LAKEKIT_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace lakekit {
+
+/// An annotated mutex: `std::mutex` re-exported as a Clang capability.
+///
+/// libstdc++ ships `std::mutex`/`std::unique_lock` without thread-safety
+/// attributes, so locks taken through them are invisible to
+/// `-Wthread-safety` — a field marked `LAKEKIT_GUARDED_BY` would warn on
+/// every legitimate access. All lakekit mutexes are therefore this type
+/// (the repo lint's `mutex-annotated` rule rejects raw `std::mutex`
+/// members), locked via `MutexLock` below, and waited on via `CondVar`.
+class LAKEKIT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() LAKEKIT_ACQUIRE() { mu_.lock(); }
+  void Unlock() LAKEKIT_RELEASE() { mu_.unlock(); }
+  bool TryLock() LAKEKIT_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// No-op whose annotation tells the analysis the lock is held — for the
+  /// rare spot where the proof is manual (e.g. a callback invoked by a
+  /// holder). Prefer LAKEKIT_REQUIRES on the function instead.
+  void AssertHeld() const LAKEKIT_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;  // the raw primitive this capability wraps
+};
+
+/// RAII holder for `Mutex` — the only way lakekit code takes one.
+///
+/// Supports mid-scope `Unlock()`/`Lock()` (annotated, so the analysis
+/// tracks the hand-off) for leader/follower patterns that drop the lock
+/// around I/O, e.g. the KvStore group-commit queue.
+class LAKEKIT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) LAKEKIT_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.Lock();
+  }
+  ~MutexLock() LAKEKIT_RELEASE() {
+    if (held_) mu_.Unlock();
+  }
+
+  /// Releases early; the destructor then does nothing.
+  void Unlock() LAKEKIT_RELEASE() {
+    held_ = false;
+    mu_.Unlock();
+  }
+
+  /// Re-acquires after an early Unlock().
+  void Lock() LAKEKIT_ACQUIRE() {
+    mu_.Lock();
+    held_ = true;
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+/// Condition variable over `Mutex`. `Wait`/`WaitFor` carry
+/// `LAKEKIT_REQUIRES(mu)`, so waiting without the lock held is a compile
+/// error under the analysis (and UB at runtime — the whole point).
+///
+/// No predicate overloads on purpose: callers write the
+/// `while (!cond) cv.Wait(mu);` loop themselves, which keeps the guarded
+/// reads of the condition visible to the analysis at the call site.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, sleeps, and re-acquires before returning.
+  /// Spurious wakeups happen; always wait in a predicate loop.
+  void Wait(Mutex& mu) LAKEKIT_REQUIRES(mu) {
+    // Borrow the already-held native mutex for the wait, then release the
+    // unique_lock's ownership so the scoped holder keeps sole control.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  /// Like Wait, but wakes after `timeout` even unnotified. Callers re-check
+  /// their predicate either way, so the return value carries no extra
+  /// information worth forwarding.
+  void WaitFor(Mutex& mu, std::chrono::milliseconds timeout)
+      LAKEKIT_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    // ignore: timeout-vs-notify outcome is irrelevant under a predicate loop.
+    (void)cv_.wait_for(native, timeout);
+    native.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace lakekit
+
+#endif  // LAKEKIT_COMMON_MUTEX_H_

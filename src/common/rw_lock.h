@@ -1,12 +1,12 @@
 #ifndef LAKEKIT_COMMON_RW_LOCK_H_
 #define LAKEKIT_COMMON_RW_LOCK_H_
 
-#include <condition_variable>
-#include <mutex>
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace lakekit {
 
-/// A writer-priority reader/writer lock.
+/// A writer-priority reader/writer lock, annotated as a Clang capability.
 ///
 /// `std::shared_mutex` on glibc defaults to reader preference: as long as
 /// overlapping readers keep arriving, a waiting writer never runs. For the
@@ -17,69 +17,102 @@ namespace lakekit {
 /// volume rather than by reader arrival rate.
 ///
 /// Satisfies the SharedLockable requirements, so it drops into
-/// `std::shared_lock` / `std::unique_lock` / `std::scoped_lock`.
-class WriterPriorityRwLock {
+/// `std::shared_lock` / `std::unique_lock` / `std::scoped_lock` — but those
+/// wrappers are invisible to `-Wthread-safety`; code touching
+/// `LAKEKIT_GUARDED_BY` state must hold it via the annotated `WriterLock` /
+/// `ReaderLock` RAII types below.
+class LAKEKIT_CAPABILITY("rw_lock") WriterPriorityRwLock {
  public:
   WriterPriorityRwLock() = default;
   WriterPriorityRwLock(const WriterPriorityRwLock&) = delete;
   WriterPriorityRwLock& operator=(const WriterPriorityRwLock&) = delete;
 
-  void lock() {
-    std::unique_lock<std::mutex> lk(mu_);
+  void lock() LAKEKIT_ACQUIRE() {
+    MutexLock lk(mu_);
     ++waiting_writers_;
-    writer_cv_.wait(lk,
-                    [this] { return !writer_active_ && active_readers_ == 0; });
+    while (writer_active_ || active_readers_ != 0) writer_cv_.Wait(mu_);
     --waiting_writers_;
     writer_active_ = true;
   }
 
-  bool try_lock() {
-    std::unique_lock<std::mutex> lk(mu_);
+  bool try_lock() LAKEKIT_TRY_ACQUIRE(true) {
+    MutexLock lk(mu_);
     if (writer_active_ || active_readers_ != 0) return false;
     writer_active_ = true;
     return true;
   }
 
-  void unlock() {
-    std::unique_lock<std::mutex> lk(mu_);
+  void unlock() LAKEKIT_RELEASE() {
+    MutexLock lk(mu_);
     writer_active_ = false;
     // Writers first: a woken writer re-blocks arriving readers via
     // waiting_writers_, so write bursts drain before reads resume.
     if (waiting_writers_ > 0) {
-      writer_cv_.notify_one();
+      writer_cv_.NotifyOne();
     } else {
-      reader_cv_.notify_all();
+      reader_cv_.NotifyAll();
     }
   }
 
-  void lock_shared() {
-    std::unique_lock<std::mutex> lk(mu_);
-    reader_cv_.wait(
-        lk, [this] { return !writer_active_ && waiting_writers_ == 0; });
+  void lock_shared() LAKEKIT_ACQUIRE_SHARED() {
+    MutexLock lk(mu_);
+    while (writer_active_ || waiting_writers_ != 0) reader_cv_.Wait(mu_);
     ++active_readers_;
   }
 
-  bool try_lock_shared() {
-    std::unique_lock<std::mutex> lk(mu_);
+  bool try_lock_shared() LAKEKIT_TRY_ACQUIRE_SHARED(true) {
+    MutexLock lk(mu_);
     if (writer_active_ || waiting_writers_ != 0) return false;
     ++active_readers_;
     return true;
   }
 
-  void unlock_shared() {
-    std::unique_lock<std::mutex> lk(mu_);
+  void unlock_shared() LAKEKIT_RELEASE_SHARED() {
+    MutexLock lk(mu_);
     if (--active_readers_ == 0 && waiting_writers_ > 0) {
-      writer_cv_.notify_one();
+      writer_cv_.NotifyOne();
     }
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable reader_cv_;
-  std::condition_variable writer_cv_;
-  int active_readers_ = 0;
-  int waiting_writers_ = 0;
-  bool writer_active_ = false;
+  Mutex mu_;
+  CondVar reader_cv_;
+  CondVar writer_cv_;
+  int active_readers_ LAKEKIT_GUARDED_BY(mu_) = 0;
+  int waiting_writers_ LAKEKIT_GUARDED_BY(mu_) = 0;
+  bool writer_active_ LAKEKIT_GUARDED_BY(mu_) = false;
+};
+
+/// RAII exclusive hold of a WriterPriorityRwLock.
+class LAKEKIT_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(WriterPriorityRwLock& mu) LAKEKIT_ACQUIRE(mu)
+      : mu_(mu) {
+    mu_.lock();
+  }
+  ~WriterLock() LAKEKIT_RELEASE() { mu_.unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  WriterPriorityRwLock& mu_;
+};
+
+/// RAII shared hold of a WriterPriorityRwLock.
+class LAKEKIT_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(WriterPriorityRwLock& mu) LAKEKIT_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~ReaderLock() LAKEKIT_RELEASE_GENERIC() { mu_.unlock_shared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  WriterPriorityRwLock& mu_;
 };
 
 }  // namespace lakekit

@@ -1,0 +1,111 @@
+#ifndef LAKEKIT_COMMON_THREAD_ANNOTATIONS_H_
+#define LAKEKIT_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety (capability) annotations — the macro layer behind
+/// lakekit's compile-time lock discipline (DESIGN.md §4.2).
+///
+/// Under Clang with `-Wthread-safety` (the `clang-tsa` preset turns it into
+/// `-Werror=thread-safety`), these attributes let the compiler prove lock
+/// discipline statically: a field marked `LAKEKIT_GUARDED_BY(mu_)` cannot be
+/// touched without `mu_` held, a function marked `LAKEKIT_REQUIRES(mu_)`
+/// cannot be called without it, and a `LAKEKIT_SCOPED_CAPABILITY` RAII type
+/// cannot leak a lock out of a scope. This is the same shape of guarantee
+/// `[[nodiscard]]` gives Status: TSan catches the interleavings the tests
+/// happen to hit; the analysis rejects the bad program outright.
+///
+/// On non-Clang compilers every macro expands to nothing, so annotated code
+/// builds unchanged under GCC.
+///
+/// Vocabulary (see `common/mutex.h` and `common/rw_lock.h` for the annotated
+/// primitives, and DESIGN.md §4.2 for the full discipline):
+///  - `LAKEKIT_CAPABILITY` / `LAKEKIT_SCOPED_CAPABILITY`: a lock type / its
+///    RAII holder.
+///  - `LAKEKIT_GUARDED_BY(mu)`: field may only be accessed with `mu` held
+///    (shared hold suffices for reads, exclusive for writes).
+///  - `LAKEKIT_REQUIRES(mu)` / `LAKEKIT_REQUIRES_SHARED(mu)`: caller must
+///    already hold `mu` — the annotation for `*Locked()` helpers.
+///  - `LAKEKIT_ACQUIRE`/`LAKEKIT_RELEASE` (+`_SHARED`): the function
+///    acquires/releases the capability; on a lock type's own methods the
+///    implicit capability is `this`.
+///  - `LAKEKIT_EXCLUDES(mu)`: caller must NOT hold `mu` (deadlock guard).
+///  - `LAKEKIT_NO_THREAD_SAFETY_ANALYSIS`: opt a function body out — for
+///    lock-primitive internals the analysis cannot model; use sparingly and
+///    say why.
+
+#if defined(__clang__)
+#define LAKEKIT_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define LAKEKIT_THREAD_ANNOTATION__(x)  // compiles away on non-Clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex", "rw_lock", ...).
+#define LAKEKIT_CAPABILITY(x) LAKEKIT_THREAD_ANNOTATION__(capability(x))
+
+/// Marks an RAII class whose lifetime equals a capability hold.
+#define LAKEKIT_SCOPED_CAPABILITY LAKEKIT_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Field may only be accessed while holding the given capability.
+#define LAKEKIT_GUARDED_BY(x) LAKEKIT_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer/smart-pointer field whose *pointee* is protected by the
+/// capability (the pointer itself needs LAKEKIT_GUARDED_BY separately).
+#define LAKEKIT_PT_GUARDED_BY(x) LAKEKIT_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Caller must hold the capabilities exclusively before calling.
+#define LAKEKIT_REQUIRES(...) \
+  LAKEKIT_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Caller must hold the capabilities at least shared before calling.
+#define LAKEKIT_REQUIRES_SHARED(...) \
+  LAKEKIT_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability exclusively (held on return).
+#define LAKEKIT_ACQUIRE(...) \
+  LAKEKIT_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// Function acquires the capability shared (held on return).
+#define LAKEKIT_ACQUIRE_SHARED(...) \
+  LAKEKIT_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases an exclusively held capability.
+#define LAKEKIT_RELEASE(...) \
+  LAKEKIT_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// Function releases a shared-held capability.
+#define LAKEKIT_RELEASE_SHARED(...) \
+  LAKEKIT_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+/// Function releases a capability held in either mode — the right
+/// annotation for destructors of scoped holders that may hold shared.
+#define LAKEKIT_RELEASE_GENERIC(...) \
+  LAKEKIT_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+
+/// Function tries to acquire; first argument is the success return value.
+#define LAKEKIT_TRY_ACQUIRE(...) \
+  LAKEKIT_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+#define LAKEKIT_TRY_ACQUIRE_SHARED(...) \
+  LAKEKIT_THREAD_ANNOTATION__(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capabilities (guards against self-deadlock on
+/// non-reentrant locks).
+#define LAKEKIT_EXCLUDES(...) \
+  LAKEKIT_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (tells the analysis so).
+#define LAKEKIT_ASSERT_CAPABILITY(x) \
+  LAKEKIT_THREAD_ANNOTATION__(assert_capability(x))
+
+#define LAKEKIT_ASSERT_SHARED_CAPABILITY(x) \
+  LAKEKIT_THREAD_ANNOTATION__(assert_shared_capability(x))
+
+/// Function returns a reference to the named capability.
+#define LAKEKIT_RETURN_CAPABILITY(x) \
+  LAKEKIT_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Opts a function body out of the analysis. Reserve for lock-primitive
+/// implementations; every use needs a comment saying why.
+#define LAKEKIT_NO_THREAD_SAFETY_ANALYSIS \
+  LAKEKIT_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // LAKEKIT_COMMON_THREAD_ANNOTATIONS_H_

@@ -20,10 +20,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& w : workers_) {
     w.join();
   }
@@ -31,16 +31,16 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 bool ThreadPool::TryRunOneTask() {
   std::function<void()> task;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop_front();
@@ -53,8 +53,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // stopping_ and nothing left to drain
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -69,6 +69,9 @@ ThreadPool& ThreadPool::Default() {
 }
 
 size_t ThreadPool::DefaultThreads() {
+  // Reading the environment races with setenv, which lakekit never calls;
+  // tests that set LAKEKIT_THREADS do so before spawning threads.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("LAKEKIT_THREADS")) {
     long parsed = std::strtol(env, nullptr, 10);
     if (parsed >= 1) return static_cast<size_t>(parsed);
@@ -82,11 +85,13 @@ namespace {
 
 /// Completion state shared between the chunks of one ParallelFor call.
 struct ForState {
-  std::mutex mu;
-  std::condition_variable done;
-  size_t pending = 0;
-  Status first_error;  // from the lowest failing chunk
-  size_t first_error_chunk = std::numeric_limits<size_t>::max();
+  Mutex mu;
+  CondVar done;
+  size_t pending LAKEKIT_GUARDED_BY(mu) = 0;
+  /// From the lowest failing chunk.
+  Status first_error LAKEKIT_GUARDED_BY(mu);
+  size_t first_error_chunk LAKEKIT_GUARDED_BY(mu) =
+      std::numeric_limits<size_t>::max();
 };
 
 }  // namespace
@@ -125,15 +130,18 @@ Status ParallelFor(size_t begin, size_t end,
   state->pending = num_chunks;
 
   auto finish_chunk = [state](size_t chunk, Status s) {
-    std::unique_lock<std::mutex> lock(state->mu);
-    if (!s.ok() && chunk < state->first_error_chunk) {
-      state->first_error = std::move(s);
-      state->first_error_chunk = chunk;
+    bool last = false;
+    {
+      MutexLock lock(state->mu);
+      if (!s.ok() && chunk < state->first_error_chunk) {
+        state->first_error = std::move(s);
+        state->first_error_chunk = chunk;
+      }
+      last = (--state->pending == 0);
     }
-    if (--state->pending == 0) {
-      lock.unlock();
-      state->done.notify_all();
-    }
+    // Notify outside the lock; waiters re-check pending under it, so the
+    // wakeup cannot be lost.
+    if (last) state->done.NotifyAll();
   };
 
   // Chunks 1..num_chunks-1 go to the pool; the caller runs chunk 0 itself.
@@ -154,20 +162,21 @@ Status ParallelFor(size_t begin, size_t end,
   // also participates in running it.
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(state->mu);
+      MutexLock lock(state->mu);
       if (state->pending == 0) break;
     }
     if (!pool.TryRunOneTask()) {
-      std::unique_lock<std::mutex> lock(state->mu);
+      MutexLock lock(state->mu);
       // Nothing runnable: our chunks are executing on other threads. Wake
       // on completion, or re-check shortly in case new (nested) tasks we
       // could help with have arrived.
-      state->done.wait_for(lock, std::chrono::milliseconds(1),
-                           [&] { return state->pending == 0; });
+      if (state->pending != 0) {
+        state->done.WaitFor(state->mu, std::chrono::milliseconds(1));
+      }
     }
   }
 
-  std::lock_guard<std::mutex> lock(state->mu);
+  MutexLock lock(state->mu);
   return state->first_error;
 }
 

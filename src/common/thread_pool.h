@@ -1,16 +1,16 @@
 #ifndef LAKEKIT_COMMON_THREAD_POOL_H_
 #define LAKEKIT_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace lakekit {
 
@@ -59,10 +59,12 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ LAKEKIT_GUARDED_BY(mu_);
+  bool stopping_ LAKEKIT_GUARDED_BY(mu_) = false;
+  // unguarded: filled in the constructor before any worker can observe it,
+  // then only read (size()) until the destructor joins.
   std::vector<std::thread> workers_;
 };
 

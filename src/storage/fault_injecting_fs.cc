@@ -61,8 +61,7 @@ Status FaultInjectingFs::CountOp(const char* op,
   return Status::OK();
 }
 
-std::string FaultInjectingFs::SurvivingContent(const Node& node,
-                                               Rng* rng) const {
+std::string FaultInjectingFs::SurvivingContent(const Node& node, Rng* rng) {
   if (node.data.size() >= node.durable.size() &&
       node.data.compare(0, node.durable.size(), node.durable) == 0) {
     // Plain appends since the last sync: the synced prefix always survives;
@@ -79,7 +78,7 @@ std::string FaultInjectingFs::SurvivingContent(const Node& node,
 
 Result<std::unique_ptr<WritableFile>> FaultInjectingFs::OpenAppend(
     const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   LAKEKIT_RETURN_IF_ERROR(CountOp("open-append", path));
   const std::string parent = Parent(path);
   if (!parent.empty() && dirs_.count(parent) == 0) {
@@ -92,7 +91,7 @@ Result<std::unique_ptr<WritableFile>> FaultInjectingFs::OpenAppend(
 
 Result<std::unique_ptr<WritableFile>> FaultInjectingFs::OpenTrunc(
     const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   LAKEKIT_RETURN_IF_ERROR(CountOp("open-trunc", path));
   const std::string parent = Parent(path);
   if (!parent.empty() && dirs_.count(parent) == 0) {
@@ -105,7 +104,7 @@ Result<std::unique_ptr<WritableFile>> FaultInjectingFs::OpenTrunc(
 
 Result<std::unique_ptr<WritableFile>> FaultInjectingFs::CreateExclusive(
     const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   LAKEKIT_RETURN_IF_ERROR(CountOp("create-exclusive", path));
   const std::string parent = Parent(path);
   if (!parent.empty() && dirs_.count(parent) == 0) {
@@ -120,7 +119,7 @@ Result<std::unique_ptr<WritableFile>> FaultInjectingFs::CreateExclusive(
 }
 
 Result<std::string> FaultInjectingFs::ReadFile(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   LAKEKIT_RETURN_IF_ERROR(CountOp("read", path));
   auto it = files_.find(path);
   if (it == files_.end()) {
@@ -130,12 +129,12 @@ Result<std::string> FaultInjectingFs::ReadFile(const std::string& path) const {
 }
 
 bool FaultInjectingFs::FileExists(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return files_.count(path) != 0;
 }
 
 Status FaultInjectingFs::Remove(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   LAKEKIT_RETURN_IF_ERROR(CountOp("remove", path));
   auto it = files_.find(path);
   if (it == files_.end()) {
@@ -153,7 +152,7 @@ Status FaultInjectingFs::Remove(const std::string& path) {
 
 Status FaultInjectingFs::Rename(const std::string& from,
                                 const std::string& to) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   LAKEKIT_RETURN_IF_ERROR(CountOp("rename", from));
   auto it = files_.find(from);
   if (it == files_.end()) {
@@ -178,7 +177,7 @@ Status FaultInjectingFs::Rename(const std::string& from,
 
 Status FaultInjectingFs::HardLink(const std::string& from,
                                   const std::string& to) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   LAKEKIT_RETURN_IF_ERROR(CountOp("link", to));
   auto it = files_.find(from);
   if (it == files_.end()) {
@@ -192,7 +191,7 @@ Status FaultInjectingFs::HardLink(const std::string& from,
 }
 
 Status FaultInjectingFs::CreateDirs(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   LAKEKIT_RETURN_IF_ERROR(CountOp("mkdir", path));
   // Directory creation is modeled as immediately durable (see DESIGN.md):
   // the harness targets file data and file-name durability, where the
@@ -206,7 +205,7 @@ Status FaultInjectingFs::CreateDirs(const std::string& path) {
 }
 
 Status FaultInjectingFs::SyncDir(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   LAKEKIT_RETURN_IF_ERROR(CountOp("syncdir", path));
   if (drop_syncs_) return Status::OK();
   for (auto& [file_path, node] : files_) {
@@ -224,7 +223,7 @@ Status FaultInjectingFs::SyncDir(const std::string& path) {
 }
 
 Status FaultInjectingFs::Truncate(const std::string& path, uint64_t size) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   LAKEKIT_RETURN_IF_ERROR(CountOp("truncate", path));
   auto it = files_.find(path);
   if (it == files_.end()) {
@@ -236,7 +235,7 @@ Status FaultInjectingFs::Truncate(const std::string& path, uint64_t size) {
 
 Result<std::vector<FsDirEntry>> FaultInjectingFs::ListDir(
     const std::string& dir, bool recursive) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   LAKEKIT_RETURN_IF_ERROR(CountOp("list", dir));
   if (dirs_.count(dir) == 0) {
     return Status::IoError("no such directory '" + dir + "'");
@@ -253,24 +252,24 @@ Result<std::vector<FsDirEntry>> FaultInjectingFs::ListDir(
 }
 
 void FaultInjectingFs::FailAfter(int64_t first_failing_op, int64_t count) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   fail_from_ = first_failing_op;
   fail_count_ = count;
 }
 
 void FaultInjectingFs::ClearFaults() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   fail_from_ = -1;
   fail_count_ = -1;
 }
 
 int64_t FaultInjectingFs::op_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return op_counter_;
 }
 
 void FaultInjectingFs::PowerCut(uint64_t seed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Rng rng(seed);
   std::map<std::string, Node> survivors;
   // Live files: a durable name always survives (with synced content plus a
@@ -311,7 +310,7 @@ void FaultInjectingFs::PowerCut(uint64_t seed) {
 }
 
 bool FaultInjectingFs::IsDurable(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = files_.find(path);
   return it != files_.end() && entry_durable_.count(path) != 0 &&
          it->second.data == it->second.durable;
@@ -320,7 +319,7 @@ bool FaultInjectingFs::IsDurable(const std::string& path) const {
 Status FaultInjectingFs::HandleAppend(uint64_t generation,
                                       const std::string& path,
                                       std::string_view data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (generation != generation_) {
     return Status::IoError("stale handle for '" + path +
                            "' (opened before power cut)");
@@ -342,7 +341,7 @@ Status FaultInjectingFs::HandleAppend(uint64_t generation,
 
 Status FaultInjectingFs::HandleSync(uint64_t generation,
                                     const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (generation != generation_) {
     return Status::IoError("stale handle for '" + path +
                            "' (opened before power cut)");
@@ -359,7 +358,7 @@ Status FaultInjectingFs::HandleSync(uint64_t generation,
 Status FaultInjectingFs::HandleTruncate(uint64_t generation,
                                         const std::string& path,
                                         uint64_t size) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (generation != generation_) {
     return Status::IoError("stale handle for '" + path +
                            "' (opened before power cut)");

@@ -3,12 +3,13 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/random.h"
+#include "common/thread_annotations.h"
 #include "storage/fs.h"
 
 namespace lakekit::storage {
@@ -74,7 +75,10 @@ class FaultInjectingFs : public Fs {
   void ClearFaults();
 
   /// When set, Sync/SyncDir succeed without making anything durable.
-  void set_drop_syncs(bool drop) { drop_syncs_ = drop; }
+  void set_drop_syncs(bool drop) {
+    MutexLock lock(mu_);
+    drop_syncs_ = drop;
+  }
 
   /// Total I/O operations counted so far (failed ops included).
   int64_t op_count() const;
@@ -97,8 +101,9 @@ class FaultInjectingFs : public Fs {
   };
 
   /// Counts one op; returns the injected error when it falls in the armed
-  /// failure window. Caller must hold mu_.
-  Status CountOp(const char* op, const std::string& path) const;
+  /// failure window.
+  Status CountOp(const char* op, const std::string& path) const
+      LAKEKIT_REQUIRES(mu_);
 
   /// Parent directory of `path` ("" when none).
   static std::string Parent(const std::string& path);
@@ -106,7 +111,7 @@ class FaultInjectingFs : public Fs {
   /// One legal post-crash content for `node` (synced data plus a
   /// pseudo-random prefix of unsynced appends; for non-append changes,
   /// either the old or the new content).
-  std::string SurvivingContent(const Node& node, Rng* rng) const;
+  static std::string SurvivingContent(const Node& node, Rng* rng);
 
   // Handle operations (locked; called by FaultWritableFile).
   Status HandleAppend(uint64_t generation, const std::string& path,
@@ -115,28 +120,29 @@ class FaultInjectingFs : public Fs {
   Status HandleTruncate(uint64_t generation, const std::string& path,
                         uint64_t size);
 
-  mutable std::mutex mu_;
-  mutable int64_t op_counter_ = 0;
-  int64_t fail_from_ = -1;   // -1: disarmed
-  int64_t fail_count_ = -1;  // -1: sticky
-  bool drop_syncs_ = false;
-  uint64_t generation_ = 0;  // bumped by PowerCut; stales open handles
-  mutable Rng rng_;
+  mutable Mutex mu_;
+  mutable int64_t op_counter_ LAKEKIT_GUARDED_BY(mu_) = 0;
+  int64_t fail_from_ LAKEKIT_GUARDED_BY(mu_) = -1;   // -1: disarmed
+  int64_t fail_count_ LAKEKIT_GUARDED_BY(mu_) = -1;  // -1: sticky
+  bool drop_syncs_ LAKEKIT_GUARDED_BY(mu_) = false;
+  /// Bumped by PowerCut; stales open handles.
+  uint64_t generation_ LAKEKIT_GUARDED_BY(mu_) = 0;
+  mutable Rng rng_ LAKEKIT_GUARDED_BY(mu_);
 
-  std::map<std::string, Node> files_;
+  std::map<std::string, Node> files_ LAKEKIT_GUARDED_BY(mu_);
   /// Paths whose directory entry is durable (parent dir synced since the
   /// entry last changed).
-  std::set<std::string> entry_durable_;
+  std::set<std::string> entry_durable_ LAKEKIT_GUARDED_BY(mu_);
   /// Removed/renamed-over files whose disappearance is not yet durable; a
   /// PowerCut may bring these back.
-  std::map<std::string, Node> ghosts_;
+  std::map<std::string, Node> ghosts_ LAKEKIT_GUARDED_BY(mu_);
   /// Ghosts displaced by a *rename*: rename(2) is crash-atomic for the
   /// target name, so these resurrect whenever the new file does not survive
   /// — the name is old-or-new after a crash, never absent. (Plain removals
   /// stay independent coin flips: remove-then-recreate may legally crash to
   /// "absent".)
-  std::set<std::string> rename_shadowed_;
-  std::set<std::string> dirs_;
+  std::set<std::string> rename_shadowed_ LAKEKIT_GUARDED_BY(mu_);
+  std::set<std::string> dirs_ LAKEKIT_GUARDED_BY(mu_);
 };
 
 }  // namespace lakekit::storage

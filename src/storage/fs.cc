@@ -6,8 +6,8 @@
 
 #include <algorithm>
 #include <cerrno>
-#include <cstring>
 #include <filesystem>
+#include <system_error>
 
 namespace lakekit::storage {
 
@@ -15,8 +15,15 @@ namespace stdfs = std::filesystem;
 
 namespace {
 
+/// Thread-safe strerror: std::strerror writes into shared static storage
+/// (clang-tidy concurrency-mt-unsafe), and the storage tier runs on the
+/// thread pool.
+std::string ErrnoMessage() {
+  return std::generic_category().message(errno);
+}
+
 Status ErrnoStatus(const std::string& what, const std::string& path) {
-  return Status::IoError(what + " '" + path + "': " + std::strerror(errno));
+  return Status::IoError(what + " '" + path + "': " + ErrnoMessage());
 }
 
 /// WritableFile over a POSIX fd. Opened O_APPEND so writes always land at
@@ -143,7 +150,7 @@ class PosixFs : public Fs {
   Status Rename(const std::string& from, const std::string& to) override {
     if (::rename(from.c_str(), to.c_str()) != 0) {
       return Status::IoError("rename '" + from + "' -> '" + to +
-                             "' failed: " + std::strerror(errno));
+                             "' failed: " + ErrnoMessage());
     }
     return Status::OK();
   }
@@ -154,7 +161,7 @@ class PosixFs : public Fs {
         return Status::AlreadyExists("file '" + to + "' already exists");
       }
       return Status::IoError("link '" + from + "' -> '" + to +
-                             "' failed: " + std::strerror(errno));
+                             "' failed: " + ErrnoMessage());
     }
     return Status::OK();
   }

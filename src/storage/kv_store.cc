@@ -105,10 +105,15 @@ Result<std::unique_ptr<KvStore>> KvStore::Open(const std::string& dir,
                                                Fs* fs) {
   LAKEKIT_RETURN_IF_ERROR(fs->CreateDirs(dir));
   std::unique_ptr<KvStore> store(new KvStore(dir, options, fs));
-  LAKEKIT_RETURN_IF_ERROR(store->LoadRuns());
-  LAKEKIT_RETURN_IF_ERROR(store->RecoverWal());
-  if (options.use_wal) {
-    LAKEKIT_ASSIGN_OR_RETURN(store->wal_, fs->OpenAppend(store->WalPath()));
+  {
+    // No other thread can see the store yet; holding the lock anyway keeps
+    // the REQUIRES contracts on the recovery helpers checkable.
+    WriterLock lock(store->state_mu_);
+    LAKEKIT_RETURN_IF_ERROR(store->LoadRuns());
+    LAKEKIT_RETURN_IF_ERROR(store->RecoverWal());
+    if (options.use_wal) {
+      LAKEKIT_ASSIGN_OR_RETURN(store->wal_, fs->OpenAppend(store->WalPath()));
+    }
   }
   // Make the WAL's directory entry (and any recovery-time cleanup) durable
   // before acknowledging writes against it.
@@ -234,10 +239,10 @@ Status KvStore::Commit(
     EncodeRecord(key, value, &me.records);
   }
 
-  std::unique_lock queue_lock(commit_mu_);
+  MutexLock queue_lock(commit_mu_);
   commit_queue_.push_back(&me);
   while (!me.done && commit_queue_.front() != &me) {
-    me.cv.wait(queue_lock);
+    me.cv.Wait(commit_mu_);
   }
   if (me.done) return me.status;  // a leader committed this batch for us
 
@@ -247,11 +252,11 @@ Status KvStore::Commit(
   // that overlap is the whole point of group commit.
   const std::vector<Committer*> batch(commit_queue_.begin(),
                                       commit_queue_.end());
-  queue_lock.unlock();
+  queue_lock.Unlock();
 
   Status status;
   {
-    std::unique_lock state_lock(state_mu_);
+    WriterLock state_lock(state_mu_);
     if (wal_ && batch.size() > 1) {
       std::string group;
       size_t group_bytes = 0;
@@ -273,18 +278,18 @@ Status KvStore::Commit(
     }
   }
 
-  queue_lock.lock();
+  queue_lock.Lock();
   for (size_t i = 0; i < batch.size(); ++i) {
     Committer* c = commit_queue_.front();
     commit_queue_.pop_front();
     if (c != &me) {
       c->status = status;
       c->done = true;
-      c->cv.notify_one();
+      c->cv.NotifyOne();
     }
   }
   // Hand leadership to the next batch, if one formed while we were busy.
-  if (!commit_queue_.empty()) commit_queue_.front()->cv.notify_one();
+  if (!commit_queue_.empty()) commit_queue_.front()->cv.NotifyOne();
   return status;
 }
 
@@ -310,7 +315,7 @@ Status KvStore::Write(const WriteBatch& batch) {
 }
 
 Result<std::string> KvStore::Get(std::string_view key) const {
-  std::shared_lock lock(state_mu_);
+  ReaderLock lock(state_mu_);
   auto make_not_found = [&] {
     return Status::NotFound("key '" + std::string(key) + "' not found");
   };
@@ -341,7 +346,7 @@ Result<std::string> KvStore::Get(std::string_view key) const {
 
 Result<std::vector<std::pair<std::string, std::string>>> KvStore::Scan(
     std::string_view start, std::string_view end) const {
-  std::shared_lock lock(state_mu_);
+  ReaderLock lock(state_mu_);
   using MemIter = decltype(memtable_.cbegin());
 
   // One source per run plus the memtable, each seeked to `start` — a k-way
@@ -513,7 +518,7 @@ Status KvStore::FlushLocked() {
 }
 
 Status KvStore::Flush() {
-  std::unique_lock lock(state_mu_);
+  WriterLock lock(state_mu_);
   return FlushLocked();
 }
 
@@ -588,7 +593,7 @@ Status KvStore::CompactLocked() {
 }
 
 Status KvStore::Compact() {
-  std::unique_lock lock(state_mu_);
+  WriterLock lock(state_mu_);
   return CompactLocked();
 }
 
@@ -603,12 +608,12 @@ Status KvStore::MaybeFlushAndCompactLocked() {
 }
 
 size_t KvStore::num_runs() const {
-  std::shared_lock lock(state_mu_);
+  ReaderLock lock(state_mu_);
   return runs_.size();
 }
 
 size_t KvStore::memtable_entries() const {
-  std::shared_lock lock(state_mu_);
+  ReaderLock lock(state_mu_);
   return memtable_.size();
 }
 

@@ -1,22 +1,21 @@
 #ifndef LAKEKIT_STORAGE_KV_STORE_H_
 #define LAKEKIT_STORAGE_KV_STORE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "common/bloom.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/rw_lock.h"
+#include "common/thread_annotations.h"
 #include "storage/fs.h"
 
 namespace lakekit::storage {
@@ -164,7 +163,11 @@ class KvStore {
     std::string_view max_key() const { return entries.back().key; }
   };
 
-  /// One committer waiting in the group-commit queue.
+  /// One committer waiting in the group-commit queue. All fields except
+  /// `records`/`ops` (written before enqueueing, read only by the leader)
+  /// are protected by the owning store's commit_mu_ — a contract the
+  /// analysis cannot express across objects, so it is enforced by review
+  /// and TSan instead.
   struct Committer {
     /// Encoded WAL records for every op, concatenated in order.
     std::string records;
@@ -173,13 +176,15 @@ class KvStore {
         ops = nullptr;
     Status status;
     bool done = false;
-    std::condition_variable cv;
+    CondVar cv;
   };
 
   KvStore(std::string dir, KvStoreOptions options, Fs* fs);
 
-  Status RecoverWal();
-  Status LoadRuns();
+  /// Open-time recovery; Open holds state_mu_ across both (no concurrency
+  /// exists yet, but it keeps the lock contracts uniform and checkable).
+  Status RecoverWal() LAKEKIT_REQUIRES(state_mu_);
+  Status LoadRuns() LAKEKIT_REQUIRES(state_mu_);
 
   /// The group-commit engine: enqueue, become leader or wait, leader
   /// appends+syncs every queued committer's records and applies their ops.
@@ -189,14 +194,15 @@ class KvStore {
 
   /// Appends `records` (one or more encoded records) to the WAL and, when
   /// `sync_writes`, fsyncs — rolling back to the last acknowledged offset
-  /// on failure. Requires state_mu_ held exclusively.
-  Status AppendWalLocked(std::string_view records);
+  /// on failure.
+  Status AppendWalLocked(std::string_view records)
+      LAKEKIT_REQUIRES(state_mu_);
 
-  /// Requires state_mu_ held exclusively.
-  Status WriteRunLocked(std::vector<RunEntry> entries);
-  Status FlushLocked();
-  Status CompactLocked();
-  Status MaybeFlushAndCompactLocked();
+  Status WriteRunLocked(std::vector<RunEntry> entries)
+      LAKEKIT_REQUIRES(state_mu_);
+  Status FlushLocked() LAKEKIT_REQUIRES(state_mu_);
+  Status CompactLocked() LAKEKIT_REQUIRES(state_mu_);
+  Status MaybeFlushAndCompactLocked() LAKEKIT_REQUIRES(state_mu_);
 
   /// Builds the bloom filter + fence metadata for `entries`.
   Run MakeRun(uint64_t id, std::vector<RunEntry> entries) const;
@@ -210,9 +216,9 @@ class KvStore {
     return dir_ + "/run-" + std::to_string(id) + ".dat";
   }
 
-  std::string dir_;
-  KvStoreOptions options_;
-  Fs* fs_;
+  std::string dir_;         // unguarded: immutable after construction
+  KvStoreOptions options_;  // unguarded: immutable after construction
+  Fs* fs_;                  // unguarded: immutable after construction
 
   /// Guards all store state below. Writers (the group-commit leader, Flush,
   /// Compact) take it exclusively; Get/Scan take it shared. Writer-priority
@@ -223,25 +229,27 @@ class KvStore {
   /// Guards the group-commit queue only. Never held while doing I/O or
   /// while acquiring state_mu_ — committers enqueue (and new batches form)
   /// while the current leader is inside its fsync.
-  std::mutex commit_mu_;
-  std::deque<Committer*> commit_queue_;
+  Mutex commit_mu_;
+  std::deque<Committer*> commit_queue_ LAKEKIT_GUARDED_BY(commit_mu_);
 
   /// nullopt value == tombstone. std::less<> so probes with a string_view
   /// never allocate a std::string.
-  std::map<std::string, std::optional<std::string>, std::less<>> memtable_;
-  size_t memtable_bytes_ = 0;
+  std::map<std::string, std::optional<std::string>, std::less<>> memtable_
+      LAKEKIT_GUARDED_BY(state_mu_);
+  size_t memtable_bytes_ LAKEKIT_GUARDED_BY(state_mu_) = 0;
   /// Immutable sorted runs, oldest first.
-  std::vector<Run> runs_;
-  uint64_t next_run_id_ = 0;
-  std::unique_ptr<WritableFile> wal_;
+  std::vector<Run> runs_ LAKEKIT_GUARDED_BY(state_mu_);
+  uint64_t next_run_id_ LAKEKIT_GUARDED_BY(state_mu_) = 0;
+  std::unique_ptr<WritableFile> wal_ LAKEKIT_GUARDED_BY(state_mu_)
+      LAKEKIT_PT_GUARDED_BY(state_mu_);
   /// Bytes of complete, acknowledged records in the WAL — the offset a
   /// failed append is rolled back to so a torn record can never strand the
   /// acknowledged records appended after it.
-  uint64_t wal_bytes_ = 0;
+  uint64_t wal_bytes_ LAKEKIT_GUARDED_BY(state_mu_) = 0;
   /// Set when a failed WAL append could not be rolled back; all further
   /// writes are refused rather than acknowledged on a log that would not
   /// replay them.
-  bool wal_poisoned_ = false;
+  bool wal_poisoned_ LAKEKIT_GUARDED_BY(state_mu_) = false;
 };
 
 }  // namespace lakekit::storage

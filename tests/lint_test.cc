@@ -1,0 +1,344 @@
+// Unit tests for the repo lint rules (tools/lint/lint.{h,cc}). Each rule is
+// driven through LintText with in-memory sources; the embedded snippets are
+// raw string literals, so the lint run over THIS file (the lakekit_lint
+// ctest) must blank them correctly — a live test of the stripper.
+
+#include "tools/lint/lint.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lakekit::lint {
+namespace {
+
+std::vector<Finding> RuleFindings(const std::vector<Finding>& findings,
+                                  const std::string& rule) {
+  std::vector<Finding> out;
+  for (const Finding& f : findings) {
+    if (f.rule == rule) out.push_back(f);
+  }
+  return out;
+}
+
+// --- StripCommentsAndStrings -----------------------------------------------
+
+TEST(StripTest, BlanksLineAndBlockComments) {
+  const std::string stripped =
+      StripCommentsAndStrings("int a; // if (!s.ok()) return s;\n"
+                              "/* using namespace std; */ int b;\n");
+  EXPECT_EQ(stripped.find("ok()"), std::string::npos);
+  EXPECT_EQ(stripped.find("namespace"), std::string::npos);
+  EXPECT_NE(stripped.find("int a;"), std::string::npos);
+  EXPECT_NE(stripped.find("int b;"), std::string::npos);
+}
+
+TEST(StripTest, BlanksPlainStringsAndCharLiterals) {
+  const std::string stripped = StripCommentsAndStrings(
+      "auto s = \"if (!x.ok()) return x;\"; char c = ';'; int d = 1;");
+  EXPECT_EQ(stripped.find("ok()"), std::string::npos);
+  EXPECT_NE(stripped.find("int d = 1;"), std::string::npos);
+}
+
+TEST(StripTest, BlanksRawStringWithEmptyDelimiter) {
+  const std::string stripped =
+      StripCommentsAndStrings("auto s = R\"(if (!x.ok()) return x;)\";\n"
+                              "int after = 2;\n");
+  EXPECT_EQ(stripped.find("ok()"), std::string::npos);
+  EXPECT_NE(stripped.find("int after = 2;"), std::string::npos);
+}
+
+TEST(StripTest, BlanksRawStringWithCustomDelimiter) {
+  // The payload contains `)"` — only delimiter-aware scanning survives it.
+  const std::string stripped = StripCommentsAndStrings(
+      "auto s = R\"lk(body with )\" inside; if (!x.ok()) return x;)lk\";\n"
+      "int after = 3;\n");
+  EXPECT_EQ(stripped.find("ok()"), std::string::npos);
+  EXPECT_NE(stripped.find("int after = 3;"), std::string::npos);
+}
+
+TEST(StripTest, BlanksEncodingPrefixedRawStrings) {
+  for (const std::string prefix : {"u8R", "uR", "UR", "LR"}) {
+    const std::string src =
+        "auto s = " + prefix + "\"x(if (!v.ok()) return v;)x\"; int k = 4;";
+    const std::string stripped = StripCommentsAndStrings(src);
+    EXPECT_EQ(stripped.find("ok()"), std::string::npos) << prefix;
+    EXPECT_NE(stripped.find("int k = 4;"), std::string::npos) << prefix;
+  }
+}
+
+TEST(StripTest, IdentifierEndingInRIsNotARawStringIntro) {
+  const std::string stripped =
+      StripCommentsAndStrings("auto x = myVarR\"(tail)\"; int keep = 5;");
+  // `myVarR` ends in R but the R belongs to the identifier; the quote opens
+  // an ordinary string instead. The code after must survive.
+  EXPECT_NE(stripped.find("int keep = 5;"), std::string::npos);
+  EXPECT_NE(stripped.find("myVarR"), std::string::npos);
+}
+
+TEST(StripTest, DigitSeparatorIsNotACharLiteral) {
+  // The old stripper treated 1'000'000's apostrophes as char literals and
+  // swallowed the rest of the statement.
+  const std::string stripped = StripCommentsAndStrings(
+      "int big = 1'000'000; if (!s.ok()) return s;");
+  EXPECT_NE(stripped.find("1'000'000"), std::string::npos);
+  EXPECT_NE(stripped.find("ok()"), std::string::npos);
+}
+
+TEST(StripTest, PreservesNewlinesForLineNumbers) {
+  const std::string src = "line1\n\"str\nstr\"\nline3\n";
+  const std::string stripped = StripCommentsAndStrings(src);
+  EXPECT_EQ(std::count(src.begin(), src.end(), '\n'),
+            std::count(stripped.begin(), stripped.end(), '\n'));
+}
+
+// --- guard -------------------------------------------------------------------
+
+TEST(GuardTest, AcceptsCanonicalGuard) {
+  const std::string header =
+      "#ifndef LAKEKIT_COMMON_FOO_H_\n"
+      "#define LAKEKIT_COMMON_FOO_H_\n"
+      "#endif  // LAKEKIT_COMMON_FOO_H_\n";
+  EXPECT_TRUE(
+      RuleFindings(LintText("src/common/foo.h", header), "guard").empty());
+}
+
+TEST(GuardTest, RejectsWrongGuardName) {
+  const std::string header =
+      "#ifndef FOO_H\n#define FOO_H\n#endif\n";
+  const auto findings =
+      RuleFindings(LintText("src/common/foo.h", header), "guard");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("LAKEKIT_COMMON_FOO_H_"),
+            std::string::npos);
+}
+
+TEST(GuardTest, RejectsMissingDefineAfterIfndef) {
+  const std::string header =
+      "#ifndef LAKEKIT_COMMON_FOO_H_\nint x;\n#endif\n";
+  EXPECT_EQ(
+      RuleFindings(LintText("src/common/foo.h", header), "guard").size(), 1u);
+}
+
+TEST(GuardTest, OnlyAppliesUnderSrc) {
+  EXPECT_TRUE(
+      RuleFindings(LintText("tests/foo.h", "int x;\n"), "guard").empty());
+}
+
+// --- using-ns ----------------------------------------------------------------
+
+TEST(UsingNamespaceTest, FlagsHeadersOnly) {
+  const std::string code = "using namespace std;\n";
+  EXPECT_EQ(RuleFindings(LintText("src/common/foo.h",
+                                  "#ifndef LAKEKIT_COMMON_FOO_H_\n"
+                                  "#define LAKEKIT_COMMON_FOO_H_\n" +
+                                      code + "#endif\n"),
+                         "using-ns")
+                .size(),
+            1u);
+  EXPECT_TRUE(RuleFindings(LintText("src/common/foo.cc", code), "using-ns")
+                  .empty());
+}
+
+// --- manual-chain ------------------------------------------------------------
+
+TEST(ManualChainTest, FlagsHandRolledStatusChain) {
+  const auto findings = RuleFindings(
+      LintText("src/a.cc", "Status F() { if (!s.ok()) return s; }\n"),
+      "manual-chain");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 1u);
+}
+
+TEST(ManualChainTest, FlagsResultStatusForm) {
+  EXPECT_EQ(RuleFindings(LintText("src/a.cc",
+                                  "if (!r.ok()) return r.status();\n"),
+                         "manual-chain")
+                .size(),
+            1u);
+}
+
+TEST(ManualChainTest, IgnoresDifferentIdentifiers) {
+  EXPECT_TRUE(RuleFindings(LintText("src/a.cc",
+                                    "if (!a.ok()) return b;\n"),
+                           "manual-chain")
+                  .empty());
+}
+
+// --- void-discard ------------------------------------------------------------
+
+TEST(VoidDiscardTest, FlagsUnjustifiedDiscard) {
+  EXPECT_EQ(
+      RuleFindings(LintText("src/a.cc", "(void)DoThing();\n"), "void-discard")
+          .size(),
+      1u);
+}
+
+TEST(VoidDiscardTest, AcceptsSameLineJustification) {
+  EXPECT_TRUE(RuleFindings(LintText("src/a.cc",
+                                    "// ignore: best effort\n"
+                                    "(void)DoThing();  // ignore: best effort\n"),
+                           "void-discard")
+                  .empty());
+}
+
+TEST(VoidDiscardTest, AcceptsCommentBlockAbove) {
+  EXPECT_TRUE(RuleFindings(LintText("src/a.cc",
+                                    "// ignore: shutdown path, nothing to do\n"
+                                    "(void)DoThing();\n"),
+                           "void-discard")
+                  .empty());
+}
+
+TEST(VoidDiscardTest, BareVariableCastIsExempt) {
+  EXPECT_TRUE(RuleFindings(LintText("src/a.cc", "(void)unused_arg;\n"),
+                           "void-discard")
+                  .empty());
+}
+
+// --- mutex-annotated ---------------------------------------------------------
+
+TEST(MutexAnnotatedTest, FlagsRawStdMutexMember) {
+  const std::string code = R"(
+    class Cache {
+     private:
+      std::mutex mu_;
+      int hits_ = 0;
+    };
+  )";
+  const auto findings =
+      RuleFindings(LintText("src/common/cache.cc", code), "mutex-annotated");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("std::mutex"), std::string::npos);
+}
+
+TEST(MutexAnnotatedTest, FlagsUnguardedSiblingOfCapability) {
+  const std::string code = R"(
+    class Cache {
+     private:
+      lakekit::Mutex mu_;
+      int hits_ = 0;
+    };
+  )";
+  const auto findings =
+      RuleFindings(LintText("src/common/cache.cc", code), "mutex-annotated");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("hits_"), std::string::npos);
+}
+
+TEST(MutexAnnotatedTest, AcceptsGuardedAndJustifiedMembers) {
+  const std::string code = R"(
+    class Cache {
+     private:
+      lakekit::Mutex mu_;
+      int hits_ LAKEKIT_GUARDED_BY(mu_) = 0;
+      // unguarded: written once in the constructor, read-only after.
+      std::string name_;
+      std::atomic<int> epoch_{0};
+      CondVar cv_;
+    };
+  )";
+  EXPECT_TRUE(RuleFindings(LintText("src/common/cache.cc", code),
+                           "mutex-annotated")
+                  .empty());
+}
+
+TEST(MutexAnnotatedTest, CapabilityClassesAreExempt) {
+  // The annotated primitives themselves wrap a raw std::mutex; the compiler
+  // checks them, the lint must not.
+  const std::string code = R"(
+    class LAKEKIT_CAPABILITY("mutex") Mutex {
+     private:
+      std::mutex mu_;
+    };
+    class LAKEKIT_SCOPED_CAPABILITY MutexLock {
+     private:
+      Mutex& mu_;
+      bool held_;
+    };
+  )";
+  EXPECT_TRUE(RuleFindings(LintText("src/common/mutex.h",
+                                    "#ifndef LAKEKIT_COMMON_MUTEX_H_\n"
+                                    "#define LAKEKIT_COMMON_MUTEX_H_\n" +
+                                        code + "\n#endif\n"),
+                           "mutex-annotated")
+                  .empty());
+}
+
+TEST(MutexAnnotatedTest, ClassWithoutCapabilityIsNotChecked) {
+  const std::string code = R"(
+    struct Point {
+      int x = 0;
+      int y = 0;
+    };
+  )";
+  EXPECT_TRUE(RuleFindings(LintText("src/common/point.h",
+                                    "#ifndef LAKEKIT_COMMON_POINT_H_\n"
+                                    "#define LAKEKIT_COMMON_POINT_H_\n" +
+                                        code + "\n#endif\n"),
+                           "mutex-annotated")
+                  .empty());
+}
+
+TEST(MutexAnnotatedTest, MethodsAndStaticsAreNotMembers) {
+  const std::string code = R"(
+    class Pool {
+     public:
+      void Submit(std::function<void()> fn);
+      static constexpr int kDefaultThreads = 4;
+     private:
+      void DrainLocked() LAKEKIT_REQUIRES(mu_);
+      lakekit::Mutex mu_;
+      std::deque<std::function<void()>> queue_ LAKEKIT_GUARDED_BY(mu_);
+    };
+  )";
+  EXPECT_TRUE(RuleFindings(LintText("src/common/pool.cc", code),
+                           "mutex-annotated")
+                  .empty());
+}
+
+TEST(MutexAnnotatedTest, DefaultArgumentBracesDoNotSplitDeclarations) {
+  // `Options o = {}` mid-signature once split the declaration, making the
+  // tail after the braces look like an unguarded data member named `fs`.
+  const std::string code = R"(
+    class Store {
+     public:
+      static int Open(const std::string& dir,
+                      Options options = {},
+                      Fs* fs = Default());
+     private:
+      lakekit::Mutex mu_;
+      int entries_ LAKEKIT_GUARDED_BY(mu_) = 0;
+    };
+  )";
+  EXPECT_TRUE(RuleFindings(LintText("src/storage/store.cc", code),
+                           "mutex-annotated")
+                  .empty());
+}
+
+TEST(MutexAnnotatedTest, OnlyAppliesUnderSrc) {
+  const std::string code = "class T { std::mutex mu_; };\n";
+  EXPECT_FALSE(
+      RuleFindings(LintText("src/t.cc", code), "mutex-annotated").empty());
+  EXPECT_TRUE(
+      RuleFindings(LintText("tests/t.cc", code), "mutex-annotated").empty());
+}
+
+TEST(MutexAnnotatedTest, WriterPriorityRwLockCountsAsCapability) {
+  const std::string code = R"(
+    class Store {
+     private:
+      mutable WriterPriorityRwLock state_mu_;
+      int entries_;
+    };
+  )";
+  const auto findings =
+      RuleFindings(LintText("src/storage/store.cc", code), "mutex-annotated");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("entries_"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lakekit::lint

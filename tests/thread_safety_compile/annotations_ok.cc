@@ -1,0 +1,63 @@
+// Positive control for the thread-safety negative-compile fixture: a
+// correctly locked counter over the annotated primitives. This file MUST
+// compile under `-Werror=thread-safety`; if it stops compiling, the two
+// negative fixtures (unguarded_access.cc, missing_requires.cc) would
+// "fail to compile" for the wrong reason and prove nothing.
+
+#include "common/mutex.h"
+#include "common/rw_lock.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    lakekit::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  int Get() {
+    lakekit::MutexLock lock(mu_);
+    return value_;
+  }
+
+  void Reset() {
+    lakekit::MutexLock lock(mu_);
+    ResetLocked();
+  }
+
+ private:
+  void ResetLocked() LAKEKIT_REQUIRES(mu_) { value_ = 0; }
+
+  lakekit::Mutex mu_;
+  int value_ LAKEKIT_GUARDED_BY(mu_) = 0;
+};
+
+class Registry {
+ public:
+  void Publish(int v) {
+    lakekit::WriterLock lock(mu_);
+    published_ = v;
+  }
+
+  int Read() {
+    lakekit::ReaderLock lock(mu_);
+    return published_;
+  }
+
+ private:
+  lakekit::WriterPriorityRwLock mu_;
+  int published_ LAKEKIT_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  c.Reset();
+  Registry r;
+  r.Publish(c.Get());
+  return r.Read();
+}

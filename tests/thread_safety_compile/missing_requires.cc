@@ -1,0 +1,30 @@
+// Negative-compile fixture: calls a LAKEKIT_REQUIRES(mu_) helper without
+// holding the lock. Under Clang with `-Werror=thread-safety` this MUST
+// fail to compile ("calling function 'ResetLocked' requires holding mutex
+// 'mu_'"); the ctest entry passes only when that diagnostic appears.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Reset() {
+    ResetLocked();  // BUG under analysis: caller does not hold mu_
+  }
+
+ private:
+  void ResetLocked() LAKEKIT_REQUIRES(mu_) { value_ = 0; }
+
+  lakekit::Mutex mu_;
+  int value_ LAKEKIT_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Reset();
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Negative-compile fixture: writes a LAKEKIT_GUARDED_BY field without
+// holding its mutex. Under Clang with `-Werror=thread-safety` this MUST
+// fail to compile ("writing variable 'value_' requires holding mutex
+// 'mu_'"); the ctest entry passes only when that diagnostic appears.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    ++value_;  // BUG under analysis: mu_ not held
+  }
+
+ private:
+  lakekit::Mutex mu_;
+  int value_ LAKEKIT_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return 0;
+}

@@ -1,0 +1,562 @@
+#include "tools/lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace lakekit::lint {
+namespace {
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+size_t LineOfOffset(const std::string& text, size_t offset) {
+  return static_cast<size_t>(std::count(text.begin(), text.begin() + offset,
+                                        '\n')) +
+         1;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Length of a raw-string introducer (`R"`, `u8R"`, `uR"`, `UR"`, `LR"`) at
+/// position `i`, or 0 when `i` does not start one. A preceding identifier
+/// character means the R belongs to a longer identifier, not a literal.
+size_t RawStringIntroLength(const std::string& s, size_t i) {
+  if (i > 0 && IsIdentChar(s[i - 1])) return 0;
+  static constexpr std::string_view kIntros[] = {"u8R\"", "uR\"", "UR\"",
+                                                 "LR\"", "R\""};
+  for (std::string_view intro : kIntros) {
+    if (s.compare(i, intro.size(), intro) == 0) return intro.size();
+  }
+  return 0;
+}
+
+/// True when the token appears in `s` bounded by non-identifier characters.
+bool HasToken(const std::string& s, std::string_view token) {
+  size_t pos = 0;
+  while ((pos = s.find(token, pos)) != std::string::npos) {
+    const size_t end = pos + token.size();
+    const bool left_ok = pos == 0 || !IsIdentChar(s[pos - 1]);
+    const bool right_ok = end >= s.size() || !IsIdentChar(s[end]);
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+/// Removes LAKEKIT_* annotation macros (with or without an argument list) so
+/// declaration parsing sees only the underlying C++.
+std::string StripAnnotations(const std::string& s) {
+  static const std::regex kAnnotation(R"(LAKEKIT_[A-Z_]+(\s*\([^()]*\))?)");
+  return std::regex_replace(s, kAnnotation, " ");
+}
+
+/// Removes template argument lists so `std::deque<std::function<void()>> q_`
+/// parses as a data member, not a function declaration.
+std::string RemoveAngleBlocks(const std::string& s) {
+  std::string out;
+  int depth = 0;
+  for (char c : s) {
+    if (c == '<') {
+      ++depth;
+      continue;
+    }
+    if (c == '>' && depth > 0) {
+      --depth;
+      continue;
+    }
+    if (depth == 0) out += c;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// mutex-annotated: class-scope scanner
+// ---------------------------------------------------------------------------
+
+struct MemberInfo {
+  std::string name;
+  size_t line = 0;      // 1-based line of the declaration's first token
+  size_t end_line = 0;  // 1-based line of the terminating ';'
+  bool guarded = false;
+  bool capability = false;
+  bool exempt_type = false;
+  std::string raw_std_type;  // non-empty: a raw standard mutex type
+};
+
+struct Scope {
+  bool is_class = false;
+  bool exempt = false;  // the class IS a lock primitive (LAKEKIT_CAPABILITY)
+  bool has_capability = false;
+  std::vector<MemberInfo> members;
+};
+
+/// True when `stmt` is the head of a class/struct/union definition. Sets
+/// `*exempt` when the head carries LAKEKIT_CAPABILITY /
+/// LAKEKIT_SCOPED_CAPABILITY — those classes ARE the lock primitives and are
+/// checked by the compiler, not the lint.
+bool IsClassHead(const std::string& stmt, bool* exempt) {
+  *exempt = stmt.find("LAKEKIT_CAPABILITY") != std::string::npos ||
+            stmt.find("LAKEKIT_SCOPED_CAPABILITY") != std::string::npos;
+  const std::string s = StripAnnotations(stmt);
+  if (HasToken(s, "enum")) return false;
+  // Use the LAST keyword so `template <class T> class Foo` keys off `Foo`,
+  // while `template <class T> void f(T)` is rejected by the paren test.
+  size_t best = std::string::npos;
+  for (std::string_view kw : {"class", "struct", "union"}) {
+    size_t pos = 0;
+    while ((pos = s.find(kw, pos)) != std::string::npos) {
+      const size_t end = pos + kw.size();
+      if ((pos == 0 || !IsIdentChar(s[pos - 1])) &&
+          (end >= s.size() || !IsIdentChar(s[end]))) {
+        if (best == std::string::npos || pos > best) best = pos;
+      }
+      pos = end;
+    }
+  }
+  if (best == std::string::npos) return false;
+  // A class head's tail (name + base clause) never contains parentheses; a
+  // function signature mentioning `class` in its template header does.
+  return s.find('(', best) == std::string::npos;
+}
+
+const char* RawStdMutexType(const std::string& head) {
+  for (const char* type : {"std::recursive_mutex", "std::shared_mutex",
+                           "std::timed_mutex", "std::mutex"}) {
+    if (head.find(type) != std::string::npos) return type;
+  }
+  return nullptr;
+}
+
+/// Classifies one class-scope statement, appending to `sc.members` when it
+/// declares a data member. Function declarations (anything with parentheses
+/// left after annotation- and template-stripping) are ignored.
+void ClassifyMember(const std::string& raw_stmt, size_t start_line,
+                    size_t end_line, Scope& sc) {
+  const bool guarded =
+      raw_stmt.find("LAKEKIT_GUARDED_BY") != std::string::npos ||
+      raw_stmt.find("LAKEKIT_PT_GUARDED_BY") != std::string::npos;
+  std::string s = StripAnnotations(raw_stmt);
+  static const std::regex kAccessLabel(R"(\b(public|private|protected)\s*:)");
+  s = std::regex_replace(s, kAccessLabel, " ");
+  for (std::string_view kw :
+       {"using", "typedef", "friend", "static_assert", "template", "operator",
+        "static", "constexpr", "enum"}) {
+    if (HasToken(s, kw)) return;
+  }
+  // The declarator head — everything before an initializer — is what decides
+  // member vs. function; initializer expressions may contain anything.
+  const std::string head = s.substr(0, s.find_first_of("={"));
+  std::string flat = RemoveAngleBlocks(head);
+  if (flat.find('(') != std::string::npos ||
+      flat.find(')') != std::string::npos) {
+    return;
+  }
+  static const std::regex kArrayExtent(R"(\[[^\]]*\])");
+  flat = std::regex_replace(flat, kArrayExtent, " ");
+  static const std::regex kIdent(R"([A-Za-z_][A-Za-z0-9_]*)");
+  std::string name;
+  for (auto it = std::sregex_iterator(flat.begin(), flat.end(), kIdent);
+       it != std::sregex_iterator(); ++it) {
+    name = it->str();
+  }
+  if (name.empty()) return;
+
+  MemberInfo m;
+  m.name = name;
+  m.line = start_line;
+  m.end_line = end_line;
+  m.guarded = guarded;
+  if (const char* raw = RawStdMutexType(head)) {
+    m.raw_std_type = raw;
+  } else if (HasToken(flat, "Mutex") || HasToken(flat, "WriterPriorityRwLock")) {
+    m.capability = true;
+    sc.has_capability = true;
+  } else if (HasToken(flat, "CondVar") ||
+             flat.find("condition_variable") != std::string::npos ||
+             flat.find("atomic") != std::string::npos ||
+             flat.find("once_flag") != std::string::npos) {
+    // Self-synchronizing (atomics) or lock-adjacent (condvars) types carry
+    // their own discipline; GUARDED_BY on them would be wrong or redundant.
+    m.exempt_type = true;
+  }
+  sc.members.push_back(std::move(m));
+}
+
+static const std::regex kCommentLine(R"(^\s*(//|\*|/\*))");
+
+/// A member is justified when its declaration lines or the comment block
+/// directly above contain `unguarded:` (searched in the ORIGINAL lines —
+/// the justification lives in a comment, which stripping blanks out).
+bool HasUnguardedJustification(const std::vector<std::string>& lines,
+                               const MemberInfo& m) {
+  for (size_t ln = m.line; ln <= m.end_line && ln <= lines.size(); ++ln) {
+    if (lines[ln - 1].find("unguarded:") != std::string::npos) return true;
+  }
+  for (size_t j = m.line; j > 1; --j) {
+    const std::string& above = lines[j - 2];
+    if (!std::regex_search(above, kCommentLine)) break;
+    if (above.find("unguarded:") != std::string::npos) return true;
+  }
+  return false;
+}
+
+void FinalizeClass(const std::string& file, const Scope& sc,
+                   const std::vector<std::string>& lines,
+                   std::vector<Finding>& findings) {
+  if (!sc.is_class || sc.exempt) return;
+  for (const MemberInfo& m : sc.members) {
+    if (!m.raw_std_type.empty()) {
+      findings.push_back(
+          {file, m.line, "mutex-annotated",
+           "'" + m.name + "' is a " + m.raw_std_type +
+               "; -Wthread-safety cannot see locks taken through it — use "
+               "the annotated capabilities in common/mutex.h"});
+    }
+  }
+  if (!sc.has_capability) return;
+  for (const MemberInfo& m : sc.members) {
+    if (m.capability || m.exempt_type || !m.raw_std_type.empty() || m.guarded) {
+      continue;
+    }
+    if (HasUnguardedJustification(lines, m)) continue;
+    findings.push_back(
+        {file, m.line, "mutex-annotated",
+         "field '" + m.name +
+             "' shares its class with a lock capability but is neither "
+             "LAKEKIT_GUARDED_BY nor justified with '// unguarded: <why>'"});
+  }
+}
+
+/// Blanks preprocessor lines (including backslash continuations) so macro
+/// bodies never reach the declaration scanner.
+std::string BlankPreprocessorLines(const std::string& stripped) {
+  std::vector<std::string> lines = SplitLines(stripped);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const size_t first = lines[i].find_first_not_of(" \t");
+    if (first == std::string::npos || lines[i][first] != '#') continue;
+    bool continues;
+    do {
+      continues = !lines[i].empty() && lines[i].back() == '\\';
+      lines[i].assign(lines[i].size(), ' ');
+      if (continues && i + 1 < lines.size()) ++i;
+    } while (continues && i < lines.size());
+  }
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string StripCommentsAndStrings(const std::string& text) {
+  std::string out = text;
+  size_t i = 0;
+  const size_t n = out.size();
+  while (i < n) {
+    if (out.compare(i, 2, "//") == 0) {
+      while (i < n && out[i] != '\n') out[i++] = ' ';
+    } else if (out.compare(i, 2, "/*") == 0) {
+      while (i < n && out.compare(i, 2, "*/") != 0) {
+        if (out[i] != '\n') out[i] = ' ';
+        ++i;
+      }
+      if (i < n) out[i] = out[i + 1] = ' ', i += 2;
+    } else if (size_t intro = RawStringIntroLength(out, i); intro != 0) {
+      // R"delim( ... )delim" — delimiter is 0–16 chars of anything but
+      // parens, backslash, or whitespace.
+      size_t j = i + intro;
+      std::string delim;
+      while (j < n && out[j] != '(' && delim.size() <= 16) delim += out[j++];
+      if (j >= n || out[j] != '(') {
+        // Not a well-formed raw literal after all; blank just the intro so
+        // the quote cannot re-trigger the ordinary-string branch.
+        for (size_t k = i; k < std::min(n, i + intro); ++k) out[k] = ' ';
+        i += intro;
+        continue;
+      }
+      const std::string closer = ")" + delim + "\"";
+      size_t end = out.find(closer, j + 1);
+      end = (end == std::string::npos) ? n : end + closer.size();
+      for (size_t k = i; k < end; ++k) {
+        if (out[k] != '\n') out[k] = ' ';
+      }
+      i = end;
+    } else if (out[i] == '"') {
+      out[i++] = ' ';
+      while (i < n && out[i] != '"') {
+        if (out[i] == '\\') out[i] = ' ', ++i;
+        if (i < n && out[i] != '\n') out[i] = ' ';
+        ++i;
+      }
+      if (i < n) out[i++] = ' ';
+    } else if (out[i] == '\'') {
+      if (i > 0 && IsIdentChar(out[i - 1])) {
+        // Digit separator (1'000'000) or literal-suffix apostrophe, not a
+        // character literal.
+        ++i;
+        continue;
+      }
+      out[i++] = ' ';
+      while (i < n && out[i] != '\'') {
+        if (out[i] == '\\') out[i] = ' ', ++i;
+        if (i < n) out[i] = ' ';
+        ++i;
+      }
+      if (i < n) out[i++] = ' ';
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::string ExpectedGuard(const std::string& rel_to_src) {
+  std::string guard = "LAKEKIT_";
+  for (char c : rel_to_src) {
+    if (c == '/' || c == '.' || c == '-') {
+      guard += '_';
+    } else {
+      guard += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+  }
+  guard += '_';
+  return guard;
+}
+
+void CheckHeaderGuard(const std::string& file, const std::string& rel_to_src,
+                      const std::vector<std::string>& lines,
+                      std::vector<Finding>& findings) {
+  const std::string expected = ExpectedGuard(rel_to_src);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (line.rfind("#ifndef", 0) != 0) continue;
+    std::istringstream in(line);
+    std::string directive, guard;
+    in >> directive >> guard;
+    if (guard != expected) {
+      findings.push_back(
+          {file, i + 1, "guard",
+           "include guard '" + guard + "' should be '" + expected + "'"});
+    } else if (i + 1 >= lines.size() ||
+               lines[i + 1].rfind("#define " + expected, 0) != 0) {
+      findings.push_back(
+          {file, i + 2, "guard",
+           "expected '#define " + expected + "' right after #ifndef"});
+    }
+    return;
+  }
+  findings.push_back({file, 1, "guard",
+                      "header has no include guard (#ifndef " + expected +
+                          ")"});
+}
+
+void CheckUsingNamespace(const std::string& file,
+                         const std::vector<std::string>& stripped_lines,
+                         std::vector<Finding>& findings) {
+  static const std::regex kUsingNs(R"(^\s*using\s+namespace\b)");
+  for (size_t i = 0; i < stripped_lines.size(); ++i) {
+    if (std::regex_search(stripped_lines[i], kUsingNs)) {
+      findings.push_back(
+          {file, i + 1, "using-ns",
+           "'using namespace' in a header leaks into every includer"});
+    }
+  }
+}
+
+void CheckManualStatusChain(const std::string& file,
+                            const std::string& stripped_text,
+                            std::vector<Finding>& findings) {
+  // `if (!s.ok()) return s;` — same identifier both times. The Result form
+  // `if (!r.ok()) return r.status();` is likewise LAKEKIT_ASSIGN_OR_RETURN's
+  // job. Matches across line breaks.
+  static const std::regex kChain(
+      R"(if\s*\(\s*!\s*(\w+)\.ok\s*\(\s*\)\s*\)\s*\{?\s*return\s+(\1|\1\.status\(\))\s*;)");
+  auto begin = std::sregex_iterator(stripped_text.begin(), stripped_text.end(),
+                                    kChain);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    const size_t line =
+        LineOfOffset(stripped_text, static_cast<size_t>(it->position()));
+    findings.push_back(
+        {file, line, "manual-chain",
+         "use LAKEKIT_RETURN_IF_ERROR / LAKEKIT_ASSIGN_OR_RETURN instead of "
+         "hand-rolled '" +
+             it->str() + "'"});
+  }
+}
+
+void CheckVoidDiscard(const std::string& file,
+                      const std::vector<std::string>& stripped_lines,
+                      const std::vector<std::string>& lines,
+                      std::vector<Finding>& findings) {
+  // `(void)` followed by anything but a bare identifier discards a value;
+  // lakekit reserves that spelling for Status/Result ignores, which must be
+  // justified with a `// ignore: <why>` comment — on the same line or in the
+  // comment block directly above.
+  static const std::regex kBareVar(R"(\(void\)\s*[A-Za-z_][A-Za-z0-9_]*\s*;)");
+  for (size_t i = 0; i < stripped_lines.size(); ++i) {
+    // Search the stripped line so comments/strings never trigger the rule.
+    const std::string& line = stripped_lines[i];
+    if (line.find("(void)") == std::string::npos) continue;
+    std::smatch m;
+    if (std::regex_search(line, m, kBareVar)) continue;  // unused-var silence
+    bool justified = lines[i].find("ignore:") != std::string::npos;
+    for (size_t j = i; !justified && j > 0; --j) {
+      const std::string& above = lines[j - 1];
+      if (!std::regex_search(above, kCommentLine)) break;
+      justified = above.find("ignore:") != std::string::npos;
+    }
+    if (!justified) {
+      findings.push_back(
+          {file, i + 1, "void-discard",
+           "discarding a value via (void) needs a '// ignore: <why>' "
+           "comment on this line or the comment block above"});
+    }
+  }
+}
+
+void CheckMutexAnnotated(const std::string& file,
+                         const std::string& stripped_text,
+                         const std::vector<std::string>& lines,
+                         std::vector<Finding>& findings) {
+  const std::string text = BlankPreprocessorLines(stripped_text);
+  std::vector<Scope> stack(1);  // bottom element is file scope
+  std::string stmt;
+  size_t line = 1;
+  size_t stmt_start = 1;
+  bool stmt_has_content = false;
+  int brace_init_depth = 0;
+  int paren_depth = 0;  // unbalanced '(' within the current statement
+
+  for (char c : text) {
+    if (c == '\n') {
+      ++line;
+      stmt += c;
+      continue;
+    }
+    if (brace_init_depth > 0) {
+      stmt += c;
+      if (c == '{') ++brace_init_depth;
+      if (c == '}') --brace_init_depth;
+      continue;
+    }
+    if (c == '{') {
+      bool exempt = false;
+      if (paren_depth > 0) {
+        // A brace inside an argument list is a default-argument initializer
+        // (`KvStoreOptions options = {}`), never a new scope.
+        stmt += c;
+        brace_init_depth = 1;
+        continue;
+      }
+      if (IsClassHead(stmt, &exempt)) {
+        Scope sc;
+        sc.is_class = true;
+        sc.exempt = exempt;
+        stack.push_back(sc);
+      } else if (stack.back().is_class && !HasToken(stmt, "namespace") &&
+                 StripAnnotations(stmt).find('(') == std::string::npos) {
+        // A parenless statement meeting `{` at class scope is a data member
+        // with a brace initializer, not a new scope — consume it inline.
+        stmt += c;
+        brace_init_depth = 1;
+        continue;
+      } else {
+        stack.emplace_back();  // function body / namespace / control block
+      }
+      stmt.clear();
+      stmt_has_content = false;
+      paren_depth = 0;
+      continue;
+    }
+    if (c == '}') {
+      if (stack.size() > 1) {
+        FinalizeClass(file, stack.back(), lines, findings);
+        stack.pop_back();
+      }
+      stmt.clear();
+      stmt_has_content = false;
+      paren_depth = 0;
+      continue;
+    }
+    if (c == ';') {
+      if (stack.back().is_class && stmt_has_content) {
+        ClassifyMember(stmt, stmt_start, line, stack.back());
+      }
+      stmt.clear();
+      stmt_has_content = false;
+      paren_depth = 0;
+      continue;
+    }
+    if (c == '(') ++paren_depth;
+    if (c == ')' && paren_depth > 0) --paren_depth;
+    if (!stmt_has_content && !std::isspace(static_cast<unsigned char>(c))) {
+      stmt_has_content = true;
+      stmt_start = line;
+    }
+    stmt += c;
+  }
+}
+
+std::vector<Finding> LintText(const std::string& rel, const std::string& text) {
+  std::vector<Finding> findings;
+  const std::string stripped = StripCommentsAndStrings(text);
+  const std::vector<std::string> lines = SplitLines(text);
+  const std::vector<std::string> stripped_lines = SplitLines(stripped);
+  const bool in_src = rel.rfind("src/", 0) == 0;
+  const bool is_header = rel.size() > 2 && rel.compare(rel.size() - 2, 2, ".h") == 0;
+  if (is_header) {
+    // Guard naming applies to library headers under src/.
+    if (in_src) CheckHeaderGuard(rel, rel.substr(4), lines, findings);
+    CheckUsingNamespace(rel, stripped_lines, findings);
+  }
+  CheckManualStatusChain(rel, stripped, findings);
+  CheckVoidDiscard(rel, stripped_lines, lines, findings);
+  if (in_src) CheckMutexAnnotated(rel, stripped, lines, findings);
+  return findings;
+}
+
+std::vector<Finding> LintTree(const fs::path& root, size_t* files_checked) {
+  std::vector<Finding> findings;
+  const std::vector<fs::path> dirs = {"src", "tests", "bench", "examples",
+                                      "tools"};
+  size_t checked = 0;
+  for (const fs::path& dir : dirs) {
+    if (!fs::exists(root / dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(root / dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".cc" && ext != ".cpp") continue;
+      std::ifstream in(entry.path(), std::ios::binary);
+      std::stringstream buf;
+      buf << in.rdbuf();
+      const std::string rel =
+          fs::relative(entry.path(), root).generic_string();
+      std::vector<Finding> file_findings = LintText(rel, buf.str());
+      findings.insert(findings.end(), file_findings.begin(),
+                      file_findings.end());
+      ++checked;
+    }
+  }
+  if (files_checked != nullptr) *files_checked = checked;
+  return findings;
+}
+
+}  // namespace lakekit::lint

@@ -1,0 +1,76 @@
+#ifndef LAKEKIT_TOOLS_LINT_LINT_H_
+#define LAKEKIT_TOOLS_LINT_LINT_H_
+
+/// \file
+/// lakekit repo lint: enforces conventions the compiler cannot.
+///
+/// Rules (see DESIGN.md "Error handling & analysis" and §4.2):
+///   guard            src headers use `LAKEKIT_<PATH>_H_` include guards
+///   using-ns         no `using namespace` at any scope in headers
+///   manual-chain     `if (!s.ok()) return s;` must be LAKEKIT_RETURN_IF_ERROR
+///   void-discard     `(void)call();` needs a `// ignore: <why>` justification
+///                    on the same or preceding line (bare `(void)var;` casts
+///                    that silence unused-variable warnings are exempt)
+///   mutex-annotated  src/ classes may not hold raw std::mutex members (the
+///                    thread-safety analysis cannot see locks taken through
+///                    them — use the capabilities in common/mutex.h), and any
+///                    field sharing a class with a lock capability must be
+///                    LAKEKIT_GUARDED_BY or carry `// unguarded: <why>`
+///
+/// The rules live in a library (linked by both the `lakekit_lint` CLI and
+/// tests/lint_test.cc) so each rule is testable against in-memory sources.
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace lakekit::lint {
+
+struct Finding {
+  std::string file;
+  size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Blanks out comments and string literals (preserving newlines) so content
+/// checks don't fire on documentation or on patterns quoted in strings.
+/// Handles raw string literals with arbitrary delimiters and encoding
+/// prefixes (R"x(...)x", u8R/uR/UR/LR) and does not mistake digit separators
+/// (1'000'000) for character literals.
+std::string StripCommentsAndStrings(const std::string& text);
+
+/// common/status.h -> LAKEKIT_COMMON_STATUS_H_
+std::string ExpectedGuard(const std::string& rel_to_src);
+
+void CheckHeaderGuard(const std::string& file, const std::string& rel_to_src,
+                      const std::vector<std::string>& lines,
+                      std::vector<Finding>& findings);
+void CheckUsingNamespace(const std::string& file,
+                         const std::vector<std::string>& stripped_lines,
+                         std::vector<Finding>& findings);
+void CheckManualStatusChain(const std::string& file,
+                            const std::string& stripped_text,
+                            std::vector<Finding>& findings);
+void CheckVoidDiscard(const std::string& file,
+                      const std::vector<std::string>& stripped_lines,
+                      const std::vector<std::string>& lines,
+                      std::vector<Finding>& findings);
+void CheckMutexAnnotated(const std::string& file,
+                         const std::string& stripped_text,
+                         const std::vector<std::string>& lines,
+                         std::vector<Finding>& findings);
+
+/// Runs every rule that applies to `rel` (path relative to the repo root,
+/// forward slashes — rule selection keys off the `src/` prefix and the
+/// extension) against `text`. This is the unit-test entry point.
+std::vector<Finding> LintText(const std::string& rel, const std::string& text);
+
+/// Walks src/tests/bench/examples/tools under `root` and lints every
+/// .h/.cc/.cpp file. `files_checked` (optional) receives the file count.
+std::vector<Finding> LintTree(const std::filesystem::path& root,
+                              size_t* files_checked);
+
+}  // namespace lakekit::lint
+
+#endif  // LAKEKIT_TOOLS_LINT_LINT_H_

@@ -1,245 +1,27 @@
-// lakekit repo lint: enforces conventions the compiler cannot.
-//
-// Rules (see DESIGN.md "Error handling & analysis"):
-//   guard          src headers use `LAKEKIT_<PATH>_H_` include guards
-//   using-ns       no `using namespace` at any scope in headers
-//   manual-chain   `if (!s.ok()) return s;` must be LAKEKIT_RETURN_IF_ERROR
-//   void-discard   `(void)call();` needs a `// ignore: <why>` justification
-//                  on the same or preceding line (bare `(void)var;` casts that
-//                  silence unused-variable warnings are exempt)
+// CLI driver for the lakekit repo lint. The rules themselves live in
+// tools/lint/lint.{h,cc} so tests/lint_test.cc can exercise them against
+// in-memory sources.
 //
 // Usage: lakekit_lint <repo-root>
 // Exits 0 when the tree is clean, 1 with one finding per line otherwise.
 
-#include <cctype>
-#include <filesystem>
-#include <fstream>
 #include <iostream>
-#include <regex>
-#include <sstream>
-#include <string>
-#include <vector>
 
-namespace fs = std::filesystem;
-
-namespace {
-
-struct Finding {
-  std::string file;
-  size_t line;
-  std::string rule;
-  std::string message;
-};
-
-std::vector<Finding> g_findings;
-
-void Report(const fs::path& file, size_t line, const std::string& rule,
-            const std::string& message) {
-  g_findings.push_back({file.generic_string(), line, rule, message});
-}
-
-std::vector<std::string> SplitLines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::istringstream in(text);
-  std::string line;
-  while (std::getline(in, line)) lines.push_back(line);
-  return lines;
-}
-
-size_t LineOfOffset(const std::string& text, size_t offset) {
-  return static_cast<size_t>(std::count(text.begin(), text.begin() + offset,
-                                        '\n')) +
-         1;
-}
-
-/// Blanks out comments and string literals (preserving newlines) so content
-/// checks don't fire on documentation or on patterns quoted in strings.
-std::string StripCommentsAndStrings(const std::string& text) {
-  std::string out = text;
-  size_t i = 0;
-  const size_t n = out.size();
-  while (i < n) {
-    if (out.compare(i, 2, "//") == 0) {
-      while (i < n && out[i] != '\n') out[i++] = ' ';
-    } else if (out.compare(i, 2, "/*") == 0) {
-      while (i < n && out.compare(i, 2, "*/") != 0) {
-        if (out[i] != '\n') out[i] = ' ';
-        ++i;
-      }
-      if (i < n) out[i] = out[i + 1] = ' ', i += 2;
-    } else if (out.compare(i, 3, "R\"(") == 0) {
-      out[i] = out[i + 1] = out[i + 2] = ' ', i += 3;
-      while (i < n && out.compare(i, 2, ")\"") != 0) {
-        if (out[i] != '\n') out[i] = ' ';
-        ++i;
-      }
-      if (i < n) out[i] = out[i + 1] = ' ', i += 2;
-    } else if (out[i] == '"') {
-      out[i++] = ' ';
-      while (i < n && out[i] != '"') {
-        if (out[i] == '\\') out[i] = ' ', ++i;
-        if (i < n && out[i] != '\n') out[i] = ' ';
-        ++i;
-      }
-      if (i < n) out[i++] = ' ';
-    } else if (out[i] == '\'') {
-      out[i++] = ' ';
-      while (i < n && out[i] != '\'') {
-        if (out[i] == '\\') out[i] = ' ', ++i;
-        if (i < n) out[i] = ' ';
-        ++i;
-      }
-      if (i < n) out[i++] = ' ';
-    } else {
-      ++i;
-    }
-  }
-  return out;
-}
-
-/// src/common/status.h -> LAKEKIT_COMMON_STATUS_H_
-std::string ExpectedGuard(const fs::path& rel) {
-  std::string guard = "LAKEKIT_";
-  std::string tail = rel.generic_string();          // e.g. common/status.h
-  for (char c : tail) {
-    if (c == '/' || c == '.' || c == '-') {
-      guard += '_';
-    } else {
-      guard += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
-    }
-  }
-  guard += '_';
-  return guard;
-}
-
-void CheckHeaderGuard(const fs::path& file, const fs::path& rel_to_src,
-                      const std::vector<std::string>& lines) {
-  const std::string expected = ExpectedGuard(rel_to_src);
-  for (size_t i = 0; i < lines.size(); ++i) {
-    const std::string& line = lines[i];
-    if (line.rfind("#ifndef", 0) != 0) continue;
-    std::istringstream in(line);
-    std::string directive, guard;
-    in >> directive >> guard;
-    if (guard != expected) {
-      Report(file, i + 1, "guard",
-             "include guard '" + guard + "' should be '" + expected + "'");
-    } else if (i + 1 >= lines.size() ||
-               lines[i + 1].rfind("#define " + expected, 0) != 0) {
-      Report(file, i + 2, "guard",
-             "expected '#define " + expected + "' right after #ifndef");
-    }
-    return;
-  }
-  Report(file, 1, "guard", "header has no include guard (#ifndef " + expected +
-                               ")");
-}
-
-void CheckUsingNamespace(const fs::path& file,
-                         const std::vector<std::string>& lines) {
-  static const std::regex kUsingNs(R"(^\s*using\s+namespace\b)");
-  for (size_t i = 0; i < lines.size(); ++i) {
-    if (std::regex_search(lines[i], kUsingNs)) {
-      Report(file, i + 1, "using-ns",
-             "'using namespace' in a header leaks into every includer");
-    }
-  }
-}
-
-void CheckManualStatusChain(const fs::path& file, const std::string& text) {
-  // `if (!s.ok()) return s;` — same identifier both times. The Result form
-  // `if (!r.ok()) return r.status();` is likewise LAKEKIT_ASSIGN_OR_RETURN's
-  // job. Matches across line breaks.
-  static const std::regex kChain(
-      R"(if\s*\(\s*!\s*(\w+)\.ok\s*\(\s*\)\s*\)\s*\{?\s*return\s+(\1|\1\.status\(\))\s*;)");
-  auto begin = std::sregex_iterator(text.begin(), text.end(), kChain);
-  for (auto it = begin; it != std::sregex_iterator(); ++it) {
-    size_t line = LineOfOffset(text, static_cast<size_t>(it->position()));
-    Report(file, line, "manual-chain",
-           "use LAKEKIT_RETURN_IF_ERROR / LAKEKIT_ASSIGN_OR_RETURN instead of "
-           "hand-rolled '" +
-               it->str() + "'");
-  }
-}
-
-void CheckVoidDiscard(const fs::path& file,
-                      const std::vector<std::string>& stripped_lines,
-                      const std::vector<std::string>& lines) {
-  // `(void)` followed by anything but a bare identifier discards a value;
-  // lakekit reserves that spelling for Status/Result ignores, which must be
-  // justified with a `// ignore: <why>` comment — on the same line or in the
-  // comment block directly above.
-  static const std::regex kBareVar(R"(\(void\)\s*[A-Za-z_][A-Za-z0-9_]*\s*;)");
-  static const std::regex kComment(R"(^\s*(//|\*|/\*))");
-  for (size_t i = 0; i < stripped_lines.size(); ++i) {
-    // Search the stripped line so comments/strings never trigger the rule.
-    const std::string& line = stripped_lines[i];
-    if (line.find("(void)") == std::string::npos) continue;
-    std::smatch m;
-    if (std::regex_search(line, m, kBareVar)) continue;  // unused-var silence
-    bool justified = lines[i].find("ignore:") != std::string::npos;
-    for (size_t j = i; !justified && j > 0; --j) {
-      const std::string& above = lines[j - 1];
-      if (!std::regex_search(above, kComment)) break;
-      justified = above.find("ignore:") != std::string::npos;
-    }
-    if (!justified) {
-      Report(file, i + 1, "void-discard",
-             "discarding a value via (void) needs a '// ignore: <why>' "
-             "comment on this line or the comment block above");
-    }
-  }
-}
-
-void LintFile(const fs::path& root, const fs::path& file) {
-  std::ifstream in(file, std::ios::binary);
-  std::stringstream buf;
-  buf << in.rdbuf();
-  const std::string text = buf.str();
-  const std::string stripped = StripCommentsAndStrings(text);
-  const std::vector<std::string> lines = SplitLines(text);
-  const std::vector<std::string> stripped_lines = SplitLines(stripped);
-  const fs::path rel = fs::relative(file, root);
-
-  const std::string ext = file.extension().string();
-  if (ext == ".h") {
-    // Guard naming applies to library headers under src/.
-    const std::string rel_str = rel.generic_string();
-    if (rel_str.rfind("src/", 0) == 0) {
-      CheckHeaderGuard(rel, fs::relative(file, root / "src"), lines);
-    }
-    CheckUsingNamespace(rel, stripped_lines);
-  }
-  CheckManualStatusChain(rel, stripped);
-  CheckVoidDiscard(rel, stripped_lines, lines);
-}
-
-}  // namespace
+#include "tools/lint/lint.h"
 
 int main(int argc, char** argv) {
   if (argc != 2) {
     std::cerr << "usage: lakekit_lint <repo-root>\n";
     return 2;
   }
-  const fs::path root = argv[1];
-  const std::vector<fs::path> dirs = {"src", "tests", "bench", "examples",
-                                      "tools"};
   size_t files_checked = 0;
-  for (const fs::path& dir : dirs) {
-    if (!fs::exists(root / dir)) continue;
-    for (const auto& entry : fs::recursive_directory_iterator(root / dir)) {
-      if (!entry.is_regular_file()) continue;
-      const std::string ext = entry.path().extension().string();
-      if (ext != ".h" && ext != ".cc" && ext != ".cpp") continue;
-      LintFile(root, entry.path());
-      ++files_checked;
-    }
-  }
-  for (const Finding& f : g_findings) {
+  const std::vector<lakekit::lint::Finding> findings =
+      lakekit::lint::LintTree(argv[1], &files_checked);
+  for (const lakekit::lint::Finding& f : findings) {
     std::cout << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
               << "\n";
   }
   std::cout << "lakekit_lint: " << files_checked << " files, "
-            << g_findings.size() << " finding(s)\n";
-  return g_findings.empty() ? 0 : 1;
+            << findings.size() << " finding(s)\n";
+  return findings.empty() ? 0 : 1;
 }
