@@ -23,16 +23,28 @@ ExprPtr CombineConjuncts(const std::vector<ExprPtr>& conjuncts) {
   return combined;
 }
 
-Result<table::Table> FederatedEngine::Scan(const std::string& dataset,
-                                           const Expr* predicate,
-                                           FederationStats* stats) const {
-  LAKEKIT_ASSIGN_OR_RETURN(table::Table t, polystore_->ReadAsTable(dataset));
+namespace {
+
+/// Source-side tail of a scan: account the rows read, apply the pushed
+/// predicate, account the rows shipped to the mediator.
+Result<table::Table> FilterScanned(table::Table t, const Expr* predicate,
+                                   FederationStats* stats) {
   if (stats != nullptr) stats->rows_scanned += t.num_rows();
   if (predicate != nullptr) {
     LAKEKIT_ASSIGN_OR_RETURN(t, Filter(t, *predicate));
   }
   if (stats != nullptr) stats->rows_shipped += t.num_rows();
   return t;
+}
+
+}  // namespace
+
+Result<table::Table> FederatedEngine::Scan(const std::string& dataset,
+                                           const Expr* predicate,
+                                           FederationStats* stats) const {
+  LAKEKIT_ASSIGN_OR_RETURN(table::Table t, polystore_->ReadAsTable(dataset));
+  if (stats != nullptr) ++stats->source_reads;
+  return FilterScanned(std::move(t), predicate, stats);
 }
 
 namespace {
@@ -59,16 +71,19 @@ Result<table::Table> FederatedEngine::Query(std::string_view sql,
   std::vector<ExprPtr> conjuncts;
   SplitConjuncts(stmt.where, &conjuncts);
 
-  // Pre-read source schemas (cheap: the polystore is in-process; a remote
-  // deployment would consult the catalog).
-  LAKEKIT_ASSIGN_OR_RETURN(table::Table from_probe,
+  // Read each source exactly once; conjunct classification uses the schema
+  // of the same table the scan filters, so there is no separate probe read.
+  LAKEKIT_ASSIGN_OR_RETURN(table::Table from_data,
                            polystore_->ReadAsTable(stmt.from_table));
-  const table::Schema& from_schema = from_probe.schema();
+  ++stats_.source_reads;
+  const table::Schema& from_schema = from_data.schema();
+  table::Table join_data;
   table::Schema join_schema;
   if (stmt.join_table) {
-    LAKEKIT_ASSIGN_OR_RETURN(table::Table join_probe,
+    LAKEKIT_ASSIGN_OR_RETURN(join_data,
                              polystore_->ReadAsTable(*stmt.join_table));
-    join_schema = join_probe.schema();
+    ++stats_.source_reads;
+    join_schema = join_data.schema();
   }
 
   std::vector<ExprPtr> from_push;
@@ -87,17 +102,18 @@ Result<table::Table> FederatedEngine::Query(std::string_view sql,
   stats_.pushed_conjuncts = from_push.size() + join_push.size();
   stats_.residual_conjuncts = residual.size();
 
-  // Source scans with pushed predicates.
+  // Source-side filtering of the already-read tables.
   ExprPtr from_pred = CombineConjuncts(from_push);
   LAKEKIT_ASSIGN_OR_RETURN(
       table::Table current,
-      Scan(stmt.from_table, from_pred ? from_pred.get() : nullptr, &stats_));
+      FilterScanned(std::move(from_data),
+                    from_pred ? from_pred.get() : nullptr, &stats_));
   if (stmt.join_table) {
     ExprPtr join_pred = CombineConjuncts(join_push);
     LAKEKIT_ASSIGN_OR_RETURN(
         table::Table right,
-        Scan(*stmt.join_table, join_pred ? join_pred.get() : nullptr,
-             &stats_));
+        FilterScanned(std::move(join_data),
+                      join_pred ? join_pred.get() : nullptr, &stats_));
     stats_.join_input_rows = current.num_rows() + right.num_rows();
     LAKEKIT_ASSIGN_OR_RETURN(
         current, HashJoin(current, right, stmt.join_left_col,

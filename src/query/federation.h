@@ -15,6 +15,10 @@ namespace lakekit::query {
 /// pushdown (Constance pushes selections to the sources to "reduce the
 /// amount of data to be loaded", survey Sec. 6.3/7.2).
 struct FederationStats {
+  /// ReadAsTable calls issued against the polystore — one per source per
+  /// query: conjunct classification reuses the scanned table's schema
+  /// instead of issuing a separate probe read.
+  size_t source_reads = 0;
   /// Rows read from the underlying stores.
   size_t rows_scanned = 0;
   /// Rows shipped from the sources to the mediator.

@@ -3,6 +3,11 @@
 #include <algorithm>
 #include <numeric>
 #include <unordered_map>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/thread_pool.h"
+#include "query/vec.h"
 
 namespace lakekit::query {
 
@@ -12,15 +17,56 @@ using table::Schema;
 using table::Table;
 using table::Value;
 
-Result<Table> Filter(const Table& input, const Expr& predicate) {
+/// Vectorized operators (DESIGN.md §7). Each operator splits its input into
+/// kMorselSize-row morsels, runs a pure per-morsel computation on the
+/// execution layer's thread pool (pre-sized slots: result m depends only on
+/// m), and merges the per-morsel results serially in ascending morsel order.
+/// That merge order is the whole determinism story: output rows, group
+/// order, and even the floating-point summation order are fixed, so any
+/// thread count — including 1 — produces bit-identical tables, and those
+/// tables are bit-identical to query/reference_ops.h.
+
+namespace {
+
+ParallelOptions PoolOptions(const ExecOptions& opts) {
+  ParallelOptions po;
+  po.pool = opts.pool;
+  return po;
+}
+
+/// Morsel m covers input rows [MorselBegin(m), MorselEnd(m, rows)).
+size_t MorselBegin(size_t m) { return m * kMorselSize; }
+size_t MorselEnd(size_t m, size_t rows) {
+  return std::min(rows, (m + 1) * kMorselSize);
+}
+
+}  // namespace
+
+Result<Table> Filter(const Table& input, const Expr& predicate,
+                     const ExecOptions& opts) {
   Table out(input.name(), input.schema());
-  for (size_t r = 0; r < input.num_rows(); ++r) {
-    std::vector<Value> row = input.Row(r);
-    LAKEKIT_ASSIGN_OR_RETURN(bool keep,
-                             EvalPredicate(predicate, input.schema(), row));
-    if (keep) {
-      LAKEKIT_RETURN_IF_ERROR(out.AppendRow(std::move(row)));
-    }
+  const size_t rows = input.num_rows();
+  if (rows == 0) return out;  // nothing to evaluate (matches the interpreter)
+  LAKEKIT_ASSIGN_OR_RETURN(CompiledExpr compiled,
+                           CompiledExpr::Compile(predicate, input.schema()));
+  // Predicate evaluation fans out per morsel; the gather stays serial and
+  // ordered.
+  LAKEKIT_ASSIGN_OR_RETURN(
+      std::vector<SelVector> selections,
+      ParallelMap<SelVector>(
+          NumMorsels(rows),
+          [&](size_t m) -> Result<SelVector> {
+            SelVector sel;
+            LAKEKIT_RETURN_IF_ERROR(compiled.EvalSelection(
+                input, MorselBegin(m), MorselEnd(m, rows), &sel));
+            return sel;
+          },
+          PoolOptions(opts)));
+  size_t total = 0;
+  for (const SelVector& sel : selections) total += sel.size();
+  out.Reserve(total);
+  for (const SelVector& sel : selections) {
+    LAKEKIT_RETURN_IF_ERROR(out.AppendRowsFrom(input, sel.data(), sel.size()));
   }
   return out;
 }
@@ -34,19 +80,31 @@ Result<Table> Project(const Table& input,
     indexes.push_back(idx);
     schema.AddField(input.schema().field(idx));
   }
-  Table out(input.name(), schema);
-  for (size_t r = 0; r < input.num_rows(); ++r) {
-    std::vector<Value> row;
-    row.reserve(indexes.size());
-    for (size_t idx : indexes) row.push_back(input.at(r, idx));
-    LAKEKIT_RETURN_IF_ERROR(out.AppendRow(std::move(row)));
-  }
-  return out;
+  // Whole-column copies — no per-row work at all.
+  std::vector<std::vector<Value>> cols;
+  cols.reserve(indexes.size());
+  for (size_t idx : indexes) cols.push_back(input.column(idx));
+  return Table::FromColumns(input.name(), std::move(schema), std::move(cols),
+                            input.num_rows());
 }
+
+namespace {
+
+constexpr uint32_t kNoMatch = 0xffffffffu;
+
+/// Smallest power of two >= max(16, 2 * n).
+size_t BucketCount(size_t n) {
+  size_t buckets = 16;
+  while (buckets < 2 * n) buckets <<= 1;
+  return buckets;
+}
+
+}  // namespace
 
 Result<Table> HashJoin(const Table& left, const Table& right,
                        const std::string& left_col,
-                       const std::string& right_col, JoinType type) {
+                       const std::string& right_col, JoinType type,
+                       const ExecOptions& opts) {
   LAKEKIT_ASSIGN_OR_RETURN(size_t lidx, left.ColumnIndex(left_col));
   LAKEKIT_ASSIGN_OR_RETURN(size_t ridx, right.ColumnIndex(right_col));
 
@@ -59,58 +117,149 @@ Result<Table> HashJoin(const Table& left, const Table& right,
     schema.AddField(field);
   }
 
-  // Build side: right.
-  std::unordered_map<Value, std::vector<size_t>, table::ValueHash> build;
-  for (size_t r = 0; r < right.num_rows(); ++r) {
-    const Value& key = right.at(r, ridx);
-    if (key.is_null()) continue;
-    build[key].push_back(r);
+  // Build side: hash every right key once, in parallel (disjoint pre-sized
+  // slots), then chain rows into a power-of-two bucket array. Rows are
+  // inserted in descending order so each chain reads back in ascending
+  // right-row order — the match order the interpreter produces.
+  const std::vector<Value>& rkeys = right.column(ridx);
+  const size_t n_right = right.num_rows();
+  std::vector<uint64_t> rhash(n_right);
+  std::vector<uint8_t> rnull(n_right);
+  LAKEKIT_RETURN_IF_ERROR(ParallelFor(
+      0, NumMorsels(n_right),
+      [&](size_t m) -> Status {
+        for (size_t r = MorselBegin(m); r < MorselEnd(m, n_right); ++r) {
+          rnull[r] = rkeys[r].is_null() ? 1 : 0;
+          rhash[r] = rnull[r] != 0 ? 0 : rkeys[r].Hash();
+        }
+        return Status::OK();
+      },
+      PoolOptions(opts)));
+  const size_t buckets = BucketCount(n_right);
+  const uint64_t mask = buckets - 1;
+  std::vector<uint32_t> head(buckets, kNoMatch);
+  std::vector<uint32_t> next(n_right, kNoMatch);
+  for (size_t r = n_right; r > 0; --r) {
+    const size_t i = r - 1;
+    if (rnull[i] != 0) continue;
+    const size_t b = rhash[i] & mask;
+    next[i] = head[b];
+    head[b] = static_cast<uint32_t>(i);
   }
 
-  Table out(left.name() + "_join_" + right.name(), schema);
-  const size_t right_cols = right.num_columns();
-  for (size_t l = 0; l < left.num_rows(); ++l) {
-    const Value& key = left.at(l, lidx);
-    auto it = key.is_null() ? build.end() : build.find(key);
-    if (it != build.end()) {
-      for (size_t r : it->second) {
-        std::vector<Value> row = left.Row(l);
-        for (size_t c = 0; c < right_cols; ++c) row.push_back(right.at(r, c));
-        LAKEKIT_RETURN_IF_ERROR(out.AppendRow(std::move(row)));
-      }
-    } else if (type == JoinType::kLeft) {
-      std::vector<Value> row = left.Row(l);
-      for (size_t c = 0; c < right_cols; ++c) row.push_back(Value::Null());
-      LAKEKIT_RETURN_IF_ERROR(out.AppendRow(std::move(row)));
+  // Probe side: per-morsel (left row, right row) match lists; kNoMatch marks
+  // a left-join row without a partner.
+  const std::vector<Value>& lkeys = left.column(lidx);
+  const size_t n_left = left.num_rows();
+  using MatchList = std::vector<std::pair<uint32_t, uint32_t>>;
+  LAKEKIT_ASSIGN_OR_RETURN(
+      std::vector<MatchList> matches,
+      ParallelMap<MatchList>(
+          NumMorsels(n_left),
+          [&](size_t m) -> Result<MatchList> {
+            MatchList out_m;
+            for (size_t l = MorselBegin(m); l < MorselEnd(m, n_left); ++l) {
+              const Value& key = lkeys[l];
+              bool matched = false;
+              if (!key.is_null()) {
+                const uint64_t h = key.Hash();
+                for (uint32_t r = head[h & mask]; r != kNoMatch;
+                     r = next[r]) {
+                  if (rhash[r] == h && rkeys[r] == key) {
+                    out_m.emplace_back(static_cast<uint32_t>(l), r);
+                    matched = true;
+                  }
+                }
+              }
+              if (!matched && type == JoinType::kLeft) {
+                out_m.emplace_back(static_cast<uint32_t>(l), kNoMatch);
+              }
+            }
+            return out_m;
+          },
+          PoolOptions(opts)));
+
+  // Ordered columnar gather.
+  size_t total = 0;
+  for (const MatchList& m : matches) total += m.size();
+  std::vector<std::vector<Value>> cols(schema.num_fields());
+  const size_t left_cols = left.num_columns();
+  for (size_t c = 0; c < left_cols; ++c) {
+    const std::vector<Value>& from = left.column(c);
+    std::vector<Value>& to = cols[c];
+    to.reserve(total);
+    for (const MatchList& morsel : matches) {
+      for (const auto& [l, r] : morsel) to.push_back(from[l]);
     }
   }
-  return out;
+  for (size_t c = 0; c < right.num_columns(); ++c) {
+    const std::vector<Value>& from = right.column(c);
+    std::vector<Value>& to = cols[left_cols + c];
+    to.reserve(total);
+    for (const MatchList& morsel : matches) {
+      for (const auto& [l, r] : morsel) {
+        to.push_back(r == kNoMatch ? Value::Null() : from[r]);
+      }
+    }
+  }
+  return Table::FromColumns(left.name() + "_join_" + right.name(),
+                            std::move(schema), std::move(cols), total);
 }
 
 namespace {
 
+/// Per-group aggregation state. Double cells accumulate into `dsum` —
+/// within one morsel this is the within-morsel partial; the ordered merge
+/// folds partials morsel by morsel, which is the summation order the
+/// reference interpreter reproduces with its per-block flush.
 struct AggState {
   size_t count = 0;
-  double sum = 0;
+  int64_t isum = 0;
+  double dsum = 0;
+  bool saw_double = false;
   Value min;
   Value max;
 
   void Add(const Value& v) {
     if (v.is_null()) return;
     ++count;
-    if (v.is_numeric()) sum += v.as_double();
+    if (v.is_int()) {
+      isum += v.as_int();
+    } else if (v.is_double()) {
+      saw_double = true;
+      dsum += v.as_double();
+    }
     if (min.is_null() || v < min) min = v;
     if (max.is_null() || max < v) max = v;
   }
+
+  /// Folds `other` (a later morsel's partial) into this state. Ties in
+  /// min/max keep the earlier value, matching row-order first-seen.
+  void Merge(const AggState& other) {
+    count += other.count;
+    isum += other.isum;
+    dsum += other.dsum;
+    saw_double = saw_double || other.saw_double;
+    if (!other.min.is_null() && (min.is_null() || other.min < min)) {
+      min = other.min;
+    }
+    if (!other.max.is_null() && (max.is_null() || max < other.max)) {
+      max = other.max;
+    }
+  }
+
   Value Finish(AggFn fn) const {
     switch (fn) {
       case AggFn::kCount:
         return Value(static_cast<int64_t>(count));
       case AggFn::kSum:
-        return count == 0 ? Value::Null() : Value(sum);
+        if (count == 0) return Value::Null();
+        if (!saw_double) return Value(isum);
+        return Value(static_cast<double>(isum) + dsum);
       case AggFn::kAvg:
-        return count == 0 ? Value::Null()
-                          : Value(sum / static_cast<double>(count));
+        if (count == 0) return Value::Null();
+        return Value((static_cast<double>(isum) + dsum) /
+                     static_cast<double>(count));
       case AggFn::kMin:
         return min;
       case AggFn::kMax:
@@ -120,11 +269,332 @@ struct AggState {
   }
 };
 
+/// Group key: the key values plus their combined hash, compared with real
+/// elementwise Value equality (not a string encoding — see reference_ops.h).
+struct GroupKey {
+  std::vector<Value> values;
+  uint64_t hash = 0;
+};
+
+constexpr uint64_t kGroupHashSeed = 0xa99ec0de5eedULL;
+
+struct GroupKeyHash {
+  size_t operator()(const GroupKey& k) const {
+    return static_cast<size_t>(k.hash);
+  }
+};
+
+struct GroupKeyEq {
+  bool operator()(const GroupKey& a, const GroupKey& b) const {
+    if (a.hash != b.hash || a.values.size() != b.values.size()) return false;
+    for (size_t i = 0; i < a.values.size(); ++i) {
+      if (!(a.values[i] == b.values[i])) return false;
+    }
+    return true;
+  }
+};
+
+DataType AggOutputType(AggFn fn, bool has_input, DataType input_type) {
+  switch (fn) {
+    case AggFn::kCount:
+      return DataType::kInt64;
+    case AggFn::kSum:
+      // int64 inputs sum in int64 (exact past 2^53); everything else widens.
+      return has_input && input_type == DataType::kInt64 ? DataType::kInt64
+                                                         : DataType::kDouble;
+    case AggFn::kAvg:
+      return DataType::kDouble;
+    case AggFn::kMin:
+    case AggFn::kMax:
+      return has_input ? input_type : DataType::kString;
+  }
+  return DataType::kString;
+}
+
+/// One morsel's partial aggregation: groups in within-morsel first-seen
+/// order. `states` is group-major — state for (group g, aggregate i) lives
+/// at `states[g * naggs + i]` — so the merge touches one flat allocation
+/// instead of a vector-of-vectors.
+struct AggPartial {
+  std::vector<GroupKey> keys;
+  std::vector<AggState> states;
+};
+
+/// Lane-local cell equality, resolved to a function pointer once per
+/// (key lane, morsel) so the probe loop's candidate check is one indirect
+/// call — no CellRef construction or type dispatch per row. Semantics match
+/// CellEq: NULL equals only NULL, numerics compare by double, NaN != NaN.
+using LaneEqFn = bool (*)(const Vec&, size_t, size_t);
+
+bool LaneEqGeneric(const Vec& v, size_t a, size_t b) {
+  return CellEq(DecodeCell(*v.cells[a]), DecodeCell(*v.cells[b]));
+}
+// An all-NULL lane has no payload to compare: every pair of cells is equal.
+bool LaneEqNull(const Vec& /*v*/, size_t /*a*/, size_t /*b*/) { return true; }
+bool LaneEqBool(const Vec& v, size_t a, size_t b) {
+  if ((v.nulls[a] | v.nulls[b]) != 0) return v.nulls[a] == v.nulls[b];
+  return v.b8[a] == v.b8[b];
+}
+bool LaneEqI64(const Vec& v, size_t a, size_t b) {
+  if ((v.nulls[a] | v.nulls[b]) != 0) return v.nulls[a] == v.nulls[b];
+  // By double — the numeric equality Value uses (2^53 and 2^53 + 1 are
+  // equal keys).
+  return static_cast<double>(v.i64[a]) == static_cast<double>(v.i64[b]);
+}
+bool LaneEqF64(const Vec& v, size_t a, size_t b) {
+  if ((v.nulls[a] | v.nulls[b]) != 0) return v.nulls[a] == v.nulls[b];
+  return v.f64[a] == v.f64[b];  // NaN != NaN, like Value.
+}
+bool LaneEqStr(const Vec& v, size_t a, size_t b) {
+  if ((v.nulls[a] | v.nulls[b]) != 0) return v.nulls[a] == v.nulls[b];
+  const std::string_view x = v.str[a];
+  const std::string_view y = v.str[b];
+  if (x.size() != y.size()) return false;
+  // Byte loop for short strings: string_view's operator== lowers to a libc
+  // memcmp call, which dominates a 4-byte comparison done once per row.
+  if (x.size() <= 16) {
+    for (size_t i = 0; i < x.size(); ++i) {
+      if (x[i] != y[i]) return false;
+    }
+    return true;
+  }
+  return x == y;
+}
+
+LaneEqFn LaneEqFor(const Vec& v) {
+  if (v.generic) return LaneEqGeneric;
+  switch (v.type) {
+    case DataType::kBool:
+      return LaneEqBool;
+    case DataType::kInt64:
+      return LaneEqI64;
+    case DataType::kDouble:
+      return LaneEqF64;
+    case DataType::kString:
+      return LaneEqStr;
+    case DataType::kNull:
+      break;
+  }
+  return LaneEqNull;
+}
+
+/// Morsel-local group index: a growable open-addressed table mapping a
+/// morsel-local key hash (plus an equality check against the group's
+/// first-seen row) to a dense group id. It starts at 64 slots — L1-resident
+/// for the common low-cardinality morsel, instead of zeroing a
+/// 2x-kMorselSize slab per morsel — and doubles when half full, rehashing
+/// from the per-group stored hashes (groups are distinct, so no equality
+/// checks), which caps the load factor at 1/2 all the way to the
+/// one-group-per-row worst case. Rows per group are counted as a side
+/// effect, so COUNT(*) needs no second sweep.
+class GroupIndex {
+ public:
+  GroupIndex() : slots_(kInitialSlots) {}
+
+  /// Returns the group id of row `k`, whose key hashes to `h`; `eq(k0)`
+  /// decides whether row k's key equals the key first seen at row `k0`.
+  template <typename EqFn>
+  uint32_t Insert(uint64_t h, uint32_t k, EqFn&& eq) {
+    const size_t mask = slots_.size() - 1;
+    size_t s = h & mask;
+    while (true) {
+      Slot& slot = slots_[s];
+      if (slot.gi == kNoMatch) {
+        const uint32_t gi = static_cast<uint32_t>(first_row_.size());
+        slot.hash = h;
+        slot.gi = gi;
+        first_row_.push_back(k);
+        hashes_.push_back(h);
+        counts_.push_back(1);
+        if (2 * first_row_.size() >= slots_.size()) Grow();
+        return gi;
+      }
+      if (slot.hash == h && eq(first_row_[slot.gi])) {
+        ++counts_[slot.gi];
+        return slot.gi;
+      }
+      s = (s + 1) & mask;
+    }
+  }
+
+  /// Global-aggregate shortcut: one group covering `count` rows, first row 0.
+  void SetSingleGroup(uint32_t count) {
+    first_row_.assign(1, 0);
+    hashes_.assign(1, 0);
+    counts_.assign(1, count);
+  }
+
+  void Reset() {
+    slots_.assign(kInitialSlots, Slot{});
+    first_row_.clear();
+    hashes_.clear();
+    counts_.clear();
+  }
+
+  const std::vector<uint32_t>& first_row() const { return first_row_; }
+  const std::vector<uint32_t>& counts() const { return counts_; }
+
+ private:
+  static constexpr size_t kInitialSlots = 64;  // power of two
+  struct Slot {
+    uint64_t hash = 0;
+    uint32_t gi = kNoMatch;
+  };
+
+  void Grow() {
+    std::vector<Slot> next(slots_.size() * 2);
+    const size_t mask = next.size() - 1;
+    for (size_t gi = 0; gi < hashes_.size(); ++gi) {
+      size_t s = hashes_[gi] & mask;
+      while (next[s].gi != kNoMatch) s = (s + 1) & mask;
+      next[s].hash = hashes_[gi];
+      next[s].gi = static_cast<uint32_t>(gi);
+    }
+    slots_ = std::move(next);
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> first_row_;  // group -> first row (morsel-relative)
+  std::vector<uint64_t> hashes_;     // group -> probe hash, for Grow
+  std::vector<uint32_t> counts_;     // group -> rows seen
+};
+
+/// Key policies for the fused single-key probe: how to read, hash, and
+/// compare one typed key column's payload. Hash and equality mirror
+/// lanehash / LaneEq semantics (numerics through double, NaN != NaN, short
+/// strings compared byte-wise to avoid a libc memcmp call per row).
+struct I64Key {
+  static const int64_t* Get(const Value& v) { return v.get_int(); }
+  static uint64_t Hash(int64_t v) {
+    return lanehash::Numeric(static_cast<double>(v));
+  }
+  static bool Eq(int64_t a, int64_t b) {
+    return static_cast<double>(a) == static_cast<double>(b);
+  }
+};
+struct F64Key {
+  static const double* Get(const Value& v) { return v.get_double(); }
+  static uint64_t Hash(double v) { return lanehash::Numeric(v); }
+  static bool Eq(double a, double b) { return a == b; }  // NaN != NaN
+};
+struct StrKey {
+  static const std::string* Get(const Value& v) { return v.get_string(); }
+  static uint64_t Hash(const std::string& s) { return lanehash::Prefix(s); }
+  static bool Eq(const std::string& a, const std::string& b) {
+    if (a.size() != b.size()) return false;
+    if (a.size() <= 16) {
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i] != b[i]) return false;
+      }
+      return true;
+    }
+    return a == b;
+  }
+};
+
+/// Fused single-key group assignment: hashes and probes straight off the
+/// key column's Values — no lane build, no row-hash array. Returns false on
+/// the first off-schema cell; the caller resets `idx` and reruns the morsel
+/// through the general lane path.
+template <typename Key>
+bool ProbeTypedKey(const std::vector<Value>& cells, size_t mbegin, size_t n,
+                   GroupIndex* idx, uint32_t* group_of) {
+  for (size_t k = 0; k < n; ++k) {
+    const Value& c = cells[mbegin + k];
+    const auto* pv = Key::Get(c);
+    uint64_t h;
+    if (pv != nullptr) {
+      h = Key::Hash(*pv);
+    } else if (c.is_null()) {
+      h = lanehash::kNull;
+    } else {
+      return false;
+    }
+    group_of[k] =
+        idx->Insert(h, static_cast<uint32_t>(k), [&](uint32_t k0) {
+          const auto* p0 = Key::Get(cells[mbegin + k0]);
+          if (p0 == nullptr || pv == nullptr) {
+            return p0 == nullptr && pv == nullptr;  // NULL equals only NULL
+          }
+          return Key::Eq(*p0, *pv);
+        });
+  }
+  return true;
+}
+
+/// Fused typed sweeps: one traversal of a column's cells computes the union
+/// of what its aggregates need (count / sum / extrema) into morsel-local
+/// arrays, reading Values in place — no lane materialization pass.
+/// Instantiated per need-combination so the inner loop carries no dead work
+/// or runtime flags. Returns false on the first off-schema cell; the caller
+/// discards the (side-effect-free) local partials and reruns the morsel
+/// through the per-cell Value path.
+template <bool kWantSum, bool kWantMinMax>
+bool SweepI64(const std::vector<Value>& cells, size_t mbegin,
+              const uint32_t* group_of, size_t n, size_t* cnt, int64_t* sum,
+              uint8_t* has, int64_t* mn, int64_t* mx) {
+  for (size_t k = 0; k < n; ++k) {
+    const Value& c = cells[mbegin + k];
+    const int64_t* pv = c.get_int();
+    if (pv == nullptr) {
+      if (c.is_null()) continue;
+      return false;
+    }
+    const uint32_t g = group_of[k];
+    const int64_t v = *pv;
+    ++cnt[g];
+    if constexpr (kWantSum) sum[g] += v;
+    if constexpr (kWantMinMax) {
+      // Ordering is by double — the numeric order Value uses — while the
+      // tracked extrema stay exact int64s.
+      if (has[g] == 0) {
+        has[g] = 1;
+        mn[g] = mx[g] = v;
+      } else {
+        if (static_cast<double>(v) < static_cast<double>(mn[g])) mn[g] = v;
+        if (static_cast<double>(mx[g]) < static_cast<double>(v)) mx[g] = v;
+      }
+    }
+  }
+  return true;
+}
+
+template <bool kWantSum, bool kWantMinMax>
+bool SweepF64(const std::vector<Value>& cells, size_t mbegin,
+              const uint32_t* group_of, size_t n, size_t* cnt, double* sum,
+              uint8_t* has, double* mn, double* mx) {
+  for (size_t k = 0; k < n; ++k) {
+    const Value& c = cells[mbegin + k];
+    const double* pv = c.get_double();
+    if (pv == nullptr) {
+      if (c.is_null()) continue;
+      return false;
+    }
+    const uint32_t g = group_of[k];
+    const double v = *pv;
+    ++cnt[g];
+    if constexpr (kWantSum) sum[g] += v;
+    if constexpr (kWantMinMax) {
+      // `v < mn` is false for NaN, so a NaN that arrives first sticks —
+      // exactly Value's behavior.
+      if (has[g] == 0) {
+        has[g] = 1;
+        mn[g] = mx[g] = v;
+      } else {
+        if (v < mn[g]) mn[g] = v;
+        if (mx[g] < v) mx[g] = v;
+      }
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 Result<Table> Aggregate(const Table& input,
                         const std::vector<std::string>& group_by,
-                        const std::vector<AggSpec>& aggs) {
+                        const std::vector<AggSpec>& aggs,
+                        const ExecOptions& opts) {
   std::vector<size_t> group_idx;
   for (const std::string& g : group_by) {
     LAKEKIT_ASSIGN_OR_RETURN(size_t idx, input.ColumnIndex(g));
@@ -140,56 +610,307 @@ Result<Table> Aggregate(const Table& input,
     }
   }
 
-  // Group rows.
-  struct Group {
-    std::vector<Value> key;
-    std::vector<AggState> states;
-  };
-  std::unordered_map<std::string, Group> groups;
-  std::vector<std::string> order;  // first-seen group order
-  for (size_t r = 0; r < input.num_rows(); ++r) {
-    std::string key;
-    std::vector<Value> key_values;
-    for (size_t g : group_idx) {
-      const Value& v = input.at(r, g);
-      key += v.is_null() ? "\x01" : v.ToString();
-      key += "\x02";
-      key_values.push_back(v);
-    }
-    auto [it, inserted] = groups.try_emplace(key);
-    if (inserted) {
-      it->second.key = std::move(key_values);
-      it->second.states.resize(aggs.size());
-      order.push_back(key);
-    }
-    for (size_t i = 0; i < aggs.size(); ++i) {
-      if (aggs[i].fn == AggFn::kCount && agg_idx[i] == static_cast<size_t>(-1)) {
-        ++it->second.states[i].count;
-      } else {
-        it->second.states[i].Add(input.at(r, agg_idx[i]));
+  // Per-morsel partial aggregation, then an ordered merge: global group
+  // order is first-seen in (morsel, within-morsel) order, which equals
+  // first-seen in row order.
+  //
+  // Each morsel runs two column-at-a-time passes. Pass 1 assigns every row
+  // a group index via a flat open-addressed table: the key cells are hashed
+  // in place, and a key vector is materialized only the first time a group
+  // is seen, so the per-row cost is hashing plus a probe. Pass 2 walks each
+  // aggregate input column once, through its typed lane when the morsel is
+  // schema-clean — the type dispatch happens once per (column, morsel), not
+  // per cell.
+  const size_t rows = input.num_rows();
+  LAKEKIT_ASSIGN_OR_RETURN(
+      std::vector<AggPartial> partials,
+      ParallelMap<AggPartial>(
+          NumMorsels(rows),
+          [&](size_t m) -> Result<AggPartial> {
+            AggPartial p;
+            const size_t mbegin = MorselBegin(m);
+            const size_t mend = MorselEnd(m, rows);
+            const size_t n = mend - mbegin;
+
+            // Pass 1: group assignment through a growable morsel-local
+            // probe table (GroupIndex). With a single typed key column the
+            // fused fast path hashes and probes straight off the column's
+            // Values; the first off-schema cell falls back to the general
+            // path, which loads the key columns into lanes, hashes them
+            // lane-at-a-time (see HashLane — equal cells hash equal, which
+            // is all the probe table needs), and compares candidates
+            // against the group's first-seen row with per-lane equality
+            // function pointers, so neither path touches a variant dispatch
+            // in the row loop. Key Values materialize once per group after
+            // the loop — straight from the input cells — along with the
+            // Value::Hash-based GroupKey hash the cross-morsel merge keys
+            // on.
+            GroupIndex idx;
+            std::vector<uint32_t> group_of(n);
+            bool grouped = false;
+            if (group_idx.empty()) {
+              // Global aggregate: one group, no probing.
+              std::fill(group_of.begin(), group_of.end(), 0u);
+              idx.SetSingleGroup(static_cast<uint32_t>(n));
+              grouped = true;
+            } else if (group_idx.size() == 1) {
+              const size_t kc = group_idx[0];
+              const std::vector<Value>& kcells = input.column(kc);
+              switch (input.schema().field(kc).type) {
+                case DataType::kInt64:
+                  grouped = ProbeTypedKey<I64Key>(kcells, mbegin, n, &idx,
+                                                  group_of.data());
+                  break;
+                case DataType::kDouble:
+                  grouped = ProbeTypedKey<F64Key>(kcells, mbegin, n, &idx,
+                                                  group_of.data());
+                  break;
+                case DataType::kString:
+                  grouped = ProbeTypedKey<StrKey>(kcells, mbegin, n, &idx,
+                                                  group_of.data());
+                  break;
+                default:
+                  break;
+              }
+              if (!grouped) idx.Reset();
+            }
+            if (!grouped) {
+              std::vector<Vec> key_lanes;
+              key_lanes.reserve(group_idx.size());
+              for (size_t g : group_idx) {
+                key_lanes.push_back(LoadColumn(
+                    input, g, input.schema().field(g).type, mbegin, mend));
+              }
+              std::vector<uint64_t> rowhash(n, kGroupHashSeed);
+              std::vector<LaneEqFn> lane_eq;
+              lane_eq.reserve(key_lanes.size());
+              for (const Vec& lane : key_lanes) {
+                HashLane(lane, n, rowhash.data());
+                lane_eq.push_back(LaneEqFor(lane));
+              }
+              for (size_t k = 0; k < n; ++k) {
+                group_of[k] = idx.Insert(
+                    rowhash[k], static_cast<uint32_t>(k), [&](uint32_t k0) {
+                      for (size_t g = 0; g < key_lanes.size(); ++g) {
+                        if (!lane_eq[g](key_lanes[g], k0, k)) return false;
+                      }
+                      return true;
+                    });
+              }
+            }
+            const std::vector<uint32_t>& first_row = idx.first_row();
+            p.keys.reserve(first_row.size());
+            for (const uint32_t k0 : first_row) {
+              GroupKey key;
+              key.hash = kGroupHashSeed;
+              key.values.reserve(group_idx.size());
+              for (const size_t gc : group_idx) {
+                const Value& v = input.column(gc)[mbegin + k0];
+                key.hash = HashCombine(key.hash, v.Hash());
+                key.values.push_back(v);
+              }
+              p.keys.push_back(std::move(key));
+            }
+            p.states.resize(p.keys.size() * aggs.size());
+
+            // Pass 2: one fused sweep per distinct aggregate input
+            // column. Each sweep accumulates the union of what that
+            // column's aggregates need (count / sum / extrema) into small
+            // per-morsel arrays indexed by group — L1-resident, no AggState
+            // pointer chasing in the row loop. The fold into `p.states`
+            // happens once per group per aggregate; folding into zeroed
+            // states reproduces the direct-accumulation bit pattern exactly
+            // (0 + x == x), and aggregates sharing a column (SUM + AVG of
+            // one measure) share the identical row-order partial.
+            const size_t ngroups = p.keys.size();
+            const size_t naggs = aggs.size();
+            constexpr size_t kNoCol = static_cast<size_t>(-1);
+            // COUNT(*): the probe already counted rows per group.
+            for (size_t i = 0; i < naggs; ++i) {
+              if (aggs[i].fn != AggFn::kCount || agg_idx[i] != kNoCol) {
+                continue;
+              }
+              const std::vector<uint32_t>& gcounts = idx.counts();
+              for (size_t g = 0; g < ngroups; ++g) {
+                p.states[g * naggs + i].count += gcounts[g];
+              }
+            }
+            struct ColPlan {
+              size_t col = 0;
+              bool want_sum = false;
+              bool want_minmax = false;
+              std::vector<size_t> agg_ids;
+            };
+            std::vector<ColPlan> plans;
+            for (size_t i = 0; i < naggs; ++i) {
+              if (agg_idx[i] == kNoCol) continue;
+              ColPlan* plan = nullptr;
+              for (ColPlan& c : plans) {
+                if (c.col == agg_idx[i]) {
+                  plan = &c;
+                  break;
+                }
+              }
+              if (plan == nullptr) {
+                plans.push_back(ColPlan{agg_idx[i], false, false, {}});
+                plan = &plans.back();
+              }
+              const AggFn fn = aggs[i].fn;
+              plan->want_sum |= fn == AggFn::kSum || fn == AggFn::kAvg;
+              plan->want_minmax |= fn == AggFn::kMin || fn == AggFn::kMax;
+              plan->agg_ids.push_back(i);
+            }
+            for (const ColPlan& plan : plans) {
+              const std::vector<Value>& cells = input.column(plan.col);
+              const DataType ctype = input.schema().field(plan.col).type;
+              bool clean = false;
+              std::vector<size_t> cnt;
+              std::vector<uint8_t> has;
+              std::vector<int64_t> isum, imn, imx;
+              std::vector<double> dsum, dmn, dmx;
+              if (ctype == DataType::kInt64 || ctype == DataType::kDouble) {
+                cnt.assign(ngroups, 0);
+                if (plan.want_minmax) has.assign(ngroups, 0);
+              }
+              if (ctype == DataType::kInt64) {
+                if (plan.want_sum) isum.assign(ngroups, 0);
+                if (plan.want_minmax) {
+                  imn.resize(ngroups);
+                  imx.resize(ngroups);
+                }
+                if (plan.want_sum && plan.want_minmax) {
+                  clean = SweepI64<true, true>(cells, mbegin, group_of.data(),
+                                               n, cnt.data(), isum.data(),
+                                               has.data(), imn.data(),
+                                               imx.data());
+                } else if (plan.want_sum) {
+                  clean = SweepI64<true, false>(cells, mbegin, group_of.data(),
+                                                n, cnt.data(), isum.data(),
+                                                nullptr, nullptr, nullptr);
+                } else if (plan.want_minmax) {
+                  clean = SweepI64<false, true>(cells, mbegin, group_of.data(),
+                                                n, cnt.data(), nullptr,
+                                                has.data(), imn.data(),
+                                                imx.data());
+                } else {
+                  clean = SweepI64<false, false>(cells, mbegin,
+                                                 group_of.data(), n,
+                                                 cnt.data(), nullptr, nullptr,
+                                                 nullptr, nullptr);
+                }
+              } else if (ctype == DataType::kDouble) {
+                if (plan.want_sum) dsum.assign(ngroups, 0.0);
+                if (plan.want_minmax) {
+                  dmn.resize(ngroups);
+                  dmx.resize(ngroups);
+                }
+                if (plan.want_sum && plan.want_minmax) {
+                  clean = SweepF64<true, true>(cells, mbegin, group_of.data(),
+                                               n, cnt.data(), dsum.data(),
+                                               has.data(), dmn.data(),
+                                               dmx.data());
+                } else if (plan.want_sum) {
+                  clean = SweepF64<true, false>(cells, mbegin, group_of.data(),
+                                                n, cnt.data(), dsum.data(),
+                                                nullptr, nullptr, nullptr);
+                } else if (plan.want_minmax) {
+                  clean = SweepF64<false, true>(cells, mbegin, group_of.data(),
+                                                n, cnt.data(), nullptr,
+                                                has.data(), dmn.data(),
+                                                dmx.data());
+                } else {
+                  clean = SweepF64<false, false>(cells, mbegin,
+                                                 group_of.data(), n,
+                                                 cnt.data(), nullptr, nullptr,
+                                                 nullptr, nullptr);
+                }
+              }
+              if (!clean) {
+                // Bool, string, or untyped schema columns, or a typed sweep
+                // that hit an off-schema cell (its local partials are
+                // discarded untouched): per-cell Value path.
+                for (const size_t i : plan.agg_ids) {
+                  for (size_t k = 0; k < n; ++k) {
+                    p.states[group_of[k] * naggs + i].Add(
+                        cells[mbegin + k]);
+                  }
+                }
+                continue;
+              }
+              for (const size_t i : plan.agg_ids) {
+                const AggFn fn = aggs[i].fn;
+                if (fn == AggFn::kMin || fn == AggFn::kMax) {
+                  for (size_t g = 0; g < ngroups; ++g) {
+                    if (has[g] == 0) continue;
+                    AggState& st = p.states[g * naggs + i];
+                    if (ctype == DataType::kInt64) {
+                      st.min = Value(imn[g]);
+                      st.max = Value(imx[g]);
+                    } else {
+                      st.min = Value(dmn[g]);
+                      st.max = Value(dmx[g]);
+                    }
+                  }
+                } else if (fn == AggFn::kCount) {
+                  for (size_t g = 0; g < ngroups; ++g) {
+                    p.states[g * naggs + i].count += cnt[g];
+                  }
+                } else if (ctype == DataType::kInt64) {
+                  // kSum / kAvg: exact integer accumulation.
+                  for (size_t g = 0; g < ngroups; ++g) {
+                    AggState& st = p.states[g * naggs + i];
+                    st.count += cnt[g];
+                    st.isum += isum[g];
+                  }
+                } else {
+                  // kSum / kAvg over doubles: the shared local partial
+                  // accumulated in row order, so every aggregate of this
+                  // column folds the identical bit pattern.
+                  for (size_t g = 0; g < ngroups; ++g) {
+                    if (cnt[g] == 0) continue;
+                    AggState& st = p.states[g * naggs + i];
+                    st.count += cnt[g];
+                    st.saw_double = true;
+                    st.dsum += dsum[g];
+                  }
+                }
+              }
+            }
+            return p;
+          },
+          PoolOptions(opts)));
+
+  const size_t naggs = aggs.size();
+  std::unordered_map<GroupKey, size_t, GroupKeyHash, GroupKeyEq> index;
+  std::vector<GroupKey> keys;
+  std::vector<AggState> states;  // group-major, like AggPartial::states
+  for (const AggPartial& p : partials) {
+    for (size_t g = 0; g < p.keys.size(); ++g) {
+      auto [it, inserted] = index.try_emplace(p.keys[g], keys.size());
+      if (inserted) {
+        keys.push_back(p.keys[g]);
+        states.resize(states.size() + naggs);
+      }
+      for (size_t i = 0; i < naggs; ++i) {
+        states[it->second * naggs + i].Merge(p.states[g * naggs + i]);
       }
     }
   }
   // Global aggregate over empty input still yields one row.
-  if (group_by.empty() && groups.empty()) {
-    Group g;
-    g.states.resize(aggs.size());
-    groups[""] = std::move(g);
-    order.push_back("");
+  if (group_by.empty() && keys.empty()) {
+    keys.emplace_back();
+    states.resize(naggs);
   }
 
   // Output schema.
   Schema schema;
   for (size_t g : group_idx) schema.AddField(input.schema().field(g));
-  for (const AggSpec& a : aggs) {
-    DataType type = a.fn == AggFn::kCount ? DataType::kInt64
-                    : (a.fn == AggFn::kMin || a.fn == AggFn::kMax)
-                        ? (agg_idx[&a - aggs.data()] == static_cast<size_t>(-1)
-                               ? DataType::kString
-                               : input.schema()
-                                     .field(agg_idx[&a - aggs.data()])
-                                     .type)
-                        : DataType::kDouble;
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    const AggSpec& a = aggs[i];
+    const bool has_input = agg_idx[i] != static_cast<size_t>(-1);
+    DataType type = AggOutputType(
+        a.fn, has_input,
+        has_input ? input.schema().field(agg_idx[i]).type : DataType::kString);
     std::string alias = a.alias;
     if (alias.empty()) {
       static const char* kNames[] = {"count", "sum", "avg", "min", "max"};
@@ -199,11 +920,11 @@ Result<Table> Aggregate(const Table& input,
     schema.AddField(Field{alias, type, true});
   }
   Table out(input.name() + "_agg", schema);
-  for (const std::string& key : order) {
-    const Group& g = groups.at(key);
-    std::vector<Value> row = g.key;
-    for (size_t i = 0; i < aggs.size(); ++i) {
-      row.push_back(g.states[i].Finish(aggs[i].fn));
+  out.Reserve(keys.size());
+  for (size_t g = 0; g < keys.size(); ++g) {
+    std::vector<Value> row = keys[g].values;
+    for (size_t i = 0; i < naggs; ++i) {
+      row.push_back(states[g * naggs + i].Finish(aggs[i].fn));
     }
     LAKEKIT_RETURN_IF_ERROR(out.AppendRow(std::move(row)));
   }
@@ -213,26 +934,32 @@ Result<Table> Aggregate(const Table& input,
 Result<Table> Sort(const Table& input, const std::string& column,
                    bool ascending) {
   LAKEKIT_ASSIGN_OR_RETURN(size_t idx, input.ColumnIndex(column));
-  std::vector<size_t> order(input.num_rows());
+  const std::vector<Value>& cells = input.column(idx);
+  const size_t rows = input.num_rows();
+  // Decode every key once; comparisons are then tag checks + payload
+  // compares, never variant dispatch.
+  std::vector<CellRef> keys;
+  keys.reserve(rows);
+  for (const Value& v : cells) keys.push_back(DecodeCell(v));
+  std::vector<uint32_t> order(rows);
   std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    const Value& va = input.at(a, idx);
-    const Value& vb = input.at(b, idx);
-    return ascending ? va < vb : vb < va;
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return ascending ? CellLess(keys[a], keys[b]) : CellLess(keys[b], keys[a]);
   });
   Table out(input.name(), input.schema());
-  for (size_t r : order) {
-    LAKEKIT_RETURN_IF_ERROR(out.AppendRow(input.Row(r)));
-  }
+  out.Reserve(rows);
+  LAKEKIT_RETURN_IF_ERROR(out.AppendRowsFrom(input, order.data(), rows));
   return out;
 }
 
 table::Table Limit(const Table& input, size_t n) {
+  const size_t rows = std::min(input.num_rows(), n);
+  std::vector<uint32_t> head(rows);
+  std::iota(head.begin(), head.end(), 0);
   Table out(input.name(), input.schema());
-  for (size_t r = 0; r < input.num_rows() && r < n; ++r) {
-    // ignore: rows copied from `input` always match `out`'s schema.
-    (void)out.AppendRow(input.Row(r));
-  }
+  out.Reserve(rows);
+  // ignore: `out` shares `input`'s schema by construction.
+  (void)out.AppendRowsFrom(input, head.data(), rows);
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "query/expr.h"
 #include "table/table.h"
 
@@ -13,9 +14,23 @@ namespace lakekit::query {
 /// Relational operators over in-memory tables — the execution layer behind
 /// the heterogeneous querying tier (survey Sec. 7.2). All operators are
 /// pure: they return new tables.
+///
+/// Filter/HashJoin/Aggregate are vectorized (query/vec.h): they process
+/// kMorselSize-row morsels through compiled kernels, in parallel on the
+/// execution layer's thread pool, and are bit-identical to the row-at-a-time
+/// interpreter in query/reference_ops.h for any thread count (DESIGN.md §7).
+
+/// Tuning for the morsel-parallel operators. The defaults — the process-wide
+/// pool — are right for production; tests and benchmarks inject fixed-size
+/// pools to pin the thread count.
+struct ExecOptions {
+  /// Pool morsels run on; nullptr means `ThreadPool::Default()`.
+  ThreadPool* pool = nullptr;
+};
 
 /// Rows satisfying `predicate` (NULL predicate results excluded).
-Result<table::Table> Filter(const table::Table& input, const Expr& predicate);
+Result<table::Table> Filter(const table::Table& input, const Expr& predicate,
+                            const ExecOptions& opts = {});
 
 /// Keeps `columns` in the given order.
 Result<table::Table> Project(const table::Table& input,
@@ -29,7 +44,8 @@ Result<table::Table> HashJoin(const table::Table& left,
                               const table::Table& right,
                               const std::string& left_col,
                               const std::string& right_col,
-                              JoinType type = JoinType::kInner);
+                              JoinType type = JoinType::kInner,
+                              const ExecOptions& opts = {});
 
 enum class AggFn { kCount, kSum, kAvg, kMin, kMax };
 
@@ -41,10 +57,13 @@ struct AggSpec {
 };
 
 /// Group-by + aggregates. With empty `group_by`, one global row.
-/// NULLs are skipped by all aggregate inputs (SQL semantics).
+/// NULLs are skipped by all aggregate inputs (SQL semantics). Groups key on
+/// hashed `std::vector<Value>` with real Value equality; SUM over an int64
+/// column stays int64 (exact past 2^53), every other SUM/AVG is double.
 Result<table::Table> Aggregate(const table::Table& input,
                                const std::vector<std::string>& group_by,
-                               const std::vector<AggSpec>& aggs);
+                               const std::vector<AggSpec>& aggs,
+                               const ExecOptions& opts = {});
 
 /// Stable sort by column (NULLs first when ascending).
 Result<table::Table> Sort(const table::Table& input, const std::string& column,

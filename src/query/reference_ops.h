@@ -1,0 +1,53 @@
+#ifndef LAKEKIT_QUERY_REFERENCE_OPS_H_
+#define LAKEKIT_QUERY_REFERENCE_OPS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/expr.h"
+#include "query/operators.h"
+#include "table/table.h"
+
+namespace lakekit::query::reference {
+
+/// The row-at-a-time operator implementations the vectorized engine
+/// (query/operators.h + query/vec.h) replaced: every operator materializes a
+/// `std::vector<Value>` per row and pays per-cell variant dispatch through
+/// `Expr::Eval`. Kept as the executable specification — the randomized
+/// differential suite in tests/query_vec_test.cc pins the vectorized
+/// operators to these, bit for bit, including NULL semantics and output row
+/// order.
+///
+/// Two semantic fixes land in both engines (DESIGN.md §7):
+///   - Aggregate groups key on hashed `std::vector<Value>` with real Value
+///     equality (the old concatenated-ToString key collapsed `Value(1)` with
+///     `Value("1")` and mangled strings containing '\x01'/'\x02');
+///   - SUM over an int64 column accumulates in int64 (no silent widening to
+///     double past 2^53), and double sums accumulate per-kMorselSize-block
+///     partials in row order so parallel morsel merges reproduce these
+///     results exactly.
+
+Result<table::Table> Filter(const table::Table& input, const Expr& predicate);
+
+Result<table::Table> Project(const table::Table& input,
+                             const std::vector<std::string>& columns);
+
+Result<table::Table> HashJoin(const table::Table& left,
+                              const table::Table& right,
+                              const std::string& left_col,
+                              const std::string& right_col,
+                              JoinType type = JoinType::kInner);
+
+Result<table::Table> Aggregate(const table::Table& input,
+                               const std::vector<std::string>& group_by,
+                               const std::vector<AggSpec>& aggs);
+
+Result<table::Table> Sort(const table::Table& input, const std::string& column,
+                          bool ascending = true);
+
+table::Table Limit(const table::Table& input, size_t n);
+
+}  // namespace lakekit::query::reference
+
+#endif  // LAKEKIT_QUERY_REFERENCE_OPS_H_

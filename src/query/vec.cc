@@ -1,0 +1,780 @@
+#include "query/vec.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace lakekit::query {
+
+using table::DataType;
+using table::Table;
+using table::Value;
+
+namespace {
+
+/// Index into a Vec's lanes for logical row k.
+size_t Lane(const Vec& v, size_t k) { return v.scalar ? 0 : k; }
+
+bool VecIsNull(const Vec& v, size_t k) {
+  if (v.type == DataType::kNull && !v.generic) return true;
+  return v.nulls[Lane(v, k)] != 0;
+}
+
+/// Rank for the cross-type total order (Value::operator<): NULL < bool <
+/// numeric < string.
+int CellRank(DataType t) {
+  switch (t) {
+    case DataType::kNull:
+      return 0;
+    case DataType::kBool:
+      return 1;
+    case DataType::kInt64:
+    case DataType::kDouble:
+      return 2;
+    case DataType::kString:
+      return 3;
+  }
+  return 4;
+}
+
+/// Whether `op` holds given equality/less-than results computed with the
+/// exact IEEE semantics Value uses (kLe is !(b < a), so NaN compares "<=").
+bool ApplyCmp(CmpOp op, bool eq, bool lt, bool gt) {
+  switch (op) {
+    case CmpOp::kEq:
+      return eq;
+    case CmpOp::kNe:
+      return !eq;
+    case CmpOp::kLt:
+      return lt;
+    case CmpOp::kLe:
+      return !gt;
+    case CmpOp::kGt:
+      return gt;
+    case CmpOp::kGe:
+      return !lt;
+  }
+  return false;
+}
+
+Vec MakeBoolVec(size_t rows, bool scalar) {
+  Vec out;
+  out.type = DataType::kBool;
+  out.scalar = scalar;
+  out.nulls.assign(rows, 0);
+  out.b8.assign(rows, 0);
+  return out;
+}
+
+/// Three-valued truth of one side of a logical connective, mirroring the
+/// interpreter's truthy/falsy lambdas: only non-NULL booleans are truthy or
+/// falsy; any other non-NULL value is "other" (neither).
+enum class Truth : uint8_t { kFalse, kTrue, kNull, kOther };
+
+Truth TruthOf(const Vec& v, size_t k);
+
+}  // namespace
+
+CellRef DecodeCell(const Value& v) {
+  CellRef c;
+  c.type = v.type();
+  switch (c.type) {
+    case DataType::kNull:
+      break;
+    case DataType::kBool:
+      c.b = v.as_bool();
+      break;
+    case DataType::kInt64:
+      c.i = v.as_int();
+      c.d = static_cast<double>(c.i);
+      break;
+    case DataType::kDouble:
+      c.d = v.as_double();
+      break;
+    case DataType::kString:
+      c.s = v.as_string();
+      break;
+  }
+  return c;
+}
+
+namespace {
+
+Truth TruthOf(const Vec& v, size_t k) {
+  if (VecIsNull(v, k)) return Truth::kNull;
+  if (v.generic) {
+    const Value* cell = v.cells[Lane(v, k)];
+    if (!cell->is_bool()) return Truth::kOther;
+    return cell->as_bool() ? Truth::kTrue : Truth::kFalse;
+  }
+  if (v.type != DataType::kBool) return Truth::kOther;
+  return v.b8[Lane(v, k)] != 0 ? Truth::kTrue : Truth::kFalse;
+}
+
+}  // namespace
+
+CellRef VecCell(const Vec& v, size_t k) {
+  const size_t li = Lane(v, k);
+  CellRef c;
+  if (v.type == DataType::kNull && !v.generic) return c;
+  if (v.generic) return DecodeCell(*v.cells[li]);
+  if (v.nulls[li] != 0) return c;
+  c.type = v.type;
+  switch (v.type) {
+    case DataType::kNull:
+      break;
+    case DataType::kBool:
+      c.b = v.b8[li] != 0;
+      break;
+    case DataType::kInt64:
+      c.i = v.i64[li];
+      c.d = static_cast<double>(c.i);
+      break;
+    case DataType::kDouble:
+      c.d = v.f64[li];
+      break;
+    case DataType::kString:
+      c.s = v.str[li];
+      break;
+  }
+  return c;
+}
+
+bool CellLess(const CellRef& a, const CellRef& b) {
+  const int ra = CellRank(a.type);
+  const int rb = CellRank(b.type);
+  if (ra != rb) return ra < rb;
+  switch (a.type) {
+    case DataType::kNull:
+      return false;
+    case DataType::kBool:
+      return !a.b && b.b;
+    case DataType::kInt64:
+    case DataType::kDouble:
+      return a.d < b.d;
+    case DataType::kString:
+      return a.s < b.s;
+  }
+  return false;
+}
+
+bool CellEq(const CellRef& a, const CellRef& b) {
+  const bool a_num = a.type == DataType::kInt64 || a.type == DataType::kDouble;
+  const bool b_num = b.type == DataType::kInt64 || b.type == DataType::kDouble;
+  if (a_num && b_num) return a.d == b.d;
+  if (a.type != b.type) return false;
+  switch (a.type) {
+    case DataType::kNull:
+      return true;
+    case DataType::kBool:
+      return a.b == b.b;
+    case DataType::kString:
+      return a.s == b.s;
+    default:
+      return false;
+  }
+}
+
+Vec LoadColumn(const Table& input, size_t col, DataType schema_type,
+               size_t begin, size_t end) {
+  const std::vector<Value>& cells = input.column(col);
+  const size_t n = end - begin;
+  Vec v;
+  v.type = schema_type;
+  v.nulls.assign(n, 0);
+  // Typed fast lane: one pass whose only per-cell work is a single variant
+  // index load (get_*: schema-typed cells take the first branch) and a
+  // payload copy. The first off-schema cell demotes the whole batch to the
+  // generic lane.
+  bool ok = true;
+  switch (schema_type) {
+    case DataType::kBool:
+      v.b8.resize(n);
+      for (size_t k = 0; k < n && ok; ++k) {
+        const Value& c = cells[begin + k];
+        if (const bool* pv = c.get_bool()) {
+          v.b8[k] = *pv ? 1 : 0;
+        } else if (c.is_null()) {
+          v.nulls[k] = 1;
+        } else {
+          ok = false;
+        }
+      }
+      break;
+    case DataType::kInt64:
+      v.i64.resize(n);
+      for (size_t k = 0; k < n && ok; ++k) {
+        const Value& c = cells[begin + k];
+        if (const int64_t* pv = c.get_int()) {
+          v.i64[k] = *pv;
+        } else if (c.is_null()) {
+          v.nulls[k] = 1;
+        } else {
+          ok = false;
+        }
+      }
+      break;
+    case DataType::kDouble:
+      v.f64.resize(n);
+      for (size_t k = 0; k < n && ok; ++k) {
+        const Value& c = cells[begin + k];
+        if (const double* pv = c.get_double()) {
+          v.f64[k] = *pv;
+        } else if (c.is_null()) {
+          v.nulls[k] = 1;
+        } else {
+          ok = false;
+        }
+      }
+      break;
+    case DataType::kString:
+      v.str.resize(n);
+      for (size_t k = 0; k < n && ok; ++k) {
+        const Value& c = cells[begin + k];
+        if (const std::string* pv = c.get_string()) {
+          v.str[k] = *pv;
+        } else if (c.is_null()) {
+          v.nulls[k] = 1;
+        } else {
+          ok = false;
+        }
+      }
+      break;
+    case DataType::kNull:
+      ok = false;  // untyped schema: nothing to specialize on
+      break;
+  }
+  if (ok) return v;
+  // Generic lane: pointers into the column's cells.
+  Vec g;
+  g.type = schema_type;
+  g.generic = true;
+  g.nulls.assign(n, 0);
+  g.cells.resize(n);
+  for (size_t k = 0; k < n; ++k) {
+    const Value& c = cells[begin + k];
+    g.cells[k] = &c;
+    if (c.is_null()) g.nulls[k] = 1;
+  }
+  return g;
+}
+
+namespace lanehash {
+
+/// These hashes never leave a morsel — cross-morsel group identity uses
+/// `Value::Hash` on the materialized key Values — so the only contract is
+/// CellEq-consistency: cells a probe table could compare equal must hash
+/// equal. That freedom buys a string hash far cheaper than Value's
+/// byte-at-a-time FNV (length folded with the first eight bytes, one mix).
+/// Numerics hash through double with -0.0 normalized, because a generic
+/// lane can put int64 5 and double 5.0 — CellEq-equal — in the same column.
+
+uint64_t Numeric(double d) {
+  if (d == 0.0) d = 0.0;  // Normalize -0.0 (CellEq: -0.0 == 0.0).
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  return Mix64(bits);
+}
+
+uint64_t Prefix(std::string_view s) {
+  uint64_t head = 0;
+  if (s.size() >= sizeof(head)) {
+    std::memcpy(&head, s.data(), sizeof(head));
+  } else {
+    // Byte loop for short strings: a variable-length memcpy here compiles
+    // to a libc call per row and dominates the hash.
+    for (size_t i = 0; i < s.size(); ++i) {
+      head |= static_cast<uint64_t>(static_cast<uint8_t>(s[i])) << (8 * i);
+    }
+  }
+  return Mix64(head ^ (static_cast<uint64_t>(s.size()) << 56));
+}
+
+}  // namespace lanehash
+
+namespace {
+
+constexpr uint64_t kNullHash = lanehash::kNull;
+constexpr uint64_t kTrueHash = lanehash::kTrue;
+constexpr uint64_t kFalseHash = lanehash::kFalse;
+
+uint64_t NumericHash(double d) { return lanehash::Numeric(d); }
+
+uint64_t PrefixHash(std::string_view s) { return lanehash::Prefix(s); }
+
+uint64_t HashCell(const CellRef& c) {
+  switch (c.type) {
+    case DataType::kNull:
+      return kNullHash;
+    case DataType::kBool:
+      return c.b ? kTrueHash : kFalseHash;
+    case DataType::kInt64:
+      return NumericHash(static_cast<double>(c.i));
+    case DataType::kDouble:
+      return NumericHash(c.d);
+    case DataType::kString:
+      return PrefixHash(c.s);
+  }
+  return kNullHash;
+}
+
+}  // namespace
+
+void HashLane(const Vec& lane, size_t n, uint64_t* inout) {
+  if (lane.generic) {
+    for (size_t k = 0; k < n; ++k) {
+      inout[k] = HashCombine(inout[k], HashCell(DecodeCell(*lane.cells[k])));
+    }
+    return;
+  }
+  switch (lane.type) {
+    case DataType::kBool:
+      for (size_t k = 0; k < n; ++k) {
+        const uint64_t h = lane.nulls[k] != 0
+                               ? kNullHash
+                               : (lane.b8[k] != 0 ? kTrueHash : kFalseHash);
+        inout[k] = HashCombine(inout[k], h);
+      }
+      break;
+    case DataType::kInt64:
+      for (size_t k = 0; k < n; ++k) {
+        const uint64_t h =
+            lane.nulls[k] != 0
+                ? kNullHash
+                : NumericHash(static_cast<double>(lane.i64[k]));
+        inout[k] = HashCombine(inout[k], h);
+      }
+      break;
+    case DataType::kDouble:
+      for (size_t k = 0; k < n; ++k) {
+        const uint64_t h =
+            lane.nulls[k] != 0 ? kNullHash : NumericHash(lane.f64[k]);
+        inout[k] = HashCombine(inout[k], h);
+      }
+      break;
+    case DataType::kString:
+      for (size_t k = 0; k < n; ++k) {
+        const uint64_t h =
+            lane.nulls[k] != 0 ? kNullHash : PrefixHash(lane.str[k]);
+        inout[k] = HashCombine(inout[k], h);
+      }
+      break;
+    case DataType::kNull:
+      for (size_t k = 0; k < n; ++k) {
+        inout[k] = HashCombine(inout[k], kNullHash);
+      }
+      break;
+  }
+}
+
+Result<int> CompiledExpr::CompileNode(const Expr& expr,
+                                      const table::Schema& schema,
+                                      std::vector<Node>* nodes) {
+  Node n;
+  n.kind = expr.kind();
+  switch (expr.kind()) {
+    case Expr::Kind::kLiteral:
+      n.literal = expr.literal();
+      break;
+    case Expr::Kind::kColumn: {
+      auto idx = schema.IndexOf(expr.column_name());
+      if (!idx) {
+        return Status::NotFound("unknown column '" + expr.column_name() + "'");
+      }
+      n.column = *idx;
+      n.column_type = schema.field(*idx).type;
+      break;
+    }
+    case Expr::Kind::kCompare: {
+      n.cmp = expr.cmp_op();
+      LAKEKIT_ASSIGN_OR_RETURN(n.left,
+                               CompileNode(*expr.left(), schema, nodes));
+      LAKEKIT_ASSIGN_OR_RETURN(n.right,
+                               CompileNode(*expr.right(), schema, nodes));
+      break;
+    }
+    case Expr::Kind::kLogical: {
+      n.logical = expr.logical_op();
+      LAKEKIT_ASSIGN_OR_RETURN(n.left,
+                               CompileNode(*expr.left(), schema, nodes));
+      LAKEKIT_ASSIGN_OR_RETURN(n.right,
+                               CompileNode(*expr.right(), schema, nodes));
+      break;
+    }
+    case Expr::Kind::kArith: {
+      n.arith = expr.arith_op();
+      LAKEKIT_ASSIGN_OR_RETURN(n.left,
+                               CompileNode(*expr.left(), schema, nodes));
+      LAKEKIT_ASSIGN_OR_RETURN(n.right,
+                               CompileNode(*expr.right(), schema, nodes));
+      break;
+    }
+    case Expr::Kind::kNot:
+    case Expr::Kind::kIsNull: {
+      LAKEKIT_ASSIGN_OR_RETURN(n.left,
+                               CompileNode(*expr.left(), schema, nodes));
+      break;
+    }
+  }
+  nodes->push_back(std::move(n));
+  return static_cast<int>(nodes->size() - 1);
+}
+
+Result<CompiledExpr> CompiledExpr::Compile(const Expr& expr,
+                                           const table::Schema& schema) {
+  CompiledExpr compiled;
+  LAKEKIT_ASSIGN_OR_RETURN(int root,
+                           CompileNode(expr, schema, &compiled.nodes_));
+  (void)root;  // ignore: the root is by construction the last node.
+  return compiled;
+}
+
+namespace {
+
+Vec EvalLiteral(const Value& literal) {
+  Vec v;
+  v.scalar = true;
+  v.type = literal.type();
+  v.nulls.assign(1, literal.is_null() ? 1 : 0);
+  switch (v.type) {
+    case DataType::kNull:
+      break;
+    case DataType::kBool:
+      v.b8.assign(1, literal.as_bool() ? 1 : 0);
+      break;
+    case DataType::kInt64:
+      v.i64.assign(1, literal.as_int());
+      break;
+    case DataType::kDouble:
+      v.f64.assign(1, literal.as_double());
+      break;
+    case DataType::kString:
+      // Views the literal owned by the compiled node; CompiledExpr outlives
+      // every Vec it produces.
+      v.str.assign(1, literal.as_string());
+      break;
+  }
+  return v;
+}
+
+bool IsNumericLane(const Vec& v) {
+  return !v.generic &&
+         (v.type == DataType::kInt64 || v.type == DataType::kDouble);
+}
+
+Vec EvalCompare(CmpOp op, const Vec& l, const Vec& r, size_t n) {
+  const bool scalar = l.scalar && r.scalar;
+  const size_t rows = scalar ? 1 : n;
+  Vec out = MakeBoolVec(rows, scalar);
+  // Lane dispatch happens once per batch; the loops below never touch a
+  // variant.
+  if (IsNumericLane(l) && IsNumericLane(r)) {
+    const bool li = l.type == DataType::kInt64;
+    const bool ri = r.type == DataType::kInt64;
+    for (size_t k = 0; k < rows; ++k) {
+      if (VecIsNull(l, k) || VecIsNull(r, k)) {
+        out.nulls[k] = 1;
+        continue;
+      }
+      const double a = li ? static_cast<double>(l.i64[Lane(l, k)])
+                          : l.f64[Lane(l, k)];
+      const double b = ri ? static_cast<double>(r.i64[Lane(r, k)])
+                          : r.f64[Lane(r, k)];
+      out.b8[k] = ApplyCmp(op, a == b, a < b, b < a) ? 1 : 0;
+    }
+    return out;
+  }
+  if (!l.generic && !r.generic && l.type == DataType::kString &&
+      r.type == DataType::kString) {
+    for (size_t k = 0; k < rows; ++k) {
+      if (VecIsNull(l, k) || VecIsNull(r, k)) {
+        out.nulls[k] = 1;
+        continue;
+      }
+      const std::string_view a = l.str[Lane(l, k)];
+      const std::string_view b = r.str[Lane(r, k)];
+      out.b8[k] = ApplyCmp(op, a == b, a < b, b < a) ? 1 : 0;
+    }
+    return out;
+  }
+  // Cross-type, boolean, or generic operands: decoded-cell loop.
+  for (size_t k = 0; k < rows; ++k) {
+    if (VecIsNull(l, k) || VecIsNull(r, k)) {
+      out.nulls[k] = 1;
+      continue;
+    }
+    const CellRef a = VecCell(l, k);
+    const CellRef b = VecCell(r, k);
+    out.b8[k] =
+        ApplyCmp(op, CellEq(a, b), CellLess(a, b), CellLess(b, a)) ? 1 : 0;
+  }
+  return out;
+}
+
+Vec EvalLogical(LogicalOp op, const Vec& l, const Vec& r, size_t n) {
+  const bool scalar = l.scalar && r.scalar;
+  const size_t rows = scalar ? 1 : n;
+  Vec out = MakeBoolVec(rows, scalar);
+  for (size_t k = 0; k < rows; ++k) {
+    const Truth a = TruthOf(l, k);
+    const Truth b = TruthOf(r, k);
+    if (op == LogicalOp::kAnd) {
+      if (a == Truth::kFalse || b == Truth::kFalse) {
+        out.b8[k] = 0;
+      } else if (a == Truth::kNull || b == Truth::kNull) {
+        out.nulls[k] = 1;
+      } else {
+        out.b8[k] = (a == Truth::kTrue && b == Truth::kTrue) ? 1 : 0;
+      }
+    } else {
+      if (a == Truth::kTrue || b == Truth::kTrue) {
+        out.b8[k] = 1;
+      } else if (a == Truth::kNull || b == Truth::kNull) {
+        out.nulls[k] = 1;
+      } else {
+        out.b8[k] = 0;
+      }
+    }
+  }
+  return out;
+}
+
+Result<Vec> EvalArith(ArithOp op, const Vec& l, const Vec& r, size_t n) {
+  const bool scalar = l.scalar && r.scalar;
+  const size_t rows = scalar ? 1 : n;
+  // Integer fast lane: int64 (+,-,*) stays integral, exactly like the
+  // interpreter.
+  if (!l.generic && !r.generic && l.type == DataType::kInt64 &&
+      r.type == DataType::kInt64 && op != ArithOp::kDiv) {
+    Vec out;
+    out.type = DataType::kInt64;
+    out.scalar = scalar;
+    out.nulls.assign(rows, 0);
+    out.i64.assign(rows, 0);
+    for (size_t k = 0; k < rows; ++k) {
+      if (VecIsNull(l, k) || VecIsNull(r, k)) {
+        out.nulls[k] = 1;
+        continue;
+      }
+      const int64_t a = l.i64[Lane(l, k)];
+      const int64_t b = r.i64[Lane(r, k)];
+      switch (op) {
+        case ArithOp::kAdd:
+          out.i64[k] = a + b;
+          break;
+        case ArithOp::kSub:
+          out.i64[k] = a - b;
+          break;
+        case ArithOp::kMul:
+          out.i64[k] = a * b;
+          break;
+        case ArithOp::kDiv:
+          break;
+      }
+    }
+    return out;
+  }
+  // Double lane: both operands are numeric typed lanes.
+  if (IsNumericLane(l) && IsNumericLane(r)) {
+    Vec out;
+    out.type = DataType::kDouble;
+    out.scalar = scalar;
+    out.nulls.assign(rows, 0);
+    out.f64.assign(rows, 0);
+    const bool li = l.type == DataType::kInt64;
+    const bool ri = r.type == DataType::kInt64;
+    for (size_t k = 0; k < rows; ++k) {
+      if (VecIsNull(l, k) || VecIsNull(r, k)) {
+        out.nulls[k] = 1;
+        continue;
+      }
+      const double a = li ? static_cast<double>(l.i64[Lane(l, k)])
+                          : l.f64[Lane(l, k)];
+      const double b = ri ? static_cast<double>(r.i64[Lane(r, k)])
+                          : r.f64[Lane(r, k)];
+      switch (op) {
+        case ArithOp::kAdd:
+          out.f64[k] = a + b;
+          break;
+        case ArithOp::kSub:
+          out.f64[k] = a - b;
+          break;
+        case ArithOp::kMul:
+          out.f64[k] = a * b;
+          break;
+        case ArithOp::kDiv:
+          if (b == 0) {
+            out.nulls[k] = 1;
+          } else {
+            out.f64[k] = a / b;
+          }
+          break;
+      }
+    }
+    return out;
+  }
+  // Non-numeric typed lanes can only yield NULLs (from NULL cells) or the
+  // interpreter's type error; generic lanes decide int-vs-double per row, so
+  // the output is generic too, backed by `owned`.
+  Vec out;
+  out.type = DataType::kDouble;
+  out.scalar = scalar;
+  out.generic = true;
+  out.nulls.assign(rows, 0);
+  out.owned.assign(rows, Value::Null());
+  out.cells.resize(rows);
+  for (size_t k = 0; k < rows; ++k) out.cells[k] = &out.owned[k];
+  for (size_t k = 0; k < rows; ++k) {
+    if (VecIsNull(l, k) || VecIsNull(r, k)) {
+      out.nulls[k] = 1;
+      continue;
+    }
+    const CellRef a = VecCell(l, k);
+    const CellRef b = VecCell(r, k);
+    const bool a_num =
+        a.type == DataType::kInt64 || a.type == DataType::kDouble;
+    const bool b_num =
+        b.type == DataType::kInt64 || b.type == DataType::kDouble;
+    if (!a_num || !b_num) {
+      return Status::InvalidArgument("arithmetic on non-numeric values");
+    }
+    if (a.type == DataType::kInt64 && b.type == DataType::kInt64 &&
+        op != ArithOp::kDiv) {
+      switch (op) {
+        case ArithOp::kAdd:
+          out.owned[k] = Value(a.i + b.i);
+          break;
+        case ArithOp::kSub:
+          out.owned[k] = Value(a.i - b.i);
+          break;
+        case ArithOp::kMul:
+          out.owned[k] = Value(a.i * b.i);
+          break;
+        case ArithOp::kDiv:
+          break;
+      }
+      continue;
+    }
+    switch (op) {
+      case ArithOp::kAdd:
+        out.owned[k] = Value(a.d + b.d);
+        break;
+      case ArithOp::kSub:
+        out.owned[k] = Value(a.d - b.d);
+        break;
+      case ArithOp::kMul:
+        out.owned[k] = Value(a.d * b.d);
+        break;
+      case ArithOp::kDiv:
+        if (b.d == 0) {
+          out.nulls[k] = 1;
+        } else {
+          out.owned[k] = Value(a.d / b.d);
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+Result<Vec> EvalNot(const Vec& v, size_t n) {
+  const size_t rows = v.scalar ? 1 : n;
+  Vec out = MakeBoolVec(rows, v.scalar);
+  for (size_t k = 0; k < rows; ++k) {
+    if (VecIsNull(v, k)) {
+      out.nulls[k] = 1;
+      continue;
+    }
+    const Truth t = TruthOf(v, k);
+    if (t == Truth::kOther) {
+      return Status::InvalidArgument("NOT on non-boolean value");
+    }
+    out.b8[k] = t == Truth::kTrue ? 0 : 1;
+  }
+  return out;
+}
+
+Vec EvalIsNull(const Vec& v, size_t n) {
+  const size_t rows = v.scalar ? 1 : n;
+  Vec out = MakeBoolVec(rows, v.scalar);
+  for (size_t k = 0; k < rows; ++k) {
+    out.b8[k] = VecIsNull(v, k) ? 1 : 0;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Vec> CompiledExpr::EvalNode(int node, const Table& input, size_t begin,
+                                   size_t end) const {
+  const Node& n = nodes_[node];
+  const size_t rows = end - begin;
+  switch (n.kind) {
+    case Expr::Kind::kLiteral:
+      return EvalLiteral(n.literal);
+    case Expr::Kind::kColumn:
+      return LoadColumn(input, n.column, n.column_type, begin, end);
+    case Expr::Kind::kCompare: {
+      LAKEKIT_ASSIGN_OR_RETURN(Vec l, EvalNode(n.left, input, begin, end));
+      LAKEKIT_ASSIGN_OR_RETURN(Vec r, EvalNode(n.right, input, begin, end));
+      return EvalCompare(n.cmp, l, r, rows);
+    }
+    case Expr::Kind::kLogical: {
+      LAKEKIT_ASSIGN_OR_RETURN(Vec l, EvalNode(n.left, input, begin, end));
+      LAKEKIT_ASSIGN_OR_RETURN(Vec r, EvalNode(n.right, input, begin, end));
+      return EvalLogical(n.logical, l, r, rows);
+    }
+    case Expr::Kind::kArith: {
+      LAKEKIT_ASSIGN_OR_RETURN(Vec l, EvalNode(n.left, input, begin, end));
+      LAKEKIT_ASSIGN_OR_RETURN(Vec r, EvalNode(n.right, input, begin, end));
+      return EvalArith(n.arith, l, r, rows);
+    }
+    case Expr::Kind::kNot: {
+      LAKEKIT_ASSIGN_OR_RETURN(Vec v, EvalNode(n.left, input, begin, end));
+      return EvalNot(v, rows);
+    }
+    case Expr::Kind::kIsNull: {
+      LAKEKIT_ASSIGN_OR_RETURN(Vec v, EvalNode(n.left, input, begin, end));
+      return EvalIsNull(v, rows);
+    }
+  }
+  return Status::Internal("unreachable expression kind");
+}
+
+Result<Vec> CompiledExpr::EvalBatch(const Table& input, size_t begin,
+                                    size_t end) const {
+  return EvalNode(static_cast<int>(nodes_.size()) - 1, input, begin, end);
+}
+
+Status CompiledExpr::EvalSelection(const Table& input, size_t begin,
+                                   size_t end, SelVector* out) const {
+  LAKEKIT_ASSIGN_OR_RETURN(Vec v, EvalBatch(input, begin, end));
+  const size_t n = end - begin;
+  if (v.scalar) {
+    // Constant predicate: all or nothing.
+    if (TruthOf(v, 0) != Truth::kTrue) return Status::OK();
+    out->reserve(out->size() + n);
+    for (size_t k = 0; k < n; ++k) {
+      out->push_back(static_cast<uint32_t>(begin + k));
+    }
+    return Status::OK();
+  }
+  if (!v.generic && v.type == DataType::kBool) {
+    for (size_t k = 0; k < n; ++k) {
+      if (v.nulls[k] == 0 && v.b8[k] != 0) {
+        out->push_back(static_cast<uint32_t>(begin + k));
+      }
+    }
+    return Status::OK();
+  }
+  for (size_t k = 0; k < n; ++k) {
+    if (TruthOf(v, k) == Truth::kTrue) {
+      out->push_back(static_cast<uint32_t>(begin + k));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace lakekit::query

@@ -26,6 +26,46 @@ Status Table::AppendRow(std::vector<Value> row) {
   return Status::OK();
 }
 
+void Table::Reserve(size_t rows) {
+  for (auto& column : columns_) column.reserve(rows);
+}
+
+Status Table::AppendRowsFrom(const Table& src, const uint32_t* rows,
+                             size_t n) {
+  if (src.schema_ != schema_) {
+    return Status::InvalidArgument("AppendRowsFrom: schema mismatch");
+  }
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    const std::vector<Value>& from = src.columns_[c];
+    std::vector<Value>& to = columns_[c];
+    for (size_t k = 0; k < n; ++k) to.push_back(from[rows[k]]);
+  }
+  num_rows_ += n;
+  return Status::OK();
+}
+
+Result<Table> Table::FromColumns(std::string name, Schema schema,
+                                 std::vector<std::vector<Value>> columns,
+                                 size_t num_rows) {
+  if (columns.size() != schema.num_fields()) {
+    return Status::InvalidArgument(
+        "FromColumns: " + std::to_string(columns.size()) +
+        " columns for a schema of " + std::to_string(schema.num_fields()) +
+        " fields");
+  }
+  for (const auto& column : columns) {
+    if (column.size() != num_rows) {
+      return Status::InvalidArgument(
+          "FromColumns: column has " + std::to_string(column.size()) +
+          " rows, expected " + std::to_string(num_rows));
+    }
+  }
+  Table t(std::move(name), std::move(schema));
+  t.columns_ = std::move(columns);
+  t.num_rows_ = num_rows;
+  return t;
+}
+
 Result<size_t> Table::ColumnIndex(std::string_view name) const {
   if (auto idx = schema_.IndexOf(name)) return *idx;
   return Status::NotFound("no column '" + std::string(name) + "' in table '" +

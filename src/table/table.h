@@ -35,6 +35,21 @@ class Table {
   /// Appends a row; the row must have exactly num_columns() values.
   Status AppendRow(std::vector<Value> row);
 
+  /// Reserves capacity for `rows` rows in every column.
+  void Reserve(size_t rows);
+
+  /// Appends `n` rows of `src`, identified by row index, column-wise — the
+  /// gather primitive of the vectorized query engine (no per-row
+  /// materialization). `src` must have this table's schema.
+  Status AppendRowsFrom(const Table& src, const uint32_t* rows, size_t n);
+
+  /// Builds a table directly from per-field column vectors, each holding
+  /// exactly `num_rows` values. `num_rows` is explicit so zero-column tables
+  /// (e.g. an empty projection) keep their row count.
+  static Result<Table> FromColumns(std::string name, Schema schema,
+                                   std::vector<std::vector<Value>> columns,
+                                   size_t num_rows);
+
   /// Cell accessor (no bounds checking beyond assert in debug builds).
   const Value& at(size_t row, size_t col) const { return columns_[col][row]; }
   Value& at(size_t row, size_t col) { return columns_[col][row]; }

@@ -51,6 +51,16 @@ class Value {
   }
   const std::string& as_string() const { return std::get<std::string>(data_); }
 
+  /// Non-throwing typed accessors (nullptr on type mismatch): one variant
+  /// index load instead of a holds_alternative check followed by a checked
+  /// std::get. These are what batch lane builders use per cell.
+  const bool* get_bool() const { return std::get_if<bool>(&data_); }
+  const int64_t* get_int() const { return std::get_if<int64_t>(&data_); }
+  const double* get_double() const { return std::get_if<double>(&data_); }
+  const std::string* get_string() const {
+    return std::get_if<std::string>(&data_);
+  }
+
   /// Renders the value for CSV/debug output. NULL renders as "".
   std::string ToString() const;
 

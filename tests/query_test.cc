@@ -357,6 +357,23 @@ TEST_F(FederationTest, PushdownReducesShippedRows) {
   EXPECT_LT(pushed.rows_shipped, unpushed.rows_shipped);
 }
 
+TEST_F(FederationTest, EachSourceReadExactlyOnce) {
+  FederatedEngine engine(polystore_.get());
+  // Join query: one polystore read per source (no separate schema-probe
+  // read), and rows_scanned counts each source's rows exactly once.
+  ASSERT_TRUE(engine
+                  .Query("SELECT name, country FROM people JOIN cities ON "
+                         "people.city = cities.city WHERE country = 'NL'")
+                  .ok());
+  EXPECT_EQ(engine.last_stats().source_reads, 2u);
+  EXPECT_EQ(engine.last_stats().rows_scanned, 7u);  // 4 people + 3 cities
+
+  // Single-source query: one read.
+  ASSERT_TRUE(engine.Query("SELECT name FROM people WHERE age > 30").ok());
+  EXPECT_EQ(engine.last_stats().source_reads, 1u);
+  EXPECT_EQ(engine.last_stats().rows_scanned, 4u);
+}
+
 TEST_F(FederationTest, PushdownShrinksJoinInputs) {
   FederatedEngine engine(polystore_.get());
   const std::string sql =
