@@ -113,6 +113,26 @@ void BM_Federated_SingleSourceScan(benchmark::State& state) {
   }
 }
 
+void BM_Federated_QueryArmed(benchmark::State& state) {
+  // End-to-end federated query with the full resilience envelope armed —
+  // generous deadline, live cancel token, best-effort degradation — but no
+  // faults, so every check is on the happy path. Compare against
+  // BM_Federated_WithPushdown at the same args for the envelope's cost.
+  Fixture& f = GetFixture(static_cast<int>(state.range(0)));
+  const char* sql = QueryWithSelectivity(static_cast<int>(state.range(1)));
+  CancelSource source;
+  QueryOptions options;
+  options.cancel = source.token();
+  options.degradation = DegradationMode::kBestEffort;
+  for (auto _ : state) {
+    options.deadline = Deadline::After(std::chrono::hours(1));
+    auto out = f.engine->Query(sql, options);
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["rows_shipped"] =
+      static_cast<double>(f.engine->last_stats().rows_shipped);
+}
+
 // ------------------------------------------- vectorized operators (1M rows)
 
 constexpr size_t kVecRows = 1'000'000;
@@ -199,7 +219,28 @@ const std::vector<AggSpec>& VecAggs() {
 void BM_Query_Filter_Vec(benchmark::State& state) {
   const table::Table& t = VecTable();
   ExprPtr pred = VecPredicate();
-  ExecOptions opts{&PoolFor(static_cast<int>(state.range(0)))};
+  ExecOptions opts;
+  opts.pool = &PoolFor(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto out = Filter(t, *pred, opts);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kVecRows));
+}
+
+void BM_Query_Filter_VecArmed(benchmark::State& state) {
+  // Same scan as BM_Query_Filter_Vec but with a live deadline and cancel
+  // token armed (neither ever fires): the delta against the unarmed twin is
+  // the per-morsel interruption-check overhead the resilience layer adds to
+  // the hot path. EXPERIMENTS.md pins it at <= 2%.
+  const table::Table& t = VecTable();
+  ExprPtr pred = VecPredicate();
+  CancelSource source;
+  ExecOptions opts;
+  opts.pool = &PoolFor(static_cast<int>(state.range(0)));
+  opts.cancel = source.token();
+  opts.deadline = Deadline::After(std::chrono::hours(1));
   for (auto _ : state) {
     auto out = Filter(t, *pred, opts);
     benchmark::DoNotOptimize(out);
@@ -222,7 +263,8 @@ void BM_Query_Filter_Reference(benchmark::State& state) {
 void BM_Query_HashJoin_Vec(benchmark::State& state) {
   const table::Table& t = VecTable();
   const table::Table& dim = VecDimTable();
-  ExecOptions opts{&PoolFor(static_cast<int>(state.range(0)))};
+  ExecOptions opts;
+  opts.pool = &PoolFor(static_cast<int>(state.range(0)));
   for (auto _ : state) {
     auto out = HashJoin(t, dim, "key", "key", JoinType::kInner, opts);
     benchmark::DoNotOptimize(out);
@@ -244,7 +286,8 @@ void BM_Query_HashJoin_Reference(benchmark::State& state) {
 
 void BM_Query_Aggregate_Vec(benchmark::State& state) {
   const table::Table& t = VecTable();
-  ExecOptions opts{&PoolFor(static_cast<int>(state.range(0)))};
+  ExecOptions opts;
+  opts.pool = &PoolFor(static_cast<int>(state.range(0)));
   for (auto _ : state) {
     auto out = Aggregate(t, {"cat"}, VecAggs(), opts);
     benchmark::DoNotOptimize(out);
@@ -268,6 +311,8 @@ void BM_Query_Aggregate_Reference(benchmark::State& state) {
 // Arg: thread count for the morsel pool.
 BENCHMARK(BM_Query_Filter_Vec)->Arg(1)->Arg(4)->Arg(16)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Query_Filter_VecArmed)->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Query_Filter_Reference)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Query_HashJoin_Vec)->Arg(1)->Arg(4)->Arg(16)
     ->Unit(benchmark::kMillisecond);
@@ -288,5 +333,6 @@ BENCHMARK(BM_Federated_WithoutPushdown)
     ->Args({20000, 5})
     ->Args({20000, 50});
 BENCHMARK(BM_Federated_SingleSourceScan)->Arg(20000);
+BENCHMARK(BM_Federated_QueryArmed)->Args({5000, 5})->Args({20000, 5});
 
 BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+#ifndef LAKEKIT_COMMON_CANCELLATION_H_
+#define LAKEKIT_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace lakekit {
+
+namespace internal {
+
+/// Shared state behind a CancelSource and its tokens. The flag is the fast
+/// path (one acquire load per check); the cause is written once, under the
+/// mutex, before the flag is published, so any reader that observes
+/// `cancelled` also observes the cause.
+struct CancelState {
+  std::atomic<bool> cancelled{false};
+  Mutex mu;
+  Status cause LAKEKIT_GUARDED_BY(mu);
+};
+
+}  // namespace internal
+
+/// A read-only handle observed by cooperative work (morsel loops, retry
+/// loops, per-source scans). Copies share one underlying source; a
+/// default-constructed token can never be cancelled, so unarmed paths pay
+/// one null check. All members are thread-safe.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  [[nodiscard]] bool cancelled() const {
+    return state_ != nullptr &&
+           state_->cancelled.load(std::memory_order_acquire);
+  }
+
+  /// OK while live; after cancellation, the cause passed to
+  /// `CancelSource::Cancel` (kAborted by default).
+  [[nodiscard]] Status status() const {
+    if (!cancelled()) return Status::OK();
+    MutexLock lock(state_->mu);
+    return state_->cause;
+  }
+
+ private:
+  friend class CancelSource;
+  explicit CancelToken(std::shared_ptr<internal::CancelState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<internal::CancelState> state_;
+};
+
+/// The writing side: whoever owns the operation (a federated query, a test
+/// harness, a caller that lost interest) cancels once and every token
+/// observes it. The first `Cancel` wins; later causes are ignored.
+class CancelSource {
+ public:
+  CancelSource() : state_(std::make_shared<internal::CancelState>()) {}
+
+  /// Cancels with the default cause, `Status::Aborted("cancelled")`.
+  void Cancel() { Cancel(Status::Aborted("cancelled")); }
+
+  /// Cancels with an explicit cause (e.g. DeadlineExceeded when a watchdog
+  /// cancels on expiry, so workers return the deadline error, not a generic
+  /// abort).
+  void Cancel(Status cause) {
+    MutexLock lock(state_->mu);
+    if (state_->cancelled.load(std::memory_order_relaxed)) return;
+    state_->cause = std::move(cause);
+    state_->cancelled.store(true, std::memory_order_release);
+  }
+
+  [[nodiscard]] bool cancelled() const {
+    return state_->cancelled.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] CancelToken token() const { return CancelToken(state_); }
+
+ private:
+  std::shared_ptr<internal::CancelState> state_;
+};
+
+}  // namespace lakekit
+
+#endif  // LAKEKIT_COMMON_CANCELLATION_H_

@@ -1,0 +1,94 @@
+#include "common/circuit_breaker.h"
+
+namespace lakekit {
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock : Clock::Real()) {}
+
+Status CircuitBreaker::Admit() {
+  MutexLock lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return Status::OK();
+    case State::kOpen:
+      if (clock().Now() - opened_at_ >= options_.open_cooldown) {
+        // Cooldown served: this caller becomes the half-open probe.
+        state_ = State::kHalfOpen;
+        probe_in_flight_ = true;
+        return Status::OK();
+      }
+      ++rejected_;
+      return Status::Unavailable("circuit breaker open");
+    case State::kHalfOpen:
+      if (!probe_in_flight_) {
+        probe_in_flight_ = true;
+        return Status::OK();
+      }
+      ++rejected_;
+      return Status::Unavailable("circuit breaker half-open, probe in flight");
+  }
+  return Status::Internal("unreachable circuit breaker state");
+}
+
+void CircuitBreaker::RecordSuccess() {
+  MutexLock lock(mu_);
+  // A success in any state is evidence of health: close and reset. (In
+  // half-open this is the probe reporting back; in closed it clears the
+  // failure streak; a straggler succeeding after the breaker opened is
+  // treated the same as a probe success.)
+  state_ = State::kClosed;
+  failures_ = 0;
+  probe_in_flight_ = false;
+}
+
+void CircuitBreaker::RecordFailure() {
+  MutexLock lock(mu_);
+  const auto now = clock().Now();
+  switch (state_) {
+    case State::kClosed:
+      if (failures_ == 0 || now - window_start_ > options_.failure_window) {
+        // First failure, or the previous streak aged out of the window.
+        failures_ = 0;
+        window_start_ = now;
+      }
+      if (++failures_ >= options_.failure_threshold) {
+        state_ = State::kOpen;
+        opened_at_ = now;
+      }
+      break;
+    case State::kHalfOpen:
+      // The probe failed: back to a full cooldown.
+      state_ = State::kOpen;
+      opened_at_ = now;
+      probe_in_flight_ = false;
+      break;
+    case State::kOpen:
+      // A straggler admitted before the trip; the cooldown already runs.
+      break;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  MutexLock lock(mu_);
+  return state_;
+}
+
+int64_t CircuitBreaker::rejected() const {
+  MutexLock lock(mu_);
+  return rejected_;
+}
+
+std::string_view CircuitBreakerStateName(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+}  // namespace lakekit

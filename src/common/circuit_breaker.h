@@ -1,0 +1,89 @@
+#ifndef LAKEKIT_COMMON_CIRCUIT_BREAKER_H_
+#define LAKEKIT_COMMON_CIRCUIT_BREAKER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string_view>
+
+#include "common/deadline.h"
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace lakekit {
+
+/// Tuning for CircuitBreaker. The defaults suit lakekit's in-process
+/// federation tests; production deployments tune the window and cooldown to
+/// the backend's failure detection and recovery times.
+struct CircuitBreakerOptions {
+  /// Consecutive-within-window failures that trip the breaker open.
+  int failure_threshold = 5;
+  /// Failures older than this no longer count toward the threshold: the
+  /// window restarts when a failure arrives after it elapsed.
+  std::chrono::milliseconds failure_window{1000};
+  /// How long an open breaker rejects before letting one probe through.
+  std::chrono::milliseconds open_cooldown{100};
+  /// Time source (nullptr: the real clock). Tests inject a ManualClock to
+  /// drive the state machine deterministically.
+  const Clock* clock = nullptr;
+};
+
+/// A per-backend circuit breaker (closed -> open -> half-open), the standard
+/// guard that keeps one flaky or dead source from dragging every federated
+/// query through its timeout+retry cost:
+///
+///   - **closed** — requests flow; failures within `failure_window` are
+///     counted, and reaching `failure_threshold` trips the breaker open.
+///     A success resets the count.
+///   - **open** — `Admit` fails fast with kUnavailable (no I/O, no retry
+///     budget burned) until `open_cooldown` elapses.
+///   - **half-open** — after the cooldown, exactly one caller is admitted
+///     as a probe; concurrent callers keep failing fast. The probe's
+///     success closes the breaker (counters reset); its failure reopens it
+///     for another full cooldown.
+///
+/// Thread-safe; every transition happens under the annotated mutex. Callers
+/// wrap work as: `Admit()` -> on OK run the operation -> `RecordSuccess()` /
+/// `RecordFailure()`. Deadline expiry and cancellation should NOT be
+/// recorded as failures — they say nothing about the backend's health.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(CircuitBreakerOptions options = {});
+
+  /// OK when the caller may proceed (and, in half-open, claims the probe
+  /// slot); kUnavailable when the breaker is rejecting.
+  Status Admit();
+
+  /// Reports the outcome of an admitted operation.
+  void RecordSuccess();
+  void RecordFailure();
+
+  State state() const;
+
+  /// Calls rejected by Admit since construction.
+  int64_t rejected() const;
+
+ private:
+  const Clock& clock() const { return *clock_; }
+
+  // unguarded: immutable after construction.
+  CircuitBreakerOptions options_;
+  // unguarded: immutable after construction (resolved Real() fallback).
+  const Clock* clock_;
+
+  mutable Mutex mu_;
+  State state_ LAKEKIT_GUARDED_BY(mu_) = State::kClosed;
+  int failures_ LAKEKIT_GUARDED_BY(mu_) = 0;
+  std::chrono::steady_clock::time_point window_start_ LAKEKIT_GUARDED_BY(mu_);
+  std::chrono::steady_clock::time_point opened_at_ LAKEKIT_GUARDED_BY(mu_);
+  bool probe_in_flight_ LAKEKIT_GUARDED_BY(mu_) = false;
+  int64_t rejected_ LAKEKIT_GUARDED_BY(mu_) = 0;
+};
+
+std::string_view CircuitBreakerStateName(CircuitBreaker::State state);
+
+}  // namespace lakekit
+
+#endif  // LAKEKIT_COMMON_CIRCUIT_BREAKER_H_

@@ -1,0 +1,21 @@
+#include "common/deadline.h"
+
+namespace lakekit {
+
+namespace {
+
+class RealClock : public Clock {
+ public:
+  std::chrono::steady_clock::time_point Now() const override {
+    return std::chrono::steady_clock::now();
+  }
+};
+
+}  // namespace
+
+Clock* Clock::Real() {
+  static RealClock clock;
+  return &clock;
+}
+
+}  // namespace lakekit

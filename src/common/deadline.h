@@ -1,0 +1,92 @@
+#ifndef LAKEKIT_COMMON_DEADLINE_H_
+#define LAKEKIT_COMMON_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace lakekit {
+
+/// Monotonic time source behind every deadline and circuit breaker.
+///
+/// Production code uses `Clock::Real()` (std::chrono::steady_clock); tests
+/// inject a `ManualClock` so timeout behavior is deterministic — a chaos
+/// test "waits" by advancing the clock, never by sleeping, which is what
+/// lets the suite sweep hundreds of failure schedules in milliseconds.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  virtual std::chrono::steady_clock::time_point Now() const = 0;
+
+  /// The process-wide real (steady) clock.
+  static Clock* Real();
+};
+
+/// A test clock that only moves when told to. Thread-safe: concurrent
+/// readers see monotonic time, and `Advance` from one thread is visible to
+/// deadline checks on another.
+class ManualClock : public Clock {
+ public:
+  std::chrono::steady_clock::time_point Now() const override {
+    return std::chrono::steady_clock::time_point(
+        std::chrono::nanoseconds(now_ns_.load(std::memory_order_acquire)));
+  }
+
+  void Advance(std::chrono::milliseconds delta) {
+    now_ns_.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(delta).count(),
+        std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<int64_t> now_ns_{0};
+};
+
+/// A point in time an operation must not outlive.
+///
+/// A `Deadline` is a value type: copy it freely down a call chain (federated
+/// query -> per-source scan -> retry loop -> morsel loop) and every layer
+/// observes the same absolute expiry, so nested timeouts cannot stack into
+/// more wall-clock time than the caller granted. Default-constructed
+/// deadlines are infinite — `expired()` is false forever and costs no clock
+/// read, so unarmed hot paths pay only a null check.
+class Deadline {
+ public:
+  /// Infinite: never expires.
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `budget` from now on `clock` (nullptr: the real clock).
+  static Deadline After(std::chrono::milliseconds budget,
+                        const Clock* clock = nullptr) {
+    Deadline d;
+    d.clock_ = clock != nullptr ? clock : Clock::Real();
+    d.at_ = d.clock_->Now() + budget;
+    return d;
+  }
+
+  [[nodiscard]] bool is_infinite() const { return clock_ == nullptr; }
+
+  [[nodiscard]] bool expired() const {
+    return clock_ != nullptr && clock_->Now() >= at_;
+  }
+
+  /// Time left before expiry, clamped to >= 0. Infinite deadlines report
+  /// `std::chrono::milliseconds::max()`.
+  [[nodiscard]] std::chrono::milliseconds remaining() const {
+    if (clock_ == nullptr) return std::chrono::milliseconds::max();
+    const auto now = clock_->Now();
+    if (now >= at_) return std::chrono::milliseconds(0);
+    return std::chrono::duration_cast<std::chrono::milliseconds>(at_ - now);
+  }
+
+ private:
+  const Clock* clock_ = nullptr;  // nullptr: infinite
+  std::chrono::steady_clock::time_point at_{};
+};
+
+}  // namespace lakekit
+
+#endif  // LAKEKIT_COMMON_DEADLINE_H_

@@ -12,28 +12,33 @@ RetryPolicy::RetryPolicy(RetryOptions options)
   };
 }
 
-Status RetryPolicy::Run(const std::function<Status()>& fn) {
+Status RetryPolicy::Run(const std::function<Status()>& fn,
+                        const Deadline& deadline) {
   Status status = fn();
   for (int attempt = 1;
        attempt < options_.max_attempts && !status.ok() && IsTransient(status);
        ++attempt) {
-    SleepWithJitter(attempt);
+    if (!SleepBeforeRetry(attempt, deadline)) return status;
     status = fn();
   }
   return status;
 }
 
-void RetryPolicy::SleepWithJitter(int attempt) {
+bool RetryPolicy::SleepBeforeRetry(int attempt, const Deadline& deadline) {
   double backoff_ms =
       static_cast<double>(options_.initial_backoff.count());
   for (int i = 1; i < attempt; ++i) backoff_ms *= options_.multiplier;
   backoff_ms = std::min(
       backoff_ms, static_cast<double>(options_.max_backoff.count()));
   // Full jitter: uniform in [0, backoff]. Decorrelates concurrent retriers
-  // hammering the same store.
+  // hammering the same store. The jitter is drawn even when the deadline
+  // already expired, so a schedule's draw sequence — and therefore every
+  // later sleep — stays deterministic per seed regardless of budget.
   auto jittered = std::chrono::milliseconds(
       static_cast<int64_t>(rng_.NextDouble() * backoff_ms));
-  sleep_fn_(jittered);
+  if (deadline.expired()) return false;
+  sleep_fn_(std::min(jittered, deadline.remaining()));
+  return !deadline.expired();
 }
 
 }  // namespace lakekit

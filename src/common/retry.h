@@ -1,10 +1,12 @@
 #ifndef LAKEKIT_COMMON_RETRY_H_
 #define LAKEKIT_COMMON_RETRY_H_
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <functional>
 
+#include "common/deadline.h"
 #include "common/random.h"
 #include "common/result.h"
 
@@ -30,34 +32,39 @@ struct RetryOptions {
 /// Retries an operation on *transient* errors with exponential backoff and
 /// full jitter (each sleep is uniform in [0, backoff]).
 ///
-/// Only `kIoError` is classified transient: it is the code the storage tier
-/// returns for environment failures (out of descriptors, injected faults,
-/// flaky remote stores) that a later attempt can plausibly fix. Logic errors
-/// (`kInvalidArgument`, `kNotFound`, `kAlreadyExists`, `kCorruption`, ...)
-/// are permanent and returned immediately — retrying a failed
-/// `PutIfAbsent` would turn a lost commit race into a livelock.
+/// What counts as transient is the Status-level classification
+/// `IsTransientError` (status.h): `kIoError` and `kUnavailable`. Permanent
+/// errors — including `kDeadlineExceeded` — are returned immediately.
+///
+/// Every run is deadline-aware: once the deadline expires, the policy
+/// returns the last status *without sleeping past the expiry*, and each
+/// backoff sleep is capped at the remaining budget — the retry schedule can
+/// never cost more wall-clock time than the caller granted. Pass
+/// `Deadline::Infinite()` (the default) for the unbounded behavior.
 class RetryPolicy {
  public:
   explicit RetryPolicy(RetryOptions options = {});
 
-  /// True when `status` may succeed on retry.
+  /// True when `status` may succeed on retry (see IsTransientError).
   static bool IsTransient(const Status& status) {
-    return status.code() == StatusCode::kIoError;
+    return IsTransientError(status);
   }
 
-  /// Runs `fn` until it returns OK or a permanent error, at most
-  /// `max_attempts` times. Returns the last status.
-  Status Run(const std::function<Status()>& fn);
+  /// Runs `fn` until it returns OK, a permanent error, or the deadline
+  /// expires, at most `max_attempts` times. Returns the last status.
+  Status Run(const std::function<Status()>& fn,
+             const Deadline& deadline = Deadline::Infinite());
 
   /// Result<T>-returning flavor of Run.
   template <typename F>
-  auto RunResult(F&& fn) -> decltype(fn()) {
+  auto RunResult(F&& fn, const Deadline& deadline = Deadline::Infinite())
+      -> decltype(fn()) {
     decltype(fn()) result = fn();
     for (int attempt = 1;
          attempt < options_.max_attempts && !result.ok() &&
          IsTransient(result.status());
          ++attempt) {
-      SleepWithJitter(attempt);
+      if (!SleepBeforeRetry(attempt, deadline)) return result;
       result = fn();
     }
     return result;
@@ -71,8 +78,11 @@ class RetryPolicy {
   const RetryOptions& options() const { return options_; }
 
  private:
-  /// Sleeps a jittered backoff for the retry numbered `attempt` (1-based).
-  void SleepWithJitter(int attempt);
+  /// Sleeps a jittered backoff for the retry numbered `attempt` (1-based),
+  /// capped at the deadline's remaining budget. Returns false — without
+  /// sleeping — when the deadline is already exhausted, i.e. the caller
+  /// must stop retrying and return the last status.
+  bool SleepBeforeRetry(int attempt, const Deadline& deadline);
 
   RetryOptions options_;
   Rng rng_;

@@ -21,9 +21,12 @@ enum class StatusCode {
   kCorruption,
   kNotSupported,
   kFailedPrecondition,
-  kAborted,       // e.g. optimistic-concurrency conflicts
+  kAborted,       // e.g. optimistic-concurrency conflicts, cancellation
   kOutOfRange,
   kInternal,
+  kDeadlineExceeded,  // a deadline expired before the operation finished
+  kUnavailable,       // backend temporarily unavailable (flaky source,
+                      // open circuit breaker) — transient, retryable
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "NotFound", ...).
@@ -79,6 +82,12 @@ class [[nodiscard]] Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
   [[nodiscard]] StatusCode code() const { return code_; }
@@ -94,6 +103,12 @@ class [[nodiscard]] Status {
   [[nodiscard]] bool IsInvalidArgument() const {
     return code_ == StatusCode::kInvalidArgument;
   }
+  [[nodiscard]] bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  [[nodiscard]] bool IsUnavailable() const {
+    return code_ == StatusCode::kUnavailable;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   [[nodiscard]] std::string ToString() const;
@@ -106,6 +121,25 @@ class [[nodiscard]] Status {
   StatusCode code_ = StatusCode::kOk;
   std::string message_;
 };
+
+/// Whether a *later attempt of the same operation* can plausibly succeed —
+/// the Status-level classification every retry/resilience layer shares
+/// (`RetryPolicy`, the federated scan path):
+///
+///   - `kIoError`: environment failures from the storage tier (descriptor
+///     exhaustion, injected faults, flaky remote stores);
+///   - `kUnavailable`: a backend that is down *right now* (open circuit
+///     breaker, fault-injected source) but expected back.
+///
+/// Everything else is permanent. `kDeadlineExceeded` in particular is
+/// permanent by construction: the caller's budget is spent, and retrying
+/// can only exceed it further. Logic errors (`kNotFound`,
+/// `kAlreadyExists`, `kCorruption`, ...) stay permanent — retrying a lost
+/// `PutIfAbsent` race would turn it into a livelock.
+[[nodiscard]] inline bool IsTransientError(const Status& status) {
+  return status.code() == StatusCode::kIoError ||
+         status.code() == StatusCode::kUnavailable;
+}
 
 }  // namespace lakekit
 

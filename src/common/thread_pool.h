@@ -7,6 +7,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancellation.h"
+#include "common/deadline.h"
 #include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -75,6 +77,15 @@ struct ParallelOptions {
   /// Indices per task. 0 picks automatically (~4 chunks per worker, at
   /// least 1 index each). Tests use grain=1 to pin chunk == index.
   size_t grain = 0;
+  /// Cooperative cancellation, checked once per chunk before it starts:
+  /// a cancelled token skips every not-yet-started chunk and ParallelFor
+  /// returns the token's status. Default-constructed: never cancelled.
+  CancelToken cancel;
+  /// Deadline, checked once per chunk before it starts: expiry skips every
+  /// not-yet-started chunk and ParallelFor returns kDeadlineExceeded.
+  /// Default: infinite. For finer-than-chunk granularity (e.g. per-morsel
+  /// in the query engine), `fn` checks and returns the error itself.
+  Deadline deadline;
 };
 
 /// Runs `fn(i)` for every i in [begin, end) across the pool, blocking until
@@ -82,11 +93,19 @@ struct ParallelOptions {
 /// chunk, then helps drain the queue), so the pool being busy can only slow
 /// this call down, never deadlock it.
 ///
-/// Error contract: all chunks always run to their own completion decision
-/// (a failing chunk stops at the failing index; other chunks are not
-/// cancelled), and the returned Status is the error from the *lowest* failing
-/// chunk — deterministic regardless of thread interleaving. Exceptions thrown
-/// by `fn` are caught and reported as `Status::Internal`.
+/// Error contract: the returned Status is the error from the *lowest*
+/// failing chunk — deterministic regardless of thread interleaving. The
+/// first error cancels chunks that have not yet started and sit *above* the
+/// failing chunk; everything below it still runs, which is exactly what
+/// keeps the lowest-failing-chunk result identical to the run-everything
+/// execution. Exceptions thrown by `fn` are caught and reported as
+/// `Status::Internal`.
+///
+/// Interruption contract (`options.cancel` / `options.deadline`): checked
+/// once per chunk; on interruption, unstarted chunks are skipped (already
+/// running chunks finish their current work). A chunk error, if any chunk
+/// produced one, takes precedence over the interruption status in the
+/// return value.
 Status ParallelFor(size_t begin, size_t end,
                    const std::function<Status(size_t)>& fn,
                    const ParallelOptions& options = {});

@@ -1,6 +1,7 @@
 #include "query/federation.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace lakekit::query {
 
@@ -25,26 +26,141 @@ ExprPtr CombineConjuncts(const std::vector<ExprPtr>& conjuncts) {
 
 namespace {
 
+ExecOptions MakeExecOptions(const QueryOptions& options) {
+  ExecOptions opts;
+  opts.pool = options.pool;
+  opts.cancel = options.cancel;
+  opts.deadline = options.deadline;
+  return opts;
+}
+
 /// Source-side tail of a scan: account the rows read, apply the pushed
 /// predicate, account the rows shipped to the mediator.
 Result<table::Table> FilterScanned(table::Table t, const Expr* predicate,
-                                   FederationStats* stats) {
+                                   FederationStats* stats,
+                                   const ExecOptions& opts) {
   if (stats != nullptr) stats->rows_scanned += t.num_rows();
   if (predicate != nullptr) {
-    LAKEKIT_ASSIGN_OR_RETURN(t, Filter(t, *predicate));
+    LAKEKIT_ASSIGN_OR_RETURN(t, Filter(t, *predicate, opts));
   }
   if (stats != nullptr) stats->rows_shipped += t.num_rows();
   return t;
 }
 
+/// Whether a scan failure is the *source's* trouble — eligible for
+/// best-effort degradation and for breaker failure accounting. Deadline
+/// expiry and cancellation are the caller's spent budget: they say nothing
+/// about backend health and must fail the query even in best-effort mode.
+bool SourceFault(const Status& status) {
+  return !status.IsDeadlineExceeded() && !status.IsAborted();
+}
+
 }  // namespace
+
+FederatedEngine::FederatedEngine(storage::Polystore* polystore,
+                                 FederatedEngineOptions options)
+    : source_(nullptr),
+      owned_source_(std::make_unique<PolystoreSource>(polystore)),
+      options_(std::move(options)) {
+  source_ = owned_source_.get();
+}
+
+FederatedEngine::FederatedEngine(TableSource* source,
+                                 FederatedEngineOptions options)
+    : source_(source), options_(std::move(options)) {}
+
+CircuitBreaker* FederatedEngine::BreakerFor(const std::string& dataset) const {
+  MutexLock lock(mu_);
+  auto it = breakers_.find(dataset);
+  if (it == breakers_.end()) {
+    CircuitBreakerOptions bopts = options_.breaker;
+    if (bopts.clock == nullptr) bopts.clock = options_.clock;
+    it = breakers_
+             .emplace(dataset, std::make_unique<CircuitBreaker>(bopts))
+             .first;
+  }
+  return it->second.get();
+}
+
+Result<table::Table> FederatedEngine::ReadSource(const std::string& dataset,
+                                                 const QueryOptions& options,
+                                                 FederationStats* stats) const {
+  CircuitBreaker* breaker = BreakerFor(dataset);
+  // A fresh policy per scan: RetryPolicy carries Rng state, which concurrent
+  // queries must not share.
+  RetryPolicy retry(options_.retry);
+  if (options_.sleep_fn) retry.set_sleep_fn(options_.sleep_fn);
+
+  size_t attempts = 0;
+  size_t rejections = 0;
+  Result<table::Table> result = retry.RunResult(
+      [&]() -> Result<table::Table> {
+        ++attempts;
+        // The caller's budget outranks everything: checked before the
+        // breaker and the backend. Both statuses are permanent, so the
+        // retry loop stops on them immediately.
+        if (options.cancel.cancelled()) return options.cancel.status();
+        if (options.deadline.expired()) {
+          return Status::DeadlineExceeded("deadline expired scanning '" +
+                                          dataset + "'");
+        }
+        if (Status admit = breaker->Admit(); !admit.ok()) {
+          ++rejections;
+          return admit;
+        }
+        Result<table::Table> r = source_->ReadAsTable(dataset);
+        if (r.ok()) {
+          breaker->RecordSuccess();
+        } else if (SourceFault(r.status())) {
+          breaker->RecordFailure();
+        }
+        return r;
+      },
+      options.deadline);
+  if (stats != nullptr) {
+    stats->retries += attempts - 1;
+    stats->breaker_rejections += rejections;
+  }
+  if (result.ok()) {
+    MutexLock lock(mu_);
+    schema_cache_[dataset] = result->schema();
+  }
+  return result;
+}
+
+Result<table::Table> FederatedEngine::ReadDegradable(
+    const std::string& dataset, const QueryOptions& options,
+    FederationStats* stats) const {
+  if (stats != nullptr) ++stats->source_reads;
+  Result<table::Table> result = ReadSource(dataset, options, stats);
+  if (result.ok() || options.degradation != DegradationMode::kBestEffort ||
+      !SourceFault(result.status())) {
+    return result;
+  }
+  table::Schema schema;
+  {
+    MutexLock lock(mu_);
+    auto it = schema_cache_.find(dataset);
+    // Never-seen schema: there is no schema-valid empty table to
+    // substitute, so the failure propagates even in best-effort mode.
+    if (it == schema_cache_.end()) return result;
+    schema = it->second;
+  }
+  if (stats != nullptr) {
+    stats->partial = true;
+    stats->failed_sources.push_back(SourceFailure{dataset, result.status()});
+  }
+  return table::Table(dataset, schema);
+}
 
 Result<table::Table> FederatedEngine::Scan(const std::string& dataset,
                                            const Expr* predicate,
-                                           FederationStats* stats) const {
-  LAKEKIT_ASSIGN_OR_RETURN(table::Table t, polystore_->ReadAsTable(dataset));
+                                           FederationStats* stats,
+                                           const QueryOptions& options) const {
   if (stats != nullptr) ++stats->source_reads;
-  return FilterScanned(std::move(t), predicate, stats);
+  LAKEKIT_ASSIGN_OR_RETURN(table::Table t, ReadSource(dataset, options, stats));
+  return FilterScanned(std::move(t), predicate, stats,
+                       MakeExecOptions(options));
 }
 
 namespace {
@@ -62,8 +178,42 @@ bool CoveredBy(const Expr& expr, const table::Schema& schema) {
 }  // namespace
 
 Result<table::Table> FederatedEngine::Query(std::string_view sql,
+                                            const QueryOptions& options,
+                                            FederationStats* stats_out) {
+  // Computed into a local so concurrent queries never share accumulation
+  // state; published under the lock once, when the query is done.
+  FederationStats stats;
+  Result<table::Table> result = QueryImpl(sql, options, &stats);
+  if (stats_out != nullptr) *stats_out = stats;
+  MutexLock lock(mu_);
+  stats_ = std::move(stats);
+  return result;
+}
+
+Result<table::Table> FederatedEngine::Query(std::string_view sql,
                                             bool enable_pushdown) {
-  stats_ = FederationStats{};
+  QueryOptions options;
+  options.enable_pushdown = enable_pushdown;
+  return Query(sql, options);
+}
+
+FederationStats FederatedEngine::last_stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+CircuitBreaker::State FederatedEngine::breaker_state(
+    const std::string& dataset) const {
+  MutexLock lock(mu_);
+  auto it = breakers_.find(dataset);
+  return it == breakers_.end() ? CircuitBreaker::State::kClosed
+                               : it->second->state();
+}
+
+Result<table::Table> FederatedEngine::QueryImpl(std::string_view sql,
+                                                const QueryOptions& options,
+                                                FederationStats* stats) const {
+  const ExecOptions exec = MakeExecOptions(options);
   LAKEKIT_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSql(sql));
 
   // Decompose the WHERE clause into conjuncts and classify them by which
@@ -74,15 +224,13 @@ Result<table::Table> FederatedEngine::Query(std::string_view sql,
   // Read each source exactly once; conjunct classification uses the schema
   // of the same table the scan filters, so there is no separate probe read.
   LAKEKIT_ASSIGN_OR_RETURN(table::Table from_data,
-                           polystore_->ReadAsTable(stmt.from_table));
-  ++stats_.source_reads;
+                           ReadDegradable(stmt.from_table, options, stats));
   const table::Schema& from_schema = from_data.schema();
   table::Table join_data;
   table::Schema join_schema;
   if (stmt.join_table) {
-    LAKEKIT_ASSIGN_OR_RETURN(join_data,
-                             polystore_->ReadAsTable(*stmt.join_table));
-    ++stats_.source_reads;
+    LAKEKIT_ASSIGN_OR_RETURN(
+        join_data, ReadDegradable(*stmt.join_table, options, stats));
     join_schema = join_data.schema();
   }
 
@@ -90,49 +238,52 @@ Result<table::Table> FederatedEngine::Query(std::string_view sql,
   std::vector<ExprPtr> join_push;
   std::vector<ExprPtr> residual;
   for (const ExprPtr& c : conjuncts) {
-    if (enable_pushdown && CoveredBy(*c, from_schema)) {
+    if (options.enable_pushdown && CoveredBy(*c, from_schema)) {
       from_push.push_back(c);
-    } else if (enable_pushdown && stmt.join_table &&
+    } else if (options.enable_pushdown && stmt.join_table &&
                CoveredBy(*c, join_schema)) {
       join_push.push_back(c);
     } else {
       residual.push_back(c);
     }
   }
-  stats_.pushed_conjuncts = from_push.size() + join_push.size();
-  stats_.residual_conjuncts = residual.size();
+  stats->pushed_conjuncts = from_push.size() + join_push.size();
+  stats->residual_conjuncts = residual.size();
 
   // Source-side filtering of the already-read tables.
   ExprPtr from_pred = CombineConjuncts(from_push);
   LAKEKIT_ASSIGN_OR_RETURN(
       table::Table current,
-      FilterScanned(std::move(from_data),
-                    from_pred ? from_pred.get() : nullptr, &stats_));
+      FilterScanned(std::move(from_data), from_pred ? from_pred.get() : nullptr,
+                    stats, exec));
   if (stmt.join_table) {
     ExprPtr join_pred = CombineConjuncts(join_push);
     LAKEKIT_ASSIGN_OR_RETURN(
         table::Table right,
         FilterScanned(std::move(join_data),
-                      join_pred ? join_pred.get() : nullptr, &stats_));
-    stats_.join_input_rows = current.num_rows() + right.num_rows();
+                      join_pred ? join_pred.get() : nullptr, stats, exec));
+    stats->join_input_rows = current.num_rows() + right.num_rows();
     LAKEKIT_ASSIGN_OR_RETURN(
         current, HashJoin(current, right, stmt.join_left_col,
-                          stmt.join_right_col, JoinType::kInner));
+                          stmt.join_right_col, JoinType::kInner, exec));
   }
 
   // Residual filtering + the rest of the plan at the mediator.
   ExprPtr residual_pred = CombineConjuncts(residual);
   if (residual_pred) {
-    LAKEKIT_ASSIGN_OR_RETURN(current, Filter(current, *residual_pred));
+    LAKEKIT_ASSIGN_OR_RETURN(current, Filter(current, *residual_pred, exec));
   }
   SelectStatement tail = stmt;
   tail.where = nullptr;  // already applied
   tail.from_table = "__current__";
   tail.join_table.reset();
-  return ExecuteSelect(tail, [&](const std::string& name) -> Result<table::Table> {
-    if (name == "__current__") return current;
-    return Status::NotFound("unexpected table '" + name + "'");
-  });
+  return ExecuteSelect(
+      tail,
+      [&](const std::string& name) -> Result<table::Table> {
+        if (name == "__current__") return current;
+        return Status::NotFound("unexpected table '" + name + "'");
+      },
+      exec);
 }
 
 }  // namespace lakekit::query

@@ -1,23 +1,42 @@
 #ifndef LAKEKIT_QUERY_FEDERATION_H_
 #define LAKEKIT_QUERY_FEDERATION_H_
 
+#include <chrono>
+#include <functional>
+#include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/cancellation.h"
+#include "common/circuit_breaker.h"
+#include "common/deadline.h"
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/retry.h"
+#include "common/thread_annotations.h"
+#include "query/source.h"
 #include "query/sql.h"
 #include "storage/polystore.h"
 
 namespace lakekit::query {
 
+/// One source that could not be scanned during a best-effort query.
+struct SourceFailure {
+  std::string dataset;
+  Status status;
+};
+
 /// Per-query execution statistics demonstrating the effect of predicate
 /// pushdown (Constance pushes selections to the sources to "reduce the
-/// amount of data to be loaded", survey Sec. 6.3/7.2).
+/// amount of data to be loaded", survey Sec. 6.3/7.2) and, since the
+/// resilience layer, of retries / circuit breaking / degradation.
 struct FederationStats {
-  /// ReadAsTable calls issued against the polystore — one per source per
-  /// query: conjunct classification reuses the scanned table's schema
-  /// instead of issuing a separate probe read.
+  /// Source scans issued — one per source per query: conjunct
+  /// classification reuses the scanned table's schema instead of issuing a
+  /// separate probe read. (Retries of a failing scan are counted in
+  /// `retries`, not here.)
   size_t source_reads = 0;
   /// Rows read from the underlying stores.
   size_t rows_scanned = 0;
@@ -29,31 +48,144 @@ struct FederationStats {
   size_t pushed_conjuncts = 0;
   /// Conjuncts evaluated at the mediator.
   size_t residual_conjuncts = 0;
+  /// Retry attempts beyond each scan's first, summed over sources.
+  size_t retries = 0;
+  /// Scan attempts rejected by an open/half-open circuit breaker.
+  size_t breaker_rejections = 0;
+  /// Best-effort only: true when at least one source was degraded to an
+  /// empty (schema-valid) table instead of failing the query.
+  bool partial = false;
+  /// The degraded sources and why each failed. Empty unless `partial`.
+  std::vector<SourceFailure> failed_sources;
+};
+
+/// What a query does when a source stays down after retries.
+enum class DegradationMode {
+  /// The query fails with the source's error (default).
+  kStrict,
+  /// The query degrades: the dead source contributes an empty table with
+  /// its last known schema, the query completes over the remaining
+  /// sources, and `FederationStats::partial`/`failed_sources` record what
+  /// is missing. A source whose schema was never seen cannot be degraded
+  /// (there is no schema-valid empty table to substitute), and deadline
+  /// expiry / cancellation always fail the query — they are the caller's
+  /// budget, not a source outage.
+  kBestEffort,
+};
+
+/// Per-query knobs. A default-constructed QueryOptions reproduces the
+/// legacy behavior: pushdown on, no deadline, no cancellation, strict.
+struct QueryOptions {
+  /// WHERE conjuncts that reference only one source's columns are
+  /// evaluated during that source's scan.
+  bool enable_pushdown = true;
+  /// Absolute budget for the whole query: source scans (including their
+  /// retry backoff), joins, and mediator-side operators all observe it at
+  /// morsel granularity. Expiry surfaces as kDeadlineExceeded.
+  Deadline deadline;
+  /// Cooperative cancellation, observed at the same points as `deadline`.
+  CancelToken cancel;
+  DegradationMode degradation = DegradationMode::kStrict;
+  /// Pool the vectorized operators run on; nullptr: the process default.
+  ThreadPool* pool = nullptr;
+};
+
+/// Engine-wide resilience tuning, fixed at construction.
+struct FederatedEngineOptions {
+  /// Retry schedule for transient scan failures (see RetryPolicy). A fresh
+  /// policy is built per scan, so concurrent queries never share Rng state.
+  RetryOptions retry;
+  /// Per-source circuit breaker tuning.
+  CircuitBreakerOptions breaker;
+  /// Time source for breakers (and anything else that needs one) when
+  /// `breaker.clock` is unset. nullptr: the real clock.
+  const Clock* clock = nullptr;
+  /// Where retry backoff sleeps go; default real sleeps. Chaos tests point
+  /// this at a ManualClock so schedules replay without wall-clock cost.
+  std::function<void(std::chrono::milliseconds)> sleep_fn;
 };
 
 /// A federated query engine over the polystore — the Constance /
 /// Ontario / Squerall pattern (survey Sec. 7.2): one SQL interface, query
 /// decomposition per source, per-source predicate pushdown, and mediator-
 /// side join + residual filtering of the shipped partial results.
+///
+/// The resilience layer wraps every source scan: a deadline-aware retry
+/// policy absorbs transient faults, a per-source circuit breaker stops a
+/// dead source from burning every query's retry budget, and best-effort
+/// degradation (see DegradationMode) turns residual failures into partial
+/// results. Thread-safe: concurrent `Query` calls on one engine are
+/// supported; each computes into its own stats.
 class FederatedEngine {
  public:
-  explicit FederatedEngine(storage::Polystore* polystore)
-      : polystore_(polystore) {}
+  explicit FederatedEngine(storage::Polystore* polystore,
+                           FederatedEngineOptions options = {});
+  /// Queries an arbitrary source — the seam chaos tests use to inject
+  /// faults (FlakySource). `source` must outlive the engine.
+  explicit FederatedEngine(TableSource* source,
+                           FederatedEngineOptions options = {});
 
-  /// Runs a SQL query whose FROM/JOIN tables are registered datasets.
-  /// With pushdown enabled, WHERE conjuncts that reference only one
-  /// source's columns are evaluated during that source's scan.
+  /// Runs a SQL query whose FROM/JOIN tables are registered datasets,
+  /// under `options`' deadline/cancellation/degradation. When `stats` is
+  /// non-null the query's statistics are copied there; `last_stats()`
+  /// also reports them afterwards (last writer wins under concurrency —
+  /// concurrent callers should pass their own `stats`).
+  Result<table::Table> Query(std::string_view sql, const QueryOptions& options,
+                             FederationStats* stats = nullptr);
+
+  /// Legacy entry point: default QueryOptions with `enable_pushdown`.
   Result<table::Table> Query(std::string_view sql, bool enable_pushdown = true);
 
-  /// Scans one dataset with an optional source-side predicate.
+  /// Scans one dataset with an optional source-side predicate, through the
+  /// retry policy and the dataset's circuit breaker. Accounts into
+  /// `stats` (caller-owned; may be nullptr).
   Result<table::Table> Scan(const std::string& dataset, const Expr* predicate,
-                            FederationStats* stats) const;
+                            FederationStats* stats,
+                            const QueryOptions& options = {}) const;
 
-  const FederationStats& last_stats() const { return stats_; }
+  /// Statistics of the most recently completed Query (by value: the
+  /// snapshot is taken under the engine lock).
+  FederationStats last_stats() const;
+
+  /// The dataset's breaker state; kClosed when it has never tripped (or
+  /// never been scanned).
+  CircuitBreaker::State breaker_state(const std::string& dataset) const;
 
  private:
-  storage::Polystore* polystore_;
-  FederationStats stats_;
+  Result<table::Table> QueryImpl(std::string_view sql,
+                                 const QueryOptions& options,
+                                 FederationStats* stats) const;
+  /// One resilient source read: pre-checks cancel/deadline, then runs the
+  /// breaker-gated read under the retry policy. Caches the schema of
+  /// successful reads for best-effort degradation.
+  Result<table::Table> ReadSource(const std::string& dataset,
+                                  const QueryOptions& options,
+                                  FederationStats* stats) const;
+  /// ReadSource, plus best-effort degradation to an empty schema-valid
+  /// table when `options.degradation` allows it.
+  Result<table::Table> ReadDegradable(const std::string& dataset,
+                                      const QueryOptions& options,
+                                      FederationStats* stats) const;
+  CircuitBreaker* BreakerFor(const std::string& dataset) const;
+
+  // unguarded: immutable after construction.
+  TableSource* source_;
+  // unguarded: immutable after construction (set iff built from a
+  // Polystore; source_ then points at it).
+  std::unique_ptr<PolystoreSource> owned_source_;
+  // unguarded: immutable after construction.
+  FederatedEngineOptions options_;
+
+  mutable Mutex mu_;
+  FederationStats stats_ LAKEKIT_GUARDED_BY(mu_);
+  /// Breakers are created on first scan of a dataset and never removed, so
+  /// the pointers BreakerFor hands out stay valid for the engine's life.
+  mutable std::map<std::string, std::unique_ptr<CircuitBreaker>, std::less<>>
+      breakers_ LAKEKIT_GUARDED_BY(mu_);
+  /// Last known schema per dataset, for best-effort empty-table
+  /// substitution.
+  mutable std::map<std::string, table::Schema, std::less<>> schema_cache_
+      LAKEKIT_GUARDED_BY(mu_);
 };
 
 /// Splits a predicate into its top-level AND conjuncts.

@@ -26,11 +26,23 @@ using table::Value;
 /// thread count — including 1 — produces bit-identical tables, and those
 /// tables are bit-identical to query/reference_ops.h.
 
+Status CheckInterrupt(const ExecOptions& opts) {
+  if (opts.cancel.cancelled()) return opts.cancel.status();
+  if (opts.deadline.expired()) {
+    return Status::DeadlineExceeded("query deadline expired");
+  }
+  return Status::OK();
+}
+
 namespace {
 
 ParallelOptions PoolOptions(const ExecOptions& opts) {
   ParallelOptions po;
   po.pool = opts.pool;
+  // Chunk-level interruption in ParallelFor is a backstop; the per-morsel
+  // CheckInterrupt in each operator lambda is the finer-grained gate.
+  po.cancel = opts.cancel;
+  po.deadline = opts.deadline;
   return po;
 }
 
@@ -56,6 +68,7 @@ Result<Table> Filter(const Table& input, const Expr& predicate,
       ParallelMap<SelVector>(
           NumMorsels(rows),
           [&](size_t m) -> Result<SelVector> {
+            LAKEKIT_RETURN_IF_ERROR(CheckInterrupt(opts));
             SelVector sel;
             LAKEKIT_RETURN_IF_ERROR(compiled.EvalSelection(
                 input, MorselBegin(m), MorselEnd(m, rows), &sel));
@@ -128,6 +141,7 @@ Result<Table> HashJoin(const Table& left, const Table& right,
   LAKEKIT_RETURN_IF_ERROR(ParallelFor(
       0, NumMorsels(n_right),
       [&](size_t m) -> Status {
+        LAKEKIT_RETURN_IF_ERROR(CheckInterrupt(opts));
         for (size_t r = MorselBegin(m); r < MorselEnd(m, n_right); ++r) {
           rnull[r] = rkeys[r].is_null() ? 1 : 0;
           rhash[r] = rnull[r] != 0 ? 0 : rkeys[r].Hash();
@@ -157,6 +171,7 @@ Result<Table> HashJoin(const Table& left, const Table& right,
       ParallelMap<MatchList>(
           NumMorsels(n_left),
           [&](size_t m) -> Result<MatchList> {
+            LAKEKIT_RETURN_IF_ERROR(CheckInterrupt(opts));
             MatchList out_m;
             for (size_t l = MorselBegin(m); l < MorselEnd(m, n_left); ++l) {
               const Value& key = lkeys[l];
@@ -627,6 +642,7 @@ Result<Table> Aggregate(const Table& input,
       ParallelMap<AggPartial>(
           NumMorsels(rows),
           [&](size_t m) -> Result<AggPartial> {
+            LAKEKIT_RETURN_IF_ERROR(CheckInterrupt(opts));
             AggPartial p;
             const size_t mbegin = MorselBegin(m);
             const size_t mend = MorselEnd(m, rows);

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
+#include "common/deadline.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "query/expr.h"
@@ -26,7 +28,22 @@ namespace lakekit::query {
 struct ExecOptions {
   /// Pool morsels run on; nullptr means `ThreadPool::Default()`.
   ThreadPool* pool = nullptr;
+  /// Cooperative cancellation, checked at morsel granularity: each morsel
+  /// lambda tests the token before touching its rows, so a cancelled query
+  /// finishes at most one in-flight morsel per worker (≈kMorselSize rows)
+  /// before the operator returns the token's status. Default: never
+  /// cancelled.
+  CancelToken cancel;
+  /// Deadline, checked at the same per-morsel granularity; expiry surfaces
+  /// as kDeadlineExceeded. Default: infinite.
+  Deadline deadline;
 };
+
+/// The per-morsel interrupt check the vectorized operators share: the
+/// token's status if cancelled, kDeadlineExceeded if `opts.deadline` has
+/// expired, OK otherwise. Cheap enough for morsel granularity — one relaxed
+/// atomic load on the happy path plus (for finite deadlines) a clock read.
+[[nodiscard]] Status CheckInterrupt(const ExecOptions& opts);
 
 /// Rows satisfying `predicate` (NULL predicate results excluded).
 Result<table::Table> Filter(const table::Table& input, const Expr& predicate,

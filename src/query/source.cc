@@ -1,0 +1,82 @@
+#include "query/source.h"
+
+#include <thread>
+#include <utility>
+
+namespace lakekit::query {
+
+FlakySource::FlakySource(TableSource* wrapped, uint64_t seed)
+    : wrapped_(wrapped), rng_(seed) {
+  sleep_fn_ = [](std::chrono::milliseconds d) {
+    if (d.count() > 0) std::this_thread::sleep_for(d);
+  };
+}
+
+Result<table::Table> FlakySource::ReadAsTable(std::string_view name) {
+  std::chrono::milliseconds latency{0};
+  std::function<void(std::chrono::milliseconds)> sleep_fn;
+  Status injected = Status::OK();
+  {
+    MutexLock lock(mu_);
+    ++reads_[std::string(name)];
+    auto it = profiles_.find(name);
+    if (it != profiles_.end()) {
+      SourceFaultProfile& profile = it->second;
+      latency = profile.latency;
+      sleep_fn = sleep_fn_;
+      bool fail = false;
+      if (profile.fail_next > 0) {
+        --profile.fail_next;
+        fail = true;
+      } else if (profile.error_rate > 0.0 &&
+                 rng_.NextDouble() < profile.error_rate) {
+        fail = true;
+      }
+      if (fail) {
+        ++failures_[std::string(name)];
+        injected = Status(profile.error_code,
+                          "injected fault reading '" + std::string(name) +
+                              "' (" + std::string(StatusCodeName(
+                                          profile.error_code)) +
+                              ")");
+      }
+    }
+  }
+  // The injected latency is paid outside the lock — a slow source must not
+  // serialize reads of healthy sources — and before the error: a flaky
+  // backend burns the caller's time first, then fails.
+  if (latency.count() > 0 && sleep_fn) sleep_fn(latency);
+  LAKEKIT_RETURN_IF_ERROR(std::move(injected));
+  return wrapped_->ReadAsTable(name);
+}
+
+void FlakySource::SetProfile(const std::string& dataset,
+                             SourceFaultProfile profile) {
+  MutexLock lock(mu_);
+  profiles_[dataset] = profile;
+}
+
+void FlakySource::ClearFaults() {
+  MutexLock lock(mu_);
+  profiles_.clear();
+}
+
+size_t FlakySource::reads(std::string_view dataset) const {
+  MutexLock lock(mu_);
+  auto it = reads_.find(dataset);
+  return it == reads_.end() ? 0 : it->second;
+}
+
+size_t FlakySource::injected_failures(std::string_view dataset) const {
+  MutexLock lock(mu_);
+  auto it = failures_.find(dataset);
+  return it == failures_.end() ? 0 : it->second;
+}
+
+void FlakySource::set_sleep_fn(
+    std::function<void(std::chrono::milliseconds)> sleep_fn) {
+  MutexLock lock(mu_);
+  sleep_fn_ = std::move(sleep_fn);
+}
+
+}  // namespace lakekit::query

@@ -1,0 +1,107 @@
+#ifndef LAKEKIT_QUERY_SOURCE_H_
+#define LAKEKIT_QUERY_SOURCE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/mutex.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/thread_annotations.h"
+#include "storage/polystore.h"
+#include "table/table.h"
+
+namespace lakekit::query {
+
+/// What the federated engine needs from a backend: datasets by name, as
+/// tables. The seam exists so resilience machinery can be tested against a
+/// fault-injecting implementation (`FlakySource`) with the production
+/// polystore adapter (`PolystoreSource`) none the wiser — the same idea as
+/// the storage tier's `Fs` seam (DESIGN.md §6.1), one level up.
+class TableSource {
+ public:
+  virtual ~TableSource() = default;
+
+  /// Reads dataset `name` as a table. Implementations must be safe to call
+  /// from concurrent queries.
+  virtual Result<table::Table> ReadAsTable(std::string_view name) = 0;
+};
+
+/// The production source: a polystore.
+class PolystoreSource : public TableSource {
+ public:
+  explicit PolystoreSource(storage::Polystore* polystore)
+      : polystore_(polystore) {}
+
+  Result<table::Table> ReadAsTable(std::string_view name) override {
+    return polystore_->ReadAsTable(name);
+  }
+
+ private:
+  storage::Polystore* polystore_;
+};
+
+/// Per-dataset fault profile for FlakySource.
+struct SourceFaultProfile {
+  /// Probability that a read fails (drawn from the source's seeded Rng
+  /// after `fail_next` is exhausted). 0 disables random failures.
+  double error_rate = 0.0;
+  /// Code injected failures carry. kUnavailable (the default) is
+  /// transient; set a permanent code to model a misconfigured source.
+  StatusCode error_code = StatusCode::kUnavailable;
+  /// Deterministically fail this many upcoming reads before consulting
+  /// `error_rate` — the knob breaker tests use to script exact failure
+  /// runs.
+  int fail_next = 0;
+  /// Latency injected before every read (successful or not), delivered
+  /// through the sleep hook.
+  std::chrono::milliseconds latency{0};
+};
+
+/// A fault-injecting source wrapper: per-dataset error and latency
+/// injection, seeded so every chaos schedule replays deterministically.
+/// Thread-safe. The latency sink is injectable — chaos tests pass a hook
+/// that advances a ManualClock, so "a slow source" is modeled without any
+/// real sleeping and deadline interactions stay deterministic.
+class FlakySource : public TableSource {
+ public:
+  explicit FlakySource(TableSource* wrapped, uint64_t seed = 42);
+
+  Result<table::Table> ReadAsTable(std::string_view name) override;
+
+  /// Installs (or replaces) the fault profile for `dataset`.
+  void SetProfile(const std::string& dataset, SourceFaultProfile profile);
+
+  /// Drops every profile: all reads pass through untouched.
+  void ClearFaults();
+
+  /// Reads attempted / failed against `dataset` so far (injected failures
+  /// only; errors from the wrapped source are not counted as failures).
+  size_t reads(std::string_view dataset) const;
+  size_t injected_failures(std::string_view dataset) const;
+
+  /// Where injected latency goes. Default: a real sleep.
+  void set_sleep_fn(std::function<void(std::chrono::milliseconds)> sleep_fn);
+
+ private:
+  // unguarded: immutable after construction.
+  TableSource* wrapped_;
+
+  mutable Mutex mu_;
+  Rng rng_ LAKEKIT_GUARDED_BY(mu_);
+  std::map<std::string, SourceFaultProfile, std::less<>> profiles_
+      LAKEKIT_GUARDED_BY(mu_);
+  std::map<std::string, size_t, std::less<>> reads_ LAKEKIT_GUARDED_BY(mu_);
+  std::map<std::string, size_t, std::less<>> failures_
+      LAKEKIT_GUARDED_BY(mu_);
+  std::function<void(std::chrono::milliseconds)> sleep_fn_
+      LAKEKIT_GUARDED_BY(mu_);
+};
+
+}  // namespace lakekit::query
+
+#endif  // LAKEKIT_QUERY_SOURCE_H_

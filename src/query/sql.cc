@@ -359,16 +359,22 @@ Result<SelectStatement> ParseSql(std::string_view sql) {
 }
 
 Result<table::Table> ExecuteSelect(const SelectStatement& stmt,
-                                   const TableResolver& resolver) {
+                                   const TableResolver& resolver,
+                                   const ExecOptions& opts) {
+  // Interrupts are also checked per morsel inside the operators; the
+  // between-operator checks here stop a pipeline before it starts the next
+  // stage's scan.
+  LAKEKIT_RETURN_IF_ERROR(CheckInterrupt(opts));
   LAKEKIT_ASSIGN_OR_RETURN(table::Table current, resolver(stmt.from_table));
   if (stmt.join_table) {
+    LAKEKIT_RETURN_IF_ERROR(CheckInterrupt(opts));
     LAKEKIT_ASSIGN_OR_RETURN(table::Table right, resolver(*stmt.join_table));
     LAKEKIT_ASSIGN_OR_RETURN(
         current, HashJoin(current, right, stmt.join_left_col,
-                          stmt.join_right_col, JoinType::kInner));
+                          stmt.join_right_col, JoinType::kInner, opts));
   }
   if (stmt.where) {
-    LAKEKIT_ASSIGN_OR_RETURN(current, Filter(current, *stmt.where));
+    LAKEKIT_ASSIGN_OR_RETURN(current, Filter(current, *stmt.where, opts));
   }
   const bool has_agg = [&] {
     for (const SelectItem& i : stmt.items) {
@@ -383,7 +389,8 @@ Result<table::Table> ExecuteSelect(const SelectStatement& stmt,
         aggs.push_back(AggSpec{*i.agg, i.column, i.alias});
       }
     }
-    LAKEKIT_ASSIGN_OR_RETURN(current, Aggregate(current, stmt.group_by, aggs));
+    LAKEKIT_ASSIGN_OR_RETURN(current,
+                             Aggregate(current, stmt.group_by, aggs, opts));
     if (stmt.order_by) {
       LAKEKIT_ASSIGN_OR_RETURN(
           current, Sort(current, *stmt.order_by, stmt.order_ascending));
@@ -407,10 +414,10 @@ Result<table::Table> ExecuteSelect(const SelectStatement& stmt,
   return current;
 }
 
-Result<table::Table> RunSql(std::string_view sql,
-                            const TableResolver& resolver) {
+Result<table::Table> RunSql(std::string_view sql, const TableResolver& resolver,
+                            const ExecOptions& opts) {
   LAKEKIT_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSql(sql));
-  return ExecuteSelect(stmt, resolver);
+  return ExecuteSelect(stmt, resolver, opts);
 }
 
 }  // namespace lakekit::query

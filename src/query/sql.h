@@ -55,13 +55,16 @@ using TableResolver =
     std::function<Result<table::Table>(const std::string& name)>;
 
 /// Plans and executes a parsed statement: scan (+ join) -> filter ->
-/// aggregate/project -> sort -> limit.
+/// aggregate/project -> sort -> limit. `opts` carries the pool plus the
+/// deadline/cancel token, checked between pipeline stages here and per
+/// morsel inside the vectorized operators.
 Result<table::Table> ExecuteSelect(const SelectStatement& stmt,
-                                   const TableResolver& resolver);
+                                   const TableResolver& resolver,
+                                   const ExecOptions& opts = {});
 
 /// Parse + execute.
-Result<table::Table> RunSql(std::string_view sql,
-                            const TableResolver& resolver);
+Result<table::Table> RunSql(std::string_view sql, const TableResolver& resolver,
+                            const ExecOptions& opts = {});
 
 }  // namespace lakekit::query
 

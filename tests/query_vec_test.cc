@@ -185,6 +185,12 @@ ExprPtr RandomExpr(Rng& rng, const std::vector<std::string>& cols,
   }
 }
 
+ExecOptions PoolOpts(ThreadPool* pool) {
+  ExecOptions opts;
+  opts.pool = pool;
+  return opts;
+}
+
 /// Runs one operator through the reference interpreter and the vectorized
 /// engine on a 1-thread and an 8-thread pool, asserting ok-ness parity and
 /// bit-identical tables on success. Error *codes* are not compared: when a
@@ -194,8 +200,8 @@ template <typename RefFn, typename VecFn>
 void ExpectSameOutcome(const char* what, RefFn ref_fn, VecFn vec_fn,
                        ThreadPool* serial, ThreadPool* wide) {
   Result<Table> ref = ref_fn();
-  Result<Table> v1 = vec_fn(ExecOptions{serial});
-  Result<Table> v8 = vec_fn(ExecOptions{wide});
+  Result<Table> v1 = vec_fn(PoolOpts(serial));
+  Result<Table> v8 = vec_fn(PoolOpts(wide));
   ASSERT_EQ(ref.ok(), v1.ok()) << what << ": serial ok-ness diverges";
   ASSERT_EQ(ref.ok(), v8.ok()) << what << ": parallel ok-ness diverges";
   if (!ref.ok()) return;
@@ -417,7 +423,7 @@ TEST(QueryVecRegressionTest, AggregateKeysDoNotCollide) {
   ASSERT_TRUE(t.AppendRow({Value("a"), Value(std::string("b\x02") + "c")}).ok());
   ASSERT_TRUE(t.AppendRow({Value(int64_t{1}), Value("z")}).ok());
   ASSERT_TRUE(t.AppendRow({Value("1"), Value("z")}).ok());
-  for (const ExecOptions& opts : {ExecOptions{}, ExecOptions{&wide}}) {
+  for (const ExecOptions& opts : {ExecOptions{}, PoolOpts(&wide)}) {
     auto agg =
         Aggregate(t, {"x", "y"}, {AggSpec{AggFn::kCount, "", "n"}}, opts);
     ASSERT_TRUE(agg.ok());

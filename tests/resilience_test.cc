@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+
+#include "common/cancellation.h"
+#include "common/circuit_breaker.h"
+#include "common/deadline.h"
+#include "common/thread_pool.h"
+
+namespace lakekit {
+namespace {
+
+using std::chrono::milliseconds;
+
+// ---------------------------------------------------------------- deadline
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  Deadline d;
+  EXPECT_TRUE(d.is_infinite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(d.remaining(), milliseconds::max());
+  EXPECT_TRUE(Deadline::Infinite().is_infinite());
+}
+
+TEST(DeadlineTest, ExpiresOnManualClock) {
+  ManualClock clock;
+  Deadline d = Deadline::After(milliseconds(10), &clock);
+  EXPECT_FALSE(d.is_infinite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(d.remaining(), milliseconds(10));
+
+  clock.Advance(milliseconds(9));
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(d.remaining(), milliseconds(1));
+
+  clock.Advance(milliseconds(1));
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remaining(), milliseconds(0));
+
+  // Well past expiry: remaining stays clamped at zero.
+  clock.Advance(milliseconds(100));
+  EXPECT_EQ(d.remaining(), milliseconds(0));
+}
+
+TEST(DeadlineTest, CopiesObserveTheSameExpiry) {
+  ManualClock clock;
+  Deadline d = Deadline::After(milliseconds(5), &clock);
+  Deadline copy = d;  // value type: layers pass it down by copy
+  clock.Advance(milliseconds(5));
+  EXPECT_TRUE(d.expired());
+  EXPECT_TRUE(copy.expired());
+}
+
+// ------------------------------------------------------------ cancellation
+
+TEST(CancellationTest, DefaultTokenNeverCancels) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_TRUE(token.status().ok());
+}
+
+TEST(CancellationTest, CancelReachesEveryToken) {
+  CancelSource source;
+  CancelToken a = source.token();
+  CancelToken b = a;  // copies share the underlying state
+  EXPECT_FALSE(a.cancelled());
+
+  source.Cancel();
+  EXPECT_TRUE(source.cancelled());
+  EXPECT_TRUE(a.cancelled());
+  EXPECT_TRUE(b.cancelled());
+  EXPECT_TRUE(a.status().IsAborted());
+  EXPECT_EQ(a.status().message(), "cancelled");
+}
+
+TEST(CancellationTest, FirstCauseWins) {
+  CancelSource source;
+  CancelToken token = source.token();
+  source.Cancel(Status::DeadlineExceeded("watchdog fired"));
+  source.Cancel(Status::Aborted("too late"));
+  EXPECT_TRUE(token.status().IsDeadlineExceeded());
+  EXPECT_EQ(token.status().message(), "watchdog fired");
+}
+
+// ---------------------------------------------------------- circuit breaker
+
+CircuitBreakerOptions BreakerOptions(const Clock* clock) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 3;
+  options.failure_window = milliseconds(100);
+  options.open_cooldown = milliseconds(50);
+  options.clock = clock;
+  return options;
+}
+
+TEST(CircuitBreakerTest, StaysClosedBelowThreshold) {
+  ManualClock clock;
+  CircuitBreaker breaker(BreakerOptions(&clock));
+  EXPECT_TRUE(breaker.Admit().ok());
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.Admit().ok());
+}
+
+TEST(CircuitBreakerTest, TripsOpenAtThresholdAndRejects) {
+  ManualClock clock;
+  CircuitBreaker breaker(BreakerOptions(&clock));
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+  Status admit = breaker.Admit();
+  EXPECT_TRUE(admit.IsUnavailable());
+  EXPECT_EQ(breaker.rejected(), 1);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheFailureStreak) {
+  ManualClock clock;
+  CircuitBreaker breaker(BreakerOptions(&clock));
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  breaker.RecordSuccess();
+  // The streak restarted: two more failures stay below the threshold.
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, FailuresAgeOutOfTheWindow) {
+  ManualClock clock;
+  CircuitBreaker breaker(BreakerOptions(&clock));
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  // The streak ages past the 100ms window; the next failure starts a new
+  // window instead of tripping the breaker.
+  clock.Advance(milliseconds(101));
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+}
+
+TEST(CircuitBreakerTest, HalfOpenAdmitsExactlyOneProbe) {
+  ManualClock clock;
+  CircuitBreaker breaker(BreakerOptions(&clock));
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+  // Cooldown not served yet: still rejecting.
+  clock.Advance(milliseconds(49));
+  EXPECT_TRUE(breaker.Admit().IsUnavailable());
+
+  // Cooldown served: the first caller becomes the probe, concurrent
+  // callers keep failing fast.
+  clock.Advance(milliseconds(1));
+  EXPECT_TRUE(breaker.Admit().ok());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(breaker.Admit().IsUnavailable());
+
+  // Probe success closes the breaker and traffic flows again.
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.Admit().ok());
+}
+
+TEST(CircuitBreakerTest, ProbeFailureReopensForAFullCooldown) {
+  ManualClock clock;
+  CircuitBreaker breaker(BreakerOptions(&clock));
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+  clock.Advance(milliseconds(50));
+  ASSERT_TRUE(breaker.Admit().ok());  // probe
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+  // The cooldown restarted at the probe failure.
+  clock.Advance(milliseconds(49));
+  EXPECT_TRUE(breaker.Admit().IsUnavailable());
+  clock.Advance(milliseconds(1));
+  EXPECT_TRUE(breaker.Admit().ok());
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+// ----------------------------------------------- ParallelFor interruption
+
+TEST(ParallelForInterruptTest, CancelledTokenSkipsAllChunks) {
+  ThreadPool pool(4);
+  CancelSource source;
+  source.Cancel(Status::Aborted("caller gave up"));
+
+  std::atomic<size_t> ran{0};
+  ParallelOptions options;
+  options.pool = &pool;
+  options.grain = 1;
+  options.cancel = source.token();
+  Status s = ParallelFor(
+      0, 64,
+      [&](size_t) -> Status {
+        ran.fetch_add(1, std::memory_order_relaxed);
+        return Status::OK();
+      },
+      options);
+  EXPECT_TRUE(s.IsAborted());
+  EXPECT_EQ(s.message(), "caller gave up");
+  EXPECT_EQ(ran.load(), 0u);
+}
+
+TEST(ParallelForInterruptTest, ExpiredDeadlineSkipsAllChunks) {
+  ThreadPool pool(4);
+  ManualClock clock;
+  Deadline deadline = Deadline::After(std::chrono::milliseconds(5), &clock);
+  clock.Advance(std::chrono::milliseconds(5));
+
+  std::atomic<size_t> ran{0};
+  ParallelOptions options;
+  options.pool = &pool;
+  options.grain = 1;
+  options.deadline = deadline;
+  Status s = ParallelFor(
+      0, 64,
+      [&](size_t) -> Status {
+        ran.fetch_add(1, std::memory_order_relaxed);
+        return Status::OK();
+      },
+      options);
+  EXPECT_TRUE(s.IsDeadlineExceeded());
+  EXPECT_EQ(ran.load(), 0u);
+}
+
+TEST(ParallelForInterruptTest, MidRunCancellationShedsWorkOrCompletes) {
+  // Chunk 0 (run inline by the caller) cancels the token; chunks the
+  // workers had not yet started observe the flag and are skipped. The
+  // exact shed count races with the workers, so the invariant is
+  // two-sided: either cancellation was observed (Aborted, strictly fewer
+  // iterations than submitted) or every chunk had already started (OK,
+  // all iterations ran).
+  ThreadPool pool(2);
+  CancelSource source;
+  std::atomic<size_t> ran{0};
+  ParallelOptions options;
+  options.pool = &pool;
+  options.grain = 1;
+  options.cancel = source.token();
+  const size_t n = 512;
+  Status s = ParallelFor(
+      0, n,
+      [&](size_t i) -> Status {
+        if (i == 0) source.Cancel();
+        ran.fetch_add(1, std::memory_order_relaxed);
+        return Status::OK();
+      },
+      options);
+  if (s.ok()) {
+    EXPECT_EQ(ran.load(), n);
+  } else {
+    EXPECT_TRUE(s.IsAborted());
+    EXPECT_LT(ran.load(), n);
+  }
+}
+
+TEST(ParallelForInterruptTest, ChunkErrorOutranksInterruption) {
+  // Index 0 fails *and* the token is cancelled: the deterministic
+  // lowest-chunk error must win over the interruption status.
+  ThreadPool pool(4);
+  CancelSource source;
+  ParallelOptions options;
+  options.pool = &pool;
+  options.grain = 1;
+  options.cancel = source.token();
+  Status s = ParallelFor(
+      0, 64,
+      [&](size_t i) -> Status {
+        if (i == 0) {
+          source.Cancel();
+          return Status::Internal("bad index 0");
+        }
+        return Status::OK();
+      },
+      options);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "bad index 0");
+}
+
+TEST(ParallelForInterruptTest, SingleChunkPathHonorsTheToken) {
+  CancelSource source;
+  source.Cancel();
+  // One chunk (n <= grain): the inline fast path must also check the token.
+  ParallelOptions options;
+  options.grain = 100;
+  options.cancel = source.token();
+  std::atomic<size_t> ran{0};
+  Status s = ParallelFor(
+      0, 4,
+      [&](size_t) -> Status {
+        ran.fetch_add(1, std::memory_order_relaxed);
+        return Status::OK();
+      },
+      options);
+  EXPECT_TRUE(s.IsAborted());
+  EXPECT_EQ(ran.load(), 0u);
+}
+
+}  // namespace
+}  // namespace lakekit

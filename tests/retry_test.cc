@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/result.h"
+#include "common/retry.h"
+#include "common/status.h"
+
+namespace lakekit {
+namespace {
+
+using std::chrono::milliseconds;
+
+/// A policy whose sleeps are recorded instead of slept.
+struct RecordingPolicy {
+  explicit RecordingPolicy(RetryOptions options) : policy(options) {
+    policy.set_sleep_fn([this](milliseconds d) { sleeps.push_back(d); });
+  }
+  RetryPolicy policy;
+  std::vector<milliseconds> sleeps;
+};
+
+TEST(RetryTest, TransientClassificationMatchesStatusHelper) {
+  EXPECT_TRUE(RetryPolicy::IsTransient(Status::IoError("flaky fs")));
+  EXPECT_TRUE(RetryPolicy::IsTransient(Status::Unavailable("source down")));
+  EXPECT_FALSE(RetryPolicy::IsTransient(Status::NotFound("no such key")));
+  EXPECT_FALSE(RetryPolicy::IsTransient(Status::Aborted("cancelled")));
+  // Deadline expiry is permanent by construction: the budget is spent.
+  EXPECT_FALSE(
+      RetryPolicy::IsTransient(Status::DeadlineExceeded("too slow")));
+  EXPECT_TRUE(IsTransientError(Status::Unavailable("same classification")));
+}
+
+TEST(RetryTest, PermanentErrorFailsFastWithoutSleeping) {
+  RecordingPolicy rp((RetryOptions()));
+  int calls = 0;
+  Status s = rp.policy.Run([&] {
+    ++calls;
+    return Status::InvalidArgument("never retry this");
+  });
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(rp.sleeps.empty());
+}
+
+TEST(RetryTest, TransientErrorRetriesUpToMaxAttempts) {
+  RetryOptions options;
+  options.max_attempts = 4;
+  RecordingPolicy rp(options);
+  int calls = 0;
+  Status s = rp.policy.Run([&] {
+    ++calls;
+    return Status::Unavailable("still down");
+  });
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(rp.sleeps.size(), 3u);  // one backoff between consecutive tries
+}
+
+TEST(RetryTest, StopsRetryingOnSuccess) {
+  RecordingPolicy rp((RetryOptions()));
+  int calls = 0;
+  Result<int> r = rp.policy.RunResult([&]() -> Result<int> {
+    if (++calls < 3) return Status::IoError("transient");
+    return 42;
+  });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(rp.sleeps.size(), 2u);
+}
+
+TEST(RetryTest, JitteredBackoffStaysWithinTheExponentialCap) {
+  RetryOptions options;
+  options.max_attempts = 8;
+  options.initial_backoff = milliseconds(8);
+  options.multiplier = 2.0;
+  options.max_backoff = milliseconds(20);
+  RecordingPolicy rp(options);
+  Status s = rp.policy.Run([] { return Status::Unavailable("down"); });
+  EXPECT_TRUE(s.IsUnavailable());
+  ASSERT_EQ(rp.sleeps.size(), 7u);
+  // Full jitter: sleep k is uniform in [0, min(8 * 2^k, 20)]ms.
+  const int64_t caps[] = {8, 16, 20, 20, 20, 20, 20};
+  for (size_t k = 0; k < rp.sleeps.size(); ++k) {
+    EXPECT_GE(rp.sleeps[k].count(), 0) << "sleep " << k;
+    EXPECT_LE(rp.sleeps[k].count(), caps[k]) << "sleep " << k;
+  }
+}
+
+TEST(RetryTest, ScheduleIsDeterministicPerSeed) {
+  RetryOptions options;
+  options.max_attempts = 6;
+  options.initial_backoff = milliseconds(16);
+  options.max_backoff = milliseconds(200);
+  options.jitter_seed = 20260808;
+  RecordingPolicy a(options);
+  RecordingPolicy b(options);
+  EXPECT_TRUE(
+      a.policy.Run([] { return Status::Unavailable("x"); }).IsUnavailable());
+  EXPECT_TRUE(
+      b.policy.Run([] { return Status::Unavailable("x"); }).IsUnavailable());
+  EXPECT_EQ(a.sleeps, b.sleeps);
+}
+
+TEST(RetryTest, ExpiredDeadlineStopsRetryingWithoutSleeping) {
+  ManualClock clock;
+  Deadline deadline = Deadline::After(milliseconds(10), &clock);
+  clock.Advance(milliseconds(10));
+
+  RetryOptions options;
+  options.max_attempts = 5;
+  RecordingPolicy rp(options);
+  int calls = 0;
+  Status s = rp.policy.Run(
+      [&] {
+        ++calls;
+        return Status::Unavailable("down");
+      },
+      deadline);
+  // The attempt itself still runs (the deadline gates the *sleeps*), but
+  // the policy returns the last status instead of sleeping past expiry.
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(rp.sleeps.empty());
+}
+
+TEST(RetryTest, BackoffSleepsAreCappedAtTheRemainingBudget) {
+  ManualClock clock;
+  Deadline deadline = Deadline::After(milliseconds(5), &clock);
+
+  RetryOptions options;
+  options.max_attempts = 10;
+  options.initial_backoff = milliseconds(100);
+  options.max_backoff = milliseconds(100);
+  RecordingPolicy rp(options);
+  // The recorded sleeps also advance the clock, like real sleeping would.
+  rp.policy.set_sleep_fn([&](milliseconds d) {
+    rp.sleeps.push_back(d);
+    clock.Advance(d);
+  });
+  Status s = rp.policy.Run(
+      [&] { return Status::Unavailable("down"); }, deadline);
+  EXPECT_TRUE(s.IsUnavailable());
+  // Every sleep was clamped to the remaining budget, so the whole retry
+  // schedule cannot cost more than the 5ms the caller granted.
+  milliseconds total(0);
+  for (milliseconds d : rp.sleeps) {
+    EXPECT_LE(d.count(), 5);
+    total += d;
+  }
+  EXPECT_LE(total.count(), 5);
+}
+
+TEST(RetryTest, RunResultPropagatesTheValueAndTheError) {
+  RetryOptions options;
+  options.max_attempts = 2;
+  RecordingPolicy rp(options);
+  Result<std::vector<int>> err =
+      rp.policy.RunResult([]() -> Result<std::vector<int>> {
+        return Status::Corruption("permanent");
+      });
+  EXPECT_TRUE(err.status().code() == StatusCode::kCorruption);
+  Result<std::vector<int>> ok =
+      rp.policy.RunResult([]() -> Result<std::vector<int>> {
+        return std::vector<int>{1, 2, 3};
+      });
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->size(), 3u);
+}
+
+}  // namespace
+}  // namespace lakekit
