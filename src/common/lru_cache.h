@@ -1,0 +1,241 @@
+#ifndef LAKEKIT_COMMON_LRU_CACHE_H_
+#define LAKEKIT_COMMON_LRU_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace lakekit {
+
+/// Aggregate counters of an LruCache, summed over its shards.
+struct LruCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  /// Bytes currently charged (includes pinned entries).
+  size_t charge = 0;
+  size_t entries = 0;
+};
+
+/// A sharded, memory-bounded LRU cache (DESIGN.md §9).
+///
+/// Entries are charged an explicit byte cost at insert time; each shard
+/// evicts from its least-recently-used end whenever its slice of the budget
+/// is exceeded. Lookups and inserts return a `Handle` that *pins* the entry:
+/// pinned entries are skipped by eviction, so an in-flight reader can never
+/// have the value destroyed underneath it. The byte budget is therefore a
+/// soft cap while pins are outstanding — releasing the last pin of an entry
+/// re-runs eviction, so the cache re-converges to its budget as soon as
+/// readers drain (tested under TSan in lru_cache_test.cc).
+///
+/// Concurrency: each shard has its own annotated Mutex; keys hash to shards
+/// with a mixed hash, so unrelated keys contend on different locks. Values
+/// are immutable once inserted (handles only expose `const V&`).
+///
+/// There is deliberately no Erase: lakekit keys its caches by
+/// (name, generation), so stale entries become unreachable on the next
+/// generation bump and age out through normal LRU pressure.
+template <typename K, typename V, typename Hash = std::hash<K>>
+class LruCache {
+ public:
+  /// `capacity_bytes` is the total budget across shards. `shards` 0 picks a
+  /// power of two near the hardware concurrency (capped at 16).
+  explicit LruCache(size_t capacity_bytes, size_t shards = 0) {
+    size_t want = shards;
+    if (want == 0) {
+      const size_t hw = std::thread::hardware_concurrency();
+      want = 1;
+      while (want < hw && want < 16) want <<= 1;
+    }
+    // Round up to a power of two so shard selection is a mask.
+    size_t n = 1;
+    while (n < want) n <<= 1;
+    shards_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+      // Distribute the budget; the +remainder on shard 0 keeps the sum exact.
+      shards_[i]->capacity = capacity_bytes / n;
+    }
+    shards_[0]->capacity += capacity_bytes % n;
+  }
+
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+
+  /// A pinned reference to a cache entry. While any Handle to an entry is
+  /// alive the entry cannot be evicted. Copying re-pins; destruction
+  /// unpins (and triggers deferred eviction if the shard ran over budget
+  /// while the entry was pinned).
+  class Handle {
+   public:
+    Handle() = default;
+    Handle(const Handle& other) { *this = other; }
+    Handle& operator=(const Handle& other) {
+      if (this == &other) return *this;
+      Release();
+      shard_ = other.shard_;
+      entry_ = other.entry_;
+      if (entry_ != nullptr) {
+        MutexLock lock(shard_->mu);
+        ++entry_->pins;
+      }
+      return *this;
+    }
+    Handle(Handle&& other) noexcept
+        : shard_(other.shard_), entry_(other.entry_) {
+      other.shard_ = nullptr;
+      other.entry_ = nullptr;
+    }
+    Handle& operator=(Handle&& other) noexcept {
+      if (this == &other) return *this;
+      Release();
+      shard_ = other.shard_;
+      entry_ = other.entry_;
+      other.shard_ = nullptr;
+      other.entry_ = nullptr;
+      return *this;
+    }
+    ~Handle() { Release(); }
+
+    explicit operator bool() const { return entry_ != nullptr; }
+    const V& operator*() const { return entry_->value; }
+    const V* operator->() const { return &entry_->value; }
+    const V* get() const { return entry_ == nullptr ? nullptr : &entry_->value; }
+
+    void Release() {
+      if (entry_ == nullptr) return;
+      Entry* entry = entry_;
+      Shard* shard = shard_;
+      entry_ = nullptr;
+      shard_ = nullptr;
+      MutexLock lock(shard->mu);
+      --entry->pins;
+      // The entry may have kept the shard over budget while pinned; now that
+      // it is (possibly) evictable again, re-converge.
+      shard->EvictLocked();
+    }
+
+   private:
+    friend class LruCache;
+    Handle(typename LruCache::Shard* shard, typename LruCache::Entry* entry)
+        : shard_(shard), entry_(entry) {}
+
+    typename LruCache::Shard* shard_ = nullptr;
+    typename LruCache::Entry* entry_ = nullptr;
+  };
+
+  /// Returns a pinned handle to `key`'s entry, or an empty handle on miss.
+  /// A hit moves the entry to the most-recently-used position.
+  Handle Lookup(const K& key) {
+    Shard& shard = ShardFor(key);
+    MutexLock lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+      ++shard.misses;
+      return Handle();
+    }
+    ++shard.hits;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    Entry& entry = *it->second;
+    ++entry.pins;
+    return Handle(&shard, &entry);
+  }
+
+  /// Inserts `value` under `key` charged `charge` bytes and returns a pinned
+  /// handle to it. If the key is already present the existing entry wins and
+  /// `value` is discarded — concurrent loaders racing to fill the same key
+  /// converge on one copy instead of replacing each other.
+  Handle Insert(const K& key, V value, size_t charge) {
+    Shard& shard = ShardFor(key);
+    MutexLock lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      Entry& existing = *it->second;
+      ++existing.pins;
+      return Handle(&shard, &existing);
+    }
+    shard.lru.push_front(Entry{key, std::move(value), charge, 1});
+    shard.index.emplace(key, shard.lru.begin());
+    shard.charge += charge;
+    shard.EvictLocked();
+    return Handle(&shard, &shard.lru.front());
+  }
+
+  LruCacheStats stats() const {
+    LruCacheStats out;
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      MutexLock lock(shard->mu);
+      out.hits += shard->hits;
+      out.misses += shard->misses;
+      out.evictions += shard->evictions;
+      out.charge += shard->charge;
+      out.entries += shard->index.size();
+    }
+    return out;
+  }
+
+  /// Bytes currently charged across all shards.
+  size_t charge() const { return stats().charge; }
+
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Entry {
+    K key;
+    V value;
+    size_t charge = 0;
+    /// Outstanding handles. Guarded by the owning shard's mutex (the entry
+    /// lives inside the shard's list, so the field inherits that guard).
+    uint32_t pins = 0;
+  };
+
+  struct Shard {
+    mutable Mutex mu;
+    std::list<Entry> lru LAKEKIT_GUARDED_BY(mu);  // front = most recent
+    std::unordered_map<K, typename std::list<Entry>::iterator, Hash> index
+        LAKEKIT_GUARDED_BY(mu);
+    size_t capacity LAKEKIT_GUARDED_BY(mu) = 0;
+    size_t charge LAKEKIT_GUARDED_BY(mu) = 0;
+    uint64_t hits LAKEKIT_GUARDED_BY(mu) = 0;
+    uint64_t misses LAKEKIT_GUARDED_BY(mu) = 0;
+    uint64_t evictions LAKEKIT_GUARDED_BY(mu) = 0;
+
+    /// Evicts unpinned entries from the LRU end until the shard fits its
+    /// budget (or only pinned entries remain).
+    void EvictLocked() LAKEKIT_REQUIRES(mu) {
+      auto it = lru.end();
+      while (charge > capacity && it != lru.begin()) {
+        --it;
+        if (it->pins > 0) continue;  // pinned: skip, try the next-older entry
+        charge -= it->charge;
+        ++evictions;
+        index.erase(it->key);
+        it = lru.erase(it);
+      }
+    }
+  };
+
+  Shard& ShardFor(const K& key) {
+    // Mix the hash so clustered low bits (e.g. sequential generations in a
+    // composed key) still spread across shards.
+    const size_t h = static_cast<size_t>(Mix64(Hash{}(key)));
+    return *shards_[h & (shards_.size() - 1)];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace lakekit
+
+#endif  // LAKEKIT_COMMON_LRU_CACHE_H_

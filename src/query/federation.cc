@@ -35,13 +35,21 @@ ExecOptions MakeExecOptions(const QueryOptions& options) {
 }
 
 /// Source-side tail of a scan: account the rows read, apply the pushed
-/// predicate, account the rows shipped to the mediator.
-Result<table::Table> FilterScanned(table::Table t, const Expr* predicate,
+/// predicate, account the rows shipped to the mediator. Cached scans carry
+/// a zone map, so the filter prunes morsels the statistics rule out; the
+/// result is bit-identical to the unpruned path either way.
+Result<table::Table> FilterScanned(ScannedSource src, const Expr* predicate,
                                    FederationStats* stats,
                                    const ExecOptions& opts) {
-  if (stats != nullptr) stats->rows_scanned += t.num_rows();
+  if (stats != nullptr) stats->rows_scanned += src.table().num_rows();
+  table::Table t;
   if (predicate != nullptr) {
-    LAKEKIT_ASSIGN_OR_RETURN(t, Filter(t, *predicate, opts));
+    FilterExecStats fstats;
+    LAKEKIT_ASSIGN_OR_RETURN(
+        t, Filter(src.table(), *predicate, src.zones(), opts, &fstats));
+    if (stats != nullptr) stats->morsels_pruned += fstats.morsels_pruned;
+  } else {
+    t = std::move(src).TakeOrCopy();
   }
   if (stats != nullptr) stats->rows_shipped += t.num_rows();
   return t;
@@ -82,9 +90,26 @@ CircuitBreaker* FederatedEngine::BreakerFor(const std::string& dataset) const {
   return it->second.get();
 }
 
-Result<table::Table> FederatedEngine::ReadSource(const std::string& dataset,
-                                                 const QueryOptions& options,
-                                                 FederationStats* stats) const {
+Result<ScannedSource> FederatedEngine::ReadSource(
+    const std::string& dataset, const QueryOptions& options,
+    FederationStats* stats) const {
+  TableCache* cache = options_.table_cache;
+  uint64_t generation = 0;
+  if (cache != nullptr) {
+    // The generation is read *before* the data: if a write lands between
+    // the two, the entry gets cached under the pre-write generation and a
+    // later lookup (which re-reads the generation) misses it — stale data
+    // is never served as fresh (DESIGN.md §9.2).
+    generation = source_->Generation(dataset);
+    if (TableCache::Entry hit = cache->Find(dataset, generation)) {
+      if (stats != nullptr) ++stats->cache_hits;
+      // A hit still refreshes the degradation schema: the breaker-gated
+      // read below is bypassed entirely, so this is the only chance.
+      MutexLock lock(mu_);
+      schema_cache_.insert_or_assign(dataset, hit->table.schema());
+      return ScannedSource{table::Table(), std::move(hit)};
+    }
+  }
   CircuitBreaker* breaker = BreakerFor(dataset);
   // A fresh policy per scan: RetryPolicy carries Rng state, which concurrent
   // queries must not share.
@@ -121,18 +146,27 @@ Result<table::Table> FederatedEngine::ReadSource(const std::string& dataset,
     stats->retries += attempts - 1;
     stats->breaker_rejections += rejections;
   }
-  if (result.ok()) {
+  LAKEKIT_RETURN_IF_ERROR(result.status());
+  {
+    // Single find-or-insert: insert_or_assign looks the key up once,
+    // where the old `schema_cache_[dataset] = schema` default-constructed
+    // a Schema and assigned over it.
     MutexLock lock(mu_);
-    schema_cache_[dataset] = result->schema();
+    schema_cache_.insert_or_assign(dataset, result->schema());
   }
-  return result;
+  if (cache != nullptr) {
+    if (stats != nullptr) ++stats->cache_misses;
+    return ScannedSource{table::Table(),
+                         cache->Put(dataset, generation, std::move(*result))};
+  }
+  return ScannedSource{std::move(*result), TableCache::Entry()};
 }
 
-Result<table::Table> FederatedEngine::ReadDegradable(
+Result<ScannedSource> FederatedEngine::ReadDegradable(
     const std::string& dataset, const QueryOptions& options,
     FederationStats* stats) const {
   if (stats != nullptr) ++stats->source_reads;
-  Result<table::Table> result = ReadSource(dataset, options, stats);
+  Result<ScannedSource> result = ReadSource(dataset, options, stats);
   if (result.ok() || options.degradation != DegradationMode::kBestEffort ||
       !SourceFault(result.status())) {
     return result;
@@ -150,7 +184,7 @@ Result<table::Table> FederatedEngine::ReadDegradable(
     stats->partial = true;
     stats->failed_sources.push_back(SourceFailure{dataset, result.status()});
   }
-  return table::Table(dataset, schema);
+  return ScannedSource{table::Table(dataset, schema), TableCache::Entry()};
 }
 
 Result<table::Table> FederatedEngine::Scan(const std::string& dataset,
@@ -158,8 +192,9 @@ Result<table::Table> FederatedEngine::Scan(const std::string& dataset,
                                            FederationStats* stats,
                                            const QueryOptions& options) const {
   if (stats != nullptr) ++stats->source_reads;
-  LAKEKIT_ASSIGN_OR_RETURN(table::Table t, ReadSource(dataset, options, stats));
-  return FilterScanned(std::move(t), predicate, stats,
+  LAKEKIT_ASSIGN_OR_RETURN(ScannedSource src,
+                           ReadSource(dataset, options, stats));
+  return FilterScanned(std::move(src), predicate, stats,
                        MakeExecOptions(options));
 }
 
@@ -223,15 +258,15 @@ Result<table::Table> FederatedEngine::QueryImpl(std::string_view sql,
 
   // Read each source exactly once; conjunct classification uses the schema
   // of the same table the scan filters, so there is no separate probe read.
-  LAKEKIT_ASSIGN_OR_RETURN(table::Table from_data,
+  LAKEKIT_ASSIGN_OR_RETURN(ScannedSource from_data,
                            ReadDegradable(stmt.from_table, options, stats));
-  const table::Schema& from_schema = from_data.schema();
-  table::Table join_data;
+  const table::Schema& from_schema = from_data.table().schema();
+  ScannedSource join_data;
   table::Schema join_schema;
   if (stmt.join_table) {
     LAKEKIT_ASSIGN_OR_RETURN(
         join_data, ReadDegradable(*stmt.join_table, options, stats));
-    join_schema = join_data.schema();
+    join_schema = join_data.table().schema();
   }
 
   std::vector<ExprPtr> from_push;

@@ -18,6 +18,7 @@
 #include "common/thread_annotations.h"
 #include "query/source.h"
 #include "query/sql.h"
+#include "query/table_cache.h"
 #include "storage/polystore.h"
 
 namespace lakekit::query {
@@ -52,6 +53,15 @@ struct FederationStats {
   size_t retries = 0;
   /// Scan attempts rejected by an open/half-open circuit breaker.
   size_t breaker_rejections = 0;
+  /// Cache-enabled engines only (FederatedEngineOptions::table_cache).
+  /// A hit serves the decoded table from the cache: no source read, no
+  /// retry, and the breaker is never consulted. A miss reads the source
+  /// (counted in `source_reads` as usual) and admits the decoded result.
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+  /// Morsels skipped outright by zone-map statistics during source-side
+  /// filtering (cache-enabled scans with a pushed predicate only).
+  size_t morsels_pruned = 0;
   /// Best-effort only: true when at least one source was degraded to an
   /// empty (schema-valid) table instead of failing the query.
   bool partial = false;
@@ -103,6 +113,35 @@ struct FederatedEngineOptions {
   /// Where retry backoff sleeps go; default real sleeps. Chaos tests point
   /// this at a ManualClock so schedules replay without wall-clock cost.
   std::function<void(std::chrono::milliseconds)> sleep_fn;
+  /// Optional decoded-table cache, shared across engines and queries
+  /// (caller-owned, must outlive the engine). When set, every scan first
+  /// consults the cache under the key (dataset, source generation); hits
+  /// bypass the breaker-gated read entirely and filter straight off the
+  /// pinned cached table with zone-map pruning. nullptr (the default)
+  /// disables caching: behavior is exactly the pre-cache engine's.
+  TableCache* table_cache = nullptr;
+};
+
+/// The product of one resilient scan: a decoded table this query owns (cold
+/// read, or degraded empty substitute) or a pinned reference into the shared
+/// TableCache (warm read). `zones()` is non-null only for cached tables —
+/// zone maps are built at cache admission, so only cached scans prune.
+struct ScannedSource {
+  table::Table owned;
+  TableCache::Entry cached;  // when non-empty, `owned` is unused
+
+  const table::Table& table() const {
+    return cached ? cached->table : owned;
+  }
+  const ZoneMap* zones() const { return cached ? &cached->zones : nullptr; }
+
+  /// An owned table: moved out when this query owns it, copied when it is
+  /// shared through the cache (the cache's copy stays pinned until this
+  /// ScannedSource dies).
+  table::Table TakeOrCopy() && {
+    if (cached) return cached->table;
+    return std::move(owned);
+  }
 };
 
 /// A federated query engine over the polystore — the Constance /
@@ -155,17 +194,19 @@ class FederatedEngine {
   Result<table::Table> QueryImpl(std::string_view sql,
                                  const QueryOptions& options,
                                  FederationStats* stats) const;
-  /// One resilient source read: pre-checks cancel/deadline, then runs the
-  /// breaker-gated read under the retry policy. Caches the schema of
+  /// One resilient source read: consults the table cache first (a hit
+  /// returns the pinned entry without touching breaker or source), then
+  /// pre-checks cancel/deadline and runs the breaker-gated read under the
+  /// retry policy, admitting the result to the cache. Caches the schema of
   /// successful reads for best-effort degradation.
-  Result<table::Table> ReadSource(const std::string& dataset,
-                                  const QueryOptions& options,
-                                  FederationStats* stats) const;
+  Result<ScannedSource> ReadSource(const std::string& dataset,
+                                   const QueryOptions& options,
+                                   FederationStats* stats) const;
   /// ReadSource, plus best-effort degradation to an empty schema-valid
   /// table when `options.degradation` allows it.
-  Result<table::Table> ReadDegradable(const std::string& dataset,
-                                      const QueryOptions& options,
-                                      FederationStats* stats) const;
+  Result<ScannedSource> ReadDegradable(const std::string& dataset,
+                                       const QueryOptions& options,
+                                       FederationStats* stats) const;
   CircuitBreaker* BreakerFor(const std::string& dataset) const;
 
   // unguarded: immutable after construction.

@@ -8,6 +8,7 @@
 #include "common/hash.h"
 #include "common/thread_pool.h"
 #include "query/vec.h"
+#include "query/zone_map.h"
 
 namespace lakekit::query {
 
@@ -56,25 +57,66 @@ size_t MorselEnd(size_t m, size_t rows) {
 
 Result<Table> Filter(const Table& input, const Expr& predicate,
                      const ExecOptions& opts) {
+  return Filter(input, predicate, /*zones=*/nullptr, opts, /*stats=*/nullptr);
+}
+
+Result<Table> Filter(const Table& input, const Expr& predicate,
+                     const ZoneMap* zones, const ExecOptions& opts,
+                     FilterExecStats* stats) {
   Table out(input.name(), input.schema());
   const size_t rows = input.num_rows();
   if (rows == 0) return out;  // nothing to evaluate (matches the interpreter)
   LAKEKIT_ASSIGN_OR_RETURN(CompiledExpr compiled,
                            CompiledExpr::Compile(predicate, input.schema()));
+  const size_t num_morsels = NumMorsels(rows);
+  // Pruning is only sound when chunk m describes exactly morsel m of this
+  // table; a mismatched zone map (stale, or built for another table) is
+  // ignored rather than trusted.
+  const bool prune = zones != nullptr && zones->num_chunks() == num_morsels &&
+                     zones->num_columns() == input.num_columns();
+  // Per-morsel verdicts land in disjoint pre-sized slots and are tallied
+  // after the join — no shared counters on the parallel path.
+  enum : uint8_t { kEvaluated = 0, kPruned = 1, kSelectedAll = 2 };
+  std::vector<uint8_t> verdicts(num_morsels, kEvaluated);
   // Predicate evaluation fans out per morsel; the gather stays serial and
   // ordered.
   LAKEKIT_ASSIGN_OR_RETURN(
       std::vector<SelVector> selections,
       ParallelMap<SelVector>(
-          NumMorsels(rows),
+          num_morsels,
           [&](size_t m) -> Result<SelVector> {
             LAKEKIT_RETURN_IF_ERROR(CheckInterrupt(opts));
+            const size_t begin = MorselBegin(m);
+            const size_t end = MorselEnd(m, rows);
             SelVector sel;
-            LAKEKIT_RETURN_IF_ERROR(compiled.EvalSelection(
-                input, MorselBegin(m), MorselEnd(m, rows), &sel));
+            if (prune) {
+              const RangeTruth verdict = compiled.EvaluateRange(
+                  zones->chunk(m), input.num_columns());
+              if (verdict == RangeTruth::kAlwaysFalse) {
+                verdicts[m] = kPruned;
+                return sel;  // no row can pass: skip the whole morsel
+              }
+              if (verdict == RangeTruth::kAlwaysTrue) {
+                verdicts[m] = kSelectedAll;
+                sel.reserve(end - begin);
+                for (size_t r = begin; r < end; ++r) {
+                  sel.push_back(static_cast<uint32_t>(r));
+                }
+                return sel;  // every row passes: select without evaluating
+              }
+            }
+            LAKEKIT_RETURN_IF_ERROR(
+                compiled.EvalSelection(input, begin, end, &sel));
             return sel;
           },
           PoolOptions(opts)));
+  if (stats != nullptr) {
+    stats->morsels_total += num_morsels;
+    for (uint8_t v : verdicts) {
+      if (v == kPruned) ++stats->morsels_pruned;
+      if (v == kSelectedAll) ++stats->morsels_selected;
+    }
+  }
   size_t total = 0;
   for (const SelVector& sel : selections) total += sel.size();
   out.Reserve(total);

@@ -49,6 +49,28 @@ struct ExecOptions {
 Result<table::Table> Filter(const table::Table& input, const Expr& predicate,
                             const ExecOptions& opts = {});
 
+class ZoneMap;  // query/zone_map.h
+
+/// Counters of one zone-map-assisted Filter run.
+struct FilterExecStats {
+  size_t morsels_total = 0;
+  /// Morsels skipped outright: statistics proved no row passes.
+  size_t morsels_pruned = 0;
+  /// Morsels selected wholesale: statistics proved every row passes.
+  size_t morsels_selected = 0;
+};
+
+/// Filter with zone-map pruning: morsels whose statistics prove the
+/// predicate always-false are skipped without evaluation, always-true
+/// morsels are selected wholesale (DESIGN.md §9.3). `zones` must have been
+/// built from `input` (chunk m == morsel m); if it does not line up — or is
+/// nullptr — every morsel is evaluated and the result is identical to the
+/// overload above. Output is bit-identical to the unpruned path either way;
+/// pruning only ever removes work, never changes it.
+Result<table::Table> Filter(const table::Table& input, const Expr& predicate,
+                            const ZoneMap* zones, const ExecOptions& opts = {},
+                            FilterExecStats* stats = nullptr);
+
 /// Keeps `columns` in the given order.
 Result<table::Table> Project(const table::Table& input,
                              const std::vector<std::string>& columns);

@@ -5,6 +5,23 @@
 
 namespace lakekit::query {
 
+namespace {
+
+/// Increments `counters[name]` without building a std::string on the hit
+/// path: the transparent comparator makes the lookup heterogeneous, and the
+/// allocation only happens the first time a dataset is counted.
+void BumpCounter(std::map<std::string, size_t, std::less<>>* counters,
+                 std::string_view name) {
+  auto it = counters->find(name);
+  if (it == counters->end()) {
+    counters->emplace(std::string(name), 1);
+  } else {
+    ++it->second;
+  }
+}
+
+}  // namespace
+
 FlakySource::FlakySource(TableSource* wrapped, uint64_t seed)
     : wrapped_(wrapped), rng_(seed) {
   sleep_fn_ = [](std::chrono::milliseconds d) {
@@ -18,7 +35,7 @@ Result<table::Table> FlakySource::ReadAsTable(std::string_view name) {
   Status injected = Status::OK();
   {
     MutexLock lock(mu_);
-    ++reads_[std::string(name)];
+    BumpCounter(&reads_, name);
     auto it = profiles_.find(name);
     if (it != profiles_.end()) {
       SourceFaultProfile& profile = it->second;
@@ -33,7 +50,7 @@ Result<table::Table> FlakySource::ReadAsTable(std::string_view name) {
         fail = true;
       }
       if (fail) {
-        ++failures_[std::string(name)];
+        BumpCounter(&failures_, name);
         injected = Status(profile.error_code,
                           "injected fault reading '" + std::string(name) +
                               "' (" + std::string(StatusCodeName(

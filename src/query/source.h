@@ -29,6 +29,17 @@ class TableSource {
   /// Reads dataset `name` as a table. Implementations must be safe to call
   /// from concurrent queries.
   virtual Result<table::Table> ReadAsTable(std::string_view name) = 0;
+
+  /// Change counter for `name`: any write to the dataset yields a different
+  /// value, so (name, generation) keys cached decodes (query/table_cache.h).
+  /// The default (always 0) is correct for immutable sources only —
+  /// wrapping a mutable source without overriding this serves stale reads
+  /// from the cache forever. Must be cheap: the engine calls it on every
+  /// cache-enabled scan, before the read.
+  virtual uint64_t Generation(std::string_view name) {
+    (void)name;  // ignore: default ignores the dataset — one global epoch.
+    return 0;
+  }
 };
 
 /// The production source: a polystore.
@@ -39,6 +50,10 @@ class PolystoreSource : public TableSource {
 
   Result<table::Table> ReadAsTable(std::string_view name) override {
     return polystore_->ReadAsTable(name);
+  }
+
+  uint64_t Generation(std::string_view name) override {
+    return polystore_->generation(name);
   }
 
  private:
@@ -72,6 +87,13 @@ class FlakySource : public TableSource {
   explicit FlakySource(TableSource* wrapped, uint64_t seed = 42);
 
   Result<table::Table> ReadAsTable(std::string_view name) override;
+
+  /// Generation probes pass through unfaulted: fault profiles model data
+  /// reads, and the engine consults the generation even on cache hits that
+  /// perform no read at all.
+  uint64_t Generation(std::string_view name) override {
+    return wrapped_->Generation(name);
+  }
 
   /// Installs (or replaces) the fault profile for `dataset`.
   void SetProfile(const std::string& dataset, SourceFaultProfile profile);

@@ -1,0 +1,19 @@
+#include "query/table_cache.h"
+
+#include <utility>
+
+namespace lakekit::query {
+
+TableCache::Entry TableCache::Put(std::string_view dataset,
+                                  uint64_t generation, table::Table t) {
+  // Charge what the entry actually holds: the decoded cells (dominant) plus
+  // the zone-map statistics built alongside. Computed before the move so the
+  // estimate walks live data.
+  const size_t table_bytes = EstimateTableBytes(t);
+  CachedTable cached{std::move(t), ZoneMap{}};
+  cached.zones = ZoneMap::Build(cached.table);
+  const size_t charge = table_bytes + cached.zones.memory_bytes();
+  return cache_.Insert(Key(dataset, generation), std::move(cached), charge);
+}
+
+}  // namespace lakekit::query

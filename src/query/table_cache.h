@@ -1,0 +1,76 @@
+#ifndef LAKEKIT_QUERY_TABLE_CACHE_H_
+#define LAKEKIT_QUERY_TABLE_CACHE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/lru_cache.h"
+#include "query/zone_map.h"
+#include "table/table.h"
+
+namespace lakekit::query {
+
+/// A decoded table plus the zone map built from it at admission time.
+/// Immutable once cached: readers share it by pinned reference, never copy.
+struct CachedTable {
+  table::Table table;
+  ZoneMap zones;
+};
+
+struct TableCacheOptions {
+  /// Total byte budget across shards (charge = decoded cells + string
+  /// payloads + zone-map footprint).
+  size_t capacity_bytes = 64u << 20;
+  /// 0 = pick from hardware concurrency (see common/lru_cache.h).
+  size_t shards = 0;
+};
+
+/// Process-wide cache of decoded tables keyed by (dataset, generation)
+/// (DESIGN.md §9). The generation comes from the owning store
+/// (`TableSource::Generation`): any write to a dataset bumps it, so a cached
+/// entry for an old generation simply stops being looked up and ages out —
+/// there is no explicit invalidation path to race with.
+///
+/// Zone maps are built once here, at admission, so every subsequent scan of
+/// the cached table gets morsel pruning for free.
+class TableCache {
+ public:
+  /// A pinned, shareable reference to a cached table (empty on miss). The
+  /// underlying bytes cannot be evicted while any Entry is alive.
+  using Entry = LruCache<std::string, CachedTable>::Handle;
+
+  explicit TableCache(const TableCacheOptions& options = {})
+      : cache_(options.capacity_bytes, options.shards) {}
+
+  /// Looks up the decoded table for `dataset` at `generation`.
+  Entry Find(std::string_view dataset, uint64_t generation) {
+    return cache_.Lookup(Key(dataset, generation));
+  }
+
+  /// Admits a freshly decoded table, building its zone map, and returns a
+  /// pinned entry. If another loader won the race for the same key, its
+  /// entry is returned and `t` is discarded (the copies are equivalent:
+  /// both were decoded from the same generation).
+  Entry Put(std::string_view dataset, uint64_t generation, table::Table t);
+
+  LruCacheStats stats() const { return cache_.stats(); }
+
+ private:
+  /// '\x1f' (unit separator) cannot appear in a formatted integer, so the
+  /// composed key is unambiguous even for dataset names containing digits.
+  static std::string Key(std::string_view dataset, uint64_t generation) {
+    std::string key;
+    key.reserve(dataset.size() + 21);
+    key.append(dataset);
+    key.push_back('\x1f');
+    key.append(std::to_string(generation));
+    return key;
+  }
+
+  LruCache<std::string, CachedTable> cache_;
+};
+
+}  // namespace lakekit::query
+
+#endif  // LAKEKIT_QUERY_TABLE_CACHE_H_

@@ -1,9 +1,11 @@
 #include "query/vec.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
 #include "common/hash.h"
+#include "query/zone_map.h"
 
 namespace lakekit::query {
 
@@ -746,6 +748,253 @@ Result<Vec> CompiledExpr::EvalNode(int node, const Table& input, size_t begin,
 Result<Vec> CompiledExpr::EvalBatch(const Table& input, size_t begin,
                                     size_t end) const {
   return EvalNode(static_cast<int>(nodes_.size()) - 1, input, begin, end);
+}
+
+/// What a subexpression could produce over any row of a chunk, per the zone
+/// statistics — the abstract domain of EvaluateRange. Two views are kept in
+/// sync: a *value range* ([lo, hi] under Value's total order, plus null
+/// flags) feeding comparisons, and a *truth set* (can the value be truthy /
+/// falsy / NULL / non-boolean) feeding logical connectives and the root
+/// verdict. `can_error` poisons everything: a chunk whose evaluation might
+/// fail must be evaluated for real, or the pruned path's ok-ness would
+/// diverge from the reference interpreter's.
+struct CompiledExpr::RangeInfo {
+  // Value-range view. `range_known` false means "any value at all".
+  bool range_known = false;
+  Value lo;               // valid iff range_known && can_value
+  Value hi;
+  bool can_value = true;  // some row yields a non-NULL value
+  bool can_null = true;   // some row yields NULL
+  bool unordered = false; // NaN possible: comparisons against it untrusted
+  bool can_error = false; // evaluation might return a Status error
+
+  // Truth-set view (filter-operand semantics; kOther = non-boolean value).
+  bool can_true = true;
+  bool can_false = true;
+  bool can_other = true;
+
+  static RangeInfo Unknown(bool may_error) {
+    RangeInfo r;
+    r.can_error = may_error;
+    return r;
+  }
+
+  /// Rebuilds the truth set from the value-range view (used after the range
+  /// is narrowed). A non-NULL value is truthy iff it is boolean true, falsy
+  /// iff boolean false, "other" otherwise.
+  void DeriveTruthFromRange() {
+    can_true = can_false = can_other = false;
+    if (!can_value) return;
+    if (!range_known || unordered) {
+      can_true = can_false = can_other = true;
+      return;
+    }
+    const Value vfalse(false);
+    const Value vtrue(true);
+    // [lo, hi] contains false/true iff the endpoint comparisons admit it.
+    can_false = !(vfalse < lo) && !(hi < vfalse);
+    can_true = !(vtrue < lo) && !(hi < vtrue);
+    // The interval lies entirely inside the bool rank iff both endpoints are
+    // bools (NULL < bool < numeric < string — nothing interleaves).
+    can_other = !(lo.is_bool() && hi.is_bool());
+  }
+
+  /// Builds a boolean-result RangeInfo from a truth set (comparisons and
+  /// connectives produce only bool or NULL).
+  static RangeInfo FromTruth(bool t, bool f, bool null, bool error) {
+    RangeInfo r;
+    r.can_true = t;
+    r.can_false = f;
+    r.can_other = false;
+    r.can_null = null;
+    r.can_error = error;
+    r.can_value = t || f;
+    r.range_known = true;
+    if (r.can_value) {
+      r.lo = Value(!f);  // false < true, so lo is false when f is possible
+      r.hi = Value(t);
+    }
+    return r;
+  }
+
+  /// Truth set of one comparison over two value ranges. Uses the interval
+  /// endpoints under Value's total order — the same order CellLess/CellEq
+  /// mirror — so "∃ a∈[l.lo,l.hi], b∈[r.lo,r.hi] with a op b" reduces to
+  /// endpoint comparisons.
+  static RangeInfo Compare(CmpOp op, const RangeInfo& l, const RangeInfo& r);
+
+  /// Truth set of a logical connective, enumerating the operands' possible
+  /// truth values through the exact EvalLogical table (kOther counts as
+  /// neither-true-nor-false-nor-null: AND(other, true) is false, never an
+  /// error).
+  static RangeInfo Logical(LogicalOp op, const RangeInfo& l,
+                           const RangeInfo& r);
+};
+
+CompiledExpr::RangeInfo CompiledExpr::RangeInfo::Compare(CmpOp op,
+                                                         const RangeInfo& l,
+                                                         const RangeInfo& r) {
+  const bool error = l.can_error || r.can_error;
+  if (!l.range_known || !r.range_known || l.unordered || r.unordered) {
+    RangeInfo out = RangeInfo::Unknown(error);
+    out.can_other = false;  // comparisons yield only bool or NULL
+    return out;
+  }
+  const bool null = l.can_null || r.can_null;
+  if (!l.can_value || !r.can_value) {
+    // At least one side is always NULL: the comparison is always NULL.
+    return RangeInfo::FromTruth(false, false, true, error);
+  }
+  bool can_true = false;
+  bool can_false = false;
+  // ∃ a < b  ⟺  l.lo < r.hi;   ∃ a >= b  ⟺  !(l.hi < r.lo).
+  // ∃ a == b ⟺  ranges overlap; ∃ a != b ⟺ ranges are not one single point.
+  const bool exists_lt = l.lo < r.hi;
+  const bool exists_gt = r.lo < l.hi;
+  const bool overlap = !(l.hi < r.lo) && !(r.hi < l.lo);
+  const bool single_point = !(l.lo < l.hi) && !(r.lo < r.hi) && l.lo == r.lo;
+  switch (op) {
+    case CmpOp::kEq:
+      can_true = overlap;
+      can_false = !single_point;
+      break;
+    case CmpOp::kNe:
+      can_true = !single_point;
+      can_false = overlap;
+      break;
+    case CmpOp::kLt:
+      can_true = exists_lt;
+      can_false = !(l.hi < r.lo);
+      break;
+    case CmpOp::kLe:
+      can_true = !(r.hi < l.lo);
+      can_false = exists_gt;
+      break;
+    case CmpOp::kGt:
+      can_true = exists_gt;
+      can_false = !(r.hi < l.lo);
+      break;
+    case CmpOp::kGe:
+      can_true = !(l.hi < r.lo);
+      can_false = exists_lt;
+      break;
+  }
+  return RangeInfo::FromTruth(can_true, can_false, null, error);
+}
+
+CompiledExpr::RangeInfo CompiledExpr::RangeInfo::Logical(LogicalOp op,
+                                                         const RangeInfo& l,
+                                                         const RangeInfo& r) {
+  const bool error = l.can_error || r.can_error;
+  bool t = false;
+  bool f = false;
+  bool null = false;
+  // Truth values: 0=false, 1=true, 2=null, 3=other.
+  const bool lposs[4] = {l.can_false, l.can_true, l.can_null, l.can_other};
+  const bool rposs[4] = {r.can_false, r.can_true, r.can_null, r.can_other};
+  for (int a = 0; a < 4; ++a) {
+    if (!lposs[a]) continue;
+    for (int b = 0; b < 4; ++b) {
+      if (!rposs[b]) continue;
+      if (op == LogicalOp::kAnd) {
+        if (a == 0 || b == 0) {
+          f = true;
+        } else if (a == 2 || b == 2) {
+          null = true;
+        } else if (a == 1 && b == 1) {
+          t = true;
+        } else {
+          f = true;  // an "other" operand can never make AND true
+        }
+      } else {
+        if (a == 1 || b == 1) {
+          t = true;
+        } else if (a == 2 || b == 2) {
+          null = true;
+        } else {
+          f = true;
+        }
+      }
+    }
+  }
+  return RangeInfo::FromTruth(t, f, null, error);
+}
+
+CompiledExpr::RangeInfo CompiledExpr::RangeNode(int node, const ZoneStats* cols,
+                                                size_t num_cols) const {
+  const Node& n = nodes_[node];
+  switch (n.kind) {
+    case Expr::Kind::kLiteral: {
+      RangeInfo r;
+      r.range_known = true;
+      r.can_null = n.literal.is_null();
+      r.can_value = !r.can_null;
+      if (r.can_value) {
+        r.lo = n.literal;
+        r.hi = n.literal;
+        if (n.literal.is_double() && std::isnan(n.literal.as_double())) {
+          r.unordered = true;
+        }
+      }
+      r.DeriveTruthFromRange();
+      return r;
+    }
+    case Expr::Kind::kColumn: {
+      if (n.column >= num_cols) return RangeInfo::Unknown(false);
+      const ZoneStats& zs = cols[n.column];
+      RangeInfo r;
+      r.range_known = true;
+      r.can_null = zs.null_count > 0;
+      r.can_value = zs.has_values;
+      r.unordered = zs.unordered;
+      if (zs.has_values) {
+        r.lo = zs.min;
+        r.hi = zs.max;
+      }
+      r.DeriveTruthFromRange();
+      return r;
+    }
+    case Expr::Kind::kCompare: {
+      const RangeInfo l = RangeNode(n.left, cols, num_cols);
+      const RangeInfo r = RangeNode(n.right, cols, num_cols);
+      return RangeInfo::Compare(n.cmp, l, r);
+    }
+    case Expr::Kind::kLogical: {
+      const RangeInfo l = RangeNode(n.left, cols, num_cols);
+      const RangeInfo r = RangeNode(n.right, cols, num_cols);
+      return RangeInfo::Logical(n.logical, l, r);
+    }
+    case Expr::Kind::kArith:
+      // Conservative: arithmetic's value range is not tracked, and it can
+      // error on non-numeric operands — poison the verdict.
+      return RangeInfo::Unknown(/*may_error=*/true);
+    case Expr::Kind::kNot: {
+      const RangeInfo v = RangeNode(n.left, cols, num_cols);
+      // NOT on a non-boolean value errors at evaluation time.
+      const bool error = v.can_error || v.can_other;
+      return RangeInfo::FromTruth(v.can_false, v.can_true, v.can_null, error);
+    }
+    case Expr::Kind::kIsNull: {
+      const RangeInfo v = RangeNode(n.left, cols, num_cols);
+      return RangeInfo::FromTruth(v.can_null, v.can_value, false, v.can_error);
+    }
+  }
+  return RangeInfo::Unknown(true);
+}
+
+RangeTruth CompiledExpr::EvaluateRange(const ZoneStats* cols,
+                                       size_t num_cols) const {
+  const RangeInfo root =
+      RangeNode(static_cast<int>(nodes_.size()) - 1, cols, num_cols);
+  // A possible error anywhere means the chunk must be evaluated: skipping it
+  // could skip the error the reference interpreter would surface.
+  if (root.can_error) return RangeTruth::kMaybe;
+  // Filter truthiness: only non-NULL boolean true selects a row.
+  if (!root.can_true) return RangeTruth::kAlwaysFalse;
+  if (!root.can_false && !root.can_null && !root.can_other) {
+    return RangeTruth::kAlwaysTrue;
+  }
+  return RangeTruth::kMaybe;
 }
 
 Status CompiledExpr::EvalSelection(const Table& input, size_t begin,

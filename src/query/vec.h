@@ -61,6 +61,21 @@ struct Vec {
                                            // generic cells
 };
 
+/// Three-valued verdict of a predicate over a whole chunk of rows, from
+/// zone-map statistics alone (query/zone_map.h):
+///   - kAlwaysFalse: no row in the chunk can satisfy the predicate (NULL and
+///     non-boolean results count as "not satisfied", matching filter
+///     semantics) — the morsel is skipped without touching any lane.
+///   - kAlwaysTrue: every row satisfies it — the whole morsel is selected
+///     without evaluation.
+///   - kMaybe: the statistics cannot decide; evaluate normally. This is the
+///     sound fallback: any expression whose evaluation could *error* (e.g.
+///     arithmetic on a possibly-non-numeric column) reports kMaybe so the
+///     pruned path fails exactly when the reference interpreter fails.
+enum class RangeTruth { kAlwaysFalse, kAlwaysTrue, kMaybe };
+
+struct ZoneStats;  // query/zone_map.h
+
 /// A decoded cell: the tag makes cross-type comparison a rank check instead
 /// of a variant dispatch. `s` views into storage owned elsewhere.
 struct CellRef {
@@ -106,6 +121,16 @@ class CompiledExpr {
   Status EvalSelection(const table::Table& input, size_t begin, size_t end,
                        SelVector* out) const;
 
+  /// Conservative three-valued evaluation over one chunk's zone statistics
+  /// (`cols` holds `num_cols` ZoneStats, indexed by the schema column index
+  /// this expression was compiled against). Sound by construction: the
+  /// verdict only strengthens to kAlwaysFalse/kAlwaysTrue when *every*
+  /// possible row in the chunk provably evaluates that way under the exact
+  /// engine semantics (Value total order, SQL NULL logic, filter truthiness)
+  /// and evaluation provably cannot error. See DESIGN.md §9.3 for the
+  /// soundness argument.
+  RangeTruth EvaluateRange(const ZoneStats* cols, size_t num_cols) const;
+
  private:
   struct Node {
     Expr::Kind kind = Expr::Kind::kLiteral;
@@ -121,6 +146,10 @@ class CompiledExpr {
 
   Result<Vec> EvalNode(int node, const table::Table& input, size_t begin,
                        size_t end) const;
+
+  /// Abstract value of a subexpression over a chunk (defined in vec.cc).
+  struct RangeInfo;
+  RangeInfo RangeNode(int node, const ZoneStats* cols, size_t num_cols) const;
 
   static Result<int> CompileNode(const Expr& expr, const table::Schema& schema,
                                  std::vector<Node>* nodes);

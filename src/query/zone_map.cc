@@ -1,0 +1,82 @@
+#include "query/zone_map.h"
+
+#include <cmath>
+
+namespace lakekit::query {
+
+using table::Table;
+using table::Value;
+
+ZoneMap ZoneMap::Build(const Table& t) {
+  ZoneMap zm;
+  zm.num_columns_ = t.num_columns();
+  const size_t rows = t.num_rows();
+  const size_t chunks = NumMorsels(rows);
+  zm.stats_.resize(chunks * zm.num_columns_);
+  // Column-at-a-time: one pass per column keeps the Value vector hot instead
+  // of striding across columns per row.
+  for (size_t col = 0; col < zm.num_columns_; ++col) {
+    const std::vector<Value>& cells = t.column(col);
+    for (size_t m = 0; m < chunks; ++m) {
+      const size_t begin = m * kMorselSize;
+      const size_t end = std::min(rows, begin + kMorselSize);
+      ZoneStats& zs = zm.stats_[m * zm.num_columns_ + col];
+      zs.row_count = end - begin;
+      for (size_t r = begin; r < end; ++r) {
+        const Value& v = cells[r];
+        if (v.is_null()) {
+          ++zs.null_count;
+          continue;
+        }
+        if (v.is_double() && std::isnan(v.as_double())) {
+          // NaN breaks trichotomy under Value's order; the whole chunk's
+          // range is untrusted.
+          zs.unordered = true;
+        }
+        if (!zs.has_values) {
+          zs.min = v;
+          zs.max = v;
+          zs.has_values = true;
+        } else {
+          if (v < zs.min) zs.min = v;
+          if (zs.max < v) zs.max = v;
+        }
+      }
+    }
+  }
+  return zm;
+}
+
+namespace {
+
+size_t ValueBytes(const Value& v) {
+  size_t bytes = sizeof(Value);
+  if (const std::string* s = v.get_string()) bytes += s->capacity();
+  return bytes;
+}
+
+}  // namespace
+
+size_t ZoneMap::memory_bytes() const {
+  size_t bytes = sizeof(ZoneMap) + stats_.capacity() * sizeof(ZoneStats);
+  for (const ZoneStats& zs : stats_) {
+    if (zs.has_values) {
+      bytes += ValueBytes(zs.min) + ValueBytes(zs.max) - 2 * sizeof(Value);
+    }
+  }
+  return bytes;
+}
+
+size_t EstimateTableBytes(const Table& t) {
+  size_t bytes = sizeof(Table) + t.name().capacity();
+  for (size_t col = 0; col < t.num_columns(); ++col) {
+    const std::vector<Value>& cells = t.column(col);
+    bytes += cells.capacity() * sizeof(Value);
+    for (const Value& v : cells) {
+      if (const std::string* s = v.get_string()) bytes += s->capacity();
+    }
+  }
+  return bytes;
+}
+
+}  // namespace lakekit::query

@@ -36,6 +36,22 @@ Result<ObjectStore> ObjectStore::Open(const std::string& root, Fs* fs) {
   return ObjectStore(root, fs);
 }
 
+uint64_t ObjectStore::etag(std::string_view key) const {
+  MutexLock lock(etags_->mu);
+  auto it = etags_->keys.find(key);
+  return it == etags_->keys.end() ? 0 : it->second;
+}
+
+void ObjectStore::BumpEtag(std::string_view key) {
+  MutexLock lock(etags_->mu);
+  auto it = etags_->keys.find(key);
+  if (it == etags_->keys.end()) {
+    etags_->keys.emplace(std::string(key), 1);
+  } else {
+    ++it->second;
+  }
+}
+
 Result<std::string> ObjectStore::ResolvePath(std::string_view key) const {
   if (key.empty()) return Status::InvalidArgument("empty object key");
   if (key.front() == '/') {
@@ -79,7 +95,9 @@ Status ObjectStore::Put(std::string_view key, std::string_view data) {
     return rename_status;
   }
   // Make the new directory entry durable before acknowledging.
-  return fs_->SyncDir(ParentDir(path));
+  LAKEKIT_RETURN_IF_ERROR(fs_->SyncDir(ParentDir(path)));
+  BumpEtag(key);
+  return Status::OK();
 }
 
 Status ObjectStore::PutIfAbsent(std::string_view key, std::string_view data) {
@@ -100,7 +118,9 @@ Status ObjectStore::PutIfAbsent(std::string_view key, std::string_view data) {
     }
     return link_status;
   }
-  return fs_->SyncDir(ParentDir(path));
+  LAKEKIT_RETURN_IF_ERROR(fs_->SyncDir(ParentDir(path)));
+  BumpEtag(key);
+  return Status::OK();
 }
 
 Result<std::string> ObjectStore::Get(std::string_view key) const {
@@ -127,7 +147,9 @@ Status ObjectStore::Delete(std::string_view key) {
     }
     return remove_status;
   }
-  return fs_->SyncDir(ParentDir(path));
+  LAKEKIT_RETURN_IF_ERROR(fs_->SyncDir(ParentDir(path)));
+  BumpEtag(key);
+  return Status::OK();
 }
 
 Result<std::vector<ObjectInfo>> ObjectStore::List(

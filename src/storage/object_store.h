@@ -2,11 +2,15 @@
 #define LAKEKIT_STORAGE_OBJECT_STORE_H_
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "storage/fs.h"
 
 namespace lakekit::storage {
@@ -65,10 +69,28 @@ class ObjectStore {
   /// staging files (".tmp" suffix) are never listed.
   Result<std::vector<ObjectInfo>> List(std::string_view prefix = "") const;
 
+  /// Change counter for `key`: bumped on every successful Put, PutIfAbsent,
+  /// or Delete issued *through this store object* (copies made before a
+  /// write share the counter state, so they observe the bump too). 0 for a
+  /// key never written this process — etags are process-local cache-
+  /// coherence state (DESIGN.md §9.2), not persisted metadata, so they only
+  /// promise: if the content changed via this process, the etag differs.
+  uint64_t etag(std::string_view key) const;
+
   const std::string& root() const { return root_; }
 
  private:
-  ObjectStore(std::string root, Fs* fs) : root_(std::move(root)), fs_(fs) {}
+  /// Shared across copies/moves of the store so every handle to the same
+  /// root observes the same write counters.
+  struct Etags {
+    mutable Mutex mu;
+    std::map<std::string, uint64_t, std::less<>> keys LAKEKIT_GUARDED_BY(mu);
+  };
+
+  ObjectStore(std::string root, Fs* fs)
+      : root_(std::move(root)), fs_(fs), etags_(std::make_shared<Etags>()) {}
+
+  void BumpEtag(std::string_view key);
 
   Result<std::string> ResolvePath(std::string_view key) const;
 
@@ -79,6 +101,7 @@ class ObjectStore {
 
   std::string root_;
   Fs* fs_;
+  std::shared_ptr<Etags> etags_;
 };
 
 }  // namespace lakekit::storage

@@ -1,5 +1,6 @@
 #include "storage/polystore.h"
 
+#include "common/hash.h"
 #include "json/parser.h"
 #include "json/writer.h"
 
@@ -80,7 +81,8 @@ Polystore::Polystore(ObjectStore objects, PolystoreOptions options)
       documents_(std::make_unique<DocumentStore>()),
       graph_(std::make_unique<GraphStore>()),
       objects_(std::make_unique<ObjectStore>(std::move(objects))),
-      retry_(std::make_unique<RetryPolicy>(options.retry)) {}
+      retry_(std::make_unique<RetryPolicy>(options.retry)),
+      generations_(std::make_unique<GenerationState>()) {}
 
 Result<Polystore> Polystore::Open(const std::string& object_root,
                                   PolystoreOptions options, Fs* fs) {
@@ -132,10 +134,41 @@ std::vector<std::string> Polystore::DatasetNames() const {
   return out;
 }
 
+uint64_t Polystore::generation(std::string_view name) const {
+  uint64_t base = 0;
+  {
+    MutexLock lock(generations_->mu);
+    auto it = generations_->datasets.find(name);
+    if (it != generations_->datasets.end()) base = it->second;
+  }
+  // Object-backed datasets fold in the object tier's own etag, so writes
+  // issued directly against objects() (bypassing the polystore) still
+  // retire cached scans. HashCombine keeps the two counters from aliasing
+  // (base+1 with etag e vs base with etag e+1 must differ).
+  auto it = registry_.find(name);
+  if (it != registry_.end() && it->second.store == StoreKind::kObject) {
+    return HashCombine(base, objects_->etag(it->second.locator));
+  }
+  return base;
+}
+
+void Polystore::BumpGeneration(std::string_view name) {
+  MutexLock lock(generations_->mu);
+  auto it = generations_->datasets.find(name);
+  if (it == generations_->datasets.end()) {
+    generations_->datasets.emplace(std::string(name), 1);
+  } else {
+    ++it->second;
+  }
+}
+
 Status Polystore::StoreTable(std::string_view name, table::Table t) {
   std::string locator = t.name();
   LAKEKIT_RETURN_IF_ERROR(relational_->CreateTable(std::move(t)));
-  return RegisterDataset(name, {StoreKind::kRelational, locator});
+  LAKEKIT_RETURN_IF_ERROR(
+      RegisterDataset(name, {StoreKind::kRelational, locator}));
+  BumpGeneration(name);
+  return Status::OK();
 }
 
 Status Polystore::StoreDocuments(std::string_view name,
@@ -144,7 +177,10 @@ Status Polystore::StoreDocuments(std::string_view name,
   for (json::Value& doc : docs) {
     LAKEKIT_RETURN_IF_ERROR(documents_->Insert(collection, std::move(doc)).status());
   }
-  return RegisterDataset(name, {StoreKind::kDocument, collection});
+  LAKEKIT_RETURN_IF_ERROR(
+      RegisterDataset(name, {StoreKind::kDocument, collection}));
+  BumpGeneration(name);
+  return Status::OK();
 }
 
 Status Polystore::StoreObject(std::string_view name, std::string_view key,

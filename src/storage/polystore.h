@@ -1,14 +1,17 @@
 #ifndef LAKEKIT_STORAGE_POLYSTORE_H_
 #define LAKEKIT_STORAGE_POLYSTORE_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/retry.h"
+#include "common/thread_annotations.h"
 #include "json/value.h"
 #include "storage/document_store.h"
 #include "storage/fs.h"
@@ -109,6 +112,20 @@ class Polystore {
   /// `key`. The current graph is untouched on any failure.
   Status LoadGraph(std::string_view key);
 
+  /// Change counter for dataset `name`, the cache-coherence key of the scan
+  /// cache (DESIGN.md §9.2): writes through the polystore's ingestion paths
+  /// bump it, and object-backed datasets additionally fold in the object
+  /// tier's per-key etag, so a `Put` issued directly against `objects()`
+  /// also changes the generation. Callers that mutate a backend directly
+  /// (e.g. `relational().ReplaceTable`) must call `BumpGeneration`.
+  /// Process-local: generations are not persisted and restart from zero.
+  uint64_t generation(std::string_view name) const;
+
+  /// Explicitly advances `name`'s generation, retiring any cached scans of
+  /// it. Safe on unregistered names (the registration itself then starts at
+  /// a bumped generation).
+  void BumpGeneration(std::string_view name);
+
   /// The policy object-tier round trips run under; tests inject a no-op
   /// sleeper here.
   RetryPolicy& retry() { return *retry_; }
@@ -123,6 +140,14 @@ class Polystore {
   const ObjectStore& objects() const { return *objects_; }
 
  private:
+  /// Heap-allocated (like the stores) so Polystore stays movable while the
+  /// mutex is not.
+  struct GenerationState {
+    mutable Mutex mu;
+    std::map<std::string, uint64_t, std::less<>> datasets
+        LAKEKIT_GUARDED_BY(mu);
+  };
+
   Polystore(ObjectStore objects, PolystoreOptions options);
 
   std::unique_ptr<RelationalStore> relational_;
@@ -130,6 +155,7 @@ class Polystore {
   std::unique_ptr<GraphStore> graph_;
   std::unique_ptr<ObjectStore> objects_;
   std::unique_ptr<RetryPolicy> retry_;
+  std::unique_ptr<GenerationState> generations_;
   std::map<std::string, DatasetLocation, std::less<>> registry_;
 };
 

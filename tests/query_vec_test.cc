@@ -12,6 +12,7 @@
 #include "query/operators.h"
 #include "query/reference_ops.h"
 #include "query/vec.h"
+#include "query/zone_map.h"
 #include "table/table.h"
 
 // Differential test suite for the vectorized query engine: the morsel-
@@ -537,6 +538,167 @@ TEST(QueryVecDeterminismTest, ParallelDoubleSumsAreBitIdentical) {
   ASSERT_TRUE(ref.ok());
   EXPECT_TRUE(BitIdentical(*a, *b));
   EXPECT_TRUE(BitIdentical(*ref, *a));
+}
+
+// --------------------------------------------------------------- zone maps
+
+/// The pruning differential: Filter with a zone map must agree with the
+/// reference interpreter on ok-ness and bits for random tables and
+/// predicates — including predicates whose evaluation errors (arithmetic on
+/// strings, NOT on numbers) and chunks containing NaN. Pruning that skipped
+/// an erroring morsel, or trusted a NaN-poisoned range, would diverge here.
+TEST(ZoneMapDifferentialTest, PrunedFilterMatchesReference) {
+  ThreadPool serial(1);
+  ThreadPool wide(8);
+  // Sizes chosen to exercise multi-chunk maps (kMorselSize = 2048) and the
+  // ragged final chunk.
+  const size_t kSizes[] = {0, 1, 100, 2048, 2049, 4500, 6144};
+  size_t pruned_total = 0;
+  for (uint64_t seed = 0; seed < 70; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(seed * 104729 + 3);
+    Table t = FuzzTable(rng, kSizes[seed % 7], "fuzz");
+    const ZoneMap zones = ZoneMap::Build(t);
+    ASSERT_EQ(zones.num_chunks(), NumMorsels(t.num_rows()));
+    std::vector<std::string> cols = t.schema().FieldNames();
+    for (int i = 0; i < 4; ++i) {
+      ExprPtr pred = RandomExpr(rng, cols, 3);
+      SCOPED_TRACE("pred " + pred->ToString());
+      Result<Table> ref = reference::Filter(t, *pred);
+      for (ThreadPool* pool : {&serial, &wide}) {
+        FilterExecStats stats;
+        Result<Table> got =
+            Filter(t, *pred, &zones, PoolOpts(pool), &stats);
+        ASSERT_EQ(ref.ok(), got.ok()) << "ok-ness diverges under pruning";
+        if (ref.ok()) EXPECT_TRUE(BitIdentical(*ref, *got));
+        pruned_total += stats.morsels_pruned;
+      }
+    }
+  }
+  // The sweep must actually exercise the pruned path, not just fall back
+  // to kMaybe everywhere.
+  EXPECT_GT(pruned_total, 0u);
+}
+
+TEST(ZoneMapTest, BuildComputesPerChunkStats) {
+  Schema schema;
+  schema.AddField(Field{"id", DataType::kInt64, true});
+  schema.AddField(Field{"x", DataType::kDouble, true});
+  Table t("zt", schema);
+  const size_t rows = kMorselSize + 10;
+  for (size_t r = 0; r < rows; ++r) {
+    ASSERT_TRUE(t.AppendRow({Value(static_cast<int64_t>(r)),
+                             r == 5 ? Value::Null() : Value(1.5)})
+                    .ok());
+  }
+  const ZoneMap zones = ZoneMap::Build(t);
+  ASSERT_EQ(zones.num_chunks(), 2u);
+  ASSERT_EQ(zones.num_columns(), 2u);
+  const ZoneStats& id0 = zones.stats(0, 0);
+  EXPECT_EQ(id0.min, Value(int64_t{0}));
+  EXPECT_EQ(id0.max, Value(static_cast<int64_t>(kMorselSize - 1)));
+  EXPECT_EQ(id0.null_count, 0u);
+  EXPECT_TRUE(id0.has_values);
+  const ZoneStats& x0 = zones.stats(0, 1);
+  EXPECT_EQ(x0.null_count, 1u);
+  const ZoneStats& id1 = zones.stats(1, 0);
+  EXPECT_EQ(id1.min, Value(static_cast<int64_t>(kMorselSize)));
+  EXPECT_EQ(id1.row_count, 10u);
+}
+
+TEST(ZoneMapTest, ClusteredPredicatePrunesAndSelectsWholesale) {
+  Schema schema;
+  schema.AddField(Field{"id", DataType::kInt64, true});
+  Table t("ids", schema);
+  const size_t rows = 4 * kMorselSize;
+  for (size_t r = 0; r < rows; ++r) {
+    ASSERT_TRUE(t.AppendRow({Value(static_cast<int64_t>(r))}).ok());
+  }
+  const ZoneMap zones = ZoneMap::Build(t);
+  ThreadPool serial(1);
+
+  // Point predicate: only chunk 0 can match; 3 of 4 morsels pruned.
+  ExprPtr point = Expr::Compare(CmpOp::kEq, Expr::Column("id"),
+                                Expr::Literal(Value(int64_t{7})));
+  FilterExecStats stats;
+  Result<Table> r1 = Filter(t, *point, &zones, PoolOpts(&serial), &stats);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->num_rows(), 1u);
+  EXPECT_EQ(stats.morsels_total, 4u);
+  EXPECT_EQ(stats.morsels_pruned, 3u);
+
+  // Always-true predicate: every morsel selected without evaluation.
+  ExprPtr all = Expr::Compare(CmpOp::kGe, Expr::Column("id"),
+                              Expr::Literal(Value(int64_t{0})));
+  FilterExecStats all_stats;
+  Result<Table> r2 = Filter(t, *all, &zones, PoolOpts(&serial), &all_stats);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->num_rows(), rows);
+  EXPECT_EQ(all_stats.morsels_selected, 4u);
+  EXPECT_EQ(all_stats.morsels_pruned, 0u);
+  EXPECT_TRUE(BitIdentical(*reference::Filter(t, *all), *r2));
+}
+
+TEST(ZoneMapTest, NaNChunkIsNeverPruned) {
+  Schema schema;
+  schema.AddField(Field{"x", DataType::kDouble, true});
+  Table t("nan", schema);
+  ASSERT_TRUE(t.AppendRow({Value(1.0)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(std::nan(""))}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(3.0)}).ok());
+  const ZoneMap zones = ZoneMap::Build(t);
+  EXPECT_TRUE(zones.stats(0, 0).unordered);
+  // x > 100 looks always-false by [min, max], but the NaN row makes the
+  // range untrusted: the chunk must be evaluated, and the result must
+  // match the reference exactly.
+  ExprPtr pred = Expr::Compare(CmpOp::kGt, Expr::Column("x"),
+                               Expr::Literal(Value(100.0)));
+  ThreadPool serial(1);
+  FilterExecStats stats;
+  Result<Table> got = Filter(t, *pred, &zones, PoolOpts(&serial), &stats);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(stats.morsels_pruned, 0u);
+  EXPECT_TRUE(BitIdentical(*reference::Filter(t, *pred), *got));
+}
+
+TEST(ZoneMapTest, ErroringPredicateIsNotPruned) {
+  Schema schema;
+  schema.AddField(Field{"s", DataType::kString, true});
+  Table t("strs", schema);
+  ASSERT_TRUE(t.AppendRow({Value("a")}).ok());
+  const ZoneMap zones = ZoneMap::Build(t);
+  // s + 1 errors on every row; the zone map must not "prune away" the
+  // error (the range of an arithmetic node is unknown and poisoned).
+  ExprPtr pred = Expr::Compare(
+      CmpOp::kGt,
+      Expr::Arith(ArithOp::kAdd, Expr::Column("s"),
+                  Expr::Literal(Value(int64_t{1}))),
+      Expr::Literal(Value(int64_t{0})));
+  ThreadPool serial(1);
+  Result<Table> got = Filter(t, *pred, &zones, PoolOpts(&serial), nullptr);
+  Result<Table> ref = reference::Filter(t, *pred);
+  EXPECT_EQ(ref.ok(), got.ok());
+  EXPECT_FALSE(got.ok());
+}
+
+TEST(ZoneMapTest, MismatchedZoneMapIsIgnored) {
+  Schema schema;
+  schema.AddField(Field{"id", DataType::kInt64, true});
+  Table t("ids", schema);
+  for (int r = 0; r < 10; ++r) {
+    ASSERT_TRUE(t.AppendRow({Value(static_cast<int64_t>(r))}).ok());
+  }
+  Table other("other", schema);  // zero rows: zone map cannot line up
+  const ZoneMap stale = ZoneMap::Build(other);
+  ExprPtr pred = Expr::Compare(CmpOp::kLt, Expr::Column("id"),
+                               Expr::Literal(Value(int64_t{3})));
+  ThreadPool serial(1);
+  FilterExecStats stats;
+  Result<Table> got = Filter(t, *pred, &stale, PoolOpts(&serial), &stats);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->num_rows(), 3u);
+  EXPECT_EQ(stats.morsels_pruned, 0u);
+  EXPECT_EQ(stats.morsels_selected, 0u);
 }
 
 }  // namespace
