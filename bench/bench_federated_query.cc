@@ -17,8 +17,13 @@
 #include <filesystem>
 #include <memory>
 
+#include <atomic>
+#include <thread>
+
+#include "common/memory_budget.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
+#include "query/admission.h"
 #include "json/parser.h"
 #include "query/federation.h"
 #include "query/operators.h"
@@ -216,6 +221,63 @@ void BM_Federated_QueryArmed(benchmark::State& state) {
       static_cast<double>(f.engine->last_stats().rows_shipped);
 }
 
+void BM_Federated_QueryStorm(benchmark::State& state) {
+  // Overload goodput, the admission-control ablation (DESIGN.md §10): eight
+  // client threads fire queries at one engine whose process memory budget
+  // fits ~2.5 concurrent queries. Arg 0 runs the storm with no front door —
+  // all eight collide on the budget and most fail kResourceExhausted. Arg 1
+  // arms admission at max_concurrent=2 with a deep queue, so excess queries
+  // wait instead of colliding and goodput_frac approaches 1.0. Time-per-
+  // iteration is one full 16-query storm.
+  Fixture& f = GetFixture(5000);
+  const bool admission_on = state.range(0) != 0;
+  const char* sql = QueryWithSelectivity(50);
+
+  // Size the budget off a solo probe run: peak accounted bytes of one
+  // uncontended query.
+  static const size_t solo_peak = [&] {
+    MemoryBudget probe(static_cast<size_t>(-1) / 2);
+    FederatedEngineOptions options;
+    options.memory_budget = &probe;
+    FederatedEngine engine(f.polystore.get(), options);
+    auto out = engine.Query(sql);
+    benchmark::DoNotOptimize(out);
+    return probe.peak_used();
+  }();
+
+  uint64_t ok = 0;
+  uint64_t failed = 0;
+  for (auto _ : state) {
+    MemoryBudget budget(solo_peak * 5 / 2);
+    AdmissionOptions admission_options;
+    admission_options.max_concurrent = 2;
+    admission_options.max_queue_depth = 64;  // hold, don't shed
+    AdmissionController admission(admission_options);
+    FederatedEngineOptions options;
+    options.memory_budget = &budget;
+    if (admission_on) options.admission = &admission;
+    FederatedEngine engine(f.polystore.get(), options);
+    std::atomic<uint64_t> storm_ok{0};
+    std::atomic<uint64_t> storm_failed{0};
+    std::vector<std::thread> clients;
+    for (int t = 0; t < 8; ++t) {
+      clients.emplace_back([&] {
+        for (int i = 0; i < 2; ++i) {
+          auto out = engine.Query(sql);
+          (out.ok() ? storm_ok : storm_failed).fetch_add(1);
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    ok += storm_ok.load();
+    failed += storm_failed.load();
+  }
+  state.counters["goodput_frac"] =
+      ok + failed == 0
+          ? 0.0
+          : static_cast<double>(ok) / static_cast<double>(ok + failed);
+}
+
 // ------------------------------------------- vectorized operators (1M rows)
 
 constexpr size_t kVecRows = 1'000'000;
@@ -332,6 +394,27 @@ void BM_Query_Filter_VecArmed(benchmark::State& state) {
                           static_cast<int64_t>(kVecRows));
 }
 
+void BM_Query_Filter_VecBudgeted(benchmark::State& state) {
+  // Same scan as BM_Query_Filter_Vec but with a huge-capacity memory budget
+  // attached: every reservation takes the real TryReserve CAS path and
+  // nothing ever refuses. The delta against the unarmed twin is the
+  // budget-accounting overhead on unconstrained queries. EXPERIMENTS.md
+  // pins it at <= 2%.
+  const table::Table& t = VecTable();
+  ExprPtr pred = VecPredicate();
+  MemoryBudget budget(static_cast<size_t>(-1) / 2);
+  BudgetAccount account(&budget);
+  ExecOptions opts;
+  opts.pool = &PoolFor(static_cast<int>(state.range(0)));
+  opts.budget = &account;
+  for (auto _ : state) {
+    auto out = Filter(t, *pred, opts);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kVecRows));
+}
+
 /// 1M-row table clustered on `id` (ascending), the shape zone maps exploit:
 /// each kMorselSize chunk covers a tight, disjoint id range.
 const table::Table& ClusteredTable() {
@@ -417,6 +500,24 @@ void BM_Query_HashJoin_Vec(benchmark::State& state) {
                           static_cast<int64_t>(kVecRows));
 }
 
+void BM_Query_HashJoin_VecBudgeted(benchmark::State& state) {
+  // Budget-accounting twin of BM_Query_HashJoin_Vec (see
+  // BM_Query_Filter_VecBudgeted for the methodology).
+  const table::Table& t = VecTable();
+  const table::Table& dim = VecDimTable();
+  MemoryBudget budget(static_cast<size_t>(-1) / 2);
+  BudgetAccount account(&budget);
+  ExecOptions opts;
+  opts.pool = &PoolFor(static_cast<int>(state.range(0)));
+  opts.budget = &account;
+  for (auto _ : state) {
+    auto out = HashJoin(t, dim, "key", "key", JoinType::kInner, opts);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kVecRows));
+}
+
 void BM_Query_HashJoin_Reference(benchmark::State& state) {
   const table::Table& t = VecTable();
   const table::Table& dim = VecDimTable();
@@ -432,6 +533,23 @@ void BM_Query_Aggregate_Vec(benchmark::State& state) {
   const table::Table& t = VecTable();
   ExecOptions opts;
   opts.pool = &PoolFor(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto out = Aggregate(t, {"cat"}, VecAggs(), opts);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kVecRows));
+}
+
+void BM_Query_Aggregate_VecBudgeted(benchmark::State& state) {
+  // Budget-accounting twin of BM_Query_Aggregate_Vec (see
+  // BM_Query_Filter_VecBudgeted for the methodology).
+  const table::Table& t = VecTable();
+  MemoryBudget budget(static_cast<size_t>(-1) / 2);
+  BudgetAccount account(&budget);
+  ExecOptions opts;
+  opts.pool = &PoolFor(static_cast<int>(state.range(0)));
+  opts.budget = &account;
   for (auto _ : state) {
     auto out = Aggregate(t, {"cat"}, VecAggs(), opts);
     benchmark::DoNotOptimize(out);
@@ -457,6 +575,8 @@ BENCHMARK(BM_Query_Filter_Vec)->Arg(1)->Arg(4)->Arg(16)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Query_Filter_VecArmed)->Arg(1)->Arg(4)->Arg(16)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Query_Filter_VecBudgeted)->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Query_Filter_Reference)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Query_Filter_ZoneMapSkip)->Arg(1)->Arg(4)->Arg(16)
     ->Unit(benchmark::kMillisecond);
@@ -464,8 +584,12 @@ BENCHMARK(BM_Query_Filter_NoZoneMap)->Arg(1)->Arg(4)->Arg(16)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Query_HashJoin_Vec)->Arg(1)->Arg(4)->Arg(16)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Query_HashJoin_VecBudgeted)->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Query_HashJoin_Reference)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Query_Aggregate_Vec)->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Query_Aggregate_VecBudgeted)->Arg(1)->Arg(4)->Arg(16)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Query_Aggregate_Reference)->Unit(benchmark::kMillisecond);
 
@@ -482,6 +606,9 @@ BENCHMARK(BM_Federated_WithoutPushdown)
     ->Args({20000, 50});
 BENCHMARK(BM_Federated_SingleSourceScan)->Arg(20000);
 BENCHMARK(BM_Federated_QueryArmed)->Args({5000, 5})->Args({20000, 5});
+// Arg: 0 = no front door, 1 = admission armed. Compare goodput_frac.
+BENCHMARK(BM_Federated_QueryStorm)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 // Args: {rows, keep-percent}. Compare Cold vs Cached at the same args for
 // the warm-over-cold win (EXPERIMENTS.md).

@@ -38,6 +38,11 @@ class CancelToken {
            state_->cancelled.load(std::memory_order_acquire);
   }
 
+  /// Whether this token is connected to a CancelSource at all. A
+  /// default-constructed token can never fire, which lets waiters (the
+  /// admission queue) skip polling entirely for unarmed callers.
+  [[nodiscard]] bool armed() const { return state_ != nullptr; }
+
   /// OK while live; after cancellation, the cause passed to
   /// `CancelSource::Cancel` (kAborted by default).
   [[nodiscard]] Status status() const {

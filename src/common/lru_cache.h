@@ -154,22 +154,38 @@ class LruCache {
   /// Inserts `value` under `key` charged `charge` bytes and returns a pinned
   /// handle to it. If the key is already present the existing entry wins and
   /// `value` is discarded — concurrent loaders racing to fill the same key
-  /// converge on one copy instead of replacing each other.
-  Handle Insert(const K& key, V value, size_t charge) {
+  /// converge on one copy instead of replacing each other. `inserted` (when
+  /// non-null) reports which case happened, so byte-accounting callers know
+  /// whether their charge was taken or must be credited back.
+  Handle Insert(const K& key, V value, size_t charge,
+                bool* inserted = nullptr) {
     Shard& shard = ShardFor(key);
     MutexLock lock(shard.mu);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
+      if (inserted != nullptr) *inserted = false;
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       Entry& existing = *it->second;
       ++existing.pins;
       return Handle(&shard, &existing);
     }
+    if (inserted != nullptr) *inserted = true;
     shard.lru.push_front(Entry{key, std::move(value), charge, 1});
     shard.index.emplace(key, shard.lru.begin());
     shard.charge += charge;
     shard.EvictLocked();
     return Handle(&shard, &shard.lru.front());
+  }
+
+  /// Installs a callback invoked (under the owning shard's lock — keep it
+  /// cheap and reentrancy-free) with the charge of every evicted entry.
+  /// Byte-accounting callers (query/table_cache.h) credit their budget
+  /// here. Set once, before the cache sees concurrent traffic.
+  void set_eviction_listener(std::function<void(size_t)> listener) {
+    for (std::unique_ptr<Shard>& shard : shards_) {
+      MutexLock lock(shard->mu);
+      shard->on_evict = listener;
+    }
   }
 
   LruCacheStats stats() const {
@@ -210,6 +226,7 @@ class LruCache {
     uint64_t hits LAKEKIT_GUARDED_BY(mu) = 0;
     uint64_t misses LAKEKIT_GUARDED_BY(mu) = 0;
     uint64_t evictions LAKEKIT_GUARDED_BY(mu) = 0;
+    std::function<void(size_t)> on_evict LAKEKIT_GUARDED_BY(mu);
 
     /// Evicts unpinned entries from the LRU end until the shard fits its
     /// budget (or only pinned entries remain).
@@ -220,6 +237,7 @@ class LruCache {
         if (it->pins > 0) continue;  // pinned: skip, try the next-older entry
         charge -= it->charge;
         ++evictions;
+        if (on_evict) on_evict(it->charge);
         index.erase(it->key);
         it = lru.erase(it);
       }

@@ -1,0 +1,84 @@
+#include "common/memory_budget.h"
+
+#include <string>
+
+namespace lakekit {
+
+namespace {
+
+Status Exhausted(const char* what, size_t bytes, size_t used, size_t cap) {
+  return Status::ResourceExhausted(
+      std::string(what) + " budget exhausted: need " + std::to_string(bytes) +
+      " bytes, " + std::to_string(used) + " of " + std::to_string(cap) +
+      " in use");
+}
+
+}  // namespace
+
+Status MemoryBudget::TryReserve(size_t bytes) {
+  size_t used = used_.load(std::memory_order_relaxed);
+  while (true) {
+    if (bytes > capacity_ || used > capacity_ - bytes) {
+      RecordExhausted();
+      return Exhausted("process memory", bytes, used, capacity_);
+    }
+    if (used_.compare_exchange_weak(used, used + bytes,
+                                    std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  // Fold the new watermark in; racing updaters each propose their own
+  // post-reserve total, and the max of all proposals wins.
+  const size_t now = used + bytes;
+  size_t peak = peak_.load(std::memory_order_relaxed);
+  while (peak < now &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+  return Status::OK();
+}
+
+void MemoryBudget::Release(size_t bytes) {
+  size_t used = used_.load(std::memory_order_relaxed);
+  while (true) {
+    const size_t next = bytes > used ? 0 : used - bytes;
+    if (used_.compare_exchange_weak(used, next, std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+Status BudgetAccount::TryReserve(size_t bytes) {
+  if (parent_ == nullptr) return Status::OK();
+  size_t used = used_.load(std::memory_order_relaxed);
+  while (true) {
+    if (bytes > cap_ || used > cap_ - bytes) {
+      parent_->RecordExhausted();
+      return Exhausted("reservation", bytes, used, cap_);
+    }
+    if (used_.compare_exchange_weak(used, used + bytes,
+                                    std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  if (Status s = parent_->TryReserve(bytes); !s.ok()) {
+    // Local-only rollback: the parent refused, so it holds nothing of ours
+    // to return — Release(bytes) here would debit someone else's grant.
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+    return s;
+  }
+  return Status::OK();
+}
+
+void BudgetAccount::Release(size_t bytes) {
+  if (parent_ == nullptr) return;
+  size_t used = used_.load(std::memory_order_relaxed);
+  while (true) {
+    const size_t next = bytes > used ? 0 : used - bytes;
+    if (used_.compare_exchange_weak(used, next, std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  parent_->Release(bytes);
+}
+
+}  // namespace lakekit

@@ -1,0 +1,186 @@
+#ifndef LAKEKIT_COMMON_MEMORY_BUDGET_H_
+#define LAKEKIT_COMMON_MEMORY_BUDGET_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace lakekit {
+
+/// Hierarchical memory accounting for the query tier (DESIGN.md §10).
+///
+/// One `MemoryBudget` caps the whole process; each concurrent consumer — a
+/// federated query, the shared TableCache — holds a `BudgetAccount` child
+/// whose reservations debit both its own cap and the parent. `TryReserve`
+/// *fails* (kResourceExhausted) instead of allocating, so a query that
+/// would blow the budget dies cleanly while the process — and every other
+/// query — keeps running. The root is a compare-exchange loop, so accounted
+/// bytes can never exceed the capacity, not even transiently under
+/// concurrent reservers; `peak_used()` records the high-water mark the
+/// overload chaos suite asserts against.
+///
+/// Hot paths never touch these atomics per row: they batch through a
+/// stack-local `MemoryCharge` (one per morsel task, so effectively
+/// thread-local), which debits the account in `kBudgetQuantumBytes` chunks
+/// and costs an integer add per call in the common case.
+class MemoryBudget {
+ public:
+  explicit MemoryBudget(size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  /// Reserves `bytes` or fails with kResourceExhausted, leaving the
+  /// accounting untouched. Never over-admits: the CAS loop re-checks the
+  /// capacity against every concurrent reservation.
+  Status TryReserve(size_t bytes);
+
+  /// Returns `bytes` previously reserved. Releasing more than is held is a
+  /// bug; the counter saturates at zero rather than wrapping.
+  void Release(size_t bytes);
+
+  [[nodiscard]] size_t capacity() const { return capacity_; }
+  [[nodiscard]] size_t used() const {
+    return used_.load(std::memory_order_relaxed);
+  }
+  /// High-water mark of `used()` since construction.
+  [[nodiscard]] size_t peak_used() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
+  /// Reservations refused for lack of budget (either cap) since
+  /// construction.
+  [[nodiscard]] uint64_t exhausted_count() const {
+    return exhausted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class BudgetAccount;
+  void RecordExhausted() {
+    exhausted_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const size_t capacity_;
+  std::atomic<size_t> used_{0};
+  std::atomic<size_t> peak_{0};
+  std::atomic<uint64_t> exhausted_{0};
+};
+
+/// A child reservation against a `MemoryBudget`: one per query (created at
+/// the engine front door) or per subsystem (the TableCache's slice). Has
+/// its own cap — a query cannot starve the process even when it is alone —
+/// and forwards every reservation to the parent, so query pressure and
+/// cache pressure trade off in the one process-level number.
+///
+/// A default-constructed account is *detached*: every TryReserve succeeds
+/// and costs two relaxed atomic ops, so unbudgeted configurations pay
+/// almost nothing. Thread-safe; destruction returns anything still held to
+/// the parent (the per-query release path — operators only release their
+/// own transient state eagerly).
+class BudgetAccount {
+ public:
+  /// Detached: unlimited, never fails.
+  BudgetAccount() = default;
+
+  /// Child of `parent` capped at `cap_bytes` (0: the parent's capacity).
+  /// `parent` may be nullptr, which means detached.
+  BudgetAccount(MemoryBudget* parent, size_t cap_bytes = 0)
+      : parent_(parent),
+        cap_(parent == nullptr ? 0
+                               : (cap_bytes == 0 ? parent->capacity()
+                                                 : cap_bytes)) {}
+
+  BudgetAccount(const BudgetAccount&) = delete;
+  BudgetAccount& operator=(const BudgetAccount&) = delete;
+
+  ~BudgetAccount() {
+    if (parent_ != nullptr) {
+      parent_->Release(used_.load(std::memory_order_relaxed));
+    }
+  }
+
+  /// Reserves against this account's cap, then the parent. On either
+  /// refusal nothing is held and kResourceExhausted is returned.
+  Status TryReserve(size_t bytes);
+
+  void Release(size_t bytes);
+
+  [[nodiscard]] bool attached() const { return parent_ != nullptr; }
+  [[nodiscard]] size_t cap() const { return cap_; }
+  [[nodiscard]] size_t used() const {
+    return used_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] MemoryBudget* parent() const { return parent_; }
+
+ private:
+  MemoryBudget* parent_ = nullptr;
+  size_t cap_ = 0;
+  std::atomic<size_t> used_{0};
+};
+
+/// Batch size MemoryCharge debits its account in. Large enough that a
+/// morsel-sized task touches the shared atomics a handful of times, small
+/// enough that the over-reservation slack per in-flight task is noise
+/// against any realistic budget.
+inline constexpr size_t kBudgetQuantumBytes = 64u << 10;
+
+/// Stack-local batching debiter for hot paths. Each parallel task owns one
+/// (so access is single-threaded by construction); `Add` rounds the
+/// account-level reservation up to the next kBudgetQuantumBytes, making the
+/// common call a local integer add with no shared-state traffic. The
+/// destructor returns everything — MemoryCharge tracks *transient* operator
+/// state (hash tables, partials, sort keys); state that outlives the
+/// operator is charged straight on the account, whose own destructor
+/// settles it at query end.
+class MemoryCharge {
+ public:
+  /// `account` may be nullptr or detached; Add is then free and infallible.
+  explicit MemoryCharge(BudgetAccount* account)
+      : account_(account != nullptr && account->attached() ? account
+                                                           : nullptr) {}
+
+  MemoryCharge(const MemoryCharge&) = delete;
+  MemoryCharge& operator=(const MemoryCharge&) = delete;
+
+  ~MemoryCharge() { ReleaseAll(); }
+
+  /// Debits `bytes`, reserving another quantum from the account only when
+  /// the local allowance runs out. On refusal the local accounting is
+  /// unchanged and the caller must unwind (return the error up).
+  Status Add(size_t bytes) {
+    if (account_ == nullptr) return Status::OK();
+    used_ += bytes;
+    if (used_ <= reserved_) return Status::OK();
+    // Round the shortfall up to whole quanta so the next Adds stay local.
+    const size_t shortfall = used_ - reserved_;
+    const size_t grab =
+        (shortfall + kBudgetQuantumBytes - 1) / kBudgetQuantumBytes *
+        kBudgetQuantumBytes;
+    if (Status s = account_->TryReserve(grab); !s.ok()) {
+      used_ -= bytes;
+      return s;
+    }
+    reserved_ += grab;
+    return Status::OK();
+  }
+
+  /// Bytes debited so far (the exact figure, not the quantum-rounded
+  /// reservation).
+  [[nodiscard]] size_t held() const { return used_; }
+
+  void ReleaseAll() {
+    if (account_ != nullptr && reserved_ > 0) account_->Release(reserved_);
+    reserved_ = 0;
+    used_ = 0;
+  }
+
+ private:
+  BudgetAccount* account_;
+  size_t reserved_ = 0;
+  size_t used_ = 0;
+};
+
+}  // namespace lakekit
+
+#endif  // LAKEKIT_COMMON_MEMORY_BUDGET_H_

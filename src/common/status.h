@@ -27,6 +27,12 @@ enum class StatusCode {
   kDeadlineExceeded,  // a deadline expired before the operation finished
   kUnavailable,       // backend temporarily unavailable (flaky source,
                       // open circuit breaker) — transient, retryable
+  kResourceExhausted,  // a memory/quota budget refused the reservation
+                       // (common/memory_budget.h) — permanent for *this*
+                       // attempt: retrying the same over-budget query
+                       // re-exhausts the same budget. Load shedding at
+                       // admission uses kUnavailable instead, which IS
+                       // retryable (the queue drains).
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "NotFound", ...).
@@ -88,6 +94,9 @@ class [[nodiscard]] Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
   [[nodiscard]] StatusCode code() const { return code_; }
@@ -108,6 +117,9 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] bool IsUnavailable() const {
     return code_ == StatusCode::kUnavailable;
+  }
+  [[nodiscard]] bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
   }
 
   /// "OK" or "<CodeName>: <message>".
@@ -133,7 +145,11 @@ class [[nodiscard]] Status {
 ///
 /// Everything else is permanent. `kDeadlineExceeded` in particular is
 /// permanent by construction: the caller's budget is spent, and retrying
-/// can only exceed it further. Logic errors (`kNotFound`,
+/// can only exceed it further. `kResourceExhausted` is likewise permanent:
+/// an over-budget query re-runs the same plan against the same memory
+/// budget, so an immediate retry re-exhausts it (overload *shedding* at
+/// admission surfaces as `kUnavailable` precisely because waiting out the
+/// queue CAN help — see query/admission.h). Logic errors (`kNotFound`,
 /// `kAlreadyExists`, `kCorruption`, ...) stay permanent — retrying a lost
 /// `PutIfAbsent` race would turn it into a livelock.
 [[nodiscard]] inline bool IsTransientError(const Status& status) {

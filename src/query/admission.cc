@@ -1,0 +1,133 @@
+#include "query/admission.h"
+
+#include <algorithm>
+
+namespace lakekit::query {
+
+using std::chrono::milliseconds;
+
+AdmissionController::AdmissionController(const AdmissionOptions& options)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock : Clock::Real()) {
+  // A zero-concurrency controller would deadlock every caller.
+  if (options_.max_concurrent == 0) options_.max_concurrent = 1;
+}
+
+void AdmissionController::RecordWaitLocked(milliseconds wait) {
+  // Exponential buckets: [0,1) [1,2) [2,4) ... [64,inf).
+  size_t bucket = 0;
+  for (int64_t ms = wait.count(); ms >= 1 && bucket + 1 < stats_.queue_wait_ms_hist.size();
+       ms >>= 1) {
+    ++bucket;
+  }
+  ++stats_.queue_wait_ms_hist[bucket];
+}
+
+void AdmissionController::PromoteLocked() {
+  bool promoted = false;
+  while (in_flight_ < options_.max_concurrent && !queue_.empty()) {
+    Waiter* w = queue_.front();
+    queue_.pop_front();
+    w->admitted = true;
+    ++in_flight_;
+    promoted = true;
+  }
+  // One broadcast wakes every blocked Admit; non-promoted waiters re-check
+  // their predicate and sleep again. Queue depths are small (bounded by
+  // max_queue_depth), so the thundering herd is too.
+  if (promoted) slot_freed_.NotifyAll();
+}
+
+Result<AdmissionController::Ticket> AdmissionController::Admit(
+    const Deadline& deadline, const CancelToken& cancel) {
+  MutexLock lock(mu_);
+  ++stats_.submitted;
+  // Arrivals already past their budget never occupy a queue slot.
+  if (cancel.cancelled()) {
+    ++stats_.cancelled_in_queue;
+    return cancel.status();
+  }
+  if (deadline.expired()) {
+    ++stats_.expired_in_queue;
+    return Status::DeadlineExceeded("deadline expired before admission");
+  }
+  if (queue_.empty() && in_flight_ < options_.max_concurrent) {
+    ++in_flight_;
+    ++stats_.admitted;
+    RecordWaitLocked(milliseconds(0));
+    return Ticket(this);
+  }
+  if (queue_.size() >= options_.max_queue_depth) {
+    ++stats_.shed;
+    // Retriable by design: the queue drains as running queries finish, so
+    // a backoff-and-retry (RetryPolicy) is the right caller response.
+    return Status::Unavailable("query admission queue full (load shed)");
+  }
+  ++stats_.queued;
+  Waiter self;
+  queue_.push_back(&self);
+  const auto enqueued_at = clock_->Now();
+  // Deadlines on a ManualClock and cancellation have no wakeup channel of
+  // their own, so armed waiters poll in short real-time slices; unarmed
+  // waiters block until a slot actually frees.
+  const bool polled = !deadline.is_infinite() || cancel.armed();
+  while (!self.admitted) {
+    if (cancel.cancelled() || deadline.expired()) {
+      // Leave the queue without running. The slot this waiter would have
+      // taken goes to the next live entry.
+      auto it = std::find(queue_.begin(), queue_.end(), &self);
+      if (it != queue_.end()) queue_.erase(it);
+      if (cancel.cancelled()) {
+        ++stats_.cancelled_in_queue;
+        RecordWaitLocked(std::chrono::duration_cast<milliseconds>(
+            clock_->Now() - enqueued_at));
+        return cancel.status();
+      }
+      ++stats_.expired_in_queue;
+      RecordWaitLocked(std::chrono::duration_cast<milliseconds>(
+          clock_->Now() - enqueued_at));
+      return Status::DeadlineExceeded("deadline expired while queued");
+    }
+    if (polled) {
+      slot_freed_.WaitFor(mu_, milliseconds(1));
+    } else {
+      slot_freed_.Wait(mu_);
+    }
+  }
+  ++stats_.admitted;
+  RecordWaitLocked(
+      std::chrono::duration_cast<milliseconds>(clock_->Now() - enqueued_at));
+  return Ticket(this);
+}
+
+void AdmissionController::Release(bool ok) {
+  MutexLock lock(mu_);
+  if (ok) {
+    ++stats_.completed;
+  } else {
+    ++stats_.failed;
+  }
+  --in_flight_;
+  PromoteLocked();
+  // Even with no promotion (empty queue) a waiter may be mid-poll; the
+  // broadcast in PromoteLocked covers the promoted case, and nothing is
+  // waiting otherwise. When the queue is non-empty PromoteLocked always
+  // promotes here, since a slot just freed.
+}
+
+AdmissionStats AdmissionController::stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+size_t AdmissionController::in_flight() const {
+  MutexLock lock(mu_);
+  return in_flight_;
+}
+
+size_t AdmissionController::queue_depth() const {
+  MutexLock lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace lakekit::query

@@ -1,0 +1,154 @@
+#ifndef LAKEKIT_QUERY_ADMISSION_H_
+#define LAKEKIT_QUERY_ADMISSION_H_
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+
+#include "common/cancellation.h"
+#include "common/deadline.h"
+#include "common/mutex.h"
+#include "common/result.h"
+#include "common/thread_annotations.h"
+
+namespace lakekit::query {
+
+/// Tuning for AdmissionController. The defaults suit a small host; a
+/// serving deployment sizes `max_concurrent` to its core count and the
+/// queue to the latency it is willing to hide.
+struct AdmissionOptions {
+  /// Queries allowed to execute simultaneously.
+  size_t max_concurrent = 8;
+  /// Queries allowed to wait for a slot. Arrivals beyond this are shed
+  /// immediately with retriable kUnavailable — bounded queues are the
+  /// whole point (an unbounded queue converts overload into unbounded
+  /// latency and memory instead of fast feedback).
+  size_t max_queue_depth = 16;
+  /// Clock queue-wait time is measured on (nullptr: the real clock).
+  /// Deadlines carry their own clock; this one only feeds the histogram.
+  const Clock* clock = nullptr;
+};
+
+/// Counters of one AdmissionController. Steady-state invariant once all
+/// callers have finished: submitted == admitted + shed + expired_in_queue +
+/// cancelled_in_queue, and admitted == completed + failed.
+struct AdmissionStats {
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  /// Admissions that had to wait in the queue first (subset of admitted +
+  /// expired/cancelled_in_queue).
+  uint64_t queued = 0;
+  /// Arrivals refused outright because the queue was full.
+  uint64_t shed = 0;
+  /// Entries whose deadline expired before admission — on arrival (a
+  /// pre-spent budget never occupies a queue slot) or while queued.
+  uint64_t expired_in_queue = 0;
+  /// Entries cancelled before admission, on arrival or while queued.
+  uint64_t cancelled_in_queue = 0;
+  /// Admitted queries that finished OK / with an error.
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  /// Queue-wait histogram, exponential milliseconds buckets:
+  /// [0,1) [1,2) [2,4) [4,8) [8,16) [16,32) [32,64) [64,inf).
+  std::array<uint64_t, 8> queue_wait_ms_hist{};
+};
+
+/// The engine front door's overload valve (DESIGN.md §10): at most
+/// `max_concurrent` queries run; up to `max_queue_depth` more wait in FIFO
+/// order; everything beyond that is shed immediately with retriable
+/// kUnavailable so callers back off instead of piling on. Queued entries
+/// keep observing their own Deadline/CancelToken — an expired or cancelled
+/// waiter leaves the queue without ever running (and without consuming a
+/// slot), so a burst of impatient callers cannot wedge patient ones.
+///
+/// Thread-safe. Pairs with `MemoryBudget`: admission bounds *how many*
+/// queries hold reservations at once, the budget bounds *how much* they
+/// hold — see query/federation.h for the engine wiring.
+class AdmissionController {
+ public:
+  /// A held execution slot. Move-only; returning it (destruction) frees
+  /// the slot and promotes the next waiter. Call `Finish(ok)` with the
+  /// query's outcome first — an unfinished ticket counts as completed.
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& other) noexcept : controller_(other.controller_) {
+      other.controller_ = nullptr;
+    }
+    Ticket& operator=(Ticket&& other) noexcept {
+      if (this != &other) {
+        Return(true);
+        controller_ = other.controller_;
+        other.controller_ = nullptr;
+      }
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket() { Return(true); }
+
+    [[nodiscard]] bool valid() const { return controller_ != nullptr; }
+
+    /// Records the query's outcome and frees the slot. Idempotent with the
+    /// destructor: whichever runs first settles the ticket.
+    void Finish(bool ok) { Return(ok); }
+
+   private:
+    friend class AdmissionController;
+    explicit Ticket(AdmissionController* controller)
+        : controller_(controller) {}
+
+    void Return(bool ok) {
+      if (controller_ == nullptr) return;
+      controller_->Release(ok);
+      controller_ = nullptr;
+    }
+
+    AdmissionController* controller_ = nullptr;
+  };
+
+  explicit AdmissionController(const AdmissionOptions& options = {});
+
+  /// Acquires an execution slot, waiting in FIFO order if none is free.
+  /// Returns:
+  ///   - a Ticket when admitted;
+  ///   - kUnavailable immediately when the wait queue is full (shed —
+  ///     transient, the caller should back off and retry);
+  ///   - kDeadlineExceeded / the token's cause when the caller's budget
+  ///     runs out while queued (the entry leaves the queue unrun).
+  Result<Ticket> Admit(const Deadline& deadline = Deadline::Infinite(),
+                       const CancelToken& cancel = CancelToken());
+
+  AdmissionStats stats() const;
+  [[nodiscard]] size_t in_flight() const;
+  [[nodiscard]] size_t queue_depth() const;
+
+ private:
+  struct Waiter {
+    bool admitted = false;
+  };
+
+  /// Hands free slots to the longest-waiting live entries.
+  void PromoteLocked() LAKEKIT_REQUIRES(mu_);
+  void Release(bool ok);
+  void RecordWaitLocked(std::chrono::milliseconds wait) LAKEKIT_REQUIRES(mu_);
+
+  // unguarded: immutable after construction.
+  AdmissionOptions options_;
+  // unguarded: immutable after construction (resolved from options_).
+  const Clock* clock_;
+
+  mutable Mutex mu_;
+  size_t in_flight_ LAKEKIT_GUARDED_BY(mu_) = 0;
+  /// FIFO of stack-resident waiters, each owned by its blocked Admit call;
+  /// an abandoning waiter erases itself before returning, so the pointers
+  /// never dangle.
+  std::deque<Waiter*> queue_ LAKEKIT_GUARDED_BY(mu_);
+  CondVar slot_freed_;
+  AdmissionStats stats_ LAKEKIT_GUARDED_BY(mu_);
+};
+
+}  // namespace lakekit::query
+
+#endif  // LAKEKIT_QUERY_ADMISSION_H_

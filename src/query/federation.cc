@@ -31,6 +31,7 @@ ExecOptions MakeExecOptions(const QueryOptions& options) {
   opts.pool = options.pool;
   opts.cancel = options.cancel;
   opts.deadline = options.deadline;
+  opts.budget = options.budget;
   return opts;
 }
 
@@ -156,8 +157,21 @@ Result<ScannedSource> FederatedEngine::ReadSource(
   }
   if (cache != nullptr) {
     if (stats != nullptr) ++stats->cache_misses;
-    return ScannedSource{table::Table(),
-                         cache->Put(dataset, generation, std::move(*result))};
+    if (TableCache::Entry entry = cache->Put(dataset, generation, &*result)) {
+      return ScannedSource{table::Table(), std::move(entry)};
+    }
+    // The cache's budget declined the admission; `*result` is untouched,
+    // so fall through: this query keeps the decoded table as its own,
+    // charged below like any uncached read.
+  }
+  // An owned decoded table lives until the query finishes with it, so it
+  // charges the per-query account directly (settled by the account's
+  // destructor at query end), not an operator-scope reservation. Refusal is
+  // a source-read failure like any other: degradable under kBestEffort,
+  // never a breaker event (the read itself succeeded).
+  if (options.budget != nullptr && options.budget->attached()) {
+    LAKEKIT_RETURN_IF_ERROR(
+        options.budget->TryReserve(table::EstimateTableBytes(*result)));
   }
   return ScannedSource{std::move(*result), TableCache::Entry()};
 }
@@ -218,7 +232,29 @@ Result<table::Table> FederatedEngine::Query(std::string_view sql,
   // Computed into a local so concurrent queries never share accumulation
   // state; published under the lock once, when the query is done.
   FederationStats stats;
-  Result<table::Table> result = QueryImpl(sql, options, &stats);
+  Result<table::Table> result = [&]() -> Result<table::Table> {
+    // Overload valve first: a shed or expired-in-queue query does no work
+    // at all — no parse, no reservation, no source read.
+    AdmissionController::Ticket ticket;
+    if (options_.admission != nullptr) {
+      Result<AdmissionController::Ticket> admitted =
+          options_.admission->Admit(options.deadline, options.cancel);
+      LAKEKIT_RETURN_IF_ERROR(admitted.status());
+      ticket = std::move(*admitted);
+    }
+    // The per-query memory account. Everything the query charged — operator
+    // reservations unwind eagerly, owned decoded tables do not — is
+    // settled when this goes out of scope, after the result table has been
+    // built. Callers supplying QueryOptions::budget keep their own account.
+    BudgetAccount account(options_.memory_budget,
+                          options_.query_reservation_bytes);
+    QueryOptions opts = options;
+    if (opts.budget == nullptr) opts.budget = &account;
+    Result<table::Table> r = QueryImpl(sql, opts, &stats);
+    ticket.Finish(r.ok());
+    return r;
+  }();
+  if (options.stats_out != nullptr) *options.stats_out = stats;
   if (stats_out != nullptr) *stats_out = stats;
   MutexLock lock(mu_);
   stats_ = std::move(stats);

@@ -12,10 +12,12 @@
 #include "common/cancellation.h"
 #include "common/circuit_breaker.h"
 #include "common/deadline.h"
+#include "common/memory_budget.h"
 #include "common/mutex.h"
 #include "common/result.h"
 #include "common/retry.h"
 #include "common/thread_annotations.h"
+#include "query/admission.h"
 #include "query/source.h"
 #include "query/sql.h"
 #include "query/table_cache.h"
@@ -98,6 +100,17 @@ struct QueryOptions {
   DegradationMode degradation = DegradationMode::kStrict;
   /// Pool the vectorized operators run on; nullptr: the process default.
   ThreadPool* pool = nullptr;
+  /// Where this query's statistics are written when it finishes —
+  /// equivalent to Query's `stats` parameter but usable from call sites
+  /// that only plumb QueryOptions. Unlike `last_stats()` there is no
+  /// last-writer-wins ambiguity: each concurrent caller points this at its
+  /// own struct. nullptr: not reported this way.
+  FederationStats* stats_out = nullptr;
+  /// Memory account this query's operators charge (see ExecOptions::budget).
+  /// Normally left null: the engine creates a per-query child of its
+  /// configured MemoryBudget. Set it to supply your own account — e.g. one
+  /// shared across the queries of a batch job.
+  BudgetAccount* budget = nullptr;
 };
 
 /// Engine-wide resilience tuning, fixed at construction.
@@ -120,6 +133,24 @@ struct FederatedEngineOptions {
   /// pinned cached table with zone-map pruning. nullptr (the default)
   /// disables caching: behavior is exactly the pre-cache engine's.
   TableCache* table_cache = nullptr;
+  /// Overload protection (DESIGN.md §10); both caller-owned, must outlive
+  /// the engine, and may be shared across engines so several front doors
+  /// drain one capacity pool.
+  ///
+  /// When set, every Query runs under a per-query BudgetAccount child of
+  /// this process budget: operator state and owned decoded tables reserve
+  /// against it, and a reservation the budget refuses fails that query with
+  /// kResourceExhausted (degradable per source under kBestEffort) while the
+  /// process keeps serving. nullptr: queries are unaccounted.
+  MemoryBudget* memory_budget = nullptr;
+  /// Per-query cap within `memory_budget` (0: the whole budget — a lone
+  /// query may use everything, concurrent ones contend).
+  size_t query_reservation_bytes = 0;
+  /// When set, Query acquires a slot before any work: beyond
+  /// `max_concurrent` running queries callers wait in a bounded FIFO
+  /// (observing their own deadline/cancellation), and a full queue sheds
+  /// with retriable kUnavailable. nullptr: every query runs immediately.
+  AdmissionController* admission = nullptr;
 };
 
 /// The product of one resilient scan: a decoded table this query owns (cold
@@ -165,10 +196,14 @@ class FederatedEngine {
                            FederatedEngineOptions options = {});
 
   /// Runs a SQL query whose FROM/JOIN tables are registered datasets,
-  /// under `options`' deadline/cancellation/degradation. When `stats` is
-  /// non-null the query's statistics are copied there; `last_stats()`
-  /// also reports them afterwards (last writer wins under concurrency —
-  /// concurrent callers should pass their own `stats`).
+  /// under `options`' deadline/cancellation/degradation. With an engine
+  /// AdmissionController the query first acquires a slot (and may be shed
+  /// with kUnavailable); with an engine MemoryBudget it runs under a
+  /// per-query reservation and fails with kResourceExhausted rather than
+  /// exceed it. When `stats` (or `options.stats_out`) is non-null the
+  /// query's statistics are copied there; `last_stats()` also reports them
+  /// afterwards (last writer wins under concurrency — concurrent callers
+  /// should use one of the per-call sinks).
   Result<table::Table> Query(std::string_view sql, const QueryOptions& options,
                              FederationStats* stats = nullptr);
 

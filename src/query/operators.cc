@@ -1,6 +1,7 @@
 #include "query/operators.h"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
 #include <unordered_map>
 #include <utility>
@@ -36,6 +37,39 @@ Status CheckInterrupt(const ExecOptions& opts) {
 }
 
 namespace {
+
+/// Operator-scope budget holder (DESIGN.md §10): concurrent morsel tasks
+/// reserve straight on the account (two CAS pairs per morsel — the per-row
+/// batching lives in MemoryCharge when a single task charges repeatedly),
+/// the running total accumulates here, and the destructor returns the lot
+/// when the operator finishes — transient state (hash tables, partials,
+/// match lists, sort keys) is only accounted while it is actually live.
+/// Detached/null accounts make every Reserve a no-op.
+class ScopedReservation {
+ public:
+  explicit ScopedReservation(BudgetAccount* account)
+      : account_(account != nullptr && account->attached() ? account
+                                                           : nullptr) {}
+  ScopedReservation(const ScopedReservation&) = delete;
+  ScopedReservation& operator=(const ScopedReservation&) = delete;
+  ~ScopedReservation() {
+    if (account_ != nullptr) {
+      account_->Release(total_.load(std::memory_order_relaxed));
+    }
+  }
+
+  /// Thread-safe: morsel tasks call this concurrently.
+  Status Reserve(size_t bytes) {
+    if (account_ == nullptr) return Status::OK();
+    LAKEKIT_RETURN_IF_ERROR(account_->TryReserve(bytes));
+    total_.fetch_add(bytes, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+ private:
+  BudgetAccount* account_;
+  std::atomic<size_t> total_{0};
+};
 
 ParallelOptions PoolOptions(const ExecOptions& opts) {
   ParallelOptions po;
@@ -119,6 +153,12 @@ Result<Table> Filter(const Table& input, const Expr& predicate,
   }
   size_t total = 0;
   for (const SelVector& sel : selections) total += sel.size();
+  // Charge the materialized output before allocating it. Released when the
+  // operator returns: inter-operator table lifetime is the engine's to
+  // account, not each operator's.
+  ScopedReservation reservation(opts.budget);
+  LAKEKIT_RETURN_IF_ERROR(
+      reservation.Reserve(total * input.num_columns() * sizeof(Value)));
   out.Reserve(total);
   for (const SelVector& sel : selections) {
     LAKEKIT_RETURN_IF_ERROR(out.AppendRowsFrom(input, sel.data(), sel.size()));
@@ -178,6 +218,14 @@ Result<Table> HashJoin(const Table& left, const Table& right,
   // right-row order — the match order the interpreter produces.
   const std::vector<Value>& rkeys = right.column(ridx);
   const size_t n_right = right.num_rows();
+  // The build side's size is known exactly before anything is allocated:
+  // hash + null flag + chain link per right row, plus the bucket array.
+  // Reserve it up front so an over-budget join fails before the first
+  // allocation.
+  ScopedReservation reservation(opts.budget);
+  LAKEKIT_RETURN_IF_ERROR(reservation.Reserve(
+      n_right * (sizeof(uint64_t) + sizeof(uint8_t) + sizeof(uint32_t)) +
+      BucketCount(n_right) * sizeof(uint32_t)));
   std::vector<uint64_t> rhash(n_right);
   std::vector<uint8_t> rnull(n_right);
   LAKEKIT_RETURN_IF_ERROR(ParallelFor(
@@ -232,6 +280,13 @@ Result<Table> HashJoin(const Table& left, const Table& right,
                 out_m.emplace_back(static_cast<uint32_t>(l), kNoMatch);
               }
             }
+            // Match lists outlive the morsel (the gather reads them), so
+            // they go on the operator-scope reservation, settled after one
+            // morsel's growth — an exploding join overruns the budget by at
+            // most one in-flight morsel's matches per worker before the
+            // refusal lands, the same granularity as deadline checks.
+            LAKEKIT_RETURN_IF_ERROR(reservation.Reserve(
+                out_m.capacity() * sizeof(std::pair<uint32_t, uint32_t>)));
             return out_m;
           },
           PoolOptions(opts)));
@@ -239,6 +294,10 @@ Result<Table> HashJoin(const Table& left, const Table& right,
   // Ordered columnar gather.
   size_t total = 0;
   for (const MatchList& m : matches) total += m.size();
+  // The output's footprint is now exact; reserve it before the first
+  // column is gathered.
+  LAKEKIT_RETURN_IF_ERROR(
+      reservation.Reserve(total * schema.num_fields() * sizeof(Value)));
   std::vector<std::vector<Value>> cols(schema.num_fields());
   const size_t left_cols = left.num_columns();
   for (size_t c = 0; c < left_cols; ++c) {
@@ -679,6 +738,7 @@ Result<Table> Aggregate(const Table& input,
   // schema-clean — the type dispatch happens once per (column, morsel), not
   // per cell.
   const size_t rows = input.num_rows();
+  ScopedReservation reservation(opts.budget);
   LAKEKIT_ASSIGN_OR_RETURN(
       std::vector<AggPartial> partials,
       ParallelMap<AggPartial>(
@@ -689,6 +749,13 @@ Result<Table> Aggregate(const Table& input,
             const size_t mbegin = MorselBegin(m);
             const size_t mend = MorselEnd(m, rows);
             const size_t n = mend - mbegin;
+            // Morsel-transient state (group assignment, probe table, sweep
+            // arrays) batches through a stack-local charge and is credited
+            // back when the morsel finishes; the partial itself — which the
+            // merge still needs — lands on the operator-scope reservation
+            // just before return.
+            MemoryCharge scratch(opts.budget);
+            LAKEKIT_RETURN_IF_ERROR(scratch.Add(n * sizeof(uint32_t)));
 
             // Pass 1: group assignment through a growable morsel-local
             // probe table (GroupIndex). With a single typed key column the
@@ -757,6 +824,14 @@ Result<Table> Aggregate(const Table& input,
               }
             }
             const std::vector<uint32_t>& first_row = idx.first_row();
+            // Probe-table footprint, reconstructed from the group count:
+            // slots stay within 4x the group count (load factor >= 1/4 right
+            // after a grow) at 16 bytes each, plus the three per-group
+            // arrays behind them.
+            LAKEKIT_RETURN_IF_ERROR(scratch.Add(
+                std::max<size_t>(64, 4 * first_row.size()) * 16 +
+                first_row.size() *
+                    (sizeof(uint32_t) * 2 + sizeof(uint64_t))));
             p.keys.reserve(first_row.size());
             for (const uint32_t k0 : first_row) {
               GroupKey key;
@@ -934,11 +1009,27 @@ Result<Table> Aggregate(const Table& input,
                 }
               }
             }
+            // The partial survives until the ordered merge consumes it:
+            // charge it on the operator-scope reservation (scratch unwinds
+            // here, returning the transient quanta).
+            LAKEKIT_RETURN_IF_ERROR(reservation.Reserve(
+                p.states.size() * sizeof(AggState) +
+                p.keys.size() * (sizeof(GroupKey) +
+                                 group_idx.size() * sizeof(Value))));
             return p;
           },
           PoolOptions(opts)));
 
   const size_t naggs = aggs.size();
+  // Upper-bound the merged table by the sum of the per-morsel group counts
+  // (deduplication only shrinks it) and reserve before building the map —
+  // the partials are still alive during the merge, so this is genuinely
+  // additional memory.
+  size_t groups_upper = 0;
+  for (const AggPartial& p : partials) groups_upper += p.keys.size();
+  LAKEKIT_RETURN_IF_ERROR(reservation.Reserve(
+      groups_upper * (sizeof(GroupKey) + group_idx.size() * sizeof(Value) +
+                      naggs * sizeof(AggState) + 4 * sizeof(void*))));
   std::unordered_map<GroupKey, size_t, GroupKeyHash, GroupKeyEq> index;
   std::vector<GroupKey> keys;
   std::vector<AggState> states;  // group-major, like AggPartial::states
@@ -978,6 +1069,8 @@ Result<Table> Aggregate(const Table& input,
     schema.AddField(Field{alias, type, true});
   }
   Table out(input.name() + "_agg", schema);
+  LAKEKIT_RETURN_IF_ERROR(reservation.Reserve(
+      keys.size() * schema.num_fields() * sizeof(Value)));
   out.Reserve(keys.size());
   for (size_t g = 0; g < keys.size(); ++g) {
     std::vector<Value> row = keys[g].values;
@@ -990,10 +1083,16 @@ Result<Table> Aggregate(const Table& input,
 }
 
 Result<Table> Sort(const Table& input, const std::string& column,
-                   bool ascending) {
+                   bool ascending, const ExecOptions& opts) {
+  LAKEKIT_RETURN_IF_ERROR(CheckInterrupt(opts));
   LAKEKIT_ASSIGN_OR_RETURN(size_t idx, input.ColumnIndex(column));
   const std::vector<Value>& cells = input.column(idx);
   const size_t rows = input.num_rows();
+  // The decoded key buffer and permutation vector are sized exactly by the
+  // row count: reserve before either is allocated.
+  ScopedReservation reservation(opts.budget);
+  LAKEKIT_RETURN_IF_ERROR(
+      reservation.Reserve(rows * (sizeof(CellRef) + sizeof(uint32_t))));
   // Decode every key once; comparisons are then tag checks + payload
   // compares, never variant dispatch.
   std::vector<CellRef> keys;
@@ -1004,6 +1103,8 @@ Result<Table> Sort(const Table& input, const std::string& column,
   std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
     return ascending ? CellLess(keys[a], keys[b]) : CellLess(keys[b], keys[a]);
   });
+  LAKEKIT_RETURN_IF_ERROR(
+      reservation.Reserve(rows * input.num_columns() * sizeof(Value)));
   Table out(input.name(), input.schema());
   out.Reserve(rows);
   LAKEKIT_RETURN_IF_ERROR(out.AppendRowsFrom(input, order.data(), rows));

@@ -6,6 +6,7 @@
 
 #include "common/cancellation.h"
 #include "common/deadline.h"
+#include "common/memory_budget.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "query/expr.h"
@@ -37,6 +38,14 @@ struct ExecOptions {
   /// Deadline, checked at the same per-morsel granularity; expiry surfaces
   /// as kDeadlineExceeded. Default: infinite.
   Deadline deadline;
+  /// Memory accounting for the big intermediate-state consumers — the
+  /// HashJoin build side and match lists, Aggregate's group index and
+  /// partials, Sort's key buffers, and materialized outputs. Each morsel
+  /// task batches its debits through a stack-local MemoryCharge, so the
+  /// per-row cost is an integer add; when a reservation is refused the
+  /// operator unwinds with kResourceExhausted instead of allocating.
+  /// nullptr (or a detached account): unaccounted, the pre-budget behavior.
+  BudgetAccount* budget = nullptr;
 };
 
 /// The per-morsel interrupt check the vectorized operators share: the
@@ -104,9 +113,11 @@ Result<table::Table> Aggregate(const table::Table& input,
                                const std::vector<AggSpec>& aggs,
                                const ExecOptions& opts = {});
 
-/// Stable sort by column (NULLs first when ascending).
+/// Stable sort by column (NULLs first when ascending). The decoded key
+/// buffer and permutation vector are charged against `opts.budget`.
 Result<table::Table> Sort(const table::Table& input, const std::string& column,
-                          bool ascending = true);
+                          bool ascending = true,
+                          const ExecOptions& opts = {});
 
 /// First `n` rows.
 table::Table Limit(const table::Table& input, size_t n);

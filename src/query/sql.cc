@@ -393,14 +393,14 @@ Result<table::Table> ExecuteSelect(const SelectStatement& stmt,
                              Aggregate(current, stmt.group_by, aggs, opts));
     if (stmt.order_by) {
       LAKEKIT_ASSIGN_OR_RETURN(
-          current, Sort(current, *stmt.order_by, stmt.order_ascending));
+          current, Sort(current, *stmt.order_by, stmt.order_ascending, opts));
     }
   } else {
     // ORDER BY may reference columns dropped by the projection, so sort on
     // the pre-projection table (standard SQL semantics).
     if (stmt.order_by) {
       LAKEKIT_ASSIGN_OR_RETURN(
-          current, Sort(current, *stmt.order_by, stmt.order_ascending));
+          current, Sort(current, *stmt.order_by, stmt.order_ascending, opts));
     }
     if (!stmt.select_all) {
       std::vector<std::string> columns;

@@ -5,15 +5,39 @@
 namespace lakekit::query {
 
 TableCache::Entry TableCache::Put(std::string_view dataset,
-                                  uint64_t generation, table::Table t) {
-  // Charge what the entry actually holds: the decoded cells (dominant) plus
-  // the zone-map statistics built alongside. Computed before the move so the
-  // estimate walks live data.
-  const size_t table_bytes = EstimateTableBytes(t);
-  CachedTable cached{std::move(t), ZoneMap{}};
+                                  uint64_t generation, table::Table* t) {
+  // Charge what the entry will actually hold: the decoded cells (dominant)
+  // plus the zone-map statistics built alongside. The table charge is known
+  // before any work; the zone-map share is approximated from it (the map
+  // stores two Values per column per kMorselSize rows — a rounding error
+  // next to the cells), so the budget is consulted BEFORE the zone map is
+  // built and before the copy into the cache: a declined admission does no
+  // throwaway work and, more importantly, never allocates past the budget.
+  const size_t table_bytes = table::EstimateTableBytes(*t);
+  if (account_.attached()) {
+    if (!account_.TryReserve(table_bytes).ok()) return Entry();
+  }
+  CachedTable cached{std::move(*t), ZoneMap{}};
   cached.zones = ZoneMap::Build(cached.table);
-  const size_t charge = table_bytes + cached.zones.memory_bytes();
-  return cache_.Insert(Key(dataset, generation), std::move(cached), charge);
+  const size_t zone_bytes = cached.zones.memory_bytes();
+  if (account_.attached()) {
+    if (!account_.TryReserve(zone_bytes).ok()) {
+      // The cells fit but the statistics tipped it over: hand the table
+      // back and decline, settling the partial reservation.
+      account_.Release(table_bytes);
+      *t = std::move(cached.table);
+      return Entry();
+    }
+  }
+  const size_t charge = table_bytes + zone_bytes;
+  bool inserted = false;
+  Entry entry =
+      cache_.Insert(Key(dataset, generation), std::move(cached), charge,
+                    &inserted);
+  // A racing loader already admitted this key: our copy was discarded, so
+  // our reservation must be returned (the winner's stands).
+  if (!inserted && account_.attached()) account_.Release(charge);
+  return entry;
 }
 
 }  // namespace lakekit::query

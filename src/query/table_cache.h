@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "common/lru_cache.h"
+#include "common/memory_budget.h"
 #include "query/zone_map.h"
 #include "table/table.h"
 
@@ -24,6 +25,15 @@ struct TableCacheOptions {
   size_t capacity_bytes = 64u << 20;
   /// 0 = pick from hardware concurrency (see common/lru_cache.h).
   size_t shards = 0;
+  /// When set, the cache's bytes are a child reservation of this process
+  /// budget (DESIGN.md §10): admissions reserve against it, evictions and
+  /// capacity pressure credit it back, so the cache and in-flight queries
+  /// trade off inside one process-level number. An admission the budget
+  /// refuses is *declined* — the table simply is not cached — never an
+  /// error: caching is an optimization, overload protection is not.
+  /// Must outlive the cache. nullptr: the cache only enforces its own
+  /// `capacity_bytes`, exactly the pre-budget behavior.
+  MemoryBudget* process_budget = nullptr;
 };
 
 /// Process-wide cache of decoded tables keyed by (dataset, generation)
@@ -41,7 +51,15 @@ class TableCache {
   using Entry = LruCache<std::string, CachedTable>::Handle;
 
   explicit TableCache(const TableCacheOptions& options = {})
-      : cache_(options.capacity_bytes, options.shards) {}
+      : account_(options.process_budget, options.capacity_bytes),
+        cache_(options.capacity_bytes, options.shards) {
+    if (account_.attached()) {
+      // Evictions run under a shard lock; the credit is two relaxed
+      // atomics, well within what that lock can hold.
+      cache_.set_eviction_listener(
+          [this](size_t charge) { account_.Release(charge); });
+    }
+  }
 
   /// Looks up the decoded table for `dataset` at `generation`.
   Entry Find(std::string_view dataset, uint64_t generation) {
@@ -50,11 +68,24 @@ class TableCache {
 
   /// Admits a freshly decoded table, building its zone map, and returns a
   /// pinned entry. If another loader won the race for the same key, its
-  /// entry is returned and `t` is discarded (the copies are equivalent:
-  /// both were decoded from the same generation).
-  Entry Put(std::string_view dataset, uint64_t generation, table::Table t);
+  /// entry is returned and `*t` is discarded (the copies are equivalent:
+  /// both were decoded from the same generation). If the process budget
+  /// declines the admission, an empty Entry is returned and `*t` is left
+  /// untouched — the caller keeps its decoded table and the query proceeds
+  /// uncached.
+  Entry Put(std::string_view dataset, uint64_t generation, table::Table* t);
+
+  /// By-value convenience for callers that do not need the declined table
+  /// back (tests, warm-up paths): on decline the table is dropped.
+  Entry Put(std::string_view dataset, uint64_t generation, table::Table t) {
+    return Put(dataset, generation, &t);
+  }
 
   LruCacheStats stats() const { return cache_.stats(); }
+
+  /// The cache's child reservation (detached unless `process_budget` was
+  /// set). Exposed for tests asserting the budget hierarchy balances.
+  const BudgetAccount& account() const { return account_; }
 
  private:
   /// '\x1f' (unit separator) cannot appear in a formatted integer, so the
@@ -68,6 +99,7 @@ class TableCache {
     return key;
   }
 
+  BudgetAccount account_;
   LruCache<std::string, CachedTable> cache_;
 };
 

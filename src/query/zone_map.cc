@@ -67,16 +67,4 @@ size_t ZoneMap::memory_bytes() const {
   return bytes;
 }
 
-size_t EstimateTableBytes(const Table& t) {
-  size_t bytes = sizeof(Table) + t.name().capacity();
-  for (size_t col = 0; col < t.num_columns(); ++col) {
-    const std::vector<Value>& cells = t.column(col);
-    bytes += cells.capacity() * sizeof(Value);
-    for (const Value& v : cells) {
-      if (const std::string* s = v.get_string()) bytes += s->capacity();
-    }
-  }
-  return bytes;
-}
-
 }  // namespace lakekit::query

@@ -61,10 +61,6 @@ class ZoneMap {
   std::vector<ZoneStats> stats_;  // chunk-major: [chunk * num_columns_ + col]
 };
 
-/// Approximate heap bytes of a decoded table (cells plus string payloads) —
-/// the charge a cached table carries in the TableCache.
-size_t EstimateTableBytes(const table::Table& t);
-
 }  // namespace lakekit::query
 
 #endif  // LAKEKIT_QUERY_ZONE_MAP_H_

@@ -89,6 +89,12 @@ class Table {
   size_t num_rows_ = 0;
 };
 
+/// Approximate heap bytes of a decoded table (cells plus string payloads).
+/// The one size estimate every byte-accounting consumer shares: the
+/// TableCache charge (query/table_cache.h) and per-query memory budgeting
+/// (common/memory_budget.h) both price a table with this.
+size_t EstimateTableBytes(const Table& t);
+
 /// Infers the DataType of a column of raw strings (CSV type sniffing).
 DataType SniffType(const std::vector<std::string>& values);
 

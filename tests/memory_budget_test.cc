@@ -1,0 +1,194 @@
+// Tests for hierarchical memory accounting (common/memory_budget.h):
+// root reserve/release semantics, the never-over-capacity CAS invariant
+// under concurrent reservers, child-account caps and settlement, and
+// MemoryCharge's quantum batching.
+
+#include "common/memory_budget.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lakekit {
+namespace {
+
+TEST(MemoryBudgetTest, ReserveReleaseRoundTrip) {
+  MemoryBudget budget(1000);
+  EXPECT_EQ(budget.capacity(), 1000u);
+  EXPECT_EQ(budget.used(), 0u);
+  LAKEKIT_CHECK_OK(budget.TryReserve(400));
+  EXPECT_EQ(budget.used(), 400u);
+  LAKEKIT_CHECK_OK(budget.TryReserve(600));
+  EXPECT_EQ(budget.used(), 1000u);
+  budget.Release(1000);
+  EXPECT_EQ(budget.used(), 0u);
+  EXPECT_EQ(budget.peak_used(), 1000u);
+  EXPECT_EQ(budget.exhausted_count(), 0u);
+}
+
+TEST(MemoryBudgetTest, RefusesPastCapacityWithoutSideEffects) {
+  MemoryBudget budget(100);
+  LAKEKIT_CHECK_OK(budget.TryReserve(60));
+  const Status s = budget.TryReserve(41);
+  EXPECT_TRUE(s.IsResourceExhausted()) << s.ToString();
+  // A refusal holds nothing: accounting is exactly as before the call.
+  EXPECT_EQ(budget.used(), 60u);
+  EXPECT_EQ(budget.exhausted_count(), 1u);
+  // The freed headroom is immediately reservable again.
+  LAKEKIT_CHECK_OK(budget.TryReserve(40));
+  EXPECT_EQ(budget.used(), 100u);
+}
+
+TEST(MemoryBudgetTest, OversizedSingleRequestRefused) {
+  MemoryBudget budget(100);
+  EXPECT_TRUE(budget.TryReserve(101).IsResourceExhausted());
+  // size_t-overflow bait: capacity - bytes must not wrap.
+  EXPECT_TRUE(
+      budget.TryReserve(static_cast<size_t>(-1)).IsResourceExhausted());
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(MemoryBudgetTest, ZeroByteReserveAlwaysSucceeds) {
+  MemoryBudget budget(0);
+  LAKEKIT_CHECK_OK(budget.TryReserve(0));
+  EXPECT_TRUE(budget.TryReserve(1).IsResourceExhausted());
+}
+
+TEST(MemoryBudgetTest, ReleaseSaturatesAtZero) {
+  MemoryBudget budget(100);
+  LAKEKIT_CHECK_OK(budget.TryReserve(10));
+  budget.Release(50);  // over-release is a bug, but must not wrap
+  EXPECT_EQ(budget.used(), 0u);
+  LAKEKIT_CHECK_OK(budget.TryReserve(100));
+}
+
+// The core overload invariant: however many threads hammer TryReserve,
+// accounted bytes never exceed capacity — checked via peak_used() after a
+// storm of reserve/release cycles that would trivially break a
+// check-then-add implementation.
+TEST(MemoryBudgetTest, ConcurrentReserversNeverExceedCapacity) {
+  constexpr size_t kCapacity = 1 << 20;
+  constexpr size_t kChunk = 200 * 1024;  // 5 fit, 6 do not
+  MemoryBudget budget(kCapacity);
+  std::atomic<uint64_t> granted{0};
+  std::atomic<uint64_t> refused{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) {
+        if (budget.TryReserve(kChunk).ok()) {
+          granted.fetch_add(1);
+          budget.Release(kChunk);
+        } else {
+          refused.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(budget.used(), 0u);
+  EXPECT_LE(budget.peak_used(), kCapacity);
+  EXPECT_GT(granted.load(), 0u);
+  EXPECT_EQ(budget.exhausted_count(), refused.load());
+}
+
+TEST(BudgetAccountTest, DetachedAccountIsUnlimited) {
+  BudgetAccount account;
+  EXPECT_FALSE(account.attached());
+  LAKEKIT_CHECK_OK(account.TryReserve(static_cast<size_t>(-1)));
+  account.Release(123);  // no-op, no crash
+}
+
+TEST(BudgetAccountTest, ChildForwardsToParentAndSettlesOnDestruction) {
+  MemoryBudget budget(1000);
+  {
+    BudgetAccount account(&budget);
+    EXPECT_TRUE(account.attached());
+    EXPECT_EQ(account.cap(), 1000u);  // 0 => parent capacity
+    LAKEKIT_CHECK_OK(account.TryReserve(700));
+    EXPECT_EQ(account.used(), 700u);
+    EXPECT_EQ(budget.used(), 700u);
+    account.Release(200);
+    EXPECT_EQ(budget.used(), 500u);
+    // 500 still held here: the destructor must return it.
+  }
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(BudgetAccountTest, OwnCapRefusesBeforeParent) {
+  MemoryBudget budget(1000);
+  BudgetAccount account(&budget, /*cap_bytes=*/100);
+  LAKEKIT_CHECK_OK(account.TryReserve(100));
+  const Status s = account.TryReserve(1);
+  EXPECT_TRUE(s.IsResourceExhausted()) << s.ToString();
+  // The local refusal never reached the parent, and held nothing locally.
+  EXPECT_EQ(account.used(), 100u);
+  EXPECT_EQ(budget.used(), 100u);
+}
+
+TEST(BudgetAccountTest, ParentRefusalRollsBackLocalReservation) {
+  MemoryBudget budget(100);
+  BudgetAccount greedy(&budget, /*cap_bytes=*/1000);
+  LAKEKIT_CHECK_OK(greedy.TryReserve(80));
+  // Fits greedy's own cap but not the parent: both levels must end
+  // unchanged.
+  EXPECT_TRUE(greedy.TryReserve(30).IsResourceExhausted());
+  EXPECT_EQ(greedy.used(), 80u);
+  EXPECT_EQ(budget.used(), 80u);
+}
+
+TEST(BudgetAccountTest, SiblingsContendForOneParent) {
+  MemoryBudget budget(100);
+  BudgetAccount a(&budget);
+  BudgetAccount b(&budget);
+  LAKEKIT_CHECK_OK(a.TryReserve(70));
+  EXPECT_TRUE(b.TryReserve(40).IsResourceExhausted());
+  LAKEKIT_CHECK_OK(b.TryReserve(30));
+  a.Release(70);
+  LAKEKIT_CHECK_OK(b.TryReserve(40));
+  EXPECT_EQ(budget.used(), 70u);
+}
+
+TEST(MemoryChargeTest, BatchesThroughQuanta) {
+  MemoryBudget budget(10 * kBudgetQuantumBytes);
+  BudgetAccount account(&budget);
+  {
+    MemoryCharge charge(&account);
+    // Many small debits; the account only sees whole quanta.
+    for (int i = 0; i < 100; ++i) LAKEKIT_CHECK_OK(charge.Add(100));
+    EXPECT_EQ(charge.held(), 10000u);
+    EXPECT_EQ(account.used(), kBudgetQuantumBytes);
+    // A debit bigger than a quantum grabs enough whole quanta at once.
+    LAKEKIT_CHECK_OK(charge.Add(3 * kBudgetQuantumBytes));
+    EXPECT_EQ(account.used(), 4 * kBudgetQuantumBytes);
+  }
+  // Destruction returns the full quantum-rounded reservation.
+  EXPECT_EQ(account.used(), 0u);
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(MemoryChargeTest, RefusalLeavesLocalAccountingUnchanged) {
+  MemoryBudget budget(kBudgetQuantumBytes);
+  BudgetAccount account(&budget);
+  MemoryCharge charge(&account);
+  LAKEKIT_CHECK_OK(charge.Add(kBudgetQuantumBytes));
+  const size_t held = charge.held();
+  EXPECT_TRUE(charge.Add(1).IsResourceExhausted());
+  EXPECT_EQ(charge.held(), held);
+  // After an upstream release the same Add succeeds.
+  charge.ReleaseAll();
+  LAKEKIT_CHECK_OK(charge.Add(1));
+}
+
+TEST(MemoryChargeTest, NullAndDetachedAccountsAreFree) {
+  MemoryCharge null_charge(nullptr);
+  LAKEKIT_CHECK_OK(null_charge.Add(static_cast<size_t>(-1)));
+  BudgetAccount detached;
+  MemoryCharge detached_charge(&detached);
+  LAKEKIT_CHECK_OK(detached_charge.Add(static_cast<size_t>(-1)));
+}
+
+}  // namespace
+}  // namespace lakekit

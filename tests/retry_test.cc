@@ -30,7 +30,27 @@ TEST(RetryTest, TransientClassificationMatchesStatusHelper) {
   // Deadline expiry is permanent by construction: the budget is spent.
   EXPECT_FALSE(
       RetryPolicy::IsTransient(Status::DeadlineExceeded("too slow")));
+  // Budget exhaustion is likewise permanent: the same query re-run against
+  // the same memory budget just exhausts it again. (Load *shedding* at
+  // admission surfaces as the transient kUnavailable instead.)
+  EXPECT_FALSE(
+      RetryPolicy::IsTransient(Status::ResourceExhausted("over budget")));
   EXPECT_TRUE(IsTransientError(Status::Unavailable("same classification")));
+  EXPECT_FALSE(IsTransientError(Status::ResourceExhausted("same split")));
+}
+
+TEST(RetryTest, ResourceExhaustedFailsFastWithoutSleeping) {
+  RetryOptions options;
+  options.max_attempts = 5;
+  RecordingPolicy rp(options);
+  int calls = 0;
+  Status s = rp.policy.Run([&] {
+    ++calls;
+    return Status::ResourceExhausted("budget refused the build side");
+  });
+  EXPECT_TRUE(s.IsResourceExhausted());
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(rp.sleeps.empty());
 }
 
 TEST(RetryTest, PermanentErrorFailsFastWithoutSleeping) {

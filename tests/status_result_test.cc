@@ -25,6 +25,8 @@ const std::vector<StatusCode> kErrorCodes = {
     StatusCode::kCorruption,      StatusCode::kNotSupported,
     StatusCode::kFailedPrecondition, StatusCode::kAborted,
     StatusCode::kOutOfRange,      StatusCode::kInternal,
+    StatusCode::kDeadlineExceeded, StatusCode::kUnavailable,
+    StatusCode::kResourceExhausted,
 };
 
 TEST(StatusCodeNameTest, EveryCodeHasAStableUniqueName) {
@@ -61,6 +63,11 @@ TEST(StatusTest, FactoryHelpersRoundTripTheirCode) {
   EXPECT_EQ(Status::Aborted("m").code(), StatusCode::kAborted);
   EXPECT_EQ(Status::OutOfRange("m").code(), StatusCode::kOutOfRange);
   EXPECT_EQ(Status::Internal("m").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::DeadlineExceeded("m").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Unavailable("m").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::ResourceExhausted("m").code(),
+            StatusCode::kResourceExhausted);
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
@@ -79,6 +86,21 @@ TEST(StatusTest, PredicatesMatchTheirCodeOnly) {
   EXPECT_TRUE(Status::AlreadyExists("m").IsAlreadyExists());
   EXPECT_TRUE(Status::Aborted("m").IsAborted());
   EXPECT_TRUE(Status::InvalidArgument("m").IsInvalidArgument());
+  Status re = Status::ResourceExhausted("m");
+  EXPECT_TRUE(re.IsResourceExhausted());
+  EXPECT_FALSE(re.IsUnavailable());
+  EXPECT_FALSE(Status::Unavailable("m").IsResourceExhausted());
+}
+
+// The overload-protection split (see query/admission.h): shedding at the
+// front door is kUnavailable — transient, the queue drains — while a budget
+// refusal is kResourceExhausted — permanent, an immediate retry re-exhausts
+// the same budget.
+TEST(StatusTest, TransientClassificationSplitsShedFromExhausted) {
+  EXPECT_TRUE(IsTransientError(Status::Unavailable("shed: queue full")));
+  EXPECT_FALSE(
+      IsTransientError(Status::ResourceExhausted("budget refused 1MiB")));
+  EXPECT_FALSE(IsTransientError(Status::DeadlineExceeded("spent")));
 }
 
 // ------------------------------------------------ macro propagation paths
